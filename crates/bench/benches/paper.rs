@@ -1,0 +1,186 @@
+//! Criterion benches wrapping every table/figure workload.
+//!
+//! These measure the *wall-clock* cost of simulating each experiment (the
+//! simulated GPU times that reproduce the paper's numbers are printed by
+//! the `table*`/`fig*` binaries). Keeping each experiment as a Criterion
+//! target gives regression tracking over the simulator and the harness.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cusync::OptFlags;
+use cusync_bench::overhead_experiment;
+use cusync_models::{
+    attention_time, conv_layer_time, gpt3_mlp_tiling, llm_step_time, mlp_time,
+    vision_step_time, AttentionConfig, LlmModel, MlpModel, PolicyKind, SyncMode,
+};
+use cusync_sim::stats::{utilization, waves};
+use cusync_sim::GpuConfig;
+
+fn bench_table1_waves(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_v100();
+    c.bench_function("table1_waves", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bs in [256u32, 512, 1024] {
+                let t = gpt3_mlp_tiling(bs);
+                let blocks =
+                    (bs.div_ceil(t.gemm1.tile.m) * (6144 / t.gemm1.tile.n) * t.gemm1.split_k)
+                        as u64;
+                let w = waves(blocks, t.gemm1.occupancy, gpu.num_sms);
+                acc += utilization(w);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_table4_mlp_policies(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_v100();
+    let mut group = c.benchmark_group("table4_mlp_policies");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("stream_sync", SyncMode::StreamSync),
+        ("tile_wrt", SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT)),
+        ("row_wrt", SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 256), &mode, |b, mode| {
+            b.iter(|| mlp_time(&gpu, MlpModel::Gpt3, 256, *mode))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table5_ablation(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_v100();
+    let mut group = c.benchmark_group("table5_ablation");
+    group.sample_size(10);
+    for (name, opts) in [
+        ("vanilla", OptFlags::NONE),
+        ("r", OptFlags::R),
+        ("wr", OptFlags::WR),
+        ("wrt", OptFlags::WRT),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| mlp_time(&gpu, MlpModel::Gpt3, 64, SyncMode::CuSync(PolicyKind::Tile, opts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6_mlp(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_v100();
+    let mut group = c.benchmark_group("fig6_mlp");
+    group.sample_size(10);
+    for bs in [64u32, 512, 2048] {
+        group.bench_with_input(BenchmarkId::new("gpt3_tile_wrt", bs), &bs, |b, &bs| {
+            b.iter(|| mlp_time(&gpu, MlpModel::Gpt3, bs, SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT)))
+        });
+        group.bench_with_input(BenchmarkId::new("llama_strided_wrt", bs), &bs, |b, &bs| {
+            b.iter(|| {
+                mlp_time(&gpu, MlpModel::Llama, bs, SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6_attention(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_v100();
+    let mut group = c.benchmark_group("fig6_attention");
+    group.sample_size(10);
+    let prompt = AttentionConfig::prompt(12288, 512);
+    let generation = AttentionConfig::generation(12288, 2, 1024);
+    for (name, cfg) in [("prompt_512", prompt), ("gen_2_1024", generation)] {
+        group.bench_function(format!("strided_wrt/{name}"), |b| {
+            b.iter(|| {
+                attention_time(&gpu, cfg, SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT))
+            })
+        });
+        group.bench_function(format!("stream_sync/{name}"), |b| {
+            b.iter(|| attention_time(&gpu, cfg, SyncMode::StreamSync))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7_conv(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_v100();
+    let mut group = c.benchmark_group("fig7_conv");
+    group.sample_size(10);
+    for channels in [64u32, 512] {
+        let pq = cusync_models::pq_for_channels(channels);
+        group.bench_with_input(
+            BenchmarkId::new("conv2dtile_wrt", channels),
+            &channels,
+            |b, &ch| {
+                b.iter(|| {
+                    conv_layer_time(
+                        &gpu,
+                        4,
+                        pq,
+                        ch,
+                        2,
+                        SyncMode::CuSync(PolicyKind::Conv2DTile, OptFlags::WRT),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig8_e2e(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_v100();
+    let mut group = c.benchmark_group("fig8_e2e");
+    group.sample_size(10);
+    let one_layer = LlmModel { mlp: MlpModel::Gpt3, layers: 1 };
+    group.bench_function("gpt3_layer_tile_wrt", |b| {
+        b.iter(|| {
+            llm_step_time(&gpu, one_layer, 512, 0, SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT))
+        })
+    });
+    group.bench_function("resnet_b4_row_wrt", |b| {
+        b.iter(|| {
+            vision_step_time(
+                &gpu,
+                &cusync_models::resnet38(),
+                4,
+                SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_overhead_bound(c: &mut Criterion) {
+    let gpu = GpuConfig::tesla_v100();
+    let mut group = c.benchmark_group("overhead_bound");
+    group.sample_size(10);
+    group.bench_function("copy_chain_16k", |b| {
+        b.iter(|| overhead_experiment(&gpu, 16 * 1024))
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = configured();
+    targets =
+    bench_table1_waves,
+    bench_table4_mlp_policies,
+    bench_table5_ablation,
+    bench_fig6_mlp,
+    bench_fig6_attention,
+    bench_fig7_conv,
+    bench_fig8_e2e,
+    bench_overhead_bound,
+);
+criterion_main!(benches);

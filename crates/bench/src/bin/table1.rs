@@ -1,0 +1,41 @@
+//! Table I: thread blocks, blocks per wave, waves, and GPU utilization of
+//! the two dependent GeMMs of the GPT-3 MLP on a Tesla V100 (80 SMs).
+
+use cusync_bench::{header, row};
+use cusync_models::gpt3_mlp_tiling;
+use cusync_sim::stats::{utilization, waves};
+use cusync_sim::GpuConfig;
+
+fn main() {
+    let gpu = GpuConfig::tesla_v100();
+    println!("# Table I: waves and utilization of GPT-3 MLP GeMMs (V100, 80 SMs)\n");
+    println!(
+        "{}",
+        header(&["Batch", "GeMM", "TBs", "TBs/Wave", "Waves", "Utilization"])
+    );
+    for bs in [256u32, 512, 1024] {
+        let t = gpt3_mlp_tiling(bs);
+        let gemms = [
+            ("Producer", bs.div_ceil(t.gemm1.tile.m), 6144 / t.gemm1.tile.n, t.gemm1),
+            ("Consumer", bs.div_ceil(t.gemm2.tile.m), 12288 / t.gemm2.tile.n, t.gemm2),
+        ];
+        for (role, gy, gx, tiling) in gemms {
+            let blocks = (gy * gx * tiling.split_k) as u64;
+            let per_wave = gpu.blocks_per_wave(tiling.occupancy);
+            let w = waves(blocks, tiling.occupancy, gpu.num_sms);
+            println!(
+                "{}",
+                row(&[
+                    bs.to_string(),
+                    role.to_string(),
+                    format!("[{gy}, {gx}, {}]", tiling.split_k),
+                    format!("{}x{}", tiling.occupancy, gpu.num_sms),
+                    format!("{w:.1}"),
+                    format!("{:.0}%", utilization(w) * 100.0),
+                ])
+            );
+            let _ = per_wave;
+        }
+    }
+    println!("\nPaper: 1.2 waves / 60% at 256 and 512; 2.4 waves / 80% at 1024.");
+}

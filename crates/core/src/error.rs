@@ -1,0 +1,87 @@
+//! Error type for building and binding synchronization graphs.
+
+use std::fmt;
+
+use cusync_sim::Dim3;
+
+/// Errors raised while constructing or binding a [`SyncGraph`](crate::SyncGraph).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CuSyncError {
+    /// A dependency referenced a stage id that does not exist.
+    UnknownStage {
+        /// The offending stage index.
+        index: usize,
+    },
+    /// A dependency was declared from a stage to itself, or a cycle was
+    /// found among stage dependencies.
+    DependencyCycle {
+        /// Name of a stage participating in the cycle.
+        stage: String,
+    },
+    /// A tile order did not produce a bijection over the grid.
+    InvalidOrder {
+        /// Name of the order.
+        order: String,
+        /// Grid it was applied to.
+        grid: Dim3,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A kernel was launched on a stage whose grid does not match.
+    GridMismatch {
+        /// Stage name.
+        stage: String,
+        /// Grid declared on the stage.
+        stage_grid: Dim3,
+        /// Grid of the kernel being launched.
+        kernel_grid: Dim3,
+    },
+    /// The same buffer was declared as the output of two different stages.
+    DuplicateProducer {
+        /// Name of the buffer with two producers.
+        buffer: String,
+    },
+}
+
+impl fmt::Display for CuSyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CuSyncError::UnknownStage { index } => {
+                write!(f, "unknown stage index {index}")
+            }
+            CuSyncError::DependencyCycle { stage } => {
+                write!(f, "dependency cycle involving stage {stage}")
+            }
+            CuSyncError::InvalidOrder { order, grid, detail } => {
+                write!(f, "tile order {order} is not a bijection over grid {grid}: {detail}")
+            }
+            CuSyncError::GridMismatch { stage, stage_grid, kernel_grid } => {
+                write!(
+                    f,
+                    "kernel grid {kernel_grid} does not match stage {stage} grid {stage_grid}"
+                )
+            }
+            CuSyncError::DuplicateProducer { buffer } => {
+                write!(f, "buffer {buffer} already has a producer stage")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CuSyncError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_context() {
+        let e = CuSyncError::GridMismatch {
+            stage: "gemm2".into(),
+            stage_grid: Dim3::new(48, 1, 1),
+            kernel_grid: Dim3::new(24, 1, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemm2") && s.contains("48x1x1") && s.contains("24x1x1"), "{s}");
+    }
+}

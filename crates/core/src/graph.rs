@@ -1,0 +1,379 @@
+//! The synchronization graph: stages plus buffer-level dependencies, and
+//! binding them onto a simulated GPU.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use cusync_sim::{BufferId, Gpu, StreamId};
+
+use crate::error::CuSyncError;
+use crate::order::TileSchedule;
+use crate::stage::{CuStage, StageId, StageRuntime};
+
+/// Declares dependent kernels and the buffers that connect them — the
+/// `CuSync::dependency(prod, cons, XW1)` API of Fig. 4a.
+///
+/// # Examples
+///
+/// ```
+/// use cusync::{CuStage, RowSync, SyncGraph, TileSync};
+/// use cusync_sim::{DType, Dim3, Gpu, GpuConfig};
+///
+/// let mut gpu = Gpu::new(GpuConfig::tesla_v100());
+/// let xw1 = gpu.alloc("xw1", 48 * 64, DType::F16);
+///
+/// let mut graph = SyncGraph::new();
+/// let prod = graph.add_stage(CuStage::new("gemm1", Dim3::new(24, 1, 1)).policy(TileSync));
+/// let cons = graph.add_stage(CuStage::new("gemm2", Dim3::new(48, 1, 1)).policy(RowSync));
+/// graph.dependency(prod, cons, xw1)?;
+/// let bound = graph.bind(&mut gpu)?;
+/// assert!(bound.stage(cons).has_producers());
+/// # Ok::<(), cusync::CuSyncError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SyncGraph {
+    stages: Vec<CuStage>,
+    deps: Vec<(usize, usize, BufferId)>,
+}
+
+impl SyncGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        SyncGraph::default()
+    }
+
+    /// Adds a stage, returning its id.
+    pub fn add_stage(&mut self, stage: CuStage) -> StageId {
+        let id = StageId(self.stages.len());
+        self.stages.push(stage);
+        id
+    }
+
+    /// Declares that `buffer`, produced by stage `prod`, is consumed by
+    /// stage `cons`: reads of `buffer` in the consumer kernel must wait for
+    /// the producer's tiles per the producer's policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either stage id is unknown, the stages are
+    /// equal, or `buffer` already has a different producer.
+    pub fn dependency(
+        &mut self,
+        prod: StageId,
+        cons: StageId,
+        buffer: BufferId,
+    ) -> Result<(), CuSyncError> {
+        for id in [prod, cons] {
+            if id.0 >= self.stages.len() {
+                return Err(CuSyncError::UnknownStage { index: id.0 });
+            }
+        }
+        if prod == cons {
+            return Err(CuSyncError::DependencyCycle {
+                stage: self.stages[prod.0].name().to_owned(),
+            });
+        }
+        if self
+            .deps
+            .iter()
+            .any(|&(p, _, b)| b == buffer && p != prod.0)
+        {
+            return Err(CuSyncError::DuplicateProducer {
+                buffer: format!("{buffer}"),
+            });
+        }
+        self.deps.push((prod.0, cons.0, buffer));
+        Ok(())
+    }
+
+    /// Number of stages added so far.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the graph has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    fn topo_order(&self) -> Result<Vec<usize>, CuSyncError> {
+        let n = self.stages.len();
+        let mut indegree = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(p, c, _) in &self.deps {
+            out[p].push(c);
+            indegree[c] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for &c in &out[v] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() != n {
+            let cyclic = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
+            return Err(CuSyncError::DependencyCycle {
+                stage: self.stages[cyclic].name().to_owned(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Allocates semaphores, builds tile schedules, resolves producer
+    /// links, and creates one stream per stage on `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dependency relation is cyclic or a tile
+    /// order is not a bijection over its stage's grid.
+    pub fn bind(&self, gpu: &mut Gpu) -> Result<BoundGraph, CuSyncError> {
+        let order = self.topo_order()?;
+        let mut runtimes: Vec<Option<Arc<StageRuntime>>> = vec![None; self.stages.len()];
+        let mut streams = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let _ = stage; // streams created in stage order for determinism
+            streams.push(gpu.create_stream(0));
+        }
+        for &i in &order {
+            let stage = &self.stages[i];
+            let grid = stage.grid();
+            let policy = Arc::clone(stage.policy_handle());
+            let opts = stage.opt_flags();
+            let num_sems = policy.num_sems(grid);
+            let sems = (num_sems > 0)
+                .then(|| gpu.alloc_sems(&format!("{}.sems", stage.name()), num_sems, 0));
+            let start_sem = gpu.alloc_sems(&format!("{}.start", stage.name()), 1, 0);
+            let schedule = TileSchedule::build(stage.order_handle().as_ref(), grid)?;
+            // The paper's custom tile-order mechanism is active by default
+            // (hardware issue order is undocumented, so cuSync enforces its
+            // own); the T optimization elides the counter and table lookup,
+            // trusting the hardware order (Section IV-C).
+            let use_counter = !opts.avoid_custom_order;
+            let counter = use_counter
+                .then(|| gpu.alloc_sems(&format!("{}.order", stage.name()), 1, 0));
+            let producers = self
+                .deps
+                .iter()
+                .filter(|&&(_, c, _)| c == i)
+                .map(|&(p, _, buffer)| {
+                    let rt = runtimes[p].as_ref().expect("topo order broken");
+                    (buffer, Arc::clone(rt))
+                })
+                .collect();
+            runtimes[i] = Some(Arc::new(StageRuntime {
+                name: stage.name().to_owned(),
+                grid,
+                policy,
+                opts,
+                sems,
+                start_sem,
+                counter,
+                schedule: use_counter.then_some(schedule),
+                producers,
+            }));
+        }
+        Ok(BoundGraph {
+            stages: runtimes.into_iter().map(|r| r.expect("all bound")).collect(),
+            streams,
+        })
+    }
+}
+
+/// A [`SyncGraph`] bound to a GPU: per-stage runtimes and streams.
+pub struct BoundGraph {
+    stages: Vec<Arc<StageRuntime>>,
+    streams: Vec<StreamId>,
+}
+
+impl fmt::Debug for BoundGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundGraph")
+            .field("stages", &self.stages.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BoundGraph {
+    /// Runtime of stage `id`, to be captured by its instrumented kernel.
+    pub fn stage(&self, id: StageId) -> &Arc<StageRuntime> {
+        &self.stages[id.0]
+    }
+
+    /// Stream assigned to stage `id`.
+    pub fn stream(&self, id: StageId) -> StreamId {
+        self.streams[id.0]
+    }
+
+    /// All stage runtimes, in declaration order.
+    pub fn stages(&self) -> &[Arc<StageRuntime>] {
+        &self.stages
+    }
+
+    /// Per-stage policy summary like `"gemm1:TileSync -> gemm2:RowSync"`.
+    pub fn describe(&self) -> String {
+        let parts: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| format!("{}:{}", s.name(), s.policy_name()))
+            .collect();
+        parts.join(" -> ")
+    }
+}
+
+/// Quick dependency map from buffers to producing stage names, useful in
+/// diagnostics and tests.
+pub fn producer_map(graph: &BoundGraph) -> HashMap<BufferId, String> {
+    let mut map = HashMap::new();
+    for stage in graph.stages() {
+        for (buffer, producer) in &stage.producers {
+            map.insert(*buffer, producer.name().to_owned());
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{RowSync, TileSync};
+    use crate::OptFlags;
+    use cusync_sim::{DType, Dim3, GpuConfig};
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig::toy(4))
+    }
+
+    #[test]
+    fn bind_allocates_policy_semaphores() {
+        let mut gpu = gpu();
+        let buf = gpu.alloc("xw1", 64, DType::F16);
+        let mut graph = SyncGraph::new();
+        let p = graph.add_stage(CuStage::new("p", Dim3::new(3, 2, 1)).policy(TileSync));
+        let c = graph.add_stage(CuStage::new("c", Dim3::new(3, 2, 1)).policy(RowSync));
+        graph.dependency(p, c, buf).unwrap();
+        let bound = graph.bind(&mut gpu).unwrap();
+        let psems = bound.stage(p).sem_array().unwrap();
+        assert_eq!(gpu.sems().len(psems), 6); // TileSync: one per tile
+        let csems = bound.stage(c).sem_array().unwrap();
+        assert_eq!(gpu.sems().len(csems), 2); // RowSync: one per row
+        assert_eq!(bound.describe(), "p:TileSync -> c:RowSync");
+    }
+
+    #[test]
+    fn consumer_wait_targets_producer_policy() {
+        let mut gpu = gpu();
+        let buf = gpu.alloc("xw1", 64, DType::F16);
+        let mut graph = SyncGraph::new();
+        let p = graph.add_stage(CuStage::new("p", Dim3::new(3, 2, 1)).policy(RowSync));
+        let c = graph.add_stage(CuStage::new("c", Dim3::new(6, 2, 1)).policy(TileSync));
+        graph.dependency(p, c, buf).unwrap();
+        let bound = graph.bind(&mut gpu).unwrap();
+        let op = bound.stage(c).wait_op(buf, Dim3::new(1, 1, 0)).unwrap();
+        match op {
+            cusync_sim::Op::SemWait { table, index, value } => {
+                assert_eq!(table, bound.stage(p).sem_array().unwrap());
+                assert_eq!(index, 1); // row 1
+                assert_eq!(value, 3); // all 3 tiles of the row
+            }
+            other => panic!("expected SemWait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut gpu = gpu();
+        let b1 = gpu.alloc("b1", 4, DType::F16);
+        let b2 = gpu.alloc("b2", 4, DType::F16);
+        let mut graph = SyncGraph::new();
+        let a = graph.add_stage(CuStage::new("a", Dim3::ONE));
+        let b = graph.add_stage(CuStage::new("b", Dim3::ONE));
+        graph.dependency(a, b, b1).unwrap();
+        graph.dependency(b, a, b2).unwrap();
+        assert!(matches!(
+            graph.bind(&mut gpu),
+            Err(CuSyncError::DependencyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn self_dependency_is_rejected() {
+        let mut gpu = gpu();
+        let b = gpu.alloc("b", 4, DType::F16);
+        let mut graph = SyncGraph::new();
+        let a = graph.add_stage(CuStage::new("a", Dim3::ONE));
+        assert!(graph.dependency(a, a, b).is_err());
+    }
+
+    #[test]
+    fn duplicate_producer_is_rejected() {
+        let mut gpu = gpu();
+        let buf = gpu.alloc("shared", 4, DType::F16);
+        let mut graph = SyncGraph::new();
+        let a = graph.add_stage(CuStage::new("a", Dim3::ONE));
+        let b = graph.add_stage(CuStage::new("b", Dim3::ONE));
+        let c = graph.add_stage(CuStage::new("c", Dim3::ONE));
+        graph.dependency(a, c, buf).unwrap();
+        assert!(matches!(
+            graph.dependency(b, c, buf),
+            Err(CuSyncError::DuplicateProducer { .. })
+        ));
+        // Same producer to a second consumer is fine.
+        let d = graph.add_stage(CuStage::new("d", Dim3::ONE));
+        graph.dependency(a, d, buf).unwrap();
+    }
+
+    #[test]
+    fn counter_active_by_default_elided_by_t_flag() {
+        let mut gpu = gpu();
+        let mut graph = SyncGraph::new();
+        let s = graph.add_stage(CuStage::new("s", Dim3::new(4, 4, 1)));
+        let t = graph.add_stage(
+            CuStage::new("t", Dim3::new(4, 4, 1)).opts(OptFlags::WRT),
+        );
+        let bound = graph.bind(&mut gpu).unwrap();
+        // Without +T the atomic-counter mechanism runs even for the
+        // row-major order (the hardware order is not trusted).
+        assert!(bound.stage(s).tile_counter().is_some());
+        assert_eq!(bound.stage(s).tile_at(5), Dim3::new(1, 1, 0));
+        assert!(bound.stage(t).tile_counter().is_none());
+    }
+
+    #[test]
+    fn column_major_order_uses_counter_unless_t_flag() {
+        let mut gpu = gpu();
+        let mut graph = SyncGraph::new();
+        let s1 = graph.add_stage(
+            CuStage::new("s1", Dim3::new(4, 4, 1)).order(crate::order::ColumnMajor),
+        );
+        let s2 = graph.add_stage(
+            CuStage::new("s2", Dim3::new(4, 4, 1))
+                .order(crate::order::ColumnMajor)
+                .opts(OptFlags::WRT),
+        );
+        let bound = graph.bind(&mut gpu).unwrap();
+        assert!(bound.stage(s1).tile_counter().is_some());
+        assert_eq!(bound.stage(s1).tile_at(1), Dim3::new(0, 1, 0));
+        assert!(bound.stage(s2).tile_counter().is_none());
+    }
+
+    #[test]
+    fn producer_map_names_producers() {
+        let mut gpu = gpu();
+        let buf = gpu.alloc("xw1", 64, DType::F16);
+        let mut graph = SyncGraph::new();
+        let p = graph.add_stage(CuStage::new("p", Dim3::new(2, 2, 1)));
+        let c = graph.add_stage(CuStage::new("c", Dim3::new(2, 2, 1)));
+        graph.dependency(p, c, buf).unwrap();
+        let bound = graph.bind(&mut gpu).unwrap();
+        assert_eq!(producer_map(&bound).get(&buf).map(String::as_str), Some("p"));
+    }
+}

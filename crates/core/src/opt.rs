@@ -1,0 +1,138 @@
+//! The W/R/T optimizations of Section IV-C.
+
+use std::fmt;
+
+/// Optimization switches applied to a synchronized stage (Section IV-C).
+///
+/// The paper's policy names suffix the enabled letters: `TileSync+WRT` is
+/// [`TileSync`](crate::TileSync) with all three optimizations.
+///
+/// # Examples
+///
+/// ```
+/// use cusync::OptFlags;
+///
+/// let wrt = OptFlags::WRT;
+/// assert!(wrt.avoid_wait_kernel && wrt.reorder_loads && wrt.avoid_custom_order);
+/// assert_eq!(wrt.to_string(), "+WRT");
+/// assert_eq!(OptFlags::NONE.to_string(), "");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OptFlags {
+    /// **W** — skip the wait-kernel (Section III-B) when the schedule makes
+    /// it unnecessary (both kernels fit in under two waves).
+    pub avoid_wait_kernel: bool,
+    /// **R** — reorder tile loads so that waiting on a dependent tile
+    /// overlaps with loading an independent one (swap lines 6–7 with 8–9 of
+    /// Fig. 4a).
+    pub reorder_loads: bool,
+    /// **T** — skip the custom tile processing order (and its atomic
+    /// counter), trusting the hardware issue order.
+    pub avoid_custom_order: bool,
+}
+
+impl OptFlags {
+    /// No optimizations (the paper's "Vanilla" configuration in Table V).
+    pub const NONE: OptFlags = OptFlags {
+        avoid_wait_kernel: false,
+        reorder_loads: false,
+        avoid_custom_order: false,
+    };
+
+    /// Only reorder tile loads (`+R`).
+    pub const R: OptFlags = OptFlags {
+        avoid_wait_kernel: false,
+        reorder_loads: true,
+        avoid_custom_order: false,
+    };
+
+    /// Avoid the wait-kernel and reorder loads (`+WR`).
+    pub const WR: OptFlags = OptFlags {
+        avoid_wait_kernel: true,
+        reorder_loads: true,
+        avoid_custom_order: false,
+    };
+
+    /// All optimizations (`+WRT`).
+    pub const WRT: OptFlags = OptFlags {
+        avoid_wait_kernel: true,
+        reorder_loads: true,
+        avoid_custom_order: true,
+    };
+
+    /// The automatic decision rule of Section IV-C: the wait-kernel and the
+    /// custom tile order can be elided when both the producer and the
+    /// consumer fit within two waves.
+    pub fn auto(producer_waves: f64, consumer_waves: f64) -> OptFlags {
+        let few_waves = producer_waves < 2.0 && consumer_waves < 2.0;
+        OptFlags {
+            avoid_wait_kernel: few_waves,
+            reorder_loads: true,
+            avoid_custom_order: few_waves,
+        }
+    }
+
+    /// All eight combinations, for ablation sweeps (Table V).
+    pub fn all() -> [OptFlags; 8] {
+        let mut out = [OptFlags::NONE; 8];
+        for (i, flags) in out.iter_mut().enumerate() {
+            flags.avoid_wait_kernel = i & 0b100 != 0;
+            flags.reorder_loads = i & 0b010 != 0;
+            flags.avoid_custom_order = i & 0b001 != 0;
+        }
+        out
+    }
+}
+
+impl fmt::Display for OptFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == OptFlags::NONE {
+            return Ok(());
+        }
+        write!(f, "+")?;
+        if self.avoid_wait_kernel {
+            write!(f, "W")?;
+        }
+        if self.reorder_loads {
+            write!(f, "R")?;
+        }
+        if self.avoid_custom_order {
+            write!(f, "T")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_names() {
+        assert_eq!(OptFlags::R.to_string(), "+R");
+        assert_eq!(OptFlags::WR.to_string(), "+WR");
+        assert_eq!(OptFlags::WRT.to_string(), "+WRT");
+    }
+
+    #[test]
+    fn auto_elides_wait_kernel_only_for_few_waves() {
+        let small = OptFlags::auto(0.6, 0.9);
+        assert!(small.avoid_wait_kernel && small.avoid_custom_order);
+        let large = OptFlags::auto(2.4, 4.8);
+        assert!(!large.avoid_wait_kernel && !large.avoid_custom_order);
+        // Reordering loads is always profitable.
+        assert!(small.reorder_loads && large.reorder_loads);
+    }
+
+    #[test]
+    fn all_enumerates_distinct_combinations() {
+        let all = OptFlags::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(all.contains(&OptFlags::WRT));
+        assert!(all.contains(&OptFlags::NONE));
+    }
+}

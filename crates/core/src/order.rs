@@ -1,0 +1,309 @@
+//! Tile processing orders (Section III-C).
+//!
+//! A [`TileOrder`] assigns each tile of a grid a distinct position in a
+//! 1-D processing sequence. At run time, every thread block atomically
+//! increments a global counter and computes the tile at the position it
+//! drew — decoupling *which tile is computed when* from the hardware's
+//! block scheduling. `cuSyncGen` generates orders that schedule all
+//! producer tiles of one consumer tile consecutively (Section IV-A).
+
+use std::fmt;
+use std::sync::Arc;
+
+use cusync_sim::Dim3;
+
+use crate::error::CuSyncError;
+
+/// A total order over the tiles of a grid.
+pub trait TileOrder: Send + Sync + fmt::Debug {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// Position of `tile` in the processing sequence; must be a bijection
+    /// onto `0..grid.count()` (validated when a stage is bound).
+    fn position(&self, tile: Dim3, grid: Dim3) -> u64;
+}
+
+/// Shared handle to a tile order.
+pub type OrderRef = Arc<dyn TileOrder>;
+
+/// Row-major order: all tiles of a row before the next row (Fig. 4b line
+/// 29: `tile.y * grid.x + tile.x`), z slowest. This matches the engine's
+/// natural issue order, so stages detect it as the identity and skip the
+/// atomic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowMajor;
+
+impl TileOrder for RowMajor {
+    fn name(&self) -> String {
+        "RowMajor".into()
+    }
+
+    fn position(&self, tile: Dim3, grid: Dim3) -> u64 {
+        grid.linear_of(tile)
+    }
+}
+
+/// Column-major order: walk down each column of tiles before moving right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnMajor;
+
+impl TileOrder for ColumnMajor {
+    fn name(&self) -> String {
+        "ColumnMajor".into()
+    }
+
+    fn position(&self, tile: Dim3, grid: Dim3) -> u64 {
+        (tile.z as u64 * grid.x as u64 + tile.x as u64) * grid.y as u64 + tile.y as u64
+    }
+}
+
+/// An explicit order given by a table mapping row-major tile index to
+/// processing position. This is how `cuSyncGen`-generated orders (which
+/// group the producer tiles of each consumer consecutively) are plugged in.
+#[derive(Debug, Clone)]
+pub struct TableOrder {
+    name: String,
+    positions: Arc<Vec<u64>>,
+}
+
+impl TableOrder {
+    /// Creates an order from `positions`, where `positions[i]` is the
+    /// processing position of the tile whose row-major index is `i`.
+    ///
+    /// Bijectivity is validated when the order is bound to a stage, not
+    /// here, because the grid is not yet known.
+    pub fn new(name: &str, positions: Vec<u64>) -> Self {
+        TableOrder {
+            name: name.to_owned(),
+            positions: Arc::new(positions),
+        }
+    }
+}
+
+impl TileOrder for TableOrder {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn position(&self, tile: Dim3, grid: Dim3) -> u64 {
+        self.positions[grid.linear_of(tile) as usize]
+    }
+}
+
+/// The processing schedule of a bound stage: `schedule[c]` is the tile that
+/// the block drawing counter value `c` computes.
+#[derive(Debug, Clone)]
+pub struct TileSchedule {
+    tiles: Vec<Dim3>,
+    identity: bool,
+}
+
+impl TileSchedule {
+    /// Builds (and validates) the schedule of `order` over `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CuSyncError::InvalidOrder`] if `order` is not a bijection
+    /// onto `0..grid.count()`.
+    pub fn build(order: &dyn TileOrder, grid: Dim3) -> Result<TileSchedule, CuSyncError> {
+        let count = grid.count();
+        let invalid = |detail: String| CuSyncError::InvalidOrder {
+            order: order.name(),
+            grid,
+            detail,
+        };
+        let mut tiles = vec![Dim3::default(); count as usize];
+        let mut seen = vec![false; count as usize];
+        for tile in grid.iter() {
+            let pos = order.position(tile, grid);
+            if pos >= count {
+                return Err(invalid(format!("tile {tile} maps to position {pos} >= {count}")));
+            }
+            if seen[pos as usize] {
+                return Err(invalid(format!("position {pos} assigned twice")));
+            }
+            seen[pos as usize] = true;
+            tiles[pos as usize] = tile;
+        }
+        let identity = tiles
+            .iter()
+            .enumerate()
+            .all(|(i, &tile)| grid.linear_of(tile) == i as u64);
+        Ok(TileSchedule { tiles, identity })
+    }
+
+    /// Tile at processing position `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn tile_at(&self, position: u64) -> Dim3 {
+        self.tiles[position as usize]
+    }
+
+    /// True when the schedule equals the hardware issue order, in which
+    /// case the atomic counter can be skipped with no behavioural change.
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Number of tiles in the schedule.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+}
+
+/// Builds the producer order of Section IV-A: for a dependence where
+/// consumer tile `(x, y)` needs the `group` producer tiles returned by
+/// `producers_of`, schedule each consumer's producer tiles consecutively,
+/// consumers visited in row-major order.
+///
+/// Producer tiles shared between consumers are scheduled at their first
+/// use; any producer tile not claimed by a consumer is appended at the end.
+///
+/// # Examples
+///
+/// ```
+/// use cusync::order::{producer_grouped_order, TileOrder};
+/// use cusync_sim::Dim3;
+///
+/// // Producer 4x1; consumers 2x1, each needing producer tiles {2c, 2c+1}.
+/// let order = producer_grouped_order(
+///     "grouped",
+///     Dim3::new(4, 1, 1),
+///     Dim3::new(2, 1, 1),
+///     |c| vec![Dim3::new(2 * c.x, 0, 0), Dim3::new(2 * c.x + 1, 0, 0)],
+/// );
+/// let grid = Dim3::new(4, 1, 1);
+/// assert_eq!(order.position(Dim3::new(0, 0, 0), grid), 0);
+/// assert_eq!(order.position(Dim3::new(1, 0, 0), grid), 1);
+/// assert_eq!(order.position(Dim3::new(2, 0, 0), grid), 2);
+/// ```
+pub fn producer_grouped_order<F>(
+    name: &str,
+    producer_grid: Dim3,
+    consumer_grid: Dim3,
+    producers_of: F,
+) -> TableOrder
+where
+    F: Fn(Dim3) -> Vec<Dim3>,
+{
+    let count = producer_grid.count() as usize;
+    let mut positions = vec![u64::MAX; count];
+    let mut next = 0u64;
+    for consumer in consumer_grid.iter() {
+        for tile in producers_of(consumer) {
+            if !producer_grid.contains(tile) {
+                continue;
+            }
+            let idx = producer_grid.linear_of(tile) as usize;
+            if positions[idx] == u64::MAX {
+                positions[idx] = next;
+                next += 1;
+            }
+        }
+    }
+    for pos in positions.iter_mut() {
+        if *pos == u64::MAX {
+            *pos = next;
+            next += 1;
+        }
+    }
+    TableOrder::new(name, positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_is_identity_schedule() {
+        let grid = Dim3::new(4, 3, 2);
+        let schedule = TileSchedule::build(&RowMajor, grid).unwrap();
+        assert!(schedule.is_identity());
+        assert_eq!(schedule.len(), 24);
+        assert_eq!(schedule.tile_at(5), grid.delinear(5));
+    }
+
+    #[test]
+    fn column_major_is_a_valid_non_identity_order() {
+        let grid = Dim3::new(3, 2, 1);
+        let schedule = TileSchedule::build(&ColumnMajor, grid).unwrap();
+        assert!(!schedule.is_identity());
+        // Positions walk down column 0 first.
+        assert_eq!(schedule.tile_at(0), Dim3::new(0, 0, 0));
+        assert_eq!(schedule.tile_at(1), Dim3::new(0, 1, 0));
+        assert_eq!(schedule.tile_at(2), Dim3::new(1, 0, 0));
+    }
+
+    #[test]
+    fn column_major_on_single_row_is_identity() {
+        let grid = Dim3::new(5, 1, 1);
+        let schedule = TileSchedule::build(&ColumnMajor, grid).unwrap();
+        assert!(schedule.is_identity());
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let grid = Dim3::new(2, 1, 1);
+        let dup = TableOrder::new("dup", vec![0, 0]);
+        assert!(matches!(
+            TileSchedule::build(&dup, grid),
+            Err(CuSyncError::InvalidOrder { .. })
+        ));
+        let oob = TableOrder::new("oob", vec![0, 7]);
+        let err = TileSchedule::build(&oob, grid).unwrap_err();
+        assert!(err.to_string().contains("position 7"), "{err}");
+    }
+
+    #[test]
+    fn grouped_order_schedules_producers_consecutively() {
+        // MLP-style: consumer (x, y) needs the whole producer row y.
+        // Producer 3x2; consumers in row-major order group rows 0 then 1.
+        let producer = Dim3::new(3, 2, 1);
+        let consumer = Dim3::new(6, 2, 1);
+        let order = producer_grouped_order("mlp", producer, consumer, |c| {
+            (0..3).map(|x| Dim3::new(x, c.y, 0)).collect()
+        });
+        let schedule = TileSchedule::build(&order, producer).unwrap();
+        // Row-major already schedules row 0 before row 1, so identity.
+        assert!(schedule.is_identity());
+    }
+
+    #[test]
+    fn grouped_order_reorders_strided_producers() {
+        // Consumer tile x needs producer tiles {x, x + 2} (stride 2 of 2):
+        // order should be 0,2,1,3.
+        let producer = Dim3::new(4, 1, 1);
+        let consumer = Dim3::new(2, 1, 1);
+        let order = producer_grouped_order("strided", producer, consumer, |c| {
+            vec![Dim3::new(c.x, 0, 0), Dim3::new(c.x + 2, 0, 0)]
+        });
+        let schedule = TileSchedule::build(&order, producer).unwrap();
+        assert!(!schedule.is_identity());
+        assert_eq!(schedule.tile_at(0), Dim3::new(0, 0, 0));
+        assert_eq!(schedule.tile_at(1), Dim3::new(2, 0, 0));
+        assert_eq!(schedule.tile_at(2), Dim3::new(1, 0, 0));
+        assert_eq!(schedule.tile_at(3), Dim3::new(3, 0, 0));
+    }
+
+    #[test]
+    fn grouped_order_appends_unclaimed_tiles() {
+        let producer = Dim3::new(3, 1, 1);
+        let consumer = Dim3::new(1, 1, 1);
+        let order = producer_grouped_order("partial", producer, consumer, |_| {
+            vec![Dim3::new(1, 0, 0)]
+        });
+        let schedule = TileSchedule::build(&order, producer).unwrap();
+        assert_eq!(schedule.tile_at(0), Dim3::new(1, 0, 0));
+        // Unclaimed tiles 0 and 2 follow in row-major order.
+        assert_eq!(schedule.tile_at(1), Dim3::new(0, 0, 0));
+        assert_eq!(schedule.tile_at(2), Dim3::new(2, 0, 0));
+    }
+}

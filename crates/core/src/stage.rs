@@ -1,0 +1,315 @@
+//! Stage declarations ([`CuStage`]) and their bound runtime form
+//! ([`StageRuntime`]) used by instrumented kernels.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cusync_sim::{BufferId, Dim3, Op, SemArrayId};
+
+use crate::opt::OptFlags;
+use crate::order::{OrderRef, RowMajor, TileSchedule};
+use crate::policy::{PolicyRef, TileSync};
+
+/// Identifier of a stage within a [`SyncGraph`](crate::SyncGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageId(pub(crate) usize);
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage{}", self.0)
+    }
+}
+
+/// Declaration of one synchronized kernel: its tile grid, synchronization
+/// policy, tile processing order and optimization flags — the
+/// `CuStage<Order, Policy>` of Fig. 4a.
+///
+/// # Examples
+///
+/// ```
+/// use cusync::{CuStage, OptFlags, RowSync};
+/// use cusync_sim::Dim3;
+///
+/// let stage = CuStage::new("gemm1", Dim3::new(24, 2, 1))
+///     .policy(RowSync)
+///     .opts(OptFlags::WRT);
+/// assert_eq!(stage.name(), "gemm1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuStage {
+    name: String,
+    grid: Dim3,
+    policy: PolicyRef,
+    order: OrderRef,
+    opts: OptFlags,
+}
+
+impl CuStage {
+    /// Creates a stage with the default [`TileSync`] policy, [`RowMajor`]
+    /// order and no optimizations.
+    pub fn new(name: &str, grid: Dim3) -> Self {
+        CuStage {
+            name: name.to_owned(),
+            grid,
+            policy: Arc::new(TileSync),
+            order: Arc::new(RowMajor),
+            opts: OptFlags::NONE,
+        }
+    }
+
+    /// Sets the synchronization policy.
+    pub fn policy(mut self, policy: impl crate::SyncPolicy + 'static) -> Self {
+        self.policy = Arc::new(policy);
+        self
+    }
+
+    /// Sets the synchronization policy from a shared handle.
+    pub fn policy_ref(mut self, policy: PolicyRef) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the tile processing order.
+    pub fn order(mut self, order: impl crate::TileOrder + 'static) -> Self {
+        self.order = Arc::new(order);
+        self
+    }
+
+    /// Sets the tile processing order from a shared handle.
+    pub fn order_ref(mut self, order: OrderRef) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the optimization flags.
+    pub fn opts(mut self, opts: OptFlags) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tile grid (equals the kernel grid: one tile per thread block).
+    pub fn grid(&self) -> Dim3 {
+        self.grid
+    }
+
+    /// The configured policy.
+    pub fn policy_handle(&self) -> &PolicyRef {
+        &self.policy
+    }
+
+    /// The configured order.
+    pub fn order_handle(&self) -> &OrderRef {
+        &self.order
+    }
+
+    /// The configured optimization flags.
+    pub fn opt_flags(&self) -> OptFlags {
+        self.opts
+    }
+}
+
+/// A stage bound to a GPU: semaphores allocated, tile schedule built,
+/// producer links resolved. Instrumented kernels hold an
+/// `Arc<StageRuntime>` and call these methods to obtain the synchronization
+/// [`Op`]s to issue — the `stage.start() / stage.tile() / stage.wait() /
+/// stage.post()` calls of Fig. 4a.
+pub struct StageRuntime {
+    pub(crate) name: String,
+    pub(crate) grid: Dim3,
+    pub(crate) policy: PolicyRef,
+    pub(crate) opts: OptFlags,
+    /// Tile-status semaphores; `None` when the policy needs none.
+    pub(crate) sems: Option<SemArrayId>,
+    /// One-element semaphore posted by the first thread block
+    /// (Section III-B wait-kernel handshake).
+    pub(crate) start_sem: SemArrayId,
+    /// Atomic counter for the custom tile order; `None` when the order is
+    /// the identity or the `T` optimization disabled it.
+    pub(crate) counter: Option<SemArrayId>,
+    pub(crate) schedule: Option<TileSchedule>,
+    /// Buffer-level dependencies: reading `BufferId` requires waiting on
+    /// the linked producer stage.
+    pub(crate) producers: Vec<(BufferId, Arc<StageRuntime>)>,
+}
+
+impl fmt::Debug for StageRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageRuntime")
+            .field("name", &self.name)
+            .field("grid", &self.grid)
+            .field("policy", &self.policy.name())
+            .field("opts", &self.opts)
+            .field("custom_order", &self.counter.is_some())
+            .field("producers", &self.producers.len())
+            .finish()
+    }
+}
+
+impl StageRuntime {
+    /// Stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tile grid of this stage.
+    pub fn grid(&self) -> Dim3 {
+        self.grid
+    }
+
+    /// Optimization flags in effect.
+    pub fn opts(&self) -> OptFlags {
+        self.opts
+    }
+
+    /// Policy name, for reports.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// `stage.start()`: the op posted by the *first* thread block to
+    /// release any consumer wait-kernels, or `None` for other blocks.
+    pub fn start_op(&self, block: Dim3) -> Option<Op> {
+        (block == Dim3::new(0, 0, 0)).then_some(Op::SemPost {
+            table: self.start_sem,
+            index: 0,
+            inc: 1,
+        })
+    }
+
+    /// `stage.tile()` part 1: if a custom tile order is active, the atomic
+    /// counter to fetch-add (the kernel then passes the previous value to
+    /// [`StageRuntime::tile_at`]); `None` means the block computes its own
+    /// grid index (hardware order).
+    pub fn tile_counter(&self) -> Option<SemArrayId> {
+        self.counter
+    }
+
+    /// `stage.tile()` part 2: the tile at processing position `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no custom order is active or `position` is out of range.
+    pub fn tile_at(&self, position: u32) -> Dim3 {
+        self.schedule
+            .as_ref()
+            .expect("tile_at requires a custom tile order")
+            .tile_at(position as u64)
+    }
+
+    /// `stage.wait(buffer, ...)`: the semaphore wait required before
+    /// reading `requested` of `buffer`, or `None` when the buffer is not a
+    /// declared dependency (the wait is a no-op, Fig. 4a).
+    pub fn wait_op(&self, buffer: BufferId, requested: Dim3) -> Option<Op> {
+        let (_, producer) = self.producers.iter().find(|(b, _)| *b == buffer)?;
+        let table = producer.sems?;
+        let index = producer.policy.wait_sem(requested, producer.grid);
+        let value = producer.policy.expected(requested, producer.grid);
+        Some(Op::SemWait { table, index, value })
+    }
+
+    /// `stage.post(tile)`: the fence + post op pair signalling `tile`
+    /// complete, or `None` when the policy allocates no semaphores.
+    pub fn post_ops(&self, tile: Dim3) -> Option<[Op; 2]> {
+        let table = self.sems?;
+        let index = self.policy.post_sem(tile, self.grid);
+        Some([Op::Fence, Op::SemPost { table, index, inc: 1 }])
+    }
+
+    /// Whether the kernel should reorder independent tile loads before
+    /// dependent ones (the `R` optimization).
+    pub fn reorder_loads(&self) -> bool {
+        self.opts.reorder_loads
+    }
+
+    /// Distinct producer stages this stage depends on (used to build its
+    /// wait-kernel).
+    pub fn producer_stages(&self) -> Vec<Arc<StageRuntime>> {
+        let mut out: Vec<Arc<StageRuntime>> = Vec::new();
+        for (_, p) in &self.producers {
+            if !out.iter().any(|q| Arc::ptr_eq(q, p)) {
+                out.push(Arc::clone(p));
+            }
+        }
+        out
+    }
+
+    /// True when this stage has at least one declared producer.
+    pub fn has_producers(&self) -> bool {
+        !self.producers.is_empty()
+    }
+
+    /// The start semaphore other stages' wait-kernels poll.
+    pub fn start_sem(&self) -> SemArrayId {
+        self.start_sem
+    }
+
+    /// The tile-status semaphore array, if any.
+    pub fn sem_array(&self) -> Option<SemArrayId> {
+        self.sems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{NoSync, RowSync};
+
+    fn runtime(grid: Dim3, policy: PolicyRef) -> StageRuntime {
+        StageRuntime {
+            name: "test".into(),
+            grid,
+            policy,
+            opts: OptFlags::NONE,
+            sems: None,
+            start_sem: dummy_sem(),
+            counter: None,
+            schedule: None,
+            producers: Vec::new(),
+        }
+    }
+
+    fn dummy_sem() -> SemArrayId {
+        // Allocate through a real table so the id is well-formed.
+        let mut t = cusync_sim::SemTable::new();
+        t.alloc("d", 1, 0)
+    }
+
+    #[test]
+    fn start_op_only_for_first_block() {
+        let rt = runtime(Dim3::new(4, 4, 1), Arc::new(RowSync));
+        assert!(rt.start_op(Dim3::new(0, 0, 0)).is_some());
+        assert!(rt.start_op(Dim3::new(1, 0, 0)).is_none());
+        assert!(rt.start_op(Dim3::new(0, 1, 0)).is_none());
+    }
+
+    #[test]
+    fn wait_is_noop_for_undeclared_buffers() {
+        let rt = runtime(Dim3::new(4, 4, 1), Arc::new(RowSync));
+        let mut mem = cusync_sim::GlobalMemory::new();
+        let buf = mem.alloc("w", 16, cusync_sim::DType::F16);
+        assert!(rt.wait_op(buf, Dim3::new(0, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn post_is_noop_without_semaphores() {
+        let rt = runtime(Dim3::new(4, 4, 1), Arc::new(NoSync));
+        assert!(rt.post_ops(Dim3::new(0, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn stage_builder_configures_fields() {
+        let s = CuStage::new("s", Dim3::new(2, 2, 1))
+            .policy(RowSync)
+            .order(crate::order::ColumnMajor)
+            .opts(OptFlags::WR);
+        assert_eq!(s.grid(), Dim3::new(2, 2, 1));
+        assert_eq!(s.policy_handle().name(), "RowSync");
+        assert_eq!(s.order_handle().name(), "ColumnMajor");
+        assert_eq!(s.opt_flags(), OptFlags::WR);
+    }
+}

@@ -1,0 +1,182 @@
+//! Bounds checking of dependency specifications (workflow step 2 of
+//! Section IV-A: "cuSyncGen checks bounds of producer and consumer tiles
+//! based on grid values").
+
+use std::fmt;
+
+use cusync_sim::Dim3;
+
+use crate::dsl::{DepDecl, DepSpec, GridId};
+
+/// Errors detected while analyzing a [`DepSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A dependence references a producer tile outside the producer grid.
+    OutOfBounds {
+        /// Consumer grid name.
+        consumer: String,
+        /// Producer grid name.
+        producer: String,
+        /// The consumer tile whose dependence is out of bounds.
+        consumer_tile: Dim3,
+        /// The offending producer reference.
+        produced: Dim3,
+        /// Producer grid extent.
+        extent: Dim3,
+    },
+    /// A consumer tile depends on no producer tiles at all — a degenerate
+    /// dependence that would make waits vacuous.
+    EmptyDependence {
+        /// Consumer grid name.
+        consumer: String,
+        /// The tile with no producers.
+        consumer_tile: Dim3,
+    },
+    /// A grid id was used that does not belong to this specification.
+    UnknownGrid {
+        /// Index of the unknown grid.
+        index: usize,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::OutOfBounds {
+                consumer,
+                producer,
+                consumer_tile,
+                produced,
+                extent,
+            } => write!(
+                f,
+                "dependence of {consumer} tile {consumer_tile} references {producer} tile \
+                 {produced}, outside grid {extent}"
+            ),
+            GenError::EmptyDependence { consumer, consumer_tile } => write!(
+                f,
+                "{consumer} tile {consumer_tile} has an empty producer set"
+            ),
+            GenError::UnknownGrid { index } => write!(f, "unknown grid index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+fn check_grid(spec: &DepSpec, id: GridId) -> Result<(), GenError> {
+    if id.0 >= spec.num_grids() {
+        return Err(GenError::UnknownGrid { index: id.0 });
+    }
+    Ok(())
+}
+
+/// Validates one dependence: every produced reference of every consumer
+/// tile must fall inside the producer grid.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_dep(spec: &DepSpec, dep: &DepDecl) -> Result<(), GenError> {
+    check_grid(spec, dep.consumer)?;
+    check_grid(spec, dep.producer)?;
+    let cons = spec.extent(dep.consumer);
+    let prod = spec.extent(dep.producer);
+    for tile in Dim3::new(cons.x, cons.y, 1).iter() {
+        let produced = spec.producers_of(dep, tile);
+        if produced.is_empty() {
+            return Err(GenError::EmptyDependence {
+                consumer: spec.name(dep.consumer).to_owned(),
+                consumer_tile: tile,
+            });
+        }
+        for p in produced {
+            if p.x >= prod.x || p.y >= prod.y {
+                return Err(GenError::OutOfBounds {
+                    consumer: spec.name(dep.consumer).to_owned(),
+                    producer: spec.name(dep.producer).to_owned(),
+                    consumer_tile: tile,
+                    produced: p,
+                    extent: prod,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates every dependence of `spec`.
+///
+/// # Errors
+///
+/// Returns the first violation found, in declaration order.
+pub fn check_spec(spec: &DepSpec) -> Result<(), GenError> {
+    for dep in spec.deps() {
+        check_dep(spec, dep)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{AffineExpr, Pattern};
+
+    #[test]
+    fn valid_mlp_spec_passes() {
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(24, 2, 1));
+        let g2 = spec.grid("g2", Dim3::new(48, 2, 1));
+        spec.depend(g2, g1, Pattern::ForAllX(AffineExpr::y()));
+        assert_eq!(check_spec(&spec), Ok(()));
+    }
+
+    #[test]
+    fn out_of_bounds_strided_ref_is_caught() {
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(4, 2, 1));
+        let gp = spec.grid("gP", Dim3::new(3, 2, 1));
+        // x + 3 overflows the 4-wide producer for x >= 1.
+        spec.depend(
+            gp,
+            g1,
+            Pattern::Tiles(vec![
+                (AffineExpr::x(), AffineExpr::y()),
+                (AffineExpr::x().plus(3), AffineExpr::y()),
+            ]),
+        );
+        let err = check_spec(&spec).unwrap_err();
+        match err {
+            GenError::OutOfBounds { produced, .. } => assert_eq!(produced.x, 4),
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_mismatch_is_caught() {
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(4, 1, 1));
+        let g2 = spec.grid("g2", Dim3::new(4, 2, 1));
+        // Consumer has 2 rows but producer only 1.
+        spec.depend(g2, g1, Pattern::ForAllX(AffineExpr::y()));
+        assert!(matches!(
+            check_spec(&spec),
+            Err(GenError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_grids() {
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("conv1", Dim3::new(2, 2, 1));
+        let g2 = spec.grid("conv2", Dim3::new(30, 2, 1));
+        spec.depend(
+            g2,
+            g1,
+            Pattern::Tiles(vec![(AffineExpr::x().div(9), AffineExpr::y())]),
+        );
+        let err = check_spec(&spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("conv2") && msg.contains("conv1"), "{msg}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Auto-tuning over generated policies and optimizations (Section IV:
+//! "the user can execute all generated policies and obtain the policy with
+//! least execution time").
+
+use std::fmt;
+
+use cusync::OptFlags;
+use cusync_sim::SimTime;
+
+/// One policy/optimization combination to evaluate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneCandidate {
+    /// Display name, e.g. `"RowSync+WRT"`.
+    pub name: String,
+    /// Per-stage policy names, in stage declaration order.
+    pub policy_names: Vec<String>,
+    /// Optimization flags applied to consumer stages.
+    pub opts: OptFlags,
+}
+
+impl TuneCandidate {
+    /// Creates a candidate from per-stage policy names and flags.
+    pub fn new(policy_names: Vec<String>, opts: OptFlags) -> Self {
+        let base = policy_names.last().cloned().unwrap_or_default();
+        TuneCandidate {
+            name: format!("{base}{opts}"),
+            policy_names,
+            opts,
+        }
+    }
+}
+
+/// Result of evaluating one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// The candidate evaluated.
+    pub candidate: TuneCandidate,
+    /// Total simulated execution time.
+    pub time: SimTime,
+}
+
+/// Outcome of an auto-tuning sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// All evaluated candidates, in evaluation order.
+    pub results: Vec<TuneResult>,
+}
+
+impl TuneReport {
+    /// The fastest candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidates were evaluated.
+    pub fn best(&self) -> &TuneResult {
+        self.results
+            .iter()
+            .min_by_key(|r| r.time)
+            .expect("autotune evaluated no candidates")
+    }
+
+    /// Speedup of the best candidate over the named baseline result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is not among the evaluated candidates.
+    pub fn speedup_over(&self, baseline: &str) -> f64 {
+        let base = self
+            .results
+            .iter()
+            .find(|r| r.candidate.name == baseline)
+            .unwrap_or_else(|| panic!("no candidate named {baseline:?}"));
+        base.time.as_picos() as f64 / self.best().time.as_picos() as f64
+    }
+}
+
+impl fmt::Display for TuneReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let best = self.best().candidate.name.clone();
+        for r in &self.results {
+            let marker = if r.candidate.name == best { " <== best" } else { "" };
+            writeln!(f, "{:>28}: {}{}", r.candidate.name, r.time, marker)?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates every candidate with `run` (which builds a fresh simulation
+/// and returns its total time) and reports the ranking.
+pub fn autotune<F>(candidates: Vec<TuneCandidate>, mut run: F) -> TuneReport
+where
+    F: FnMut(&TuneCandidate) -> SimTime,
+{
+    let results = candidates
+        .into_iter()
+        .map(|candidate| {
+            let time = run(&candidate);
+            TuneResult { candidate, time }
+        })
+        .collect();
+    TuneReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<TuneCandidate> {
+        vec![
+            TuneCandidate::new(vec!["TileSync".into(); 2], OptFlags::NONE),
+            TuneCandidate::new(vec!["TileSync".into(); 2], OptFlags::WRT),
+            TuneCandidate::new(vec!["RowSync".into(); 2], OptFlags::WRT),
+        ]
+    }
+
+    #[test]
+    fn autotune_picks_minimum_time() {
+        let report = autotune(candidates(), |c| {
+            // Pretend RowSync+WRT is fastest.
+            match c.name.as_str() {
+                "TileSync" => SimTime::from_micros(30.0),
+                "TileSync+WRT" => SimTime::from_micros(25.0),
+                "RowSync+WRT" => SimTime::from_micros(20.0),
+                other => panic!("unexpected candidate {other}"),
+            }
+        });
+        assert_eq!(report.best().candidate.name, "RowSync+WRT");
+        assert!((report.speedup_over("TileSync") - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_names_follow_paper_convention() {
+        let c = TuneCandidate::new(vec!["RowSync".into()], OptFlags::WRT);
+        assert_eq!(c.name, "RowSync+WRT");
+        let c = TuneCandidate::new(vec!["TileSync".into()], OptFlags::NONE);
+        assert_eq!(c.name, "TileSync");
+    }
+
+    #[test]
+    fn report_displays_ranking() {
+        let report = autotune(candidates(), |_| SimTime::from_micros(10.0));
+        let s = report.to_string();
+        assert!(s.contains("RowSync+WRT"), "{s}");
+        assert!(s.contains("<== best"), "{s}");
+    }
+}

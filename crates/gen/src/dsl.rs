@@ -1,0 +1,309 @@
+//! The dependency-description DSL (Section IV-A, Fig. 5).
+//!
+//! The paper embeds the DSL in C++; here it is embedded in Rust. A
+//! [`DepSpec`] declares kernel grids with exact extents (enabling bounds
+//! checking and efficient code), and dependencies between consumer tiles
+//! and producer tiles expressed as affine functions (with floor division)
+//! of the consumer tile coordinates, plus `ForAll` ranges over a grid
+//! dimension.
+
+use std::fmt;
+
+use cusync_sim::Dim3;
+
+/// Handle to a grid declared in a [`DepSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridId(pub(crate) usize);
+
+impl fmt::Display for GridId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// An affine index expression with floor division over a consumer tile's
+/// coordinates: `(cx*x + cy*y + offset) / div`.
+///
+/// # Examples
+///
+/// ```
+/// use cusyncgen::AffineExpr;
+/// use cusync_sim::Dim3;
+///
+/// // Fig. 5c: the producing channel tile is x / (R*S).
+/// let e = AffineExpr::x().div(9);
+/// assert_eq!(e.eval(Dim3::new(20, 3, 0)), Some(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffineExpr {
+    /// Coefficient of the consumer tile's x coordinate.
+    pub cx: i64,
+    /// Coefficient of the consumer tile's y coordinate.
+    pub cy: i64,
+    /// Constant offset.
+    pub offset: i64,
+    /// Floor divisor (>= 1).
+    pub divisor: i64,
+}
+
+impl AffineExpr {
+    /// The consumer's x coordinate.
+    pub const fn x() -> Self {
+        AffineExpr { cx: 1, cy: 0, offset: 0, divisor: 1 }
+    }
+
+    /// The consumer's y coordinate.
+    pub const fn y() -> Self {
+        AffineExpr { cy: 1, cx: 0, offset: 0, divisor: 1 }
+    }
+
+    /// A constant.
+    pub const fn constant(c: i64) -> Self {
+        AffineExpr { cx: 0, cy: 0, offset: c, divisor: 1 }
+    }
+
+    /// Adds a constant offset.
+    pub const fn plus(mut self, off: i64) -> Self {
+        self.offset += off;
+        self
+    }
+
+    /// Applies floor division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero or negative.
+    pub fn div(mut self, d: i64) -> Self {
+        assert!(d >= 1, "divisor must be positive");
+        self.divisor *= d;
+        self
+    }
+
+    /// Evaluates at a consumer tile, returning `None` when the result is
+    /// negative (out of bounds).
+    pub fn eval(&self, tile: Dim3) -> Option<u32> {
+        let v = (self.cx * tile.x as i64 + self.cy * tile.y as i64 + self.offset) / self.divisor;
+        u32::try_from(v).ok()
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut terms = Vec::new();
+        match self.cx {
+            0 => {}
+            1 => terms.push("x".to_owned()),
+            c => terms.push(format!("{c}*x")),
+        }
+        match self.cy {
+            0 => {}
+            1 => terms.push("y".to_owned()),
+            c => terms.push(format!("{c}*y")),
+        }
+        if self.offset != 0 || terms.is_empty() {
+            terms.push(self.offset.to_string());
+        }
+        let body = terms.join(" + ");
+        if self.divisor == 1 {
+            write!(f, "{body}")
+        } else {
+            write!(f, "({body})/{}", self.divisor)
+        }
+    }
+}
+
+/// The set of producer tiles one consumer tile depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Explicit tile references `P(ex_i(x,y), ey_i(x,y))`.
+    Tiles(Vec<(AffineExpr, AffineExpr)>),
+    /// All column tiles of the row `ey(x,y)`:
+    /// `ForAll(prod, x, Range(grid.x))` in the paper's syntax (Fig. 5a).
+    ForAllX(AffineExpr),
+    /// All row tiles of the column `ex(x,y)` (used by the Attention
+    /// softmax dependence of Fig. 5b, line 15).
+    ForAllY(AffineExpr),
+}
+
+/// One declared dependence: each tile of `consumer` needs the producer
+/// tiles described by `pattern`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepDecl {
+    /// Consuming grid.
+    pub consumer: GridId,
+    /// Producing grid.
+    pub producer: GridId,
+    /// Producer tiles per consumer tile.
+    pub pattern: Pattern,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct GridDecl {
+    pub name: String,
+    pub extent: Dim3,
+}
+
+/// A complete dependency specification: grids plus dependences.
+///
+/// # Examples
+///
+/// The GPT-3 MLP dependence of Fig. 5a — the second GeMM's tile `(x, y)`
+/// depends on all column tiles of the first GeMM's row `y`:
+///
+/// ```
+/// use cusyncgen::{AffineExpr, DepSpec, Pattern};
+/// use cusync_sim::Dim3;
+///
+/// let mut spec = DepSpec::new();
+/// let g1 = spec.grid("g1", Dim3::new(24, 2, 1));
+/// let g2 = spec.grid("g2", Dim3::new(48, 2, 1));
+/// spec.depend(g2, g1, Pattern::ForAllX(AffineExpr::y()));
+/// assert_eq!(spec.producers_of(&spec.deps()[0], Dim3::new(5, 1, 0)).len(), 24);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DepSpec {
+    grids: Vec<GridDecl>,
+    deps: Vec<DepDecl>,
+}
+
+impl DepSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        DepSpec::default()
+    }
+
+    /// Declares a grid with its exact extent (the "maximum value of all
+    /// dimensions" required by the DSL for bounds checking).
+    pub fn grid(&mut self, name: &str, extent: Dim3) -> GridId {
+        let id = GridId(self.grids.len());
+        self.grids.push(GridDecl {
+            name: name.to_owned(),
+            extent,
+        });
+        id
+    }
+
+    /// Declares that each `consumer` tile depends on the `producer` tiles
+    /// given by `pattern`.
+    pub fn depend(&mut self, consumer: GridId, producer: GridId, pattern: Pattern) {
+        self.deps.push(DepDecl {
+            consumer,
+            producer,
+            pattern,
+        });
+    }
+
+    /// Extent of grid `id`.
+    pub fn extent(&self, id: GridId) -> Dim3 {
+        self.grids[id.0].extent
+    }
+
+    /// Name of grid `id`.
+    pub fn name(&self, id: GridId) -> &str {
+        &self.grids[id.0].name
+    }
+
+    /// Declared dependences.
+    pub fn deps(&self) -> &[DepDecl] {
+        &self.deps
+    }
+
+    /// Number of declared grids.
+    pub fn num_grids(&self) -> usize {
+        self.grids.len()
+    }
+
+    /// Evaluates the producer tiles of `consumer_tile` under `dep`.
+    /// Out-of-range (negative) references are dropped; the bounds checker
+    /// reports upper-bound violations.
+    pub fn producers_of(&self, dep: &DepDecl, consumer_tile: Dim3) -> Vec<Dim3> {
+        let prod = self.extent(dep.producer);
+        match &dep.pattern {
+            Pattern::Tiles(refs) => refs
+                .iter()
+                .filter_map(|(ex, ey)| {
+                    Some(Dim3::new(ex.eval(consumer_tile)?, ey.eval(consumer_tile)?, 0))
+                })
+                .collect(),
+            Pattern::ForAllX(ey) => match ey.eval(consumer_tile) {
+                Some(y) => (0..prod.x).map(|x| Dim3::new(x, y, 0)).collect(),
+                None => Vec::new(),
+            },
+            Pattern::ForAllY(ex) => match ex.eval(consumer_tile) {
+                Some(x) => (0..prod.y).map(|y| Dim3::new(x, y, 0)).collect(),
+                None => Vec::new(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_expr_evaluates_with_floor_div() {
+        let e = AffineExpr::x().plus(3).div(2);
+        assert_eq!(e.eval(Dim3::new(5, 0, 0)), Some(4));
+        let neg = AffineExpr::x().plus(-10);
+        assert_eq!(neg.eval(Dim3::new(5, 0, 0)), None);
+    }
+
+    #[test]
+    fn affine_expr_displays_symbolically() {
+        assert_eq!(AffineExpr::x().to_string(), "x");
+        assert_eq!(AffineExpr::y().plus(2).to_string(), "y + 2");
+        assert_eq!(AffineExpr::x().div(9).to_string(), "(x)/9");
+        assert_eq!(AffineExpr::constant(0).to_string(), "0");
+    }
+
+    #[test]
+    fn strided_pattern_yields_strided_tiles() {
+        // Fig. 5b dep1P: Tile(x, y) and Tile(x + stride, y).
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(9, 4, 1));
+        let gp = spec.grid("gP", Dim3::new(3, 4, 1));
+        spec.depend(
+            gp,
+            g1,
+            Pattern::Tiles(vec![
+                (AffineExpr::x(), AffineExpr::y()),
+                (AffineExpr::x().plus(3), AffineExpr::y()),
+                (AffineExpr::x().plus(6), AffineExpr::y()),
+            ]),
+        );
+        let tiles = spec.producers_of(&spec.deps()[0], Dim3::new(1, 2, 0));
+        assert_eq!(
+            tiles,
+            vec![Dim3::new(1, 2, 0), Dim3::new(4, 2, 0), Dim3::new(7, 2, 0)]
+        );
+    }
+
+    #[test]
+    fn conv_pattern_folds_kernel_positions() {
+        // Fig. 5c: Tile(x/(R*S), y).
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("conv1", Dim3::new(2, 8, 1));
+        let g2 = spec.grid("conv2", Dim3::new(18, 8, 1));
+        spec.depend(
+            g2,
+            g1,
+            Pattern::Tiles(vec![(AffineExpr::x().div(9), AffineExpr::y())]),
+        );
+        assert_eq!(
+            spec.producers_of(&spec.deps()[0], Dim3::new(10, 3, 0)),
+            vec![Dim3::new(1, 3, 0)]
+        );
+    }
+
+    #[test]
+    fn forall_y_spans_rows() {
+        let mut spec = DepSpec::new();
+        let gp = spec.grid("gP", Dim3::new(4, 3, 1));
+        let gr = spec.grid("gR", Dim3::new(4, 1, 1));
+        spec.depend(gr, gp, Pattern::ForAllY(AffineExpr::x()));
+        let tiles = spec.producers_of(&spec.deps()[0], Dim3::new(2, 0, 0));
+        assert_eq!(tiles.len(), 3);
+        assert!(tiles.iter().all(|t| t.x == 2));
+    }
+}

@@ -1,0 +1,104 @@
+//! Tile processing order generation (workflow step 3 of Section IV-A).
+//!
+//! "We achieve minimum wait time when the consumer kernel consumes tiles in
+//! the same order as they are produced by the producer kernel. Thus, we
+//! schedule all N producer tiles consecutively for each consumer tile."
+//! The consumer follows row-major order; the producer order visits the
+//! producer tiles of consumer tile 0, then of consumer tile 1, and so on
+//! (each producer tile scheduled at its first use).
+
+use cusync::order::{producer_grouped_order, RowMajor, TableOrder};
+use cusync::OrderRef;
+use std::sync::Arc;
+
+use crate::dsl::{DepDecl, DepSpec};
+
+/// Generates the producer's tile processing order for `dep`: the N
+/// producer tiles of each consumer tile are scheduled consecutively, with
+/// consumers visited in row-major order.
+pub fn producer_order(spec: &DepSpec, dep: &DepDecl) -> TableOrder {
+    let producer_grid = spec.extent(dep.producer);
+    let consumer_grid = spec.extent(dep.consumer);
+    producer_grouped_order(
+        &format!("{}-grouped", spec.name(dep.producer)),
+        producer_grid,
+        consumer_grid,
+        |consumer| spec.producers_of(dep, consumer),
+    )
+}
+
+/// The generated consumer order (always row-major; Section IV-A: "We also
+/// set the consumer kernel to follow the row major order of tiles").
+pub fn consumer_order() -> OrderRef {
+    Arc::new(RowMajor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{AffineExpr, Pattern};
+    use cusync::TileSchedule;
+    use cusync_sim::Dim3;
+
+    #[test]
+    fn mlp_order_is_row_major_hence_identity() {
+        // ForAllX with row-major consumers groups whole producer rows in
+        // row order: that is exactly row-major.
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(4, 3, 1));
+        let g2 = spec.grid("g2", Dim3::new(8, 3, 1));
+        spec.depend(g2, g1, Pattern::ForAllX(AffineExpr::y()));
+        let order = producer_order(&spec, &spec.deps()[0]);
+        let schedule = TileSchedule::build(&order, Dim3::new(4, 3, 1)).unwrap();
+        assert!(schedule.is_identity());
+    }
+
+    #[test]
+    fn strided_order_groups_qkv_slices_consecutively() {
+        // Consumer tile x needs producer tiles {x, x+2, x+4}: the producer
+        // order interleaves the three slices.
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(6, 1, 1));
+        let gp = spec.grid("gP", Dim3::new(2, 1, 1));
+        spec.depend(
+            gp,
+            g1,
+            Pattern::Tiles(vec![
+                (AffineExpr::x(), AffineExpr::y()),
+                (AffineExpr::x().plus(2), AffineExpr::y()),
+                (AffineExpr::x().plus(4), AffineExpr::y()),
+            ]),
+        );
+        let order = producer_order(&spec, &spec.deps()[0]);
+        let grid = Dim3::new(6, 1, 1);
+        let schedule = TileSchedule::build(&order, grid).unwrap();
+        assert!(!schedule.is_identity());
+        // First the tiles of consumer 0: {0, 2, 4}, then consumer 1's
+        // remaining {1, 3, 5}.
+        let positions: Vec<u32> = (0..6).map(|i| schedule.tile_at(i).x).collect();
+        assert_eq!(positions, vec![0, 2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn generated_order_is_always_a_bijection() {
+        // Conv fold: many consumers share producer tiles; first-use order
+        // must still be a valid permutation.
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("conv1", Dim3::new(2, 4, 1));
+        let g2 = spec.grid("conv2", Dim3::new(18, 4, 1));
+        spec.depend(
+            g2,
+            g1,
+            Pattern::Tiles(vec![(AffineExpr::x().div(9), AffineExpr::y())]),
+        );
+        let order = producer_order(&spec, &spec.deps()[0]);
+        let schedule = TileSchedule::build(&order, Dim3::new(2, 4, 1)).unwrap();
+        assert_eq!(schedule.len(), 8);
+    }
+
+    #[test]
+    fn consumer_order_is_row_major() {
+        let order = consumer_order();
+        assert_eq!(order.name(), "RowMajor");
+    }
+}

@@ -1,0 +1,167 @@
+//! Policy generation (workflow step 4 of Section IV-A).
+//!
+//! For a dependence where a consumer tile depends on N producer tiles,
+//! cuSyncGen generates, per dimension, the policy that maps each tile to a
+//! distinct semaphore (M = 1) and the policy that maps all N tiles to one
+//! shared semaphore (M = N). Instantiated on the patterns of Section IV-B
+//! this yields exactly the paper's named policies:
+//!
+//! - `ForAllX` (MLP) → `TileSync` and `RowSync`;
+//! - strided tile lists (Attention QKV) → `TileSync`, `RowSync`, and
+//!   `StridedSync`;
+//! - folded single tiles (Conv2D, `x/(R*S)`) → `Conv2DTileSync` and
+//!   `RowSync`.
+
+use cusync::{Conv2DTileSync, PolicyRef, RowSync, StridedSync, SyncPolicy, TileSync};
+use std::sync::Arc;
+
+use crate::dsl::{DepDecl, DepSpec, Pattern};
+
+/// A generated policy with its display name.
+#[derive(Debug, Clone)]
+pub struct NamedPolicy {
+    /// Name shown in tuning reports ("TileSync", "RowSync", ...).
+    pub name: String,
+    /// The policy object, pluggable into a
+    /// [`CuStage`](cusync::CuStage).
+    pub policy: PolicyRef,
+}
+
+impl NamedPolicy {
+    fn new(policy: impl SyncPolicy + 'static) -> Self {
+        let policy: PolicyRef = Arc::new(policy);
+        NamedPolicy {
+            name: policy.name(),
+            policy,
+        }
+    }
+}
+
+/// Detects a constant stride in the x expressions of an explicit tile
+/// list: offsets `{o, o + s, o + 2s, ...}` with identical `cx`/`cy`.
+fn detect_stride(dep: &DepDecl) -> Option<(u32, u32)> {
+    let Pattern::Tiles(refs) = &dep.pattern else {
+        return None;
+    };
+    if refs.len() < 2 {
+        return None;
+    }
+    let first = refs[0].0;
+    let mut offsets: Vec<i64> = Vec::with_capacity(refs.len());
+    for (ex, _) in refs {
+        if ex.cx != first.cx || ex.cy != first.cy || ex.divisor != first.divisor {
+            return None;
+        }
+        offsets.push(ex.offset);
+    }
+    let stride = offsets[1] - offsets[0];
+    if stride <= 0 {
+        return None;
+    }
+    for w in offsets.windows(2) {
+        if w[1] - w[0] != stride {
+            return None;
+        }
+    }
+    Some((stride as u32, refs.len() as u32))
+}
+
+/// Detects the Conv2D fold: a single tile reference `x / d` with `d > 1`.
+fn detect_fold(dep: &DepDecl) -> Option<u32> {
+    let Pattern::Tiles(refs) = &dep.pattern else {
+        return None;
+    };
+    match refs.as_slice() {
+        [(ex, _)] if ex.divisor > 1 && ex.cx == 1 && ex.cy == 0 => Some(ex.divisor as u32),
+        _ => None,
+    }
+}
+
+/// Generates the synchronization policies for the *producer* stage of
+/// `dep`, finest first.
+pub fn policies_for(_spec: &DepSpec, dep: &DepDecl) -> Vec<NamedPolicy> {
+    if let Some(rs) = detect_fold(dep) {
+        return vec![
+            NamedPolicy::new(Conv2DTileSync::new(rs)),
+            NamedPolicy::new(RowSync),
+        ];
+    }
+    if let Some((stride, count)) = detect_stride(dep) {
+        return vec![
+            NamedPolicy::new(TileSync),
+            NamedPolicy::new(StridedSync::new(stride, count)),
+            NamedPolicy::new(RowSync),
+        ];
+    }
+    match dep.pattern {
+        Pattern::ForAllX(_) | Pattern::ForAllY(_) | Pattern::Tiles(_) => vec![
+            NamedPolicy::new(TileSync),
+            NamedPolicy::new(RowSync),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::AffineExpr;
+    use cusync_sim::Dim3;
+
+    fn spec_with(pattern: Pattern) -> (DepSpec, DepDecl) {
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(9, 4, 1));
+        let g2 = spec.grid("g2", Dim3::new(3, 4, 1));
+        spec.depend(g2, g1, pattern);
+        let dep = spec.deps()[0].clone();
+        (spec, dep)
+    }
+
+    #[test]
+    fn mlp_dependence_generates_tile_and_row_sync() {
+        let (spec, dep) = spec_with(Pattern::ForAllX(AffineExpr::y()));
+        let names: Vec<String> = policies_for(&spec, &dep).into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["TileSync", "RowSync"]);
+    }
+
+    #[test]
+    fn attention_strided_dependence_adds_strided_sync() {
+        let (spec, dep) = spec_with(Pattern::Tiles(vec![
+            (AffineExpr::x(), AffineExpr::y()),
+            (AffineExpr::x().plus(3), AffineExpr::y()),
+            (AffineExpr::x().plus(6), AffineExpr::y()),
+        ]));
+        let policies = policies_for(&spec, &dep);
+        let names: Vec<&str> = policies.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["TileSync", "StridedSync", "RowSync"]);
+        // The strided policy groups tiles 3 apart.
+        let strided = &policies[1].policy;
+        let grid = Dim3::new(9, 4, 1);
+        assert_eq!(
+            strided.post_sem(Dim3::new(1, 0, 0), grid),
+            strided.post_sem(Dim3::new(4, 0, 0), grid)
+        );
+        assert_eq!(strided.expected(Dim3::new(1, 0, 0), grid), 3);
+    }
+
+    #[test]
+    fn conv_dependence_generates_conv2d_tile_sync() {
+        let (spec, dep) = spec_with(Pattern::Tiles(vec![(
+            AffineExpr::x().div(9),
+            AffineExpr::y(),
+        )]));
+        let policies = policies_for(&spec, &dep);
+        let names: Vec<&str> = policies.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["Conv2DTileSync", "RowSync"]);
+    }
+
+    #[test]
+    fn irregular_tile_lists_fall_back_to_tile_and_row() {
+        let (spec, dep) = spec_with(Pattern::Tiles(vec![
+            (AffineExpr::x(), AffineExpr::y()),
+            (AffineExpr::x().plus(1), AffineExpr::y()),
+            (AffineExpr::x().plus(5), AffineExpr::y()),
+        ]));
+        let names: Vec<String> = policies_for(&spec, &dep).into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["TileSync", "RowSync"]);
+    }
+}

@@ -1,0 +1,253 @@
+//! CPU reference implementations (oracles) for functional verification.
+
+/// Row-major `m x n = (m x k) * (k x n)` matrix multiply.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_kernels::reference::matmul;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+/// let b = [1.0, 0.0, 0.0, 1.0]; // identity
+/// assert_eq!(matmul(&a, &b, 2, 2, 2), a.to_vec());
+/// ```
+pub fn matmul(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs shape");
+    assert_eq!(b.len(), k * n, "rhs shape");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += av * b[kk * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// The GeLU activation used by GPT-3's MLP (tanh approximation).
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// ReLU, used after convolutions in ResNet/VGG.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Swish/SiLU, the gate of LLaMA's SwiGLU MLP.
+pub fn swish(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Row-wise softmax of an `rows x cols` matrix.
+pub fn softmax_rows(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(x.len(), rows * cols, "shape");
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out[r * cols + j] = e;
+            sum += e;
+        }
+        for j in 0..cols {
+            out[r * cols + j] /= sum;
+        }
+    }
+    out
+}
+
+/// The deterministic dropout mask shared by the fused kernel and this
+/// oracle: element `i` is kept iff `dropout_keep(seed, i, p)`.
+///
+/// Uses SplitMix64 so the mask is identical across the simulator and the
+/// reference regardless of evaluation order.
+pub fn dropout_keep(seed: u64, index: u64, keep_prob: f32) -> bool {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 11) as f64 / (1u64 << 53) as f64) < keep_prob as f64
+}
+
+/// Dropout with inverted scaling: kept elements are scaled by
+/// `1 / keep_prob`.
+pub fn dropout(x: &[f32], seed: u64, keep_prob: f32) -> Vec<f32> {
+    x.iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if dropout_keep(seed, i as u64, keep_prob) {
+                v / keep_prob
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Direct 2-D convolution oracle for NHWC input `[b, p, q, c]`, weights
+/// `[r, s, c, k]` (SAME padding, stride 1), producing `[b, p, q, k]`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    input: &[f32],
+    weights: &[f32],
+    b: usize,
+    p: usize,
+    q: usize,
+    c: usize,
+    r: usize,
+    s: usize,
+    k: usize,
+) -> Vec<f32> {
+    assert_eq!(input.len(), b * p * q * c, "input shape");
+    assert_eq!(weights.len(), r * s * c * k, "weight shape");
+    let pad_h = (r - 1) / 2;
+    let pad_w = (s - 1) / 2;
+    let mut out = vec![0.0f32; b * p * q * k];
+    for bi in 0..b {
+        for pi in 0..p {
+            for qi in 0..q {
+                for ki in 0..k {
+                    let mut acc = 0.0f32;
+                    for ri in 0..r {
+                        for si in 0..s {
+                            let ih = pi as isize + ri as isize - pad_h as isize;
+                            let iw = qi as isize + si as isize - pad_w as isize;
+                            if ih < 0 || iw < 0 || ih >= p as isize || iw >= q as isize {
+                                continue;
+                            }
+                            for ci in 0..c {
+                                let iv = input
+                                    [((bi * p + ih as usize) * q + iw as usize) * c + ci];
+                                let wv = weights[((ri * s + si) * c + ci) * k + ki];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out[((bi * p + pi) * q + qi) * k + ki] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Asserts two float slices are element-wise close; returns the max
+/// absolute difference.
+///
+/// # Panics
+///
+/// Panics (with the offending index) if any pair differs by more than
+/// `tol` or either value is NaN.
+pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) -> f32 {
+    assert_eq!(actual.len(), expected.len(), "length mismatch");
+    let mut max_diff = 0.0f32;
+    for (i, (&a, &e)) in actual.iter().zip(expected).enumerate() {
+        assert!(
+            !a.is_nan() && !e.is_nan(),
+            "NaN at index {i}: actual {a}, expected {e}"
+        );
+        let d = (a - e).abs();
+        assert!(d <= tol, "index {i}: actual {a}, expected {e}, |diff| {d} > {tol}");
+        max_diff = max_diff.max(d);
+    }
+    max_diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+        let c = matmul(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // 1x3 * 3x2
+        let c = matmul(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 1, 2, 3);
+        assert_eq!(c, vec![22.0, 28.0]);
+    }
+
+    #[test]
+    fn activations_have_expected_fixed_points() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!(gelu(3.0) > 2.99 && gelu(3.0) < 3.0);
+        assert!(gelu(-3.0).abs() < 0.01);
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert_eq!(swish(0.0), 0.0);
+        assert!((swish(10.0) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let out = softmax_rows(&[1.0, 2.0, 3.0, 1.0, 1.0, 1.0], 2, 3);
+        for r in 0..2 {
+            let sum: f32 = out[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Uniform row softmaxes to uniform.
+        assert!((out[3] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropout_is_deterministic_and_scales() {
+        let x = vec![1.0f32; 1000];
+        let a = dropout(&x, 42, 0.8);
+        let b = dropout(&x, 42, 0.8);
+        assert_eq!(a, b);
+        let kept = a.iter().filter(|&&v| v != 0.0).count();
+        assert!((700..900).contains(&kept), "kept {kept}");
+        assert!(a.iter().all(|&v| v == 0.0 || (v - 1.25).abs() < 1e-6));
+        // Different seed, different mask.
+        let c = dropout(&x, 43, 0.8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_preserves_input() {
+        // 1x1 kernel with identity channel mixing.
+        let b = 1;
+        let (p, q, c, k) = (3, 3, 2, 2);
+        let input: Vec<f32> = (0..b * p * q * c).map(|i| i as f32).collect();
+        let mut w = vec![0.0f32; c * k];
+        w[0 * k + 0] = 1.0;
+        w[1 * k + 1] = 1.0;
+        let out = conv2d(&input, &w, b, p, q, c, 1, 1, k);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_averaging_kernel_with_padding() {
+        // 3x3 all-ones kernel over a 1-channel all-ones image: interior
+        // pixels see 9 contributions, corners 4, edges 6.
+        let (p, q) = (3, 3);
+        let input = vec![1.0f32; p * q];
+        let w = vec![1.0f32; 9];
+        let out = conv2d(&input, &w, 1, p, q, 1, 3, 3, 1);
+        assert_eq!(out[4], 9.0); // center
+        assert_eq!(out[0], 4.0); // corner
+        assert_eq!(out[1], 6.0); // edge
+    }
+
+    #[test]
+    #[should_panic(expected = "index 1")]
+    fn assert_close_reports_offending_index() {
+        assert_close(&[1.0, 2.0], &[1.0, 3.0], 0.5);
+    }
+}

@@ -1,0 +1,472 @@
+//! The fused Softmax-Dropout kernel of the Attention block (Section V-A:
+//! "we developed a fused kernel of Softmax and Dropout").
+//!
+//! Computes `R = Dropout(Softmax(P))` row-wise. Each thread block produces
+//! one `tile_m x tile_n` output tile but must read its *entire* rows of `P`
+//! to normalize, so the block waits on every producer column tile of its
+//! rows — which is why `RowSync` on the producer collapses all of those
+//! waits onto one semaphore.
+
+use std::sync::Arc;
+
+use cusync::StageRuntime;
+use cusync_sim::{
+    BlockBody, BlockCtx, BufferId, DType, Dim3, GpuConfig, KernelSource, Op, Step,
+};
+
+use crate::gemm::{InputDep, TileShape};
+use crate::reference::dropout_keep;
+use crate::timing::{fma_cycles, occupancy_for_tile};
+
+/// Approximate scalar FLOPs per input element of a softmax (max, exp,
+/// sum, divide).
+const SOFTMAX_FLOPS_PER_ELEM: u64 = 28;
+
+/// Builder for [`SoftmaxDropoutKernel`].
+#[derive(Debug)]
+pub struct SoftmaxDropoutBuilder {
+    name: String,
+    rows: u32,
+    cols: u32,
+    tile: TileShape,
+    occupancy: Option<u32>,
+    dtype: DType,
+    input: Option<BufferId>,
+    output: Option<BufferId>,
+    keep_prob: f32,
+    seed: u64,
+    stage: Option<Arc<StageRuntime>>,
+    input_dep: Option<InputDep>,
+}
+
+impl SoftmaxDropoutBuilder {
+    /// Starts building a fused softmax-dropout over a `rows x cols`
+    /// matrix.
+    pub fn new(name: &str, rows: u32, cols: u32, tile: TileShape) -> Self {
+        SoftmaxDropoutBuilder {
+            name: name.to_owned(),
+            rows,
+            cols,
+            tile,
+            occupancy: None,
+            dtype: DType::F16,
+            input: None,
+            output: None,
+            keep_prob: 0.9,
+            seed: 0x5EED,
+            stage: None,
+            input_dep: None,
+        }
+    }
+
+    /// Sets input and output buffers (`rows x cols` each).
+    pub fn operands(mut self, input: BufferId, output: BufferId) -> Self {
+        self.input = Some(input);
+        self.output = Some(output);
+        self
+    }
+
+    /// Sets the dropout keep probability and mask seed.
+    pub fn dropout(mut self, keep_prob: f32, seed: u64) -> Self {
+        assert!(
+            keep_prob > 0.0 && keep_prob <= 1.0,
+            "keep_prob must be in (0, 1]"
+        );
+        self.keep_prob = keep_prob;
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches the cuSync stage.
+    pub fn stage(mut self, stage: Arc<StageRuntime>) -> Self {
+        self.stage = Some(stage);
+        self
+    }
+
+    /// Declares the input dependent on a producing GeMM.
+    pub fn input_dep(mut self, dep: InputDep) -> Self {
+        self.input_dep = Some(dep);
+        self
+    }
+
+    /// Overrides the occupancy heuristic.
+    pub fn occupancy(mut self, occupancy: u32) -> Self {
+        self.occupancy = Some(occupancy);
+        self
+    }
+
+    /// Finalizes the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands were not set.
+    pub fn build(self, gpu: &GpuConfig) -> SoftmaxDropoutKernel {
+        let grid = Dim3::new(
+            self.cols.div_ceil(self.tile.n),
+            self.rows.div_ceil(self.tile.m),
+            1,
+        );
+        SoftmaxDropoutKernel {
+            name: self.name,
+            rows: self.rows,
+            cols: self.cols,
+            tile: self.tile,
+            occupancy: self
+                .occupancy
+                .unwrap_or_else(|| occupancy_for_tile(self.tile.m, self.tile.n).max(4)),
+            dtype: self.dtype,
+            input: self.input.expect("softmax input not set"),
+            output: self.output.expect("softmax output not set"),
+            keep_prob: self.keep_prob,
+            seed: self.seed,
+            stage: self.stage,
+            input_dep: self.input_dep,
+            grid,
+            gpu: gpu.clone(),
+        }
+    }
+}
+
+/// Fused row-wise Softmax + Dropout.
+#[derive(Debug)]
+pub struct SoftmaxDropoutKernel {
+    name: String,
+    rows: u32,
+    cols: u32,
+    tile: TileShape,
+    occupancy: u32,
+    dtype: DType,
+    input: BufferId,
+    output: BufferId,
+    keep_prob: f32,
+    seed: u64,
+    stage: Option<Arc<StageRuntime>>,
+    input_dep: Option<InputDep>,
+    grid: Dim3,
+    gpu: GpuConfig,
+}
+
+impl KernelSource for SoftmaxDropoutKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn grid(&self) -> Dim3 {
+        self.grid
+    }
+
+    fn occupancy(&self) -> u32 {
+        self.occupancy
+    }
+
+    fn block(&self, block: Dim3) -> Box<dyn BlockBody> {
+        Box::new(SoftmaxBody {
+            rows: self.rows,
+            cols: self.cols,
+            tile: self.tile,
+            occupancy: self.occupancy,
+            dtype: self.dtype,
+            input: self.input,
+            output: self.output,
+            keep_prob: self.keep_prob,
+            seed: self.seed,
+            stage: self.stage.clone(),
+            input_dep: self.input_dep.clone(),
+            gpu: self.gpu.clone(),
+            block,
+            tile_coord: None,
+            phase: SmPhase::Start,
+            pending: Vec::new(),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SmPhase {
+    Start,
+    Acquire,
+    MapTile,
+    Waits,
+    Compute,
+    Write,
+    Post { idx: usize },
+    Done,
+}
+
+struct SoftmaxBody {
+    rows: u32,
+    cols: u32,
+    tile: TileShape,
+    occupancy: u32,
+    dtype: DType,
+    input: BufferId,
+    output: BufferId,
+    keep_prob: f32,
+    seed: u64,
+    stage: Option<Arc<StageRuntime>>,
+    input_dep: Option<InputDep>,
+    gpu: GpuConfig,
+    block: Dim3,
+    tile_coord: Option<Dim3>,
+    phase: SmPhase,
+    pending: Vec<Op>,
+}
+
+impl SoftmaxBody {
+    fn tile_coord(&self) -> Dim3 {
+        self.tile_coord.unwrap_or(self.block)
+    }
+
+    fn row_range(&self) -> (u32, u32) {
+        let lo = self.tile_coord().y * self.tile.m;
+        (lo, (lo + self.tile.m).min(self.rows))
+    }
+
+    fn col_range(&self) -> (u32, u32) {
+        let lo = self.tile_coord().x * self.tile.n;
+        (lo, (lo + self.tile.n).min(self.cols))
+    }
+
+    fn waits(&self) -> Vec<Op> {
+        let (Some(stage), Some(dep)) = (&self.stage, &self.input_dep) else {
+            return Vec::new();
+        };
+        let rows = self.row_range();
+        // The whole row is needed: wait on every producer column tile.
+        let mut ops: Vec<Op> = (0..dep.prod_grid.x)
+            .flat_map(|chunk| {
+                dep.requested(rows, self.rows, chunk, self.tile_coord())
+                    .into_iter()
+                    .filter_map(|req| stage.wait_op(self.input, req))
+            })
+            .collect();
+        ops.dedup();
+        ops
+    }
+
+    fn compute_functional(&self, ctx: &mut BlockCtx<'_>) {
+        if !ctx.mem.is_functional(self.output) {
+            return;
+        }
+        let (rlo, rhi) = self.row_range();
+        let (clo, chi) = self.col_range();
+        let cols = self.cols as usize;
+        for r in rlo..rhi {
+            // Numerically stable row softmax over the full row.
+            let mut max = f32::NEG_INFINITY;
+            for j in 0..cols {
+                max = max.max(ctx.mem.read(self.input, r as usize * cols + j, ctx.now));
+            }
+            let mut sum = 0.0f32;
+            for j in 0..cols {
+                sum += (ctx.mem.read(self.input, r as usize * cols + j, ctx.now) - max).exp();
+            }
+            for j in clo..chi {
+                let idx = r as usize * cols + j as usize;
+                let e = (ctx.mem.read(self.input, idx, ctx.now) - max).exp() / sum;
+                let v = if dropout_keep(self.seed, idx as u64, self.keep_prob) {
+                    e / self.keep_prob
+                } else {
+                    0.0
+                };
+                ctx.mem.write(self.output, idx, v);
+            }
+        }
+    }
+}
+
+impl BlockBody for SoftmaxBody {
+    fn resume(&mut self, ctx: &mut BlockCtx<'_>) -> Step {
+        loop {
+            match self.phase {
+                SmPhase::Start => {
+                    self.phase = SmPhase::Acquire;
+                    if let Some(stage) = &self.stage {
+                        if let Some(op) = stage.start_op(self.block) {
+                            return Step::Op(op);
+                        }
+                    }
+                }
+                SmPhase::Acquire => match self.stage.as_ref().and_then(|s| s.tile_counter()) {
+                    Some(counter) => {
+                        self.phase = SmPhase::MapTile;
+                        return Step::Op(Op::AtomicAdd { table: counter, index: 0, inc: 1 });
+                    }
+                    None => {
+                        self.tile_coord = Some(self.block);
+                        self.phase = SmPhase::Waits;
+                        self.pending = self.waits();
+                        self.pending.reverse();
+                    }
+                },
+                SmPhase::MapTile => {
+                    let pos = ctx.atomic_result.expect("tile counter result");
+                    let stage = self.stage.as_ref().expect("stage with counter");
+                    self.tile_coord = Some(stage.tile_at(pos));
+                    self.phase = SmPhase::Waits;
+                    self.pending = self.waits();
+                    self.pending.reverse();
+                }
+                SmPhase::Waits => match self.pending.pop() {
+                    Some(op) => return Step::Op(op),
+                    None => self.phase = SmPhase::Compute,
+                },
+                SmPhase::Compute => {
+                    // Row loads overlap the exp/sum math (pipelined).
+                    let (rlo, rhi) = self.row_range();
+                    self.phase = SmPhase::Write;
+                    let bytes =
+                        (rhi - rlo) as u64 * self.cols as u64 * self.dtype.size_bytes();
+                    let flops =
+                        SOFTMAX_FLOPS_PER_ELEM * (rhi - rlo) as u64 * self.cols as u64;
+                    return Step::Op(Op::main_step(
+                        bytes,
+                        fma_cycles(&self.gpu, self.occupancy, flops),
+                    ));
+                }
+                SmPhase::Write => {
+                    self.compute_functional(ctx);
+                    self.phase = SmPhase::Post { idx: 0 };
+                    let (rlo, rhi) = self.row_range();
+                    let (clo, chi) = self.col_range();
+                    let bytes = (rhi - rlo) as u64
+                        * (chi - clo) as u64
+                        * self.dtype.size_bytes();
+                    return Step::Op(Op::write(bytes));
+                }
+                SmPhase::Post { idx } => {
+                    let ops = self
+                        .stage
+                        .as_ref()
+                        .and_then(|s| s.post_ops(self.tile_coord()));
+                    match ops {
+                        Some(ops) if idx < ops.len() => {
+                            self.phase = SmPhase::Post { idx: idx + 1 };
+                            return Step::Op(ops[idx]);
+                        }
+                        _ => self.phase = SmPhase::Done,
+                    }
+                }
+                SmPhase::Done => return Step::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::DepPlan;
+    use crate::reference::{assert_close, dropout, softmax_rows};
+    use cusync::{launch_stream_sync, CuStage, RowSync, SyncGraph};
+    use cusync_sim::{Gpu, GpuConfig, SimTime};
+
+    fn quiet_gpu() -> Gpu {
+        Gpu::new(GpuConfig {
+            host_launch_gap: SimTime::ZERO,
+            kernel_dispatch_latency: SimTime::ZERO,
+            ..GpuConfig::toy(8)
+        })
+    }
+
+    #[test]
+    fn softmax_dropout_matches_reference() {
+        let (rows, cols) = (8u32, 12u32);
+        let mut gpu = quiet_gpu();
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i % 7) as f32 * 0.3).collect();
+        let input = gpu.mem_mut().alloc_data("p", data.clone(), DType::F16);
+        let output = gpu
+            .mem_mut()
+            .alloc_poisoned("r", (rows * cols) as usize, DType::F16);
+        let kernel =
+            SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 4, 1))
+                .operands(input, output)
+                .dropout(0.8, 99)
+                .build(gpu.config());
+        launch_stream_sync(&mut gpu, [Arc::new(kernel) as Arc<dyn KernelSource>]);
+        let report = gpu.run().unwrap();
+        assert_eq!(report.races, 0);
+        let expected = dropout(
+            &softmax_rows(&data, rows as usize, cols as usize),
+            99,
+            0.8,
+        );
+        assert_close(gpu.mem().snapshot(output).unwrap(), &expected, 1e-3);
+    }
+
+    #[test]
+    fn no_dropout_keeps_probabilities() {
+        let (rows, cols) = (4u32, 8u32);
+        let mut gpu = quiet_gpu();
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i % 5) as f32).collect();
+        let input = gpu.mem_mut().alloc_data("p", data.clone(), DType::F16);
+        let output = gpu
+            .mem_mut()
+            .alloc_poisoned("r", (rows * cols) as usize, DType::F16);
+        let kernel =
+            SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 8, 1))
+                .operands(input, output)
+                .dropout(1.0, 0)
+                .build(gpu.config());
+        launch_stream_sync(&mut gpu, [Arc::new(kernel) as Arc<dyn KernelSource>]);
+        gpu.run().unwrap();
+        let expected = softmax_rows(&data, rows as usize, cols as usize);
+        assert_close(gpu.mem().snapshot(output).unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn waits_on_all_column_tiles_of_its_rows() {
+        // Producer on RowSync: all column-tile waits dedupe to one op.
+        let (rows, cols) = (8u32, 16u32);
+        let mut gpu = quiet_gpu();
+        let p = gpu
+            .mem_mut()
+            .alloc_poisoned("p", (rows * cols) as usize, DType::F16);
+        let mut graph = SyncGraph::new();
+        let prod_grid = Dim3::new(4, 2, 1);
+        let s1 = graph.add_stage(CuStage::new("gemm", prod_grid).policy(RowSync));
+        let s2 = graph.add_stage(CuStage::new("sm", Dim3::new(4, 2, 1)));
+        graph.dependency(s1, s2, p).unwrap();
+        let bound = graph.bind(&mut gpu).unwrap();
+        let out = gpu
+            .mem_mut()
+            .alloc_poisoned("r", (rows * cols) as usize, DType::F16);
+        let kernel = SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 4, 1))
+            .operands(p, out)
+            .stage(Arc::clone(bound.stage(s2)))
+            .input_dep(InputDep {
+                prod_grid,
+                plan: DepPlan::RowAligned { x_offset_tiles: 0 },
+            })
+            .build(gpu.config());
+        let body_waits = {
+            // Inspect the wait list through a probe body.
+            let body = SoftmaxBody {
+                rows,
+                cols,
+                tile: TileShape::new(4, 4, 1),
+                occupancy: 4,
+                dtype: DType::F16,
+                input: p,
+                output: out,
+                keep_prob: 1.0,
+                seed: 0,
+                stage: Some(Arc::clone(bound.stage(s2))),
+                input_dep: Some(InputDep {
+                    prod_grid,
+                    plan: DepPlan::RowAligned { x_offset_tiles: 0 },
+                }),
+                gpu: gpu.config().clone(),
+                block: Dim3::new(0, 0, 0),
+                tile_coord: Some(Dim3::new(0, 0, 0)),
+                phase: SmPhase::Waits,
+                pending: Vec::new(),
+            };
+            body.waits()
+        };
+        // RowSync: 4 producer column tiles of row 0 share one semaphore,
+        // deduplicated to a single wait.
+        assert_eq!(body_waits.len(), 1, "{body_waits:?}");
+        let _ = kernel;
+    }
+}

@@ -1,0 +1,121 @@
+//! Cost model: cycles and bytes per tile operation, calibrated to the
+//! Tesla V100 of the paper's evaluation.
+//!
+//! The model charges each thread block:
+//!
+//! - **MMA compute** at the tensor-core rate `tensor_flop_per_cycle_sm x
+//!   compute_efficiency`, divided by occupancy (resident blocks share the
+//!   SM's tensor cores);
+//! - **scalar compute** (softmax, epilogues) at the FMA rate;
+//! - **memory traffic** at a uniform per-SM share of DRAM bandwidth plus a
+//!   fixed latency per access (see `GpuConfig::mem_time_per_block`).
+//!
+//! Absolute times come out within a factor of ~1.5 of the paper's V100
+//! measurements for the GPT-3 MLP shapes (see EXPERIMENTS.md); all
+//! comparisons in the reproduction are relative, so the calibration only
+//! needs to preserve the compute/memory/synchronization cost ratios.
+
+use cusync_sim::GpuConfig;
+
+/// Cycles for `flops` of f16 tensor-core work on one block of a kernel
+/// with the given occupancy.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_kernels::timing::mma_cycles;
+/// use cusync_sim::GpuConfig;
+///
+/// let gpu = GpuConfig::tesla_v100();
+/// // A 128x128x32 tile-step is ~1 MFLOP; at occupancy 1 it takes roughly
+/// // 1.4k cycles at 72% of the 1024 FLOP/cycle peak.
+/// let c = mma_cycles(&gpu, 1, 2 * 128 * 128 * 32);
+/// assert!(c > 1_000 && c < 2_000, "{c}");
+/// ```
+pub fn mma_cycles(gpu: &GpuConfig, occupancy: u32, flops: u64) -> u64 {
+    let per_block = gpu.tensor_flop_per_cycle_sm * gpu.compute_efficiency / occupancy as f64;
+    (flops as f64 / per_block).ceil() as u64
+}
+
+/// Cycles for `flops` of scalar (CUDA-core) work on one block of a kernel
+/// with the given occupancy.
+pub fn fma_cycles(gpu: &GpuConfig, occupancy: u32, flops: u64) -> u64 {
+    let per_block = gpu.fma_flop_per_cycle_sm * gpu.compute_efficiency / occupancy as f64;
+    (flops as f64 / per_block).ceil() as u64
+}
+
+/// Occupancy heuristic for a tiled GeMM/Conv2D kernel, standing in for the
+/// CUTLASS register/shared-memory calculation: bigger tiles use more shared
+/// memory and registers, so fewer blocks fit per SM. The explicit per-batch
+/// occupancies in `cusync-models` (taken from Table IV) override this.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_kernels::timing::occupancy_for_tile;
+///
+/// assert_eq!(occupancy_for_tile(256, 256), 1);
+/// assert_eq!(occupancy_for_tile(256, 128), 2);
+/// assert_eq!(occupancy_for_tile(128, 128), 2);
+/// assert_eq!(occupancy_for_tile(64, 64), 4);
+/// ```
+pub fn occupancy_for_tile(tile_m: u32, tile_n: u32) -> u32 {
+    let area = tile_m as u64 * tile_n as u64;
+    if area >= 256 * 256 {
+        1
+    } else if area >= 128 * 128 {
+        2
+    } else if area >= 64 * 64 {
+        4
+    } else {
+        8
+    }
+}
+
+/// FLOPs of one GeMM tile step: `2 * tm * tn * kk`.
+pub fn gemm_flops(tm: u32, tn: u32, kk: u32) -> u64 {
+    2 * tm as u64 * tn as u64 * kk as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_halves_per_block_throughput() {
+        let gpu = GpuConfig::tesla_v100();
+        let f = gemm_flops(128, 128, 32);
+        let double = 2 * mma_cycles(&gpu, 1, f);
+        let halved = mma_cycles(&gpu, 2, f);
+        assert!(halved.abs_diff(double) <= 1, "{halved} vs {double}");
+    }
+
+    #[test]
+    fn full_gemm_time_is_near_roofline() {
+        // GPT-3 MLP first GeMM at batch 256 per GPU shard (Table IV):
+        // grid 1x48x4 = 192 blocks of 256x128 tiles, split-K 4 so each
+        // block contracts K = 12288/4 = 3072; occupancy 2 on 80 SMs gives
+        // 1.2 waves. The paper measures both MLP GeMMs at 862us under
+        // StreamSync, i.e. roughly 200-450us per wave; the model should
+        // land within ~2x of that.
+        let gpu = GpuConfig::tesla_v100();
+        let per_block = gemm_flops(256, 128, 12288 / 4);
+        let cycles = mma_cycles(&gpu, 2, per_block);
+        let block_time = gpu.cycles(cycles);
+        // ceil(1.2) = 2 block-quantized waves.
+        let total = block_time + block_time;
+        let us = total.as_micros();
+        assert!(us > 250.0 && us < 1700.0, "block-quantized GeMM time {us}us");
+    }
+
+    #[test]
+    fn gemm_flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn fma_rate_is_slower_than_tensor_rate() {
+        let gpu = GpuConfig::tesla_v100();
+        assert!(fma_cycles(&gpu, 1, 1_000_000) > mma_cycles(&gpu, 1, 1_000_000));
+    }
+}

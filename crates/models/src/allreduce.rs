@@ -1,0 +1,61 @@
+//! Analytic model of the NVLink ring allreduce used by model parallelism.
+//!
+//! With mp-degree model parallelism, each transformer layer performs two
+//! allreduces (one after Attention, one after the MLP). The allreduce cost
+//! is *identical* for StreamSync and cuSync — cuSync synchronizes kernels
+//! within one GPU — so it only dilutes end-to-end improvements, which is
+//! exactly the gap between Fig. 6 (module-level) and Fig. 8 (end-to-end).
+
+use cusync_sim::SimTime;
+
+/// Peak NVLink ring bandwidth per GPU on a DGX-2 class machine, bytes/s.
+const NVLINK_BYTES_PER_SEC: f64 = 130e9;
+
+/// Per-hop software/launch latency of a collective step.
+const HOP_LATENCY: SimTime = SimTime::from_nanos(4_000);
+
+/// Time of a ring allreduce of `bytes` over `gpus` participants:
+/// `2 (n-1)/n * bytes / bw + 2 (n-1) * hop_latency`.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_models::allreduce_time;
+///
+/// // A 2 MB allreduce over 8 GPUs costs tens of microseconds.
+/// let t = allreduce_time(2 << 20, 8);
+/// assert!(t.as_micros() > 20.0 && t.as_micros() < 200.0);
+/// ```
+pub fn allreduce_time(bytes: u64, gpus: u32) -> SimTime {
+    if gpus <= 1 {
+        return SimTime::ZERO;
+    }
+    let n = gpus as f64;
+    let wire = 2.0 * (n - 1.0) / n * bytes as f64 / NVLINK_BYTES_PER_SEC;
+    let latency_ps = 2 * (gpus as u64 - 1) * HOP_LATENCY.as_picos();
+    SimTime::from_picos((wire * 1e12) as u64 + latency_ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_gpu_needs_no_allreduce() {
+        assert_eq!(allreduce_time(1 << 20, 1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn cost_grows_with_bytes() {
+        let small = allreduce_time(1 << 16, 8);
+        let large = allreduce_time(1 << 24, 8);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn latency_floor_for_tiny_messages() {
+        // 2*(8-1)*4us = 56us of hop latency dominates tiny messages.
+        let t = allreduce_time(64, 8);
+        assert!(t.as_micros() >= 56.0, "{t}");
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end inference assembly (Fig. 8): layer times x layer counts,
+//! plus the model-parallel allreduces.
+
+use cusync_sim::{GpuConfig, SimTime};
+
+use crate::allreduce::allreduce_time;
+use crate::attention::{attention_time, AttentionConfig};
+use crate::mlp::{mlp_time, MlpModel};
+use crate::modes::SyncMode;
+use crate::vision::{conv_layer_time, ConvStage};
+
+/// Model-parallel degree used throughout the paper's evaluation.
+pub const MP_DEGREE: u32 = 8;
+
+/// A transformer model for end-to-end accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LlmModel {
+    /// Which MLP architecture (also fixes H).
+    pub mlp: MlpModel,
+    /// Number of transformer layers.
+    pub layers: u32,
+}
+
+/// MegatronLM GPT-3 145B: 96 layers of H = 12288.
+pub const GPT3: LlmModel = LlmModel { mlp: MlpModel::Gpt3, layers: 96 };
+
+/// LLaMA 65.2B: 80 layers of H = 8192.
+pub const LLAMA: LlmModel = LlmModel { mlp: MlpModel::Llama, layers: 80 };
+
+impl LlmModel {
+    /// Hidden dimension.
+    pub fn hidden(self) -> u32 {
+        self.mlp.hidden()
+    }
+}
+
+/// End-to-end time of one inference step (all layers) of `model`:
+/// `layers x (attention + MLP + 2 allreduces)`.
+///
+/// `tokens` is `B x S` during prompt processing or `B` during token
+/// generation; `cached` is `S'`.
+pub fn llm_step_time(
+    gpu: &GpuConfig,
+    model: LlmModel,
+    tokens: u32,
+    cached: u32,
+    mode: SyncMode,
+) -> SimTime {
+    let attn = attention_time(
+        gpu,
+        AttentionConfig { hidden: model.hidden(), tokens, cached },
+        mode,
+    );
+    let mlp = mlp_time(gpu, model.mlp, tokens, mode);
+    let ar = allreduce_time(tokens as u64 * model.hidden() as u64 * 2, MP_DEGREE);
+    let per_layer = attn + mlp + ar + ar;
+    let mut total = SimTime::ZERO;
+    for _ in 0..model.layers {
+        total += per_layer;
+    }
+    total
+}
+
+/// Percentage reduction in end-to-end inference time over StreamSync
+/// (Fig. 8a).
+pub fn llm_e2e_improvement(
+    gpu: &GpuConfig,
+    model: LlmModel,
+    tokens: u32,
+    cached: u32,
+    mode: SyncMode,
+) -> f64 {
+    let base = llm_step_time(gpu, model, tokens, cached, SyncMode::StreamSync);
+    let t = llm_step_time(gpu, model, tokens, cached, mode);
+    100.0 * (1.0 - t.as_picos() as f64 / base.as_picos() as f64)
+}
+
+/// End-to-end time of one vision-model inference: the sum over Table II
+/// stages of `layers x conv-chain time`.
+pub fn vision_step_time(
+    gpu: &GpuConfig,
+    stages: &[ConvStage],
+    batch: u32,
+    mode: SyncMode,
+) -> SimTime {
+    let mut total = SimTime::ZERO;
+    for stage in stages {
+        let layer = conv_layer_time(
+            gpu,
+            batch,
+            stage.pq,
+            stage.channels,
+            stage.convs_per_layer,
+            mode,
+        );
+        for _ in 0..stage.layers {
+            total += layer;
+        }
+    }
+    total
+}
+
+/// Percentage reduction in end-to-end vision inference time (Fig. 8b).
+pub fn vision_e2e_improvement(
+    gpu: &GpuConfig,
+    stages: &[ConvStage],
+    batch: u32,
+    mode: SyncMode,
+) -> f64 {
+    let base = vision_step_time(gpu, stages, batch, SyncMode::StreamSync);
+    let t = vision_step_time(gpu, stages, batch, mode);
+    100.0 * (1.0 - t.as_picos() as f64 / base.as_picos() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::PolicyKind;
+    use crate::vision::resnet38;
+    use cusync::OptFlags;
+
+    #[test]
+    fn e2e_time_scales_with_layers() {
+        let gpu = GpuConfig::tesla_v100();
+        let one = llm_step_time(
+            &gpu,
+            LlmModel { mlp: MlpModel::Gpt3, layers: 1 },
+            512,
+            0,
+            SyncMode::StreamSync,
+        );
+        let two = llm_step_time(
+            &gpu,
+            LlmModel { mlp: MlpModel::Gpt3, layers: 2 },
+            512,
+            0,
+            SyncMode::StreamSync,
+        );
+        assert_eq!(two.as_picos(), 2 * one.as_picos());
+    }
+
+    #[test]
+    fn e2e_improvement_is_positive_but_diluted() {
+        let gpu = GpuConfig::tesla_v100();
+        let mode = SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT);
+        let module = crate::mlp::mlp_improvement(&gpu, MlpModel::Gpt3, 512, mode);
+        let e2e = llm_e2e_improvement(&gpu, GPT3, 512, 0, mode);
+        assert!(e2e > 0.0, "end-to-end improvement should be positive, got {e2e}");
+        // The allreduce is mode-independent, so end-to-end gains cannot
+        // exceed the best module-level gain by much.
+        assert!(e2e < module + 15.0, "e2e {e2e}% vs module {module}%");
+    }
+
+    #[test]
+    fn vision_e2e_covers_all_stages() {
+        let gpu = GpuConfig::tesla_v100();
+        let t = vision_step_time(&gpu, &resnet38(), 1, SyncMode::StreamSync);
+        assert!(t > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,55 @@
+//! # cusync-models: the paper's ML workloads on the cuSync simulator
+//!
+//! Assembles the evaluation workloads of Section V from the instrumented
+//! kernels of [`cusync_kernels`]:
+//!
+//! - **GPT-3 145B / LLaMA 65B MLP blocks** ([`run_mlp`]) with the exact
+//!   Table IV tilings, GeLU/SwiGLU fusion, and model parallelism 8;
+//! - **Attention** ([`run_attention`]): the five-kernel chain of Fig. 5b
+//!   with fused QKV, KV caching, and prompt/token-generation phases;
+//! - **ResNet-38 / VGG-19 convolution stacks** ([`run_conv_layer`],
+//!   Table II);
+//! - **end-to-end inference** ([`llm_step_time`], [`vision_step_time`])
+//!   including the model-parallel allreduce;
+//!
+//! each runnable under [`SyncMode::StreamSync`], [`SyncMode::StreamK`] or
+//! [`SyncMode::CuSync`] with any of the paper's policies.
+//!
+//! ## Example
+//!
+//! ```
+//! use cusync_models::{mlp_improvement, MlpModel, PolicyKind, SyncMode};
+//! use cusync::OptFlags;
+//! use cusync_sim::GpuConfig;
+//!
+//! let gpu = GpuConfig::tesla_v100();
+//! let gain = mlp_improvement(
+//!     &gpu, MlpModel::Gpt3, 256,
+//!     SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+//! );
+//! assert!(gain > 0.0, "cuSync should beat StreamSync at batch 256");
+//! ```
+
+#![warn(missing_docs)]
+
+mod allreduce;
+mod attention;
+mod e2e;
+mod mlp;
+mod modes;
+mod tiling;
+mod vision;
+
+pub use allreduce::allreduce_time;
+pub use attention::{attention_improvement, attention_time, run_attention, AttentionConfig};
+pub use e2e::{
+    llm_e2e_improvement, llm_step_time, vision_e2e_improvement, vision_step_time, LlmModel,
+    GPT3, LLAMA, MP_DEGREE,
+};
+pub use mlp::{mlp_improvement, mlp_time, run_mlp, MlpModel};
+pub use modes::{PolicyKind, SyncMode};
+pub use tiling::{auto_tiling, conv_tiling, gpt3_mlp_tiling, GemmTiling, MlpTiling};
+pub use vision::{
+    conv_improvement, conv_layer_time, pq_for_channels, resnet38, run_conv_layer, vgg19,
+    ConvStage,
+};

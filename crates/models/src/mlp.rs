@@ -1,0 +1,283 @@
+//! The MLP blocks of GPT-3 (Fig. 2a) and LLaMA (Fig. 3), with model
+//! parallelism over 8 GPUs — the workload of Table IV and Fig. 6(a,c).
+
+use std::sync::Arc;
+
+use cusync::{
+    launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph,
+    TileSync,
+};
+use cusync_kernels::{DepPlan, Epilogue, GemmBuilder, GemmDims, InputDep};
+use cusync_streamk::StreamKBuilder;
+use cusync_sim::{DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport};
+
+use crate::modes::{PolicyKind, SyncMode};
+use crate::tiling::{auto_tiling, gpt3_mlp_tiling, GemmTiling, MlpTiling};
+
+/// Which transformer MLP architecture to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MlpModel {
+    /// GPT-3 145B: H = 12288, two GeMMs, GeLU fused into the first
+    /// (Fig. 2a). With mp = 8 the intermediate width is 4H/8 = 6144.
+    Gpt3,
+    /// LLaMA 65B: H = 8192, first two GeMMs combined into one producing
+    /// `[gate | value]`, SwiGLU fused into the third (Fig. 3). The per-GPU
+    /// intermediate width 22016/8 = 2752 is padded to 2816 so the gate and
+    /// value halves align to 256-wide tiles (see DESIGN.md).
+    Llama,
+}
+
+impl MlpModel {
+    /// Hidden dimension H.
+    pub fn hidden(self) -> u32 {
+        match self {
+            MlpModel::Gpt3 => 12288,
+            MlpModel::Llama => 8192,
+        }
+    }
+
+    /// Per-GPU intermediate width (the `k` of the final GeMM).
+    pub fn intermediate(self) -> u32 {
+        match self {
+            MlpModel::Gpt3 => 6144,
+            MlpModel::Llama => 2816,
+        }
+    }
+
+    /// Columns of the first GeMM's output (`2x` intermediate for LLaMA's
+    /// combined gate/value).
+    pub fn first_gemm_n(self) -> u32 {
+        match self {
+            MlpModel::Gpt3 => self.intermediate(),
+            MlpModel::Llama => 2 * self.intermediate(),
+        }
+    }
+
+    fn tiling(self, gpu: &GpuConfig, bs: u32) -> MlpTiling {
+        match self {
+            MlpModel::Gpt3 => gpt3_mlp_tiling(bs),
+            MlpModel::Llama => MlpTiling {
+                gemm1: auto_tiling(gpu, bs, self.first_gemm_n()),
+                gemm2: auto_tiling(gpu, bs, self.hidden()),
+            },
+        }
+    }
+}
+
+/// The policy objects for the producer GeMM under `kind`.
+fn producer_policy(kind: PolicyKind, model: MlpModel, grid1: Dim3) -> PolicyRef {
+    match (kind, model) {
+        (PolicyKind::Row, _) => Arc::new(RowSync),
+        // LLaMA's consumer needs both the gate and value halves: the
+        // generated StridedSync groups tiles `half_tiles` apart.
+        (PolicyKind::Strided, MlpModel::Llama) => Arc::new(StridedSync::new(grid1.x / 2, 2)),
+        _ => Arc::new(TileSync),
+    }
+}
+
+/// Grid of a GeMM given its shape and tiling.
+fn grid_of(m: u32, n: u32, t: &GemmTiling) -> Dim3 {
+    Dim3::new(n.div_ceil(t.tile.n), m.div_ceil(t.tile.m), t.split_k)
+}
+
+/// Builds and runs one MLP block (two dependent GeMMs) at `bs` total
+/// tokens under `mode`, returning the full run report.
+///
+/// Buffers are timing-only (benchmark fidelity); functional correctness of
+/// the same kernel compositions is covered by the kernels-crate tests.
+///
+/// # Panics
+///
+/// Panics if the simulated run deadlocks (it cannot, for these launch
+/// orders) .
+pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) -> RunReport {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    let h = model.hidden();
+    let n1 = model.first_gemm_n();
+    let inter = model.intermediate();
+    let t = model.tiling(gpu_cfg, bs);
+
+    let x = gpu.alloc("x", (bs as usize) * h as usize, DType::F16);
+    let w1 = gpu.alloc("w1", h as usize * n1 as usize, DType::F16);
+    let w2 = gpu.alloc("w2", inter as usize * h as usize, DType::F16);
+    let xw1 = gpu.alloc("xw1", bs as usize * n1 as usize, DType::F16);
+    let out = gpu.alloc("out", bs as usize * h as usize, DType::F16);
+
+    let dims1 = GemmDims::new(bs, n1, h);
+    let dims2 = GemmDims::new(bs, h, inter);
+    let epilogue1 = match model {
+        MlpModel::Gpt3 => Epilogue::Gelu,
+        MlpModel::Llama => Epilogue::None, // swish applied by the consumer
+    };
+    let grid1 = grid_of(bs, n1, &t.gemm1);
+
+    let gemm1 = |stage| {
+        let mut b = GemmBuilder::new("gemm1", dims1, t.gemm1.tile)
+            .operands(x, w1, xw1)
+            .epilogue(epilogue1)
+            .split_k(t.gemm1.split_k)
+            .occupancy(t.gemm1.occupancy);
+        if let Some(stage) = stage {
+            b = b.stage(stage);
+        }
+        b.build(gpu_cfg)
+    };
+    let gemm2 = |stage: Option<_>| {
+        let mut b = GemmBuilder::new("gemm2", dims2, t.gemm2.tile)
+            .split_k(t.gemm2.split_k)
+            .occupancy(t.gemm2.occupancy);
+        b = match model {
+            MlpModel::Gpt3 => b.operands(xw1, w2, out),
+            MlpModel::Llama => b.swiglu_a(xw1).operands_b_c(w2, out),
+        };
+        if let Some(stage) = stage {
+            b = b.stage(stage);
+            // Consumer waits per producer column tile. For LLaMA the gate
+            // half spans the first grid1.x/2 tiles and the value half is
+            // requested `half` tiles further.
+            let (chunks, plan) = match model {
+                MlpModel::Gpt3 => (grid1.x, DepPlan::RowAligned { x_offset_tiles: 0 }),
+                MlpModel::Llama => (
+                    grid1.x / 2,
+                    DepPlan::Strided { x_offsets: vec![0, grid1.x / 2] },
+                ),
+            };
+            b = b.a_dep(InputDep { prod_grid: grid1, plan }, chunks);
+        }
+        b.build(gpu_cfg)
+    };
+
+    match mode {
+        SyncMode::StreamSync => {
+            launch_stream_sync(
+                &mut gpu,
+                [
+                    Arc::new(gemm1(None)) as Arc<dyn KernelSource>,
+                    Arc::new(gemm2(None)) as Arc<dyn KernelSource>,
+                ],
+            );
+        }
+        SyncMode::StreamK => {
+            let stream = gpu.create_stream(0);
+            StreamKBuilder::new("gemm1", dims1, t.gemm1.tile)
+                .operands(x, w1, xw1)
+                .epilogue(epilogue1)
+                .occupancy(t.gemm1.occupancy)
+                .build()
+                .launch(&mut gpu, stream);
+            StreamKBuilder::new("gemm2", dims2, t.gemm2.tile)
+                .operands(xw1, w2, out)
+                .occupancy(t.gemm2.occupancy)
+                .build()
+                .launch(&mut gpu, stream);
+        }
+        SyncMode::CuSync(kind, opts) => {
+            let mut graph = SyncGraph::new();
+            let grid2 = grid_of(bs, h, &t.gemm2);
+            let s1 = graph.add_stage(
+                CuStage::new("gemm1", grid1)
+                    .policy_ref(producer_policy(kind, model, grid1))
+                    .opts(opts),
+            );
+            // The final stage has no consumers; NoSync avoids pure-overhead
+            // posts (the paper instruments both kernels identically, but
+            // its consumer-side posts target unallocated semaphores —
+            // equivalent to skipping them).
+            let s2 = graph.add_stage(CuStage::new("gemm2", grid2).policy(NoSync).opts(opts));
+            graph.dependency(s1, s2, xw1).expect("valid MLP graph");
+            let bound = graph.bind(&mut gpu).expect("bindable MLP graph");
+            bound
+                .launch(&mut gpu, s1, Arc::new(gemm1(Some(Arc::clone(bound.stage(s1))))))
+                .expect("launch gemm1");
+            bound
+                .launch(&mut gpu, s2, Arc::new(gemm2(Some(Arc::clone(bound.stage(s2))))))
+                .expect("launch gemm2");
+        }
+    }
+    gpu.run().expect("MLP run deadlocked")
+}
+
+/// Convenience: total simulated time of one MLP block.
+pub fn mlp_time(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) -> cusync_sim::SimTime {
+    run_mlp(gpu_cfg, model, bs, mode).total
+}
+
+/// Percentage improvement of `mode` over StreamSync, as plotted in
+/// Fig. 6(a,c).
+pub fn mlp_improvement(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) -> f64 {
+    let base = mlp_time(gpu_cfg, model, bs, SyncMode::StreamSync);
+    let t = mlp_time(gpu_cfg, model, bs, mode);
+    100.0 * (1.0 - t.as_picos() as f64 / base.as_picos() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusync::OptFlags;
+
+    fn v100() -> GpuConfig {
+        GpuConfig::tesla_v100()
+    }
+
+    #[test]
+    fn stream_sync_serializes_the_two_gemms() {
+        let report = run_mlp(&v100(), MlpModel::Gpt3, 256, SyncMode::StreamSync);
+        assert!(report.kernel("gemm2").start >= report.kernel("gemm1").end);
+    }
+
+    #[test]
+    fn cusync_overlaps_the_two_gemms() {
+        let report = run_mlp(
+            &v100(),
+            MlpModel::Gpt3,
+            256,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+        );
+        assert!(report.kernel("gemm2").start < report.kernel("gemm1").end);
+    }
+
+    #[test]
+    fn cusync_beats_stream_sync_at_batch_256() {
+        // Table IV row 256: cuSync reduces runtime by 16%.
+        let base = mlp_time(&v100(), MlpModel::Gpt3, 256, SyncMode::StreamSync);
+        let tile = mlp_time(
+            &v100(),
+            MlpModel::Gpt3,
+            256,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+        );
+        assert!(tile < base, "TileSync+WRT {tile} vs StreamSync {base}");
+    }
+
+    #[test]
+    fn llama_mlp_runs_all_modes() {
+        for mode in [
+            SyncMode::StreamSync,
+            SyncMode::StreamK,
+            SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
+            SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT),
+        ] {
+            let report = run_mlp(&v100(), MlpModel::Llama, 512, mode);
+            assert!(report.total > cusync_sim::SimTime::ZERO, "{mode}");
+        }
+    }
+
+    #[test]
+    fn wait_kernel_present_without_w_flag() {
+        let with_wait = run_mlp(
+            &v100(),
+            MlpModel::Gpt3,
+            256,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::NONE),
+        );
+        // gemm1, gemm2.wait, gemm2.
+        assert_eq!(with_wait.kernels.len(), 3);
+        let without = run_mlp(
+            &v100(),
+            MlpModel::Gpt3,
+            256,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+        );
+        assert_eq!(without.kernels.len(), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! ResNet-38 and VGG-19 convolution stacks (Table II) for Fig. 7/8b.
+
+use std::sync::Arc;
+
+use cusync::{
+    launch_stream_sync, Conv2DTileSync, CuStage, NoSync, PolicyRef, RowSync, SyncGraph,
+    TileSync,
+};
+use cusync_kernels::{Conv2DBuilder, Conv2DShape, DepPlan, Epilogue, InputDep};
+use cusync_sim::{DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport};
+
+use crate::modes::{PolicyKind, SyncMode};
+use crate::tiling::conv_tiling;
+
+/// One row of Table II: a group of identical layers, each running
+/// `convs_per_layer` chained 3x3 convolutions at the given spatial size
+/// and channel count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvStage {
+    /// Spatial size P = Q.
+    pub pq: u32,
+    /// Channels (C = K for every layer in Table II).
+    pub channels: u32,
+    /// Dependent Conv2Ds per layer.
+    pub convs_per_layer: u32,
+    /// Number of such layers in the model.
+    pub layers: u32,
+}
+
+/// The four convolution groups of ResNet-38 (Table II).
+pub fn resnet38() -> Vec<ConvStage> {
+    vec![
+        ConvStage { pq: 56, channels: 64, convs_per_layer: 2, layers: 3 },
+        ConvStage { pq: 28, channels: 128, convs_per_layer: 2, layers: 4 },
+        ConvStage { pq: 14, channels: 256, convs_per_layer: 2, layers: 6 },
+        ConvStage { pq: 7, channels: 512, convs_per_layer: 2, layers: 3 },
+    ]
+}
+
+/// The four convolution groups of VGG-19 (Table II).
+pub fn vgg19() -> Vec<ConvStage> {
+    vec![
+        ConvStage { pq: 56, channels: 64, convs_per_layer: 2, layers: 1 },
+        ConvStage { pq: 28, channels: 128, convs_per_layer: 2, layers: 1 },
+        ConvStage { pq: 14, channels: 256, convs_per_layer: 4, layers: 1 },
+        ConvStage { pq: 7, channels: 512, convs_per_layer: 4, layers: 1 },
+    ]
+}
+
+fn conv_policy(kind: PolicyKind, rs: u32) -> PolicyRef {
+    match kind {
+        PolicyKind::Row => Arc::new(RowSync),
+        PolicyKind::Conv2DTile => Arc::new(Conv2DTileSync::new(rs)),
+        _ => Arc::new(TileSync),
+    }
+}
+
+/// Runs one layer: `convs` chained 3x3 convolutions of `channels`
+/// channels on `batch` images of `pq x pq` pixels.
+///
+/// # Panics
+///
+/// Panics if the simulated run deadlocks or `mode` is [`SyncMode::StreamK`]
+/// (Stream-K supports only GeMM; Fig. 7 has no Stream-K series).
+pub fn run_conv_layer(
+    gpu_cfg: &GpuConfig,
+    batch: u32,
+    pq: u32,
+    channels: u32,
+    convs: u32,
+    mode: SyncMode,
+) -> RunReport {
+    assert!(
+        mode != SyncMode::StreamK,
+        "Stream-K does not support Conv2D (Section V-H)"
+    );
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    let shape = Conv2DShape::square3x3(batch, pq, channels, channels);
+    let t = conv_tiling(channels);
+    let grid = Dim3::new(
+        channels.div_ceil(t.tile.n),
+        shape.gemm_m().div_ceil(t.tile.m),
+        1,
+    );
+
+    // One activation buffer per hop, plus shared weights per conv.
+    let mut acts = Vec::with_capacity(convs as usize + 1);
+    for i in 0..=convs {
+        acts.push(gpu.alloc(
+            &format!("act{i}"),
+            (shape.gemm_m() * channels) as usize,
+            DType::F16,
+        ));
+    }
+    let weights: Vec<_> = (0..convs)
+        .map(|i| {
+            gpu.alloc(
+                &format!("w{i}"),
+                (shape.rs() * channels * channels) as usize,
+                DType::F16,
+            )
+        })
+        .collect();
+
+    let build = |i: usize, stage: Option<_>, with_dep: bool| {
+        let mut b = Conv2DBuilder::new(&format!("conv{i}"), shape, t.tile)
+            .operands(acts[i], weights[i], acts[i + 1])
+            .epilogue(Epilogue::Relu)
+            .occupancy(t.occupancy);
+        if let Some(stage) = stage {
+            b = b.stage(stage);
+            if with_dep {
+                b = b.input_dep(InputDep {
+                    prod_grid: grid,
+                    plan: DepPlan::RowAligned { x_offset_tiles: 0 },
+                });
+            }
+        }
+        b.build(gpu_cfg)
+    };
+
+    match mode {
+        SyncMode::StreamSync | SyncMode::StreamK => {
+            let kernels: Vec<Arc<dyn KernelSource>> = (0..convs as usize)
+                .map(|i| Arc::new(build(i, None, false)) as Arc<dyn KernelSource>)
+                .collect();
+            launch_stream_sync(&mut gpu, kernels);
+        }
+        SyncMode::CuSync(kind, opts) => {
+            let mut graph = SyncGraph::new();
+            let stages: Vec<_> = (0..convs as usize)
+                .map(|i| {
+                    let stage = if i + 1 == convs as usize {
+                        CuStage::new(&format!("conv{i}"), grid).policy(NoSync).opts(opts)
+                    } else {
+                        CuStage::new(&format!("conv{i}"), grid)
+                            .policy_ref(conv_policy(kind, shape.rs()))
+                            .opts(opts)
+                    };
+                    graph.add_stage(stage)
+                })
+                .collect();
+            for i in 1..convs as usize {
+                graph
+                    .dependency(stages[i - 1], stages[i], acts[i])
+                    .expect("valid conv chain");
+            }
+            let bound = graph.bind(&mut gpu).expect("bindable conv chain");
+            for i in 0..convs as usize {
+                let kernel = build(i, Some(Arc::clone(bound.stage(stages[i]))), i > 0);
+                bound
+                    .launch(&mut gpu, stages[i], Arc::new(kernel))
+                    .expect("launch conv");
+            }
+        }
+    }
+    gpu.run().expect("conv layer run deadlocked")
+}
+
+/// Total simulated time of one conv layer.
+pub fn conv_layer_time(
+    gpu_cfg: &GpuConfig,
+    batch: u32,
+    pq: u32,
+    channels: u32,
+    convs: u32,
+    mode: SyncMode,
+) -> cusync_sim::SimTime {
+    run_conv_layer(gpu_cfg, batch, pq, channels, convs, mode).total
+}
+
+/// Percentage improvement of `mode` over StreamSync for one layer
+/// (Fig. 7).
+pub fn conv_improvement(
+    gpu_cfg: &GpuConfig,
+    batch: u32,
+    pq: u32,
+    channels: u32,
+    convs: u32,
+    mode: SyncMode,
+) -> f64 {
+    let base = conv_layer_time(gpu_cfg, batch, pq, channels, convs, SyncMode::StreamSync);
+    let t = conv_layer_time(gpu_cfg, batch, pq, channels, convs, mode);
+    100.0 * (1.0 - t.as_picos() as f64 / base.as_picos() as f64)
+}
+
+/// Spatial size used in Fig. 7 for a channel count (Table II pairs them).
+pub fn pq_for_channels(channels: u32) -> u32 {
+    match channels {
+        64 => 56,
+        128 => 28,
+        256 => 14,
+        _ => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusync::OptFlags;
+
+    fn v100() -> GpuConfig {
+        GpuConfig::tesla_v100()
+    }
+
+    #[test]
+    fn table2_stages_match_the_paper() {
+        let resnet = resnet38();
+        // 2 convs x (3+4+6+3) layers = 32 convolutions (plus stem etc. in
+        // the real network).
+        let convs: u32 = resnet.iter().map(|s| s.convs_per_layer * s.layers).sum();
+        assert_eq!(convs, 32);
+        let vgg = vgg19();
+        let convs: u32 = vgg.iter().map(|s| s.convs_per_layer * s.layers).sum();
+        assert_eq!(convs, 12);
+    }
+
+    #[test]
+    fn conv_layer_runs_all_modes() {
+        for mode in [
+            SyncMode::StreamSync,
+            SyncMode::CuSync(PolicyKind::Conv2DTile, OptFlags::WRT),
+            SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT),
+        ] {
+            let report = run_conv_layer(&v100(), 4, 28, 128, 2, mode);
+            assert_eq!(report.kernels.len() >= 2, true, "{mode}");
+        }
+    }
+
+    #[test]
+    fn cusync_overlaps_chained_convs() {
+        let report = run_conv_layer(
+            &v100(),
+            4,
+            28,
+            128,
+            2,
+            SyncMode::CuSync(PolicyKind::Conv2DTile, OptFlags::WRT),
+        );
+        assert!(report.kernel("conv1").start < report.kernel("conv0").end);
+    }
+
+    #[test]
+    #[should_panic(expected = "Stream-K does not support Conv2D")]
+    fn streamk_conv_is_rejected() {
+        run_conv_layer(&v100(), 1, 56, 64, 2, SyncMode::StreamK);
+    }
+
+    #[test]
+    fn vgg_quad_layers_chain_four_convs() {
+        let report = run_conv_layer(&v100(), 1, 14, 256, 4, SyncMode::StreamSync);
+        assert_eq!(report.kernels.len(), 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Three-dimensional grid/block coordinates, mirroring CUDA's `dim3`.
+
+use std::fmt;
+
+/// A 3-dimensional extent or coordinate, equivalent to CUDA's `dim3`.
+///
+/// Used both for grid shapes (number of thread blocks per dimension) and for
+/// thread-block indices within a grid. Following the paper's convention
+/// (Fig. 5a), for GeMM grids `x` indexes output *columns* (N dimension),
+/// `y` indexes output *rows* (M dimension), and `z` is the split-K factor.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_sim::Dim3;
+///
+/// let grid = Dim3::new(24, 2, 2);
+/// assert_eq!(grid.count(), 96);
+/// assert_eq!(grid.linear_of(Dim3::new(1, 0, 0)), 1);
+/// assert_eq!(grid.linear_of(Dim3::new(0, 1, 0)), 24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Dim3 {
+    /// Extent or coordinate in the x dimension (fastest varying).
+    pub x: u32,
+    /// Extent or coordinate in the y dimension.
+    pub y: u32,
+    /// Extent or coordinate in the z dimension (slowest varying).
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1×1×1 extent (single block) or the origin coordinate.
+    pub const ONE: Dim3 = Dim3 { x: 1, y: 1, z: 1 };
+
+    /// Creates a new `Dim3` from explicit components.
+    pub const fn new(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Creates a 1-D extent `(x, 1, 1)`.
+    pub const fn linear(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// Creates a 2-D extent `(x, y, 1)`.
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Total number of elements covered by this extent.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use cusync_sim::Dim3;
+    /// assert_eq!(Dim3::new(3, 2, 1).count(), 6);
+    /// ```
+    pub fn count(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Row-major (x fastest, then y, then z) linearization of `idx` within
+    /// `self` interpreted as an extent.
+    ///
+    /// This matches the `RowMajor` tile order of the paper (Fig. 4b):
+    /// `tile.y * grid.x + tile.x`, extended with z as the slowest dimension.
+    pub fn linear_of(self, idx: Dim3) -> u64 {
+        debug_assert!(idx.x < self.x && idx.y < self.y && idx.z < self.z);
+        (idx.z as u64 * self.y as u64 + idx.y as u64) * self.x as u64 + idx.x as u64
+    }
+
+    /// Inverse of [`Dim3::linear_of`]: reconstructs the coordinate from a
+    /// row-major linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `linear >= self.count()`.
+    pub fn delinear(self, linear: u64) -> Dim3 {
+        debug_assert!(linear < self.count());
+        let x = (linear % self.x as u64) as u32;
+        let rest = linear / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        Dim3 { x, y, z }
+    }
+
+    /// Returns true if `idx` lies strictly inside this extent in every
+    /// dimension.
+    pub fn contains(self, idx: Dim3) -> bool {
+        idx.x < self.x && idx.y < self.y && idx.z < self.z
+    }
+
+    /// Element-wise ceiling division, useful for computing grid sizes from
+    /// problem sizes and tile sizes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use cusync_sim::Dim3;
+    /// let problem = Dim3::new(100, 60, 1);
+    /// let tile = Dim3::new(32, 32, 1);
+    /// assert_eq!(problem.div_ceil(tile), Dim3::new(4, 2, 1));
+    /// ```
+    pub fn div_ceil(self, tile: Dim3) -> Dim3 {
+        Dim3 {
+            x: self.x.div_ceil(tile.x),
+            y: self.y.div_ceil(tile.y),
+            z: self.z.div_ceil(tile.z),
+        }
+    }
+
+    /// Iterates over every coordinate in this extent in row-major order.
+    pub fn iter(self) -> impl Iterator<Item = Dim3> {
+        (0..self.count()).map(move |i| self.delinear(i))
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.x, self.y, self.z)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::xy(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::new(x, y, z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::linear(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_multiplies_dimensions() {
+        assert_eq!(Dim3::new(4, 3, 2).count(), 24);
+        assert_eq!(Dim3::ONE.count(), 1);
+        assert_eq!(Dim3::new(0, 5, 5).count(), 0);
+    }
+
+    #[test]
+    fn linear_roundtrip_covers_grid() {
+        let grid = Dim3::new(5, 3, 2);
+        for i in 0..grid.count() {
+            let idx = grid.delinear(i);
+            assert!(grid.contains(idx));
+            assert_eq!(grid.linear_of(idx), i);
+        }
+    }
+
+    #[test]
+    fn linear_is_row_major() {
+        let grid = Dim3::new(4, 4, 1);
+        // Matches the paper's RowMajor definition: tile.y * grid.x + tile.x.
+        assert_eq!(grid.linear_of(Dim3::new(2, 1, 0)), 1 * 4 + 2);
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(
+            Dim3::new(100, 64, 1).div_ceil(Dim3::new(32, 32, 1)),
+            Dim3::new(4, 2, 1)
+        );
+        assert_eq!(
+            Dim3::new(96, 64, 3).div_ceil(Dim3::new(32, 32, 1)),
+            Dim3::new(3, 2, 3)
+        );
+    }
+
+    #[test]
+    fn iter_visits_all_in_order() {
+        let grid = Dim3::new(2, 2, 1);
+        let coords: Vec<Dim3> = grid.iter().collect();
+        assert_eq!(
+            coords,
+            vec![
+                Dim3::new(0, 0, 0),
+                Dim3::new(1, 0, 0),
+                Dim3::new(0, 1, 0),
+                Dim3::new(1, 1, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Dim3::new(1, 48, 4).to_string(), "1x48x4");
+    }
+
+    #[test]
+    fn conversions_from_tuples() {
+        assert_eq!(Dim3::from((2, 3)), Dim3::new(2, 3, 1));
+        assert_eq!(Dim3::from((2, 3, 4)), Dim3::new(2, 3, 4));
+        assert_eq!(Dim3::from(7u32), Dim3::new(7, 1, 1));
+    }
+}

@@ -1,0 +1,1007 @@
+//! The discrete-event execution engine.
+//!
+//! [`Gpu`] owns the hardware model ([`GpuConfig`]), global memory, semaphore
+//! storage, CUDA-style streams, and the event loop that issues thread blocks
+//! onto SM slots in kernel launch order — the scheduling behaviour the paper
+//! observes on Volta/Ampere GPUs (Section III-B). Busy-waiting blocks keep
+//! occupying their SM slot, so an under-provisioned schedule can deadlock;
+//! the engine detects this and reports which semaphores were being waited
+//! on.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::config::{GpuConfig, SM_CAPACITY_UNITS};
+use crate::dim::Dim3;
+use crate::kernel::{BlockCtx, KernelSource, Step};
+use crate::mem::{BufferId, DType, GlobalMemory};
+use crate::ops::Op;
+use crate::sem::{SemArrayId, SemTable};
+use crate::stats::{waves, KernelReport, RunReport};
+use crate::time::SimTime;
+use crate::trace::{KernelId, TraceEvent};
+
+/// Identifier of a CUDA stream created on a [`Gpu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(usize);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// Error raised by [`Gpu::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No event can make progress but kernels remain incomplete: every
+    /// resident block is busy-waiting on a semaphore and no SM slot is free
+    /// for the blocks that would post — the hazard of omitting the
+    /// wait-kernel (Section III-B).
+    Deadlock {
+        /// Time at which progress stopped.
+        time: SimTime,
+        /// Human-readable description of each blocked thread block.
+        blocked: Vec<String>,
+        /// Kernels that had not finished.
+        pending: Vec<String>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { time, blocked, pending } => {
+                write!(
+                    f,
+                    "deadlock at {time}: {} blocked thread block(s), pending kernels [{}]",
+                    blocked.len(),
+                    pending.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    KernelReady(usize),
+    BlockResume(usize),
+    PostApply { block: usize, table: SemArrayId, index: u32, inc: u32 },
+    AtomicApply { block: usize, table: SemArrayId, index: u32, inc: u32 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct StreamState {
+    priority: i32,
+    queue: Vec<usize>,
+    next: usize,
+}
+
+struct KernelState {
+    source: Arc<dyn KernelSource>,
+    name: String,
+    stream: usize,
+    priority: i32,
+    host_ready: SimTime,
+    grid: Dim3,
+    total: u64,
+    occupancy: u32,
+    units: u32,
+    issued: u64,
+    completed: u64,
+    ready: bool,
+    ready_at: SimTime,
+    start: Option<SimTime>,
+    end: Option<SimTime>,
+    concurrent: u64,
+    max_concurrent: u64,
+}
+
+struct BlockSlot {
+    kernel: usize,
+    idx: Dim3,
+    sm: u32,
+    units: u32,
+    body: Option<Box<dyn crate::kernel::BlockBody>>,
+    atomic_result: Option<u32>,
+    waiting: Option<(SemArrayId, u32, u32)>,
+}
+
+/// The simulated GPU: hardware model, memory, streams, and event loop.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cusync_sim::{Dim3, FixedKernel, Gpu, GpuConfig, Op};
+///
+/// let mut gpu = Gpu::new(GpuConfig::toy(4));
+/// let stream = gpu.create_stream(0);
+/// gpu.launch(stream, Arc::new(FixedKernel::new(
+///     "copy", Dim3::linear(6), 1, vec![Op::read(4096), Op::write(4096)],
+/// )));
+/// let report = gpu.run()?;
+/// assert_eq!(report.kernels[0].blocks, 6);
+/// // 6 blocks on 4 SMs at occupancy 1 is 1.5 waves.
+/// assert!((report.kernels[0].static_waves - 1.5).abs() < 1e-9);
+/// # Ok::<(), cusync_sim::SimError>(())
+/// ```
+pub struct Gpu {
+    config: GpuConfig,
+    mem: GlobalMemory,
+    sems: SemTable,
+    streams: Vec<StreamState>,
+    kernels: Vec<KernelState>,
+    host_time: SimTime,
+    now: SimTime,
+    events: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    sm_free: Vec<u32>,
+    /// Units of *actively executing* (not semaphore-waiting) blocks per
+    /// SM; busy-wait spinners occupy their slot but consume negligible
+    /// execution throughput.
+    sm_active: Vec<u32>,
+    /// GPU-wide sum of `sm_active`, for the dynamic DRAM-share model.
+    active_units: u64,
+    blocks: Vec<BlockSlot>,
+    waiters: BTreeMap<(usize, u32), Vec<usize>>,
+    trace: Vec<TraceEvent>,
+    trace_enabled: bool,
+    busy_units: u64,
+    util_integral: u128,
+    last_util_update: SimTime,
+    first_issue: Option<SimTime>,
+    last_finish: SimTime,
+    ran: bool,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("config", &self.config.name)
+            .field("kernels", &self.kernels.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gpu {
+    /// Creates a GPU with the given hardware model.
+    pub fn new(config: GpuConfig) -> Self {
+        let sms = config.num_sms as usize;
+        Gpu {
+            config,
+            mem: GlobalMemory::new(),
+            sems: SemTable::new(),
+            streams: Vec::new(),
+            kernels: Vec::new(),
+            host_time: SimTime::ZERO,
+            now: SimTime::ZERO,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            sm_free: vec![SM_CAPACITY_UNITS; sms],
+            sm_active: vec![0; sms],
+            active_units: 0,
+            blocks: Vec::new(),
+            waiters: BTreeMap::new(),
+            trace: Vec::new(),
+            trace_enabled: false,
+            busy_units: 0,
+            util_integral: 0,
+            last_util_update: SimTime::ZERO,
+            first_issue: None,
+            last_finish: SimTime::ZERO,
+            ran: false,
+        }
+    }
+
+    /// The hardware model in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Read access to global memory.
+    pub fn mem(&self) -> &GlobalMemory {
+        &self.mem
+    }
+
+    /// Mutable access to global memory (allocation, verification).
+    pub fn mem_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.mem
+    }
+
+    /// Read access to the semaphore table.
+    pub fn sems(&self) -> &SemTable {
+        &self.sems
+    }
+
+    /// Mutable access to the semaphore table (allocation, re-init).
+    pub fn sems_mut(&mut self) -> &mut SemTable {
+        &mut self.sems
+    }
+
+    /// Allocates a timing-only buffer (convenience for [`GlobalMemory::alloc`]).
+    pub fn alloc(&mut self, name: &str, len: usize, dtype: DType) -> BufferId {
+        self.mem.alloc(name, len, dtype)
+    }
+
+    /// Allocates a semaphore array (convenience for [`SemTable::alloc`]).
+    pub fn alloc_sems(&mut self, name: &str, len: usize, init: u32) -> SemArrayId {
+        self.sems.alloc(name, len, init)
+    }
+
+    /// Creates a stream. Streams with numerically higher `priority` issue
+    /// their thread blocks first when competing for SM slots.
+    pub fn create_stream(&mut self, priority: i32) -> StreamId {
+        let id = StreamId(self.streams.len());
+        self.streams.push(StreamState {
+            priority,
+            queue: Vec::new(),
+            next: 0,
+        });
+        id
+    }
+
+    /// Enqueues `kernel` on `stream`. Kernels on one stream execute in
+    /// order; kernels on different streams may overlap. Each host launch is
+    /// separated by [`GpuConfig::host_launch_gap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or the stream id is foreign.
+    pub fn launch(&mut self, stream: StreamId, kernel: Arc<dyn KernelSource>) -> KernelId {
+        let grid = kernel.grid();
+        assert!(grid.count() > 0, "kernel {} has an empty grid", kernel.name());
+        assert!(stream.0 < self.streams.len(), "unknown {stream}");
+        let occupancy = kernel.occupancy();
+        let units = self.config.units_per_block(occupancy);
+        let id = self.kernels.len();
+        self.kernels.push(KernelState {
+            name: kernel.name().to_owned(),
+            source: kernel,
+            stream: stream.0,
+            priority: self.streams[stream.0].priority,
+            host_ready: self.host_time,
+            grid,
+            total: grid.count(),
+            occupancy,
+            units,
+            issued: 0,
+            completed: 0,
+            ready: false,
+            ready_at: SimTime::ZERO,
+            start: None,
+            end: None,
+            concurrent: 0,
+            max_concurrent: 0,
+        });
+        self.host_time += self.config.host_launch_gap;
+        self.streams[stream.0].queue.push(id);
+        KernelId(id)
+    }
+
+    /// Records scheduling events for inspection by [`Gpu::trace`].
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// The recorded trace (empty unless [`Gpu::enable_trace`] was called).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.trace_enabled {
+            self.trace.push(event);
+        }
+    }
+
+    /// Runs all launched kernels to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if execution stalls with incomplete
+    /// kernels — every resident block waiting on a semaphore that nothing
+    /// can post.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        assert!(!self.ran, "Gpu::run may only be called once per Gpu");
+        self.ran = true;
+        for s in 0..self.streams.len() {
+            self.schedule_stream_head(s);
+        }
+        while let Some(Reverse(event)) = self.events.pop() {
+            debug_assert!(event.time >= self.now, "time went backwards");
+            self.now = event.time;
+            self.handle(event.kind);
+            // Drain every event at this timestamp before issuing blocks, so
+            // that kernels becoming ready at the same instant compete for SM
+            // slots by priority rather than by event arrival order.
+            while let Some(Reverse(next)) = self.events.peek() {
+                if next.time != self.now {
+                    break;
+                }
+                let Reverse(event) = self.events.pop().expect("peeked event");
+                self.handle(event.kind);
+            }
+            self.try_issue();
+        }
+        let incomplete: Vec<usize> = (0..self.kernels.len())
+            .filter(|&k| self.kernels[k].completed < self.kernels[k].total)
+            .collect();
+        if !incomplete.is_empty() {
+            return Err(self.deadlock_error(&incomplete));
+        }
+        Ok(self.report())
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::KernelReady(k) => {
+                self.kernels[k].ready = true;
+                self.kernels[k].ready_at = self.now;
+                self.record(TraceEvent::KernelReady {
+                    kernel: KernelId(k),
+                    time: self.now,
+                });
+            }
+            EventKind::BlockResume(b) => self.step_block(b),
+            EventKind::PostApply { block, table, index, inc } => {
+                self.apply_post(block, table, index, inc);
+            }
+            EventKind::AtomicApply { block, table, index, inc } => {
+                let prev = self.sems.add(table, index, inc);
+                self.blocks[block].atomic_result = Some(prev);
+                self.push_event(self.now, EventKind::BlockResume(block));
+            }
+        }
+    }
+
+    fn deadlock_error(&self, incomplete: &[usize]) -> SimError {
+        let blocked = self
+            .blocks
+            .iter()
+            .filter_map(|slot| {
+                let (table, index, value) = slot.waiting?;
+                Some(format!(
+                    "{} block {} waits {}[{}] >= {} (currently {})",
+                    self.kernels[slot.kernel].name,
+                    slot.idx,
+                    self.sems.name(table),
+                    index,
+                    value,
+                    self.sems.value(table, index),
+                ))
+            })
+            .collect();
+        let pending = incomplete
+            .iter()
+            .map(|&k| self.kernels[k].name.clone())
+            .collect();
+        SimError::Deadlock {
+            time: self.now,
+            blocked,
+            pending,
+        }
+    }
+
+    fn schedule_stream_head(&mut self, stream: usize) {
+        let s = &self.streams[stream];
+        if let Some(&k) = s.queue.get(s.next) {
+            let ready = self.now.max(self.kernels[k].host_ready) + self.config.kernel_dispatch_latency;
+            self.push_event(ready, EventKind::KernelReady(k));
+        }
+    }
+
+    fn try_issue(&mut self) {
+        let mut order: Vec<usize> = (0..self.kernels.len())
+            .filter(|&k| self.kernels[k].ready && self.kernels[k].issued < self.kernels[k].total)
+            .collect();
+        if order.is_empty() {
+            return;
+        }
+        order.sort_by_key(|&k| (Reverse(self.kernels[k].priority), k));
+        for k in order {
+            loop {
+                if self.kernels[k].issued >= self.kernels[k].total {
+                    break;
+                }
+                let units = self.kernels[k].units;
+                // Least-loaded SM first: the hardware work distributor
+                // spreads blocks across SMs, so sparse grids get whole SMs
+                // to themselves (and run faster; see `residency_scale`).
+                let Some((sm, &free)) = self
+                    .sm_free
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &f)| f >= units)
+                    .max_by_key(|&(i, &f)| (f, std::cmp::Reverse(i)))
+                else {
+                    break;
+                };
+                let _ = free;
+                self.issue_block(k, sm as u32);
+            }
+        }
+    }
+
+    fn update_util(&mut self) {
+        let dt = (self.now - self.last_util_update).as_picos() as u128;
+        self.util_integral += dt * self.busy_units as u128;
+        self.last_util_update = self.now;
+    }
+
+    fn issue_block(&mut self, k: usize, sm: u32) {
+        self.update_util();
+        let kernel = &mut self.kernels[k];
+        let idx = kernel.grid.delinear(kernel.issued);
+        kernel.issued += 1;
+        kernel.concurrent += 1;
+        kernel.max_concurrent = kernel.max_concurrent.max(kernel.concurrent);
+        if kernel.start.is_none() {
+            kernel.start = Some(self.now);
+        }
+        let units = kernel.units;
+        let body = kernel.source.block(idx);
+        self.sm_free[sm as usize] -= units;
+        self.sm_active[sm as usize] += units;
+        self.active_units += units as u64;
+        self.busy_units += units as u64;
+        if self.first_issue.is_none() {
+            self.first_issue = Some(self.now);
+        }
+        let bid = self.blocks.len();
+        self.blocks.push(BlockSlot {
+            kernel: k,
+            idx,
+            sm,
+            units,
+            body: Some(body),
+            atomic_result: None,
+            waiting: None,
+        });
+        self.record(TraceEvent::BlockIssued {
+            kernel: KernelId(k),
+            block: idx,
+            sm,
+            time: self.now,
+        });
+        self.push_event(self.now, EventKind::BlockResume(bid));
+    }
+
+    fn step_block(&mut self, bid: usize) {
+        let mut body = self.blocks[bid].body.take().expect("block body missing");
+        let block_idx = self.blocks[bid].idx;
+        let atomic_result = self.blocks[bid].atomic_result;
+        let step = {
+            let mut ctx = BlockCtx {
+                block: block_idx,
+                now: self.now,
+                mem: &mut self.mem,
+                sems: &self.sems,
+                atomic_result,
+            };
+            body.resume(&mut ctx)
+        };
+        match step {
+            Step::Done => {
+                drop(body);
+                self.finish_block(bid);
+            }
+            Step::Op(op) => {
+                self.blocks[bid].body = Some(body);
+                self.apply_op(bid, op);
+            }
+        }
+    }
+
+    /// How much faster this block runs than its cost model assumes.
+    ///
+    /// Kernel cost models charge each block `1/occupancy` of an SM's
+    /// throughput — the fully-packed steady state. When the block's SM is
+    /// only partially occupied (sparse grids, draining waves), the block's
+    /// fair share grows proportionally, so durations shrink by
+    /// `used_units / SM_CAPACITY_UNITS`. This is also what staggers the
+    /// completion times of a partial wave: doubled-up blocks finish later
+    /// than blocks holding an SM alone.
+    fn residency_scale(&self, bid: usize) -> f64 {
+        let sm = self.blocks[bid].sm as usize;
+        let active = self.sm_active[sm].max(self.blocks[bid].units) as f64;
+        let fraction = (active / SM_CAPACITY_UNITS as f64).clamp(0.0, 1.0);
+        1.0 - self.config.residency_boost * (1.0 - fraction)
+    }
+
+    /// Deterministic per-block duration factor in
+    /// `[1 - jitter, 1 + jitter]`, derived from a SplitMix64 hash of the
+    /// block's kernel and grid index (identical inputs always produce the
+    /// identical timeline).
+    fn jitter_factor(&self, bid: usize) -> f64 {
+        let j = self.config.block_jitter;
+        if j == 0.0 {
+            return 1.0;
+        }
+        let slot = &self.blocks[bid];
+        let key = (slot.kernel as u64) << 48
+            ^ self.kernels[slot.kernel].grid.linear_of(slot.idx);
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + j * (2.0 * unit - 1.0)
+    }
+
+    fn scaled(&self, bid: usize, t: SimTime) -> SimTime {
+        let factor = self.residency_scale(bid) * self.jitter_factor(bid);
+        SimTime::from_picos((t.as_picos() as f64 * factor).round() as u64)
+    }
+
+    /// Time for this block to move `bytes` through DRAM under the dynamic
+    /// share model: bandwidth divides over all currently active blocks,
+    /// but a `dram_saturation_fraction` of the GPU already saturates the
+    /// bus, so sparse populations gain bandwidth per block only down to
+    /// that floor (and the aggregate never exceeds the DRAM peak).
+    fn dyn_mem_time(&self, bid: usize, bytes: u64) -> SimTime {
+        let cfg = &self.config;
+        let capacity = cfg.num_sms as f64 * SM_CAPACITY_UNITS as f64;
+        let saturation = cfg.dram_saturation_fraction * capacity;
+        let competing = (self.active_units as f64).max(saturation).max(1.0);
+        let units = self.blocks[bid].units as f64;
+        let share = cfg.dram_bytes_per_sec * units / competing;
+        SimTime::from_picos((bytes as f64 / share * 1e12).round() as u64)
+    }
+
+    fn apply_op(&mut self, bid: usize, op: Op) {
+        let cfg = &self.config;
+        match op {
+            Op::Compute { cycles } => {
+                let d = self.scaled(bid, cfg.cycles(cycles));
+                let t = self.now + d;
+                self.push_event(t, EventKind::BlockResume(bid));
+            }
+            Op::GlobalRead { bytes } | Op::GlobalWrite { bytes } => {
+                let mem = self.dyn_mem_time(bid, bytes);
+                let jitter = self.jitter_factor(bid);
+                let d = SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
+                let t = self.now + cfg.cycles(cfg.global_latency_cycles) + d;
+                self.push_event(t, EventKind::BlockResume(bid));
+            }
+            Op::MainStep { bytes, cycles } => {
+                // Loads overlap math: the step costs the slower of the two.
+                let mem = self.dyn_mem_time(bid, bytes);
+                let compute = self.scaled(bid, cfg.cycles(cycles));
+                let jitter = self.jitter_factor(bid);
+                let mem =
+                    SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
+                let t = self.now
+                    + cfg.cycles(cfg.global_latency_cycles)
+                    + mem.max(compute);
+                self.push_event(t, EventKind::BlockResume(bid));
+            }
+            Op::Syncthreads => {
+                let t = self.now + cfg.cycles(cfg.syncthreads_cycles);
+                self.push_event(t, EventKind::BlockResume(bid));
+            }
+            Op::Fence => {
+                let t = self.now + cfg.cycles(cfg.fence_cycles);
+                self.push_event(t, EventKind::BlockResume(bid));
+            }
+            Op::SemWait { table, index, value } => {
+                if self.sems.value(table, index) >= value {
+                    let t = self.now + cfg.cycles(cfg.poll_latency_cycles);
+                    self.push_event(t, EventKind::BlockResume(bid));
+                } else {
+                    self.blocks[bid].waiting = Some((table, index, value));
+                    self.waiters.entry((table.0, index)).or_default().push(bid);
+                    // Parked: stops competing for execution throughput.
+                    let sm = self.blocks[bid].sm as usize;
+                    self.sm_active[sm] -= self.blocks[bid].units;
+                    self.active_units -= self.blocks[bid].units as u64;
+                    let kernel = self.blocks[bid].kernel;
+                    self.record(TraceEvent::BlockBlocked {
+                        kernel: KernelId(kernel),
+                        block: self.blocks[bid].idx,
+                        table,
+                        index,
+                        value,
+                        time: self.now,
+                    });
+                }
+            }
+            Op::SemPost { table, index, inc } => {
+                let t = self.now + cfg.cycles(cfg.atomic_latency_cycles);
+                self.push_event(t, EventKind::PostApply { block: bid, table, index, inc });
+            }
+            Op::AtomicAdd { table, index, inc } => {
+                let t = self.now + cfg.cycles(cfg.atomic_latency_cycles);
+                self.push_event(t, EventKind::AtomicApply { block: bid, table, index, inc });
+            }
+        }
+    }
+
+    fn apply_post(&mut self, poster: usize, table: SemArrayId, index: u32, inc: u32) {
+        self.sems.add(table, index, inc);
+        let new_value = self.sems.value(table, index);
+        self.record(TraceEvent::SemPosted {
+            table,
+            index,
+            new_value,
+            time: self.now,
+        });
+        let wake_at = self.now + self.config.cycles(self.config.poll_latency_cycles);
+        if let Some(list) = self.waiters.get_mut(&(table.0, index)) {
+            let mut still = Vec::new();
+            let mut woken = Vec::new();
+            for &wbid in list.iter() {
+                let (_, _, target) = self.blocks[wbid].waiting.expect("waiter without target");
+                if new_value >= target {
+                    woken.push(wbid);
+                } else {
+                    still.push(wbid);
+                }
+            }
+            *list = still;
+            for wbid in woken {
+                self.blocks[wbid].waiting = None;
+                let sm = self.blocks[wbid].sm as usize;
+                self.sm_active[sm] += self.blocks[wbid].units;
+                self.active_units += self.blocks[wbid].units as u64;
+                self.push_event(wake_at, EventKind::BlockResume(wbid));
+            }
+        }
+        self.push_event(self.now, EventKind::BlockResume(poster));
+    }
+
+    fn finish_block(&mut self, bid: usize) {
+        self.update_util();
+        let (k, sm, units, idx) = {
+            let slot = &self.blocks[bid];
+            (slot.kernel, slot.sm, slot.units, slot.idx)
+        };
+        self.sm_free[sm as usize] += units;
+        self.sm_active[sm as usize] -= units;
+        self.active_units -= units as u64;
+        self.busy_units -= units as u64;
+        self.last_finish = self.now;
+        self.record(TraceEvent::BlockFinished {
+            kernel: KernelId(k),
+            block: idx,
+            time: self.now,
+        });
+        let kernel = &mut self.kernels[k];
+        kernel.completed += 1;
+        kernel.concurrent -= 1;
+        if kernel.completed == kernel.total {
+            kernel.end = Some(self.now);
+            let stream = kernel.stream;
+            self.record(TraceEvent::KernelFinished {
+                kernel: KernelId(k),
+                time: self.now,
+            });
+            self.streams[stream].next += 1;
+            self.schedule_stream_head(stream);
+        }
+    }
+
+    fn report(&self) -> RunReport {
+        let sms = self.config.num_sms;
+        let kernels: Vec<KernelReport> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let start = k.start.unwrap_or(k.ready_at);
+                let end = k.end.unwrap_or(start);
+                KernelReport {
+                    name: k.name.clone(),
+                    grid: k.grid,
+                    occupancy: k.occupancy,
+                    blocks: k.total,
+                    static_waves: waves(k.total, k.occupancy, sms),
+                    ready: k.ready_at,
+                    start,
+                    end,
+                    duration: end.saturating_sub(start),
+                    max_concurrent: k.max_concurrent,
+                }
+            })
+            .collect();
+        let total = kernels
+            .iter()
+            .map(|k| k.end)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let span = match self.first_issue {
+            Some(first) => self.last_finish.saturating_sub(first),
+            None => SimTime::ZERO,
+        };
+        let capacity = sms as u128 * SM_CAPACITY_UNITS as u128;
+        let sm_utilization = if span > SimTime::ZERO {
+            self.util_integral as f64 / (capacity as f64 * span.as_picos() as f64)
+        } else {
+            0.0
+        };
+        let sem_posts = self.sems.ids().map(|id| self.sems.posts(id)).sum();
+        RunReport {
+            total,
+            kernels,
+            races: self.mem.races_total(),
+            sm_utilization,
+            sem_posts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FixedKernel;
+
+    fn quiet_config() -> GpuConfig {
+        GpuConfig {
+            host_launch_gap: SimTime::ZERO,
+            kernel_dispatch_latency: SimTime::ZERO,
+            block_jitter: 0.0,
+            ..GpuConfig::toy(4)
+        }
+    }
+
+    #[test]
+    fn single_kernel_runs_in_waves() {
+        let mut gpu = Gpu::new(quiet_config());
+        let s = gpu.create_stream(0);
+        // 6 blocks, occupancy 1, 4 SMs: two waves (4 then 2), like Fig. 1b.
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new("k", Dim3::linear(6), 1, vec![Op::compute(1000)])),
+        );
+        let report = gpu.run().unwrap();
+        let k = &report.kernels[0];
+        assert_eq!(k.blocks, 6);
+        assert!((k.static_waves - 1.5).abs() < 1e-9);
+        assert_eq!(k.max_concurrent, 4);
+        // Two sequential waves of compute(1000 cycles).
+        let one_wave = GpuConfig::toy(4).cycles(1000);
+        assert_eq!(k.duration, one_wave + one_wave);
+    }
+
+    #[test]
+    fn same_stream_kernels_serialize() {
+        let mut gpu = Gpu::new(quiet_config());
+        let s = gpu.create_stream(0);
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new("a", Dim3::linear(2), 1, vec![Op::compute(500)])),
+        );
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new("b", Dim3::linear(2), 1, vec![Op::compute(500)])),
+        );
+        let report = gpu.run().unwrap();
+        assert!(report.kernel("b").start >= report.kernel("a").end);
+    }
+
+    #[test]
+    fn different_streams_overlap() {
+        let mut gpu = Gpu::new(quiet_config());
+        let s1 = gpu.create_stream(0);
+        let s2 = gpu.create_stream(0);
+        gpu.launch(
+            s1,
+            Arc::new(FixedKernel::new("a", Dim3::linear(2), 1, vec![Op::compute(10_000)])),
+        );
+        gpu.launch(
+            s2,
+            Arc::new(FixedKernel::new("b", Dim3::linear(2), 1, vec![Op::compute(10_000)])),
+        );
+        let report = gpu.run().unwrap();
+        // 4 SMs fit both 2-block kernels at once.
+        assert!(report.kernel("b").start < report.kernel("a").end);
+    }
+
+    #[test]
+    fn semaphore_wait_blocks_until_post() {
+        let mut gpu = Gpu::new(quiet_config());
+        let sem = gpu.alloc_sems("sem", 1, 0);
+        let s1 = gpu.create_stream(0);
+        let s2 = gpu.create_stream(0);
+        gpu.launch(
+            s1,
+            Arc::new(FixedKernel::new(
+                "producer",
+                Dim3::linear(1),
+                1,
+                vec![Op::compute(100_000), Op::post(sem, 0)],
+            )),
+        );
+        gpu.launch(
+            s2,
+            Arc::new(FixedKernel::new(
+                "consumer",
+                Dim3::linear(1),
+                1,
+                vec![Op::wait(sem, 0, 1), Op::compute(10)],
+            )),
+        );
+        let report = gpu.run().unwrap();
+        let producer_end = report.kernel("producer").end;
+        let consumer_end = report.kernel("consumer").end;
+        assert!(consumer_end > producer_end);
+        assert_eq!(report.sem_posts, 1);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_described() {
+        let mut gpu = Gpu::new(quiet_config());
+        let sem = gpu.alloc_sems("never", 1, 0);
+        let s = gpu.create_stream(0);
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new(
+                "stuck",
+                Dim3::linear(1),
+                1,
+                vec![Op::wait(sem, 0, 1)],
+            )),
+        );
+        let err = gpu.run().unwrap_err();
+        match err {
+            SimError::Deadlock { blocked, pending, .. } => {
+                assert_eq!(pending, vec!["stuck".to_string()]);
+                assert_eq!(blocked.len(), 1);
+                assert!(blocked[0].contains("never[0] >= 1"), "{}", blocked[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn busy_wait_occupies_sm_slots_causing_deadlock() {
+        // Consumer fills all 4 SMs busy-waiting; producer (launched later)
+        // can never run: the Section III-B hazard.
+        let mut gpu = Gpu::new(quiet_config());
+        let sem = gpu.alloc_sems("tile", 1, 0);
+        let s1 = gpu.create_stream(0);
+        let s2 = gpu.create_stream(1); // higher priority: consumer issues first
+        gpu.launch(
+            s1,
+            Arc::new(FixedKernel::new(
+                "producer",
+                Dim3::linear(4),
+                1,
+                vec![Op::compute(100), Op::post(sem, 0)],
+            )),
+        );
+        gpu.launch(
+            s2,
+            Arc::new(FixedKernel::new(
+                "consumer",
+                Dim3::linear(4),
+                1,
+                vec![Op::wait(sem, 0, 4), Op::compute(10)],
+            )),
+        );
+        let err = gpu.run().unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn priority_orders_block_issue() {
+        let mut gpu = Gpu::new(quiet_config());
+        gpu.enable_trace();
+        let lo = gpu.create_stream(0);
+        let hi = gpu.create_stream(5);
+        gpu.launch(
+            lo,
+            Arc::new(FixedKernel::new("lo", Dim3::linear(4), 1, vec![Op::compute(100)])),
+        );
+        gpu.launch(
+            hi,
+            Arc::new(FixedKernel::new("hi", Dim3::linear(4), 1, vec![Op::compute(100)])),
+        );
+        let _ = gpu.run().unwrap();
+        let first_issue = gpu
+            .trace()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::BlockIssued { kernel, .. } => Some(*kernel),
+                _ => None,
+            })
+            .unwrap();
+        // Both kernels become ready at t=0 (zero latencies); the
+        // higher-priority stream's kernel issues first.
+        assert_eq!(first_issue, KernelId(1));
+    }
+
+    #[test]
+    fn atomic_add_returns_previous_value_in_order() {
+        // Three blocks each fetch-add the counter; results must be 0,1,2 in
+        // issue order (deterministic engine).
+        use crate::kernel::{BlockBody, FnKernel};
+        struct CounterBody {
+            counter: SemArrayId,
+            state: u8,
+            seen: Option<u32>,
+        }
+        impl BlockBody for CounterBody {
+            fn resume(&mut self, ctx: &mut BlockCtx<'_>) -> Step {
+                match self.state {
+                    0 => {
+                        self.state = 1;
+                        Step::Op(Op::AtomicAdd { table: self.counter, index: 0, inc: 1 })
+                    }
+                    1 => {
+                        self.seen = ctx.atomic_result;
+                        self.state = 2;
+                        // Write our observation so the test can assert it.
+                        Step::Op(Op::compute(10))
+                    }
+                    _ => Step::Done,
+                }
+            }
+        }
+        let mut gpu = Gpu::new(quiet_config());
+        let counter = gpu.alloc_sems("ctr", 1, 0);
+        let s = gpu.create_stream(0);
+        gpu.launch(
+            s,
+            Arc::new(FnKernel::new("count", Dim3::linear(3), 1, move |_| {
+                Box::new(CounterBody { counter, state: 0, seen: None })
+            })),
+        );
+        gpu.run().unwrap();
+        assert_eq!(gpu.sems().value(counter, 0), 3);
+    }
+
+    #[test]
+    fn run_is_single_shot() {
+        let mut gpu = Gpu::new(quiet_config());
+        let s = gpu.create_stream(0);
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new("k", Dim3::linear(1), 1, vec![])),
+        );
+        gpu.run().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| gpu.run()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn utilization_reflects_partial_waves() {
+        let mut gpu = Gpu::new(quiet_config());
+        let s = gpu.create_stream(0);
+        // 2 blocks on 4 SMs: utilization 50% for the whole run.
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new("k", Dim3::linear(2), 1, vec![Op::compute(1000)])),
+        );
+        let report = gpu.run().unwrap();
+        assert!((report.sm_utilization - 0.5).abs() < 1e-6, "{}", report.sm_utilization);
+    }
+}

@@ -1,0 +1,339 @@
+//! Simulated GPU global memory: buffers, functional data, race detection.
+//!
+//! Buffers exist in two fidelity modes. *Timing-only* buffers have a size but
+//! no backing data; kernels charge byte costs against them without moving
+//! values. *Functional* buffers carry real `f32` data so kernels compute real
+//! results that tests compare against CPU oracles. Intermediate functional
+//! buffers are poisoned with NaN at allocation: a consumer that reads an
+//! element before its producer wrote it observes NaN, the read is logged as a
+//! race, and the final output fails numeric verification — exactly how an
+//! under-synchronized kernel pair corrupts results on real hardware.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Element type of a buffer, used only for byte accounting (functional data
+/// is always stored as `f32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// 16-bit half precision, the type used for all paper workloads.
+    #[default]
+    F16,
+    /// 32-bit single precision.
+    F32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F16 => write!(f, "f16"),
+            DType::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+/// Handle to a buffer allocated in [`GlobalMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub(crate) usize);
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf{}", self.0)
+    }
+}
+
+/// One read of not-yet-written data, evidence of a synchronization bug.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceEvent {
+    /// Buffer whose element was read before being written.
+    pub buffer: BufferId,
+    /// Name of the buffer, for diagnostics.
+    pub buffer_name: String,
+    /// Element index read.
+    pub index: usize,
+    /// Simulated time of the offending read.
+    pub time: SimTime,
+}
+
+impl fmt::Display for RaceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race: read of unwritten {}[{}] at {}",
+            self.buffer_name, self.index, self.time
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Buffer {
+    name: String,
+    len: usize,
+    dtype: DType,
+    /// Backing data when functional; `None` for timing-only buffers.
+    data: Option<Vec<f32>>,
+    /// Whether unwritten reads should be reported as races.
+    poisoned: bool,
+}
+
+/// The simulated GPU's global memory.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_sim::{DType, GlobalMemory, SimTime};
+///
+/// let mut mem = GlobalMemory::new();
+/// let a = mem.alloc_data("a", vec![1.0, 2.0], DType::F16);
+/// let out = mem.alloc_poisoned("out", 2, DType::F16);
+/// let v = mem.read(a, 1, SimTime::ZERO);
+/// mem.write(out, 0, v * 2.0);
+/// assert_eq!(mem.read(out, 0, SimTime::ZERO), 4.0);
+/// assert!(mem.races().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct GlobalMemory {
+    buffers: Vec<Buffer>,
+    races: Vec<RaceEvent>,
+    /// Cap on recorded race events to bound memory on badly broken runs.
+    race_cap: usize,
+    races_total: u64,
+}
+
+impl GlobalMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        GlobalMemory {
+            buffers: Vec::new(),
+            races: Vec::new(),
+            race_cap: 1024,
+            races_total: 0,
+        }
+    }
+
+    /// Allocates a timing-only buffer: it has a size for byte accounting but
+    /// no backing data, so functional reads return 0.0 and writes are
+    /// dropped. Use for large benchmark shapes where computing real values
+    /// would be wasteful.
+    pub fn alloc(&mut self, name: &str, len: usize, dtype: DType) -> BufferId {
+        self.push(Buffer {
+            name: name.to_owned(),
+            len,
+            dtype,
+            data: None,
+            poisoned: false,
+        })
+    }
+
+    /// Allocates a functional buffer initialized with `data`.
+    pub fn alloc_data(&mut self, name: &str, data: Vec<f32>, dtype: DType) -> BufferId {
+        self.push(Buffer {
+            name: name.to_owned(),
+            len: data.len(),
+            dtype,
+            data: Some(data),
+            poisoned: false,
+        })
+    }
+
+    /// Allocates a functional buffer of `len` elements filled with NaN
+    /// poison. Reading an element before it is written records a
+    /// [`RaceEvent`] and returns 0.0 so downstream verification fails loudly
+    /// rather than propagating NaN everywhere.
+    pub fn alloc_poisoned(&mut self, name: &str, len: usize, dtype: DType) -> BufferId {
+        self.push(Buffer {
+            name: name.to_owned(),
+            len,
+            dtype,
+            data: Some(vec![f32::NAN; len]),
+            poisoned: true,
+        })
+    }
+
+    fn push(&mut self, buffer: Buffer) -> BufferId {
+        let id = BufferId(self.buffers.len());
+        self.buffers.push(buffer);
+        id
+    }
+
+    /// Number of elements in `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a buffer of this memory.
+    pub fn len(&self, id: BufferId) -> usize {
+        self.buffers[id.0].len
+    }
+
+    /// True if the memory holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Element type of `id`.
+    pub fn dtype(&self, id: BufferId) -> DType {
+        self.buffers[id.0].dtype
+    }
+
+    /// Size of `id` in bytes.
+    pub fn size_bytes(&self, id: BufferId) -> u64 {
+        let b = &self.buffers[id.0];
+        b.len as u64 * b.dtype.size_bytes()
+    }
+
+    /// Name given to `id` at allocation.
+    pub fn name(&self, id: BufferId) -> &str {
+        &self.buffers[id.0].name
+    }
+
+    /// True if `id` carries functional data.
+    pub fn is_functional(&self, id: BufferId) -> bool {
+        self.buffers[id.0].data.is_some()
+    }
+
+    /// Reads element `index`, recording a race if the element is still
+    /// poisoned. Timing-only buffers read as 0.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds for a functional buffer.
+    pub fn read(&mut self, id: BufferId, index: usize, now: SimTime) -> f32 {
+        let buffer = &self.buffers[id.0];
+        match &buffer.data {
+            None => 0.0,
+            Some(data) => {
+                let v = data[index];
+                if buffer.poisoned && v.is_nan() {
+                    self.races_total += 1;
+                    if self.races.len() < self.race_cap {
+                        self.races.push(RaceEvent {
+                            buffer: id,
+                            buffer_name: buffer.name.clone(),
+                            index,
+                            time: now,
+                        });
+                    }
+                    0.0
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    /// Reads element `index` without race accounting: poisoned (NaN)
+    /// elements are returned as NaN rather than logged. Used for
+    /// read-modify-write accumulation where the reader owns the element
+    /// (split-K partial sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds for a functional buffer.
+    pub fn read_raw(&self, id: BufferId, index: usize) -> f32 {
+        match &self.buffers[id.0].data {
+            None => 0.0,
+            Some(data) => data[index],
+        }
+    }
+
+    /// Writes element `index`; dropped for timing-only buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds for a functional buffer.
+    pub fn write(&mut self, id: BufferId, index: usize, value: f32) {
+        if let Some(data) = &mut self.buffers[id.0].data {
+            data[index] = value;
+        }
+    }
+
+    /// Returns the full contents of a functional buffer, or `None` for a
+    /// timing-only buffer.
+    pub fn snapshot(&self, id: BufferId) -> Option<&[f32]> {
+        self.buffers[id.0].data.as_deref()
+    }
+
+    /// Race events recorded so far (capped; see [`GlobalMemory::races_total`]).
+    pub fn races(&self) -> &[RaceEvent] {
+        &self.races
+    }
+
+    /// Total number of racy reads observed, including those beyond the
+    /// recording cap.
+    pub fn races_total(&self) -> u64 {
+        self.races_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_only_buffers_have_size_but_no_data() {
+        let mut mem = GlobalMemory::new();
+        let b = mem.alloc("weights", 1024, DType::F16);
+        assert_eq!(mem.len(b), 1024);
+        assert_eq!(mem.size_bytes(b), 2048);
+        assert!(!mem.is_functional(b));
+        mem.write(b, 3, 7.0);
+        assert_eq!(mem.read(b, 3, SimTime::ZERO), 0.0);
+        assert!(mem.races().is_empty());
+    }
+
+    #[test]
+    fn functional_buffer_roundtrips_data() {
+        let mut mem = GlobalMemory::new();
+        let b = mem.alloc_data("x", vec![1.0, 2.0, 3.0], DType::F32);
+        assert_eq!(mem.size_bytes(b), 12);
+        assert_eq!(mem.read(b, 2, SimTime::ZERO), 3.0);
+        mem.write(b, 0, -1.0);
+        assert_eq!(mem.snapshot(b).unwrap()[0], -1.0);
+    }
+
+    #[test]
+    fn poisoned_read_records_race_and_returns_zero() {
+        let mut mem = GlobalMemory::new();
+        let b = mem.alloc_poisoned("intermediate", 4, DType::F16);
+        let v = mem.read(b, 1, SimTime::from_nanos(5));
+        assert_eq!(v, 0.0);
+        assert_eq!(mem.races().len(), 1);
+        assert_eq!(mem.races()[0].index, 1);
+        assert_eq!(mem.races_total(), 1);
+        // After the producer writes, reads are clean.
+        mem.write(b, 1, 9.0);
+        assert_eq!(mem.read(b, 1, SimTime::from_nanos(6)), 9.0);
+        assert_eq!(mem.races_total(), 1);
+    }
+
+    #[test]
+    fn race_recording_is_capped_but_counted() {
+        let mut mem = GlobalMemory::new();
+        let b = mem.alloc_poisoned("i", 5000, DType::F16);
+        for i in 0..2000 {
+            mem.read(b, i, SimTime::ZERO);
+        }
+        assert_eq!(mem.races_total(), 2000);
+        assert!(mem.races().len() <= 1024);
+    }
+
+    #[test]
+    fn race_event_displays_buffer_name() {
+        let mut mem = GlobalMemory::new();
+        let b = mem.alloc_poisoned("xw1", 2, DType::F16);
+        mem.read(b, 0, SimTime::ZERO);
+        let msg = mem.races()[0].to_string();
+        assert!(msg.contains("xw1[0]"), "{msg}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Global-memory semaphore arrays and atomic counters.
+//!
+//! cuSync stores one `u32` semaphore per synchronization unit in GPU global
+//! memory (Section III-D). The same storage backs the atomic tile counters
+//! used by custom tile processing orders (Section III-C).
+
+use std::fmt;
+
+/// Handle to an array of semaphores (or counters) allocated on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SemArrayId(pub(crate) usize);
+
+impl fmt::Display for SemArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sems{}", self.0)
+    }
+}
+
+/// All semaphore arrays of a simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_sim::SemTable;
+///
+/// let mut sems = SemTable::new();
+/// let arr = sems.alloc("row-sems", 8, 0);
+/// assert_eq!(sems.add(arr, 3, 2), 0); // atomicAdd returns the old value
+/// assert_eq!(sems.value(arr, 3), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SemTable {
+    arrays: Vec<SemArray>,
+}
+
+#[derive(Debug)]
+struct SemArray {
+    name: String,
+    values: Vec<u32>,
+    init: u32,
+    posts: u64,
+}
+
+impl SemTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SemTable { arrays: Vec::new() }
+    }
+
+    /// Allocates `len` semaphores initialized to `init`.
+    pub fn alloc(&mut self, name: &str, len: usize, init: u32) -> SemArrayId {
+        let id = SemArrayId(self.arrays.len());
+        self.arrays.push(SemArray {
+            name: name.to_owned(),
+            values: vec![init; len],
+            init,
+            posts: 0,
+        });
+        id
+    }
+
+    /// Current value of semaphore `index` in array `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `index` is out of bounds.
+    pub fn value(&self, id: SemArrayId, index: u32) -> u32 {
+        self.arrays[id.0].values[index as usize]
+    }
+
+    /// Atomically adds `inc` to semaphore `index`, returning the previous
+    /// value (the semantics of CUDA `atomicAdd`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `index` is out of bounds.
+    pub fn add(&mut self, id: SemArrayId, index: u32, inc: u32) -> u32 {
+        let array = &mut self.arrays[id.0];
+        let prev = array.values[index as usize];
+        array.values[index as usize] = prev.wrapping_add(inc);
+        array.posts += 1;
+        prev
+    }
+
+    /// Number of semaphores in array `id`.
+    pub fn len(&self, id: SemArrayId) -> usize {
+        self.arrays[id.0].values.len()
+    }
+
+    /// True if the table holds no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.is_empty()
+    }
+
+    /// Name given at allocation.
+    pub fn name(&self, id: SemArrayId) -> &str {
+        &self.arrays[id.0].name
+    }
+
+    /// Resets every semaphore in `id` to its initial value (used between
+    /// repeated launches in auto-tuning).
+    pub fn reset(&mut self, id: SemArrayId) {
+        let array = &mut self.arrays[id.0];
+        let init = array.init;
+        array.values.fill(init);
+    }
+
+    /// Total number of atomic post operations performed on array `id`,
+    /// used to verify policy synchronization counts (e.g. the paper's
+    /// "TileSync requires 12 synchronizations, RowSync 6" example).
+    pub fn posts(&self, id: SemArrayId) -> u64 {
+        self.arrays[id.0].posts
+    }
+
+    /// Ids of all allocated arrays.
+    pub fn ids(&self) -> impl Iterator<Item = SemArrayId> + '_ {
+        (0..self.arrays.len()).map(SemArrayId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_initializes_all_values() {
+        let mut sems = SemTable::new();
+        let a = sems.alloc("a", 4, 7);
+        assert_eq!(sems.len(a), 4);
+        for i in 0..4 {
+            assert_eq!(sems.value(a, i), 7);
+        }
+        assert_eq!(sems.name(a), "a");
+    }
+
+    #[test]
+    fn add_returns_previous_value_like_atomic_add() {
+        let mut sems = SemTable::new();
+        let a = sems.alloc("a", 2, 0);
+        assert_eq!(sems.add(a, 0, 1), 0);
+        assert_eq!(sems.add(a, 0, 1), 1);
+        assert_eq!(sems.value(a, 0), 2);
+        assert_eq!(sems.value(a, 1), 0);
+        assert_eq!(sems.posts(a), 2);
+    }
+
+    #[test]
+    fn reset_restores_initial_values() {
+        let mut sems = SemTable::new();
+        let a = sems.alloc("a", 3, 5);
+        sems.add(a, 1, 10);
+        sems.reset(a);
+        assert_eq!(sems.value(a, 1), 5);
+    }
+
+    #[test]
+    fn arrays_are_independent() {
+        let mut sems = SemTable::new();
+        let a = sems.alloc("a", 1, 0);
+        let b = sems.alloc("b", 1, 0);
+        sems.add(a, 0, 3);
+        assert_eq!(sems.value(b, 0), 0);
+        assert_eq!(sems.ids().count(), 2);
+    }
+}

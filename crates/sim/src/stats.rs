@@ -1,0 +1,195 @@
+//! Wave arithmetic and per-run reports.
+//!
+//! The *static* quantities here implement Section II-A of the paper: a grid
+//! of `B` thread blocks at occupancy `o` on `S` SMs runs in
+//! `ceil(B / (o*S))` waves, the initial full waves executing `o*S` blocks
+//! each and the final partial wave executing the remainder. Average
+//! utilization across waves is `waves / ceil(waves)`, which reproduces the
+//! 60–80% figures of Table I.
+
+use std::fmt;
+
+use crate::dim::Dim3;
+use crate::time::SimTime;
+
+/// Fractional number of thread-block waves: `blocks / (occupancy * sms)`.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_sim::stats::waves;
+///
+/// // Table I, batch 256 producer GeMM: grid [1,48,4] = 192 blocks,
+/// // occupancy 2 on 80 SMs -> 1.2 waves.
+/// assert!((waves(192, 2, 80) - 1.2).abs() < 1e-9);
+/// ```
+pub fn waves(blocks: u64, occupancy: u32, sms: u32) -> f64 {
+    blocks as f64 / (occupancy as f64 * sms as f64)
+}
+
+/// Average GPU utilization across all waves of one kernel:
+/// `waves / ceil(waves)` (100% when the block count divides evenly).
+///
+/// # Examples
+///
+/// ```
+/// use cusync_sim::stats::{utilization, waves};
+///
+/// // Table I: 1.2 waves -> 60%, 2.4 waves -> 80%.
+/// assert!((utilization(waves(192, 2, 80)) - 0.6).abs() < 1e-9);
+/// assert!((utilization(waves(384, 2, 80)) - 0.8).abs() < 1e-9);
+/// ```
+pub fn utilization(waves: f64) -> f64 {
+    if waves == 0.0 {
+        return 0.0;
+    }
+    waves / waves.ceil()
+}
+
+/// Per-kernel outcome of a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// Grid launched.
+    pub grid: Dim3,
+    /// Occupancy used.
+    pub occupancy: u32,
+    /// Total thread blocks.
+    pub blocks: u64,
+    /// Static fractional waves for this kernel alone on an idle GPU.
+    pub static_waves: f64,
+    /// Time the kernel became ready to issue blocks.
+    pub ready: SimTime,
+    /// Time its first block was issued.
+    pub start: SimTime,
+    /// Time its last block completed.
+    pub end: SimTime,
+    /// `end - start`.
+    pub duration: SimTime,
+    /// Peak number of concurrently resident blocks observed.
+    pub max_concurrent: u64,
+}
+
+impl KernelReport {
+    /// Static average utilization over this kernel's waves.
+    pub fn static_utilization(&self) -> f64 {
+        utilization(self.static_waves)
+    }
+}
+
+impl fmt::Display for KernelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: grid {} ({} TBs, occ {}), {:.2} waves, util {:.0}%, {} -> {} ({})",
+            self.name,
+            self.grid,
+            self.blocks,
+            self.occupancy,
+            self.static_waves,
+            self.static_utilization() * 100.0,
+            self.start,
+            self.end,
+            self.duration,
+        )
+    }
+}
+
+/// Outcome of one [`Gpu::run`](crate::Gpu::run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Completion time of the last kernel (total simulated time).
+    pub total: SimTime,
+    /// Per-kernel reports, in launch order.
+    pub kernels: Vec<KernelReport>,
+    /// Number of racy (read-before-write) accesses observed.
+    pub races: u64,
+    /// Average fraction of total SM capacity occupied between the first
+    /// block issue and the last block completion.
+    pub sm_utilization: f64,
+    /// Total semaphore post operations performed during the run.
+    pub sem_posts: u64,
+}
+
+impl RunReport {
+    /// Report of the kernel named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no kernel has that name (kernel names in one run are
+    /// expected to be distinct in tests that use this).
+    pub fn kernel(&self, name: &str) -> &KernelReport {
+        self.kernels
+            .iter()
+            .find(|k| k.name == name)
+            .unwrap_or_else(|| panic!("no kernel named {name:?} in report"))
+    }
+
+    /// Sum of per-kernel durations (what a serialized execution would
+    /// roughly cost); useful to quantify overlap.
+    pub fn serial_duration(&self) -> SimTime {
+        self.kernels.iter().map(|k| k.duration).sum()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run: total {} | sm util {:.0}% | {} sem posts | {} races",
+            self.total,
+            self.sm_utilization * 100.0,
+            self.sem_posts,
+            self.races
+        )?;
+        for k in &self.kernels {
+            writeln!(f, "  {k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_wave_arithmetic() {
+        // Table I of the paper, NVIDIA V100 with 80 SMs.
+        // batch 256: producer [1,48,4] occ 2 -> 1.2 waves, 60%.
+        let w = waves(1 * 48 * 4, 2, 80);
+        assert!((w - 1.2).abs() < 1e-9);
+        assert!((utilization(w) - 0.60).abs() < 1e-9);
+        // batch 1024: producer [4,24,2] occ 2 -> 1.2? No: 192 blocks occ 1.
+        // Table I lists 2.4 waves at 80% for batch 1024 (occupancy 1).
+        let w = waves(4 * 24 * 2, 1, 80);
+        assert!((w - 2.4).abs() < 1e-9);
+        assert!((utilization(w) - 0.80).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_waves_are_fully_utilized() {
+        assert_eq!(utilization(waves(160, 2, 80)), 1.0);
+        assert_eq!(utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn kernel_report_displays_waves() {
+        let r = KernelReport {
+            name: "gemm".into(),
+            grid: Dim3::new(24, 1, 4),
+            occupancy: 2,
+            blocks: 96,
+            static_waves: 0.6,
+            ready: SimTime::ZERO,
+            start: SimTime::ZERO,
+            end: SimTime::from_micros(10.0),
+            duration: SimTime::from_micros(10.0),
+            max_concurrent: 96,
+        };
+        let s = r.to_string();
+        assert!(s.contains("0.60 waves"), "{s}");
+        assert!(s.contains("24x1x4"), "{s}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Simulated time, kept in integer picoseconds for exact determinism.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, measured in picoseconds.
+///
+/// Integer picoseconds make the discrete-event engine exactly deterministic:
+/// no floating-point accumulation error, no platform-dependent rounding. At
+/// picosecond resolution a `u64` covers ~213 days of simulated time, far more
+/// than any kernel timeline here.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_sim::SimTime;
+///
+/// let t = SimTime::from_micros(6.0);
+/// assert_eq!(t.as_micros(), 6.0);
+/// let cycles = SimTime::from_cycles(1380, 1.38e9); // 1380 cycles at 1.38 GHz
+/// assert_eq!(cycles.as_micros(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero time, origin of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn from_picos(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates a time from (possibly fractional) microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        SimTime((us * 1e6) as u64)
+    }
+
+    /// Converts a cycle count at `clock_hz` into simulated time, rounding to
+    /// the nearest picosecond.
+    pub fn from_cycles(cycles: u64, clock_hz: f64) -> Self {
+        SimTime(((cycles as f64) * 1e12 / clock_hz).round() as u64)
+    }
+
+    /// Raw picosecond value.
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Time in microseconds (lossy, for reporting only).
+    pub fn as_micros(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time in nanoseconds (lossy, for reporting only).
+    pub fn as_nanos(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction; useful for durations that may be negative due
+    /// to zero-width intervals.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_nanos(5).as_picos(), 5_000);
+        assert_eq!(SimTime::from_micros(2.5).as_nanos(), 2_500.0);
+    }
+
+    #[test]
+    fn cycles_at_clock() {
+        // 1000 cycles at 1 GHz is exactly 1 us.
+        assert_eq!(SimTime::from_cycles(1_000, 1e9).as_micros(), 1.0);
+        // 1 cycle at 1.38 GHz is ~725 ps, rounded to nearest.
+        assert_eq!(SimTime::from_cycles(1, 1.38e9).as_picos(), 725);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(4);
+        assert_eq!((a + b).as_picos(), 14_000);
+        assert_eq!((a - b).as_picos(), 6_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=3).map(SimTime::from_nanos).sum();
+        assert_eq!(total, SimTime::from_nanos(6));
+    }
+
+    #[test]
+    fn display_in_microseconds() {
+        assert_eq!(SimTime::from_micros(12.5).to_string(), "12.500us");
+    }
+}

@@ -1,0 +1,112 @@
+//! Execution trace for debugging and for tests that assert scheduling
+//! behaviour (issue order, wave boundaries, wait/wake times).
+
+use std::fmt;
+
+use crate::dim::Dim3;
+use crate::sem::SemArrayId;
+use crate::time::SimTime;
+
+/// Identifier of a launched kernel within one [`Gpu`](crate::Gpu).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(pub(crate) usize);
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// One entry of the execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A kernel became eligible to issue thread blocks.
+    KernelReady {
+        /// Kernel that became ready.
+        kernel: KernelId,
+        /// Time it became ready.
+        time: SimTime,
+    },
+    /// A thread block was placed on an SM.
+    BlockIssued {
+        /// Owning kernel.
+        kernel: KernelId,
+        /// Block index within the grid.
+        block: Dim3,
+        /// SM the block was placed on.
+        sm: u32,
+        /// Issue time.
+        time: SimTime,
+    },
+    /// A thread block finished and released its SM slot.
+    BlockFinished {
+        /// Owning kernel.
+        kernel: KernelId,
+        /// Block index within the grid.
+        block: Dim3,
+        /// Completion time.
+        time: SimTime,
+    },
+    /// A block started waiting on a semaphore that was not yet at the
+    /// target value.
+    BlockBlocked {
+        /// Owning kernel.
+        kernel: KernelId,
+        /// Block index within the grid.
+        block: Dim3,
+        /// Semaphore array waited on.
+        table: SemArrayId,
+        /// Semaphore index waited on.
+        index: u32,
+        /// Target value.
+        value: u32,
+        /// Time the wait began.
+        time: SimTime,
+    },
+    /// A semaphore post became visible.
+    SemPosted {
+        /// Semaphore array posted to.
+        table: SemArrayId,
+        /// Semaphore index posted to.
+        index: u32,
+        /// Value after the post.
+        new_value: u32,
+        /// Visibility time.
+        time: SimTime,
+    },
+    /// All blocks of a kernel completed.
+    KernelFinished {
+        /// Kernel that finished.
+        kernel: KernelId,
+        /// Completion time.
+        time: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of this event.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::KernelReady { time, .. }
+            | TraceEvent::BlockIssued { time, .. }
+            | TraceEvent::BlockFinished { time, .. }
+            | TraceEvent::BlockBlocked { time, .. }
+            | TraceEvent::SemPosted { time, .. }
+            | TraceEvent::KernelFinished { time, .. } => time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_event_reports_time() {
+        let e = TraceEvent::KernelReady {
+            kernel: KernelId(0),
+            time: SimTime::from_nanos(5),
+        };
+        assert_eq!(e.time(), SimTime::from_nanos(5));
+    }
+}

@@ -1,0 +1,56 @@
+//! Sweep the GPT-3 and LLaMA MLP blocks across batch sizes and policies —
+//! the workload behind Fig. 6(a,c) and Table IV of the paper.
+//!
+//! ```text
+//! cargo run --release --example mlp_inference
+//! ```
+
+use cusync::OptFlags;
+use cusync_models::{mlp_time, run_mlp, MlpModel, PolicyKind, SyncMode};
+use cusync_sim::GpuConfig;
+
+fn main() {
+    let gpu = GpuConfig::tesla_v100();
+    for (model, name) in [(MlpModel::Gpt3, "GPT-3 145B"), (MlpModel::Llama, "LLaMA 65B")] {
+        println!("=== {name} MLP (model parallelism 8) ===");
+        println!(
+            "{:>6} {:>14} {:>14} {:>14} {:>10}",
+            "BxS", "StreamSync", "TileSync+WRT", "RowSync+WRT", "best gain"
+        );
+        for bs in [1u32, 16, 256, 512, 2048] {
+            let base = mlp_time(&gpu, model, bs, SyncMode::StreamSync);
+            let tile = mlp_time(
+                &gpu,
+                model,
+                bs,
+                SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+            );
+            let row = mlp_time(
+                &gpu,
+                model,
+                bs,
+                SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT),
+            );
+            let best = tile.min(row);
+            let gain = 100.0 * (1.0 - best.as_picos() as f64 / base.as_picos() as f64);
+            println!(
+                "{:>6} {:>12.0}us {:>12.0}us {:>12.0}us {:>9.1}%",
+                bs,
+                base.as_micros(),
+                tile.as_micros(),
+                row.as_micros(),
+                gain
+            );
+        }
+        println!();
+    }
+
+    // Show the overlap structure at one interesting size.
+    let report = run_mlp(
+        &gpu,
+        MlpModel::Gpt3,
+        512,
+        SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT),
+    );
+    println!("GPT-3 MLP at BxS=512 under RowSync+WRT:\n{report}");
+}
