@@ -12,8 +12,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cusync::OptFlags;
 use cusync_bench::overhead_experiment;
 use cusync_models::{
-    attention_time, conv_layer_time, gpt3_mlp_tiling, llm_step_time, mlp_time,
-    vision_step_time, AttentionConfig, LlmModel, MlpModel, PolicyKind, SyncMode,
+    attention_time, conv_layer_time, gpt3_mlp_tiling, llm_step_time, mlp_time, vision_step_time,
+    AttentionConfig, LlmModel, MlpModel, PolicyKind, SyncMode,
 };
 use cusync_sim::stats::{utilization, waves};
 use cusync_sim::GpuConfig;
@@ -25,9 +25,9 @@ fn bench_table1_waves(c: &mut Criterion) {
             let mut acc = 0.0;
             for bs in [256u32, 512, 1024] {
                 let t = gpt3_mlp_tiling(bs);
-                let blocks =
-                    (bs.div_ceil(t.gemm1.tile.m) * (6144 / t.gemm1.tile.n) * t.gemm1.split_k)
-                        as u64;
+                let blocks = (bs.div_ceil(t.gemm1.tile.m)
+                    * (6144 / t.gemm1.tile.n)
+                    * t.gemm1.split_k) as u64;
                 let w = waves(blocks, t.gemm1.occupancy, gpu.num_sms);
                 acc += utilization(w);
             }
@@ -42,7 +42,10 @@ fn bench_table4_mlp_policies(c: &mut Criterion) {
     group.sample_size(10);
     for (name, mode) in [
         ("stream_sync", SyncMode::StreamSync),
-        ("tile_wrt", SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT)),
+        (
+            "tile_wrt",
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+        ),
         ("row_wrt", SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT)),
     ] {
         group.bench_with_input(BenchmarkId::new(name, 256), &mode, |b, mode| {
@@ -63,7 +66,14 @@ fn bench_table5_ablation(c: &mut Criterion) {
         ("wrt", OptFlags::WRT),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| mlp_time(&gpu, MlpModel::Gpt3, 64, SyncMode::CuSync(PolicyKind::Tile, opts)))
+            b.iter(|| {
+                mlp_time(
+                    &gpu,
+                    MlpModel::Gpt3,
+                    64,
+                    SyncMode::CuSync(PolicyKind::Tile, opts),
+                )
+            })
         });
     }
     group.finish();
@@ -75,11 +85,23 @@ fn bench_fig6_mlp(c: &mut Criterion) {
     group.sample_size(10);
     for bs in [64u32, 512, 2048] {
         group.bench_with_input(BenchmarkId::new("gpt3_tile_wrt", bs), &bs, |b, &bs| {
-            b.iter(|| mlp_time(&gpu, MlpModel::Gpt3, bs, SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT)))
+            b.iter(|| {
+                mlp_time(
+                    &gpu,
+                    MlpModel::Gpt3,
+                    bs,
+                    SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("llama_strided_wrt", bs), &bs, |b, &bs| {
             b.iter(|| {
-                mlp_time(&gpu, MlpModel::Llama, bs, SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT))
+                mlp_time(
+                    &gpu,
+                    MlpModel::Llama,
+                    bs,
+                    SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
+                )
             })
         });
     }
@@ -95,7 +117,11 @@ fn bench_fig6_attention(c: &mut Criterion) {
     for (name, cfg) in [("prompt_512", prompt), ("gen_2_1024", generation)] {
         group.bench_function(format!("strided_wrt/{name}"), |b| {
             b.iter(|| {
-                attention_time(&gpu, cfg, SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT))
+                attention_time(
+                    &gpu,
+                    cfg,
+                    SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
+                )
             })
         });
         group.bench_function(format!("stream_sync/{name}"), |b| {
@@ -135,10 +161,19 @@ fn bench_fig8_e2e(c: &mut Criterion) {
     let gpu = GpuConfig::tesla_v100();
     let mut group = c.benchmark_group("fig8_e2e");
     group.sample_size(10);
-    let one_layer = LlmModel { mlp: MlpModel::Gpt3, layers: 1 };
+    let one_layer = LlmModel {
+        mlp: MlpModel::Gpt3,
+        layers: 1,
+    };
     group.bench_function("gpt3_layer_tile_wrt", |b| {
         b.iter(|| {
-            llm_step_time(&gpu, one_layer, 512, 0, SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT))
+            llm_step_time(
+                &gpu,
+                one_layer,
+                512,
+                0,
+                SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+            )
         })
     });
     group.bench_function("resnet_b4_row_wrt", |b| {

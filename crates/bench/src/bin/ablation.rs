@@ -25,7 +25,10 @@ fn main() {
     println!("## Per-block jitter (default 0.10)\n");
     println!("{}", header(&["block_jitter", "gain @256", "gain @512"]));
     for jitter in [0.0, 0.05, 0.10, 0.20] {
-        let gpu = GpuConfig { block_jitter: jitter, ..GpuConfig::tesla_v100() };
+        let gpu = GpuConfig {
+            block_jitter: jitter,
+            ..GpuConfig::tesla_v100()
+        };
         let (a, b) = improvements(&gpu);
         println!("{}", row(&[format!("{jitter:.2}"), pct(a), pct(b)]));
     }
@@ -33,7 +36,10 @@ fn main() {
     println!("\n## Residency boost (default 0.35)\n");
     println!("{}", header(&["residency_boost", "gain @256", "gain @512"]));
     for boost in [0.0, 0.2, 0.35, 0.6] {
-        let gpu = GpuConfig { residency_boost: boost, ..GpuConfig::tesla_v100() };
+        let gpu = GpuConfig {
+            residency_boost: boost,
+            ..GpuConfig::tesla_v100()
+        };
         let (a, b) = improvements(&gpu);
         println!("{}", row(&[format!("{boost:.2}"), pct(a), pct(b)]));
     }
@@ -41,7 +47,10 @@ fn main() {
     println!("\n## DRAM saturation fraction (default 0.50)\n");
     println!("{}", header(&["saturation", "gain @256", "gain @512"]));
     for sat in [0.25, 0.5, 0.75, 1.0] {
-        let gpu = GpuConfig { dram_saturation_fraction: sat, ..GpuConfig::tesla_v100() };
+        let gpu = GpuConfig {
+            dram_saturation_fraction: sat,
+            ..GpuConfig::tesla_v100()
+        };
         let (a, b) = improvements(&gpu);
         println!("{}", row(&[format!("{sat:.2}"), pct(a), pct(b)]));
     }
@@ -49,7 +58,10 @@ fn main() {
     println!("\n## Compute efficiency (default 0.72)\n");
     println!("{}", header(&["efficiency", "gain @256", "gain @512"]));
     for eff in [0.6, 0.72, 0.85] {
-        let gpu = GpuConfig { compute_efficiency: eff, ..GpuConfig::tesla_v100() };
+        let gpu = GpuConfig {
+            compute_efficiency: eff,
+            ..GpuConfig::tesla_v100()
+        };
         let (a, b) = improvements(&gpu);
         println!("{}", row(&[format!("{eff:.2}"), pct(a), pct(b)]));
     }

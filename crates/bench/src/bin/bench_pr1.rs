@@ -1,0 +1,97 @@
+//! Measures the figure sweeps under the pre-refactor harness
+//! reconstruction ("before": reference engine, serial, per-cell
+//! baselines) and the shipping harness ("after": optimized engine,
+//! parallel, shared baselines), then writes `BENCH_PR1.json`.
+//!
+//! Usage: `bench_pr1 [--quick] [--out PATH]`
+//!
+//! `--quick` runs each phase once instead of best-of-3 (for CI smoke
+//! jobs). The JSON schema is documented in `crates/bench/src/perf.rs` and
+//! `crates/sim/README.md`.
+
+use cusync_bench::perf::{render_json, PerfEntry};
+use cusync_bench::sweep::{fig6_sweep, fig7_sweep, fig8_sweep, SweepOptions, SweepOutcome};
+use cusync_sim::GpuConfig;
+
+fn best_of<F: FnMut() -> SweepOutcome>(reps: usize, mut f: F) -> SweepOutcome {
+    let mut best: Option<SweepOutcome> = None;
+    for _ in 0..reps {
+        let outcome = f();
+        let better = match &best {
+            Some(b) => outcome.wall < b.wall,
+            None => true,
+        };
+        if better {
+            best = Some(outcome);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+    let reps = if quick { 1 } else { 3 };
+
+    let gpu = GpuConfig::tesla_v100();
+    let before = SweepOptions::baseline();
+    let after = SweepOptions::fast();
+    let mut entries = Vec::new();
+
+    type SweepFn = fn(&GpuConfig, &SweepOptions) -> SweepOutcome;
+    let sweeps: [(&str, SweepFn); 3] = [
+        ("fig6", |gpu, o| fig6_sweep(gpu, o, "all")),
+        ("fig7", |gpu, o| fig7_sweep(gpu, o)),
+        ("fig8", |gpu, o| fig8_sweep(gpu, o, "all")),
+    ];
+
+    for (name, sweep) in sweeps {
+        eprintln!("measuring {name} (before: reference engine, serial, per-cell baselines)...");
+        let b = best_of(reps, || sweep(&gpu, &before));
+        eprintln!(
+            "  before: {:>8.1} ms, {} events, {:.0} ns/event",
+            b.wall.as_secs_f64() * 1e3,
+            b.events,
+            b.ns_per_event()
+        );
+        eprintln!(
+            "measuring {name} (after: optimized engine, {} thread(s), shared baselines)...",
+            after.threads
+        );
+        let a = best_of(reps, || sweep(&gpu, &after));
+        eprintln!(
+            "  after:  {:>8.1} ms, {} events, {:.0} ns/event  (speedup {:.2}x)",
+            a.wall.as_secs_f64() * 1e3,
+            a.events,
+            a.ns_per_event(),
+            b.wall.as_secs_f64() / a.wall.as_secs_f64()
+        );
+        entries.push(PerfEntry::from_outcome(
+            name,
+            "before",
+            "reference",
+            1,
+            false,
+            &b,
+        ));
+        entries.push(PerfEntry::from_outcome(
+            name,
+            "after",
+            "optimized",
+            after.threads,
+            true,
+            &a,
+        ));
+    }
+
+    let json = render_json("PR1", &entries);
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

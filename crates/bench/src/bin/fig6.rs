@@ -1,67 +1,54 @@
 //! Fig. 6: improvement of cuSync's policies and Stream-K over StreamSync
 //! for the MLP and Attention of GPT-3 and LLaMA.
 //!
+//! Rows are simulated in parallel by the sweep driver (each simulated GPU
+//! is independent); StreamSync baselines are shared across a row's modes.
+//!
 //! Usage: `fig6 [mlp|attention|all]`
 
-use cusync_bench::{header, pct, row};
-use cusync_models::{
-    attention_improvement, mlp_improvement, AttentionConfig, MlpModel, SyncMode,
+use cusync_bench::sweep::{
+    fig6_attention_configs, fig6_attention_modes, fig6_attention_row, fig6_mlp_modes, fig6_mlp_row,
+    parallel_map, SweepOptions, FIG6_MLP_BATCHES,
 };
+use cusync_bench::{header, pct, row};
+use cusync_models::MlpModel;
 use cusync_sim::GpuConfig;
 
-fn mlp_figure(gpu: &GpuConfig, model: MlpModel, label: &str) {
+fn mlp_figure(gpu: &GpuConfig, opts: &SweepOptions, model: MlpModel, label: &str) {
     println!("## Fig. 6 ({label} MLP): improvement over StreamSync\n");
-    let modes: Vec<SyncMode> = SyncMode::llm_policies()
-        .into_iter()
-        .chain([SyncMode::StreamK])
-        .collect();
+    let modes = fig6_mlp_modes();
     let mut cols = vec!["BxS".to_string()];
     cols.extend(modes.iter().map(|m| m.to_string()));
     println!(
         "{}",
         header(&cols.iter().map(String::as_str).collect::<Vec<_>>())
     );
-    for bs in [1u32, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048] {
-        let mut cells = vec![bs.to_string()];
-        for mode in &modes {
-            cells.push(pct(mlp_improvement(gpu, model, bs, *mode)));
-        }
+    let rows = parallel_map(opts, FIG6_MLP_BATCHES.to_vec(), |bs| {
+        fig6_mlp_row(gpu, model, bs, opts.memoize)
+    });
+    for r in rows {
+        let mut cells = vec![r.label];
+        cells.extend(r.values.iter().map(|&v| pct(v)));
         println!("{}", row(&cells));
     }
     println!();
 }
 
-fn attention_figure(gpu: &GpuConfig, hidden: u32, label: &str) {
+fn attention_figure(gpu: &GpuConfig, opts: &SweepOptions, hidden: u32, label: &str) {
     println!("## Fig. 6 ({label} Attention): improvement over StreamSync\n");
-    let modes: Vec<SyncMode> = SyncMode::attention_policies()
-        .into_iter()
-        .chain([SyncMode::StreamK])
-        .collect();
+    let modes = fig6_attention_modes();
     let mut cols = vec!["BxS, S'".to_string()];
     cols.extend(modes.iter().map(|m| m.to_string()));
     println!(
         "{}",
         header(&cols.iter().map(String::as_str).collect::<Vec<_>>())
     );
-    // Prompt processing: S' = 0, BxS in {512, 1024, 2048}.
-    let mut configs: Vec<(String, AttentionConfig)> = [512u32, 1024, 2048]
-        .into_iter()
-        .map(|bs| (format!("{bs}, 0"), AttentionConfig::prompt(hidden, bs)))
-        .collect();
-    // Token generation: B in {1, 2, 4}, S' in {512, 1024, 2048}.
-    for s_prime in [512u32, 1024, 2048] {
-        for b in [1u32, 2, 4] {
-            configs.push((
-                format!("{b}, {s_prime}"),
-                AttentionConfig::generation(hidden, b, s_prime),
-            ));
-        }
-    }
-    for (name, cfg) in configs {
-        let mut cells = vec![name];
-        for mode in &modes {
-            cells.push(pct(attention_improvement(gpu, cfg, *mode)));
-        }
+    let rows = parallel_map(opts, fig6_attention_configs(hidden), |(name, cfg)| {
+        fig6_attention_row(gpu, &name, cfg, opts.memoize)
+    });
+    for r in rows {
+        let mut cells = vec![r.label];
+        cells.extend(r.values.iter().map(|&v| pct(v)));
         println!("{}", row(&cells));
     }
     println!();
@@ -70,14 +57,15 @@ fn attention_figure(gpu: &GpuConfig, hidden: u32, label: &str) {
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     let gpu = GpuConfig::tesla_v100();
+    let opts = SweepOptions::fast();
     println!("# Fig. 6: MLP and Attention improvements over StreamSync\n");
     if what == "mlp" || what == "all" {
-        mlp_figure(&gpu, MlpModel::Gpt3, "GPT-3");
-        mlp_figure(&gpu, MlpModel::Llama, "LLaMA");
+        mlp_figure(&gpu, &opts, MlpModel::Gpt3, "GPT-3");
+        mlp_figure(&gpu, &opts, MlpModel::Llama, "LLaMA");
     }
     if what == "attention" || what == "all" {
-        attention_figure(&gpu, 12288, "GPT-3");
-        attention_figure(&gpu, 8192, "LLaMA");
+        attention_figure(&gpu, &opts, 12288, "GPT-3");
+        attention_figure(&gpu, &opts, 8192, "LLaMA");
     }
     println!(
         "Paper peaks: GPT-3 MLP up to 15-21% (mid sizes), LLaMA MLP up to 20%, GPT-3 \

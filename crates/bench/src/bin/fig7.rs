@@ -1,13 +1,15 @@
 //! Fig. 7: improvement of cuSync policies over StreamSync for the Conv2D
 //! layers of ResNet-38 and VGG-19 (Table II shapes).
+//!
+//! Rows are simulated in parallel by the sweep driver; StreamSync
+//! baselines are shared across a row's modes.
 
+use cusync_bench::sweep::{fig7_jobs, fig7_row, parallel_map, SweepOptions};
 use cusync_bench::{header, pct, row};
-use cusync_models::{conv_improvement, pq_for_channels, SyncMode};
+use cusync_models::SyncMode;
 use cusync_sim::GpuConfig;
 
-const BATCHES: [u32; 9] = [1, 4, 8, 12, 16, 20, 24, 28, 32];
-
-fn panel(gpu: &GpuConfig, title: &str, channels: &[u32], convs: u32) {
+fn panel(gpu: &GpuConfig, opts: &SweepOptions, title: &str, channels: &[u32], convs: u32) {
     println!("## {title}\n");
     let modes = SyncMode::conv_policies();
     let mut cols = vec!["Channels".to_string(), "B".to_string()];
@@ -16,30 +18,42 @@ fn panel(gpu: &GpuConfig, title: &str, channels: &[u32], convs: u32) {
         "{}",
         header(&cols.iter().map(String::as_str).collect::<Vec<_>>())
     );
-    for &c in channels {
-        let pq = pq_for_channels(c);
-        for b in BATCHES {
-            let mut cells = vec![c.to_string(), b.to_string()];
-            for mode in &modes {
-                cells.push(pct(conv_improvement(gpu, b, pq, c, convs, *mode)));
-            }
-            println!("{}", row(&cells));
-        }
+    let rows = parallel_map(opts, fig7_jobs(channels, convs), |(c, pq, b, convs)| {
+        (c, b, fig7_row(gpu, c, pq, b, convs, opts.memoize))
+    });
+    for (c, b, r) in rows {
+        let mut cells = vec![c.to_string(), b.to_string()];
+        cells.extend(r.values.iter().map(|&v| pct(v)));
+        println!("{}", row(&cells));
     }
     println!();
 }
 
 fn main() {
     let gpu = GpuConfig::tesla_v100();
+    let opts = SweepOptions::fast();
     println!("# Fig. 7: Conv2D improvements over StreamSync\n");
     panel(
         &gpu,
+        &opts,
         "Fig. 7a: 2x Conv2Ds per layer (ResNet-38 and VGG-19), channels 64/128",
         &[64, 128],
         2,
     );
-    panel(&gpu, "Fig. 7b: 2x Conv2Ds per layer (ResNet-38), channels 256/512", &[256, 512], 2);
-    panel(&gpu, "Fig. 7c: 4x Conv2Ds per layer (VGG-19), channels 256/512", &[256, 512], 4);
+    panel(
+        &gpu,
+        &opts,
+        "Fig. 7b: 2x Conv2Ds per layer (ResNet-38), channels 256/512",
+        &[256, 512],
+        2,
+    );
+    panel(
+        &gpu,
+        &opts,
+        "Fig. 7c: 4x Conv2Ds per layer (VGG-19), channels 256/512",
+        &[256, 512],
+        4,
+    );
     println!(
         "Paper: up to 24% improvement; per channel count the gain oscillates with batch \
          size as the final-wave fraction changes (e.g. C=128: 20% at B=1, 24% at B=4, 3% \

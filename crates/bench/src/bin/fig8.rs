@@ -1,58 +1,33 @@
 //! Fig. 8: reduction in end-to-end inference times of GPT-3, LLaMA,
 //! ResNet-38 and VGG-19 using cuSync-synchronized kernels.
 //!
+//! Rows are simulated in parallel by the sweep driver; per-row StreamSync
+//! baselines are shared across the candidate policies.
+//!
 //! Usage: `fig8 [llm|vision|all]`
 
-use cusync::OptFlags;
-use cusync_bench::{header, pct, row};
-use cusync_models::{
-    llm_e2e_improvement, resnet38, vgg19, vision_e2e_improvement, PolicyKind, SyncMode, GPT3,
-    LLAMA,
+use cusync_bench::sweep::{
+    fig8_llm_configs, fig8_llm_row, fig8_vision_row, parallel_map, SweepOptions, FIG7_BATCHES,
 };
+use cusync_bench::{header, pct, row};
 use cusync_sim::GpuConfig;
-
-fn best_llm(gpu: &GpuConfig, model: cusync_models::LlmModel, tokens: u32, cached: u32) -> f64 {
-    SyncMode::attention_policies()
-        .into_iter()
-        .map(|mode| llm_e2e_improvement(gpu, model, tokens, cached, mode))
-        .fold(f64::MIN, f64::max)
-}
-
-fn best_vision(gpu: &GpuConfig, stages: &[cusync_models::ConvStage], batch: u32) -> f64 {
-    [
-        SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT),
-        SyncMode::CuSync(PolicyKind::Conv2DTile, OptFlags::WRT),
-    ]
-    .into_iter()
-    .map(|mode| vision_e2e_improvement(gpu, stages, batch, mode))
-    .fold(f64::MIN, f64::max)
-}
 
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     let gpu = GpuConfig::tesla_v100();
+    let opts = SweepOptions::fast();
     println!("# Fig. 8: end-to-end inference time reductions with cuSync\n");
 
     if what == "llm" || what == "all" {
         println!("## Fig. 8a: language models (best policy per configuration)\n");
         println!("{}", header(&["BxS, S'", "GPT-3", "LLaMA"]));
-        let mut configs: Vec<(String, u32, u32)> = [512u32, 1024, 2048]
-            .into_iter()
-            .map(|bs| (format!("{bs}, 0"), bs, 0))
-            .collect();
-        for s_prime in [512u32, 1024, 2048] {
-            for b in [1u32, 2, 4] {
-                configs.push((format!("{b}, {s_prime}"), b, s_prime));
-            }
-        }
-        for (name, tokens, cached) in configs {
+        let rows = parallel_map(&opts, fig8_llm_configs(), |(name, tokens, cached)| {
+            fig8_llm_row(&gpu, &name, tokens, cached, opts.memoize)
+        });
+        for r in rows {
             println!(
                 "{}",
-                row(&[
-                    name,
-                    pct(best_llm(&gpu, GPT3, tokens, cached)),
-                    pct(best_llm(&gpu, LLAMA, tokens, cached)),
-                ])
+                row(&[r.label.clone(), pct(r.values[0]), pct(r.values[1])])
             );
         }
         println!("\nPaper: GPT-3 6-15% (18/13/14% prompt, 8-9% generation), LLaMA 9-13%.\n");
@@ -61,14 +36,13 @@ fn main() {
     if what == "vision" || what == "all" {
         println!("## Fig. 8b: vision models (best policy per batch)\n");
         println!("{}", header(&["Batch", "ResNet-38", "VGG-19"]));
-        for batch in [1u32, 4, 8, 12, 16, 20, 24, 28, 32] {
+        let rows = parallel_map(&opts, FIG7_BATCHES.to_vec(), |batch| {
+            fig8_vision_row(&gpu, batch, opts.memoize)
+        });
+        for r in rows {
             println!(
                 "{}",
-                row(&[
-                    batch.to_string(),
-                    pct(best_vision(&gpu, &resnet38(), batch)),
-                    pct(best_vision(&gpu, &vgg19(), batch)),
-                ])
+                row(&[r.label.clone(), pct(r.values[0]), pct(r.values[1])])
             );
         }
         println!("\nPaper: ResNet-38 5-22%, VGG-19 6-16%.");

@@ -16,8 +16,18 @@ fn main() {
     for bs in [256u32, 512, 1024] {
         let t = gpt3_mlp_tiling(bs);
         let gemms = [
-            ("Producer", bs.div_ceil(t.gemm1.tile.m), 6144 / t.gemm1.tile.n, t.gemm1),
-            ("Consumer", bs.div_ceil(t.gemm2.tile.m), 12288 / t.gemm2.tile.n, t.gemm2),
+            (
+                "Producer",
+                bs.div_ceil(t.gemm1.tile.m),
+                6144 / t.gemm1.tile.n,
+                t.gemm1,
+            ),
+            (
+                "Consumer",
+                bs.div_ceil(t.gemm2.tile.m),
+                12288 / t.gemm2.tile.n,
+                t.gemm2,
+            ),
         ];
         for (role, gy, gx, tiling) in gemms {
             let blocks = (gy * gx * tiling.split_k) as u64;

@@ -27,23 +27,37 @@ const HOOKS: [&str; 6] = [
 fn main() {
     let kernels_src = concat!(env!("CARGO_MANIFEST_DIR"), "/../kernels/src");
     let audits = [
-        KernelAudit { name: "GeMM", implementation: "CUTLASS-style", source: "gemm.rs" },
+        KernelAudit {
+            name: "GeMM",
+            implementation: "CUTLASS-style",
+            source: "gemm.rs",
+        },
         KernelAudit {
             name: "Softmax-Dropout",
             implementation: "Ours",
             source: "softmax_dropout.rs",
         },
-        KernelAudit { name: "Conv2D", implementation: "CUTLASS-style", source: "conv2d.rs" },
+        KernelAudit {
+            name: "Conv2D",
+            implementation: "CUTLASS-style",
+            source: "conv2d.rs",
+        },
     ];
     println!("# Table III: lines changed to support cuSync\n");
     println!(
         "{}",
-        header(&["Kernel", "Implementation", "Hook lines", "Total lines", "Fraction"])
+        header(&[
+            "Kernel",
+            "Implementation",
+            "Hook lines",
+            "Total lines",
+            "Fraction"
+        ])
     );
     for audit in audits {
         let path = format!("{kernels_src}/{}", audit.source);
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         let total = text.lines().count();
         let hooks = text
             .lines()

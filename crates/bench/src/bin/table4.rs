@@ -26,8 +26,16 @@ fn main() {
     );
     for bs in [64u32, 128, 256, 512, 1024, 2048] {
         let t = gpt3_mlp_tiling(bs);
-        let g1 = (bs.div_ceil(t.gemm1.tile.m), 6144 / t.gemm1.tile.n, t.gemm1.split_k);
-        let g2 = (bs.div_ceil(t.gemm2.tile.m), 12288 / t.gemm2.tile.n, t.gemm2.split_k);
+        let g1 = (
+            bs.div_ceil(t.gemm1.tile.m),
+            6144 / t.gemm1.tile.n,
+            t.gemm1.split_k,
+        );
+        let g2 = (
+            bs.div_ceil(t.gemm2.tile.m),
+            12288 / t.gemm2.tile.n,
+            t.gemm2.split_k,
+        );
         let w1 = waves((g1.0 * g1.1 * g1.2) as u64, t.gemm1.occupancy, gpu.num_sms);
         let w2 = waves((g2.0 * g2.1 * g2.2) as u64, t.gemm2.occupancy, gpu.num_sms);
 
@@ -41,9 +49,8 @@ fn main() {
             .map(|(name, mode)| (*name, mlp_time(&gpu, MlpModel::Gpt3, bs, *mode)))
             .min_by_key(|(_, time)| *time)
             .expect("candidates non-empty");
-        let decrease = 100.0
-            * (base.as_picos() as f64 - best_time.as_picos() as f64)
-            / base.as_picos() as f64;
+        let decrease =
+            100.0 * (base.as_picos() as f64 - best_time.as_picos() as f64) / base.as_picos() as f64;
         println!(
             "{}",
             row(&[

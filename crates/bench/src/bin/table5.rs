@@ -18,11 +18,22 @@ fn main() {
     let gpu = GpuConfig::tesla_v100();
 
     println!("# Table V(a): TileSync optimization ablation, GPT-3 MLP\n");
-    println!("{}", header(&["Batch", "Vanilla (us)", "+R", "+WR", "+WRT"]));
+    println!(
+        "{}",
+        header(&["Batch", "Vanilla (us)", "+R", "+WR", "+WRT"])
+    );
     for bs in [64u32, 128, 256] {
-        let mut cells = vec![format!("1-{bs}").replace("1-64", "1-64").replace("1-128", "128").replace("1-256", "256")];
+        let mut cells = vec![format!("1-{bs}")
+            .replace("1-64", "1-64")
+            .replace("1-128", "128")
+            .replace("1-256", "256")];
         for (_, opts) in LADDER {
-            let t = mlp_time(&gpu, MlpModel::Gpt3, bs, SyncMode::CuSync(PolicyKind::Tile, opts));
+            let t = mlp_time(
+                &gpu,
+                MlpModel::Gpt3,
+                bs,
+                SyncMode::CuSync(PolicyKind::Tile, opts),
+            );
             cells.push(us(t));
         }
         println!("{}", row(&cells));
@@ -30,7 +41,10 @@ fn main() {
     println!("\nPaper (B=1-64): 378 / 365 / 360 / 355 us.\n");
 
     println!("# Table V(b): Conv2DTileSync ablation, ResNet-38 Conv2D pairs\n");
-    println!("{}", header(&["C", "B", "Vanilla (us)", "+R", "+WR", "+WRT"]));
+    println!(
+        "{}",
+        header(&["C", "B", "Vanilla (us)", "+R", "+WR", "+WRT"])
+    );
     let cases = [(64u32, 1u32), (128, 1), (256, 1), (512, 1), (512, 4)];
     for (channels, batch) in cases {
         let pq = cusync_models::pq_for_channels(channels);

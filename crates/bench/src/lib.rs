@@ -18,6 +18,9 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+pub mod sweep;
+
 use std::sync::Arc;
 
 use cusync::{launch_stream_sync, CuStage, NoSync, OptFlags, SyncGraph, TileSync};
@@ -77,8 +80,13 @@ pub fn overhead_experiment(gpu_cfg: &GpuConfig, elems_per_block: u32) -> Overhea
         launch_stream_sync(
             &mut gpu,
             [
-                Arc::new(CopyKernel::new("producer", len, elems_per_block, input, mid))
-                    as Arc<dyn KernelSource>,
+                Arc::new(CopyKernel::new(
+                    "producer",
+                    len,
+                    elems_per_block,
+                    input,
+                    mid,
+                )) as Arc<dyn KernelSource>,
                 Arc::new(CopyKernel::new("consumer", len, elems_per_block, mid, out)),
             ],
         );
@@ -94,7 +102,10 @@ pub fn overhead_experiment(gpu_cfg: &GpuConfig, elems_per_block: u32) -> Overhea
         let mut graph = SyncGraph::new();
         // Both kernels fit in one wave, so Section IV-C elides the
         // wait-kernel; TileSync synchronizes same-index blocks.
-        let opts = OptFlags { avoid_wait_kernel: true, ..OptFlags::NONE };
+        let opts = OptFlags {
+            avoid_wait_kernel: true,
+            ..OptFlags::NONE
+        };
         let s1 = graph.add_stage(CuStage::new("producer", grid).policy(TileSync).opts(opts));
         let s2 = graph.add_stage(CuStage::new("consumer", grid).policy(NoSync).opts(opts));
         graph.dependency(s1, s2, mid).expect("copy dep");
@@ -103,13 +114,16 @@ pub fn overhead_experiment(gpu_cfg: &GpuConfig, elems_per_block: u32) -> Overhea
             .with_stage(Arc::clone(bound.stage(s1)), false);
         let consumer = CopyKernel::new("consumer", len, elems_per_block, mid, out)
             .with_stage(Arc::clone(bound.stage(s2)), true);
-        bound.launch(&mut gpu, s1, Arc::new(producer)).expect("launch producer");
-        bound.launch(&mut gpu, s2, Arc::new(consumer)).expect("launch consumer");
+        bound
+            .launch(&mut gpu, s1, Arc::new(producer))
+            .expect("launch producer");
+        bound
+            .launch(&mut gpu, s2, Arc::new(consumer))
+            .expect("launch consumer");
         gpu.run().expect("cusync copy chain").total
     };
 
-    let overhead_pct = 100.0
-        * (cusync.as_picos() as f64 - stream_sync.as_picos() as f64)
+    let overhead_pct = 100.0 * (cusync.as_picos() as f64 - stream_sync.as_picos() as f64)
         / stream_sync.as_picos() as f64;
 
     // Analytic per-block bound: fence + atomic post (producer side) and
@@ -121,8 +135,7 @@ pub fn overhead_experiment(gpu_cfg: &GpuConfig, elems_per_block: u32) -> Overhea
     let copy_time = gpu_cfg.cycles(2 * gpu_cfg.global_latency_cycles)
         + gpu_cfg.mem_time(bytes, MAX_OCCUPANCY)
         + gpu_cfg.mem_time(bytes, MAX_OCCUPANCY);
-    let per_block_sync_pct =
-        100.0 * sync_time.as_picos() as f64 / copy_time.as_picos() as f64;
+    let per_block_sync_pct = 100.0 * sync_time.as_picos() as f64 / copy_time.as_picos() as f64;
 
     OverheadResult {
         stream_sync,

@@ -1,0 +1,169 @@
+//! Machine-readable performance trajectory (`BENCH_*.json`).
+//!
+//! Each PR that touches the simulator's hot paths appends a
+//! `BENCH_PR<N>.json` produced by the `bench_pr1` binary. The schema is
+//! deliberately tiny and hand-rolled (the build environment vendors no
+//! serde): a list of measurement entries, one per (figure × phase), where
+//! phase `"before"` is the pre-refactor harness reconstruction (reference
+//! engine, serial, per-cell baselines) and `"after"` is the shipping
+//! configuration (optimized engine, parallel, shared baselines). See
+//! `crates/sim/README.md` for how to read the numbers.
+
+use std::fmt::Write as _;
+
+use crate::sweep::SweepOutcome;
+
+/// One measured sweep, flattened for JSON.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Which figure/table sweep was measured (e.g. `"fig6"`).
+    pub figure: String,
+    /// `"before"` (pre-refactor reconstruction) or `"after"`.
+    pub phase: String,
+    /// Engine the sweep ran on (`"reference"` / `"optimized"`).
+    pub engine: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Whether StreamSync baselines were shared within rows.
+    pub memoized: bool,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// Simulator heap events handled across all cells.
+    pub sim_events: u64,
+    /// Simulated cells (kernel-graph runs).
+    pub cells: usize,
+    /// `wall / sim_events`, in nanoseconds.
+    pub ns_per_event: f64,
+    /// `sim_events / wall`, per second.
+    pub events_per_sec: f64,
+}
+
+impl PerfEntry {
+    /// Flattens a measured sweep into an entry.
+    pub fn from_outcome(
+        figure: &str,
+        phase: &str,
+        engine: &str,
+        threads: usize,
+        memoized: bool,
+        outcome: &SweepOutcome,
+    ) -> Self {
+        PerfEntry {
+            figure: figure.to_owned(),
+            phase: phase.to_owned(),
+            engine: engine.to_owned(),
+            threads,
+            memoized,
+            wall_seconds: outcome.wall.as_secs_f64(),
+            sim_events: outcome.events,
+            cells: outcome.cells,
+            ns_per_event: outcome.ns_per_event(),
+            events_per_sec: outcome.events_per_sec(),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the `BENCH_*.json` document: environment header, entries, and
+/// per-figure before/after speedups.
+pub fn render_json(pr: &str, entries: &[PerfEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"cusync-bench/1\",");
+    let _ = writeln!(out, "  \"pr\": \"{}\",", json_escape(pr));
+    let _ = writeln!(
+        out,
+        "  \"host\": {{ \"available_parallelism\": {} }},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{ \"figure\": \"{}\", \"phase\": \"{}\", \"engine\": \"{}\", \
+             \"threads\": {}, \"memoized\": {}, \"wall_seconds\": {:.6}, \
+             \"sim_events\": {}, \"cells\": {}, \"ns_per_event\": {:.1}, \
+             \"events_per_sec\": {:.0} }}{}",
+            json_escape(&e.figure),
+            json_escape(&e.phase),
+            json_escape(&e.engine),
+            e.threads,
+            e.memoized,
+            e.wall_seconds,
+            e.sim_events,
+            e.cells,
+            e.ns_per_event,
+            e.events_per_sec,
+            comma,
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {\n");
+    let figures: Vec<&str> = {
+        let mut seen = Vec::new();
+        for e in entries {
+            if !seen.contains(&e.figure.as_str()) {
+                seen.push(e.figure.as_str());
+            }
+        }
+        seen
+    };
+    let mut lines = Vec::new();
+    for fig in figures {
+        let before = entries
+            .iter()
+            .find(|e| e.figure == fig && e.phase == "before");
+        let after = entries
+            .iter()
+            .find(|e| e.figure == fig && e.phase == "after");
+        if let (Some(b), Some(a)) = (before, after) {
+            if a.wall_seconds > 0.0 {
+                lines.push(format!(
+                    "    \"{}\": {:.2}",
+                    json_escape(fig),
+                    b.wall_seconds / a.wall_seconds
+                ));
+            }
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push('\n');
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn outcome(ms: u64, events: u64) -> SweepOutcome {
+        SweepOutcome {
+            rows: Vec::new(),
+            wall: Duration::from_millis(ms),
+            events,
+            cells: 4,
+        }
+    }
+
+    #[test]
+    fn json_contains_entries_and_speedups() {
+        let entries = vec![
+            PerfEntry::from_outcome("fig6", "before", "reference", 1, false, &outcome(100, 1000)),
+            PerfEntry::from_outcome("fig6", "after", "optimized", 4, true, &outcome(20, 800)),
+        ];
+        let json = render_json("PR1", &entries);
+        assert!(json.contains("\"figure\": \"fig6\""));
+        assert!(json.contains("\"phase\": \"before\""));
+        assert!(json.contains("\"fig6\": 5.00"), "{json}");
+        // Sanity: a JSON-ish shape (balanced braces).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

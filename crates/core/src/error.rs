@@ -52,10 +52,21 @@ impl fmt::Display for CuSyncError {
             CuSyncError::DependencyCycle { stage } => {
                 write!(f, "dependency cycle involving stage {stage}")
             }
-            CuSyncError::InvalidOrder { order, grid, detail } => {
-                write!(f, "tile order {order} is not a bijection over grid {grid}: {detail}")
+            CuSyncError::InvalidOrder {
+                order,
+                grid,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "tile order {order} is not a bijection over grid {grid}: {detail}"
+                )
             }
-            CuSyncError::GridMismatch { stage, stage_grid, kernel_grid } => {
+            CuSyncError::GridMismatch {
+                stage,
+                stage_grid,
+                kernel_grid,
+            } => {
                 write!(
                     f,
                     "kernel grid {kernel_grid} does not match stage {stage} grid {stage_grid}"
@@ -82,6 +93,9 @@ mod tests {
             kernel_grid: Dim3::new(24, 1, 1),
         };
         let s = e.to_string();
-        assert!(s.contains("gemm2") && s.contains("48x1x1") && s.contains("24x1x1"), "{s}");
+        assert!(
+            s.contains("gemm2") && s.contains("48x1x1") && s.contains("24x1x1"),
+            "{s}"
+        );
     }
 }

@@ -148,7 +148,12 @@ mod tests {
                 .launch(
                     &mut gpu,
                     c,
-                    Arc::new(FixedKernel::new("c", Dim3::linear(2), 1, vec![Op::compute(10)])),
+                    Arc::new(FixedKernel::new(
+                        "c",
+                        Dim3::linear(2),
+                        1,
+                        vec![Op::compute(10)],
+                    )),
                 )
                 .unwrap();
             let report = gpu.run().unwrap();

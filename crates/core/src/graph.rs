@@ -158,8 +158,8 @@ impl SyncGraph {
             // own); the T optimization elides the counter and table lookup,
             // trusting the hardware order (Section IV-C).
             let use_counter = !opts.avoid_custom_order;
-            let counter = use_counter
-                .then(|| gpu.alloc_sems(&format!("{}.order", stage.name()), 1, 0));
+            let counter =
+                use_counter.then(|| gpu.alloc_sems(&format!("{}.order", stage.name()), 1, 0));
             let producers = self
                 .deps
                 .iter()
@@ -182,7 +182,10 @@ impl SyncGraph {
             }));
         }
         Ok(BoundGraph {
-            stages: runtimes.into_iter().map(|r| r.expect("all bound")).collect(),
+            stages: runtimes
+                .into_iter()
+                .map(|r| r.expect("all bound"))
+                .collect(),
             streams,
         })
     }
@@ -279,7 +282,11 @@ mod tests {
         let bound = graph.bind(&mut gpu).unwrap();
         let op = bound.stage(c).wait_op(buf, Dim3::new(1, 1, 0)).unwrap();
         match op {
-            cusync_sim::Op::SemWait { table, index, value } => {
+            cusync_sim::Op::SemWait {
+                table,
+                index,
+                value,
+            } => {
                 assert_eq!(table, bound.stage(p).sem_array().unwrap());
                 assert_eq!(index, 1); // row 1
                 assert_eq!(value, 3); // all 3 tiles of the row
@@ -336,9 +343,7 @@ mod tests {
         let mut gpu = gpu();
         let mut graph = SyncGraph::new();
         let s = graph.add_stage(CuStage::new("s", Dim3::new(4, 4, 1)));
-        let t = graph.add_stage(
-            CuStage::new("t", Dim3::new(4, 4, 1)).opts(OptFlags::WRT),
-        );
+        let t = graph.add_stage(CuStage::new("t", Dim3::new(4, 4, 1)).opts(OptFlags::WRT));
         let bound = graph.bind(&mut gpu).unwrap();
         // Without +T the atomic-counter mechanism runs even for the
         // row-major order (the hardware order is not trusted).
@@ -351,9 +356,8 @@ mod tests {
     fn column_major_order_uses_counter_unless_t_flag() {
         let mut gpu = gpu();
         let mut graph = SyncGraph::new();
-        let s1 = graph.add_stage(
-            CuStage::new("s1", Dim3::new(4, 4, 1)).order(crate::order::ColumnMajor),
-        );
+        let s1 = graph
+            .add_stage(CuStage::new("s1", Dim3::new(4, 4, 1)).order(crate::order::ColumnMajor));
         let s2 = graph.add_stage(
             CuStage::new("s2", Dim3::new(4, 4, 1))
                 .order(crate::order::ColumnMajor)
@@ -374,6 +378,9 @@ mod tests {
         let c = graph.add_stage(CuStage::new("c", Dim3::new(2, 2, 1)));
         graph.dependency(p, c, buf).unwrap();
         let bound = graph.bind(&mut gpu).unwrap();
-        assert_eq!(producer_map(&bound).get(&buf).map(String::as_str), Some("p"));
+        assert_eq!(
+            producer_map(&bound).get(&buf).map(String::as_str),
+            Some("p")
+        );
     }
 }

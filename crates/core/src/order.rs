@@ -118,7 +118,9 @@ impl TileSchedule {
         for tile in grid.iter() {
             let pos = order.position(tile, grid);
             if pos >= count {
-                return Err(invalid(format!("tile {tile} maps to position {pos} >= {count}")));
+                return Err(invalid(format!(
+                    "tile {tile} maps to position {pos} >= {count}"
+                )));
             }
             if seen[pos as usize] {
                 return Err(invalid(format!("position {pos} assigned twice")));
@@ -297,9 +299,8 @@ mod tests {
     fn grouped_order_appends_unclaimed_tiles() {
         let producer = Dim3::new(3, 1, 1);
         let consumer = Dim3::new(1, 1, 1);
-        let order = producer_grouped_order("partial", producer, consumer, |_| {
-            vec![Dim3::new(1, 0, 0)]
-        });
+        let order =
+            producer_grouped_order("partial", producer, consumer, |_| vec![Dim3::new(1, 0, 0)]);
         let schedule = TileSchedule::build(&order, producer).unwrap();
         assert_eq!(schedule.tile_at(0), Dim3::new(1, 0, 0));
         // Unclaimed tiles 0 and 2 follow in row-major order.

@@ -209,7 +209,11 @@ impl StageRuntime {
         let table = producer.sems?;
         let index = producer.policy.wait_sem(requested, producer.grid);
         let value = producer.policy.expected(requested, producer.grid);
-        Some(Op::SemWait { table, index, value })
+        Some(Op::SemWait {
+            table,
+            index,
+            value,
+        })
     }
 
     /// `stage.post(tile)`: the fence + post op pair signalling `tile`
@@ -217,7 +221,14 @@ impl StageRuntime {
     pub fn post_ops(&self, tile: Dim3) -> Option<[Op; 2]> {
         let table = self.sems?;
         let index = self.policy.post_sem(tile, self.grid);
-        Some([Op::Fence, Op::SemPost { table, index, inc: 1 }])
+        Some([
+            Op::Fence,
+            Op::SemPost {
+                table,
+                index,
+                inc: 1,
+            },
+        ])
     }
 
     /// Whether the kernel should reorder independent tile loads before

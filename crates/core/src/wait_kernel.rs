@@ -86,7 +86,11 @@ impl BlockBody for WaitBody {
         match self.targets.get(self.next) {
             Some(&(table, index)) => {
                 self.next += 1;
-                Step::Op(Op::SemWait { table, index, value: 1 })
+                Step::Op(Op::SemWait {
+                    table,
+                    index,
+                    value: 1,
+                })
             }
             None => Step::Done,
         }

@@ -53,7 +53,10 @@ impl fmt::Display for GenError {
                 "dependence of {consumer} tile {consumer_tile} references {producer} tile \
                  {produced}, outside grid {extent}"
             ),
-            GenError::EmptyDependence { consumer, consumer_tile } => write!(
+            GenError::EmptyDependence {
+                consumer,
+                consumer_tile,
+            } => write!(
                 f,
                 "{consumer} tile {consumer_tile} has an empty producer set"
             ),

@@ -78,7 +78,11 @@ impl fmt::Display for TuneReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let best = self.best().candidate.name.clone();
         for r in &self.results {
-            let marker = if r.candidate.name == best { " <== best" } else { "" };
+            let marker = if r.candidate.name == best {
+                " <== best"
+            } else {
+                ""
+            };
             writeln!(f, "{:>28}: {}{}", r.candidate.name, r.time, marker)?;
         }
         Ok(())

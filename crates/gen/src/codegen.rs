@@ -36,9 +36,7 @@ pub fn emit_policy(spec: &DepSpec, dep: &DepDecl, policy: &NamedPolicy) -> Strin
                  // Distinct semaphore for each tile\n    \
                  return tile.y * grid.x + tile.x;\n  }\n",
             );
-            out.push_str(
-                "  __device__ int value(dim3 tile, dim3 grid) { return grid.z; }\n",
-            );
+            out.push_str("  __device__ int value(dim3 tile, dim3 grid) { return grid.z; }\n");
         }
         "RowSync" => {
             out.push_str(
@@ -71,9 +69,7 @@ pub fn emit_policy(spec: &DepSpec, dep: &DepDecl, policy: &NamedPolicy) -> Strin
                  // Consumer k-steps fold onto the producing channel tile\n    \
                  return tile.y * grid.x + min(tile.x / {rs}, grid.x - 1);\n  }}"
             );
-            out.push_str(
-                "  __device__ int value(dim3 tile, dim3 grid) { return grid.z; }\n",
-            );
+            out.push_str("  __device__ int value(dim3 tile, dim3 grid) { return grid.z; }\n");
         }
         other => {
             let _ = writeln!(out, "  // unrecognized policy {other}: emit runtime table");

@@ -49,17 +49,32 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The consumer's x coordinate.
     pub const fn x() -> Self {
-        AffineExpr { cx: 1, cy: 0, offset: 0, divisor: 1 }
+        AffineExpr {
+            cx: 1,
+            cy: 0,
+            offset: 0,
+            divisor: 1,
+        }
     }
 
     /// The consumer's y coordinate.
     pub const fn y() -> Self {
-        AffineExpr { cy: 1, cx: 0, offset: 0, divisor: 1 }
+        AffineExpr {
+            cy: 1,
+            cx: 0,
+            offset: 0,
+            divisor: 1,
+        }
     }
 
     /// A constant.
     pub const fn constant(c: i64) -> Self {
-        AffineExpr { cx: 0, cy: 0, offset: c, divisor: 1 }
+        AffineExpr {
+            cx: 0,
+            cy: 0,
+            offset: c,
+            divisor: 1,
+        }
     }
 
     /// Adds a constant offset.
@@ -73,6 +88,7 @@ impl AffineExpr {
     /// # Panics
     ///
     /// Panics if `d` is zero or negative.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(mut self, d: i64) -> Self {
         assert!(d >= 1, "divisor must be positive");
         self.divisor *= d;
@@ -222,7 +238,11 @@ impl DepSpec {
             Pattern::Tiles(refs) => refs
                 .iter()
                 .filter_map(|(ex, ey)| {
-                    Some(Dim3::new(ex.eval(consumer_tile)?, ey.eval(consumer_tile)?, 0))
+                    Some(Dim3::new(
+                        ex.eval(consumer_tile)?,
+                        ey.eval(consumer_tile)?,
+                        0,
+                    ))
                 })
                 .collect(),
             Pattern::ForAllX(ey) => match ey.eval(consumer_tile) {

@@ -94,10 +94,9 @@ pub fn policies_for(_spec: &DepSpec, dep: &DepDecl) -> Vec<NamedPolicy> {
         ];
     }
     match dep.pattern {
-        Pattern::ForAllX(_) | Pattern::ForAllY(_) | Pattern::Tiles(_) => vec![
-            NamedPolicy::new(TileSync),
-            NamedPolicy::new(RowSync),
-        ],
+        Pattern::ForAllX(_) | Pattern::ForAllY(_) | Pattern::Tiles(_) => {
+            vec![NamedPolicy::new(TileSync), NamedPolicy::new(RowSync)]
+        }
     }
 }
 
@@ -119,7 +118,10 @@ mod tests {
     #[test]
     fn mlp_dependence_generates_tile_and_row_sync() {
         let (spec, dep) = spec_with(Pattern::ForAllX(AffineExpr::y()));
-        let names: Vec<String> = policies_for(&spec, &dep).into_iter().map(|p| p.name).collect();
+        let names: Vec<String> = policies_for(&spec, &dep)
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
         assert_eq!(names, vec!["TileSync", "RowSync"]);
     }
 
@@ -161,7 +163,10 @@ mod tests {
             (AffineExpr::x().plus(1), AffineExpr::y()),
             (AffineExpr::x().plus(5), AffineExpr::y()),
         ]));
-        let names: Vec<String> = policies_for(&spec, &dep).into_iter().map(|p| p.name).collect();
+        let names: Vec<String> = policies_for(&spec, &dep)
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
         assert_eq!(names, vec!["TileSync", "RowSync"]);
     }
 }

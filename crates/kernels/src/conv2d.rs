@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use cusync::StageRuntime;
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, GpuConfig, KernelSource, Op, Step,
+    BlockBody, BlockCtx, BufferId, DType, Dim3, GlobalMemory, GpuConfig, KernelSource, Op, Step,
 };
 
 use crate::gemm::{Epilogue, InputDep, TileShape};
@@ -49,7 +49,15 @@ impl Conv2DShape {
     /// A square `3x3` convolution, the shape used by every ResNet-38 and
     /// VGG-19 layer in Table II.
     pub const fn square3x3(batch: u32, pq: u32, c: u32, k: u32) -> Self {
-        Conv2DShape { batch, p: pq, q: pq, c, k, r: 3, s: 3 }
+        Conv2DShape {
+            batch,
+            p: pq,
+            q: pq,
+            c,
+            k,
+            r: 3,
+            s: 3,
+        }
     }
 
     /// Implicit-GeMM M dimension: `batch * p * q` output pixels.
@@ -261,6 +269,10 @@ impl KernelSource for Conv2DKernel {
             functional: false,
         })
     }
+    fn timing_static(&self, mem: &GlobalMemory) -> bool {
+        !mem.is_functional(self.output)
+            && self.stage.as_ref().and_then(|s| s.tile_counter()).is_none()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,7 +287,9 @@ enum ConvPhase {
     Main,
     Epilogue,
     Write,
-    Post { idx: usize },
+    Post {
+        idx: usize,
+    },
     Done,
 }
 
@@ -418,8 +432,11 @@ impl Conv2DBody {
         for m in rows.0..rows.1 {
             for ko in cols.0..cols.1 {
                 let v = self.acc[(m - rows.0) as usize * tile_cols + (ko - cols.0) as usize];
-                ctx.mem
-                    .write(self.output, m as usize * k + ko as usize, self.epilogue.apply(v));
+                ctx.mem.write(
+                    self.output,
+                    m as usize * k + ko as usize,
+                    self.epilogue.apply(v),
+                );
             }
         }
     }
@@ -442,7 +459,11 @@ impl BlockBody for Conv2DBody {
                     match self.stage.as_ref().and_then(|s| s.tile_counter()) {
                         Some(counter) => {
                             self.phase = ConvPhase::MapTile;
-                            return Step::Op(Op::AtomicAdd { table: counter, index: 0, inc: 1 });
+                            return Step::Op(Op::AtomicAdd {
+                                table: counter,
+                                index: 0,
+                                inc: 1,
+                            });
                         }
                         None => {
                             self.tile_coord = Some(self.block);
@@ -499,13 +520,8 @@ impl BlockBody for Conv2DBody {
                     if per_elem > 0 {
                         let rows = self.rows();
                         let cols = self.cols();
-                        let flops =
-                            per_elem * (rows.1 - rows.0) as u64 * (cols.1 - cols.0) as u64;
-                        return Step::Op(Op::compute(fma_cycles(
-                            &self.gpu,
-                            self.occupancy,
-                            flops,
-                        )));
+                        let flops = per_elem * (rows.1 - rows.0) as u64 * (cols.1 - cols.0) as u64;
+                        return Step::Op(Op::compute(fma_cycles(&self.gpu, self.occupancy, flops)));
                     }
                 }
                 ConvPhase::Write => {
@@ -553,11 +569,13 @@ impl Conv2DBody {
         } else {
             (cols.1 - cols.0) as u64
         };
-        let bytes = ((rows.1 - rows.0) as u64 + weight_rows)
-            * (chi - clo) as u64
-            * self.dtype.size_bytes();
+        let bytes =
+            ((rows.1 - rows.0) as u64 + weight_rows) * (chi - clo) as u64 * self.dtype.size_bytes();
         let flops = gemm_flops(rows.1 - rows.0, cols.1 - cols.0, chi - clo);
-        Some(Op::main_step(bytes, mma_cycles(&self.gpu, self.occupancy, flops)))
+        Some(Op::main_step(
+            bytes,
+            mma_cycles(&self.gpu, self.occupancy, flops),
+        ))
     }
 
     /// The `R` optimization: prefetch weights before the input waits.
@@ -599,7 +617,9 @@ mod tests {
     }
 
     fn seeded(len: usize, scale: f32) -> Vec<f32> {
-        (0..len).map(|i| ((i * 29 + 7) % 13) as f32 * scale - 0.3).collect()
+        (0..len)
+            .map(|i| ((i * 29 + 7) % 13) as f32 * scale - 0.3)
+            .collect()
     }
 
     #[test]
@@ -610,9 +630,9 @@ mod tests {
         let w_data = seeded((shape.rs() * shape.c * shape.k) as usize, 0.05);
         let input = gpu.mem_mut().alloc_data("in", in_data.clone(), DType::F16);
         let weights = gpu.mem_mut().alloc_data("w", w_data.clone(), DType::F16);
-        let output = gpu
-            .mem_mut()
-            .alloc_poisoned("out", (shape.gemm_m() * shape.k) as usize, DType::F16);
+        let output =
+            gpu.mem_mut()
+                .alloc_poisoned("out", (shape.gemm_m() * shape.k) as usize, DType::F16);
         let conv = Conv2DBuilder::new("conv", shape, TileShape::new(12, 8, 4))
             .operands(input, weights, output)
             .epilogue(Epilogue::None)
@@ -621,7 +641,15 @@ mod tests {
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0);
         let expected = conv2d(
-            &in_data, &w_data, 1, 6, 6, shape.c as usize, 3, 3, shape.k as usize,
+            &in_data,
+            &w_data,
+            1,
+            6,
+            6,
+            shape.c as usize,
+            3,
+            3,
+            shape.k as usize,
         );
         assert_close(gpu.mem().snapshot(output).unwrap(), &expected, 1e-2);
     }
@@ -639,22 +667,24 @@ mod tests {
         let input = gpu.mem_mut().alloc_data("in", in_data.clone(), DType::F16);
         let w1 = gpu.mem_mut().alloc_data("w1", w1_data.clone(), DType::F16);
         let w2 = gpu.mem_mut().alloc_data("w2", w2_data.clone(), DType::F16);
-        let mid = gpu
-            .mem_mut()
-            .alloc_poisoned("mid", (shape1.gemm_m() * shape1.k) as usize, DType::F16);
-        let out = gpu
-            .mem_mut()
-            .alloc_poisoned("out", (shape2.gemm_m() * shape2.k) as usize, DType::F16);
+        let mid =
+            gpu.mem_mut()
+                .alloc_poisoned("mid", (shape1.gemm_m() * shape1.k) as usize, DType::F16);
+        let out =
+            gpu.mem_mut()
+                .alloc_poisoned("out", (shape2.gemm_m() * shape2.k) as usize, DType::F16);
 
         let grid1 = Dim3::new(shape1.k / tile.n, shape1.gemm_m().div_ceil(tile.m), 1);
         let mut graph = SyncGraph::new();
-        let s1 = graph.add_stage(
-            CuStage::new("conv1", grid1).policy(Conv2DTileSync::new(shape2.rs())),
+        let s1 =
+            graph.add_stage(CuStage::new("conv1", grid1).policy(Conv2DTileSync::new(shape2.rs())));
+        let s2 = graph.add_stage(
+            CuStage::new(
+                "conv2",
+                Dim3::new(shape2.k / tile.n, shape2.gemm_m().div_ceil(tile.m), 1),
+            )
+            .policy(TileSync),
         );
-        let s2 = graph.add_stage(CuStage::new(
-            "conv2",
-            Dim3::new(shape2.k / tile.n, shape2.gemm_m().div_ceil(tile.m), 1),
-        ).policy(TileSync));
         graph.dependency(s1, s2, mid).unwrap();
         let bound = graph.bind(&mut gpu).unwrap();
 
@@ -677,13 +707,30 @@ mod tests {
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0, "{report}");
 
-        let mid_ref: Vec<f32> =
-            conv2d(&in_data, &w1_data, 1, 6, 6, shape1.c as usize, 3, 3, shape1.k as usize)
-                .into_iter()
-                .map(relu)
-                .collect();
+        let mid_ref: Vec<f32> = conv2d(
+            &in_data,
+            &w1_data,
+            1,
+            6,
+            6,
+            shape1.c as usize,
+            3,
+            3,
+            shape1.k as usize,
+        )
+        .into_iter()
+        .map(relu)
+        .collect();
         let out_ref = conv2d(
-            &mid_ref, &w2_data, 1, 6, 6, shape2.c as usize, 3, 3, shape2.k as usize,
+            &mid_ref,
+            &w2_data,
+            1,
+            6,
+            6,
+            shape2.c as usize,
+            3,
+            3,
+            shape2.k as usize,
         );
         assert_close(gpu.mem().snapshot(out).unwrap(), &out_ref, 5e-2);
         // The chain overlapped.
@@ -702,12 +749,12 @@ mod tests {
         let input = gpu.mem_mut().alloc_data("in", in_data.clone(), DType::F16);
         let w1 = gpu.mem_mut().alloc_data("w1", w1_data.clone(), DType::F16);
         let w2 = gpu.mem_mut().alloc_data("w2", w2_data.clone(), DType::F16);
-        let mid = gpu
-            .mem_mut()
-            .alloc_poisoned("mid", (shape1.gemm_m() * shape1.k) as usize, DType::F16);
-        let out = gpu
-            .mem_mut()
-            .alloc_poisoned("out", (shape2.gemm_m() * shape2.k) as usize, DType::F16);
+        let mid =
+            gpu.mem_mut()
+                .alloc_poisoned("mid", (shape1.gemm_m() * shape1.k) as usize, DType::F16);
+        let out =
+            gpu.mem_mut()
+                .alloc_poisoned("out", (shape2.gemm_m() * shape2.k) as usize, DType::F16);
         let grid1 = Dim3::new(shape1.k / tile.n, shape1.gemm_m().div_ceil(tile.m), 1);
         let mut graph = SyncGraph::new();
         let s1 = graph.add_stage(CuStage::new("conv1", grid1).policy(RowSync));
@@ -735,10 +782,27 @@ mod tests {
         bound.launch(&mut gpu, s2, Arc::new(conv2)).unwrap();
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0, "{report}");
-        let mid_ref =
-            conv2d(&in_data, &w1_data, 1, 4, 4, shape1.c as usize, 3, 3, shape1.k as usize);
+        let mid_ref = conv2d(
+            &in_data,
+            &w1_data,
+            1,
+            4,
+            4,
+            shape1.c as usize,
+            3,
+            3,
+            shape1.k as usize,
+        );
         let out_ref = conv2d(
-            &mid_ref, &w2_data, 1, 4, 4, shape2.c as usize, 3, 3, shape2.k as usize,
+            &mid_ref,
+            &w2_data,
+            1,
+            4,
+            4,
+            shape2.c as usize,
+            3,
+            3,
+            shape2.k as usize,
         );
         assert_close(gpu.mem().snapshot(out).unwrap(), &out_ref, 5e-2);
     }

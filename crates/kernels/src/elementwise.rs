@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use cusync::StageRuntime;
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, KernelSource, Op, Step, MAX_OCCUPANCY,
+    BlockBody, BlockCtx, BufferId, DType, Dim3, GlobalMemory, KernelSource, Op, Step, MAX_OCCUPANCY,
 };
 
 use crate::gemm::{DepPlan, InputDep};
@@ -96,6 +96,9 @@ impl KernelSource for CopyKernel {
             phase: CopyPhase::Start,
         })
     }
+    fn timing_static(&self, mem: &GlobalMemory) -> bool {
+        !mem.is_functional(self.dst) && self.stage.as_ref().and_then(|s| s.tile_counter()).is_none()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,7 +157,11 @@ impl BlockBody for CopyBody {
                 CopyPhase::Acquire => match self.stage.as_ref().and_then(|s| s.tile_counter()) {
                     Some(counter) => {
                         self.phase = CopyPhase::MapTile;
-                        return Step::Op(Op::AtomicAdd { table: counter, index: 0, inc: 1 });
+                        return Step::Op(Op::AtomicAdd {
+                            table: counter,
+                            index: 0,
+                            inc: 1,
+                        });
                     }
                     None => {
                         self.tile = Some(self.block);
@@ -233,8 +240,12 @@ mod tests {
         let mut gpu = quiet_gpu();
         let data: Vec<f32> = (0..len).map(|i| i as f32).collect();
         let input = gpu.mem_mut().alloc_data("in", data.clone(), DType::F16);
-        let mid = gpu.mem_mut().alloc_poisoned("mid", len as usize, DType::F16);
-        let out = gpu.mem_mut().alloc_poisoned("out", len as usize, DType::F16);
+        let mid = gpu
+            .mem_mut()
+            .alloc_poisoned("mid", len as usize, DType::F16);
+        let out = gpu
+            .mem_mut()
+            .alloc_poisoned("out", len as usize, DType::F16);
         let grid = Dim3::linear(8);
         let mut graph = SyncGraph::new();
         let s1 = graph.add_stage(CuStage::new("copy1", grid).policy(TileSync));
@@ -258,12 +269,11 @@ mod tests {
         let mut gpu = quiet_gpu();
         let data: Vec<f32> = (0..len).map(|i| i as f32 * 0.5).collect();
         let input = gpu.mem_mut().alloc_data("in", data.clone(), DType::F16);
-        let out = gpu.mem_mut().alloc_poisoned("out", len as usize, DType::F16);
+        let out = gpu
+            .mem_mut()
+            .alloc_poisoned("out", len as usize, DType::F16);
         let kernel = CopyKernel::new("copy", len, 8, input, out);
-        cusync::launch_stream_sync(
-            &mut gpu,
-            [Arc::new(kernel) as Arc<dyn KernelSource>],
-        );
+        cusync::launch_stream_sync(&mut gpu, [Arc::new(kernel) as Arc<dyn KernelSource>]);
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0);
         assert_close(gpu.mem().snapshot(out).unwrap(), &data, 0.0);

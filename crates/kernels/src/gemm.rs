@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use cusync::StageRuntime;
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, GpuConfig, KernelSource, Op, Step,
+    BlockBody, BlockCtx, BufferId, DType, Dim3, GlobalMemory, GpuConfig, KernelSource, Op, Step,
 };
 
 use crate::reference::{gelu, relu, swish};
@@ -149,9 +149,10 @@ impl fmt::Debug for DepPlan {
                 .debug_struct("RowAligned")
                 .field("x_offset_tiles", x_offset_tiles)
                 .finish(),
-            DepPlan::Strided { x_offsets } => {
-                f.debug_struct("Strided").field("x_offsets", x_offsets).finish()
-            }
+            DepPlan::Strided { x_offsets } => f
+                .debug_struct("Strided")
+                .field("x_offsets", x_offsets)
+                .finish(),
             DepPlan::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -449,6 +450,12 @@ impl KernelSource for GemmKernel {
             functional: false,
         })
     }
+
+    fn timing_static(&self, mem: &GlobalMemory) -> bool {
+        // Context-dependent only when computing functional results or
+        // mapping tiles through the atomic order counter.
+        !mem.is_functional(self.c) && self.stage.as_ref().and_then(|s| s.tile_counter()).is_none()
+    }
 }
 
 /// Per-body copy of kernel parameters (blocks outlive the borrow of the
@@ -482,7 +489,9 @@ enum Phase {
     Main,
     Epilogue,
     WriteC,
-    Post { idx: usize },
+    Post {
+        idx: usize,
+    },
     Done,
 }
 
@@ -611,7 +620,10 @@ impl GemmBody {
             // swish + multiply on each A element.
             flops += 8 * (rows.1 - rows.0) as u64 * kspan as u64;
         }
-        Some(Op::main_step(bytes, mma_cycles(gpu, self.k.occupancy, flops)))
+        Some(Op::main_step(
+            bytes,
+            mma_cycles(gpu, self.k.occupancy, flops),
+        ))
     }
 
     /// Functional accumulation of `chunk` (called once the chunk's waits
@@ -630,10 +642,14 @@ impl GemmBody {
             for kk in klo..khi {
                 let av = match self.k.a {
                     ASource::Plain(a) => ctx.mem.read(a, i as usize * kdim + kk as usize, ctx.now),
-                    ASource::SwiGlu { combined, half_cols } => {
+                    ASource::SwiGlu {
+                        combined,
+                        half_cols,
+                    } => {
                         let w = 2 * half_cols as usize;
-                        let gate =
-                            ctx.mem.read(combined, i as usize * w + kk as usize, ctx.now);
+                        let gate = ctx
+                            .mem
+                            .read(combined, i as usize * w + kk as usize, ctx.now);
                         let value = ctx.mem.read(
                             combined,
                             i as usize * w + half_cols as usize + kk as usize,
@@ -646,7 +662,9 @@ impl GemmBody {
                     continue;
                 }
                 for j in cols.0..cols.1 {
-                    let bv = ctx.mem.read(self.k.b, kk as usize * n + j as usize, ctx.now);
+                    let bv = ctx
+                        .mem
+                        .read(self.k.b, kk as usize * n + j as usize, ctx.now);
                     let idx = (i - rows.0) as usize * tile_cols + (j - cols.0) as usize;
                     self.acc[idx] += av * bv;
                 }
@@ -697,7 +715,11 @@ impl GemmBody {
         let rows = self.rows();
         let cols = self.cols();
         let flops = per_elem * (rows.1 - rows.0) as u64 * (cols.1 - cols.0) as u64;
-        Some(Op::compute(fma_cycles(&self.k.gpu, self.k.occupancy, flops)))
+        Some(Op::compute(fma_cycles(
+            &self.k.gpu,
+            self.k.occupancy,
+            flops,
+        )))
     }
 
     /// True when the `R` optimization applies: A depends on a producer
@@ -712,8 +734,6 @@ impl GemmBody {
             && self.k.a_dep.is_some()
             && self.k.b_dep.is_none()
     }
-
-
 }
 
 impl BlockBody for GemmBody {
@@ -734,13 +754,16 @@ impl BlockBody for GemmBody {
                     if self.functional {
                         let rows = self.rows();
                         let cols = self.cols();
-                        self.acc =
-                            vec![0.0; ((rows.1 - rows.0) * (cols.1 - cols.0)) as usize];
+                        self.acc = vec![0.0; ((rows.1 - rows.0) * (cols.1 - cols.0)) as usize];
                     }
                     match self.k.stage.as_ref().and_then(|s| s.tile_counter()) {
                         Some(counter) => {
                             self.phase = Phase::MapTile;
-                            return Step::Op(Op::AtomicAdd { table: counter, index: 0, inc: 1 });
+                            return Step::Op(Op::AtomicAdd {
+                                table: counter,
+                                index: 0,
+                                inc: 1,
+                            });
                         }
                         None => {
                             self.tile = Some(self.block);
@@ -756,8 +779,7 @@ impl BlockBody for GemmBody {
                         // Tile changed: resize the accumulator.
                         let rows = self.rows();
                         let cols = self.cols();
-                        self.acc =
-                            vec![0.0; ((rows.1 - rows.0) * (cols.1 - cols.0)) as usize];
+                        self.acc = vec![0.0; ((rows.1 - rows.0) * (cols.1 - cols.0)) as usize];
                     }
                     self.phase = self.first_chunk_phase();
                 }
@@ -873,7 +895,9 @@ mod tests {
         let b_data = seeded(k as usize, n as usize, 0.03);
         let a = gpu.mem_mut().alloc_data("a", a_data.clone(), DType::F16);
         let b = gpu.mem_mut().alloc_data("b", b_data.clone(), DType::F16);
-        let c = gpu.mem_mut().alloc_poisoned("c", (m * n) as usize, DType::F16);
+        let c = gpu
+            .mem_mut()
+            .alloc_poisoned("c", (m * n) as usize, DType::F16);
         let gemm = GemmBuilder::new("g", GemmDims::new(m, n, k), TileShape::new(16, 16, 16))
             .operands(a, b, c)
             .build(gpu.config());
@@ -892,7 +916,9 @@ mod tests {
         let b_data = seeded(k as usize, n as usize, 0.1);
         let a = gpu.mem_mut().alloc_data("a", a_data.clone(), DType::F16);
         let b = gpu.mem_mut().alloc_data("b", b_data.clone(), DType::F16);
-        let c = gpu.mem_mut().alloc_poisoned("c", (m * n) as usize, DType::F16);
+        let c = gpu
+            .mem_mut()
+            .alloc_poisoned("c", (m * n) as usize, DType::F16);
         let gemm = GemmBuilder::new("g", GemmDims::new(m, n, k), TileShape::new(8, 8, 8))
             .operands(a, b, c)
             .epilogue(Epilogue::Gelu)
@@ -914,7 +940,9 @@ mod tests {
         let b_data = seeded(k as usize, n as usize, 0.02);
         let a = gpu.mem_mut().alloc_data("a", a_data.clone(), DType::F16);
         let b = gpu.mem_mut().alloc_data("b", b_data.clone(), DType::F16);
-        let c = gpu.mem_mut().alloc_poisoned("c", (m * n) as usize, DType::F16);
+        let c = gpu
+            .mem_mut()
+            .alloc_poisoned("c", (m * n) as usize, DType::F16);
         let gemm = GemmBuilder::new("g", GemmDims::new(m, n, k), TileShape::new(16, 16, 16))
             .operands(a, b, c)
             .split_k(4)
@@ -939,8 +967,12 @@ mod tests {
         let x = gpu.mem_mut().alloc_data("x", x_data.clone(), DType::F16);
         let w1 = gpu.mem_mut().alloc_data("w1", w1_data.clone(), DType::F16);
         let w2 = gpu.mem_mut().alloc_data("w2", w2_data.clone(), DType::F16);
-        let xw1 = gpu.mem_mut().alloc_poisoned("xw1", (m * h) as usize, DType::F16);
-        let out = gpu.mem_mut().alloc_poisoned("out", (m * k) as usize, DType::F16);
+        let xw1 = gpu
+            .mem_mut()
+            .alloc_poisoned("xw1", (m * h) as usize, DType::F16);
+        let out = gpu
+            .mem_mut()
+            .alloc_poisoned("out", (m * k) as usize, DType::F16);
 
         let tile = TileShape::new(8, 8, 8);
         let grid1 = Dim3::new(h / tile.n, m / tile.m, 1);
@@ -1008,8 +1040,12 @@ mod tests {
         let w2 = gpu
             .mem_mut()
             .alloc_data("w2", seeded(h as usize, k as usize, 0.03), DType::F16);
-        let xw1 = gpu.mem_mut().alloc_poisoned("xw1", (m * h) as usize, DType::F16);
-        let out = gpu.mem_mut().alloc_poisoned("out", (m * k) as usize, DType::F16);
+        let xw1 = gpu
+            .mem_mut()
+            .alloc_poisoned("xw1", (m * h) as usize, DType::F16);
+        let out = gpu
+            .mem_mut()
+            .alloc_poisoned("out", (m * k) as usize, DType::F16);
         let tile = TileShape::new(8, 8, 8);
         let s1 = gpu.create_stream(0);
         // Higher priority: the consumer's blocks are issued first, so it
@@ -1034,9 +1070,13 @@ mod tests {
         let mut gpu = quiet_gpu();
         let comb_data = seeded(m as usize, 2 * k as usize, 0.1);
         let w_data = seeded(k as usize, n as usize, 0.1);
-        let comb = gpu.mem_mut().alloc_data("comb", comb_data.clone(), DType::F16);
+        let comb = gpu
+            .mem_mut()
+            .alloc_data("comb", comb_data.clone(), DType::F16);
         let w = gpu.mem_mut().alloc_data("w", w_data.clone(), DType::F16);
-        let out = gpu.mem_mut().alloc_poisoned("out", (m * n) as usize, DType::F16);
+        let out = gpu
+            .mem_mut()
+            .alloc_poisoned("out", (m * n) as usize, DType::F16);
         let gemm = GemmBuilder::new("g3", GemmDims::new(m, n, k), TileShape::new(8, 8, 8))
             .swiglu_a(comb)
             .operands_b_c(w, out)
@@ -1071,7 +1111,9 @@ mod tests {
         let b_data = seeded(k as usize, n as usize, 0.05);
         let a = gpu.mem_mut().alloc_data("a", a_data.clone(), DType::F16);
         let b = gpu.mem_mut().alloc_data("b", b_data.clone(), DType::F16);
-        let c = gpu.mem_mut().alloc_poisoned("c", (m * n) as usize, DType::F16);
+        let c = gpu
+            .mem_mut()
+            .alloc_poisoned("c", (m * n) as usize, DType::F16);
         let gemm = GemmBuilder::new("g", GemmDims::new(m, n, k), TileShape::new(16, 16, 16))
             .operands(a, b, c)
             .build(gpu.config());

@@ -128,8 +128,7 @@ pub fn conv2d(
                                 continue;
                             }
                             for ci in 0..c {
-                                let iv = input
-                                    [((bi * p + ih as usize) * q + iw as usize) * c + ci];
+                                let iv = input[((bi * p + ih as usize) * q + iw as usize) * c + ci];
                                 let wv = weights[((ri * s + si) * c + ci) * k + ki];
                                 acc += iv * wv;
                             }
@@ -159,7 +158,10 @@ pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) -> f32 {
             "NaN at index {i}: actual {a}, expected {e}"
         );
         let d = (a - e).abs();
-        assert!(d <= tol, "index {i}: actual {a}, expected {e}, |diff| {d} > {tol}");
+        assert!(
+            d <= tol,
+            "index {i}: actual {a}, expected {e}, |diff| {d} > {tol}"
+        );
         max_diff = max_diff.max(d);
     }
     max_diff
@@ -226,8 +228,8 @@ mod tests {
         let (p, q, c, k) = (3, 3, 2, 2);
         let input: Vec<f32> = (0..b * p * q * c).map(|i| i as f32).collect();
         let mut w = vec![0.0f32; c * k];
-        w[0 * k + 0] = 1.0;
-        w[1 * k + 1] = 1.0;
+        w[0] = 1.0;
+        w[k + 1] = 1.0;
         let out = conv2d(&input, &w, b, p, q, c, 1, 1, k);
         assert_eq!(out, input);
     }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use cusync::StageRuntime;
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, GpuConfig, KernelSource, Op, Step,
+    BlockBody, BlockCtx, BufferId, DType, Dim3, GlobalMemory, GpuConfig, KernelSource, Op, Step,
 };
 
 use crate::gemm::{InputDep, TileShape};
@@ -179,6 +179,10 @@ impl KernelSource for SoftmaxDropoutKernel {
             pending: Vec::new(),
         })
     }
+    fn timing_static(&self, mem: &GlobalMemory) -> bool {
+        !mem.is_functional(self.output)
+            && self.stage.as_ref().and_then(|s| s.tile_counter()).is_none()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,7 +294,11 @@ impl BlockBody for SoftmaxBody {
                 SmPhase::Acquire => match self.stage.as_ref().and_then(|s| s.tile_counter()) {
                     Some(counter) => {
                         self.phase = SmPhase::MapTile;
-                        return Step::Op(Op::AtomicAdd { table: counter, index: 0, inc: 1 });
+                        return Step::Op(Op::AtomicAdd {
+                            table: counter,
+                            index: 0,
+                            inc: 1,
+                        });
                     }
                     None => {
                         self.tile_coord = Some(self.block);
@@ -315,10 +323,8 @@ impl BlockBody for SoftmaxBody {
                     // Row loads overlap the exp/sum math (pipelined).
                     let (rlo, rhi) = self.row_range();
                     self.phase = SmPhase::Write;
-                    let bytes =
-                        (rhi - rlo) as u64 * self.cols as u64 * self.dtype.size_bytes();
-                    let flops =
-                        SOFTMAX_FLOPS_PER_ELEM * (rhi - rlo) as u64 * self.cols as u64;
+                    let bytes = (rhi - rlo) as u64 * self.cols as u64 * self.dtype.size_bytes();
+                    let flops = SOFTMAX_FLOPS_PER_ELEM * (rhi - rlo) as u64 * self.cols as u64;
                     return Step::Op(Op::main_step(
                         bytes,
                         fma_cycles(&self.gpu, self.occupancy, flops),
@@ -329,9 +335,7 @@ impl BlockBody for SoftmaxBody {
                     self.phase = SmPhase::Post { idx: 0 };
                     let (rlo, rhi) = self.row_range();
                     let (clo, chi) = self.col_range();
-                    let bytes = (rhi - rlo) as u64
-                        * (chi - clo) as u64
-                        * self.dtype.size_bytes();
+                    let bytes = (rhi - rlo) as u64 * (chi - clo) as u64 * self.dtype.size_bytes();
                     return Step::Op(Op::write(bytes));
                 }
                 SmPhase::Post { idx } => {
@@ -378,19 +382,14 @@ mod tests {
         let output = gpu
             .mem_mut()
             .alloc_poisoned("r", (rows * cols) as usize, DType::F16);
-        let kernel =
-            SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 4, 1))
-                .operands(input, output)
-                .dropout(0.8, 99)
-                .build(gpu.config());
+        let kernel = SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 4, 1))
+            .operands(input, output)
+            .dropout(0.8, 99)
+            .build(gpu.config());
         launch_stream_sync(&mut gpu, [Arc::new(kernel) as Arc<dyn KernelSource>]);
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0);
-        let expected = dropout(
-            &softmax_rows(&data, rows as usize, cols as usize),
-            99,
-            0.8,
-        );
+        let expected = dropout(&softmax_rows(&data, rows as usize, cols as usize), 99, 0.8);
         assert_close(gpu.mem().snapshot(output).unwrap(), &expected, 1e-3);
     }
 
@@ -403,11 +402,10 @@ mod tests {
         let output = gpu
             .mem_mut()
             .alloc_poisoned("r", (rows * cols) as usize, DType::F16);
-        let kernel =
-            SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 8, 1))
-                .operands(input, output)
-                .dropout(1.0, 0)
-                .build(gpu.config());
+        let kernel = SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 8, 1))
+            .operands(input, output)
+            .dropout(1.0, 0)
+            .build(gpu.config());
         launch_stream_sync(&mut gpu, [Arc::new(kernel) as Arc<dyn KernelSource>]);
         gpu.run().unwrap();
         let expected = softmax_rows(&data, rows as usize, cols as usize);

@@ -105,7 +105,10 @@ mod tests {
         // ceil(1.2) = 2 block-quantized waves.
         let total = block_time + block_time;
         let us = total.as_micros();
-        assert!(us > 250.0 && us < 1700.0, "block-quantized GeMM time {us}us");
+        assert!(
+            us > 250.0 && us < 1700.0,
+            "block-quantized GeMM time {us}us"
+        );
     }
 
     #[test]

@@ -23,14 +23,11 @@
 use std::sync::Arc;
 
 use cusync::{
-    launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph,
-    TileSync,
+    launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph, TileSync,
 };
-use cusync_kernels::{
-    DepPlan, GemmBuilder, GemmDims, InputDep, SoftmaxDropoutBuilder, TileShape,
-};
-use cusync_streamk::StreamKBuilder;
+use cusync_kernels::{DepPlan, GemmBuilder, GemmDims, InputDep, SoftmaxDropoutBuilder, TileShape};
 use cusync_sim::{DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport};
+use cusync_streamk::StreamKBuilder;
 
 use crate::modes::{PolicyKind, SyncMode};
 
@@ -49,12 +46,20 @@ pub struct AttentionConfig {
 impl AttentionConfig {
     /// Prompt-processing configuration (`S' = 0`).
     pub fn prompt(hidden: u32, tokens: u32) -> Self {
-        AttentionConfig { hidden, tokens, cached: 0 }
+        AttentionConfig {
+            hidden,
+            tokens,
+            cached: 0,
+        }
     }
 
     /// Token-generation configuration (`S = 1`, `B = batch`).
     pub fn generation(hidden: u32, batch: u32, cached: u32) -> Self {
-        AttentionConfig { hidden, tokens: batch, cached }
+        AttentionConfig {
+            hidden,
+            tokens: batch,
+            cached,
+        }
     }
 
     /// Per-GPU slice width d = H/8.
@@ -72,7 +77,11 @@ impl AttentionConfig {
 const TILE_N: u32 = 256;
 
 fn tile_for(m: u32, n: u32) -> TileShape {
-    let tm = if m >= 256 { 256 } else { m.next_power_of_two().max(16) };
+    let tm = if m >= 256 {
+        256
+    } else {
+        m.next_power_of_two().max(16)
+    };
     TileShape::new(tm, TILE_N.min(n.next_power_of_two().max(64)), 32)
 }
 
@@ -310,14 +319,22 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
                 }
             };
             let mut graph = SyncGraph::new();
-            let s1 = graph
-                .add_stage(CuStage::new("g1", grid1).policy_ref(g1_policy).opts(opts));
-            let sp = graph
-                .add_stage(CuStage::new("gP", grid_p).policy_ref(mid_policy("gP")).opts(opts));
-            let sr = graph
-                .add_stage(CuStage::new("gR", grid_r).policy_ref(mid_policy("gR")).opts(opts));
-            let st = graph
-                .add_stage(CuStage::new("gT", grid_t).policy_ref(mid_policy("gT")).opts(opts));
+            let s1 = graph.add_stage(CuStage::new("g1", grid1).policy_ref(g1_policy).opts(opts));
+            let sp = graph.add_stage(
+                CuStage::new("gP", grid_p)
+                    .policy_ref(mid_policy("gP"))
+                    .opts(opts),
+            );
+            let sr = graph.add_stage(
+                CuStage::new("gR", grid_r)
+                    .policy_ref(mid_policy("gR"))
+                    .opts(opts),
+            );
+            let st = graph.add_stage(
+                CuStage::new("gT", grid_t)
+                    .policy_ref(mid_policy("gT"))
+                    .opts(opts),
+            );
             let s2 = graph.add_stage(CuStage::new("g2", grid2).policy(NoSync).opts(opts));
             graph.dependency(s1, sp, xqkv).expect("xqkv dep");
             graph.dependency(s1, sp, kcache).expect("kcache dep");
@@ -327,19 +344,39 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
             graph.dependency(st, s2, t_buf).expect("t dep");
             let bound = graph.bind(&mut gpu).expect("bindable attention graph");
             bound
-                .launch(&mut gpu, s1, Arc::new(g1(Some(Arc::clone(bound.stage(s1))))))
+                .launch(
+                    &mut gpu,
+                    s1,
+                    Arc::new(g1(Some(Arc::clone(bound.stage(s1))))),
+                )
                 .expect("launch g1");
             bound
-                .launch(&mut gpu, sp, Arc::new(g_p(Some(Arc::clone(bound.stage(sp))))))
+                .launch(
+                    &mut gpu,
+                    sp,
+                    Arc::new(g_p(Some(Arc::clone(bound.stage(sp))))),
+                )
                 .expect("launch gP");
             bound
-                .launch(&mut gpu, sr, Arc::new(g_r(Some(Arc::clone(bound.stage(sr))))))
+                .launch(
+                    &mut gpu,
+                    sr,
+                    Arc::new(g_r(Some(Arc::clone(bound.stage(sr))))),
+                )
                 .expect("launch gR");
             bound
-                .launch(&mut gpu, st, Arc::new(g_t(Some(Arc::clone(bound.stage(st))))))
+                .launch(
+                    &mut gpu,
+                    st,
+                    Arc::new(g_t(Some(Arc::clone(bound.stage(st))))),
+                )
                 .expect("launch gT");
             bound
-                .launch(&mut gpu, s2, Arc::new(g2(Some(Arc::clone(bound.stage(s2))))))
+                .launch(
+                    &mut gpu,
+                    s2,
+                    Arc::new(g2(Some(Arc::clone(bound.stage(s2))))),
+                )
                 .expect("launch g2");
         }
     }

@@ -4,10 +4,10 @@
 use cusync_sim::{GpuConfig, SimTime};
 
 use crate::allreduce::allreduce_time;
-use crate::attention::{attention_time, AttentionConfig};
-use crate::mlp::{mlp_time, MlpModel};
+use crate::attention::AttentionConfig;
+use crate::mlp::MlpModel;
 use crate::modes::SyncMode;
-use crate::vision::{conv_layer_time, ConvStage};
+use crate::vision::ConvStage;
 
 /// Model-parallel degree used throughout the paper's evaluation.
 pub const MP_DEGREE: u32 = 8;
@@ -22,10 +22,16 @@ pub struct LlmModel {
 }
 
 /// MegatronLM GPT-3 145B: 96 layers of H = 12288.
-pub const GPT3: LlmModel = LlmModel { mlp: MlpModel::Gpt3, layers: 96 };
+pub const GPT3: LlmModel = LlmModel {
+    mlp: MlpModel::Gpt3,
+    layers: 96,
+};
 
 /// LLaMA 65.2B: 80 layers of H = 8192.
-pub const LLAMA: LlmModel = LlmModel { mlp: MlpModel::Llama, layers: 80 };
+pub const LLAMA: LlmModel = LlmModel {
+    mlp: MlpModel::Llama,
+    layers: 80,
+};
 
 impl LlmModel {
     /// Hidden dimension.
@@ -46,19 +52,38 @@ pub fn llm_step_time(
     cached: u32,
     mode: SyncMode,
 ) -> SimTime {
-    let attn = attention_time(
+    llm_step_report(gpu, model, tokens, cached, mode).0
+}
+
+/// [`llm_step_time`] plus the number of simulator events the step's
+/// component simulations handled, for the bench harness's
+/// ns-per-sim-event accounting.
+pub fn llm_step_report(
+    gpu: &GpuConfig,
+    model: LlmModel,
+    tokens: u32,
+    cached: u32,
+    mode: SyncMode,
+) -> (SimTime, u64) {
+    let attn_report = crate::run_attention(
         gpu,
-        AttentionConfig { hidden: model.hidden(), tokens, cached },
+        AttentionConfig {
+            hidden: model.hidden(),
+            tokens,
+            cached,
+        },
         mode,
     );
-    let mlp = mlp_time(gpu, model.mlp, tokens, mode);
+    let mlp_report = crate::run_mlp(gpu, model.mlp, tokens, mode);
+    let attn = attn_report.total;
+    let mlp = mlp_report.total;
     let ar = allreduce_time(tokens as u64 * model.hidden() as u64 * 2, MP_DEGREE);
     let per_layer = attn + mlp + ar + ar;
     let mut total = SimTime::ZERO;
     for _ in 0..model.layers {
         total += per_layer;
     }
-    total
+    (total, attn_report.sim_events + mlp_report.sim_events)
 }
 
 /// Percentage reduction in end-to-end inference time over StreamSync
@@ -83,9 +108,21 @@ pub fn vision_step_time(
     batch: u32,
     mode: SyncMode,
 ) -> SimTime {
+    vision_step_report(gpu, stages, batch, mode).0
+}
+
+/// [`vision_step_time`] plus the number of simulator events handled, for
+/// the bench harness's ns-per-sim-event accounting.
+pub fn vision_step_report(
+    gpu: &GpuConfig,
+    stages: &[ConvStage],
+    batch: u32,
+    mode: SyncMode,
+) -> (SimTime, u64) {
     let mut total = SimTime::ZERO;
+    let mut events = 0u64;
     for stage in stages {
-        let layer = conv_layer_time(
+        let report = crate::run_conv_layer(
             gpu,
             batch,
             stage.pq,
@@ -93,11 +130,12 @@ pub fn vision_step_time(
             stage.convs_per_layer,
             mode,
         );
+        events += report.sim_events;
         for _ in 0..stage.layers {
-            total += layer;
+            total += report.total;
         }
     }
-    total
+    (total, events)
 }
 
 /// Percentage reduction in end-to-end vision inference time (Fig. 8b).
@@ -124,14 +162,20 @@ mod tests {
         let gpu = GpuConfig::tesla_v100();
         let one = llm_step_time(
             &gpu,
-            LlmModel { mlp: MlpModel::Gpt3, layers: 1 },
+            LlmModel {
+                mlp: MlpModel::Gpt3,
+                layers: 1,
+            },
             512,
             0,
             SyncMode::StreamSync,
         );
         let two = llm_step_time(
             &gpu,
-            LlmModel { mlp: MlpModel::Gpt3, layers: 2 },
+            LlmModel {
+                mlp: MlpModel::Gpt3,
+                layers: 2,
+            },
             512,
             0,
             SyncMode::StreamSync,
@@ -145,7 +189,10 @@ mod tests {
         let mode = SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT);
         let module = crate::mlp::mlp_improvement(&gpu, MlpModel::Gpt3, 512, mode);
         let e2e = llm_e2e_improvement(&gpu, GPT3, 512, 0, mode);
-        assert!(e2e > 0.0, "end-to-end improvement should be positive, got {e2e}");
+        assert!(
+            e2e > 0.0,
+            "end-to-end improvement should be positive, got {e2e}"
+        );
         // The allreduce is mode-independent, so end-to-end gains cannot
         // exceed the best module-level gain by much.
         assert!(e2e < module + 15.0, "e2e {e2e}% vs module {module}%");

@@ -4,12 +4,11 @@
 use std::sync::Arc;
 
 use cusync::{
-    launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph,
-    TileSync,
+    launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph, TileSync,
 };
 use cusync_kernels::{DepPlan, Epilogue, GemmBuilder, GemmDims, InputDep};
-use cusync_streamk::StreamKBuilder;
 use cusync_sim::{DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport};
+use cusync_streamk::StreamKBuilder;
 
 use crate::modes::{PolicyKind, SyncMode};
 use crate::tiling::{auto_tiling, gpt3_mlp_tiling, GemmTiling, MlpTiling};
@@ -139,10 +138,18 @@ pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) ->
                 MlpModel::Gpt3 => (grid1.x, DepPlan::RowAligned { x_offset_tiles: 0 }),
                 MlpModel::Llama => (
                     grid1.x / 2,
-                    DepPlan::Strided { x_offsets: vec![0, grid1.x / 2] },
+                    DepPlan::Strided {
+                        x_offsets: vec![0, grid1.x / 2],
+                    },
                 ),
             };
-            b = b.a_dep(InputDep { prod_grid: grid1, plan }, chunks);
+            b = b.a_dep(
+                InputDep {
+                    prod_grid: grid1,
+                    plan,
+                },
+                chunks,
+            );
         }
         b.build(gpu_cfg)
     };
@@ -187,10 +194,18 @@ pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) ->
             graph.dependency(s1, s2, xw1).expect("valid MLP graph");
             let bound = graph.bind(&mut gpu).expect("bindable MLP graph");
             bound
-                .launch(&mut gpu, s1, Arc::new(gemm1(Some(Arc::clone(bound.stage(s1))))))
+                .launch(
+                    &mut gpu,
+                    s1,
+                    Arc::new(gemm1(Some(Arc::clone(bound.stage(s1))))),
+                )
                 .expect("launch gemm1");
             bound
-                .launch(&mut gpu, s2, Arc::new(gemm2(Some(Arc::clone(bound.stage(s2))))))
+                .launch(
+                    &mut gpu,
+                    s2,
+                    Arc::new(gemm2(Some(Arc::clone(bound.stage(s2))))),
+                )
                 .expect("launch gemm2");
         }
     }
@@ -198,7 +213,12 @@ pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) ->
 }
 
 /// Convenience: total simulated time of one MLP block.
-pub fn mlp_time(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) -> cusync_sim::SimTime {
+pub fn mlp_time(
+    gpu_cfg: &GpuConfig,
+    model: MlpModel,
+    bs: u32,
+    mode: SyncMode,
+) -> cusync_sim::SimTime {
     run_mlp(gpu_cfg, model, bs, mode).total
 }
 

@@ -71,11 +71,7 @@ pub fn auto_tiling(gpu: &GpuConfig, m: u32, n: u32) -> GemmTiling {
     let occupancy = cusync_kernels::timing::occupancy_for_tile(tile.m, tile.n);
     let blocks = (m.div_ceil(tile.m) as u64) * (n.div_ceil(tile.n) as u64);
     let wave = gpu.blocks_per_wave(occupancy);
-    let split_k = if blocks == 0 {
-        1
-    } else {
-        ((wave / 2) / blocks).clamp(1, 4) as u32
-    };
+    let split_k = (wave / 2).checked_div(blocks).unwrap_or(1).clamp(1, 4) as u32;
     GemmTiling {
         tile,
         split_k,
@@ -112,12 +108,48 @@ mod tests {
             waves2: f64,
         }
         let rows = [
-            Row { bs: 64, grid1: (1, 24, 4), grid2: (1, 48, 3), waves1: 0.6, waves2: 0.9 },
-            Row { bs: 128, grid1: (1, 24, 3), grid2: (1, 48, 3), waves1: 0.45, waves2: 0.9 },
-            Row { bs: 256, grid1: (1, 48, 4), grid2: (1, 96, 2), waves1: 1.2, waves2: 1.2 },
-            Row { bs: 512, grid1: (2, 24, 2), grid2: (2, 48, 1), waves1: 1.2, waves2: 1.2 },
-            Row { bs: 1024, grid1: (4, 24, 2), grid2: (4, 48, 1), waves1: 2.4, waves2: 2.4 },
-            Row { bs: 2048, grid1: (8, 24, 1), grid2: (8, 48, 1), waves1: 2.4, waves2: 4.8 },
+            Row {
+                bs: 64,
+                grid1: (1, 24, 4),
+                grid2: (1, 48, 3),
+                waves1: 0.6,
+                waves2: 0.9,
+            },
+            Row {
+                bs: 128,
+                grid1: (1, 24, 3),
+                grid2: (1, 48, 3),
+                waves1: 0.45,
+                waves2: 0.9,
+            },
+            Row {
+                bs: 256,
+                grid1: (1, 48, 4),
+                grid2: (1, 96, 2),
+                waves1: 1.2,
+                waves2: 1.2,
+            },
+            Row {
+                bs: 512,
+                grid1: (2, 24, 2),
+                grid2: (2, 48, 1),
+                waves1: 1.2,
+                waves2: 1.2,
+            },
+            Row {
+                bs: 1024,
+                grid1: (4, 24, 2),
+                grid2: (4, 48, 1),
+                waves1: 2.4,
+                waves2: 2.4,
+            },
+            Row {
+                bs: 2048,
+                grid1: (8, 24, 1),
+                grid2: (8, 48, 1),
+                waves1: 2.4,
+                waves2: 4.8,
+            },
         ];
         for row in rows {
             let t = gpt3_mlp_tiling(row.bs);
@@ -135,8 +167,18 @@ mod tests {
             assert_eq!(g2, row.grid2, "gemm2 grid at BS {}", row.bs);
             let w1 = waves((g1.0 * g1.1 * g1.2) as u64, t.gemm1.occupancy, 80);
             let w2 = waves((g2.0 * g2.1 * g2.2) as u64, t.gemm2.occupancy, 80);
-            assert!((w1 - row.waves1).abs() < 0.16, "waves1 {} vs {}", w1, row.waves1);
-            assert!((w2 - row.waves2).abs() < 0.16, "waves2 {} vs {}", w2, row.waves2);
+            assert!(
+                (w1 - row.waves1).abs() < 0.16,
+                "waves1 {} vs {}",
+                w1,
+                row.waves1
+            );
+            assert!(
+                (w2 - row.waves2).abs() < 0.16,
+                "waves2 {} vs {}",
+                w2,
+                row.waves2
+            );
         }
     }
 

@@ -3,8 +3,7 @@
 use std::sync::Arc;
 
 use cusync::{
-    launch_stream_sync, Conv2DTileSync, CuStage, NoSync, PolicyRef, RowSync, SyncGraph,
-    TileSync,
+    launch_stream_sync, Conv2DTileSync, CuStage, NoSync, PolicyRef, RowSync, SyncGraph, TileSync,
 };
 use cusync_kernels::{Conv2DBuilder, Conv2DShape, DepPlan, Epilogue, InputDep};
 use cusync_sim::{DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport};
@@ -30,20 +29,60 @@ pub struct ConvStage {
 /// The four convolution groups of ResNet-38 (Table II).
 pub fn resnet38() -> Vec<ConvStage> {
     vec![
-        ConvStage { pq: 56, channels: 64, convs_per_layer: 2, layers: 3 },
-        ConvStage { pq: 28, channels: 128, convs_per_layer: 2, layers: 4 },
-        ConvStage { pq: 14, channels: 256, convs_per_layer: 2, layers: 6 },
-        ConvStage { pq: 7, channels: 512, convs_per_layer: 2, layers: 3 },
+        ConvStage {
+            pq: 56,
+            channels: 64,
+            convs_per_layer: 2,
+            layers: 3,
+        },
+        ConvStage {
+            pq: 28,
+            channels: 128,
+            convs_per_layer: 2,
+            layers: 4,
+        },
+        ConvStage {
+            pq: 14,
+            channels: 256,
+            convs_per_layer: 2,
+            layers: 6,
+        },
+        ConvStage {
+            pq: 7,
+            channels: 512,
+            convs_per_layer: 2,
+            layers: 3,
+        },
     ]
 }
 
 /// The four convolution groups of VGG-19 (Table II).
 pub fn vgg19() -> Vec<ConvStage> {
     vec![
-        ConvStage { pq: 56, channels: 64, convs_per_layer: 2, layers: 1 },
-        ConvStage { pq: 28, channels: 128, convs_per_layer: 2, layers: 1 },
-        ConvStage { pq: 14, channels: 256, convs_per_layer: 4, layers: 1 },
-        ConvStage { pq: 7, channels: 512, convs_per_layer: 4, layers: 1 },
+        ConvStage {
+            pq: 56,
+            channels: 64,
+            convs_per_layer: 2,
+            layers: 1,
+        },
+        ConvStage {
+            pq: 28,
+            channels: 128,
+            convs_per_layer: 2,
+            layers: 1,
+        },
+        ConvStage {
+            pq: 14,
+            channels: 256,
+            convs_per_layer: 4,
+            layers: 1,
+        },
+        ConvStage {
+            pq: 7,
+            channels: 512,
+            convs_per_layer: 4,
+            layers: 1,
+        },
     ]
 }
 
@@ -131,7 +170,9 @@ pub fn run_conv_layer(
             let stages: Vec<_> = (0..convs as usize)
                 .map(|i| {
                     let stage = if i + 1 == convs as usize {
-                        CuStage::new(&format!("conv{i}"), grid).policy(NoSync).opts(opts)
+                        CuStage::new(&format!("conv{i}"), grid)
+                            .policy(NoSync)
+                            .opts(opts)
                     } else {
                         CuStage::new(&format!("conv{i}"), grid)
                             .policy_ref(conv_policy(kind, shape.rs()))
@@ -146,10 +187,10 @@ pub fn run_conv_layer(
                     .expect("valid conv chain");
             }
             let bound = graph.bind(&mut gpu).expect("bindable conv chain");
-            for i in 0..convs as usize {
-                let kernel = build(i, Some(Arc::clone(bound.stage(stages[i]))), i > 0);
+            for (i, &stage) in stages.iter().enumerate().take(convs as usize) {
+                let kernel = build(i, Some(Arc::clone(bound.stage(stage))), i > 0);
                 bound
-                    .launch(&mut gpu, stages[i], Arc::new(kernel))
+                    .launch(&mut gpu, stage, Arc::new(kernel))
                     .expect("launch conv");
             }
         }
@@ -223,7 +264,7 @@ mod tests {
             SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT),
         ] {
             let report = run_conv_layer(&v100(), 4, 28, 128, 2, mode);
-            assert_eq!(report.kernels.len() >= 2, true, "{mode}");
+            assert!(report.kernels.len() >= 2, "{mode}");
         }
     }
 

@@ -175,8 +175,7 @@ impl GpuConfig {
     /// blocks resident on an SM contend for that SM's bandwidth share, so
     /// each sees `dram_bw / (num_sms * occupancy)`.
     pub fn mem_time(&self, bytes: u64, occupancy: u32) -> SimTime {
-        let share =
-            self.dram_bytes_per_sec / (self.num_sms as f64 * occupancy.max(1) as f64);
+        let share = self.dram_bytes_per_sec / (self.num_sms as f64 * occupancy.max(1) as f64);
         SimTime::from_picos(((bytes as f64) / share * 1e12).round() as u64)
     }
 
@@ -188,7 +187,7 @@ impl GpuConfig {
     /// Panics if `occupancy` is zero or exceeds [`MAX_OCCUPANCY`].
     pub fn units_per_block(&self, occupancy: u32) -> u32 {
         assert!(
-            occupancy >= 1 && occupancy <= MAX_OCCUPANCY,
+            (1..=MAX_OCCUPANCY).contains(&occupancy),
             "occupancy {occupancy} outside 1..={MAX_OCCUPANCY}"
         );
         SM_CAPACITY_UNITS / occupancy

@@ -165,7 +165,7 @@ mod tests {
     fn linear_is_row_major() {
         let grid = Dim3::new(4, 4, 1);
         // Matches the paper's RowMajor definition: tile.y * grid.x + tile.x.
-        assert_eq!(grid.linear_of(Dim3::new(2, 1, 0)), 1 * 4 + 2);
+        assert_eq!(grid.linear_of(Dim3::new(2, 1, 0)), 4 + 2);
     }
 
     #[test]

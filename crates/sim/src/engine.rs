@@ -7,9 +7,23 @@
 //! occupying their SM slot, so an under-provisioned schedule can deadlock;
 //! the engine detects this and reports which semaphores were being waited
 //! on.
+//!
+//! Two interchangeable event loops implement the same semantics (see
+//! [`EngineMode`] and `crates/sim/README.md`):
+//!
+//! - [`EngineMode::Reference`] — the original engine: after every event
+//!   batch it rescans all kernels and all SMs, and every block micro-op is
+//!   a separate heap event. Kept as the executable specification and the
+//!   perf baseline for `BENCH_*.json`.
+//! - [`EngineMode::Optimized`] — the O(1)-amortized hot paths: an
+//!   incrementally maintained ready-queue of issuable kernels, a per-SM
+//!   free-capacity index, coalesced runs of non-synchronizing ops, and
+//!   dense per-semaphore wait-lists. Produces bit-identical timelines; the
+//!   equivalence is enforced by `tests/engine_equivalence.rs`.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -18,7 +32,7 @@ use crate::dim::Dim3;
 use crate::kernel::{BlockCtx, KernelSource, Step};
 use crate::mem::{BufferId, DType, GlobalMemory};
 use crate::ops::Op;
-use crate::sem::{SemArrayId, SemTable};
+use crate::sem::{SemArrayId, SemTable, WaitLists};
 use crate::stats::{waves, KernelReport, RunReport};
 use crate::time::SimTime;
 use crate::trace::{KernelId, TraceEvent};
@@ -31,6 +45,67 @@ impl fmt::Display for StreamId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "stream{}", self.0)
     }
+}
+
+/// Which event-loop implementation a [`Gpu`] uses.
+///
+/// Both modes produce **identical** simulated timelines ([`RunReport`]
+/// kernel start/end times, traces, deadlock reports); they differ only in
+/// wall-clock cost. The default for new [`Gpu`]s is
+/// [`EngineMode::Optimized`]; use [`with_engine_mode`] to run a scope of
+/// code (e.g. a perf baseline sweep) on the reference engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// The original O(kernels × SMs)-per-event engine, kept as the
+    /// executable specification and perf baseline.
+    Reference,
+    /// Incremental ready-queue, SM capacity index, op coalescing, dense
+    /// wait-lists.
+    #[default]
+    Optimized,
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineMode::Reference => write!(f, "reference"),
+            EngineMode::Optimized => write!(f, "optimized"),
+        }
+    }
+}
+
+thread_local! {
+    static DEFAULT_ENGINE: Cell<EngineMode> = const { Cell::new(EngineMode::Optimized) };
+}
+
+/// The engine mode [`Gpu::new`] will use on this thread.
+pub fn default_engine_mode() -> EngineMode {
+    DEFAULT_ENGINE.with(Cell::get)
+}
+
+/// Sets the engine mode used by subsequent [`Gpu::new`] calls on this
+/// thread. Prefer the scoped [`with_engine_mode`] where possible.
+pub fn set_default_engine_mode(mode: EngineMode) {
+    DEFAULT_ENGINE.with(|m| m.set(mode));
+}
+
+/// Runs `f` with the thread's default engine mode set to `mode`, restoring
+/// the previous default afterwards. This is how harness code runs existing
+/// workload builders (which call [`Gpu::new`] internally) on a chosen
+/// engine without threading a parameter through every layer.
+pub fn with_engine_mode<R>(mode: EngineMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(EngineMode);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_default_engine_mode(self.0);
+        }
+    }
+    // Restore on unwind too: a panicking closure (e.g. a failed test
+    // assertion inside a scoped Reference-mode run) must not leave the
+    // thread's default pinned to `mode`.
+    let _restore = Restore(default_engine_mode());
+    set_default_engine_mode(mode);
+    f()
 }
 
 /// Error raised by [`Gpu::run`].
@@ -48,12 +123,22 @@ pub enum SimError {
         /// Kernels that had not finished.
         pending: Vec<String>,
     },
+    /// [`Gpu::run`] was called a second time on the same [`Gpu`]. A run
+    /// consumes the launched kernels and leaves memory/semaphores in their
+    /// final state, so a `Gpu` is single-shot; build a fresh one (library
+    /// callers such as the parallel bench harness get this as an error
+    /// instead of an abort).
+    AlreadyRan,
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { time, blocked, pending } => {
+            SimError::Deadlock {
+                time,
+                blocked,
+                pending,
+            } => {
                 write!(
                     f,
                     "deadlock at {time}: {} blocked thread block(s), pending kernels [{}]",
@@ -61,18 +146,31 @@ impl fmt::Display for SimError {
                     pending.join(", ")
                 )
             }
+            SimError::AlreadyRan => {
+                write!(f, "Gpu::run may only be called once per Gpu")
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     KernelReady(usize),
     BlockResume(usize),
-    PostApply { block: usize, table: SemArrayId, index: u32, inc: u32 },
-    AtomicApply { block: usize, table: SemArrayId, index: u32, inc: u32 },
+    PostApply {
+        block: usize,
+        table: SemArrayId,
+        index: u32,
+        inc: u32,
+    },
+    AtomicApply {
+        block: usize,
+        table: SemArrayId,
+        index: u32,
+        inc: u32,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +216,18 @@ struct KernelState {
     end: Option<SimTime>,
     concurrent: u64,
     max_concurrent: u64,
+    /// Optimized mode: this kernel's bodies are context-independent
+    /// ([`KernelSource::timing_static`]), so blocks are pre-driven into
+    /// flat op programs at issue.
+    predrive: bool,
+}
+
+/// A step the block already yielded whose application was deferred to the
+/// end of a coalesced run of non-synchronizing ops.
+#[derive(Debug, Clone, Copy)]
+enum PendingStep {
+    Op(Op),
+    Done,
 }
 
 struct BlockSlot {
@@ -128,6 +238,49 @@ struct BlockSlot {
     body: Option<Box<dyn crate::kernel::BlockBody>>,
     atomic_result: Option<u32>,
     waiting: Option<(SemArrayId, u32, u32)>,
+    pending: Option<PendingStep>,
+    /// The block's deterministic duration-variance factor, computed once
+    /// at issue. The reference engine ignores this and recomputes the
+    /// hash per op, as the original engine did.
+    jitter: f64,
+    /// Pre-driven op program: `[prog_start, prog_start + prog_len)` into
+    /// the engine's `block_ops` arena, or `prog_start == u32::MAX` for
+    /// coroutine-driven blocks. Program blocks have no side effects, so
+    /// the cursor path may re-read an op after deferral.
+    prog_start: u32,
+    prog_len: u32,
+    prog_pc: u32,
+}
+
+impl BlockSlot {
+    #[inline]
+    fn has_program(&self) -> bool {
+        self.prog_start != u32::MAX
+    }
+}
+
+/// Fixed-latency op costs converted to [`SimTime`] once at construction,
+/// so the per-event hot path never re-runs the cycles→picoseconds float
+/// conversion for constants.
+#[derive(Debug, Clone, Copy)]
+struct FixedCosts {
+    global_latency: SimTime,
+    atomic: SimTime,
+    poll: SimTime,
+    fence: SimTime,
+    syncthreads: SimTime,
+}
+
+impl FixedCosts {
+    fn of(config: &GpuConfig) -> Self {
+        FixedCosts {
+            global_latency: config.cycles(config.global_latency_cycles),
+            atomic: config.cycles(config.atomic_latency_cycles),
+            poll: config.cycles(config.poll_latency_cycles),
+            fence: config.cycles(config.fence_cycles),
+            syncthreads: config.cycles(config.syncthreads_cycles),
+        }
+    }
 }
 
 /// The simulated GPU: hardware model, memory, streams, and event loop.
@@ -151,6 +304,8 @@ struct BlockSlot {
 /// ```
 pub struct Gpu {
     config: GpuConfig,
+    mode: EngineMode,
+    costs: FixedCosts,
     mem: GlobalMemory,
     sems: SemTable,
     streams: Vec<StreamState>,
@@ -158,7 +313,14 @@ pub struct Gpu {
     host_time: SimTime,
     now: SimTime,
     events: BinaryHeap<Reverse<Event>>,
+    /// Optimized-mode event queue: `(time << 64) | seq` keys ordered by a
+    /// single `u128` compare, payloads in [`Gpu::event_slab`]. Heap sifts
+    /// move 24-byte copies instead of full [`Event`] structs.
+    fast_events: BinaryHeap<Reverse<(u128, u32)>>,
+    event_slab: Vec<EventKind>,
+    event_free: Vec<u32>,
     event_seq: u64,
+    events_handled: u64,
     sm_free: Vec<u32>,
     /// Units of *actively executing* (not semaphore-waiting) blocks per
     /// SM; busy-wait spinners occupy their slot but consume negligible
@@ -167,7 +329,27 @@ pub struct Gpu {
     /// GPU-wide sum of `sm_active`, for the dynamic DRAM-share model.
     active_units: u64,
     blocks: Vec<BlockSlot>,
+    /// Arena of pre-driven block programs (see `BlockSlot::prog_start`):
+    /// each program's ops are contiguous, so the cursor path walks memory
+    /// sequentially instead of chasing a `Box<dyn BlockBody>`.
+    block_ops: Vec<Op>,
+    predrive_scratch: Vec<Op>,
+    /// Reference-mode waiter registry (the original representation).
     waiters: BTreeMap<(usize, u32), Vec<usize>>,
+    /// Optimized-mode waiter registry: dense per-array wait-lists.
+    wait_lists: WaitLists,
+    /// Optimized mode: kernels that are ready and still have unissued
+    /// blocks, ordered exactly like the reference scan's sort key.
+    ready_queue: BTreeSet<(Reverse<i32>, usize)>,
+    /// Optimized mode: `(free_units, Reverse(sm))` per SM, so the
+    /// least-loaded-first placement is a `last()` lookup.
+    sm_index: BTreeSet<(u32, Reverse<usize>)>,
+    /// Optimized mode: set when SM capacity was freed or a kernel became
+    /// ready — the only transitions after which `try_issue` can place a
+    /// block.
+    issue_dirty: bool,
+    issue_scratch: Vec<usize>,
+    wake_scratch: Vec<usize>,
     trace: Vec<TraceEvent>,
     trace_enabled: bool,
     busy_units: u64,
@@ -182,6 +364,7 @@ impl fmt::Debug for Gpu {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Gpu")
             .field("config", &self.config.name)
+            .field("mode", &self.mode)
             .field("kernels", &self.kernels.len())
             .field("now", &self.now)
             .finish_non_exhaustive()
@@ -189,11 +372,20 @@ impl fmt::Debug for Gpu {
 }
 
 impl Gpu {
-    /// Creates a GPU with the given hardware model.
+    /// Creates a GPU with the given hardware model, using the thread's
+    /// default [`EngineMode`] (see [`with_engine_mode`]).
     pub fn new(config: GpuConfig) -> Self {
+        Gpu::with_mode(config, default_engine_mode())
+    }
+
+    /// Creates a GPU pinned to a specific engine implementation.
+    pub fn with_mode(config: GpuConfig, mode: EngineMode) -> Self {
         let sms = config.num_sms as usize;
+        let costs = FixedCosts::of(&config);
         Gpu {
             config,
+            mode,
+            costs,
             mem: GlobalMemory::new(),
             sems: SemTable::new(),
             streams: Vec::new(),
@@ -201,12 +393,24 @@ impl Gpu {
             host_time: SimTime::ZERO,
             now: SimTime::ZERO,
             events: BinaryHeap::new(),
+            fast_events: BinaryHeap::new(),
+            event_slab: Vec::new(),
+            event_free: Vec::new(),
             event_seq: 0,
+            events_handled: 0,
             sm_free: vec![SM_CAPACITY_UNITS; sms],
             sm_active: vec![0; sms],
             active_units: 0,
             blocks: Vec::new(),
+            block_ops: Vec::new(),
+            predrive_scratch: Vec::new(),
             waiters: BTreeMap::new(),
+            wait_lists: WaitLists::new(),
+            ready_queue: BTreeSet::new(),
+            sm_index: BTreeSet::new(),
+            issue_dirty: false,
+            issue_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
             trace: Vec::new(),
             trace_enabled: false,
             busy_units: 0,
@@ -221,6 +425,11 @@ impl Gpu {
     /// The hardware model in use.
     pub fn config(&self) -> &GpuConfig {
         &self.config
+    }
+
+    /// The event-loop implementation this GPU runs on.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// Read access to global memory.
@@ -274,7 +483,11 @@ impl Gpu {
     /// Panics if the grid is empty or the stream id is foreign.
     pub fn launch(&mut self, stream: StreamId, kernel: Arc<dyn KernelSource>) -> KernelId {
         let grid = kernel.grid();
-        assert!(grid.count() > 0, "kernel {} has an empty grid", kernel.name());
+        assert!(
+            grid.count() > 0,
+            "kernel {} has an empty grid",
+            kernel.name()
+        );
         assert!(stream.0 < self.streams.len(), "unknown {stream}");
         let occupancy = kernel.occupancy();
         let units = self.config.units_per_block(occupancy);
@@ -297,6 +510,7 @@ impl Gpu {
             end: None,
             concurrent: 0,
             max_concurrent: 0,
+            predrive: false,
         });
         self.host_time += self.config.host_launch_gap;
         self.streams[stream.0].queue.push(id);
@@ -313,12 +527,46 @@ impl Gpu {
         &self.trace
     }
 
+    /// Heap events handled so far (a measure of simulation work, reported
+    /// as [`RunReport::sim_events`]).
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.event_seq;
         self.event_seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        match self.mode {
+            EngineMode::Reference => {
+                self.events.push(Reverse(Event { time, seq, kind }));
+            }
+            EngineMode::Optimized => {
+                let key = ((time.as_picos() as u128) << 64) | seq as u128;
+                let idx = match self.event_free.pop() {
+                    Some(i) => {
+                        self.event_slab[i as usize] = kind;
+                        i
+                    }
+                    None => {
+                        self.event_slab.push(kind);
+                        (self.event_slab.len() - 1) as u32
+                    }
+                };
+                self.fast_events.push(Reverse((key, idx)));
+            }
+        }
     }
 
+    #[inline]
+    fn take_fast_event(&mut self, idx: u32) -> EventKind {
+        self.event_free.push(idx);
+        self.event_slab[idx as usize]
+    }
+
+    /// Appends to the trace. The flag check is inlined at every call site
+    /// so a disabled trace costs one predictable branch — never a `Vec`
+    /// touch or an event construction that the optimizer can't sink.
+    #[inline(always)]
     fn record(&mut self, event: TraceEvent) {
         if self.trace_enabled {
             self.trace.push(event);
@@ -331,28 +579,30 @@ impl Gpu {
     ///
     /// Returns [`SimError::Deadlock`] if execution stalls with incomplete
     /// kernels — every resident block waiting on a semaphore that nothing
-    /// can post.
+    /// can post — and [`SimError::AlreadyRan`] if this [`Gpu`] already ran.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
-        assert!(!self.ran, "Gpu::run may only be called once per Gpu");
+        if self.ran {
+            return Err(SimError::AlreadyRan);
+        }
         self.ran = true;
+        if self.mode == EngineMode::Optimized {
+            self.sm_index = self
+                .sm_free
+                .iter()
+                .enumerate()
+                .map(|(sm, &free)| (free, Reverse(sm)))
+                .collect();
+            for k in 0..self.kernels.len() {
+                let source = Arc::clone(&self.kernels[k].source);
+                self.kernels[k].predrive = source.timing_static(&self.mem);
+            }
+        }
         for s in 0..self.streams.len() {
             self.schedule_stream_head(s);
         }
-        while let Some(Reverse(event)) = self.events.pop() {
-            debug_assert!(event.time >= self.now, "time went backwards");
-            self.now = event.time;
-            self.handle(event.kind);
-            // Drain every event at this timestamp before issuing blocks, so
-            // that kernels becoming ready at the same instant compete for SM
-            // slots by priority rather than by event arrival order.
-            while let Some(Reverse(next)) = self.events.peek() {
-                if next.time != self.now {
-                    break;
-                }
-                let Reverse(event) = self.events.pop().expect("peeked event");
-                self.handle(event.kind);
-            }
-            self.try_issue();
+        match self.mode {
+            EngineMode::Reference => self.run_reference_loop(),
+            EngineMode::Optimized => self.run_optimized_loop(),
         }
         let incomplete: Vec<usize> = (0..self.kernels.len())
             .filter(|&k| self.kernels[k].completed < self.kernels[k].total)
@@ -363,21 +613,93 @@ impl Gpu {
         Ok(self.report())
     }
 
+    /// The original event loop: rescan-and-sort `try_issue` after every
+    /// batch. Kept verbatim as the executable specification.
+    fn run_reference_loop(&mut self) {
+        while let Some(Reverse(event)) = self.events.pop() {
+            debug_assert!(event.time >= self.now, "time went backwards");
+            self.now = event.time;
+            self.events_handled += 1;
+            self.handle(event.kind);
+            // Drain every event at this timestamp before issuing blocks, so
+            // that kernels becoming ready at the same instant compete for SM
+            // slots by priority rather than by event arrival order.
+            while let Some(Reverse(next)) = self.events.peek() {
+                if next.time != self.now {
+                    break;
+                }
+                let Reverse(event) = self.events.pop().expect("peeked event");
+                self.events_handled += 1;
+                self.handle(event.kind);
+            }
+            self.try_issue_reference();
+        }
+    }
+
+    /// The optimized event loop: identical batch semantics, but block
+    /// placement only runs after transitions that can actually enable it
+    /// (`issue_dirty`), over the incrementally maintained ready-queue and
+    /// SM index.
+    fn run_optimized_loop(&mut self) {
+        while let Some(Reverse((key, idx))) = self.fast_events.pop() {
+            let time_ps = (key >> 64) as u64;
+            debug_assert!(time_ps >= self.now.as_picos(), "time went backwards");
+            self.now = SimTime::from_picos(time_ps);
+            let kind = self.take_fast_event(idx);
+            self.events_handled += 1;
+            self.handle(kind);
+            while let Some(&Reverse((next_key, _))) = self.fast_events.peek() {
+                if (next_key >> 64) as u64 != time_ps {
+                    break;
+                }
+                let Reverse((_, next_idx)) = self.fast_events.pop().expect("peeked event");
+                let kind = self.take_fast_event(next_idx);
+                self.events_handled += 1;
+                self.handle(kind);
+            }
+            if self.issue_dirty {
+                self.try_issue_optimized();
+                self.issue_dirty = false;
+            }
+        }
+    }
+
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::KernelReady(k) => {
                 self.kernels[k].ready = true;
                 self.kernels[k].ready_at = self.now;
+                if self.mode == EngineMode::Optimized {
+                    self.issue_dirty = true;
+                    if self.kernels[k].issued < self.kernels[k].total {
+                        self.ready_queue
+                            .insert((Reverse(self.kernels[k].priority), k));
+                    }
+                }
                 self.record(TraceEvent::KernelReady {
                     kernel: KernelId(k),
                     time: self.now,
                 });
             }
-            EventKind::BlockResume(b) => self.step_block(b),
-            EventKind::PostApply { block, table, index, inc } => {
+            EventKind::BlockResume(b) => match self.blocks[b].pending.take() {
+                None => self.step_block(b),
+                Some(PendingStep::Op(op)) => self.apply_sync_op(b, op),
+                Some(PendingStep::Done) => self.finish_block(b),
+            },
+            EventKind::PostApply {
+                block,
+                table,
+                index,
+                inc,
+            } => {
                 self.apply_post(block, table, index, inc);
             }
-            EventKind::AtomicApply { block, table, index, inc } => {
+            EventKind::AtomicApply {
+                block,
+                table,
+                index,
+                inc,
+            } => {
                 let prev = self.sems.add(table, index, inc);
                 self.blocks[block].atomic_result = Some(prev);
                 self.push_event(self.now, EventKind::BlockResume(block));
@@ -416,12 +738,16 @@ impl Gpu {
     fn schedule_stream_head(&mut self, stream: usize) {
         let s = &self.streams[stream];
         if let Some(&k) = s.queue.get(s.next) {
-            let ready = self.now.max(self.kernels[k].host_ready) + self.config.kernel_dispatch_latency;
+            let ready =
+                self.now.max(self.kernels[k].host_ready) + self.config.kernel_dispatch_latency;
             self.push_event(ready, EventKind::KernelReady(k));
         }
     }
 
-    fn try_issue(&mut self) {
+    /// Reference block placement: filter + sort every kernel, then scan
+    /// every SM per placed block. O(kernels log kernels + blocks × SMs)
+    /// after **every** event batch.
+    fn try_issue_reference(&mut self) {
         let mut order: Vec<usize> = (0..self.kernels.len())
             .filter(|&k| self.kernels[k].ready && self.kernels[k].issued < self.kernels[k].total)
             .collect();
@@ -453,10 +779,49 @@ impl Gpu {
         }
     }
 
+    /// Optimized block placement. The ready-queue's `(Reverse(priority), k)`
+    /// ordering is exactly the reference scan's sort key, and `sm_index`'s
+    /// maximum is exactly the reference scan's `max_by_key((f, Reverse(i)))`,
+    /// so the sequence of `issue_block` calls is identical.
+    fn try_issue_optimized(&mut self) {
+        if self.ready_queue.is_empty() {
+            return;
+        }
+        let mut order = std::mem::take(&mut self.issue_scratch);
+        order.clear();
+        order.extend(self.ready_queue.iter().map(|&(_, k)| k));
+        for &k in &order {
+            loop {
+                if self.kernels[k].issued >= self.kernels[k].total {
+                    self.ready_queue
+                        .remove(&(Reverse(self.kernels[k].priority), k));
+                    break;
+                }
+                let units = self.kernels[k].units;
+                let Some(&(free, Reverse(sm))) = self.sm_index.last() else {
+                    break;
+                };
+                if free < units {
+                    break;
+                }
+                self.issue_block(k, sm as u32);
+            }
+        }
+        self.issue_scratch = order;
+    }
+
     fn update_util(&mut self) {
         let dt = (self.now - self.last_util_update).as_picos() as u128;
         self.util_integral += dt * self.busy_units as u128;
         self.last_util_update = self.now;
+    }
+
+    fn set_sm_free(&mut self, sm: usize, free: u32) {
+        if self.mode == EngineMode::Optimized {
+            self.sm_index.remove(&(self.sm_free[sm], Reverse(sm)));
+            self.sm_index.insert((free, Reverse(sm)));
+        }
+        self.sm_free[sm] = free;
     }
 
     fn issue_block(&mut self, k: usize, sm: u32) {
@@ -470,8 +835,43 @@ impl Gpu {
             kernel.start = Some(self.now);
         }
         let units = kernel.units;
-        let body = kernel.source.block(idx);
-        self.sm_free[sm as usize] -= units;
+        let predrive = kernel.predrive;
+        let source = Arc::clone(&kernel.source);
+        let mut body = Some(source.block(idx));
+        let (prog_start, prog_len) = if predrive {
+            // Pre-drive the coroutine while its state is hot: collect the
+            // whole op stream into the arena now, replay it through a
+            // cursor as events fire. Timing is unchanged — ops are still
+            // priced at their own start times (see
+            // `KernelSource::timing_static`).
+            let mut ops = std::mem::take(&mut self.predrive_scratch);
+            ops.clear();
+            let mut b = body.take().expect("fresh body");
+            loop {
+                let step = {
+                    let mut ctx = BlockCtx {
+                        block: idx,
+                        now: self.now,
+                        mem: &mut self.mem,
+                        sems: &self.sems,
+                        atomic_result: None,
+                    };
+                    b.resume(&mut ctx)
+                };
+                match step {
+                    Step::Op(op) => ops.push(op),
+                    Step::Done => break,
+                }
+            }
+            let start = self.block_ops.len() as u32;
+            let len = ops.len() as u32;
+            self.block_ops.extend_from_slice(&ops);
+            self.predrive_scratch = ops;
+            (start, len)
+        } else {
+            (u32::MAX, 0)
+        };
+        self.set_sm_free(sm as usize, self.sm_free[sm as usize] - units);
         self.sm_active[sm as usize] += units;
         self.active_units += units as u64;
         self.busy_units += units as u64;
@@ -479,14 +879,20 @@ impl Gpu {
             self.first_issue = Some(self.now);
         }
         let bid = self.blocks.len();
+        let jitter = self.jitter_value(k, idx);
         self.blocks.push(BlockSlot {
             kernel: k,
             idx,
             sm,
             units,
-            body: Some(body),
+            body,
             atomic_result: None,
             waiting: None,
+            pending: None,
+            jitter,
+            prog_start,
+            prog_len,
+            prog_pc: 0,
         });
         self.record(TraceEvent::BlockIssued {
             kernel: KernelId(k),
@@ -498,29 +904,169 @@ impl Gpu {
     }
 
     fn step_block(&mut self, bid: usize) {
-        let mut body = self.blocks[bid].body.take().expect("block body missing");
-        let block_idx = self.blocks[bid].idx;
-        let atomic_result = self.blocks[bid].atomic_result;
-        let step = {
-            let mut ctx = BlockCtx {
-                block: block_idx,
-                now: self.now,
-                mem: &mut self.mem,
-                sems: &self.sems,
-                atomic_result,
-            };
-            body.resume(&mut ctx)
-        };
-        match step {
-            Step::Done => {
-                drop(body);
-                self.finish_block(bid);
+        if self.blocks[bid].has_program() {
+            self.step_program(bid);
+        } else {
+            self.step_coroutine(bid);
+        }
+    }
+
+    /// Drives a pre-driven (side-effect-free) block through its op
+    /// program. Because re-reading an op is free, this path defers
+    /// without the `pending` machinery, and because semaphore values are
+    /// monotone non-decreasing, a wait observed satisfied *now* is
+    /// satisfied at any later instant — so satisfied waits coalesce into
+    /// their successor unconditionally. Pure-op durations still require
+    /// state stability until the op's start ([`Gpu::can_extend_run`]),
+    /// exactly like the coroutine path.
+    fn step_program(&mut self, bid: usize) {
+        let mut acc = SimTime::ZERO;
+        loop {
+            let slot = &self.blocks[bid];
+            if slot.prog_pc >= slot.prog_len {
+                if acc == SimTime::ZERO {
+                    self.finish_block(bid);
+                } else {
+                    self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                }
+                return;
             }
-            Step::Op(op) => {
-                self.blocks[bid].body = Some(body);
-                self.apply_op(bid, op);
+            let op = self.block_ops[(slot.prog_start + slot.prog_pc) as usize];
+            match op {
+                Op::SemWait {
+                    table,
+                    index,
+                    value,
+                } => {
+                    if self.sems.value(table, index) >= value {
+                        // Monotone semaphores: satisfied stays satisfied.
+                        acc += self.costs.poll;
+                        self.blocks[bid].prog_pc += 1;
+                    } else if acc == SimTime::ZERO {
+                        // Apply the park at its exact start time; the wake
+                        // resumes *after* the wait op.
+                        self.blocks[bid].prog_pc += 1;
+                        self.apply_sync_op(bid, op);
+                        return;
+                    } else {
+                        // Re-check at the wait's true start time.
+                        self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        return;
+                    }
+                }
+                Op::SemPost { .. } | Op::AtomicAdd { .. } => {
+                    if acc == SimTime::ZERO {
+                        self.blocks[bid].prog_pc += 1;
+                        self.apply_sync_op(bid, op);
+                    } else {
+                        self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                    }
+                    return;
+                }
+                _ => {
+                    // Pure delay: needs simulator state as of its start.
+                    if acc == SimTime::ZERO || self.can_extend_run(self.now + acc) {
+                        let d = self
+                            .pure_op_delay(bid, &op)
+                            .expect("non-sync op has a delay");
+                        acc += d;
+                        self.blocks[bid].prog_pc += 1;
+                        if !self.can_extend_run(self.now + acc) {
+                            self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                            return;
+                        }
+                    } else {
+                        self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        return;
+                    }
+                }
             }
         }
+    }
+
+    /// Drives a block's coroutine body, coalescing consecutive
+    /// non-synchronizing ops into a single future `BlockResume` when that
+    /// is provably equivalent to the reference engine (see
+    /// [`Gpu::can_extend_run`]). Bodies may perform functional memory
+    /// effects inside `resume`, so the body is only advanced when no
+    /// other event can observe state in between.
+    fn step_coroutine(&mut self, bid: usize) {
+        // Accumulated delay of coalesced ops beyond `self.now`.
+        let mut acc = SimTime::ZERO;
+        loop {
+            let mut body = self.blocks[bid].body.take().expect("block body missing");
+            let block_idx = self.blocks[bid].idx;
+            let atomic_result = self.blocks[bid].atomic_result;
+            let step = {
+                let mut ctx = BlockCtx {
+                    block: block_idx,
+                    now: self.now + acc,
+                    mem: &mut self.mem,
+                    sems: &self.sems,
+                    atomic_result,
+                };
+                body.resume(&mut ctx)
+            };
+            match step {
+                Step::Done => {
+                    drop(body);
+                    if acc == SimTime::ZERO {
+                        self.finish_block(bid);
+                    } else {
+                        self.blocks[bid].pending = Some(PendingStep::Done);
+                        self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                    }
+                    return;
+                }
+                Step::Op(op) => {
+                    self.blocks[bid].body = Some(body);
+                    if let Some(d) = self.pure_op_delay(bid, &op) {
+                        acc += d;
+                        if !self.can_extend_run(self.now + acc) {
+                            self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                            return;
+                        }
+                        // Safe to keep running this block's body in place.
+                    } else {
+                        // Synchronizing op: apply now, or defer to the end
+                        // of the coalesced run it terminates.
+                        if acc == SimTime::ZERO {
+                            self.apply_sync_op(bid, op);
+                        } else {
+                            self.blocks[bid].pending = Some(PendingStep::Op(op));
+                            self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the block body being stepped may continue past `until`
+    /// without a heap round-trip.
+    ///
+    /// Sound because every simulator state change is caused either by an
+    /// event already in the heap (all at `time >= peek`), by an event one
+    /// of those handlers pushes (at `time >= its own now >= peek`), or by
+    /// `try_issue` at the *current* instant — which is exactly the
+    /// `issue_dirty` flag. If the earliest of those is strictly after
+    /// `until`, the durations computed for ops completing at or before
+    /// `until` read the same `active_units`/`sm_active` state the
+    /// reference engine would see, and no other block can observe this
+    /// block's functional effects out of order.
+    ///
+    /// In [`EngineMode::Reference`] this is constantly `false`, which
+    /// makes [`Gpu::step_block`] collapse to the original
+    /// one-op-per-event behaviour.
+    #[inline]
+    fn can_extend_run(&self, until: SimTime) -> bool {
+        self.mode == EngineMode::Optimized
+            && !self.issue_dirty
+            && match self.fast_events.peek() {
+                Some(&Reverse((key, _))) => (key >> 64) as u64 > until.as_picos(),
+                None => true,
+            }
     }
 
     /// How much faster this block runs than its cost model assumes.
@@ -544,13 +1090,23 @@ impl Gpu {
     /// block's kernel and grid index (identical inputs always produce the
     /// identical timeline).
     fn jitter_factor(&self, bid: usize) -> f64 {
+        if self.mode == EngineMode::Optimized {
+            // Computed once at issue; a pure function of (kernel, index),
+            // so the cache is exact.
+            return self.blocks[bid].jitter;
+        }
+        let slot = &self.blocks[bid];
+        self.jitter_value(slot.kernel, slot.idx)
+    }
+
+    /// The hash behind [`Gpu::jitter_factor`], shared by both modes so the
+    /// cached and recomputed values are the same `f64` bit for bit.
+    fn jitter_value(&self, kernel: usize, idx: Dim3) -> f64 {
         let j = self.config.block_jitter;
         if j == 0.0 {
             return 1.0;
         }
-        let slot = &self.blocks[bid];
-        let key = (slot.kernel as u64) << 48
-            ^ self.kernels[slot.kernel].grid.linear_of(slot.idx);
+        let key = (kernel as u64) << 48 ^ self.kernels[kernel].grid.linear_of(idx);
         let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -579,48 +1135,56 @@ impl Gpu {
         SimTime::from_picos((bytes as f64 / share * 1e12).round() as u64)
     }
 
-    fn apply_op(&mut self, bid: usize, op: Op) {
+    /// Start-to-completion delay of a non-synchronizing op, or `None` for
+    /// the ops that interact with semaphores (and so terminate a coalesced
+    /// run). The arithmetic (including every intermediate rounding) is the
+    /// single shared cost path of both engine modes.
+    fn pure_op_delay(&self, bid: usize, op: &Op) -> Option<SimTime> {
         let cfg = &self.config;
-        match op {
-            Op::Compute { cycles } => {
-                let d = self.scaled(bid, cfg.cycles(cycles));
-                let t = self.now + d;
-                self.push_event(t, EventKind::BlockResume(bid));
-            }
+        match *op {
+            Op::Compute { cycles } => Some(self.scaled(bid, cfg.cycles(cycles))),
             Op::GlobalRead { bytes } | Op::GlobalWrite { bytes } => {
                 let mem = self.dyn_mem_time(bid, bytes);
                 let jitter = self.jitter_factor(bid);
                 let d = SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
-                let t = self.now + cfg.cycles(cfg.global_latency_cycles) + d;
-                self.push_event(t, EventKind::BlockResume(bid));
+                Some(self.costs.global_latency + d)
             }
             Op::MainStep { bytes, cycles } => {
                 // Loads overlap math: the step costs the slower of the two.
                 let mem = self.dyn_mem_time(bid, bytes);
                 let compute = self.scaled(bid, cfg.cycles(cycles));
                 let jitter = self.jitter_factor(bid);
-                let mem =
-                    SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
-                let t = self.now
-                    + cfg.cycles(cfg.global_latency_cycles)
-                    + mem.max(compute);
-                self.push_event(t, EventKind::BlockResume(bid));
+                let mem = SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
+                Some(self.costs.global_latency + mem.max(compute))
             }
-            Op::Syncthreads => {
-                let t = self.now + cfg.cycles(cfg.syncthreads_cycles);
-                self.push_event(t, EventKind::BlockResume(bid));
-            }
-            Op::Fence => {
-                let t = self.now + cfg.cycles(cfg.fence_cycles);
-                self.push_event(t, EventKind::BlockResume(bid));
-            }
-            Op::SemWait { table, index, value } => {
+            Op::Syncthreads => Some(self.costs.syncthreads),
+            Op::Fence => Some(self.costs.fence),
+            Op::SemWait { .. } | Op::SemPost { .. } | Op::AtomicAdd { .. } => None,
+        }
+    }
+
+    /// Applies a synchronizing op at the current instant (the op's start
+    /// time — exactly where the reference engine's `apply_op` ran it).
+    fn apply_sync_op(&mut self, bid: usize, op: Op) {
+        match op {
+            Op::SemWait {
+                table,
+                index,
+                value,
+            } => {
                 if self.sems.value(table, index) >= value {
-                    let t = self.now + cfg.cycles(cfg.poll_latency_cycles);
+                    let t = self.now + self.costs.poll;
                     self.push_event(t, EventKind::BlockResume(bid));
                 } else {
                     self.blocks[bid].waiting = Some((table, index, value));
-                    self.waiters.entry((table.0, index)).or_default().push(bid);
+                    match self.mode {
+                        EngineMode::Reference => {
+                            self.waiters.entry((table.0, index)).or_default().push(bid);
+                        }
+                        EngineMode::Optimized => {
+                            self.wait_lists.park(table, index, bid);
+                        }
+                    }
                     // Parked: stops competing for execution throughput.
                     let sm = self.blocks[bid].sm as usize;
                     self.sm_active[sm] -= self.blocks[bid].units;
@@ -637,13 +1201,30 @@ impl Gpu {
                 }
             }
             Op::SemPost { table, index, inc } => {
-                let t = self.now + cfg.cycles(cfg.atomic_latency_cycles);
-                self.push_event(t, EventKind::PostApply { block: bid, table, index, inc });
+                let t = self.now + self.costs.atomic;
+                self.push_event(
+                    t,
+                    EventKind::PostApply {
+                        block: bid,
+                        table,
+                        index,
+                        inc,
+                    },
+                );
             }
             Op::AtomicAdd { table, index, inc } => {
-                let t = self.now + cfg.cycles(cfg.atomic_latency_cycles);
-                self.push_event(t, EventKind::AtomicApply { block: bid, table, index, inc });
+                let t = self.now + self.costs.atomic;
+                self.push_event(
+                    t,
+                    EventKind::AtomicApply {
+                        block: bid,
+                        table,
+                        index,
+                        inc,
+                    },
+                );
             }
+            _ => unreachable!("apply_sync_op called with a pure op"),
         }
     }
 
@@ -656,28 +1237,62 @@ impl Gpu {
             new_value,
             time: self.now,
         });
-        let wake_at = self.now + self.config.cycles(self.config.poll_latency_cycles);
-        if let Some(list) = self.waiters.get_mut(&(table.0, index)) {
-            let mut still = Vec::new();
-            let mut woken = Vec::new();
-            for &wbid in list.iter() {
-                let (_, _, target) = self.blocks[wbid].waiting.expect("waiter without target");
-                if new_value >= target {
-                    woken.push(wbid);
-                } else {
-                    still.push(wbid);
+        let wake_at = self.now + self.costs.poll;
+        match self.mode {
+            EngineMode::Reference => {
+                if let Some(list) = self.waiters.get_mut(&(table.0, index)) {
+                    let mut still = Vec::new();
+                    let mut woken = Vec::new();
+                    for &wbid in list.iter() {
+                        let (_, _, target) =
+                            self.blocks[wbid].waiting.expect("waiter without target");
+                        if new_value >= target {
+                            woken.push(wbid);
+                        } else {
+                            still.push(wbid);
+                        }
+                    }
+                    *list = still;
+                    for wbid in woken {
+                        self.wake_block(wbid, wake_at);
+                    }
                 }
             }
-            *list = still;
-            for wbid in woken {
-                self.blocks[wbid].waiting = None;
-                let sm = self.blocks[wbid].sm as usize;
-                self.sm_active[sm] += self.blocks[wbid].units;
-                self.active_units += self.blocks[wbid].units as u64;
-                self.push_event(wake_at, EventKind::BlockResume(wbid));
+            EngineMode::Optimized => {
+                // Partition in place through reusable scratch storage: a
+                // post to a semaphore nobody waits on touches no
+                // allocator and no tree.
+                let mut list = self.wait_lists.take(table, index);
+                if !list.is_empty() {
+                    let mut woken = std::mem::take(&mut self.wake_scratch);
+                    woken.clear();
+                    list.retain(|&wbid| {
+                        let (_, _, target) =
+                            self.blocks[wbid].waiting.expect("waiter without target");
+                        if new_value >= target {
+                            woken.push(wbid);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    for &wbid in &woken {
+                        self.wake_block(wbid, wake_at);
+                    }
+                    self.wake_scratch = woken;
+                }
+                self.wait_lists.put(table, index, list);
             }
         }
         self.push_event(self.now, EventKind::BlockResume(poster));
+    }
+
+    fn wake_block(&mut self, wbid: usize, wake_at: SimTime) {
+        self.blocks[wbid].waiting = None;
+        let sm = self.blocks[wbid].sm as usize;
+        self.sm_active[sm] += self.blocks[wbid].units;
+        self.active_units += self.blocks[wbid].units as u64;
+        self.push_event(wake_at, EventKind::BlockResume(wbid));
     }
 
     fn finish_block(&mut self, bid: usize) {
@@ -686,11 +1301,12 @@ impl Gpu {
             let slot = &self.blocks[bid];
             (slot.kernel, slot.sm, slot.units, slot.idx)
         };
-        self.sm_free[sm as usize] += units;
+        self.set_sm_free(sm as usize, self.sm_free[sm as usize] + units);
         self.sm_active[sm as usize] -= units;
         self.active_units -= units as u64;
         self.busy_units -= units as u64;
         self.last_finish = self.now;
+        self.issue_dirty = true;
         self.record(TraceEvent::BlockFinished {
             kernel: KernelId(k),
             block: idx,
@@ -733,11 +1349,7 @@ impl Gpu {
                 }
             })
             .collect();
-        let total = kernels
-            .iter()
-            .map(|k| k.end)
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let total = kernels.iter().map(|k| k.end).max().unwrap_or(SimTime::ZERO);
         let span = match self.first_issue {
             Some(first) => self.last_finish.saturating_sub(first),
             None => SimTime::ZERO,
@@ -755,6 +1367,7 @@ impl Gpu {
             races: self.mem.races_total(),
             sm_utilization,
             sem_posts,
+            sim_events: self.events_handled,
         }
     }
 }
@@ -780,7 +1393,12 @@ mod tests {
         // 6 blocks, occupancy 1, 4 SMs: two waves (4 then 2), like Fig. 1b.
         gpu.launch(
             s,
-            Arc::new(FixedKernel::new("k", Dim3::linear(6), 1, vec![Op::compute(1000)])),
+            Arc::new(FixedKernel::new(
+                "k",
+                Dim3::linear(6),
+                1,
+                vec![Op::compute(1000)],
+            )),
         );
         let report = gpu.run().unwrap();
         let k = &report.kernels[0];
@@ -798,11 +1416,21 @@ mod tests {
         let s = gpu.create_stream(0);
         gpu.launch(
             s,
-            Arc::new(FixedKernel::new("a", Dim3::linear(2), 1, vec![Op::compute(500)])),
+            Arc::new(FixedKernel::new(
+                "a",
+                Dim3::linear(2),
+                1,
+                vec![Op::compute(500)],
+            )),
         );
         gpu.launch(
             s,
-            Arc::new(FixedKernel::new("b", Dim3::linear(2), 1, vec![Op::compute(500)])),
+            Arc::new(FixedKernel::new(
+                "b",
+                Dim3::linear(2),
+                1,
+                vec![Op::compute(500)],
+            )),
         );
         let report = gpu.run().unwrap();
         assert!(report.kernel("b").start >= report.kernel("a").end);
@@ -815,11 +1443,21 @@ mod tests {
         let s2 = gpu.create_stream(0);
         gpu.launch(
             s1,
-            Arc::new(FixedKernel::new("a", Dim3::linear(2), 1, vec![Op::compute(10_000)])),
+            Arc::new(FixedKernel::new(
+                "a",
+                Dim3::linear(2),
+                1,
+                vec![Op::compute(10_000)],
+            )),
         );
         gpu.launch(
             s2,
-            Arc::new(FixedKernel::new("b", Dim3::linear(2), 1, vec![Op::compute(10_000)])),
+            Arc::new(FixedKernel::new(
+                "b",
+                Dim3::linear(2),
+                1,
+                vec![Op::compute(10_000)],
+            )),
         );
         let report = gpu.run().unwrap();
         // 4 SMs fit both 2-block kernels at once.
@@ -873,11 +1511,14 @@ mod tests {
         );
         let err = gpu.run().unwrap_err();
         match err {
-            SimError::Deadlock { blocked, pending, .. } => {
+            SimError::Deadlock {
+                blocked, pending, ..
+            } => {
                 assert_eq!(pending, vec!["stuck".to_string()]);
                 assert_eq!(blocked.len(), 1);
                 assert!(blocked[0].contains("never[0] >= 1"), "{}", blocked[0]);
             }
+            other => panic!("expected deadlock, got {other}"),
         }
     }
 
@@ -919,11 +1560,21 @@ mod tests {
         let hi = gpu.create_stream(5);
         gpu.launch(
             lo,
-            Arc::new(FixedKernel::new("lo", Dim3::linear(4), 1, vec![Op::compute(100)])),
+            Arc::new(FixedKernel::new(
+                "lo",
+                Dim3::linear(4),
+                1,
+                vec![Op::compute(100)],
+            )),
         );
         gpu.launch(
             hi,
-            Arc::new(FixedKernel::new("hi", Dim3::linear(4), 1, vec![Op::compute(100)])),
+            Arc::new(FixedKernel::new(
+                "hi",
+                Dim3::linear(4),
+                1,
+                vec![Op::compute(100)],
+            )),
         );
         let _ = gpu.run().unwrap();
         let first_issue = gpu
@@ -954,7 +1605,11 @@ mod tests {
                 match self.state {
                     0 => {
                         self.state = 1;
-                        Step::Op(Op::AtomicAdd { table: self.counter, index: 0, inc: 1 })
+                        Step::Op(Op::AtomicAdd {
+                            table: self.counter,
+                            index: 0,
+                            inc: 1,
+                        })
                     }
                     1 => {
                         self.seen = ctx.atomic_result;
@@ -972,7 +1627,11 @@ mod tests {
         gpu.launch(
             s,
             Arc::new(FnKernel::new("count", Dim3::linear(3), 1, move |_| {
-                Box::new(CounterBody { counter, state: 0, seen: None })
+                Box::new(CounterBody {
+                    counter,
+                    state: 0,
+                    seen: None,
+                })
             })),
         );
         gpu.run().unwrap();
@@ -988,8 +1647,9 @@ mod tests {
             Arc::new(FixedKernel::new("k", Dim3::linear(1), 1, vec![])),
         );
         gpu.run().unwrap();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| gpu.run()));
-        assert!(result.is_err());
+        // A second run is an error, not an abort: library callers (e.g.
+        // bench harness worker threads) must be able to recover.
+        assert_eq!(gpu.run().unwrap_err(), SimError::AlreadyRan);
     }
 
     #[test]
@@ -999,9 +1659,205 @@ mod tests {
         // 2 blocks on 4 SMs: utilization 50% for the whole run.
         gpu.launch(
             s,
-            Arc::new(FixedKernel::new("k", Dim3::linear(2), 1, vec![Op::compute(1000)])),
+            Arc::new(FixedKernel::new(
+                "k",
+                Dim3::linear(2),
+                1,
+                vec![Op::compute(1000)],
+            )),
         );
         let report = gpu.run().unwrap();
-        assert!((report.sm_utilization - 0.5).abs() < 1e-6, "{}", report.sm_utilization);
+        assert!(
+            (report.sm_utilization - 0.5).abs() < 1e-6,
+            "{}",
+            report.sm_utilization
+        );
+    }
+
+    /// Builds one moderately adversarial workload: three streams with
+    /// mixed priorities, a producer/consumer semaphore chain, atomics,
+    /// fences, jitter and partial waves — every engine feature at once.
+    fn mixed_workload(gpu: &mut Gpu) {
+        let sem = gpu.alloc_sems("tiles", 8, 0);
+        let ctr = gpu.alloc_sems("order", 1, 0);
+        let s0 = gpu.create_stream(0);
+        let s1 = gpu.create_stream(2);
+        let s2 = gpu.create_stream(-1);
+        gpu.launch(
+            s0,
+            Arc::new(FixedKernel::new(
+                "producer",
+                Dim3::linear(8),
+                2,
+                vec![
+                    Op::read(64 * 1024),
+                    Op::main_step(32 * 1024, 40_000),
+                    Op::Syncthreads,
+                    Op::Fence,
+                    Op::post(sem, 0),
+                    Op::write(16 * 1024),
+                ],
+            )),
+        );
+        gpu.launch(
+            s1,
+            Arc::new(FixedKernel::new(
+                "consumer",
+                Dim3::linear(8),
+                2,
+                vec![
+                    Op::wait(sem, 0, 4),
+                    Op::AtomicAdd {
+                        table: ctr,
+                        index: 0,
+                        inc: 1,
+                    },
+                    Op::main_step(8 * 1024, 90_000),
+                    Op::write(8 * 1024),
+                ],
+            )),
+        );
+        gpu.launch(
+            s2,
+            Arc::new(FixedKernel::new(
+                "background",
+                Dim3::linear(5),
+                1,
+                vec![Op::compute(250_000), Op::read(128 * 1024)],
+            )),
+        );
+    }
+
+    #[test]
+    fn optimized_engine_matches_reference_exactly() {
+        let run = |mode: EngineMode| {
+            let mut gpu = Gpu::with_mode(GpuConfig::toy(4), mode);
+            gpu.enable_trace();
+            mixed_workload(&mut gpu);
+            let report = gpu.run().unwrap();
+            (report, gpu.trace().to_vec())
+        };
+        let (ref_report, ref_trace) = run(EngineMode::Reference);
+        let (opt_report, opt_trace) = run(EngineMode::Optimized);
+        assert_eq!(ref_report.kernels, opt_report.kernels);
+        assert_eq!(ref_report.total, opt_report.total);
+        assert_eq!(ref_report.sem_posts, opt_report.sem_posts);
+        assert_eq!(ref_report.sm_utilization, opt_report.sm_utilization);
+        assert_eq!(ref_trace, opt_trace, "scheduling traces must be identical");
+        // The whole point: the optimized engine must do the same work with
+        // fewer heap events (ops coalesced between sync points).
+        assert!(
+            opt_report.sim_events <= ref_report.sim_events,
+            "optimized {} vs reference {}",
+            opt_report.sim_events,
+            ref_report.sim_events
+        );
+    }
+
+    #[test]
+    fn optimized_engine_matches_reference_on_deadlocks() {
+        let run = |mode: EngineMode| {
+            let mut gpu = Gpu::with_mode(
+                GpuConfig {
+                    host_launch_gap: SimTime::ZERO,
+                    kernel_dispatch_latency: SimTime::ZERO,
+                    ..GpuConfig::toy(4)
+                },
+                mode,
+            );
+            let sem = gpu.alloc_sems("tile", 2, 0);
+            let s1 = gpu.create_stream(0);
+            let s2 = gpu.create_stream(1);
+            gpu.launch(
+                s1,
+                Arc::new(FixedKernel::new(
+                    "producer",
+                    Dim3::linear(4),
+                    1,
+                    vec![Op::compute(100), Op::post(sem, 0)],
+                )),
+            );
+            gpu.launch(
+                s2,
+                Arc::new(FixedKernel::new(
+                    "consumer",
+                    Dim3::linear(4),
+                    1,
+                    vec![Op::wait(sem, 0, 4), Op::compute(10)],
+                )),
+            );
+            gpu.run().unwrap_err()
+        };
+        let reference = run(EngineMode::Reference);
+        let optimized = run(EngineMode::Optimized);
+        assert_eq!(reference, optimized, "blocked/pending sets must match");
+    }
+
+    #[test]
+    fn coalescing_respects_cross_block_memory_state() {
+        // Jittered blocks finish a wave at staggered times, so a block's
+        // later ops see different `active_units` than its first op did;
+        // coalescing across those boundaries would drift the timeline.
+        let run = |mode: EngineMode| {
+            let mut gpu = Gpu::with_mode(GpuConfig::toy(3), mode);
+            let s = gpu.create_stream(0);
+            gpu.launch(
+                s,
+                Arc::new(FixedKernel::new(
+                    "mem",
+                    Dim3::linear(7),
+                    1,
+                    vec![
+                        Op::read(256 * 1024),
+                        Op::main_step(64 * 1024, 10_000),
+                        Op::main_step(64 * 1024, 10_000),
+                        Op::write(256 * 1024),
+                    ],
+                )),
+            );
+            gpu.run().unwrap()
+        };
+        let reference = run(EngineMode::Reference);
+        let optimized = run(EngineMode::Optimized);
+        assert_eq!(reference.kernels, optimized.kernels);
+        assert_eq!(reference.sm_utilization, optimized.sm_utilization);
+    }
+
+    #[test]
+    fn scoped_engine_mode_sets_and_restores_default() {
+        assert_eq!(default_engine_mode(), EngineMode::Optimized);
+        let inner = with_engine_mode(EngineMode::Reference, || {
+            let gpu = Gpu::new(GpuConfig::toy(1));
+            gpu.engine_mode()
+        });
+        assert_eq!(inner, EngineMode::Reference);
+        assert_eq!(default_engine_mode(), EngineMode::Optimized);
+    }
+
+    #[test]
+    fn engine_mode_restored_after_panic_in_scope() {
+        let result =
+            std::panic::catch_unwind(|| with_engine_mode(EngineMode::Reference, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(default_engine_mode(), EngineMode::Optimized);
+    }
+
+    #[test]
+    fn lone_block_coalesces_to_a_handful_of_events() {
+        // One block, no competitors: every op between launch and finish
+        // coalesces, so the heap sees O(1) events instead of O(ops).
+        let ops: Vec<Op> = (0..1000).map(|_| Op::compute(100)).collect();
+        let mut gpu = Gpu::with_mode(quiet_config(), EngineMode::Optimized);
+        let s = gpu.create_stream(0);
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new("solo", Dim3::linear(1), 1, ops)),
+        );
+        let report = gpu.run().unwrap();
+        assert!(
+            report.sim_events < 20,
+            "expected a coalesced run, saw {} events",
+            report.sim_events
+        );
     }
 }

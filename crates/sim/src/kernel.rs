@@ -87,6 +87,28 @@ pub trait KernelSource: Send + Sync {
 
     /// Creates the program of thread block `block`.
     fn block(&self, block: Dim3) -> Box<dyn BlockBody>;
+
+    /// Whether, under the current memory configuration, this kernel's
+    /// block bodies emit **context-independent** op streams: no resume
+    /// reads [`BlockCtx::now`] or [`BlockCtx::atomic_result`], performs a
+    /// functional memory access, or otherwise varies its emitted ops based
+    /// on the context it is handed.
+    ///
+    /// When true, the optimized engine *pre-drives* each body once at
+    /// issue time — running every `resume` back-to-back while the body's
+    /// state is hot in cache — and replays the collected ops through a
+    /// cursor over an engine-internal op arena as events fire. The
+    /// timeline is identical (op durations are still priced at each op's
+    /// own start time); only the interpreter work moves out of the event
+    /// loop's hot path.
+    ///
+    /// The default is `false` (always resume lazily, the reference
+    /// behaviour). Implementations must be conservative: returning `true`
+    /// for a context-dependent body changes simulated results.
+    fn timing_static(&self, mem: &GlobalMemory) -> bool {
+        let _ = mem;
+        false
+    }
 }
 
 /// A trivial kernel whose blocks each execute a fixed list of ops, useful
@@ -138,6 +160,11 @@ impl KernelSource for FixedKernel {
             ops: self.ops.clone(),
             next: 0,
         })
+    }
+
+    fn timing_static(&self, _mem: &GlobalMemory) -> bool {
+        // `FixedBody` never touches its context.
+        true
     }
 }
 
@@ -219,12 +246,7 @@ mod tests {
 
     #[test]
     fn fixed_kernel_replays_ops_then_finishes() {
-        let k = FixedKernel::new(
-            "k",
-            Dim3::linear(1),
-            2,
-            vec![Op::compute(5), Op::read(64)],
-        );
+        let k = FixedKernel::new("k", Dim3::linear(1), 2, vec![Op::compute(5), Op::read(64)]);
         let mut body = k.block(Dim3::default());
         let mut mem = GlobalMemory::new();
         let sems = SemTable::new();
@@ -235,8 +257,14 @@ mod tests {
             sems: &sems,
             atomic_result: None,
         };
-        assert!(matches!(body.resume(&mut ctx), Step::Op(Op::Compute { cycles: 5 })));
-        assert!(matches!(body.resume(&mut ctx), Step::Op(Op::GlobalRead { bytes: 64 })));
+        assert!(matches!(
+            body.resume(&mut ctx),
+            Step::Op(Op::Compute { cycles: 5 })
+        ));
+        assert!(matches!(
+            body.resume(&mut ctx),
+            Step::Op(Op::GlobalRead { bytes: 64 })
+        ));
         assert!(matches!(body.resume(&mut ctx), Step::Done));
     }
 
@@ -258,6 +286,9 @@ mod tests {
             atomic_result: None,
         };
         let mut body = k.block(Dim3::new(1, 0, 0));
-        assert!(matches!(body.resume(&mut ctx), Step::Op(Op::Compute { cycles: 2 })));
+        assert!(matches!(
+            body.resume(&mut ctx),
+            Step::Op(Op::Compute { cycles: 2 })
+        ));
     }
 }

@@ -63,7 +63,10 @@ mod trace;
 
 pub use config::{GpuConfig, MAX_OCCUPANCY, SM_CAPACITY_UNITS};
 pub use dim::Dim3;
-pub use engine::{Gpu, SimError, StreamId};
+pub use engine::{
+    default_engine_mode, set_default_engine_mode, with_engine_mode, EngineMode, Gpu, SimError,
+    StreamId,
+};
 pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, KernelSource, Step};
 pub use mem::{BufferId, DType, GlobalMemory, RaceEvent};
 pub use ops::Op;

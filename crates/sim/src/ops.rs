@@ -103,12 +103,20 @@ impl Op {
 
     /// Convenience constructor for [`Op::SemWait`].
     pub const fn wait(table: SemArrayId, index: u32, value: u32) -> Op {
-        Op::SemWait { table, index, value }
+        Op::SemWait {
+            table,
+            index,
+            value,
+        }
     }
 
     /// Convenience constructor for [`Op::SemPost`] with increment 1.
     pub const fn post(table: SemArrayId, index: u32) -> Op {
-        Op::SemPost { table, index, inc: 1 }
+        Op::SemPost {
+            table,
+            index,
+            inc: 1,
+        }
     }
 }
 
@@ -124,8 +132,19 @@ mod tests {
         let t = SemArrayId(0);
         assert_eq!(
             Op::wait(t, 3, 2),
-            Op::SemWait { table: t, index: 3, value: 2 }
+            Op::SemWait {
+                table: t,
+                index: 3,
+                value: 2
+            }
         );
-        assert_eq!(Op::post(t, 3), Op::SemPost { table: t, index: 3, inc: 1 });
+        assert_eq!(
+            Op::post(t, 3),
+            Op::SemPost {
+                table: t,
+                index: 3,
+                inc: 1
+            }
+        );
     }
 }

@@ -118,6 +118,77 @@ impl SemTable {
     }
 }
 
+/// Dense per-array wait-lists: for each `(semaphore array, index)` pair,
+/// the thread blocks currently parked on it.
+///
+/// This is the optimized engine's replacement for the original
+/// `BTreeMap<(table, index), Vec<usize>>` waiter registry: park and wake
+/// become direct `Vec` indexing, and a post to a semaphore nobody waits on
+/// costs two bounds checks instead of a tree descent. Storage grows lazily
+/// to the highest `(array, index)` actually waited on, and emptied lists
+/// keep their capacity across park/wake cycles (the dominant pattern in
+/// tile synchronization, where the same semaphores are waited on wave
+/// after wave).
+#[derive(Debug, Default)]
+pub struct WaitLists {
+    lists: Vec<Vec<Vec<usize>>>,
+}
+
+impl WaitLists {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        WaitLists { lists: Vec::new() }
+    }
+
+    /// Parks `block` on semaphore `index` of array `id`.
+    pub fn park(&mut self, id: SemArrayId, index: u32, block: usize) {
+        if self.lists.len() <= id.0 {
+            self.lists.resize_with(id.0 + 1, Vec::new);
+        }
+        let array = &mut self.lists[id.0];
+        if array.len() <= index as usize {
+            array.resize_with(index as usize + 1, Vec::new);
+        }
+        array[index as usize].push(block);
+    }
+
+    /// Removes and returns the blocks parked on `(id, index)` (in park
+    /// order), without growing storage when nothing ever waited there.
+    /// Pair with [`WaitLists::put`] to return the storage for reuse.
+    pub fn take(&mut self, id: SemArrayId, index: u32) -> Vec<usize> {
+        match self
+            .lists
+            .get_mut(id.0)
+            .and_then(|array| array.get_mut(index as usize))
+        {
+            Some(list) => std::mem::take(list),
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a list taken with [`WaitLists::take`], preserving both the
+    /// still-parked blocks and the allocation.
+    pub fn put(&mut self, id: SemArrayId, index: u32, list: Vec<usize>) {
+        if list.is_empty()
+            && self
+                .lists
+                .get(id.0)
+                .is_none_or(|a| a.len() <= index as usize)
+        {
+            // Nothing parked and no slot allocated: stay lazy.
+            return;
+        }
+        if self.lists.len() <= id.0 {
+            self.lists.resize_with(id.0 + 1, Vec::new);
+        }
+        let array = &mut self.lists[id.0];
+        if array.len() <= index as usize {
+            array.resize_with(index as usize + 1, Vec::new);
+        }
+        array[index as usize] = list;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +232,29 @@ mod tests {
         sems.add(a, 0, 3);
         assert_eq!(sems.value(b, 0), 0);
         assert_eq!(sems.ids().count(), 2);
+    }
+
+    #[test]
+    fn wait_lists_park_take_put_roundtrip() {
+        let mut waits = WaitLists::new();
+        let id = SemArrayId(2);
+        assert!(waits.take(id, 7).is_empty(), "untouched slots are empty");
+        waits.park(id, 7, 11);
+        waits.park(id, 7, 12);
+        waits.park(id, 0, 13);
+        let taken = waits.take(id, 7);
+        assert_eq!(taken, vec![11, 12], "park order is preserved");
+        waits.put(id, 7, vec![12]);
+        assert_eq!(waits.take(id, 7), vec![12]);
+        assert_eq!(waits.take(id, 0), vec![13]);
+    }
+
+    #[test]
+    fn wait_lists_stay_lazy_for_untouched_slots() {
+        let mut waits = WaitLists::new();
+        // take + empty put of a never-parked slot must not allocate rows.
+        let empty = waits.take(SemArrayId(100), 4000);
+        waits.put(SemArrayId(100), 4000, empty);
+        assert!(waits.lists.is_empty());
     }
 }

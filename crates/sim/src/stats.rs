@@ -110,6 +110,13 @@ pub struct RunReport {
     pub sm_utilization: f64,
     /// Total semaphore post operations performed during the run.
     pub sem_posts: u64,
+    /// Heap events the engine handled to simulate the run — a measure of
+    /// simulation *work*, not of simulated time. The optimized engine
+    /// coalesces non-synchronizing ops, so this is typically much smaller
+    /// than under [`EngineMode::Reference`](crate::EngineMode) for the
+    /// same (bit-identical) timeline; `BENCH_*.json` divides wall time by
+    /// it to report ns/sim-event.
+    pub sim_events: u64,
 }
 
 impl RunReport {
@@ -158,7 +165,7 @@ mod tests {
     fn table1_wave_arithmetic() {
         // Table I of the paper, NVIDIA V100 with 80 SMs.
         // batch 256: producer [1,48,4] occ 2 -> 1.2 waves, 60%.
-        let w = waves(1 * 48 * 4, 2, 80);
+        let w = waves(48 * 4, 2, 80);
         assert!((w - 1.2).abs() < 1e-9);
         assert!((utilization(w) - 0.60).abs() < 1e-9);
         // batch 1024: producer [4,24,2] occ 2 -> 1.2? No: 192 blocks occ 1.

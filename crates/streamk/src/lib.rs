@@ -42,8 +42,8 @@ const STREAMK_MAINLOOP_PENALTY: f64 = 1.15;
 use cusync_kernels::timing::{gemm_flops, mma_cycles};
 use cusync_kernels::{Epilogue, GemmBuilder, GemmDims, TileShape};
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, Gpu, GpuConfig, KernelSource, Op, SemArrayId,
-    Step, StreamId,
+    BlockBody, BlockCtx, BufferId, DType, Dim3, Gpu, GpuConfig, KernelSource, Op, SemArrayId, Step,
+    StreamId,
 };
 
 /// Builder for [`StreamKGemm`].
@@ -429,8 +429,7 @@ impl PartialBody {
                     let bv = ctx
                         .mem
                         .read(self.gemm.b, kk as usize * n + j as usize, ctx.now);
-                    self.acc[(i - rows.0) as usize * tile_cols + (j - cols.0) as usize] +=
-                        av * bv;
+                    self.acc[(i - rows.0) as usize * tile_cols + (j - cols.0) as usize] += av * bv;
                 }
             }
         }
@@ -449,8 +448,7 @@ impl PartialBody {
         for i in rows.0..rows.1 {
             for j in cols.0..cols.1 {
                 let idx = i as usize * n + j as usize;
-                let mut v =
-                    self.acc[(i - rows.0) as usize * tile_cols + (j - cols.0) as usize];
+                let mut v = self.acc[(i - rows.0) as usize * tile_cols + (j - cols.0) as usize];
                 let cur = ctx.mem.read_raw(self.gemm.c, idx);
                 if !cur.is_nan() {
                     v += cur;
@@ -507,10 +505,8 @@ impl BlockBody for PartialBody {
                                 let tile = self.tile_of(&span);
                                 let rows = self.gemm.tile_rows(tile);
                                 let cols = self.gemm.tile_cols(tile);
-                                self.acc = vec![
-                                    0.0;
-                                    ((rows.1 - rows.0) * (cols.1 - cols.0)) as usize
-                                ];
+                                self.acc =
+                                    vec![0.0; ((rows.1 - rows.0) * (cols.1 - cols.0)) as usize];
                             }
                             self.span = Some(span);
                             self.phase = PartialPhase::Mma;
@@ -524,8 +520,8 @@ impl BlockBody for PartialBody {
                     let tile = self.tile_of(&span);
                     let rows = self.gemm.tile_rows(tile);
                     let cols = self.gemm.tile_cols(tile);
-                    let kspan = ((span.chunk_hi - span.chunk_lo) * self.gemm.tile.k)
-                        .min(self.gemm.dims.k);
+                    let kspan =
+                        ((span.chunk_hi - span.chunk_lo) * self.gemm.tile.k).min(self.gemm.dims.k);
                     let bytes = ((rows.1 - rows.0) as u64 + (cols.1 - cols.0) as u64)
                         * kspan as u64
                         * self.gemm.dtype.size_bytes();
@@ -598,22 +594,20 @@ mod tests {
     }
 
     fn seeded(len: usize, scale: f32) -> Vec<f32> {
-        (0..len).map(|i| ((i * 31 + 5) % 11) as f32 * scale - 0.2).collect()
+        (0..len)
+            .map(|i| ((i * 31 + 5) % 11) as f32 * scale - 0.2)
+            .collect()
     }
 
-    fn run_streamk(
-        m: u32,
-        n: u32,
-        k: u32,
-        tile: TileShape,
-        sms: u32,
-    ) -> (Vec<f32>, Vec<f32>, u64) {
+    fn run_streamk(m: u32, n: u32, k: u32, tile: TileShape, sms: u32) -> (Vec<f32>, Vec<f32>, u64) {
         let mut gpu = quiet_gpu(sms);
         let a_data = seeded((m * k) as usize, 0.05);
         let b_data = seeded((k * n) as usize, 0.04);
         let a = gpu.mem_mut().alloc_data("a", a_data.clone(), DType::F16);
         let b = gpu.mem_mut().alloc_data("b", b_data.clone(), DType::F16);
-        let c = gpu.mem_mut().alloc_poisoned("c", (m * n) as usize, DType::F16);
+        let c = gpu
+            .mem_mut()
+            .alloc_poisoned("c", (m * n) as usize, DType::F16);
         let sk = StreamKBuilder::new("sk", GemmDims::new(m, n, k), tile)
             .operands(a, b, c)
             .occupancy(1)
@@ -622,7 +616,11 @@ mod tests {
         sk.launch(&mut gpu, stream);
         let report = gpu.run().unwrap();
         let expected = matmul(&a_data, &b_data, m as usize, n as usize, k as usize);
-        (gpu.mem().snapshot(c).unwrap().to_vec(), expected, report.races)
+        (
+            gpu.mem().snapshot(c).unwrap().to_vec(),
+            expected,
+            report.races,
+        )
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! A minimal, offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendored shim keeps
+//! `benches/paper.rs` compiling and running as a plain wall-clock harness:
+//! each benchmark warms up briefly, then runs timed batches and prints the
+//! mean iteration time. There is no statistical analysis, HTML report, or
+//! regression store — the repo's perf trajectory lives in the
+//! `BENCH_*.json` files emitted by `cusync-bench` instead.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (criterion's `Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{name}"), self.warm_up, self.measurement, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's batch sizing is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        run_one(&full, self.parent.warm_up, self.parent.measurement, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(
+            &full,
+            self.parent.warm_up,
+            self.parent.measurement,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: format!("{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured body.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: BencherMode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BencherMode {
+    WarmUp { budget: Duration },
+    Measure { budget: Duration },
+}
+
+impl Bencher {
+    /// Times repeated calls of `body` until the phase budget is spent.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut body: F) {
+        let budget = match self.mode {
+            BencherMode::WarmUp { budget } | BencherMode::Measure { budget } => budget,
+        };
+        let start = Instant::now();
+        loop {
+            black_box(body());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= budget {
+                break;
+            }
+        }
+    }
+}
+
+/// An identity function that defeats constant-propagation of the value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    let mut warm = Bencher {
+        mode: BencherMode::WarmUp { budget: warm_up },
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+    let mut bench = Bencher {
+        mode: BencherMode::Measure {
+            budget: measurement,
+        },
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let mean_ns = if bench.iters > 0 {
+        bench.elapsed.as_nanos() as f64 / bench.iters as f64
+    } else {
+        0.0
+    };
+    println!(
+        "bench {name:<50} {:>12.1} ns/iter ({} iters in {:?})",
+        mean_ns, bench.iters, bench.elapsed
+    );
+}
+
+/// Declares a benchmark group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body_at_least_once() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        assert_eq!(BenchmarkId::new("f", 256).to_string(), "f/256");
+    }
+}

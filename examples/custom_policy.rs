@@ -14,8 +14,8 @@ use std::error::Error;
 use std::sync::Arc;
 
 use cusync::{CuStage, NoSync, SyncGraph, SyncPolicy};
-use cusync_kernels::{GemmBuilder, GemmDims, InputDep, TileShape};
 use cusync_kernels::reference::{assert_close, matmul};
+use cusync_kernels::{GemmBuilder, GemmDims, InputDep, TileShape};
 use cusync_sim::{DType, Dim3, Gpu, GpuConfig, SimTime};
 use cusyncgen::{check_spec, emit_spec, policies_for, AffineExpr, DepSpec, Pattern};
 
@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         ..GpuConfig::toy(8)
     });
     let seeded = |len: usize, s: f32| -> Vec<f32> {
-        (0..len).map(|i| ((i * 37 + 11) % 17) as f32 * s - 0.4).collect()
+        (0..len)
+            .map(|i| ((i * 37 + 11) % 17) as f32 * s - 0.4)
+            .collect()
     };
     let x_data = seeded((m * k) as usize, 0.05);
     let w1_data = seeded((k * h) as usize, 0.04);
@@ -66,8 +68,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let x = gpu.mem_mut().alloc_data("x", x_data.clone(), DType::F16);
     let w1 = gpu.mem_mut().alloc_data("w1", w1_data.clone(), DType::F16);
     let w2 = gpu.mem_mut().alloc_data("w2", w2_data.clone(), DType::F16);
-    let xw1 = gpu.mem_mut().alloc_poisoned("xw1", (m * h) as usize, DType::F16);
-    let out = gpu.mem_mut().alloc_poisoned("out", (m * k) as usize, DType::F16);
+    let xw1 = gpu
+        .mem_mut()
+        .alloc_poisoned("xw1", (m * h) as usize, DType::F16);
+    let out = gpu
+        .mem_mut()
+        .alloc_poisoned("out", (m * k) as usize, DType::F16);
 
     let grid1 = Dim3::new(h / tile.n, m / tile.m, 1);
     let grid2 = Dim3::new(k / tile.n, m / tile.m, 1);
@@ -96,7 +102,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         h as usize,
     );
     assert_close(gpu.mem().snapshot(out).unwrap(), &reference, 5e-3);
-    println!("DiagonalSync chain: {} | races {} -> results verified", report.total, report.races);
+    println!(
+        "DiagonalSync chain: {} | races {} -> results verified",
+        report.total, report.races
+    );
 
     // --- 2. Generate policies from a DSL spec (cuSyncGen) ---------------
     let mut spec = DepSpec::new();

@@ -11,7 +11,10 @@ use cusync_sim::GpuConfig;
 
 fn main() {
     let gpu = GpuConfig::tesla_v100();
-    for (model, name) in [(MlpModel::Gpt3, "GPT-3 145B"), (MlpModel::Llama, "LLaMA 65B")] {
+    for (model, name) in [
+        (MlpModel::Gpt3, "GPT-3 145B"),
+        (MlpModel::Llama, "LLaMA 65B"),
+    ] {
         println!("=== {name} MLP (model parallelism 8) ===");
         println!(
             "{:>6} {:>14} {:>14} {:>14} {:>10}",

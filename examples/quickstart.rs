@@ -59,8 +59,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     let grid1 = Dim3::new(inter / tile.n, m.div_ceil(tile.m), 4);
     let grid2 = Dim3::new(h / tile.n, m.div_ceil(tile.m), 2);
     let mut graph = SyncGraph::new();
-    let s1 = graph.add_stage(CuStage::new("gemm1", grid1).policy(TileSync).opts(OptFlags::WRT));
-    let s2 = graph.add_stage(CuStage::new("gemm2", grid2).policy(NoSync).opts(OptFlags::WRT));
+    let s1 = graph.add_stage(
+        CuStage::new("gemm1", grid1)
+            .policy(TileSync)
+            .opts(OptFlags::WRT),
+    );
+    let s2 = graph.add_stage(
+        CuStage::new("gemm2", grid2)
+            .policy(NoSync)
+            .opts(OptFlags::WRT),
+    );
     graph.dependency(s1, s2, xw1)?;
     let bound = graph.bind(&mut gpu)?;
 

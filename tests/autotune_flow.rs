@@ -7,8 +7,8 @@ use cusync::OptFlags;
 use cusync_models::{mlp_time, MlpModel, PolicyKind, SyncMode};
 use cusync_sim::{Dim3, GpuConfig};
 use cusyncgen::{
-    autotune, check_spec, emit_spec, policies_for, producer_order, AffineExpr, DepSpec,
-    Pattern, TuneCandidate,
+    autotune, check_spec, emit_spec, policies_for, producer_order, AffineExpr, DepSpec, Pattern,
+    TuneCandidate,
 };
 
 /// Build the MLP spec of Fig. 5a for a given batch size (H = 12288, mp 8).
@@ -61,7 +61,12 @@ fn autotuner_picks_a_policy_that_beats_stream_sync() {
         } else {
             PolicyKind::Tile
         };
-        mlp_time(&gpu, MlpModel::Gpt3, bs, SyncMode::CuSync(kind, candidate.opts))
+        mlp_time(
+            &gpu,
+            MlpModel::Gpt3,
+            bs,
+            SyncMode::CuSync(kind, candidate.opts),
+        )
     });
     let best = report.best();
     let base = mlp_time(&gpu, MlpModel::Gpt3, bs, SyncMode::StreamSync);

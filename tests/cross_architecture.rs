@@ -5,8 +5,7 @@
 
 use cusync::OptFlags;
 use cusync_models::{
-    conv_improvement, mlp_improvement, mlp_time, pq_for_channels, MlpModel, PolicyKind,
-    SyncMode,
+    conv_improvement, mlp_improvement, mlp_time, pq_for_channels, MlpModel, PolicyKind, SyncMode,
 };
 use cusync_sim::GpuConfig;
 
@@ -29,7 +28,10 @@ fn partial_wave_gains_persist_on_a100() {
         1024,
         SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
     );
-    assert!(at_512.abs() < 10.0, "512 should be near-neutral: {at_512:.1}%");
+    assert!(
+        at_512.abs() < 10.0,
+        "512 should be near-neutral: {at_512:.1}%"
+    );
     assert!(at_1024 > 1.0, "A100 gain at 1024: {at_1024:.1}%");
 }
 
@@ -79,8 +81,13 @@ fn policy_rankings_are_architecture_dependent_but_sound() {
         let times: Vec<_> = [PolicyKind::Tile, PolicyKind::Row]
             .into_iter()
             .map(|kind| {
-                mlp_time(&gpu, MlpModel::Gpt3, 1024, SyncMode::CuSync(kind, OptFlags::WRT))
-                    .as_picos() as f64
+                mlp_time(
+                    &gpu,
+                    MlpModel::Gpt3,
+                    1024,
+                    SyncMode::CuSync(kind, OptFlags::WRT),
+                )
+                .as_picos() as f64
             })
             .collect();
         let spread = (times[0] - times[1]).abs() / times[0].min(times[1]);

@@ -1,0 +1,266 @@
+//! Reference ↔ optimized engine equivalence on the tier-1 scenarios.
+//!
+//! The optimized engine (ready-queue issue, SM capacity index, op
+//! coalescing, pre-driven block programs, dense wait-lists) must produce
+//! **bit-identical** `RunReport` kernel start/end times — and identical
+//! deadlock reports — to the reference engine (the original
+//! rescan-everything event loop) on the workloads the repo's tests
+//! exercise. These tests run each scenario under both [`EngineMode`]s and
+//! compare the full observable outcome.
+
+use std::sync::Arc;
+
+use cusync::{CuStage, NoSync, OptFlags, SyncGraph, TileSync};
+use cusync_kernels::{GemmBuilder, GemmDims, InputDep, TileShape};
+use cusync_models::{
+    run_attention, run_conv_layer, run_mlp, AttentionConfig, MlpModel, PolicyKind, SyncMode,
+};
+use cusync_sim::{
+    with_engine_mode, DType, Dim3, EngineMode, Gpu, GpuConfig, Op, RunReport, SimError, SimTime,
+};
+
+/// Asserts every timing-observable field of two reports is identical.
+/// (`sim_events` is excluded by design: it measures simulation *work*,
+/// which the optimized engine reduces.)
+fn assert_reports_identical(reference: &RunReport, optimized: &RunReport, what: &str) {
+    assert_eq!(
+        reference.kernels, optimized.kernels,
+        "{what}: kernel reports"
+    );
+    assert_eq!(reference.total, optimized.total, "{what}: total time");
+    assert_eq!(reference.races, optimized.races, "{what}: race count");
+    assert_eq!(
+        reference.sem_posts, optimized.sem_posts,
+        "{what}: sem posts"
+    );
+    assert_eq!(
+        reference.sm_utilization, optimized.sm_utilization,
+        "{what}: utilization (must match to the last bit)"
+    );
+}
+
+fn both_modes<F: Fn() -> RunReport>(what: &str, run: F) {
+    let reference = with_engine_mode(EngineMode::Reference, &run);
+    let optimized = with_engine_mode(EngineMode::Optimized, &run);
+    assert_reports_identical(&reference, &optimized, what);
+    assert!(
+        optimized.sim_events <= reference.sim_events,
+        "{what}: optimized engine should never handle more events \
+         ({} vs {})",
+        optimized.sim_events,
+        reference.sim_events
+    );
+}
+
+#[test]
+fn mlp_pipelines_are_engine_invariant() {
+    let gpu = GpuConfig::tesla_v100();
+    for bs in [1u32, 64, 256, 2048] {
+        for mode in [
+            SyncMode::StreamSync,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+            SyncMode::CuSync(PolicyKind::Row, OptFlags::NONE),
+            SyncMode::StreamK,
+        ] {
+            both_modes(&format!("gpt3 mlp bs={bs} {mode}"), || {
+                run_mlp(&gpu, MlpModel::Gpt3, bs, mode)
+            });
+        }
+        both_modes(&format!("llama mlp bs={bs}"), || {
+            run_mlp(
+                &gpu,
+                MlpModel::Llama,
+                bs,
+                SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
+            )
+        });
+    }
+}
+
+#[test]
+fn attention_chains_are_engine_invariant() {
+    let gpu = GpuConfig::tesla_v100();
+    for cfg in [
+        AttentionConfig::prompt(12288, 512),
+        AttentionConfig::generation(8192, 2, 1024),
+    ] {
+        for mode in [
+            SyncMode::StreamSync,
+            SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
+        ] {
+            both_modes(&format!("attention {cfg:?} {mode}"), || {
+                run_attention(&gpu, cfg, mode)
+            });
+        }
+    }
+}
+
+#[test]
+fn conv_layers_are_engine_invariant() {
+    let gpu = GpuConfig::tesla_v100();
+    for (channels, batch) in [(64u32, 4u32), (512, 16)] {
+        let pq = cusync_models::pq_for_channels(channels);
+        for mode in [
+            SyncMode::StreamSync,
+            SyncMode::CuSync(PolicyKind::Conv2DTile, OptFlags::WRT),
+        ] {
+            both_modes(&format!("conv c={channels} b={batch} {mode}"), || {
+                run_conv_layer(&gpu, batch, pq, channels, 2, mode)
+            });
+        }
+    }
+}
+
+/// The functional (NaN-poison race checking) path runs through the
+/// coroutine bodies on both engines; values, races and timings must all
+/// agree.
+#[test]
+fn functional_pipeline_is_engine_invariant() {
+    let scenario = || {
+        let tile = TileShape::new(8, 8, 8);
+        let (m, h, k) = (16u32, 24u32, 16u32);
+        let mut gpu = Gpu::new(GpuConfig {
+            host_launch_gap: SimTime::ZERO,
+            kernel_dispatch_latency: SimTime::ZERO,
+            ..GpuConfig::toy(4)
+        });
+        let data = |len: usize| (0..len).map(|i| (i % 7) as f32 * 0.1).collect::<Vec<_>>();
+        let x = gpu
+            .mem_mut()
+            .alloc_data("x", data((m * k) as usize), DType::F16);
+        let w1 = gpu
+            .mem_mut()
+            .alloc_data("w1", data((k * h) as usize), DType::F16);
+        let w2 = gpu
+            .mem_mut()
+            .alloc_data("w2", data((h * k) as usize), DType::F16);
+        let xw1 = gpu
+            .mem_mut()
+            .alloc_poisoned("xw1", (m * h) as usize, DType::F16);
+        let out = gpu
+            .mem_mut()
+            .alloc_poisoned("out", (m * k) as usize, DType::F16);
+        let grid1 = Dim3::new(h / 8, m / 8, 1);
+        let grid2 = Dim3::new(k / 8, m / 8, 1);
+        let mut graph = SyncGraph::new();
+        let s1 = graph.add_stage(CuStage::new("g1", grid1).policy(TileSync));
+        let s2 = graph.add_stage(CuStage::new("g2", grid2).policy(NoSync));
+        graph.dependency(s1, s2, xw1).unwrap();
+        let bound = graph.bind(&mut gpu).unwrap();
+        let g1 = GemmBuilder::new("g1", GemmDims::new(m, h, k), tile)
+            .operands(x, w1, xw1)
+            .stage(Arc::clone(bound.stage(s1)))
+            .build(gpu.config());
+        let g2 = GemmBuilder::new("g2", GemmDims::new(m, k, h), tile)
+            .operands(xw1, w2, out)
+            .stage(Arc::clone(bound.stage(s2)))
+            .a_dep(InputDep::row_aligned(grid1), grid1.x)
+            .build(gpu.config());
+        bound.launch(&mut gpu, s1, Arc::new(g1)).unwrap();
+        bound.launch(&mut gpu, s2, Arc::new(g2)).unwrap();
+        let report = gpu.run().unwrap();
+        let values = gpu.mem().snapshot(out).unwrap().to_vec();
+        (report, values)
+    };
+    let (ref_report, ref_values) = with_engine_mode(EngineMode::Reference, scenario);
+    let (opt_report, opt_values) = with_engine_mode(EngineMode::Optimized, scenario);
+    assert_reports_identical(&ref_report, &opt_report, "functional mlp");
+    assert_eq!(ref_report.races, 0);
+    assert_eq!(ref_values, opt_values, "computed outputs must be identical");
+}
+
+/// The Section III-B busy-wait deadlock: both engines must stall at the
+/// same simulated time with the same blocked/pending sets.
+#[test]
+fn deadlock_reports_are_engine_invariant() {
+    let scenario = || {
+        let mut gpu = Gpu::new(GpuConfig {
+            host_launch_gap: SimTime::ZERO,
+            kernel_dispatch_latency: SimTime::ZERO,
+            block_jitter: 0.0,
+            ..GpuConfig::toy(4)
+        });
+        let sem = gpu.alloc_sems("tile", 1, 0);
+        let s1 = gpu.create_stream(0);
+        let s2 = gpu.create_stream(1);
+        gpu.launch(
+            s1,
+            Arc::new(cusync_sim::FixedKernel::new(
+                "producer",
+                Dim3::linear(4),
+                1,
+                vec![Op::compute(100), Op::post(sem, 0)],
+            )),
+        );
+        gpu.launch(
+            s2,
+            Arc::new(cusync_sim::FixedKernel::new(
+                "consumer",
+                Dim3::linear(4),
+                1,
+                vec![Op::wait(sem, 0, 4), Op::compute(10)],
+            )),
+        );
+        gpu.run().unwrap_err()
+    };
+    let reference = with_engine_mode(EngineMode::Reference, scenario);
+    let optimized = with_engine_mode(EngineMode::Optimized, scenario);
+    assert_eq!(reference, optimized, "deadlock blocked/pending sets");
+    let SimError::Deadlock {
+        blocked, pending, ..
+    } = reference
+    else {
+        panic!("expected a deadlock");
+    };
+    // The consumer's blocks fill every SM busy-waiting, so the producer
+    // never issues: both kernels are pending, all four resident blocks
+    // are blocked.
+    assert_eq!(
+        pending,
+        vec!["producer".to_string(), "consumer".to_string()]
+    );
+    assert_eq!(blocked.len(), 4);
+}
+
+/// Traces — the fullest observable scheduling record — also match, on a
+/// scenario with priorities, semaphores and partial waves.
+#[test]
+fn scheduling_traces_are_engine_invariant() {
+    let scenario = |mode: EngineMode| {
+        let mut gpu = Gpu::with_mode(GpuConfig::toy(4), mode);
+        gpu.enable_trace();
+        let sem = gpu.alloc_sems("t", 4, 0);
+        let lo = gpu.create_stream(0);
+        let hi = gpu.create_stream(3);
+        gpu.launch(
+            lo,
+            Arc::new(cusync_sim::FixedKernel::new(
+                "producer",
+                Dim3::linear(6),
+                2,
+                vec![
+                    Op::read(32 * 1024),
+                    Op::compute(50_000),
+                    Op::Fence,
+                    Op::post(sem, 0),
+                ],
+            )),
+        );
+        gpu.launch(
+            hi,
+            Arc::new(cusync_sim::FixedKernel::new(
+                "consumer",
+                Dim3::linear(6),
+                2,
+                vec![Op::wait(sem, 0, 3), Op::main_step(16 * 1024, 40_000)],
+            )),
+        );
+        gpu.run().unwrap();
+        gpu.trace().to_vec()
+    };
+    assert_eq!(
+        scenario(EngineMode::Reference),
+        scenario(EngineMode::Optimized),
+        "trace event sequences"
+    );
+}

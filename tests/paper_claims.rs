@@ -35,14 +35,22 @@ fn table1_waves_and_utilization_reproduce_exactly() {
 fn gains_track_partial_wave_fraction() {
     let gpu = v100();
     let gain = |bs| {
-        mlp_improvement(&gpu, MlpModel::Gpt3, bs, SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT))
+        mlp_improvement(
+            &gpu,
+            MlpModel::Gpt3,
+            bs,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+        )
     };
     let g256 = gain(256);
     let g512 = gain(512);
     let g2048 = gain(2048);
     assert!(g256 > 10.0, "expected >10% at 256, got {g256:.1}%");
     assert!(g512 > 10.0, "expected >10% at 512, got {g512:.1}%");
-    assert!(g2048 < g512, "2048 ({g2048:.1}%) should gain less than 512 ({g512:.1}%)");
+    assert!(
+        g2048 < g512,
+        "2048 ({g2048:.1}%) should gain less than 512 ({g512:.1}%)"
+    );
     assert!(g2048 > 0.0, "still positive at 2048, got {g2048:.1}%");
 }
 
@@ -51,7 +59,14 @@ fn gains_track_partial_wave_fraction() {
 #[test]
 fn policy_ranking_depends_on_grid_size() {
     let gpu = v100();
-    let t = |bs, kind| mlp_time(&gpu, MlpModel::Gpt3, bs, SyncMode::CuSync(kind, OptFlags::WRT));
+    let t = |bs, kind| {
+        mlp_time(
+            &gpu,
+            MlpModel::Gpt3,
+            bs,
+            SyncMode::CuSync(kind, OptFlags::WRT),
+        )
+    };
     // Small: TileSync at least as good as RowSync.
     assert!(t(64, PolicyKind::Tile) <= t(64, PolicyKind::Row));
     // Large: RowSync within 5% of TileSync (fewer sync operations
@@ -67,10 +82,16 @@ fn policy_ranking_depends_on_grid_size() {
 fn strided_sync_wins_attention_prompt() {
     let gpu = v100();
     let cfg = AttentionConfig::prompt(12288, 1024);
-    let strided =
-        attention_improvement(&gpu, cfg, SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT));
+    let strided = attention_improvement(
+        &gpu,
+        cfg,
+        SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
+    );
     let row = attention_improvement(&gpu, cfg, SyncMode::CuSync(PolicyKind::Row, OptFlags::WRT));
-    assert!(strided > 0.0, "StridedSync should improve, got {strided:.1}%");
+    assert!(
+        strided > 0.0,
+        "StridedSync should improve, got {strided:.1}%"
+    );
     assert!(
         strided >= row - 0.5,
         "StridedSync ({strided:.1}%) should be at least RowSync ({row:.1}%)"
@@ -83,7 +104,13 @@ fn strided_sync_wins_attention_prompt() {
 fn optimization_ladder_is_monotone_for_small_grids() {
     let gpu = v100();
     let t = |opts| {
-        mlp_time(&gpu, MlpModel::Gpt3, 64, SyncMode::CuSync(PolicyKind::Tile, opts)).as_picos()
+        mlp_time(
+            &gpu,
+            MlpModel::Gpt3,
+            64,
+            SyncMode::CuSync(PolicyKind::Tile, opts),
+        )
+        .as_picos()
     };
     let vanilla = t(OptFlags::NONE);
     let r = t(OptFlags::R);
@@ -102,8 +129,12 @@ fn optimization_ladder_is_monotone_for_small_grids() {
 fn cusync_beats_streamk_on_multi_wave_gemms() {
     let gpu = v100();
     for bs in [1024u32, 2048] {
-        let cusync =
-            mlp_improvement(&gpu, MlpModel::Gpt3, bs, SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT));
+        let cusync = mlp_improvement(
+            &gpu,
+            MlpModel::Gpt3,
+            bs,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+        );
         let streamk = mlp_improvement(&gpu, MlpModel::Gpt3, bs, SyncMode::StreamK);
         assert!(
             cusync > streamk,

@@ -18,7 +18,9 @@ fn quiet_gpu(sms: u32) -> Gpu {
 }
 
 fn seeded(len: usize, scale: f32) -> Vec<f32> {
-    (0..len).map(|i| ((i * 37 + 11) % 17) as f32 * scale - 0.4).collect()
+    (0..len)
+        .map(|i| ((i * 37 + 11) % 17) as f32 * scale - 0.4)
+        .collect()
 }
 
 /// Runs the two-GeMM MLP chain under `policy` with `opts`, returning the
@@ -33,8 +35,12 @@ fn run_chain(policy: PolicyRef, opts: OptFlags, chunks: u32) -> RunReport {
     let x = gpu.mem_mut().alloc_data("x", x_data.clone(), DType::F16);
     let w1 = gpu.mem_mut().alloc_data("w1", w1_data.clone(), DType::F16);
     let w2 = gpu.mem_mut().alloc_data("w2", w2_data.clone(), DType::F16);
-    let xw1 = gpu.mem_mut().alloc_poisoned("xw1", (m * h) as usize, DType::F16);
-    let out = gpu.mem_mut().alloc_poisoned("out", (m * k) as usize, DType::F16);
+    let xw1 = gpu
+        .mem_mut()
+        .alloc_poisoned("xw1", (m * h) as usize, DType::F16);
+    let out = gpu
+        .mem_mut()
+        .alloc_poisoned("out", (m * k) as usize, DType::F16);
 
     let grid1 = Dim3::new(h / tile.n, m / tile.m, 1);
     let grid2 = Dim3::new(k / tile.n, m / tile.m, 1);
@@ -96,18 +102,22 @@ fn llama_swiglu_chain_with_strided_policy_is_correct() {
     let w1v_data = seeded((k * 2 * inter) as usize, 0.05);
     let w2_data = seeded((inter * k) as usize, 0.04);
     let x = gpu.mem_mut().alloc_data("x", x_data.clone(), DType::F16);
-    let w1v = gpu.mem_mut().alloc_data("w1v", w1v_data.clone(), DType::F16);
+    let w1v = gpu
+        .mem_mut()
+        .alloc_data("w1v", w1v_data.clone(), DType::F16);
     let w2 = gpu.mem_mut().alloc_data("w2", w2_data.clone(), DType::F16);
-    let comb = gpu.mem_mut().alloc_poisoned("comb", (m * 2 * inter) as usize, DType::F16);
-    let out = gpu.mem_mut().alloc_poisoned("out", (m * k) as usize, DType::F16);
+    let comb = gpu
+        .mem_mut()
+        .alloc_poisoned("comb", (m * 2 * inter) as usize, DType::F16);
+    let out = gpu
+        .mem_mut()
+        .alloc_poisoned("out", (m * k) as usize, DType::F16);
 
     let grid1 = Dim3::new(2 * inter / tile.n, m / tile.m, 1);
     let grid2 = Dim3::new(k / tile.n, m / tile.m, 1);
     let half = grid1.x / 2;
     let mut graph = SyncGraph::new();
-    let s1 = graph.add_stage(
-        CuStage::new("gemm1", grid1).policy(StridedSync::new(half, 2)),
-    );
+    let s1 = graph.add_stage(CuStage::new("gemm1", grid1).policy(StridedSync::new(half, 2)));
     let s2 = graph.add_stage(CuStage::new("gemm2", grid2).policy(NoSync));
     graph.dependency(s1, s2, comb).unwrap();
     let bound = graph.bind(&mut gpu).unwrap();
@@ -122,7 +132,9 @@ fn llama_swiglu_chain_with_strided_policy_is_correct() {
         .a_dep(
             InputDep {
                 prod_grid: grid1,
-                plan: DepPlan::Strided { x_offsets: vec![0, half] },
+                plan: DepPlan::Strided {
+                    x_offsets: vec![0, half],
+                },
             },
             half,
         )
@@ -132,7 +144,13 @@ fn llama_swiglu_chain_with_strided_policy_is_correct() {
     let report = gpu.run().expect("swiglu chain deadlocked");
     assert_eq!(report.races, 0, "{report}");
 
-    let comb_ref = matmul(&x_data, &w1v_data, m as usize, 2 * inter as usize, k as usize);
+    let comb_ref = matmul(
+        &x_data,
+        &w1v_data,
+        m as usize,
+        2 * inter as usize,
+        k as usize,
+    );
     let mut a_eff = vec![0.0f32; (m * inter) as usize];
     for i in 0..m as usize {
         for j in 0..inter as usize {
@@ -152,15 +170,23 @@ fn three_stage_chain_propagates_through_intermediates() {
     let tile = TileShape::new(8, 8, 8);
     let mut gpu = quiet_gpu(8);
     let x_data = seeded((m * m) as usize, 0.05);
-    let w_data: Vec<Vec<f32>> = (0..3).map(|i| seeded((m * m) as usize, 0.03 + i as f32 * 0.01)).collect();
+    let w_data: Vec<Vec<f32>> = (0..3)
+        .map(|i| seeded((m * m) as usize, 0.03 + i as f32 * 0.01))
+        .collect();
     let x = gpu.mem_mut().alloc_data("x", x_data.clone(), DType::F16);
     let ws: Vec<_> = w_data
         .iter()
         .enumerate()
-        .map(|(i, d)| gpu.mem_mut().alloc_data(&format!("w{i}"), d.clone(), DType::F16))
+        .map(|(i, d)| {
+            gpu.mem_mut()
+                .alloc_data(&format!("w{i}"), d.clone(), DType::F16)
+        })
         .collect();
     let mids: Vec<_> = (0..3)
-        .map(|i| gpu.mem_mut().alloc_poisoned(&format!("m{i}"), (m * m) as usize, DType::F16))
+        .map(|i| {
+            gpu.mem_mut()
+                .alloc_poisoned(&format!("m{i}"), (m * m) as usize, DType::F16)
+        })
         .collect();
 
     let grid = Dim3::new(m / tile.n, m / tile.m, 1);

@@ -190,6 +190,10 @@ fn policy_names_are_distinct() {
     ];
     let mut names = HashMap::new();
     for p in &policies {
-        assert!(names.insert(p.name(), p.num_sems(grid)).is_none(), "{}", p.name());
+        assert!(
+            names.insert(p.name(), p.num_sems(grid)).is_none(),
+            "{}",
+            p.name()
+        );
     }
 }

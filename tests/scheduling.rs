@@ -41,7 +41,10 @@ fn wait_kernel_prevents_the_section3b_deadlock() {
         let opts = if with_wait_kernel {
             OptFlags::NONE
         } else {
-            OptFlags { avoid_wait_kernel: true, ..OptFlags::NONE }
+            OptFlags {
+                avoid_wait_kernel: true,
+                ..OptFlags::NONE
+            }
         };
         let s2 = graph.add_stage(CuStage::new("cons", grid).policy(NoSync).opts(opts));
         graph.dependency(s1, s2, xw1).unwrap();
@@ -98,10 +101,13 @@ fn deadlock_report_names_blocked_semaphores() {
         )),
     );
     match gpu.run().unwrap_err() {
-        SimError::Deadlock { blocked, pending, .. } => {
+        SimError::Deadlock {
+            blocked, pending, ..
+        } => {
             assert_eq!(pending, vec!["stuck".to_string()]);
             assert!(blocked[0].contains("missing[0] >= 3"), "{}", blocked[0]);
         }
+        other => panic!("expected deadlock, got {other}"),
     }
 }
 
@@ -115,26 +121,29 @@ fn conv_halo_waits_are_required_for_correctness() {
         let tile = TileShape::new(8, 4, 4);
         let mut gpu = quiet_gpu(16);
         let data = |len: usize| (0..len).map(|i| (i % 5) as f32 * 0.2).collect::<Vec<_>>();
-        let input = gpu
-            .mem_mut()
-            .alloc_data("in", data((shape.gemm_m() * shape.c) as usize), DType::F16);
-        let w1 = gpu
-            .mem_mut()
-            .alloc_data("w1", data((shape.rs() * shape.c * shape.k) as usize), DType::F16);
-        let w2 = gpu
-            .mem_mut()
-            .alloc_data("w2", data((shape.rs() * shape.k * shape.k) as usize), DType::F16);
-        let mid = gpu
-            .mem_mut()
-            .alloc_poisoned("mid", (shape.gemm_m() * shape.k) as usize, DType::F16);
-        let out = gpu
-            .mem_mut()
-            .alloc_poisoned("out", (shape.gemm_m() * shape.k) as usize, DType::F16);
+        let input =
+            gpu.mem_mut()
+                .alloc_data("in", data((shape.gemm_m() * shape.c) as usize), DType::F16);
+        let w1 = gpu.mem_mut().alloc_data(
+            "w1",
+            data((shape.rs() * shape.c * shape.k) as usize),
+            DType::F16,
+        );
+        let w2 = gpu.mem_mut().alloc_data(
+            "w2",
+            data((shape.rs() * shape.k * shape.k) as usize),
+            DType::F16,
+        );
+        let mid =
+            gpu.mem_mut()
+                .alloc_poisoned("mid", (shape.gemm_m() * shape.k) as usize, DType::F16);
+        let out =
+            gpu.mem_mut()
+                .alloc_poisoned("out", (shape.gemm_m() * shape.k) as usize, DType::F16);
         let grid = Dim3::new(1, shape.gemm_m() / tile.m, 1);
         let mut graph = SyncGraph::new();
-        let s1 = graph.add_stage(
-            CuStage::new("conv1", grid).policy(Conv2DTileSync::new(shape.rs())),
-        );
+        let s1 =
+            graph.add_stage(CuStage::new("conv1", grid).policy(Conv2DTileSync::new(shape.rs())));
         let s2 = graph.add_stage(CuStage::new("conv2", grid).policy(NoSync));
         graph.dependency(s1, s2, mid).unwrap();
         let bound = graph.bind(&mut gpu).unwrap();
