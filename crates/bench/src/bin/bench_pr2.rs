@@ -1,0 +1,125 @@
+//! Measures the compile/execute split: rebuild-per-run vs compiled-reuse
+//! (serial) vs a pooled `Runtime` fan-out, over the Fig. 6 cell set, then
+//! writes `BENCH_PR2.json`.
+//!
+//! Usage: `bench_pr2 [--quick] [--reps N] [--out PATH]`
+//!
+//! `--quick` shrinks the cell set and runs one measurement round instead
+//! of best-of-3 (for CI smoke jobs). The JSON schema is shared with
+//! `BENCH_PR1.json` (see `crates/bench/src/perf.rs` and
+//! `crates/sim/README.md`); phase `"before"` is rebuild-per-run and
+//! `"after"` is compiled-reuse / pooled.
+
+use cusync_bench::perf::{render_json, PerfEntry};
+use cusync_bench::reuse::{
+    fig6_cells, measure_compiled, measure_pooled, measure_rebuild, ReuseOutcome,
+};
+use cusync_bench::sweep::default_threads;
+use cusync_sim::GpuConfig;
+
+fn best_of<F: FnMut() -> ReuseOutcome>(reps: usize, mut f: F) -> ReuseOutcome {
+    let mut best: Option<ReuseOutcome> = None;
+    for _ in 0..reps {
+        let outcome = f();
+        let better = match &best {
+            Some(b) => outcome.wall < b.wall,
+            None => true,
+        };
+        if better {
+            best = Some(outcome);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn entry(figure: &str, phase: &str, threads: usize, memoized: bool, o: &ReuseOutcome) -> PerfEntry {
+    PerfEntry {
+        figure: figure.to_owned(),
+        phase: phase.to_owned(),
+        engine: "optimized".to_owned(),
+        threads,
+        memoized,
+        wall_seconds: o.wall.as_secs_f64(),
+        sim_events: o.events,
+        cells: o.runs,
+        ns_per_event: o.ns_per_event(),
+        events_per_sec: o.events_per_sec(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { 5 });
+    let rounds = if quick { 1 } else { 3 };
+
+    let gpu = GpuConfig::tesla_v100();
+    let cells = fig6_cells(quick);
+    let workers = default_threads();
+    eprintln!(
+        "fig6 cell set: {} cells x {} repeated runs each (quick={quick})",
+        cells.len(),
+        reps
+    );
+
+    eprintln!("measuring rebuild-per-run (fresh Gpu + graph bind per run, serial)...");
+    let rebuild = best_of(rounds, || measure_rebuild(&gpu, &cells, reps));
+    eprintln!(
+        "  rebuild:  {:>8.1} ms, {} runs, {:.0} ns/event",
+        rebuild.wall.as_secs_f64() * 1e3,
+        rebuild.runs,
+        rebuild.ns_per_event()
+    );
+
+    eprintln!("measuring compiled-reuse (compile once, warmed Session, serial)...");
+    let compiled = best_of(rounds, || measure_compiled(&gpu, &cells, reps));
+    eprintln!(
+        "  compiled: {:>8.1} ms, {} runs, {:.0} ns/event  (speedup {:.2}x)",
+        compiled.wall.as_secs_f64() * 1e3,
+        compiled.runs,
+        compiled.ns_per_event(),
+        rebuild.wall.as_secs_f64() / compiled.wall.as_secs_f64()
+    );
+
+    eprintln!("measuring pooled Runtime ({workers} worker session(s))...");
+    let pooled = best_of(rounds, || measure_pooled(&gpu, &cells, reps, workers));
+    eprintln!(
+        "  pooled:   {:>8.1} ms, {} runs  (speedup over rebuild {:.2}x)",
+        pooled.wall.as_secs_f64() * 1e3,
+        pooled.runs,
+        rebuild.wall.as_secs_f64() / pooled.wall.as_secs_f64()
+    );
+
+    // The strategies must be observationally identical: same simulated
+    // total and event count for every (cell, repetition) pair.
+    assert_eq!(
+        rebuild.checksums, compiled.checksums,
+        "compiled-reuse diverged from rebuild-per-run"
+    );
+    assert_eq!(
+        rebuild.checksums, pooled.checksums,
+        "pooled runtime diverged from rebuild-per-run"
+    );
+
+    let entries = vec![
+        entry("fig6_serial", "before", 1, false, &rebuild),
+        entry("fig6_serial", "after", 1, true, &compiled),
+        entry("fig6_pooled", "before", 1, false, &rebuild),
+        entry("fig6_pooled", "after", workers, true, &pooled),
+    ];
+    let json = render_json("PR2", &entries);
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

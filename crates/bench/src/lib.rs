@@ -12,6 +12,8 @@
 //! | `fig7` | Fig. 7 — Conv2D improvements (ResNet-38, VGG-19) |
 //! | `fig8` | Fig. 8 — end-to-end inference reductions |
 //! | `overhead` | Section V-D — the maximum synchronization overhead bound |
+//! | `bench_pr1` | `BENCH_PR1.json` — event-loop overhaul perf trajectory |
+//! | `bench_pr2` | `BENCH_PR2.json` — rebuild-per-run vs compiled-reuse vs pooled `Runtime` |
 //!
 //! The Criterion benches in `benches/paper.rs` wrap the same workloads for
 //! wall-clock regression tracking of the simulator itself.
@@ -19,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod perf;
+pub mod reuse;
 pub mod sweep;
 
 use std::sync::Arc;

@@ -1,0 +1,247 @@
+//! Compile-once/run-many measurement: the `bench_pr2` harness.
+//!
+//! PR 1 made each simulated run cheaper; this harness measures what the
+//! compile/execute split adds on top: the **rebuild-per-run** world (every
+//! invocation builds a fresh [`Gpu`], re-registers kernels, re-binds the
+//! sync graph, then runs once — the pre-split shape of every model/bench
+//! call site) against the **compiled-reuse** world (each workload is
+//! compiled once into a [`CompiledPipeline`] and executed repeatedly on
+//! one warmed [`Session`], allocation-free after warmup), and against the
+//! **pooled** world (the same compiled pipelines fanned out over a
+//! [`Runtime`] worker pool — the multi-tenant serving story, which
+//! multiplies on multi-core hosts).
+//!
+//! The workload is the Fig. 6 cell set (every MLP and Attention
+//! configuration × sync mode of the paper's Fig. 6 sweep), each cell run
+//! `reps` times — the shape of a server answering repeated requests over
+//! a fixed set of models. Simulated results are asserted identical across
+//! strategies; only wall-clock differs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cusync_models::{
+    build_attention, build_mlp, compile_attention, compile_mlp, AttentionConfig, MlpModel, SyncMode,
+};
+use cusync_sim::{CompiledPipeline, Gpu, GpuConfig, RunReport, Runtime, Session};
+
+use crate::sweep::{
+    fig6_attention_configs, fig6_attention_modes, fig6_mlp_modes, FIG6_MLP_BATCHES,
+};
+
+/// One cell of the reuse workload: a workload configuration × sync mode.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// An MLP block configuration.
+    Mlp(MlpModel, u32, SyncMode),
+    /// An attention chain configuration.
+    Attention(AttentionConfig, SyncMode),
+}
+
+impl Cell {
+    /// Builds this cell into a fresh one-shot [`Gpu`] (the
+    /// rebuild-per-run path).
+    pub fn build(&self, gpu_cfg: &GpuConfig) -> Gpu {
+        let mut gpu = Gpu::new(gpu_cfg.clone());
+        match self {
+            Cell::Mlp(model, bs, mode) => build_mlp(&mut gpu, *model, *bs, *mode),
+            Cell::Attention(cfg, mode) => build_attention(&mut gpu, *cfg, *mode),
+        }
+        gpu
+    }
+
+    /// Compiles this cell once (the compiled-reuse path).
+    pub fn compile(&self, gpu_cfg: &GpuConfig) -> CompiledPipeline {
+        match self {
+            Cell::Mlp(model, bs, mode) => compile_mlp(gpu_cfg, *model, *bs, *mode),
+            Cell::Attention(cfg, mode) => compile_attention(gpu_cfg, *cfg, *mode),
+        }
+    }
+}
+
+/// The Fig. 6 cell set: every (configuration × mode) pair of the MLP and
+/// Attention panels, including the StreamSync baselines. `quick` keeps
+/// one MLP model and a third of the configurations for CI smoke runs.
+pub fn fig6_cells(quick: bool) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    let mlp_models: &[MlpModel] = if quick {
+        &[MlpModel::Gpt3]
+    } else {
+        &[MlpModel::Gpt3, MlpModel::Llama]
+    };
+    let stride = if quick { 3 } else { 1 };
+    for &model in mlp_models {
+        for bs in FIG6_MLP_BATCHES.iter().step_by(stride) {
+            cells.push(Cell::Mlp(model, *bs, SyncMode::StreamSync));
+            for mode in fig6_mlp_modes() {
+                cells.push(Cell::Mlp(model, *bs, mode));
+            }
+        }
+    }
+    let hiddens: &[u32] = if quick { &[12288] } else { &[12288, 8192] };
+    for &hidden in hiddens {
+        for (i, (_, cfg)) in fig6_attention_configs(hidden).into_iter().enumerate() {
+            if i % stride != 0 {
+                continue;
+            }
+            cells.push(Cell::Attention(cfg, SyncMode::StreamSync));
+            for mode in fig6_attention_modes() {
+                cells.push(Cell::Attention(cfg, mode));
+            }
+        }
+    }
+    cells
+}
+
+/// Outcome of one measured strategy.
+#[derive(Debug, Clone)]
+pub struct ReuseOutcome {
+    /// Wall-clock time for all runs.
+    pub wall: Duration,
+    /// Total runs executed (`cells × reps`).
+    pub runs: usize,
+    /// Total simulator events handled.
+    pub events: u64,
+    /// `(simulated total, sim_events)` of **every** run, in cell-major
+    /// `(cell, rep)` order — the cross-strategy equality witness: any
+    /// divergence of any repetition, in timing or in event count, shows
+    /// up here.
+    pub checksums: Vec<(u64, u64)>,
+}
+
+impl ReuseOutcome {
+    /// Mean wall nanoseconds per simulated event.
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.wall.as_nanos() as f64 / self.events as f64
+    }
+
+    /// Simulated events per wall second.
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / s
+    }
+}
+
+fn accumulate(outcome: &mut ReuseOutcome, report: &RunReport) {
+    outcome.runs += 1;
+    outcome.events += report.sim_events;
+    outcome
+        .checksums
+        .push((report.total.as_picos(), report.sim_events));
+}
+
+/// The pre-split shape: every run rebuilds the workload from scratch on a
+/// fresh one-shot [`Gpu`] and executes it once.
+pub fn measure_rebuild(gpu_cfg: &GpuConfig, cells: &[Cell], reps: usize) -> ReuseOutcome {
+    let mut outcome = ReuseOutcome {
+        wall: Duration::ZERO,
+        runs: 0,
+        events: 0,
+        checksums: Vec::with_capacity(cells.len()),
+    };
+    let t0 = Instant::now();
+    for cell in cells {
+        for _ in 0..reps {
+            let mut gpu = cell.build(gpu_cfg);
+            let report = gpu.run().expect("fig6 cell deadlocked");
+            accumulate(&mut outcome, &report);
+        }
+    }
+    outcome.wall = t0.elapsed();
+    outcome
+}
+
+/// The compiled-reuse shape: each cell is compiled once, then executed
+/// `reps` times on one warmed [`Session`] shared across all cells.
+pub fn measure_compiled(gpu_cfg: &GpuConfig, cells: &[Cell], reps: usize) -> ReuseOutcome {
+    let mut outcome = ReuseOutcome {
+        wall: Duration::ZERO,
+        runs: 0,
+        events: 0,
+        checksums: Vec::with_capacity(cells.len()),
+    };
+    let mut session = Session::new();
+    let t0 = Instant::now();
+    for cell in cells {
+        let pipeline = cell.compile(gpu_cfg);
+        for _ in 0..reps {
+            let report = session.run(&pipeline).expect("fig6 cell deadlocked");
+            accumulate(&mut outcome, &report);
+        }
+    }
+    outcome.wall = t0.elapsed();
+    outcome
+}
+
+/// The multi-tenant shape: each cell compiled once and shared as an
+/// `Arc`, `cells × reps` submissions fanned out over a [`Runtime`] pool
+/// of `workers` sessions.
+pub fn measure_pooled(
+    gpu_cfg: &GpuConfig,
+    cells: &[Cell],
+    reps: usize,
+    workers: usize,
+) -> ReuseOutcome {
+    let mut outcome = ReuseOutcome {
+        wall: Duration::ZERO,
+        runs: 0,
+        events: 0,
+        checksums: Vec::with_capacity(cells.len()),
+    };
+    let runtime = Runtime::new(workers);
+    let t0 = Instant::now();
+    let pipelines: Vec<Arc<CompiledPipeline>> =
+        cells.iter().map(|c| Arc::new(c.compile(gpu_cfg))).collect();
+    // Submit cell-major so the checksum vector aligns with the serial
+    // strategies' (cell, rep) order; workers still interleave cells.
+    let tickets: Vec<_> = pipelines
+        .iter()
+        .flat_map(|p| (0..reps).map(|_| runtime.submit(Arc::clone(p))))
+        .collect();
+    for ticket in tickets {
+        let report = ticket.wait().expect("fig6 cell deadlocked");
+        accumulate(&mut outcome, &report);
+    }
+    outcome.wall = t0.elapsed();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_agree_on_simulated_results() {
+        let gpu = GpuConfig::tesla_v100();
+        // A tiny cell subset keeps this test fast.
+        let cells: Vec<Cell> = fig6_cells(true).into_iter().take(4).collect();
+        let rebuild = measure_rebuild(&gpu, &cells, 2);
+        let compiled = measure_compiled(&gpu, &cells, 2);
+        let pooled = measure_pooled(&gpu, &cells, 2, 2);
+        assert_eq!(rebuild.runs, 8);
+        assert_eq!(rebuild.checksums.len(), 8, "every rep is checked");
+        assert_eq!(rebuild.checksums, compiled.checksums);
+        assert_eq!(rebuild.checksums, pooled.checksums);
+        assert_eq!(rebuild.events, compiled.events);
+        assert_eq!(rebuild.events, pooled.events);
+    }
+
+    #[test]
+    fn fig6_cell_set_covers_both_panels() {
+        let cells = fig6_cells(false);
+        let mlps = cells.iter().filter(|c| matches!(c, Cell::Mlp(..))).count();
+        let atts = cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Attention(..)))
+            .count();
+        assert!(mlps > 0 && atts > 0);
+        let quick = fig6_cells(true);
+        assert!(quick.len() < cells.len());
+    }
+}

@@ -15,6 +15,14 @@
 //!   the "before" half of `BENCH_PR1.json`.
 //! - [`SweepOptions::fast`] — optimized engine, one worker per core,
 //!   shared baselines: the "after" half, and what the `fig*` binaries use.
+//!
+//! Since the compile/execute split, every cell the model helpers run
+//! (`run_mlp`/`run_attention`/`run_conv_layer`) executes through the
+//! calling worker's pooled thread session (`cusync_sim::run_compiled`),
+//! so a sweep's cells share one warmed engine per worker instead of
+//! reallocating a fresh `Gpu` per cell; the compile-once/run-many
+//! trajectory itself is measured separately by `bench_pr2`
+//! (`crate::reuse`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cusync_sim::Dim3;
+use cusync_sim::{BuildError, Dim3, SimError};
 
 /// Errors raised while constructing or binding a [`SyncGraph`](crate::SyncGraph).
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +41,25 @@ pub enum CuSyncError {
         /// Name of the buffer with two producers.
         buffer: String,
     },
+    /// A kernel builder rejected its inputs while assembling the pipeline
+    /// (e.g. "operand not set"), surfaced as a typed error instead of a
+    /// panic.
+    Build(BuildError),
+    /// The simulator rejected the pipeline (compiling an already-run
+    /// `Gpu`, or a run deadlocked inside a pipeline helper).
+    Sim(SimError),
+}
+
+impl From<BuildError> for CuSyncError {
+    fn from(e: BuildError) -> Self {
+        CuSyncError::Build(e)
+    }
+}
+
+impl From<SimError> for CuSyncError {
+    fn from(e: SimError) -> Self {
+        CuSyncError::Sim(e)
+    }
 }
 
 impl fmt::Display for CuSyncError {
@@ -75,6 +94,8 @@ impl fmt::Display for CuSyncError {
             CuSyncError::DuplicateProducer { buffer } => {
                 write!(f, "buffer {buffer} already has a producer stage")
             }
+            CuSyncError::Build(e) => write!(f, "{e}"),
+            CuSyncError::Sim(e) => write!(f, "{e}"),
         }
     }
 }

@@ -21,6 +21,12 @@
 //! | custom tile processing order (III-C) | [`TileOrder`] + per-stage atomic counter |
 //! | tile dependency semaphores (III-D) | [`SyncPolicy`] (`TileSync`, `RowSync`, `StridedSync`, ...) |
 //!
+//! Synchronization structure is a compile-time artifact: [`Pipeline`]
+//! freezes a built graph + kernel launches into a reusable
+//! `cusync_sim::CompiledPipeline`, executed any number of times through
+//! `cusync_sim::{Session, Runtime}` (the one-shot [`Gpu`](cusync_sim::Gpu)
+//! flow below still works for single runs).
+//!
 //! ## Example
 //!
 //! ```
@@ -61,6 +67,7 @@ mod executor;
 mod graph;
 mod opt;
 pub mod order;
+mod pipeline;
 pub mod policy;
 mod stage;
 mod wait_kernel;
@@ -70,6 +77,7 @@ pub use executor::launch_stream_sync;
 pub use graph::{producer_map, BoundGraph, SyncGraph};
 pub use opt::OptFlags;
 pub use order::{ColumnMajor, OrderRef, RowMajor, TableOrder, TileOrder, TileSchedule};
+pub use pipeline::Pipeline;
 pub use policy::{
     BatchedRowSync, Conv2DTileSync, NoSync, PolicyRef, RowSync, StridedSync, SyncPolicy, TileSync,
 };

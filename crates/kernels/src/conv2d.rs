@@ -20,7 +20,8 @@ use std::sync::Arc;
 
 use cusync::StageRuntime;
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, GlobalMemory, GpuConfig, KernelSource, Op, Step,
+    BlockBody, BlockCtx, BufferId, BuildError, DType, Dim3, GlobalMemory, GpuConfig, KernelSource,
+    Op, Step,
 };
 
 use crate::gemm::{Epilogue, InputDep, TileShape};
@@ -163,10 +164,11 @@ impl Conv2DBuilder {
 
     /// Finalizes the kernel.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if operands were not set.
-    pub fn build(self, gpu: &GpuConfig) -> Conv2DKernel {
+    /// Returns a [`BuildError`] if [`Conv2DBuilder::operands`] was never
+    /// called.
+    pub fn build(self, gpu: &GpuConfig) -> Result<Conv2DKernel, BuildError> {
         let grid = Dim3::new(
             self.shape.k.div_ceil(self.tile.n),
             self.shape.gemm_m().div_ceil(self.tile.m),
@@ -175,22 +177,32 @@ impl Conv2DBuilder {
         let occupancy = self
             .occupancy
             .unwrap_or_else(|| occupancy_for_tile(self.tile.m, self.tile.n));
-        Conv2DKernel {
+        let builder = || format!("Conv2DBuilder({})", self.name);
+        let input = self
+            .input
+            .ok_or_else(|| BuildError::missing(builder(), "input"))?;
+        let weights = self
+            .weights
+            .ok_or_else(|| BuildError::missing(builder(), "weights"))?;
+        let output = self
+            .output
+            .ok_or_else(|| BuildError::missing(builder(), "output"))?;
+        Ok(Conv2DKernel {
             name: self.name,
             shape: self.shape,
             tile: self.tile,
             occupancy,
             dtype: self.dtype,
-            input: self.input.expect("conv input not set"),
-            weights: self.weights.expect("conv weights not set"),
-            output: self.output.expect("conv output not set"),
+            input,
+            weights,
+            output,
             epilogue: self.epilogue,
             stage: self.stage,
             input_dep: self.input_dep,
             halo_safe: self.halo_safe,
             grid,
             gpu: gpu.clone(),
-        }
+        })
     }
 }
 
@@ -636,7 +648,8 @@ mod tests {
         let conv = Conv2DBuilder::new("conv", shape, TileShape::new(12, 8, 4))
             .operands(input, weights, output)
             .epilogue(Epilogue::None)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(conv) as Arc<dyn KernelSource>]);
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0);
@@ -692,7 +705,8 @@ mod tests {
             .operands(input, w1, mid)
             .epilogue(Epilogue::Relu)
             .stage(Arc::clone(bound.stage(s1)))
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         let conv2 = Conv2DBuilder::new("conv2", shape2, tile)
             .operands(mid, w2, out)
             .epilogue(Epilogue::None)
@@ -701,7 +715,8 @@ mod tests {
                 prod_grid: grid1,
                 plan: DepPlan::RowAligned { x_offset_tiles: 0 },
             })
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         bound.launch(&mut gpu, s1, Arc::new(conv1)).unwrap();
         bound.launch(&mut gpu, s2, Arc::new(conv2)).unwrap();
         let report = gpu.run().unwrap();
@@ -768,7 +783,8 @@ mod tests {
             .operands(input, w1, mid)
             .epilogue(Epilogue::None)
             .stage(Arc::clone(bound.stage(s1)))
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         let conv2 = Conv2DBuilder::new("conv2", shape2, tile)
             .operands(mid, w2, out)
             .epilogue(Epilogue::None)
@@ -777,7 +793,8 @@ mod tests {
                 prod_grid: grid1,
                 plan: DepPlan::RowAligned { x_offset_tiles: 0 },
             })
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         bound.launch(&mut gpu, s1, Arc::new(conv1)).unwrap();
         bound.launch(&mut gpu, s2, Arc::new(conv2)).unwrap();
         let report = gpu.run().unwrap();
@@ -827,7 +844,8 @@ mod tests {
         let conv = Conv2DBuilder::new("conv", shape, TileShape::new(16, 1, 1))
             .operands(input, weights, output)
             .epilogue(Epilogue::None)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(conv) as Arc<dyn KernelSource>]);
         gpu.run().unwrap();
         let out = gpu.mem().snapshot(output).unwrap();

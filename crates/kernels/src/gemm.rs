@@ -17,7 +17,8 @@ use std::sync::Arc;
 
 use cusync::StageRuntime;
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, GlobalMemory, GpuConfig, KernelSource, Op, Step,
+    BlockBody, BlockCtx, BufferId, BuildError, DType, Dim3, GlobalMemory, GpuConfig, KernelSource,
+    Op, Step,
 };
 
 use crate::reference::{gelu, relu, swish};
@@ -218,7 +219,7 @@ impl InputDep {
 /// let c = gpu.alloc("c", 64 * 64, DType::F16);
 /// let gemm = GemmBuilder::new("g", GemmDims::new(64, 64, 64), TileShape::new(32, 32, 32))
 ///     .operands(a, b, c)
-///     .build(gpu.config());
+///     .build(gpu.config()).expect("operands set");
 /// use cusync_sim::KernelSource;
 /// assert_eq!(gemm.grid().count(), 4);
 /// ```
@@ -335,13 +336,22 @@ impl GemmBuilder {
 
     /// Finalizes the kernel.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if operands were not set.
-    pub fn build(self, gpu: &GpuConfig) -> GemmKernel {
-        let a = self.a.expect("GeMM A operand not set");
-        let b = self.b.expect("GeMM B operand not set");
-        let c = self.c.expect("GeMM C operand not set");
+    /// Returns a [`BuildError`] if the A, B or C operand was never set
+    /// ([`GemmBuilder::operands`] / [`GemmBuilder::swiglu_a`] +
+    /// [`GemmBuilder::operands_b_c`]).
+    pub fn build(self, gpu: &GpuConfig) -> Result<GemmKernel, BuildError> {
+        let builder = || format!("GemmBuilder({})", self.name);
+        let a = self
+            .a
+            .ok_or_else(|| BuildError::missing(builder(), "A operand"))?;
+        let b = self
+            .b
+            .ok_or_else(|| BuildError::missing(builder(), "B operand"))?;
+        let c = self
+            .c
+            .ok_or_else(|| BuildError::missing(builder(), "C operand"))?;
         let grid = Dim3::new(
             self.dims.n.div_ceil(self.tile.n),
             self.dims.m.div_ceil(self.tile.m),
@@ -350,7 +360,7 @@ impl GemmBuilder {
         let occupancy = self
             .occupancy
             .unwrap_or_else(|| occupancy_for_tile(self.tile.m, self.tile.n));
-        GemmKernel {
+        Ok(GemmKernel {
             name: self.name,
             dims: self.dims,
             tile: self.tile,
@@ -367,7 +377,7 @@ impl GemmBuilder {
             sync_chunks: self.sync_chunks,
             grid,
             gpu: gpu.clone(),
-        }
+        })
     }
 }
 
@@ -900,7 +910,8 @@ mod tests {
             .alloc_poisoned("c", (m * n) as usize, DType::F16);
         let gemm = GemmBuilder::new("g", GemmDims::new(m, n, k), TileShape::new(16, 16, 16))
             .operands(a, b, c)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(gemm) as Arc<dyn KernelSource>]);
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0);
@@ -922,7 +933,8 @@ mod tests {
         let gemm = GemmBuilder::new("g", GemmDims::new(m, n, k), TileShape::new(8, 8, 8))
             .operands(a, b, c)
             .epilogue(Epilogue::Gelu)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(gemm) as Arc<dyn KernelSource>]);
         gpu.run().unwrap();
         let mut expected = matmul(&a_data, &b_data, m as usize, n as usize, k as usize);
@@ -946,7 +958,8 @@ mod tests {
         let gemm = GemmBuilder::new("g", GemmDims::new(m, n, k), TileShape::new(16, 16, 16))
             .operands(a, b, c)
             .split_k(4)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(gemm) as Arc<dyn KernelSource>]);
         gpu.run().unwrap();
         let expected = matmul(&a_data, &b_data, m as usize, n as usize, k as usize);
@@ -990,12 +1003,14 @@ mod tests {
         let g1 = GemmBuilder::new("gemm1", GemmDims::new(m, h, k), tile)
             .operands(x, w1, xw1)
             .stage(Arc::clone(bound.stage(s1)))
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         let g2 = GemmBuilder::new("gemm2", GemmDims::new(m, k, h), tile)
             .operands(xw1, w2, out)
             .stage(Arc::clone(bound.stage(s2)))
             .a_dep(InputDep::row_aligned(grid1), chunks)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         bound.launch(&mut gpu, s1, Arc::new(g1)).unwrap();
         bound.launch(&mut gpu, s2, Arc::new(g2)).unwrap();
         let report = gpu.run().unwrap();
@@ -1053,10 +1068,12 @@ mod tests {
         let s2 = gpu.create_stream(5);
         let g1 = GemmBuilder::new("gemm1", GemmDims::new(m, h, k), tile)
             .operands(x, w1, xw1)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         let g2 = GemmBuilder::new("gemm2", GemmDims::new(m, k, h), tile)
             .operands(xw1, w2, out)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         gpu.launch(s1, Arc::new(g1));
         gpu.launch(s2, Arc::new(g2));
         let report = gpu.run().unwrap();
@@ -1080,7 +1097,8 @@ mod tests {
         let gemm = GemmBuilder::new("g3", GemmDims::new(m, n, k), TileShape::new(8, 8, 8))
             .swiglu_a(comb)
             .operands_b_c(w, out)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(gemm) as Arc<dyn KernelSource>]);
         gpu.run().unwrap();
         let mut a_eff = vec![0.0f32; (m * k) as usize];
@@ -1116,7 +1134,8 @@ mod tests {
             .alloc_poisoned("c", (m * n) as usize, DType::F16);
         let gemm = GemmBuilder::new("g", GemmDims::new(m, n, k), TileShape::new(16, 16, 16))
             .operands(a, b, c)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(gemm) as Arc<dyn KernelSource>]);
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0);

@@ -46,12 +46,12 @@
 //! let g1 = GemmBuilder::new("gemm1", GemmDims::new(m, h, k), tile)
 //!     .operands(x, w1, xw1)
 //!     .stage(Arc::clone(bound.stage(s1)))
-//!     .build(gpu.config());
+//!     .build(gpu.config()).expect("operands set");
 //! let g2 = GemmBuilder::new("gemm2", GemmDims::new(m, k, h), tile)
 //!     .operands(xw1, w2, out)
 //!     .stage(Arc::clone(bound.stage(s2)))
 //!     .a_dep(InputDep::row_aligned(grid1), grid1.x)
-//!     .build(gpu.config());
+//!     .build(gpu.config()).expect("operands set");
 //! bound.launch(&mut gpu, s1, Arc::new(g1))?;
 //! bound.launch(&mut gpu, s2, Arc::new(g2))?;
 //! let report = gpu.run().expect("no deadlock");

@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use cusync::StageRuntime;
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, GlobalMemory, GpuConfig, KernelSource, Op, Step,
+    BlockBody, BlockCtx, BufferId, BuildError, DType, Dim3, GlobalMemory, GpuConfig, KernelSource,
+    Op, Step,
 };
 
 use crate::gemm::{InputDep, TileShape};
@@ -97,16 +98,24 @@ impl SoftmaxDropoutBuilder {
 
     /// Finalizes the kernel.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if operands were not set.
-    pub fn build(self, gpu: &GpuConfig) -> SoftmaxDropoutKernel {
+    /// Returns a [`BuildError`] if [`SoftmaxDropoutBuilder::operands`]
+    /// was never called.
+    pub fn build(self, gpu: &GpuConfig) -> Result<SoftmaxDropoutKernel, BuildError> {
         let grid = Dim3::new(
             self.cols.div_ceil(self.tile.n),
             self.rows.div_ceil(self.tile.m),
             1,
         );
-        SoftmaxDropoutKernel {
+        let builder = || format!("SoftmaxDropoutBuilder({})", self.name);
+        let input = self
+            .input
+            .ok_or_else(|| BuildError::missing(builder(), "input"))?;
+        let output = self
+            .output
+            .ok_or_else(|| BuildError::missing(builder(), "output"))?;
+        Ok(SoftmaxDropoutKernel {
             name: self.name,
             rows: self.rows,
             cols: self.cols,
@@ -115,15 +124,15 @@ impl SoftmaxDropoutBuilder {
                 .occupancy
                 .unwrap_or_else(|| occupancy_for_tile(self.tile.m, self.tile.n).max(4)),
             dtype: self.dtype,
-            input: self.input.expect("softmax input not set"),
-            output: self.output.expect("softmax output not set"),
+            input,
+            output,
             keep_prob: self.keep_prob,
             seed: self.seed,
             stage: self.stage,
             input_dep: self.input_dep,
             grid,
             gpu: gpu.clone(),
-        }
+        })
     }
 }
 
@@ -385,7 +394,8 @@ mod tests {
         let kernel = SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 4, 1))
             .operands(input, output)
             .dropout(0.8, 99)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(kernel) as Arc<dyn KernelSource>]);
         let report = gpu.run().unwrap();
         assert_eq!(report.races, 0);
@@ -405,7 +415,8 @@ mod tests {
         let kernel = SoftmaxDropoutBuilder::new("sm", rows, cols, TileShape::new(4, 8, 1))
             .operands(input, output)
             .dropout(1.0, 0)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         launch_stream_sync(&mut gpu, [Arc::new(kernel) as Arc<dyn KernelSource>]);
         gpu.run().unwrap();
         let expected = softmax_rows(&data, rows as usize, cols as usize);
@@ -436,7 +447,8 @@ mod tests {
                 prod_grid,
                 plan: DepPlan::RowAligned { x_offset_tiles: 0 },
             })
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         let body_waits = {
             // Inspect the wait list through a probe body.
             let body = SoftmaxBody {

@@ -26,7 +26,9 @@ use cusync::{
     launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph, TileSync,
 };
 use cusync_kernels::{DepPlan, GemmBuilder, GemmDims, InputDep, SoftmaxDropoutBuilder, TileShape};
-use cusync_sim::{DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport};
+use cusync_sim::{
+    run_compiled, CompiledPipeline, DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport,
+};
 use cusync_streamk::StreamKBuilder;
 
 use crate::modes::{PolicyKind, SyncMode};
@@ -100,13 +102,11 @@ fn auto_z(gpu: &GpuConfig, m: u32, n: u32, tile: TileShape, occupancy: u32) -> u
     ((gpu.blocks_per_wave(occupancy) / 2) / blocks).clamp(1, 4) as u32
 }
 
-/// Runs the five-kernel attention chain under `mode`.
-///
-/// # Panics
-///
-/// Panics if the simulated run deadlocks.
-pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) -> RunReport {
-    let mut gpu = Gpu::new(gpu_cfg.clone());
+/// Builds the five-kernel attention chain under `mode` into a
+/// caller-provided [`Gpu`]: allocates buffers, binds the sync graph and
+/// launches all kernels, without running anything.
+pub fn build_attention(gpu: &mut Gpu, cfg: AttentionConfig, mode: SyncMode) {
+    let gpu_cfg = &gpu.config().clone();
     let d = cfg.d();
     let h = cfg.hidden;
     let m = cfg.tokens;
@@ -218,7 +218,7 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
         if let Some(stage) = stage {
             b = b.stage(stage);
         }
-        b.build(gpu_cfg)
+        b.build(gpu_cfg).expect("attention kernel operands set")
     };
     let g_p = |stage: Option<_>| {
         let mut b = GemmBuilder::new("gP", dims_p, tile_p)
@@ -231,7 +231,7 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
                 .a_dep(a_dep_p.clone(), d_tiles)
                 .b_dep(b_dep_p.clone(), d_tiles);
         }
-        b.build(gpu_cfg)
+        b.build(gpu_cfg).expect("attention kernel operands set")
     };
     let g_r = |stage: Option<_>| {
         let mut b = SoftmaxDropoutBuilder::new("gR", m, keys, tile_r)
@@ -240,7 +240,7 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
         if let Some(stage) = stage {
             b = b.stage(stage).input_dep(dep_r.clone());
         }
-        b.build(gpu_cfg)
+        b.build(gpu_cfg).expect("attention kernel operands set")
     };
     let g_t = |stage: Option<_>| {
         let mut b = GemmBuilder::new("gT", dims_t, tile_t)
@@ -253,7 +253,7 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
                 .a_dep(a_dep_t.clone(), grid_r.x)
                 .b_dep(b_dep_t.clone(), grid_r.x);
         }
-        b.build(gpu_cfg)
+        b.build(gpu_cfg).expect("attention kernel operands set")
     };
     let g2 = |stage: Option<_>| {
         let mut b = GemmBuilder::new("g2", dims2, tile2)
@@ -263,13 +263,13 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
         if let Some(stage) = stage {
             b = b.stage(stage).a_dep(a_dep_2.clone(), grid_t.x);
         }
-        b.build(gpu_cfg)
+        b.build(gpu_cfg).expect("attention kernel operands set")
     };
 
     match mode {
         SyncMode::StreamSync => {
             launch_stream_sync(
-                &mut gpu,
+                gpu,
                 [
                     Arc::new(g1(None)) as Arc<dyn KernelSource>,
                     Arc::new(g_p(None)),
@@ -286,23 +286,27 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
                 .operands(x, wqkv, xqkv)
                 .occupancy(2)
                 .build()
-                .launch(&mut gpu, stream);
+                .expect("attention stream-k operands set")
+                .launch(gpu, stream);
             StreamKBuilder::new("gP", dims_p, tile_p)
                 .operands(xqkv, kcache, p)
                 .occupancy(2)
                 .build()
-                .launch(&mut gpu, stream);
+                .expect("attention stream-k operands set")
+                .launch(gpu, stream);
             gpu.launch(stream, Arc::new(g_r(None)));
             StreamKBuilder::new("gT", dims_t, tile_t)
                 .operands(r, vcache, t_buf)
                 .occupancy(2)
                 .build()
-                .launch(&mut gpu, stream);
+                .expect("attention stream-k operands set")
+                .launch(gpu, stream);
             StreamKBuilder::new("g2", dims2, tile2)
                 .operands(t_buf, w2, out)
                 .occupancy(2)
                 .build()
-                .launch(&mut gpu, stream);
+                .expect("attention stream-k operands set")
+                .launch(gpu, stream);
         }
         SyncMode::CuSync(kind, opts) => {
             // "StridedTileSync+WRT synchronizes the first GeMM using
@@ -342,45 +346,50 @@ pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) 
             graph.dependency(sr, st, r).expect("r dep");
             graph.dependency(s1, st, vcache).expect("vcache dep");
             graph.dependency(st, s2, t_buf).expect("t dep");
-            let bound = graph.bind(&mut gpu).expect("bindable attention graph");
+            let bound = graph.bind(gpu).expect("bindable attention graph");
             bound
-                .launch(
-                    &mut gpu,
-                    s1,
-                    Arc::new(g1(Some(Arc::clone(bound.stage(s1))))),
-                )
+                .launch(gpu, s1, Arc::new(g1(Some(Arc::clone(bound.stage(s1))))))
                 .expect("launch g1");
             bound
-                .launch(
-                    &mut gpu,
-                    sp,
-                    Arc::new(g_p(Some(Arc::clone(bound.stage(sp))))),
-                )
+                .launch(gpu, sp, Arc::new(g_p(Some(Arc::clone(bound.stage(sp))))))
                 .expect("launch gP");
             bound
-                .launch(
-                    &mut gpu,
-                    sr,
-                    Arc::new(g_r(Some(Arc::clone(bound.stage(sr))))),
-                )
+                .launch(gpu, sr, Arc::new(g_r(Some(Arc::clone(bound.stage(sr))))))
                 .expect("launch gR");
             bound
-                .launch(
-                    &mut gpu,
-                    st,
-                    Arc::new(g_t(Some(Arc::clone(bound.stage(st))))),
-                )
+                .launch(gpu, st, Arc::new(g_t(Some(Arc::clone(bound.stage(st))))))
                 .expect("launch gT");
             bound
-                .launch(
-                    &mut gpu,
-                    s2,
-                    Arc::new(g2(Some(Arc::clone(bound.stage(s2))))),
-                )
+                .launch(gpu, s2, Arc::new(g2(Some(Arc::clone(bound.stage(s2))))))
                 .expect("launch g2");
         }
     }
-    gpu.run().expect("attention run deadlocked")
+}
+
+/// Compiles one attention chain into an immutable, reusable
+/// [`CompiledPipeline`]: build once, run any number of times through a
+/// [`Session`](cusync_sim::Session) or [`Runtime`](cusync_sim::Runtime).
+pub fn compile_attention(
+    gpu_cfg: &GpuConfig,
+    cfg: AttentionConfig,
+    mode: SyncMode,
+) -> CompiledPipeline {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    build_attention(&mut gpu, cfg, mode);
+    gpu.compile().expect("freshly built attention pipeline")
+}
+
+/// Runs the five-kernel attention chain under `mode`.
+///
+/// Compiles the pipeline and executes it on the calling thread's pooled
+/// session ([`run_compiled`]); results are bit-identical to a fresh
+/// one-shot [`Gpu::run`] of the same workload.
+///
+/// # Panics
+///
+/// Panics if the simulated run deadlocks.
+pub fn run_attention(gpu_cfg: &GpuConfig, cfg: AttentionConfig, mode: SyncMode) -> RunReport {
+    run_compiled(&compile_attention(gpu_cfg, cfg, mode)).expect("attention run deadlocked")
 }
 
 /// Total simulated time of one attention block.

@@ -41,14 +41,18 @@ mod tiling;
 mod vision;
 
 pub use allreduce::allreduce_time;
-pub use attention::{attention_improvement, attention_time, run_attention, AttentionConfig};
+pub use attention::{
+    attention_improvement, attention_time, build_attention, compile_attention, run_attention,
+    AttentionConfig,
+};
 pub use e2e::{
     llm_e2e_improvement, llm_step_report, llm_step_time, vision_e2e_improvement,
     vision_step_report, vision_step_time, LlmModel, GPT3, LLAMA, MP_DEGREE,
 };
-pub use mlp::{mlp_improvement, mlp_time, run_mlp, MlpModel};
+pub use mlp::{build_mlp, compile_mlp, mlp_improvement, mlp_time, run_mlp, MlpModel};
 pub use modes::{PolicyKind, SyncMode};
 pub use tiling::{auto_tiling, conv_tiling, gpt3_mlp_tiling, GemmTiling, MlpTiling};
 pub use vision::{
-    conv_improvement, conv_layer_time, pq_for_channels, resnet38, run_conv_layer, vgg19, ConvStage,
+    build_conv_layer, compile_conv_layer, conv_improvement, conv_layer_time, pq_for_channels,
+    resnet38, run_conv_layer, vgg19, ConvStage,
 };

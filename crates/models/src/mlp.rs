@@ -7,7 +7,9 @@ use cusync::{
     launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph, TileSync,
 };
 use cusync_kernels::{DepPlan, Epilogue, GemmBuilder, GemmDims, InputDep};
-use cusync_sim::{DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport};
+use cusync_sim::{
+    run_compiled, CompiledPipeline, DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport,
+};
 use cusync_streamk::StreamKBuilder;
 
 use crate::modes::{PolicyKind, SyncMode};
@@ -79,18 +81,14 @@ fn grid_of(m: u32, n: u32, t: &GemmTiling) -> Dim3 {
     Dim3::new(n.div_ceil(t.tile.n), m.div_ceil(t.tile.m), t.split_k)
 }
 
-/// Builds and runs one MLP block (two dependent GeMMs) at `bs` total
-/// tokens under `mode`, returning the full run report.
+/// Builds one MLP block (two dependent GeMMs) at `bs` total tokens under
+/// `mode` into a caller-provided [`Gpu`]: allocates buffers, binds the
+/// sync graph and launches all kernels, without running anything.
 ///
 /// Buffers are timing-only (benchmark fidelity); functional correctness of
 /// the same kernel compositions is covered by the kernels-crate tests.
-///
-/// # Panics
-///
-/// Panics if the simulated run deadlocks (it cannot, for these launch
-/// orders) .
-pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) -> RunReport {
-    let mut gpu = Gpu::new(gpu_cfg.clone());
+pub fn build_mlp(gpu: &mut Gpu, model: MlpModel, bs: u32, mode: SyncMode) {
+    let gpu_cfg = &gpu.config().clone();
     let h = model.hidden();
     let n1 = model.first_gemm_n();
     let inter = model.intermediate();
@@ -119,7 +117,7 @@ pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) ->
         if let Some(stage) = stage {
             b = b.stage(stage);
         }
-        b.build(gpu_cfg)
+        b.build(gpu_cfg).expect("MLP gemm operands set")
     };
     let gemm2 = |stage: Option<_>| {
         let mut b = GemmBuilder::new("gemm2", dims2, t.gemm2.tile)
@@ -151,13 +149,13 @@ pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) ->
                 chunks,
             );
         }
-        b.build(gpu_cfg)
+        b.build(gpu_cfg).expect("MLP gemm operands set")
     };
 
     match mode {
         SyncMode::StreamSync => {
             launch_stream_sync(
-                &mut gpu,
+                gpu,
                 [
                     Arc::new(gemm1(None)) as Arc<dyn KernelSource>,
                     Arc::new(gemm2(None)) as Arc<dyn KernelSource>,
@@ -171,12 +169,14 @@ pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) ->
                 .epilogue(epilogue1)
                 .occupancy(t.gemm1.occupancy)
                 .build()
-                .launch(&mut gpu, stream);
+                .expect("MLP stream-k gemm1 operands set")
+                .launch(gpu, stream);
             StreamKBuilder::new("gemm2", dims2, t.gemm2.tile)
                 .operands(xw1, w2, out)
                 .occupancy(t.gemm2.occupancy)
                 .build()
-                .launch(&mut gpu, stream);
+                .expect("MLP stream-k gemm2 operands set")
+                .launch(gpu, stream);
         }
         SyncMode::CuSync(kind, opts) => {
             let mut graph = SyncGraph::new();
@@ -192,24 +192,43 @@ pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) ->
             // equivalent to skipping them).
             let s2 = graph.add_stage(CuStage::new("gemm2", grid2).policy(NoSync).opts(opts));
             graph.dependency(s1, s2, xw1).expect("valid MLP graph");
-            let bound = graph.bind(&mut gpu).expect("bindable MLP graph");
+            let bound = graph.bind(gpu).expect("bindable MLP graph");
             bound
-                .launch(
-                    &mut gpu,
-                    s1,
-                    Arc::new(gemm1(Some(Arc::clone(bound.stage(s1))))),
-                )
+                .launch(gpu, s1, Arc::new(gemm1(Some(Arc::clone(bound.stage(s1))))))
                 .expect("launch gemm1");
             bound
-                .launch(
-                    &mut gpu,
-                    s2,
-                    Arc::new(gemm2(Some(Arc::clone(bound.stage(s2))))),
-                )
+                .launch(gpu, s2, Arc::new(gemm2(Some(Arc::clone(bound.stage(s2))))))
                 .expect("launch gemm2");
         }
     }
-    gpu.run().expect("MLP run deadlocked")
+}
+
+/// Compiles one MLP block into an immutable, reusable
+/// [`CompiledPipeline`]: build once, run any number of times through a
+/// [`Session`](cusync_sim::Session) or [`Runtime`](cusync_sim::Runtime).
+pub fn compile_mlp(
+    gpu_cfg: &GpuConfig,
+    model: MlpModel,
+    bs: u32,
+    mode: SyncMode,
+) -> CompiledPipeline {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    build_mlp(&mut gpu, model, bs, mode);
+    gpu.compile().expect("freshly built MLP pipeline")
+}
+
+/// Builds and runs one MLP block, returning the full run report.
+///
+/// Compiles the pipeline and executes it on the calling thread's pooled
+/// session ([`run_compiled`]); results are bit-identical to a fresh
+/// one-shot [`Gpu::run`] of the same workload.
+///
+/// # Panics
+///
+/// Panics if the simulated run deadlocks (it cannot, for these launch
+/// orders).
+pub fn run_mlp(gpu_cfg: &GpuConfig, model: MlpModel, bs: u32, mode: SyncMode) -> RunReport {
+    run_compiled(&compile_mlp(gpu_cfg, model, bs, mode)).expect("MLP run deadlocked")
 }
 
 /// Convenience: total simulated time of one MLP block.

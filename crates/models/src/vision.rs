@@ -6,7 +6,9 @@ use cusync::{
     launch_stream_sync, Conv2DTileSync, CuStage, NoSync, PolicyRef, RowSync, SyncGraph, TileSync,
 };
 use cusync_kernels::{Conv2DBuilder, Conv2DShape, DepPlan, Epilogue, InputDep};
-use cusync_sim::{DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport};
+use cusync_sim::{
+    run_compiled, CompiledPipeline, DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport,
+};
 
 use crate::modes::{PolicyKind, SyncMode};
 use crate::tiling::conv_tiling;
@@ -94,26 +96,27 @@ fn conv_policy(kind: PolicyKind, rs: u32) -> PolicyRef {
     }
 }
 
-/// Runs one layer: `convs` chained 3x3 convolutions of `channels`
-/// channels on `batch` images of `pq x pq` pixels.
+/// Builds one layer — `convs` chained 3x3 convolutions of `channels`
+/// channels on `batch` images of `pq x pq` pixels — into a
+/// caller-provided [`Gpu`], without running anything.
 ///
 /// # Panics
 ///
-/// Panics if the simulated run deadlocks or `mode` is [`SyncMode::StreamK`]
-/// (Stream-K supports only GeMM; Fig. 7 has no Stream-K series).
-pub fn run_conv_layer(
-    gpu_cfg: &GpuConfig,
+/// Panics if `mode` is [`SyncMode::StreamK`] (Stream-K supports only
+/// GeMM; Fig. 7 has no Stream-K series).
+pub fn build_conv_layer(
+    gpu: &mut Gpu,
     batch: u32,
     pq: u32,
     channels: u32,
     convs: u32,
     mode: SyncMode,
-) -> RunReport {
+) {
     assert!(
         mode != SyncMode::StreamK,
         "Stream-K does not support Conv2D (Section V-H)"
     );
-    let mut gpu = Gpu::new(gpu_cfg.clone());
+    let gpu_cfg = &gpu.config().clone();
     let shape = Conv2DShape::square3x3(batch, pq, channels, channels);
     let t = conv_tiling(channels);
     let grid = Dim3::new(
@@ -155,7 +158,7 @@ pub fn run_conv_layer(
                 });
             }
         }
-        b.build(gpu_cfg)
+        b.build(gpu_cfg).expect("conv operands set")
     };
 
     match mode {
@@ -163,7 +166,7 @@ pub fn run_conv_layer(
             let kernels: Vec<Arc<dyn KernelSource>> = (0..convs as usize)
                 .map(|i| Arc::new(build(i, None, false)) as Arc<dyn KernelSource>)
                 .collect();
-            launch_stream_sync(&mut gpu, kernels);
+            launch_stream_sync(gpu, kernels);
         }
         SyncMode::CuSync(kind, opts) => {
             let mut graph = SyncGraph::new();
@@ -186,16 +189,56 @@ pub fn run_conv_layer(
                     .dependency(stages[i - 1], stages[i], acts[i])
                     .expect("valid conv chain");
             }
-            let bound = graph.bind(&mut gpu).expect("bindable conv chain");
+            let bound = graph.bind(gpu).expect("bindable conv chain");
             for (i, &stage) in stages.iter().enumerate().take(convs as usize) {
                 let kernel = build(i, Some(Arc::clone(bound.stage(stage))), i > 0);
                 bound
-                    .launch(&mut gpu, stage, Arc::new(kernel))
+                    .launch(gpu, stage, Arc::new(kernel))
                     .expect("launch conv");
             }
         }
     }
-    gpu.run().expect("conv layer run deadlocked")
+}
+
+/// Compiles one conv layer into an immutable, reusable
+/// [`CompiledPipeline`]: build once, run any number of times through a
+/// [`Session`](cusync_sim::Session) or [`Runtime`](cusync_sim::Runtime).
+pub fn compile_conv_layer(
+    gpu_cfg: &GpuConfig,
+    batch: u32,
+    pq: u32,
+    channels: u32,
+    convs: u32,
+    mode: SyncMode,
+) -> CompiledPipeline {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    build_conv_layer(&mut gpu, batch, pq, channels, convs, mode);
+    gpu.compile().expect("freshly built conv pipeline")
+}
+
+/// Runs one layer: `convs` chained 3x3 convolutions of `channels`
+/// channels on `batch` images of `pq x pq` pixels.
+///
+/// Compiles the pipeline and executes it on the calling thread's pooled
+/// session ([`run_compiled`]); results are bit-identical to a fresh
+/// one-shot [`Gpu::run`] of the same workload.
+///
+/// # Panics
+///
+/// Panics if the simulated run deadlocks or `mode` is [`SyncMode::StreamK`]
+/// (Stream-K supports only GeMM; Fig. 7 has no Stream-K series).
+pub fn run_conv_layer(
+    gpu_cfg: &GpuConfig,
+    batch: u32,
+    pq: u32,
+    channels: u32,
+    convs: u32,
+    mode: SyncMode,
+) -> RunReport {
+    run_compiled(&compile_conv_layer(
+        gpu_cfg, batch, pq, channels, convs, mode,
+    ))
+    .expect("conv layer run deadlocked")
 }
 
 /// Total simulated time of one conv layer.

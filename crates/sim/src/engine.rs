@@ -1,12 +1,33 @@
 //! The discrete-event execution engine.
 //!
-//! [`Gpu`] owns the hardware model ([`GpuConfig`]), global memory, semaphore
-//! storage, CUDA-style streams, and the event loop that issues thread blocks
-//! onto SM slots in kernel launch order — the scheduling behaviour the paper
-//! observes on Volta/Ampere GPUs (Section III-B). Busy-waiting blocks keep
-//! occupying their SM slot, so an under-provisioned schedule can deadlock;
-//! the engine detects this and reports which semaphores were being waited
-//! on.
+//! Since the compile/execute split the engine is factored into three
+//! pieces (see `crates/sim/README.md` for the lifecycle):
+//!
+//! - [`PipelineDesc`] — the *immutable* description of a workload: the
+//!   hardware model, streams, and kernel registrations (sources, grids,
+//!   occupancies, launch order, pre-computed `timing_static` flags). This
+//!   is what [`CompiledPipeline`](crate::CompiledPipeline) freezes.
+//! - [`RunState`] — *all* per-run state: event heaps and slabs, block
+//!   slots, pre-driven op programs, semaphore values, functional memory,
+//!   SM capacity indexes, stats and traces. [`RunState::reset`] rewinds it
+//!   to the pipeline's initial conditions while keeping every arena
+//!   allocation, so repeated runs are allocation-free after warmup.
+//! - [`execute`] — the event loop itself, generic over both pieces. Both
+//!   [`EngineMode`]s run through it and produce bit-identical timelines
+//!   (`tests/engine_equivalence.rs`, `tests/session_reuse.rs`).
+//!
+//! [`Gpu`] remains the one-shot convenience wrapper: it owns one
+//! `PipelineDesc` under construction plus one `RunState`, and
+//! [`Gpu::run`] drives them through `execute` exactly once. Reusable
+//! execution lives in [`Session`](crate::Session) /
+//! [`Runtime`](crate::Runtime).
+//!
+//! The simulated semantics are unchanged from the original engine:
+//! thread blocks issue onto SM slots in kernel launch order — the
+//! scheduling behaviour the paper observes on Volta/Ampere GPUs
+//! (Section III-B). Busy-waiting blocks keep occupying their SM slot, so
+//! an under-provisioned schedule can deadlock; the engine detects this
+//! and reports which semaphores were being waited on.
 //!
 //! Two interchangeable event loops implement the same semantics (see
 //! [`EngineMode`] and `crates/sim/README.md`):
@@ -18,8 +39,7 @@
 //! - [`EngineMode::Optimized`] — the O(1)-amortized hot paths: an
 //!   incrementally maintained ready-queue of issuable kernels, a per-SM
 //!   free-capacity index, coalesced runs of non-synchronizing ops, and
-//!   dense per-semaphore wait-lists. Produces bit-identical timelines; the
-//!   equivalence is enforced by `tests/engine_equivalence.rs`.
+//!   dense per-semaphore wait-lists.
 
 use std::cell::Cell;
 use std::cmp::Reverse;
@@ -47,13 +67,14 @@ impl fmt::Display for StreamId {
     }
 }
 
-/// Which event-loop implementation a [`Gpu`] uses.
+/// Which event-loop implementation a run uses.
 ///
 /// Both modes produce **identical** simulated timelines ([`RunReport`]
 /// kernel start/end times, traces, deadlock reports); they differ only in
-/// wall-clock cost. The default for new [`Gpu`]s is
-/// [`EngineMode::Optimized`]; use [`with_engine_mode`] to run a scope of
-/// code (e.g. a perf baseline sweep) on the reference engine.
+/// wall-clock cost. The default for new [`Gpu`]s and
+/// [`Session`](crate::Session)s is [`EngineMode::Optimized`]; use
+/// [`with_engine_mode`] to run a scope of code (e.g. a perf baseline
+/// sweep) on the reference engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EngineMode {
     /// The original O(kernels × SMs)-per-event engine, kept as the
@@ -108,7 +129,43 @@ pub fn with_engine_mode<R>(mode: EngineMode, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Error raised by [`Gpu::run`].
+/// Error from a kernel or pipeline builder: a required input was never
+/// provided before `build()` was called.
+///
+/// Builders used to `panic!` on missing operands; they now return this
+/// typed error so library callers (model assemblers, autotuners) can
+/// surface the problem instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// Which builder rejected the build (e.g. `"GemmBuilder(gemm1)"`).
+    pub builder: String,
+    /// The required input that was not set (e.g. `"A operand"`).
+    pub missing: String,
+}
+
+impl BuildError {
+    /// A "required input not set" error.
+    pub fn missing(builder: impl Into<String>, missing: impl Into<String>) -> Self {
+        BuildError {
+            builder: builder.into(),
+            missing: missing.into(),
+        }
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: required input not set: {}",
+            self.builder, self.missing
+        )
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Error raised by [`Gpu::run`] and [`Session::run`](crate::Session::run).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// No event can make progress but kernels remain incomplete: every
@@ -123,12 +180,24 @@ pub enum SimError {
         /// Kernels that had not finished.
         pending: Vec<String>,
     },
-    /// [`Gpu::run`] was called a second time on the same [`Gpu`]. A run
-    /// consumes the launched kernels and leaves memory/semaphores in their
-    /// final state, so a `Gpu` is single-shot; build a fresh one (library
-    /// callers such as the parallel bench harness get this as an error
-    /// instead of an abort).
+    /// [`Gpu::run`] was called a second time on the same [`Gpu`], or
+    /// [`Gpu::compile`] was called after a run. The one-shot `Gpu` wrapper
+    /// consumes its launched kernels; for repeated execution compile the
+    /// pipeline once and run it through a [`Session`](crate::Session).
     AlreadyRan,
+    /// A kernel builder rejected its inputs (surfaced here so pipeline
+    /// assembly code can use one error type end to end).
+    Build(BuildError),
+    /// A [`Runtime`](crate::Runtime) worker disappeared before the
+    /// submitted pipeline produced a report (the pool was dropped or a
+    /// worker panicked).
+    RuntimeShutdown,
+}
+
+impl From<BuildError> for SimError {
+    fn from(e: BuildError) -> Self {
+        SimError::Build(e)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -148,6 +217,10 @@ impl fmt::Display for SimError {
             }
             SimError::AlreadyRan => {
                 write!(f, "Gpu::run may only be called once per Gpu")
+            }
+            SimError::Build(e) => write!(f, "{e}"),
+            SimError::RuntimeShutdown => {
+                write!(f, "runtime worker pool shut down before the run completed")
             }
         }
     }
@@ -192,22 +265,157 @@ impl PartialOrd for Event {
     }
 }
 
-struct StreamState {
-    priority: i32,
-    queue: Vec<usize>,
-    next: usize,
+/// One stream of the pipeline description: its priority and the launch
+/// queue of kernel indexes (immutable after compile; the per-run cursor
+/// lives in [`RunState::stream_next`]).
+pub(crate) struct StreamDesc {
+    pub(crate) priority: i32,
+    pub(crate) queue: Vec<usize>,
 }
 
-struct KernelState {
-    source: Arc<dyn KernelSource>,
-    name: String,
-    stream: usize,
-    priority: i32,
-    host_ready: SimTime,
-    grid: Dim3,
-    total: u64,
-    occupancy: u32,
-    units: u32,
+/// The immutable, per-kernel half of what used to be `KernelState`:
+/// everything fixed at launch/compile time.
+pub(crate) struct KernelDesc {
+    pub(crate) source: Arc<dyn KernelSource>,
+    pub(crate) name: String,
+    pub(crate) stream: usize,
+    pub(crate) priority: i32,
+    pub(crate) host_ready: SimTime,
+    pub(crate) grid: Dim3,
+    pub(crate) total: u64,
+    pub(crate) occupancy: u32,
+    pub(crate) units: u32,
+    /// This kernel's bodies are context-independent
+    /// ([`KernelSource::timing_static`]), so the optimized engine may
+    /// pre-drive blocks into flat op programs at issue. Computed once by
+    /// [`PipelineDesc::finalize`]; the reference engine ignores it.
+    pub(crate) predrive: bool,
+}
+
+/// The frozen description of a workload: hardware model, fixed op costs,
+/// streams, and kernel registrations in launch order. Immutable after
+/// compilation; every per-run mutable cell lives in [`RunState`], and the
+/// pre-driven op programs live in a (lazily built, then immutable)
+/// [`Programs`] at the compiled-pipeline layer.
+pub(crate) struct PipelineDesc {
+    pub(crate) config: GpuConfig,
+    pub(crate) costs: FixedCosts,
+    pub(crate) streams: Vec<StreamDesc>,
+    pub(crate) kernels: Vec<KernelDesc>,
+    /// Host-side launch cursor, only advanced while building.
+    host_time: SimTime,
+    finalized: bool,
+}
+
+/// The compile-time pre-driven block programs of a pipeline's
+/// `timing_static` kernels: every eligible body is driven **once** into
+/// contiguous op slices, so optimized-engine runs replay them through a
+/// cursor without re-constructing or re-interpreting any coroutine body
+/// (and without allocating it). The reference engine never reads this —
+/// it is built only for consumers that will run optimized (see
+/// `CompiledPipeline::programs`), so reference-engine baselines don't pay
+/// for collection.
+pub(crate) struct Programs {
+    /// Arena of program ops; each block's program is contiguous.
+    block_ops: Vec<Op>,
+    /// Flat `(start, len)` spans into `block_ops`, one per pre-driven
+    /// block, grouped per kernel in linear block order.
+    prog_spans: Vec<(u32, u32)>,
+    /// Per kernel: index of its first span in `prog_spans`, or
+    /// `u32::MAX` for kernels that are not pre-driven.
+    prog_base: Vec<u32>,
+}
+
+impl Programs {
+    /// The empty program table the reference engine runs with.
+    pub(crate) fn empty() -> Self {
+        Programs {
+            block_ops: Vec::new(),
+            prog_spans: Vec::new(),
+            prog_base: Vec::new(),
+        }
+    }
+}
+
+impl PipelineDesc {
+    pub(crate) fn new(config: GpuConfig) -> Self {
+        let costs = FixedCosts::of(&config);
+        PipelineDesc {
+            config,
+            costs,
+            streams: Vec::new(),
+            kernels: Vec::new(),
+            host_time: SimTime::ZERO,
+            finalized: false,
+        }
+    }
+
+    /// Computes each kernel's `timing_static` pre-drive eligibility
+    /// against the pipeline's initial memory. Part of compilation: the
+    /// answer depends only on buffer functionality, which is fixed at
+    /// allocation and never changes during a run.
+    pub(crate) fn finalize_flags(&mut self, mem: &GlobalMemory) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        for k in &mut self.kernels {
+            k.predrive = k.source.timing_static(mem);
+        }
+    }
+
+    /// Collects every eligible block's flat op program (see
+    /// [`Programs`]). `timing_static` bodies are context-independent and
+    /// effect-free by contract, so the op streams collected here — driven
+    /// once, against the pipeline's initial memory — are exactly what
+    /// issue-time driving would produce on any run. Requires
+    /// [`PipelineDesc::finalize_flags`] to have run.
+    pub(crate) fn collect_programs(&self, mem: &mut GlobalMemory, sems: &SemTable) -> Programs {
+        debug_assert!(self.finalized, "collect_programs before finalize_flags");
+        let mut programs = Programs {
+            block_ops: Vec::new(),
+            prog_spans: Vec::new(),
+            prog_base: vec![u32::MAX; self.kernels.len()],
+        };
+        let mut ops: Vec<Op> = Vec::new();
+        for (k, kd) in self.kernels.iter().enumerate() {
+            if !kd.predrive {
+                continue;
+            }
+            programs.prog_base[k] = programs.prog_spans.len() as u32;
+            for linear in 0..kd.total {
+                let idx = kd.grid.delinear(linear);
+                let mut body = kd.source.block(idx);
+                ops.clear();
+                loop {
+                    let step = {
+                        let mut ctx = BlockCtx {
+                            block: idx,
+                            now: SimTime::ZERO,
+                            mem,
+                            sems,
+                            atomic_result: None,
+                        };
+                        body.resume(&mut ctx)
+                    };
+                    match step {
+                        Step::Op(op) => ops.push(op),
+                        Step::Done => break,
+                    }
+                }
+                let start = programs.block_ops.len() as u32;
+                programs.block_ops.extend_from_slice(&ops);
+                programs.prog_spans.push((start, ops.len() as u32));
+            }
+        }
+        programs
+    }
+}
+
+/// The per-kernel mutable half: progress counters and timestamps, reset
+/// between runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct KernelRun {
     issued: u64,
     completed: u64,
     ready: bool,
@@ -216,10 +424,6 @@ struct KernelState {
     end: Option<SimTime>,
     concurrent: u64,
     max_concurrent: u64,
-    /// Optimized mode: this kernel's bodies are context-independent
-    /// ([`KernelSource::timing_static`]), so blocks are pre-driven into
-    /// flat op programs at issue.
-    predrive: bool,
 }
 
 /// A step the block already yielded whose application was deferred to the
@@ -244,9 +448,10 @@ struct BlockSlot {
     /// hash per op, as the original engine did.
     jitter: f64,
     /// Pre-driven op program: `[prog_start, prog_start + prog_len)` into
-    /// the engine's `block_ops` arena, or `prog_start == u32::MAX` for
-    /// coroutine-driven blocks. Program blocks have no side effects, so
-    /// the cursor path may re-read an op after deferral.
+    /// the *pipeline's* compile-time `block_ops` arena, or
+    /// `prog_start == u32::MAX` for coroutine-driven blocks. Program
+    /// blocks have no side effects, so the cursor path may re-read an op
+    /// after deferral.
     prog_start: u32,
     prog_len: u32,
     prog_pc: u32,
@@ -263,7 +468,7 @@ impl BlockSlot {
 /// so the per-event hot path never re-runs the cycles→picoseconds float
 /// conversion for constants.
 #[derive(Debug, Clone, Copy)]
-struct FixedCosts {
+pub(crate) struct FixedCosts {
     global_latency: SimTime,
     atomic: SimTime,
     poll: SimTime,
@@ -283,39 +488,34 @@ impl FixedCosts {
     }
 }
 
-/// The simulated GPU: hardware model, memory, streams, and event loop.
+/// Every mutable cell a run touches, pooled so repeated runs reuse the
+/// arenas instead of reallocating them.
 ///
-/// # Examples
+/// # Reset invariants (see `crates/sim/README.md`)
 ///
-/// ```
-/// use std::sync::Arc;
-/// use cusync_sim::{Dim3, FixedKernel, Gpu, GpuConfig, Op};
+/// [`RunState::reset`] must leave the state indistinguishable (to the
+/// event loop) from a freshly constructed one, while keeping allocations:
 ///
-/// let mut gpu = Gpu::new(GpuConfig::toy(4));
-/// let stream = gpu.create_stream(0);
-/// gpu.launch(stream, Arc::new(FixedKernel::new(
-///     "copy", Dim3::linear(6), 1, vec![Op::read(4096), Op::write(4096)],
-/// )));
-/// let report = gpu.run()?;
-/// assert_eq!(report.kernels[0].blocks, 6);
-/// // 6 blocks on 4 SMs at occupancy 1 is 1.5 waves.
-/// assert!((report.kernels[0].static_waves - 1.5).abs() < 1e-9);
-/// # Ok::<(), cusync_sim::SimError>(())
-/// ```
-pub struct Gpu {
-    config: GpuConfig,
-    mode: EngineMode,
-    costs: FixedCosts,
-    mem: GlobalMemory,
-    sems: SemTable,
-    streams: Vec<StreamState>,
-    kernels: Vec<KernelState>,
-    host_time: SimTime,
+/// - heaps/slabs/vectors are cleared, not dropped (capacity survives);
+/// - `sm_free` is refilled to [`SM_CAPACITY_UNITS`] per SM of the target
+///   pipeline's config, `sm_active` to zero;
+/// - kernel progress ([`KernelRun`]) and stream cursors return to zero;
+/// - stats integrals, event counters and traces return to zero/empty;
+/// - memory and semaphores are restored separately
+///   ([`GlobalMemory::reset_from`], [`SemTable::reset_from`]) because the
+///   one-shot [`Gpu`] path owns them live while a
+///   [`Session`](crate::Session) restores them from the compiled
+///   pipeline's pristine copies.
+pub(crate) struct RunState {
+    pub(crate) mem: GlobalMemory,
+    pub(crate) sems: SemTable,
+    kernels: Vec<KernelRun>,
+    stream_next: Vec<usize>,
     now: SimTime,
     events: BinaryHeap<Reverse<Event>>,
     /// Optimized-mode event queue: `(time << 64) | seq` keys ordered by a
-    /// single `u128` compare, payloads in [`Gpu::event_slab`]. Heap sifts
-    /// move 24-byte copies instead of full [`Event`] structs.
+    /// single `u128` compare, payloads in `event_slab`. Heap sifts move
+    /// 24-byte copies instead of full [`Event`] structs.
     fast_events: BinaryHeap<Reverse<(u128, u32)>>,
     event_slab: Vec<EventKind>,
     event_free: Vec<u32>,
@@ -329,11 +529,6 @@ pub struct Gpu {
     /// GPU-wide sum of `sm_active`, for the dynamic DRAM-share model.
     active_units: u64,
     blocks: Vec<BlockSlot>,
-    /// Arena of pre-driven block programs (see `BlockSlot::prog_start`):
-    /// each program's ops are contiguous, so the cursor path walks memory
-    /// sequentially instead of chasing a `Box<dyn BlockBody>`.
-    block_ops: Vec<Op>,
-    predrive_scratch: Vec<Op>,
     /// Reference-mode waiter registry (the original representation).
     waiters: BTreeMap<(usize, u32), Vec<usize>>,
     /// Optimized-mode waiter registry: dense per-array wait-lists.
@@ -351,46 +546,21 @@ pub struct Gpu {
     issue_scratch: Vec<usize>,
     wake_scratch: Vec<usize>,
     trace: Vec<TraceEvent>,
-    trace_enabled: bool,
+    pub(crate) trace_enabled: bool,
     busy_units: u64,
     util_integral: u128,
     last_util_update: SimTime,
     first_issue: Option<SimTime>,
     last_finish: SimTime,
-    ran: bool,
 }
 
-impl fmt::Debug for Gpu {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Gpu")
-            .field("config", &self.config.name)
-            .field("mode", &self.mode)
-            .field("kernels", &self.kernels.len())
-            .field("now", &self.now)
-            .finish_non_exhaustive()
-    }
-}
-
-impl Gpu {
-    /// Creates a GPU with the given hardware model, using the thread's
-    /// default [`EngineMode`] (see [`with_engine_mode`]).
-    pub fn new(config: GpuConfig) -> Self {
-        Gpu::with_mode(config, default_engine_mode())
-    }
-
-    /// Creates a GPU pinned to a specific engine implementation.
-    pub fn with_mode(config: GpuConfig, mode: EngineMode) -> Self {
-        let sms = config.num_sms as usize;
-        let costs = FixedCosts::of(&config);
-        Gpu {
-            config,
-            mode,
-            costs,
+impl RunState {
+    pub(crate) fn new() -> Self {
+        RunState {
             mem: GlobalMemory::new(),
             sems: SemTable::new(),
-            streams: Vec::new(),
             kernels: Vec::new(),
-            host_time: SimTime::ZERO,
+            stream_next: Vec::new(),
             now: SimTime::ZERO,
             events: BinaryHeap::new(),
             fast_events: BinaryHeap::new(),
@@ -398,12 +568,10 @@ impl Gpu {
             event_free: Vec::new(),
             event_seq: 0,
             events_handled: 0,
-            sm_free: vec![SM_CAPACITY_UNITS; sms],
-            sm_active: vec![0; sms],
+            sm_free: Vec::new(),
+            sm_active: Vec::new(),
             active_units: 0,
             blocks: Vec::new(),
-            block_ops: Vec::new(),
-            predrive_scratch: Vec::new(),
             waiters: BTreeMap::new(),
             wait_lists: WaitLists::new(),
             ready_queue: BTreeSet::new(),
@@ -418,194 +586,110 @@ impl Gpu {
             last_util_update: SimTime::ZERO,
             first_issue: None,
             last_finish: SimTime::ZERO,
-            ran: false,
         }
     }
 
-    /// The hardware model in use.
-    pub fn config(&self) -> &GpuConfig {
-        &self.config
+    /// Rewinds all per-run scheduling state for a run of `desc`, reusing
+    /// every arena allocation. Memory and semaphores are *not* touched
+    /// here; see the type-level invariants.
+    pub(crate) fn reset(&mut self, desc: &PipelineDesc) {
+        let sms = desc.config.num_sms as usize;
+        self.kernels.clear();
+        self.kernels
+            .resize(desc.kernels.len(), KernelRun::default());
+        self.stream_next.clear();
+        self.stream_next.resize(desc.streams.len(), 0);
+        self.now = SimTime::ZERO;
+        self.events.clear();
+        self.fast_events.clear();
+        self.event_slab.clear();
+        self.event_free.clear();
+        self.event_seq = 0;
+        self.events_handled = 0;
+        self.sm_free.clear();
+        self.sm_free.resize(sms, SM_CAPACITY_UNITS);
+        self.sm_active.clear();
+        self.sm_active.resize(sms, 0);
+        self.active_units = 0;
+        self.blocks.clear();
+        self.waiters.clear();
+        self.wait_lists.clear_all();
+        self.ready_queue.clear();
+        self.sm_index.clear();
+        self.issue_dirty = false;
+        self.issue_scratch.clear();
+        self.wake_scratch.clear();
+        self.trace.clear();
+        self.busy_units = 0;
+        self.util_integral = 0;
+        self.last_util_update = SimTime::ZERO;
+        self.first_issue = None;
+        self.last_finish = SimTime::ZERO;
     }
 
-    /// The event-loop implementation this GPU runs on.
-    pub fn engine_mode(&self) -> EngineMode {
-        self.mode
+    /// Restores memory and semaphores to the compiled pipeline's pristine
+    /// initial state, reusing allocations where the layouts match.
+    pub(crate) fn reset_storage(&mut self, mem: &GlobalMemory, sems: &SemTable) {
+        self.mem.reset_from(mem);
+        self.sems.reset_from(sems);
     }
 
-    /// Read access to global memory.
-    pub fn mem(&self) -> &GlobalMemory {
-        &self.mem
-    }
-
-    /// Mutable access to global memory (allocation, verification).
-    pub fn mem_mut(&mut self) -> &mut GlobalMemory {
-        &mut self.mem
-    }
-
-    /// Read access to the semaphore table.
-    pub fn sems(&self) -> &SemTable {
-        &self.sems
-    }
-
-    /// Mutable access to the semaphore table (allocation, re-init).
-    pub fn sems_mut(&mut self) -> &mut SemTable {
-        &mut self.sems
-    }
-
-    /// Allocates a timing-only buffer (convenience for [`GlobalMemory::alloc`]).
-    pub fn alloc(&mut self, name: &str, len: usize, dtype: DType) -> BufferId {
-        self.mem.alloc(name, len, dtype)
-    }
-
-    /// Allocates a semaphore array (convenience for [`SemTable::alloc`]).
-    pub fn alloc_sems(&mut self, name: &str, len: usize, init: u32) -> SemArrayId {
-        self.sems.alloc(name, len, init)
-    }
-
-    /// Creates a stream. Streams with numerically higher `priority` issue
-    /// their thread blocks first when competing for SM slots.
-    pub fn create_stream(&mut self, priority: i32) -> StreamId {
-        let id = StreamId(self.streams.len());
-        self.streams.push(StreamState {
-            priority,
-            queue: Vec::new(),
-            next: 0,
-        });
-        id
-    }
-
-    /// Enqueues `kernel` on `stream`. Kernels on one stream execute in
-    /// order; kernels on different streams may overlap. Each host launch is
-    /// separated by [`GpuConfig::host_launch_gap`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the grid is empty or the stream id is foreign.
-    pub fn launch(&mut self, stream: StreamId, kernel: Arc<dyn KernelSource>) -> KernelId {
-        let grid = kernel.grid();
-        assert!(
-            grid.count() > 0,
-            "kernel {} has an empty grid",
-            kernel.name()
-        );
-        assert!(stream.0 < self.streams.len(), "unknown {stream}");
-        let occupancy = kernel.occupancy();
-        let units = self.config.units_per_block(occupancy);
-        let id = self.kernels.len();
-        self.kernels.push(KernelState {
-            name: kernel.name().to_owned(),
-            source: kernel,
-            stream: stream.0,
-            priority: self.streams[stream.0].priority,
-            host_ready: self.host_time,
-            grid,
-            total: grid.count(),
-            occupancy,
-            units,
-            issued: 0,
-            completed: 0,
-            ready: false,
-            ready_at: SimTime::ZERO,
-            start: None,
-            end: None,
-            concurrent: 0,
-            max_concurrent: 0,
-            predrive: false,
-        });
-        self.host_time += self.config.host_launch_gap;
-        self.streams[stream.0].queue.push(id);
-        KernelId(id)
-    }
-
-    /// Records scheduling events for inspection by [`Gpu::trace`].
-    pub fn enable_trace(&mut self) {
-        self.trace_enabled = true;
-    }
-
-    /// The recorded trace (empty unless [`Gpu::enable_trace`] was called).
-    pub fn trace(&self) -> &[TraceEvent] {
+    /// The most recent run's trace.
+    pub(crate) fn trace(&self) -> &[TraceEvent] {
         &self.trace
     }
+}
 
-    /// Heap events handled so far (a measure of simulation work, reported
-    /// as [`RunReport::sim_events`]).
-    pub fn events_handled(&self) -> u64 {
-        self.events_handled
-    }
+/// Runs `desc` to completion on `st` (which the caller has prepared with
+/// [`RunState::reset`] and initial memory/semaphores), in `mode`.
+/// `progs` must hold the pipeline's pre-driven programs for an
+/// [`EngineMode::Optimized`] run; the reference engine ignores it (pass
+/// [`Programs::empty`]).
+pub(crate) fn execute(
+    desc: &PipelineDesc,
+    progs: &Programs,
+    mode: EngineMode,
+    st: &mut RunState,
+) -> Result<RunReport, SimError> {
+    let mut ex = Exec {
+        desc,
+        progs,
+        mode,
+        st,
+    };
+    ex.run_all()
+}
 
-    fn push_event(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.event_seq;
-        self.event_seq += 1;
-        match self.mode {
-            EngineMode::Reference => {
-                self.events.push(Reverse(Event { time, seq, kind }));
-            }
-            EngineMode::Optimized => {
-                let key = ((time.as_picos() as u128) << 64) | seq as u128;
-                let idx = match self.event_free.pop() {
-                    Some(i) => {
-                        self.event_slab[i as usize] = kind;
-                        i
-                    }
-                    None => {
-                        self.event_slab.push(kind);
-                        (self.event_slab.len() - 1) as u32
-                    }
-                };
-                self.fast_events.push(Reverse((key, idx)));
-            }
-        }
-    }
+/// The event loop: an immutable pipeline description plus one mutable run
+/// state. All scheduling methods live here; `Gpu` and `Session` are thin
+/// drivers around [`execute`].
+struct Exec<'a> {
+    desc: &'a PipelineDesc,
+    progs: &'a Programs,
+    mode: EngineMode,
+    st: &'a mut RunState,
+}
 
-    #[inline]
-    fn take_fast_event(&mut self, idx: u32) -> EventKind {
-        self.event_free.push(idx);
-        self.event_slab[idx as usize]
-    }
-
-    /// Appends to the trace. The flag check is inlined at every call site
-    /// so a disabled trace costs one predictable branch — never a `Vec`
-    /// touch or an event construction that the optimizer can't sink.
-    #[inline(always)]
-    fn record(&mut self, event: TraceEvent) {
-        if self.trace_enabled {
-            self.trace.push(event);
-        }
-    }
-
-    /// Runs all launched kernels to completion.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::Deadlock`] if execution stalls with incomplete
-    /// kernels — every resident block waiting on a semaphore that nothing
-    /// can post — and [`SimError::AlreadyRan`] if this [`Gpu`] already ran.
-    pub fn run(&mut self) -> Result<RunReport, SimError> {
-        if self.ran {
-            return Err(SimError::AlreadyRan);
-        }
-        self.ran = true;
+impl Exec<'_> {
+    fn run_all(&mut self) -> Result<RunReport, SimError> {
         if self.mode == EngineMode::Optimized {
-            self.sm_index = self
+            self.st.sm_index = self
+                .st
                 .sm_free
                 .iter()
                 .enumerate()
                 .map(|(sm, &free)| (free, Reverse(sm)))
                 .collect();
-            for k in 0..self.kernels.len() {
-                let source = Arc::clone(&self.kernels[k].source);
-                self.kernels[k].predrive = source.timing_static(&self.mem);
-            }
         }
-        for s in 0..self.streams.len() {
+        for s in 0..self.desc.streams.len() {
             self.schedule_stream_head(s);
         }
         match self.mode {
             EngineMode::Reference => self.run_reference_loop(),
             EngineMode::Optimized => self.run_optimized_loop(),
         }
-        let incomplete: Vec<usize> = (0..self.kernels.len())
-            .filter(|&k| self.kernels[k].completed < self.kernels[k].total)
+        let incomplete: Vec<usize> = (0..self.desc.kernels.len())
+            .filter(|&k| self.st.kernels[k].completed < self.desc.kernels[k].total)
             .collect();
         if !incomplete.is_empty() {
             return Err(self.deadlock_error(&incomplete));
@@ -613,23 +697,63 @@ impl Gpu {
         Ok(self.report())
     }
 
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.st.event_seq;
+        self.st.event_seq += 1;
+        match self.mode {
+            EngineMode::Reference => {
+                self.st.events.push(Reverse(Event { time, seq, kind }));
+            }
+            EngineMode::Optimized => {
+                let key = ((time.as_picos() as u128) << 64) | seq as u128;
+                let idx = match self.st.event_free.pop() {
+                    Some(i) => {
+                        self.st.event_slab[i as usize] = kind;
+                        i
+                    }
+                    None => {
+                        self.st.event_slab.push(kind);
+                        (self.st.event_slab.len() - 1) as u32
+                    }
+                };
+                self.st.fast_events.push(Reverse((key, idx)));
+            }
+        }
+    }
+
+    #[inline]
+    fn take_fast_event(&mut self, idx: u32) -> EventKind {
+        self.st.event_free.push(idx);
+        self.st.event_slab[idx as usize]
+    }
+
+    /// Appends to the trace. The flag check is inlined at every call site
+    /// so a disabled trace costs one predictable branch — never a `Vec`
+    /// touch or an event construction that the optimizer can't sink.
+    #[inline(always)]
+    fn record(&mut self, event: TraceEvent) {
+        if self.st.trace_enabled {
+            self.st.trace.push(event);
+        }
+    }
+
     /// The original event loop: rescan-and-sort `try_issue` after every
     /// batch. Kept verbatim as the executable specification.
     fn run_reference_loop(&mut self) {
-        while let Some(Reverse(event)) = self.events.pop() {
-            debug_assert!(event.time >= self.now, "time went backwards");
-            self.now = event.time;
-            self.events_handled += 1;
+        while let Some(Reverse(event)) = self.st.events.pop() {
+            debug_assert!(event.time >= self.st.now, "time went backwards");
+            self.st.now = event.time;
+            self.st.events_handled += 1;
             self.handle(event.kind);
             // Drain every event at this timestamp before issuing blocks, so
             // that kernels becoming ready at the same instant compete for SM
             // slots by priority rather than by event arrival order.
-            while let Some(Reverse(next)) = self.events.peek() {
-                if next.time != self.now {
+            while let Some(Reverse(next)) = self.st.events.peek() {
+                if next.time != self.st.now {
                     break;
                 }
-                let Reverse(event) = self.events.pop().expect("peeked event");
-                self.events_handled += 1;
+                let Reverse(event) = self.st.events.pop().expect("peeked event");
+                self.st.events_handled += 1;
                 self.handle(event.kind);
             }
             self.try_issue_reference();
@@ -641,25 +765,25 @@ impl Gpu {
     /// (`issue_dirty`), over the incrementally maintained ready-queue and
     /// SM index.
     fn run_optimized_loop(&mut self) {
-        while let Some(Reverse((key, idx))) = self.fast_events.pop() {
+        while let Some(Reverse((key, idx))) = self.st.fast_events.pop() {
             let time_ps = (key >> 64) as u64;
-            debug_assert!(time_ps >= self.now.as_picos(), "time went backwards");
-            self.now = SimTime::from_picos(time_ps);
+            debug_assert!(time_ps >= self.st.now.as_picos(), "time went backwards");
+            self.st.now = SimTime::from_picos(time_ps);
             let kind = self.take_fast_event(idx);
-            self.events_handled += 1;
+            self.st.events_handled += 1;
             self.handle(kind);
-            while let Some(&Reverse((next_key, _))) = self.fast_events.peek() {
+            while let Some(&Reverse((next_key, _))) = self.st.fast_events.peek() {
                 if (next_key >> 64) as u64 != time_ps {
                     break;
                 }
-                let Reverse((_, next_idx)) = self.fast_events.pop().expect("peeked event");
+                let Reverse((_, next_idx)) = self.st.fast_events.pop().expect("peeked event");
                 let kind = self.take_fast_event(next_idx);
-                self.events_handled += 1;
+                self.st.events_handled += 1;
                 self.handle(kind);
             }
-            if self.issue_dirty {
+            if self.st.issue_dirty {
                 self.try_issue_optimized();
-                self.issue_dirty = false;
+                self.st.issue_dirty = false;
             }
         }
     }
@@ -667,21 +791,23 @@ impl Gpu {
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::KernelReady(k) => {
-                self.kernels[k].ready = true;
-                self.kernels[k].ready_at = self.now;
+                let now = self.st.now;
+                self.st.kernels[k].ready = true;
+                self.st.kernels[k].ready_at = now;
                 if self.mode == EngineMode::Optimized {
-                    self.issue_dirty = true;
-                    if self.kernels[k].issued < self.kernels[k].total {
-                        self.ready_queue
-                            .insert((Reverse(self.kernels[k].priority), k));
+                    self.st.issue_dirty = true;
+                    if self.st.kernels[k].issued < self.desc.kernels[k].total {
+                        self.st
+                            .ready_queue
+                            .insert((Reverse(self.desc.kernels[k].priority), k));
                     }
                 }
                 self.record(TraceEvent::KernelReady {
                     kernel: KernelId(k),
-                    time: self.now,
+                    time: now,
                 });
             }
-            EventKind::BlockResume(b) => match self.blocks[b].pending.take() {
+            EventKind::BlockResume(b) => match self.st.blocks[b].pending.take() {
                 None => self.step_block(b),
                 Some(PendingStep::Op(op)) => self.apply_sync_op(b, op),
                 Some(PendingStep::Done) => self.finish_block(b),
@@ -700,46 +826,47 @@ impl Gpu {
                 index,
                 inc,
             } => {
-                let prev = self.sems.add(table, index, inc);
-                self.blocks[block].atomic_result = Some(prev);
-                self.push_event(self.now, EventKind::BlockResume(block));
+                let prev = self.st.sems.add(table, index, inc);
+                self.st.blocks[block].atomic_result = Some(prev);
+                self.push_event(self.st.now, EventKind::BlockResume(block));
             }
         }
     }
 
     fn deadlock_error(&self, incomplete: &[usize]) -> SimError {
         let blocked = self
+            .st
             .blocks
             .iter()
             .filter_map(|slot| {
                 let (table, index, value) = slot.waiting?;
                 Some(format!(
                     "{} block {} waits {}[{}] >= {} (currently {})",
-                    self.kernels[slot.kernel].name,
+                    self.desc.kernels[slot.kernel].name,
                     slot.idx,
-                    self.sems.name(table),
+                    self.st.sems.name(table),
                     index,
                     value,
-                    self.sems.value(table, index),
+                    self.st.sems.value(table, index),
                 ))
             })
             .collect();
         let pending = incomplete
             .iter()
-            .map(|&k| self.kernels[k].name.clone())
+            .map(|&k| self.desc.kernels[k].name.clone())
             .collect();
         SimError::Deadlock {
-            time: self.now,
+            time: self.st.now,
             blocked,
             pending,
         }
     }
 
     fn schedule_stream_head(&mut self, stream: usize) {
-        let s = &self.streams[stream];
-        if let Some(&k) = s.queue.get(s.next) {
-            let ready =
-                self.now.max(self.kernels[k].host_ready) + self.config.kernel_dispatch_latency;
+        let s = &self.desc.streams[stream];
+        if let Some(&k) = s.queue.get(self.st.stream_next[stream]) {
+            let ready = self.st.now.max(self.desc.kernels[k].host_ready)
+                + self.desc.config.kernel_dispatch_latency;
             self.push_event(ready, EventKind::KernelReady(k));
         }
     }
@@ -748,23 +875,26 @@ impl Gpu {
     /// every SM per placed block. O(kernels log kernels + blocks × SMs)
     /// after **every** event batch.
     fn try_issue_reference(&mut self) {
-        let mut order: Vec<usize> = (0..self.kernels.len())
-            .filter(|&k| self.kernels[k].ready && self.kernels[k].issued < self.kernels[k].total)
+        let mut order: Vec<usize> = (0..self.desc.kernels.len())
+            .filter(|&k| {
+                self.st.kernels[k].ready && self.st.kernels[k].issued < self.desc.kernels[k].total
+            })
             .collect();
         if order.is_empty() {
             return;
         }
-        order.sort_by_key(|&k| (Reverse(self.kernels[k].priority), k));
+        order.sort_by_key(|&k| (Reverse(self.desc.kernels[k].priority), k));
         for k in order {
             loop {
-                if self.kernels[k].issued >= self.kernels[k].total {
+                if self.st.kernels[k].issued >= self.desc.kernels[k].total {
                     break;
                 }
-                let units = self.kernels[k].units;
+                let units = self.desc.kernels[k].units;
                 // Least-loaded SM first: the hardware work distributor
                 // spreads blocks across SMs, so sparse grids get whole SMs
                 // to themselves (and run faster; see `residency_scale`).
                 let Some((sm, &free)) = self
+                    .st
                     .sm_free
                     .iter()
                     .enumerate()
@@ -784,21 +914,22 @@ impl Gpu {
     /// maximum is exactly the reference scan's `max_by_key((f, Reverse(i)))`,
     /// so the sequence of `issue_block` calls is identical.
     fn try_issue_optimized(&mut self) {
-        if self.ready_queue.is_empty() {
+        if self.st.ready_queue.is_empty() {
             return;
         }
-        let mut order = std::mem::take(&mut self.issue_scratch);
+        let mut order = std::mem::take(&mut self.st.issue_scratch);
         order.clear();
-        order.extend(self.ready_queue.iter().map(|&(_, k)| k));
+        order.extend(self.st.ready_queue.iter().map(|&(_, k)| k));
         for &k in &order {
             loop {
-                if self.kernels[k].issued >= self.kernels[k].total {
-                    self.ready_queue
-                        .remove(&(Reverse(self.kernels[k].priority), k));
+                if self.st.kernels[k].issued >= self.desc.kernels[k].total {
+                    self.st
+                        .ready_queue
+                        .remove(&(Reverse(self.desc.kernels[k].priority), k));
                     break;
                 }
-                let units = self.kernels[k].units;
-                let Some(&(free, Reverse(sm))) = self.sm_index.last() else {
+                let units = self.desc.kernels[k].units;
+                let Some(&(free, Reverse(sm))) = self.st.sm_index.last() else {
                     break;
                 };
                 if free < units {
@@ -807,80 +938,60 @@ impl Gpu {
                 self.issue_block(k, sm as u32);
             }
         }
-        self.issue_scratch = order;
+        self.st.issue_scratch = order;
     }
 
     fn update_util(&mut self) {
-        let dt = (self.now - self.last_util_update).as_picos() as u128;
-        self.util_integral += dt * self.busy_units as u128;
-        self.last_util_update = self.now;
+        let dt = (self.st.now - self.st.last_util_update).as_picos() as u128;
+        self.st.util_integral += dt * self.st.busy_units as u128;
+        self.st.last_util_update = self.st.now;
     }
 
     fn set_sm_free(&mut self, sm: usize, free: u32) {
         if self.mode == EngineMode::Optimized {
-            self.sm_index.remove(&(self.sm_free[sm], Reverse(sm)));
-            self.sm_index.insert((free, Reverse(sm)));
+            self.st.sm_index.remove(&(self.st.sm_free[sm], Reverse(sm)));
+            self.st.sm_index.insert((free, Reverse(sm)));
         }
-        self.sm_free[sm] = free;
+        self.st.sm_free[sm] = free;
     }
 
     fn issue_block(&mut self, k: usize, sm: u32) {
         self.update_util();
-        let kernel = &mut self.kernels[k];
-        let idx = kernel.grid.delinear(kernel.issued);
-        kernel.issued += 1;
-        kernel.concurrent += 1;
-        kernel.max_concurrent = kernel.max_concurrent.max(kernel.concurrent);
-        if kernel.start.is_none() {
-            kernel.start = Some(self.now);
+        let now = self.st.now;
+        let kd = &self.desc.kernels[k];
+        let kr = &mut self.st.kernels[k];
+        let linear = kr.issued;
+        let idx = kd.grid.delinear(linear);
+        kr.issued += 1;
+        kr.concurrent += 1;
+        kr.max_concurrent = kr.max_concurrent.max(kr.concurrent);
+        if kr.start.is_none() {
+            kr.start = Some(now);
         }
-        let units = kernel.units;
-        let predrive = kernel.predrive;
-        let source = Arc::clone(&kernel.source);
-        let mut body = Some(source.block(idx));
-        let (prog_start, prog_len) = if predrive {
-            // Pre-drive the coroutine while its state is hot: collect the
-            // whole op stream into the arena now, replay it through a
-            // cursor as events fire. Timing is unchanged — ops are still
-            // priced at their own start times (see
-            // `KernelSource::timing_static`).
-            let mut ops = std::mem::take(&mut self.predrive_scratch);
-            ops.clear();
-            let mut b = body.take().expect("fresh body");
-            loop {
-                let step = {
-                    let mut ctx = BlockCtx {
-                        block: idx,
-                        now: self.now,
-                        mem: &mut self.mem,
-                        sems: &self.sems,
-                        atomic_result: None,
-                    };
-                    b.resume(&mut ctx)
-                };
-                match step {
-                    Step::Op(op) => ops.push(op),
-                    Step::Done => break,
-                }
-            }
-            let start = self.block_ops.len() as u32;
-            let len = ops.len() as u32;
-            self.block_ops.extend_from_slice(&ops);
-            self.predrive_scratch = ops;
-            (start, len)
+        let units = kd.units;
+        let predrive = self.mode == EngineMode::Optimized && kd.predrive;
+        let (prog_start, prog_len, body) = if predrive {
+            // The block's op program was pre-driven at *compile* time
+            // (see `PipelineDesc::finalize`): replay it through a cursor
+            // as events fire, constructing no body at all. Timing is
+            // unchanged — ops are still priced at their own start times
+            // (see `KernelSource::timing_static`).
+            let base = self.progs.prog_base[k] as u64;
+            let (start, len) = self.progs.prog_spans[(base + linear) as usize];
+            (start, len, None)
         } else {
-            (u32::MAX, 0)
+            (u32::MAX, 0, Some(kd.source.block(idx)))
         };
-        self.set_sm_free(sm as usize, self.sm_free[sm as usize] - units);
-        self.sm_active[sm as usize] += units;
-        self.active_units += units as u64;
-        self.busy_units += units as u64;
-        if self.first_issue.is_none() {
-            self.first_issue = Some(self.now);
+        self.set_sm_free(sm as usize, self.st.sm_free[sm as usize] - units);
+        self.st.sm_active[sm as usize] += units;
+        self.st.active_units += units as u64;
+        self.st.busy_units += units as u64;
+        if self.st.first_issue.is_none() {
+            self.st.first_issue = Some(now);
         }
-        let bid = self.blocks.len();
+        let bid = self.st.blocks.len();
         let jitter = self.jitter_value(k, idx);
-        self.blocks.push(BlockSlot {
+        self.st.blocks.push(BlockSlot {
             kernel: k,
             idx,
             sm,
@@ -898,13 +1009,13 @@ impl Gpu {
             kernel: KernelId(k),
             block: idx,
             sm,
-            time: self.now,
+            time: now,
         });
-        self.push_event(self.now, EventKind::BlockResume(bid));
+        self.push_event(now, EventKind::BlockResume(bid));
     }
 
     fn step_block(&mut self, bid: usize) {
-        if self.blocks[bid].has_program() {
+        if self.st.blocks[bid].has_program() {
             self.step_program(bid);
         } else {
             self.step_coroutine(bid);
@@ -917,66 +1028,66 @@ impl Gpu {
     /// monotone non-decreasing, a wait observed satisfied *now* is
     /// satisfied at any later instant — so satisfied waits coalesce into
     /// their successor unconditionally. Pure-op durations still require
-    /// state stability until the op's start ([`Gpu::can_extend_run`]),
+    /// state stability until the op's start ([`Exec::can_extend_run`]),
     /// exactly like the coroutine path.
     fn step_program(&mut self, bid: usize) {
         let mut acc = SimTime::ZERO;
         loop {
-            let slot = &self.blocks[bid];
+            let slot = &self.st.blocks[bid];
             if slot.prog_pc >= slot.prog_len {
                 if acc == SimTime::ZERO {
                     self.finish_block(bid);
                 } else {
-                    self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                    self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
                 }
                 return;
             }
-            let op = self.block_ops[(slot.prog_start + slot.prog_pc) as usize];
+            let op = self.progs.block_ops[(slot.prog_start + slot.prog_pc) as usize];
             match op {
                 Op::SemWait {
                     table,
                     index,
                     value,
                 } => {
-                    if self.sems.value(table, index) >= value {
+                    if self.st.sems.value(table, index) >= value {
                         // Monotone semaphores: satisfied stays satisfied.
-                        acc += self.costs.poll;
-                        self.blocks[bid].prog_pc += 1;
+                        acc += self.desc.costs.poll;
+                        self.st.blocks[bid].prog_pc += 1;
                     } else if acc == SimTime::ZERO {
                         // Apply the park at its exact start time; the wake
                         // resumes *after* the wait op.
-                        self.blocks[bid].prog_pc += 1;
+                        self.st.blocks[bid].prog_pc += 1;
                         self.apply_sync_op(bid, op);
                         return;
                     } else {
                         // Re-check at the wait's true start time.
-                        self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
                         return;
                     }
                 }
                 Op::SemPost { .. } | Op::AtomicAdd { .. } => {
                     if acc == SimTime::ZERO {
-                        self.blocks[bid].prog_pc += 1;
+                        self.st.blocks[bid].prog_pc += 1;
                         self.apply_sync_op(bid, op);
                     } else {
-                        self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
                     }
                     return;
                 }
                 _ => {
                     // Pure delay: needs simulator state as of its start.
-                    if acc == SimTime::ZERO || self.can_extend_run(self.now + acc) {
+                    if acc == SimTime::ZERO || self.can_extend_run(self.st.now + acc) {
                         let d = self
                             .pure_op_delay(bid, &op)
                             .expect("non-sync op has a delay");
                         acc += d;
-                        self.blocks[bid].prog_pc += 1;
-                        if !self.can_extend_run(self.now + acc) {
-                            self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        self.st.blocks[bid].prog_pc += 1;
+                        if !self.can_extend_run(self.st.now + acc) {
+                            self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
                             return;
                         }
                     } else {
-                        self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
                         return;
                     }
                 }
@@ -987,22 +1098,22 @@ impl Gpu {
     /// Drives a block's coroutine body, coalescing consecutive
     /// non-synchronizing ops into a single future `BlockResume` when that
     /// is provably equivalent to the reference engine (see
-    /// [`Gpu::can_extend_run`]). Bodies may perform functional memory
+    /// [`Exec::can_extend_run`]). Bodies may perform functional memory
     /// effects inside `resume`, so the body is only advanced when no
     /// other event can observe state in between.
     fn step_coroutine(&mut self, bid: usize) {
-        // Accumulated delay of coalesced ops beyond `self.now`.
+        // Accumulated delay of coalesced ops beyond `now`.
         let mut acc = SimTime::ZERO;
         loop {
-            let mut body = self.blocks[bid].body.take().expect("block body missing");
-            let block_idx = self.blocks[bid].idx;
-            let atomic_result = self.blocks[bid].atomic_result;
+            let mut body = self.st.blocks[bid].body.take().expect("block body missing");
+            let block_idx = self.st.blocks[bid].idx;
+            let atomic_result = self.st.blocks[bid].atomic_result;
             let step = {
                 let mut ctx = BlockCtx {
                     block: block_idx,
-                    now: self.now + acc,
-                    mem: &mut self.mem,
-                    sems: &self.sems,
+                    now: self.st.now + acc,
+                    mem: &mut self.st.mem,
+                    sems: &self.st.sems,
                     atomic_result,
                 };
                 body.resume(&mut ctx)
@@ -1013,17 +1124,17 @@ impl Gpu {
                     if acc == SimTime::ZERO {
                         self.finish_block(bid);
                     } else {
-                        self.blocks[bid].pending = Some(PendingStep::Done);
-                        self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        self.st.blocks[bid].pending = Some(PendingStep::Done);
+                        self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
                     }
                     return;
                 }
                 Step::Op(op) => {
-                    self.blocks[bid].body = Some(body);
+                    self.st.blocks[bid].body = Some(body);
                     if let Some(d) = self.pure_op_delay(bid, &op) {
                         acc += d;
-                        if !self.can_extend_run(self.now + acc) {
-                            self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                        if !self.can_extend_run(self.st.now + acc) {
+                            self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
                             return;
                         }
                         // Safe to keep running this block's body in place.
@@ -1033,8 +1144,8 @@ impl Gpu {
                         if acc == SimTime::ZERO {
                             self.apply_sync_op(bid, op);
                         } else {
-                            self.blocks[bid].pending = Some(PendingStep::Op(op));
-                            self.push_event(self.now + acc, EventKind::BlockResume(bid));
+                            self.st.blocks[bid].pending = Some(PendingStep::Op(op));
+                            self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
                         }
                         return;
                     }
@@ -1057,13 +1168,13 @@ impl Gpu {
     /// block's functional effects out of order.
     ///
     /// In [`EngineMode::Reference`] this is constantly `false`, which
-    /// makes [`Gpu::step_block`] collapse to the original
+    /// makes [`Exec::step_block`] collapse to the original
     /// one-op-per-event behaviour.
     #[inline]
     fn can_extend_run(&self, until: SimTime) -> bool {
         self.mode == EngineMode::Optimized
-            && !self.issue_dirty
-            && match self.fast_events.peek() {
+            && !self.st.issue_dirty
+            && match self.st.fast_events.peek() {
                 Some(&Reverse((key, _))) => (key >> 64) as u64 > until.as_picos(),
                 None => true,
             }
@@ -1079,10 +1190,10 @@ impl Gpu {
     /// completion times of a partial wave: doubled-up blocks finish later
     /// than blocks holding an SM alone.
     fn residency_scale(&self, bid: usize) -> f64 {
-        let sm = self.blocks[bid].sm as usize;
-        let active = self.sm_active[sm].max(self.blocks[bid].units) as f64;
+        let sm = self.st.blocks[bid].sm as usize;
+        let active = self.st.sm_active[sm].max(self.st.blocks[bid].units) as f64;
         let fraction = (active / SM_CAPACITY_UNITS as f64).clamp(0.0, 1.0);
-        1.0 - self.config.residency_boost * (1.0 - fraction)
+        1.0 - self.desc.config.residency_boost * (1.0 - fraction)
     }
 
     /// Deterministic per-block duration factor in
@@ -1093,20 +1204,20 @@ impl Gpu {
         if self.mode == EngineMode::Optimized {
             // Computed once at issue; a pure function of (kernel, index),
             // so the cache is exact.
-            return self.blocks[bid].jitter;
+            return self.st.blocks[bid].jitter;
         }
-        let slot = &self.blocks[bid];
+        let slot = &self.st.blocks[bid];
         self.jitter_value(slot.kernel, slot.idx)
     }
 
-    /// The hash behind [`Gpu::jitter_factor`], shared by both modes so the
+    /// The hash behind [`Exec::jitter_factor`], shared by both modes so the
     /// cached and recomputed values are the same `f64` bit for bit.
     fn jitter_value(&self, kernel: usize, idx: Dim3) -> f64 {
-        let j = self.config.block_jitter;
+        let j = self.desc.config.block_jitter;
         if j == 0.0 {
             return 1.0;
         }
-        let key = (kernel as u64) << 48 ^ self.kernels[kernel].grid.linear_of(idx);
+        let key = (kernel as u64) << 48 ^ self.desc.kernels[kernel].grid.linear_of(idx);
         let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -1126,11 +1237,11 @@ impl Gpu {
     /// bus, so sparse populations gain bandwidth per block only down to
     /// that floor (and the aggregate never exceeds the DRAM peak).
     fn dyn_mem_time(&self, bid: usize, bytes: u64) -> SimTime {
-        let cfg = &self.config;
+        let cfg = &self.desc.config;
         let capacity = cfg.num_sms as f64 * SM_CAPACITY_UNITS as f64;
         let saturation = cfg.dram_saturation_fraction * capacity;
-        let competing = (self.active_units as f64).max(saturation).max(1.0);
-        let units = self.blocks[bid].units as f64;
+        let competing = (self.st.active_units as f64).max(saturation).max(1.0);
+        let units = self.st.blocks[bid].units as f64;
         let share = cfg.dram_bytes_per_sec * units / competing;
         SimTime::from_picos((bytes as f64 / share * 1e12).round() as u64)
     }
@@ -1140,14 +1251,14 @@ impl Gpu {
     /// run). The arithmetic (including every intermediate rounding) is the
     /// single shared cost path of both engine modes.
     fn pure_op_delay(&self, bid: usize, op: &Op) -> Option<SimTime> {
-        let cfg = &self.config;
+        let cfg = &self.desc.config;
         match *op {
             Op::Compute { cycles } => Some(self.scaled(bid, cfg.cycles(cycles))),
             Op::GlobalRead { bytes } | Op::GlobalWrite { bytes } => {
                 let mem = self.dyn_mem_time(bid, bytes);
                 let jitter = self.jitter_factor(bid);
                 let d = SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
-                Some(self.costs.global_latency + d)
+                Some(self.desc.costs.global_latency + d)
             }
             Op::MainStep { bytes, cycles } => {
                 // Loads overlap math: the step costs the slower of the two.
@@ -1155,10 +1266,10 @@ impl Gpu {
                 let compute = self.scaled(bid, cfg.cycles(cycles));
                 let jitter = self.jitter_factor(bid);
                 let mem = SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
-                Some(self.costs.global_latency + mem.max(compute))
+                Some(self.desc.costs.global_latency + mem.max(compute))
             }
-            Op::Syncthreads => Some(self.costs.syncthreads),
-            Op::Fence => Some(self.costs.fence),
+            Op::Syncthreads => Some(self.desc.costs.syncthreads),
+            Op::Fence => Some(self.desc.costs.fence),
             Op::SemWait { .. } | Op::SemPost { .. } | Op::AtomicAdd { .. } => None,
         }
     }
@@ -1172,36 +1283,41 @@ impl Gpu {
                 index,
                 value,
             } => {
-                if self.sems.value(table, index) >= value {
-                    let t = self.now + self.costs.poll;
+                if self.st.sems.value(table, index) >= value {
+                    let t = self.st.now + self.desc.costs.poll;
                     self.push_event(t, EventKind::BlockResume(bid));
                 } else {
-                    self.blocks[bid].waiting = Some((table, index, value));
+                    self.st.blocks[bid].waiting = Some((table, index, value));
                     match self.mode {
                         EngineMode::Reference => {
-                            self.waiters.entry((table.0, index)).or_default().push(bid);
+                            self.st
+                                .waiters
+                                .entry((table.0, index))
+                                .or_default()
+                                .push(bid);
                         }
                         EngineMode::Optimized => {
-                            self.wait_lists.park(table, index, bid);
+                            self.st.wait_lists.park(table, index, bid);
                         }
                     }
                     // Parked: stops competing for execution throughput.
-                    let sm = self.blocks[bid].sm as usize;
-                    self.sm_active[sm] -= self.blocks[bid].units;
-                    self.active_units -= self.blocks[bid].units as u64;
-                    let kernel = self.blocks[bid].kernel;
+                    let sm = self.st.blocks[bid].sm as usize;
+                    self.st.sm_active[sm] -= self.st.blocks[bid].units;
+                    self.st.active_units -= self.st.blocks[bid].units as u64;
+                    let kernel = self.st.blocks[bid].kernel;
+                    let idx = self.st.blocks[bid].idx;
                     self.record(TraceEvent::BlockBlocked {
                         kernel: KernelId(kernel),
-                        block: self.blocks[bid].idx,
+                        block: idx,
                         table,
                         index,
                         value,
-                        time: self.now,
+                        time: self.st.now,
                     });
                 }
             }
             Op::SemPost { table, index, inc } => {
-                let t = self.now + self.costs.atomic;
+                let t = self.st.now + self.desc.costs.atomic;
                 self.push_event(
                     t,
                     EventKind::PostApply {
@@ -1213,7 +1329,7 @@ impl Gpu {
                 );
             }
             Op::AtomicAdd { table, index, inc } => {
-                let t = self.now + self.costs.atomic;
+                let t = self.st.now + self.desc.costs.atomic;
                 self.push_event(
                     t,
                     EventKind::AtomicApply {
@@ -1229,23 +1345,23 @@ impl Gpu {
     }
 
     fn apply_post(&mut self, poster: usize, table: SemArrayId, index: u32, inc: u32) {
-        self.sems.add(table, index, inc);
-        let new_value = self.sems.value(table, index);
+        self.st.sems.add(table, index, inc);
+        let new_value = self.st.sems.value(table, index);
         self.record(TraceEvent::SemPosted {
             table,
             index,
             new_value,
-            time: self.now,
+            time: self.st.now,
         });
-        let wake_at = self.now + self.costs.poll;
+        let wake_at = self.st.now + self.desc.costs.poll;
         match self.mode {
             EngineMode::Reference => {
-                if let Some(list) = self.waiters.get_mut(&(table.0, index)) {
+                if let Some(list) = self.st.waiters.get_mut(&(table.0, index)) {
                     let mut still = Vec::new();
                     let mut woken = Vec::new();
                     for &wbid in list.iter() {
                         let (_, _, target) =
-                            self.blocks[wbid].waiting.expect("waiter without target");
+                            self.st.blocks[wbid].waiting.expect("waiter without target");
                         if new_value >= target {
                             woken.push(wbid);
                         } else {
@@ -1262,113 +1378,318 @@ impl Gpu {
                 // Partition in place through reusable scratch storage: a
                 // post to a semaphore nobody waits on touches no
                 // allocator and no tree.
-                let mut list = self.wait_lists.take(table, index);
+                let mut list = self.st.wait_lists.take(table, index);
                 if !list.is_empty() {
-                    let mut woken = std::mem::take(&mut self.wake_scratch);
+                    let mut woken = std::mem::take(&mut self.st.wake_scratch);
                     woken.clear();
-                    list.retain(|&wbid| {
-                        let (_, _, target) =
-                            self.blocks[wbid].waiting.expect("waiter without target");
-                        if new_value >= target {
-                            woken.push(wbid);
-                            false
-                        } else {
-                            true
-                        }
-                    });
+                    {
+                        let blocks = &self.st.blocks;
+                        list.retain(|&wbid| {
+                            let (_, _, target) =
+                                blocks[wbid].waiting.expect("waiter without target");
+                            if new_value >= target {
+                                woken.push(wbid);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
                     for &wbid in &woken {
                         self.wake_block(wbid, wake_at);
                     }
-                    self.wake_scratch = woken;
+                    self.st.wake_scratch = woken;
                 }
-                self.wait_lists.put(table, index, list);
+                self.st.wait_lists.put(table, index, list);
             }
         }
-        self.push_event(self.now, EventKind::BlockResume(poster));
+        self.push_event(self.st.now, EventKind::BlockResume(poster));
     }
 
     fn wake_block(&mut self, wbid: usize, wake_at: SimTime) {
-        self.blocks[wbid].waiting = None;
-        let sm = self.blocks[wbid].sm as usize;
-        self.sm_active[sm] += self.blocks[wbid].units;
-        self.active_units += self.blocks[wbid].units as u64;
+        self.st.blocks[wbid].waiting = None;
+        let sm = self.st.blocks[wbid].sm as usize;
+        self.st.sm_active[sm] += self.st.blocks[wbid].units;
+        self.st.active_units += self.st.blocks[wbid].units as u64;
         self.push_event(wake_at, EventKind::BlockResume(wbid));
     }
 
     fn finish_block(&mut self, bid: usize) {
         self.update_util();
         let (k, sm, units, idx) = {
-            let slot = &self.blocks[bid];
+            let slot = &self.st.blocks[bid];
             (slot.kernel, slot.sm, slot.units, slot.idx)
         };
-        self.set_sm_free(sm as usize, self.sm_free[sm as usize] + units);
-        self.sm_active[sm as usize] -= units;
-        self.active_units -= units as u64;
-        self.busy_units -= units as u64;
-        self.last_finish = self.now;
-        self.issue_dirty = true;
+        self.set_sm_free(sm as usize, self.st.sm_free[sm as usize] + units);
+        self.st.sm_active[sm as usize] -= units;
+        self.st.active_units -= units as u64;
+        self.st.busy_units -= units as u64;
+        self.st.last_finish = self.st.now;
+        self.st.issue_dirty = true;
         self.record(TraceEvent::BlockFinished {
             kernel: KernelId(k),
             block: idx,
-            time: self.now,
+            time: self.st.now,
         });
-        let kernel = &mut self.kernels[k];
-        kernel.completed += 1;
-        kernel.concurrent -= 1;
-        if kernel.completed == kernel.total {
-            kernel.end = Some(self.now);
-            let stream = kernel.stream;
+        let kr = &mut self.st.kernels[k];
+        kr.completed += 1;
+        kr.concurrent -= 1;
+        if kr.completed == self.desc.kernels[k].total {
+            kr.end = Some(self.st.now);
+            let stream = self.desc.kernels[k].stream;
             self.record(TraceEvent::KernelFinished {
                 kernel: KernelId(k),
-                time: self.now,
+                time: self.st.now,
             });
-            self.streams[stream].next += 1;
+            self.st.stream_next[stream] += 1;
             self.schedule_stream_head(stream);
         }
     }
 
     fn report(&self) -> RunReport {
-        let sms = self.config.num_sms;
+        let sms = self.desc.config.num_sms;
         let kernels: Vec<KernelReport> = self
+            .desc
             .kernels
             .iter()
-            .map(|k| {
-                let start = k.start.unwrap_or(k.ready_at);
-                let end = k.end.unwrap_or(start);
+            .zip(self.st.kernels.iter())
+            .map(|(kd, kr)| {
+                let start = kr.start.unwrap_or(kr.ready_at);
+                let end = kr.end.unwrap_or(start);
                 KernelReport {
-                    name: k.name.clone(),
-                    grid: k.grid,
-                    occupancy: k.occupancy,
-                    blocks: k.total,
-                    static_waves: waves(k.total, k.occupancy, sms),
-                    ready: k.ready_at,
+                    name: kd.name.clone(),
+                    grid: kd.grid,
+                    occupancy: kd.occupancy,
+                    blocks: kd.total,
+                    static_waves: waves(kd.total, kd.occupancy, sms),
+                    ready: kr.ready_at,
                     start,
                     end,
                     duration: end.saturating_sub(start),
-                    max_concurrent: k.max_concurrent,
+                    max_concurrent: kr.max_concurrent,
                 }
             })
             .collect();
         let total = kernels.iter().map(|k| k.end).max().unwrap_or(SimTime::ZERO);
-        let span = match self.first_issue {
-            Some(first) => self.last_finish.saturating_sub(first),
+        let span = match self.st.first_issue {
+            Some(first) => self.st.last_finish.saturating_sub(first),
             None => SimTime::ZERO,
         };
         let capacity = sms as u128 * SM_CAPACITY_UNITS as u128;
         let sm_utilization = if span > SimTime::ZERO {
-            self.util_integral as f64 / (capacity as f64 * span.as_picos() as f64)
+            self.st.util_integral as f64 / (capacity as f64 * span.as_picos() as f64)
         } else {
             0.0
         };
-        let sem_posts = self.sems.ids().map(|id| self.sems.posts(id)).sum();
+        let sem_posts = self.st.sems.ids().map(|id| self.st.sems.posts(id)).sum();
         RunReport {
             total,
             kernels,
-            races: self.mem.races_total(),
+            races: self.st.mem.races_total(),
             sm_utilization,
             sem_posts,
-            sim_events: self.events_handled,
+            sim_events: self.st.events_handled,
         }
+    }
+}
+
+/// The simulated GPU: hardware model, memory, streams, and event loop,
+/// packaged as a **one-shot** convenience. `Gpu` is now a thin wrapper
+/// over the compile/execute split: it owns one [`PipelineDesc`] under
+/// construction plus one [`RunState`], and [`Gpu::run`] drives them
+/// through the shared engine exactly once.
+///
+/// **Note (session layer):** for repeated execution of the same workload,
+/// finish building, call [`Gpu::compile`] to freeze a
+/// [`CompiledPipeline`](crate::CompiledPipeline), and run it any number of
+/// times through a [`Session`](crate::Session) (or concurrently through a
+/// [`Runtime`](crate::Runtime)). `Gpu::new` + `Gpu::run` remain supported
+/// for single runs, but new code with any reuse should prefer the session
+/// API.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cusync_sim::{Dim3, FixedKernel, Gpu, GpuConfig, Op};
+///
+/// let mut gpu = Gpu::new(GpuConfig::toy(4));
+/// let stream = gpu.create_stream(0);
+/// gpu.launch(stream, Arc::new(FixedKernel::new(
+///     "copy", Dim3::linear(6), 1, vec![Op::read(4096), Op::write(4096)],
+/// )));
+/// let report = gpu.run()?;
+/// assert_eq!(report.kernels[0].blocks, 6);
+/// // 6 blocks on 4 SMs at occupancy 1 is 1.5 waves.
+/// assert!((report.kernels[0].static_waves - 1.5).abs() < 1e-9);
+/// # Ok::<(), cusync_sim::SimError>(())
+/// ```
+pub struct Gpu {
+    pub(crate) desc: PipelineDesc,
+    pub(crate) st: RunState,
+    mode: EngineMode,
+    pub(crate) ran: bool,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("config", &self.desc.config.name)
+            .field("mode", &self.mode)
+            .field("kernels", &self.desc.kernels.len())
+            .field("ran", &self.ran)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gpu {
+    /// Creates a GPU with the given hardware model, using the thread's
+    /// default [`EngineMode`] (see [`with_engine_mode`]).
+    pub fn new(config: GpuConfig) -> Self {
+        Gpu::with_mode(config, default_engine_mode())
+    }
+
+    /// Creates a GPU pinned to a specific engine implementation.
+    pub fn with_mode(config: GpuConfig, mode: EngineMode) -> Self {
+        Gpu {
+            desc: PipelineDesc::new(config),
+            st: RunState::new(),
+            mode,
+            ran: false,
+        }
+    }
+
+    /// The hardware model in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.desc.config
+    }
+
+    /// The event-loop implementation this GPU runs on.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Read access to global memory.
+    pub fn mem(&self) -> &GlobalMemory {
+        &self.st.mem
+    }
+
+    /// Mutable access to global memory (allocation, verification).
+    pub fn mem_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.st.mem
+    }
+
+    /// Read access to the semaphore table.
+    pub fn sems(&self) -> &SemTable {
+        &self.st.sems
+    }
+
+    /// Mutable access to the semaphore table (allocation, re-init).
+    pub fn sems_mut(&mut self) -> &mut SemTable {
+        &mut self.st.sems
+    }
+
+    /// Allocates a timing-only buffer (convenience for [`GlobalMemory::alloc`]).
+    pub fn alloc(&mut self, name: &str, len: usize, dtype: DType) -> BufferId {
+        self.st.mem.alloc(name, len, dtype)
+    }
+
+    /// Allocates a semaphore array (convenience for [`SemTable::alloc`]).
+    pub fn alloc_sems(&mut self, name: &str, len: usize, init: u32) -> SemArrayId {
+        self.st.sems.alloc(name, len, init)
+    }
+
+    /// Creates a stream. Streams with numerically higher `priority` issue
+    /// their thread blocks first when competing for SM slots.
+    pub fn create_stream(&mut self, priority: i32) -> StreamId {
+        let id = StreamId(self.desc.streams.len());
+        self.desc.streams.push(StreamDesc {
+            priority,
+            queue: Vec::new(),
+        });
+        id
+    }
+
+    /// Enqueues `kernel` on `stream`. Kernels on one stream execute in
+    /// order; kernels on different streams may overlap. Each host launch is
+    /// separated by [`GpuConfig::host_launch_gap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or the stream id is foreign.
+    pub fn launch(&mut self, stream: StreamId, kernel: Arc<dyn KernelSource>) -> KernelId {
+        let grid = kernel.grid();
+        assert!(
+            grid.count() > 0,
+            "kernel {} has an empty grid",
+            kernel.name()
+        );
+        assert!(stream.0 < self.desc.streams.len(), "unknown {stream}");
+        let occupancy = kernel.occupancy();
+        let units = self.desc.config.units_per_block(occupancy);
+        let id = self.desc.kernels.len();
+        self.desc.kernels.push(KernelDesc {
+            name: kernel.name().to_owned(),
+            source: kernel,
+            stream: stream.0,
+            priority: self.desc.streams[stream.0].priority,
+            host_ready: self.desc.host_time,
+            grid,
+            total: grid.count(),
+            occupancy,
+            units,
+            predrive: false,
+        });
+        self.desc.host_time += self.desc.config.host_launch_gap;
+        self.desc.streams[stream.0].queue.push(id);
+        KernelId(id)
+    }
+
+    /// Records scheduling events for inspection by [`Gpu::trace`].
+    pub fn enable_trace(&mut self) {
+        self.st.trace_enabled = true;
+    }
+
+    /// The recorded trace (empty unless [`Gpu::enable_trace`] was called).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.st.trace
+    }
+
+    /// Heap events handled so far (a measure of simulation work, reported
+    /// as [`RunReport::sim_events`]).
+    pub fn events_handled(&self) -> u64 {
+        self.st.events_handled
+    }
+
+    /// Runs all launched kernels to completion.
+    ///
+    /// This is the **one-shot** path: a run consumes the launched kernels
+    /// and leaves memory/semaphores in their final state, so a `Gpu` is
+    /// single-shot. For repeated runs, use [`Gpu::compile`] +
+    /// [`Session::run`](crate::Session::run) instead — the session layer
+    /// is what this method drives internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if execution stalls with incomplete
+    /// kernels — every resident block waiting on a semaphore that nothing
+    /// can post — and [`SimError::AlreadyRan`] if this [`Gpu`] already ran.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        if self.ran {
+            return Err(SimError::AlreadyRan);
+        }
+        self.ran = true;
+        self.desc.finalize_flags(&self.st.mem);
+        let programs = if self.mode == EngineMode::Optimized {
+            let RunState { mem, sems, .. } = &mut self.st;
+            self.desc.collect_programs(mem, sems)
+        } else {
+            Programs::empty()
+        };
+        let trace_enabled = self.st.trace_enabled;
+        self.st.reset(&self.desc);
+        self.st.trace_enabled = trace_enabled;
+        execute(&self.desc, &programs, self.mode, &mut self.st)
     }
 }
 
@@ -1859,5 +2180,17 @@ mod tests {
             "expected a coalesced run, saw {} events",
             report.sim_events
         );
+    }
+
+    #[test]
+    fn build_error_displays_builder_and_input() {
+        let e = BuildError::missing("GemmBuilder(g1)", "A operand");
+        let s = e.to_string();
+        assert!(
+            s.contains("GemmBuilder(g1)") && s.contains("A operand"),
+            "{s}"
+        );
+        let sim: SimError = e.into();
+        assert!(matches!(sim, SimError::Build(_)));
     }
 }

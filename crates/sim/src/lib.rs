@@ -24,6 +24,14 @@
 //! queues are deterministic, so identical inputs produce identical
 //! timelines on every run — policy comparisons are exactly noise-free.
 //!
+//! Execution follows a **compile → session → runtime** lifecycle: build a
+//! workload on a [`Gpu`], freeze it once into an immutable, shareable
+//! [`CompiledPipeline`] ([`Gpu::compile`]), then execute it any number of
+//! times through a reusable [`Session`] (allocation-free after warmup) or
+//! concurrently through a [`Runtime`] worker pool. [`Gpu::run`] remains
+//! the one-shot convenience over the same engine; repeated session runs
+//! are bit-identical to fresh one-shot runs (see `crates/sim/README.md`).
+//!
 //! ## Example: two dependent kernels synchronized by a semaphore
 //!
 //! ```
@@ -57,6 +65,7 @@ mod kernel;
 mod mem;
 mod ops;
 mod sem;
+mod session;
 pub mod stats;
 mod time;
 mod trace;
@@ -64,13 +73,14 @@ mod trace;
 pub use config::{GpuConfig, MAX_OCCUPANCY, SM_CAPACITY_UNITS};
 pub use dim::Dim3;
 pub use engine::{
-    default_engine_mode, set_default_engine_mode, with_engine_mode, EngineMode, Gpu, SimError,
-    StreamId,
+    default_engine_mode, set_default_engine_mode, with_engine_mode, BuildError, EngineMode, Gpu,
+    SimError, StreamId,
 };
 pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, KernelSource, Step};
 pub use mem::{BufferId, DType, GlobalMemory, RaceEvent};
 pub use ops::Op;
 pub use sem::{SemArrayId, SemTable};
+pub use session::{run_compiled, CompiledPipeline, Runtime, Session, Ticket};
 pub use stats::{KernelReport, RunReport};
 pub use time::SimTime;
 pub use trace::{KernelId, TraceEvent};

@@ -76,7 +76,7 @@ impl fmt::Display for RaceEvent {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Buffer {
     name: String,
     len: usize,
@@ -102,7 +102,7 @@ struct Buffer {
 /// assert_eq!(mem.read(out, 0, SimTime::ZERO), 4.0);
 /// assert!(mem.races().is_empty());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalMemory {
     buffers: Vec<Buffer>,
     races: Vec<RaceEvent>,
@@ -262,6 +262,38 @@ impl GlobalMemory {
     /// timing-only buffer.
     pub fn snapshot(&self, id: BufferId) -> Option<&[f32]> {
         self.buffers[id.0].data.as_deref()
+    }
+
+    /// Restores this memory to the state of `template`, reusing existing
+    /// allocations when the buffer layouts match (the common case: a
+    /// [`Session`](crate::Session) re-running one compiled pipeline).
+    /// Timing-only buffers carry no data, so resetting them is free;
+    /// functional buffers copy their template contents in place. Race
+    /// accounting is cleared.
+    ///
+    /// When the layouts differ (the session was rebound to a different
+    /// pipeline), the memory is re-cloned wholesale.
+    pub fn reset_from(&mut self, template: &GlobalMemory) {
+        let compatible = self.buffers.len() == template.buffers.len()
+            && self.buffers.iter().zip(&template.buffers).all(|(b, t)| {
+                b.len == t.len
+                    && b.dtype == t.dtype
+                    && b.data.is_some() == t.data.is_some()
+                    && b.name == t.name
+            });
+        if compatible {
+            for (b, t) in self.buffers.iter_mut().zip(&template.buffers) {
+                if let (Some(data), Some(tdata)) = (&mut b.data, &t.data) {
+                    data.copy_from_slice(tdata);
+                }
+                b.poisoned = t.poisoned;
+            }
+        } else {
+            self.buffers.clone_from(&template.buffers);
+            self.race_cap = template.race_cap;
+        }
+        self.races.clear();
+        self.races_total = 0;
     }
 
     /// Race events recorded so far (capped; see [`GlobalMemory::races_total`]).

@@ -28,12 +28,12 @@ impl fmt::Display for SemArrayId {
 /// assert_eq!(sems.add(arr, 3, 2), 0); // atomicAdd returns the old value
 /// assert_eq!(sems.value(arr, 3), 2);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SemTable {
     arrays: Vec<SemArray>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SemArray {
     name: String,
     values: Vec<u32>,
@@ -105,6 +105,29 @@ impl SemTable {
         array.values.fill(init);
     }
 
+    /// Restores every array to the state of `template`, reusing existing
+    /// allocations when the layouts match (a [`Session`](crate::Session)
+    /// re-running one compiled pipeline). Post counters are restored from
+    /// the template too, so repeated runs report identical
+    /// synchronization counts.
+    pub fn reset_from(&mut self, template: &SemTable) {
+        let compatible = self.arrays.len() == template.arrays.len()
+            && self
+                .arrays
+                .iter()
+                .zip(&template.arrays)
+                .all(|(a, t)| a.values.len() == t.values.len() && a.name == t.name);
+        if compatible {
+            for (a, t) in self.arrays.iter_mut().zip(&template.arrays) {
+                a.values.copy_from_slice(&t.values);
+                a.init = t.init;
+                a.posts = t.posts;
+            }
+        } else {
+            self.arrays.clone_from(&template.arrays);
+        }
+    }
+
     /// Total number of atomic post operations performed on array `id`,
     /// used to verify policy synchronization counts (e.g. the paper's
     /// "TileSync requires 12 synchronizations, RowSync 6" example).
@@ -163,6 +186,18 @@ impl WaitLists {
         {
             Some(list) => std::mem::take(list),
             None => Vec::new(),
+        }
+    }
+
+    /// Empties every wait-list while keeping all allocated storage —
+    /// used by the session layer's `RunState::reset` so repeated runs
+    /// park/wake into already-sized lists. (After a completed run the
+    /// lists are empty anyway; a deadlocked run leaves waiters behind.)
+    pub fn clear_all(&mut self) {
+        for array in &mut self.lists {
+            for list in array {
+                list.clear();
+            }
         }
     }
 

@@ -1,0 +1,561 @@
+//! The compile → session → runtime lifecycle.
+//!
+//! Synchronization structure — kernel registrations, semaphore layouts,
+//! pre-computed `timing_static` flags, launch order — is a *compile-time*
+//! artifact: it never changes between invocations of the same workload.
+//! This module splits it from execution so it is built **once** and reused:
+//!
+//! - [`CompiledPipeline`] — the immutable, `Arc`-shareable artifact frozen
+//!   by [`Gpu::compile`]: the pipeline description plus pristine copies of
+//!   initial memory and semaphores.
+//! - [`Session`] — a reusable execution engine. [`Session::run`] executes
+//!   any compiled pipeline against a pooled [`RunState`] whose arenas
+//!   (event heaps, slabs, block programs, wait-lists) are *reset*, not
+//!   reallocated, between runs — so repeated runs of one pipeline are
+//!   allocation-free after warmup, and `AlreadyRan` disappears from the
+//!   happy path.
+//! - [`Runtime`] — a pool of worker threads, each owning one `Session`,
+//!   accepting concurrent pipeline submissions ([`Runtime::submit`]) for
+//!   the multi-tenant serving story.
+//!
+//! Determinism is preserved end to end: a `Session` re-run of a pipeline
+//! is bit-identical to a fresh [`Gpu`] run of the same workload, in both
+//! [`EngineMode`]s (`tests/session_reuse.rs`).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use std::sync::OnceLock;
+
+use crate::engine::{
+    default_engine_mode, execute, EngineMode, Gpu, PipelineDesc, Programs, RunState, SimError,
+};
+use crate::mem::GlobalMemory;
+use crate::sem::SemTable;
+use crate::stats::RunReport;
+use crate::trace::TraceEvent;
+use crate::GpuConfig;
+
+/// An immutable, shareable, repeatedly-executable workload: the frozen
+/// [`PipelineDesc`] plus pristine initial memory and semaphore state.
+///
+/// Produced by [`Gpu::compile`] (or the higher-level
+/// `cusync::Pipeline::compile`); executed by [`Session::run`],
+/// [`run_compiled`], or a [`Runtime`] pool. A `CompiledPipeline` is
+/// `Send + Sync`, so one `Arc<CompiledPipeline>` can serve any number of
+/// concurrent sessions.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cusync_sim::{Dim3, FixedKernel, Gpu, GpuConfig, Op, Session};
+///
+/// let mut gpu = Gpu::new(GpuConfig::toy(4));
+/// let s = gpu.create_stream(0);
+/// gpu.launch(s, Arc::new(FixedKernel::new(
+///     "k", Dim3::linear(6), 1, vec![Op::compute(1000)],
+/// )));
+/// let pipeline = gpu.compile()?;
+///
+/// let mut session = Session::new();
+/// let first = session.run(&pipeline)?;
+/// let again = session.run(&pipeline)?; // no rebuild, arenas reused
+/// assert_eq!(first.total, again.total);
+/// # Ok::<(), cusync_sim::SimError>(())
+/// ```
+pub struct CompiledPipeline {
+    desc: PipelineDesc,
+    mem: GlobalMemory,
+    sems: SemTable,
+    /// Pre-driven `timing_static` op programs, built on the first
+    /// optimized-engine run (then immutable and shared). Reference-engine
+    /// consumers never trigger — or pay for — collection.
+    programs: OnceLock<Programs>,
+}
+
+impl fmt::Debug for CompiledPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledPipeline")
+            .field("config", &self.desc.config.name)
+            .field("streams", &self.desc.streams.len())
+            .field("kernels", &self.desc.kernels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledPipeline {
+    /// The hardware model the pipeline was compiled for.
+    pub fn config(&self) -> &GpuConfig {
+        &self.desc.config
+    }
+
+    /// Number of registered kernels (wait-kernels included).
+    pub fn num_kernels(&self) -> usize {
+        self.desc.kernels.len()
+    }
+
+    /// Number of streams.
+    pub fn num_streams(&self) -> usize {
+        self.desc.streams.len()
+    }
+
+    /// Names of the registered kernels, in launch order.
+    pub fn kernel_names(&self) -> impl Iterator<Item = &str> {
+        self.desc.kernels.iter().map(|k| k.name.as_str())
+    }
+
+    /// The pristine initial memory every run starts from.
+    pub fn initial_mem(&self) -> &GlobalMemory {
+        &self.mem
+    }
+
+    /// The pristine initial semaphore table every run starts from.
+    pub fn initial_sems(&self) -> &SemTable {
+        &self.sems
+    }
+
+    /// The pre-driven op programs, collected on first use. Driving is
+    /// effect-free for `timing_static` bodies by contract, but the
+    /// `resume` signature wants mutable memory, so collection runs
+    /// against a scratch clone of the pristine initial memory — once per
+    /// pipeline, then shared by every session and runtime worker.
+    fn programs(&self) -> &Programs {
+        self.programs.get_or_init(|| {
+            let mut scratch = self.mem.clone();
+            self.desc.collect_programs(&mut scratch, &self.sems)
+        })
+    }
+}
+
+impl Gpu {
+    /// Freezes this built (but not yet run) GPU into an immutable
+    /// [`CompiledPipeline`]: kernel registrations, semaphore layout,
+    /// initial memory contents, and each kernel's pre-computed
+    /// `timing_static` eligibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AlreadyRan`] if the GPU has already executed —
+    /// its memory and semaphores would no longer be the pipeline's initial
+    /// state.
+    pub fn compile(mut self) -> Result<CompiledPipeline, SimError> {
+        if self.ran {
+            return Err(SimError::AlreadyRan);
+        }
+        self.desc.finalize_flags(&self.st.mem);
+        let RunState { mem, sems, .. } = self.st;
+        Ok(CompiledPipeline {
+            desc: self.desc,
+            mem,
+            sems,
+            programs: OnceLock::new(),
+        })
+    }
+}
+
+/// A reusable execution engine: one pooled [`RunState`] that any
+/// [`CompiledPipeline`] can run on, any number of times.
+///
+/// Between runs every per-run arena (event heap and slab, block slots,
+/// pre-driven op programs, wait-lists, traces) is rewound in place and
+/// memory/semaphores are restored from the pipeline's pristine copies —
+/// re-running the *same* pipeline allocates nothing after warmup, and
+/// running a *different* pipeline just re-primes the storage.
+pub struct Session {
+    mode: EngineMode,
+    st: RunState,
+    trace_enabled: bool,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("mode", &self.mode)
+            .field("trace_enabled", &self.trace_enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// Creates a session using the thread's default [`EngineMode`] (see
+    /// [`crate::with_engine_mode`]).
+    pub fn new() -> Self {
+        Session::with_mode(default_engine_mode())
+    }
+
+    /// Creates a session pinned to a specific engine implementation.
+    pub fn with_mode(mode: EngineMode) -> Self {
+        Session {
+            mode,
+            st: RunState::new(),
+            trace_enabled: false,
+        }
+    }
+
+    /// The engine implementation this session runs on.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Records scheduling events for inspection by [`Session::trace`].
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// The trace of the most recent run (empty unless
+    /// [`Session::enable_trace`] was called).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.st.trace()
+    }
+
+    /// Final global-memory state of the most recent run (functional
+    /// outputs, race log).
+    pub fn mem(&self) -> &GlobalMemory {
+        &self.st.mem
+    }
+
+    /// Final semaphore state of the most recent run.
+    pub fn sems(&self) -> &SemTable {
+        &self.st.sems
+    }
+
+    /// Executes `pipeline` to completion, resetting all per-run state
+    /// first. May be called any number of times, with the same or
+    /// different pipelines; every run starts from the pipeline's pristine
+    /// initial conditions and produces a timeline bit-identical to a fresh
+    /// [`Gpu`] run of the same workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if execution stalls with incomplete
+    /// kernels (the session remains usable afterwards).
+    pub fn run(&mut self, pipeline: &CompiledPipeline) -> Result<RunReport, SimError> {
+        self.st.reset(&pipeline.desc);
+        self.st.reset_storage(&pipeline.mem, &pipeline.sems);
+        self.st.trace_enabled = self.trace_enabled;
+        // The reference engine never replays programs; don't trigger
+        // their (lazy, once-per-pipeline) collection for it.
+        static EMPTY_PROGRAMS: OnceLock<Programs> = OnceLock::new();
+        let programs = match self.mode {
+            EngineMode::Optimized => pipeline.programs(),
+            EngineMode::Reference => EMPTY_PROGRAMS.get_or_init(Programs::empty),
+        };
+        execute(&pipeline.desc, programs, self.mode, &mut self.st)
+    }
+}
+
+thread_local! {
+    static THREAD_SESSION: RefCell<Session> = RefCell::new(Session::new());
+}
+
+/// Runs `pipeline` on this thread's pooled [`Session`], creating it on
+/// first use and re-creating it if the thread's default [`EngineMode`]
+/// changed since (so [`crate::with_engine_mode`] scopes behave exactly as
+/// they do for [`Gpu::new`]).
+///
+/// This is the convenience the one-shot model/bench helpers run on: every
+/// call after the first on a given thread reuses the warmed engine arenas.
+pub fn run_compiled(pipeline: &CompiledPipeline) -> Result<RunReport, SimError> {
+    THREAD_SESSION.with(|cell| {
+        let mut session = cell.borrow_mut();
+        if session.mode() != default_engine_mode() {
+            *session = Session::with_mode(default_engine_mode());
+        }
+        session.run(pipeline)
+    })
+}
+
+struct Job {
+    pipeline: Arc<CompiledPipeline>,
+    reply: mpsc::Sender<Result<RunReport, SimError>>,
+}
+
+/// A handle to one pipeline submission on a [`Runtime`]; resolve it with
+/// [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<RunReport, SimError>>,
+}
+
+impl Ticket {
+    /// Blocks until the submitted run completes and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the run's [`SimError`], or [`SimError::RuntimeShutdown`]
+    /// if the worker pool disappeared before completing the run.
+    pub fn wait(self) -> Result<RunReport, SimError> {
+        self.rx.recv().unwrap_or(Err(SimError::RuntimeShutdown))
+    }
+}
+
+/// A multi-tenant execution pool: `workers` OS threads, each owning one
+/// warmed [`Session`], draining a shared submission queue of
+/// `Arc<CompiledPipeline>`s.
+///
+/// This is the "serve heavy traffic" layer: compile each workload once,
+/// then submit it (and others) concurrently from any number of client
+/// threads. Every individual run is still fully deterministic — the pool
+/// only changes *wall-clock* scheduling, never simulated results.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cusync_sim::{Dim3, FixedKernel, Gpu, GpuConfig, Op, Runtime};
+///
+/// let mut gpu = Gpu::new(GpuConfig::toy(4));
+/// let s = gpu.create_stream(0);
+/// gpu.launch(s, Arc::new(FixedKernel::new(
+///     "k", Dim3::linear(4), 1, vec![Op::compute(500)],
+/// )));
+/// let pipeline = Arc::new(gpu.compile()?);
+///
+/// let runtime = Runtime::new(2);
+/// let tickets: Vec<_> = (0..8).map(|_| runtime.submit(Arc::clone(&pipeline))).collect();
+/// for t in tickets {
+///     assert_eq!(t.wait()?.kernels[0].blocks, 4);
+/// }
+/// # Ok::<(), cusync_sim::SimError>(())
+/// ```
+pub struct Runtime {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    mode: EngineMode,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers.len())
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Creates a pool of `workers` sessions (at least one) using the
+    /// calling thread's default [`EngineMode`].
+    pub fn new(workers: usize) -> Self {
+        Runtime::with_mode(default_engine_mode(), workers)
+    }
+
+    /// Creates a pool pinned to a specific engine implementation.
+    pub fn with_mode(mode: EngineMode, workers: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || {
+                    let mut session = Session::with_mode(mode);
+                    loop {
+                        // Hold the lock only for the dequeue, not the run.
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        let Ok(job) = job else { break };
+                        let result = session.run(&job.pipeline);
+                        // The client may have dropped its ticket; that is
+                        // not this worker's problem.
+                        let _ = job.reply.send(result);
+                    }
+                })
+            })
+            .collect();
+        Runtime {
+            tx: Some(tx),
+            workers,
+            mode,
+        }
+    }
+
+    /// Number of worker sessions in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The engine implementation the pool's sessions run on.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Enqueues one run of `pipeline`; the returned [`Ticket`] resolves to
+    /// its [`RunReport`]. Submissions are picked up by whichever worker
+    /// frees first.
+    pub fn submit(&self, pipeline: Arc<CompiledPipeline>) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        let job = Job { pipeline, reply };
+        // The queue only closes in Drop, so send can fail only if every
+        // worker thread died; the ticket then resolves to RuntimeShutdown.
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(job);
+        }
+        Ticket { rx }
+    }
+
+    /// Submits every pipeline and waits for all of them, preserving order.
+    pub fn run_all<I>(&self, pipelines: I) -> Vec<Result<RunReport, SimError>>
+    where
+        I: IntoIterator<Item = Arc<CompiledPipeline>>,
+    {
+        let tickets: Vec<Ticket> = pipelines.into_iter().map(|p| self.submit(p)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Close the queue, then let every worker drain and exit.
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dim3, FixedKernel, Op, SimTime};
+
+    fn quiet_config() -> GpuConfig {
+        GpuConfig {
+            host_launch_gap: SimTime::ZERO,
+            kernel_dispatch_latency: SimTime::ZERO,
+            block_jitter: 0.0,
+            ..GpuConfig::toy(4)
+        }
+    }
+
+    fn two_kernel_pipeline() -> CompiledPipeline {
+        let mut gpu = Gpu::new(quiet_config());
+        let sem = gpu.alloc_sems("sem", 1, 0);
+        let s1 = gpu.create_stream(0);
+        let s2 = gpu.create_stream(0);
+        gpu.launch(
+            s1,
+            Arc::new(FixedKernel::new(
+                "producer",
+                Dim3::linear(2),
+                1,
+                vec![Op::compute(10_000), Op::post(sem, 0)],
+            )),
+        );
+        gpu.launch(
+            s2,
+            Arc::new(FixedKernel::new(
+                "consumer",
+                Dim3::linear(2),
+                1,
+                vec![Op::wait(sem, 0, 1), Op::compute(100)],
+            )),
+        );
+        gpu.compile().unwrap()
+    }
+
+    #[test]
+    fn session_reruns_are_identical_and_reset_semaphores() {
+        let pipeline = two_kernel_pipeline();
+        let mut session = Session::new();
+        let first = session.run(&pipeline).unwrap();
+        assert_eq!(first.sem_posts, 2);
+        for _ in 0..3 {
+            let again = session.run(&pipeline).unwrap();
+            assert_eq!(first, again, "repeated runs must be bit-identical");
+        }
+        // The pristine pipeline state is untouched by running it.
+        assert_eq!(
+            pipeline
+                .initial_sems()
+                .value(pipeline.initial_sems().ids().next().unwrap(), 0),
+            0
+        );
+    }
+
+    #[test]
+    fn session_can_switch_pipelines() {
+        let a = two_kernel_pipeline();
+        let mut gpu = Gpu::new(quiet_config());
+        let s = gpu.create_stream(0);
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new(
+                "solo",
+                Dim3::linear(3),
+                1,
+                vec![Op::compute(500)],
+            )),
+        );
+        let b = gpu.compile().unwrap();
+        let mut session = Session::new();
+        let ra1 = session.run(&a).unwrap();
+        let rb = session.run(&b).unwrap();
+        let ra2 = session.run(&a).unwrap();
+        assert_eq!(ra1, ra2, "interleaving pipelines must not leak state");
+        assert_eq!(rb.kernels.len(), 1);
+    }
+
+    #[test]
+    fn compile_after_run_is_rejected() {
+        let mut gpu = Gpu::new(quiet_config());
+        let s = gpu.create_stream(0);
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new("k", Dim3::linear(1), 1, vec![])),
+        );
+        gpu.run().unwrap();
+        assert_eq!(gpu.compile().unwrap_err(), SimError::AlreadyRan);
+    }
+
+    #[test]
+    fn run_compiled_matches_dedicated_session() {
+        let pipeline = two_kernel_pipeline();
+        let pooled = run_compiled(&pipeline).unwrap();
+        let dedicated = Session::new().run(&pipeline).unwrap();
+        assert_eq!(pooled, dedicated);
+        // And respects engine-mode scopes.
+        let reference =
+            crate::with_engine_mode(EngineMode::Reference, || run_compiled(&pipeline).unwrap());
+        assert_eq!(reference.kernels, pooled.kernels);
+    }
+
+    #[test]
+    fn runtime_pool_serves_concurrent_submissions() {
+        let pipeline = Arc::new(two_kernel_pipeline());
+        let serial = Session::new().run(&pipeline).unwrap();
+        let runtime = Runtime::new(3);
+        assert_eq!(runtime.workers(), 3);
+        let results = runtime.run_all((0..16).map(|_| Arc::clone(&pipeline)));
+        assert_eq!(results.len(), 16);
+        for r in results {
+            assert_eq!(r.unwrap(), serial, "pooled runs must be deterministic");
+        }
+    }
+
+    #[test]
+    fn dropped_runtime_resolves_tickets_to_shutdown() {
+        let pipeline = Arc::new(two_kernel_pipeline());
+        let ticket = {
+            let runtime = Runtime::new(1);
+            let t = runtime.submit(Arc::clone(&pipeline));
+            // Drop the runtime; the in-flight job still completes because
+            // Drop joins the workers after closing the queue.
+            drop(runtime);
+            t
+        };
+        // The job was accepted before the drop, so it resolves normally.
+        assert!(ticket.wait().is_ok());
+    }
+}

@@ -42,8 +42,8 @@ const STREAMK_MAINLOOP_PENALTY: f64 = 1.15;
 use cusync_kernels::timing::{gemm_flops, mma_cycles};
 use cusync_kernels::{Epilogue, GemmBuilder, GemmDims, TileShape};
 use cusync_sim::{
-    BlockBody, BlockCtx, BufferId, DType, Dim3, Gpu, GpuConfig, KernelSource, Op, SemArrayId, Step,
-    StreamId,
+    BlockBody, BlockCtx, BufferId, BuildError, DType, Dim3, Gpu, GpuConfig, KernelSource, Op,
+    SemArrayId, Step, StreamId,
 };
 
 /// Builder for [`StreamKGemm`].
@@ -98,21 +98,32 @@ impl StreamKBuilder {
 
     /// Finalizes the Stream-K GeMM description.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if operands were not set.
-    pub fn build(self) -> StreamKGemm {
-        StreamKGemm {
+    /// Returns a [`BuildError`] if [`StreamKBuilder::operands`] was never
+    /// called.
+    pub fn build(self) -> Result<StreamKGemm, BuildError> {
+        let builder = || format!("StreamKBuilder({})", self.name);
+        let a = self
+            .a
+            .ok_or_else(|| BuildError::missing(builder(), "A operand"))?;
+        let b = self
+            .b
+            .ok_or_else(|| BuildError::missing(builder(), "B operand"))?;
+        let c = self
+            .c
+            .ok_or_else(|| BuildError::missing(builder(), "C operand"))?;
+        Ok(StreamKGemm {
             name: self.name,
             dims: self.dims,
             tile: self.tile,
             occupancy: self.occupancy,
             dtype: self.dtype,
             epilogue: self.epilogue,
-            a: self.a.expect("Stream-K A operand not set"),
-            b: self.b.expect("Stream-K B operand not set"),
-            c: self.c.expect("Stream-K C operand not set"),
-        }
+            a,
+            b,
+            c,
+        })
     }
 }
 
@@ -157,7 +168,8 @@ impl StreamKGemm {
                 .operands(self.a, self.b, self.c)
                 .epilogue(self.epilogue)
                 .occupancy(self.occupancy)
-                .build(gpu.config());
+                .build(gpu.config())
+                .expect("operands set");
             if rem == 0 {
                 gpu.launch(stream, Arc::new(kernel));
             } else {
@@ -611,7 +623,8 @@ mod tests {
         let sk = StreamKBuilder::new("sk", GemmDims::new(m, n, k), tile)
             .operands(a, b, c)
             .occupancy(1)
-            .build();
+            .build()
+            .expect("operands set");
         let stream = gpu.create_stream(0);
         sk.launch(&mut gpu, stream);
         let report = gpu.run().unwrap();
@@ -633,7 +646,8 @@ mod tests {
         let sk = StreamKBuilder::new("sk", GemmDims::new(32, 32, 32), TileShape::new(16, 16, 16))
             .operands(a, b, c)
             .occupancy(1)
-            .build();
+            .build()
+            .expect("operands set");
         let stream = gpu.create_stream(0);
         assert_eq!(sk.launch(&mut gpu, stream), 1);
         gpu.run().unwrap();
@@ -649,7 +663,8 @@ mod tests {
         let sk = StreamKBuilder::new("sk", GemmDims::new(48, 32, 32), TileShape::new(16, 16, 16))
             .operands(a, b, c)
             .occupancy(1)
-            .build();
+            .build()
+            .expect("operands set");
         assert_eq!(sk.total_tiles(), 6);
         assert_eq!(sk.full_wave_tiles(gpu.config()), 4);
         let stream = gpu.create_stream(0);
@@ -695,7 +710,8 @@ mod tests {
             let g = GemmBuilder::new("classic", dims, tile)
                 .operands(a, b, c)
                 .occupancy(1)
-                .build(gpu.config());
+                .build(gpu.config())
+                .expect("operands set");
             let stream = gpu.create_stream(0);
             gpu.launch(stream, Arc::new(g));
             gpu.run().unwrap().total
@@ -708,7 +724,8 @@ mod tests {
             let sk = StreamKBuilder::new("sk", dims, tile)
                 .operands(a, b, c)
                 .occupancy(1)
-                .build();
+                .build()
+                .expect("operands set");
             let stream = gpu.create_stream(0);
             sk.launch(&mut gpu, stream);
             gpu.run().unwrap().total

@@ -52,12 +52,14 @@ fn run_chain(policy: PolicyRef, opts: OptFlags, chunks: u32) -> RunReport {
     let g1 = GemmBuilder::new("gemm1", GemmDims::new(m, h, k), tile)
         .operands(x, w1, xw1)
         .stage(Arc::clone(bound.stage(s1)))
-        .build(gpu.config());
+        .build(gpu.config())
+        .expect("operands set");
     let g2 = GemmBuilder::new("gemm2", GemmDims::new(m, k, h), tile)
         .operands(xw1, w2, out)
         .stage(Arc::clone(bound.stage(s2)))
         .a_dep(InputDep::row_aligned(grid1), chunks)
-        .build(gpu.config());
+        .build(gpu.config())
+        .expect("operands set");
     bound.launch(&mut gpu, s1, Arc::new(g1)).unwrap();
     bound.launch(&mut gpu, s2, Arc::new(g2)).unwrap();
     let report = gpu.run().expect("pipeline deadlocked");
@@ -124,7 +126,8 @@ fn llama_swiglu_chain_with_strided_policy_is_correct() {
     let g1 = GemmBuilder::new("gemm1", GemmDims::new(m, 2 * inter, k), tile)
         .operands(x, w1v, comb)
         .stage(Arc::clone(bound.stage(s1)))
-        .build(gpu.config());
+        .build(gpu.config())
+        .expect("operands set");
     let g2 = GemmBuilder::new("gemm2", GemmDims::new(m, k, inter), tile)
         .swiglu_a(comb)
         .operands_b_c(w2, out)
@@ -138,7 +141,8 @@ fn llama_swiglu_chain_with_strided_policy_is_correct() {
             },
             half,
         )
-        .build(gpu.config());
+        .build(gpu.config())
+        .expect("operands set");
     bound.launch(&mut gpu, s1, Arc::new(g1)).unwrap();
     bound.launch(&mut gpu, s2, Arc::new(g2)).unwrap();
     let report = gpu.run().expect("swiglu chain deadlocked");
@@ -211,7 +215,7 @@ fn three_stage_chain_propagates_through_intermediates() {
         if i > 0 {
             b = b.a_dep(InputDep::row_aligned(grid), grid.x);
         }
-        let kernel = b.build(gpu.config());
+        let kernel = b.build(gpu.config()).expect("operands set");
         bound.launch(&mut gpu, stages[i], Arc::new(kernel)).unwrap();
     }
     let report = gpu.run().expect("3-stage chain deadlocked");

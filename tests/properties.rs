@@ -132,12 +132,12 @@ proptest! {
         let k1 = GemmBuilder::new("g1", GemmDims::new(m, h, k), tile)
             .operands(x, w1, xw1)
             .stage(Arc::clone(bound.stage(s1)))
-            .build(gpu.config());
+            .build(gpu.config()).expect("operands set");
         let k2 = GemmBuilder::new("g2", GemmDims::new(m, k, h), tile)
             .operands(xw1, w2, out)
             .stage(Arc::clone(bound.stage(s2)))
             .a_dep(InputDep::row_aligned(grid1), grid1.x)
-            .build(gpu.config());
+            .build(gpu.config()).expect("operands set");
         bound.launch(&mut gpu, s1, Arc::new(k1)).unwrap();
         bound.launch(&mut gpu, s2, Arc::new(k2)).unwrap();
         let report = gpu.run().expect("deadlock");
@@ -167,7 +167,8 @@ fn simulation_is_deterministic() {
             TileShape::new(128, 128, 32),
         )
         .operands(a, b, c)
-        .build(gpu.config());
+        .build(gpu.config())
+        .expect("operands set");
         let stream = gpu.create_stream(0);
         gpu.launch(stream, Arc::new(gemm));
         gpu.run().unwrap()

@@ -53,13 +53,15 @@ fn wait_kernel_prevents_the_section3b_deadlock() {
             .operands(x, w1, xw1)
             .occupancy(1)
             .stage(Arc::clone(bound.stage(s1)))
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         let g2 = GemmBuilder::new("cons", GemmDims::new(m, m, m), tile)
             .operands(xw1, w2, out)
             .occupancy(1)
             .stage(Arc::clone(bound.stage(s2)))
             .a_dep(InputDep::row_aligned(grid), grid.x)
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         if with_wait_kernel {
             // The paper's protocol (Fig. 4a): producer first, then the
             // wait-kernel + consumer. The wait-kernel parks on 1/16th of
@@ -151,7 +153,8 @@ fn conv_halo_waits_are_required_for_correctness() {
             .operands(input, w1, mid)
             .epilogue(Epilogue::None)
             .stage(Arc::clone(bound.stage(s1)))
-            .build(gpu.config());
+            .build(gpu.config())
+            .expect("operands set");
         let mut b2 = Conv2DBuilder::new("conv2", shape, tile)
             .operands(mid, w2, out)
             .epilogue(Epilogue::None)
@@ -163,7 +166,7 @@ fn conv_halo_waits_are_required_for_correctness() {
         if !halo_safe {
             b2 = b2.paper_literal_waits();
         }
-        let c2 = b2.build(gpu.config());
+        let c2 = b2.build(gpu.config()).expect("operands set");
         bound.launch(&mut gpu, s1, Arc::new(c1)).unwrap();
         bound.launch(&mut gpu, s2, Arc::new(c2)).unwrap();
         gpu.run().expect("conv chain deadlocked").races
@@ -198,7 +201,8 @@ proptest! {
         )
         .operands(a, b, c)
         .occupancy(1)
-        .build();
+        .build()
+        .expect("operands set");
         let stream = gpu.create_stream(0);
         sk.launch(&mut gpu, stream);
         let report = gpu.run().unwrap();
