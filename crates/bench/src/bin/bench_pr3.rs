@@ -1,0 +1,172 @@
+//! Measures the tensor-parallel allreduce-overlap scenario on the
+//! multi-device simulator: for each (workload, tokens, devices) cell, the
+//! simulated layer-boundary time under the serialized baseline vs the
+//! fine-grained overlap schedule, plus the simulated ring allreduce
+//! checked against the analytic oracle. Writes `BENCH_PR3.json`.
+//!
+//! Every cell is also executed under **both** engine modes and asserted
+//! bit-identical, so the benchmark doubles as a multi-device
+//! reference↔optimized equivalence smoke.
+//!
+//! Usage: `bench_pr3 [--quick] [--out PATH]`
+
+use std::time::Instant;
+
+use cusync_models::{
+    allreduce_time, ring_allreduce_time, tp_attention, tp_layer_time, tp_mlp, TpLayerConfig,
+    TpSchedule,
+};
+use cusync_sim::{with_engine_mode, ClusterConfig, EngineMode, GpuConfig, SimTime};
+
+struct Cell {
+    workload: &'static str,
+    cfg: TpLayerConfig,
+    devices: u32,
+    serialized: SimTime,
+    overlap: SimTime,
+    ar_sim: SimTime,
+    ar_analytic: SimTime,
+}
+
+impl Cell {
+    fn improvement_pct(&self) -> f64 {
+        100.0 * (1.0 - self.overlap.as_picos() as f64 / self.serialized.as_picos() as f64)
+    }
+
+    fn ar_err_pct(&self) -> f64 {
+        100.0 * (self.ar_sim.as_picos() as f64 - self.ar_analytic.as_picos() as f64)
+            / self.ar_analytic.as_picos() as f64
+    }
+}
+
+fn measure(workload: &'static str, cfg: TpLayerConfig, devices: u32) -> Cell {
+    let cluster = ClusterConfig::dgx_v100(devices);
+    let both = |schedule: TpSchedule| {
+        let optimized = with_engine_mode(EngineMode::Optimized, || {
+            tp_layer_time(&cluster, cfg, schedule)
+        });
+        let reference = with_engine_mode(EngineMode::Reference, || {
+            tp_layer_time(&cluster, cfg, schedule)
+        });
+        assert_eq!(
+            optimized, reference,
+            "{workload} tokens={} devices={devices} {schedule:?}: engines diverged",
+            cfg.tokens
+        );
+        optimized
+    };
+    let serialized = both(TpSchedule::Serialized);
+    let overlap = both(TpSchedule::Overlap);
+    let bytes = cfg.tokens as u64 * cfg.hidden as u64 * 2;
+    Cell {
+        workload,
+        cfg,
+        devices,
+        serialized,
+        overlap,
+        ar_sim: ring_allreduce_time(&GpuConfig::tesla_v100(), bytes, devices),
+        ar_analytic: allreduce_time(bytes, devices),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+
+    let token_set: &[u32] = if quick {
+        &[512]
+    } else {
+        &[256, 512, 1024, 2048]
+    };
+    let device_set: &[u32] = if quick { &[4, 8] } else { &[2, 4, 8] };
+    let hidden = 12288u32; // GPT-3 145B class
+
+    let started = Instant::now();
+    let mut cells = Vec::new();
+    for &devices in device_set {
+        for &tokens in token_set {
+            for (workload, cfg) in [
+                ("tp_mlp", tp_mlp(hidden, tokens)),
+                ("tp_attention", tp_attention(hidden, tokens)),
+            ] {
+                let cell = measure(workload, cfg, devices);
+                eprintln!(
+                    "{workload:>13} tokens={tokens:>4} devices={devices}: \
+                     serialized {:>9.1}us  overlap {:>9.1}us  ({:+.1}%)  \
+                     [ar sim {:.1}us vs analytic {:.1}us, {:+.1}%]",
+                    cell.serialized.as_micros(),
+                    cell.overlap.as_micros(),
+                    cell.improvement_pct(),
+                    cell.ar_sim.as_micros(),
+                    cell.ar_analytic.as_micros(),
+                    cell.ar_err_pct(),
+                );
+                cells.push(cell);
+            }
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    let improvements: Vec<f64> = cells.iter().map(Cell::improvement_pct).collect();
+    let mean = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let min = improvements.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_ar_err = cells
+        .iter()
+        .map(|c| c.ar_err_pct().abs())
+        .fold(0.0f64, f64::max);
+    let all_win = improvements.iter().all(|&i| i > 0.0);
+    assert!(
+        all_win,
+        "the overlap schedule must beat the serialized allreduce baseline in every cell"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"cusync-bench/1\",\n");
+    json.push_str("  \"pr\": \"PR3\",\n");
+    json.push_str(&format!(
+        "  \"scenario\": {{ \"hidden\": {hidden}, \"cluster\": \"dgx_v100\", \"quick\": {quick} }},\n"
+    ));
+    json.push_str("  \"entries\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"tokens\": {}, \"devices\": {}, \
+             \"serialized_us\": {:.3}, \"overlap_us\": {:.3}, \"improvement_pct\": {:.2}, \
+             \"allreduce_sim_us\": {:.3}, \"allreduce_analytic_us\": {:.3}, \
+             \"allreduce_err_pct\": {:.2} }}{}\n",
+            c.workload,
+            c.cfg.tokens,
+            c.devices,
+            c.serialized.as_micros(),
+            c.overlap.as_micros(),
+            c.improvement_pct(),
+            c.ar_sim.as_micros(),
+            c.ar_analytic.as_micros(),
+            c.ar_err_pct(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"summary\": {\n");
+    json.push_str(&format!(
+        "    \"mean_improvement_pct\": {mean:.2},\n    \"min_improvement_pct\": {min:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"max_allreduce_err_pct\": {max_ar_err:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"overlap_beats_serialized_everywhere\": {all_win},\n"
+    ));
+    json.push_str(&format!("    \"wall_seconds\": {wall:.3}\n"));
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

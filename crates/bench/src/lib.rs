@@ -14,6 +14,7 @@
 //! | `overhead` | Section V-D — the maximum synchronization overhead bound |
 //! | `bench_pr1` | `BENCH_PR1.json` — event-loop overhaul perf trajectory |
 //! | `bench_pr2` | `BENCH_PR2.json` — rebuild-per-run vs compiled-reuse vs pooled `Runtime` |
+//! | `bench_pr3` | `BENCH_PR3.json` — tensor-parallel allreduce overlap vs serialized baseline |
 //!
 //! The Criterion benches in `benches/paper.rs` wrap the same workloads for
 //! wall-clock regression tracking of the simulator itself.

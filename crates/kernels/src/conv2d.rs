@@ -167,8 +167,29 @@ impl Conv2DBuilder {
     /// # Errors
     ///
     /// Returns a [`BuildError`] if [`Conv2DBuilder::operands`] was never
-    /// called.
+    /// called, or if the convolution shape or tile has a zero extent
+    /// (which would launch an empty grid).
     pub fn build(self, gpu: &GpuConfig) -> Result<Conv2DKernel, BuildError> {
+        let builder = || format!("Conv2DBuilder({})", self.name);
+        let s = &self.shape;
+        if s.batch == 0 || s.p == 0 || s.q == 0 || s.c == 0 || s.k == 0 || s.r == 0 || s.s == 0 {
+            return Err(BuildError::invalid(
+                builder(),
+                format!(
+                    "Conv2DShape batch={} p={} q={} c={} k={} r={} s={} has a zero extent",
+                    s.batch, s.p, s.q, s.c, s.k, s.r, s.s
+                ),
+            ));
+        }
+        if self.tile.m == 0 || self.tile.n == 0 || self.tile.k == 0 {
+            return Err(BuildError::invalid(
+                builder(),
+                format!(
+                    "tile {}x{}x{} has a zero dimension",
+                    self.tile.m, self.tile.n, self.tile.k
+                ),
+            ));
+        }
         let grid = Dim3::new(
             self.shape.k.div_ceil(self.tile.n),
             self.shape.gemm_m().div_ceil(self.tile.m),
@@ -177,7 +198,6 @@ impl Conv2DBuilder {
         let occupancy = self
             .occupancy
             .unwrap_or_else(|| occupancy_for_tile(self.tile.m, self.tile.n));
-        let builder = || format!("Conv2DBuilder({})", self.name);
         let input = self
             .input
             .ok_or_else(|| BuildError::missing(builder(), "input"))?;

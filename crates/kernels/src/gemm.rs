@@ -340,9 +340,28 @@ impl GemmBuilder {
     ///
     /// Returns a [`BuildError`] if the A, B or C operand was never set
     /// ([`GemmBuilder::operands`] / [`GemmBuilder::swiglu_a`] +
-    /// [`GemmBuilder::operands_b_c`]).
+    /// [`GemmBuilder::operands_b_c`]), or if the problem dimensions or
+    /// tile have a zero extent (which would launch an empty grid).
     pub fn build(self, gpu: &GpuConfig) -> Result<GemmKernel, BuildError> {
         let builder = || format!("GemmBuilder({})", self.name);
+        if self.dims.m == 0 || self.dims.n == 0 || self.dims.k == 0 {
+            return Err(BuildError::invalid(
+                builder(),
+                format!(
+                    "GemmDims {}x{}x{} has a zero dimension",
+                    self.dims.m, self.dims.n, self.dims.k
+                ),
+            ));
+        }
+        if self.tile.m == 0 || self.tile.n == 0 || self.tile.k == 0 {
+            return Err(BuildError::invalid(
+                builder(),
+                format!(
+                    "tile {}x{}x{} has a zero dimension",
+                    self.tile.m, self.tile.n, self.tile.k
+                ),
+            ));
+        }
         let a = self
             .a
             .ok_or_else(|| BuildError::missing(builder(), "A operand"))?;

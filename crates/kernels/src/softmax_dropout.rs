@@ -101,14 +101,27 @@ impl SoftmaxDropoutBuilder {
     /// # Errors
     ///
     /// Returns a [`BuildError`] if [`SoftmaxDropoutBuilder::operands`]
-    /// was never called.
+    /// was never called, or if the matrix or tile has a zero extent
+    /// (which would launch an empty grid).
     pub fn build(self, gpu: &GpuConfig) -> Result<SoftmaxDropoutKernel, BuildError> {
+        let builder = || format!("SoftmaxDropoutBuilder({})", self.name);
+        if self.rows == 0 || self.cols == 0 {
+            return Err(BuildError::invalid(
+                builder(),
+                format!("{}x{} matrix has a zero extent", self.rows, self.cols),
+            ));
+        }
+        if self.tile.m == 0 || self.tile.n == 0 {
+            return Err(BuildError::invalid(
+                builder(),
+                format!("tile {}x{} has a zero dimension", self.tile.m, self.tile.n),
+            ));
+        }
         let grid = Dim3::new(
             self.cols.div_ceil(self.tile.n),
             self.rows.div_ceil(self.tile.m),
             1,
         );
-        let builder = || format!("SoftmaxDropoutBuilder({})", self.name);
         let input = self
             .input
             .ok_or_else(|| BuildError::missing(builder(), "input"))?;

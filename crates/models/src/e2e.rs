@@ -1,9 +1,11 @@
 //! End-to-end inference assembly (Fig. 8): layer times x layer counts,
-//! plus the model-parallel allreduces.
+//! plus the model-parallel allreduces — **simulated** as ring collectives
+//! through the multi-device engine (the closed-form `allreduce_time`
+//! remains as their checked oracle; see `tests/allreduce_model.rs`).
 
 use cusync_sim::{GpuConfig, SimTime};
 
-use crate::allreduce::allreduce_time;
+use crate::allreduce::ring_allreduce_report;
 use crate::attention::AttentionConfig;
 use crate::mlp::MlpModel;
 use crate::modes::SyncMode;
@@ -77,13 +79,20 @@ pub fn llm_step_report(
     let mlp_report = crate::run_mlp(gpu, model.mlp, tokens, mode);
     let attn = attn_report.total;
     let mlp = mlp_report.total;
-    let ar = allreduce_time(tokens as u64 * model.hidden() as u64 * 2, MP_DEGREE);
+    // The two per-layer allreduces run as simulated ring collectives on
+    // an MP_DEGREE-device cluster of this GPU; their cost is identical
+    // across sync modes, which is exactly the Fig. 6 → Fig. 8 dilution.
+    let (ar, ar_events) =
+        ring_allreduce_report(gpu, tokens as u64 * model.hidden() as u64 * 2, MP_DEGREE);
     let per_layer = attn + mlp + ar + ar;
     let mut total = SimTime::ZERO;
     for _ in 0..model.layers {
         total += per_layer;
     }
-    (total, attn_report.sim_events + mlp_report.sim_events)
+    (
+        total,
+        attn_report.sim_events + mlp_report.sim_events + ar_events,
+    )
 }
 
 /// Percentage reduction in end-to-end inference time over StreamSync

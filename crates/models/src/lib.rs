@@ -38,9 +38,13 @@ mod e2e;
 mod mlp;
 mod modes;
 mod tiling;
+mod tp;
 mod vision;
 
-pub use allreduce::allreduce_time;
+pub use allreduce::{
+    allreduce_time, launch_ring_allreduce, ring_allreduce_report, ring_allreduce_time,
+    RingAllreduce,
+};
 pub use attention::{
     attention_improvement, attention_time, build_attention, compile_attention, run_attention,
     AttentionConfig,
@@ -52,6 +56,10 @@ pub use e2e::{
 pub use mlp::{build_mlp, compile_mlp, mlp_improvement, mlp_time, run_mlp, MlpModel};
 pub use modes::{PolicyKind, SyncMode};
 pub use tiling::{auto_tiling, conv_tiling, gpt3_mlp_tiling, GemmTiling, MlpTiling};
+pub use tp::{
+    build_tp_layer, compile_tp_layer, run_tp_layer, tp_attention, tp_layer_time, tp_mlp,
+    tp_overlap_improvement, TpKind, TpLayerConfig, TpSchedule,
+};
 pub use vision::{
     build_conv_layer, compile_conv_layer, conv_improvement, conv_layer_time, pq_for_channels,
     resnet38, run_conv_layer, vgg19, ConvStage,

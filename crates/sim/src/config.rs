@@ -206,6 +206,145 @@ impl Default for GpuConfig {
     }
 }
 
+/// Hardware model of a multi-GPU node: per-device [`GpuConfig`]s plus the
+/// point-to-point interconnect (NVLink-class) linking them in a ring.
+///
+/// Every single-GPU workload is the 1-device special case
+/// ([`ClusterConfig::single`]); the link parameters are then unused. The
+/// interconnect model is deliberately simple and deterministic:
+///
+/// - [`Op::LinkSend`](crate::Op::LinkSend) charges pure **wire time**
+///   (`bytes / link_bytes_per_sec`) on the sending block, unscaled by
+///   SM residency or jitter — link bandwidth is not an SM resource.
+/// - The **post → observe** edge of a cross-device semaphore pays
+///   [`ClusterConfig::link_latency`] once: a post to an array homed on a
+///   remote device becomes visible `link_latency` later than a local
+///   post, and a wait polling a remote array pays `link_latency` on top
+///   of the local poll cost. This is the qualitative asymmetry between
+///   intra- and inter-device synchronization reported by Zhang et al.
+///   ("A Study of Single and Multi-device Synchronization Methods in
+///   Nvidia GPUs").
+///
+/// # Examples
+///
+/// ```
+/// use cusync_sim::ClusterConfig;
+///
+/// let node = ClusterConfig::dgx_v100(4);
+/// assert_eq!(node.num_devices(), 4);
+/// assert_eq!(node.total_sms(), 4 * 80);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Hardware model of each device. Device ids are indexes into this
+    /// vector; device 0 is the default target of the single-GPU API.
+    pub devices: Vec<GpuConfig>,
+    /// One-way propagation latency of the inter-device link, paid by the
+    /// post→observe edge of every cross-device semaphore operation.
+    pub link_latency: SimTime,
+    /// Per-direction wire bandwidth of one inter-device link, bytes/s.
+    pub link_bytes_per_sec: f64,
+}
+
+impl ClusterConfig {
+    /// Peak NVLink ring bandwidth per GPU on a DGX-2 class machine.
+    pub const NVLINK_BYTES_PER_SEC: f64 = 130e9;
+
+    /// End-to-end cost of one cross-device signal hop on a DGX-class
+    /// machine, in nanoseconds: what NCCL-style collectives observe per
+    /// ring step. [`ClusterConfig::dgx_v100`] calibrates
+    /// [`ClusterConfig::link_latency`] so that `fence + post + link +
+    /// observe-poll` adds up to this figure.
+    pub const DGX_HOP_NANOS: u64 = 4_000;
+
+    /// A single-device cluster (the degenerate case every pre-cluster
+    /// workload runs as).
+    pub fn single(gpu: GpuConfig) -> Self {
+        ClusterConfig {
+            devices: vec![gpu],
+            link_latency: SimTime::ZERO,
+            link_bytes_per_sec: Self::NVLINK_BYTES_PER_SEC,
+        }
+    }
+
+    /// `n` identical devices on a ring with the given link parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn homogeneous(
+        n: u32,
+        gpu: GpuConfig,
+        link_latency: SimTime,
+        link_bytes_per_sec: f64,
+    ) -> Self {
+        assert!(n > 0, "a cluster needs at least one device");
+        ClusterConfig {
+            devices: vec![gpu; n as usize],
+            link_latency,
+            link_bytes_per_sec,
+        }
+    }
+
+    /// `n` copies of `gpu` on an NVLink ring, with the link latency
+    /// calibrated so one signal hop (`fence + post + link + observe-poll`,
+    /// at `gpu`'s clock) costs [`ClusterConfig::DGX_HOP_NANOS`] end to end
+    /// — the per-hop constant of the analytic allreduce model this
+    /// simulator's ring collective is regression-tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn nvlink_ring(n: u32, gpu: GpuConfig) -> Self {
+        // The measured hop constant includes the software signaling around
+        // the link: the sender's fence + atomic post and the receiver's
+        // observing poll. The raw propagation latency is what remains.
+        // Each cost is rounded to picoseconds separately, exactly as the
+        // engine charges them.
+        let signaling = gpu.cycles(gpu.fence_cycles)
+            + gpu.cycles(gpu.atomic_latency_cycles)
+            + gpu.cycles(gpu.poll_latency_cycles);
+        let link_latency = SimTime::from_nanos(Self::DGX_HOP_NANOS).saturating_sub(signaling);
+        Self::homogeneous(n, gpu, link_latency, Self::NVLINK_BYTES_PER_SEC)
+    }
+
+    /// A DGX-class node of `n` V100s on an NVLink ring (see
+    /// [`ClusterConfig::nvlink_ring`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn dgx_v100(n: u32) -> Self {
+        Self::nvlink_ring(n, GpuConfig::tesla_v100())
+    }
+
+    /// Number of devices in the cluster.
+    pub fn num_devices(&self) -> u32 {
+        self.devices.len() as u32
+    }
+
+    /// Hardware model of device `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn device(&self, d: u32) -> &GpuConfig {
+        &self.devices[d as usize]
+    }
+
+    /// Total SMs across all devices.
+    pub fn total_sms(&self) -> u32 {
+        self.devices.iter().map(|g| g.num_sms).sum()
+    }
+
+    /// Wire time of `bytes` over one link at
+    /// [`ClusterConfig::link_bytes_per_sec`] (propagation latency not
+    /// included; that is paid by the cross-device semaphore edge).
+    pub fn link_wire_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_picos((bytes as f64 / self.link_bytes_per_sec * 1e12).round() as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +391,42 @@ mod tests {
     #[test]
     fn toy_gpu_has_requested_sms() {
         assert_eq!(GpuConfig::toy(4).num_sms, 4);
+    }
+
+    #[test]
+    fn single_cluster_wraps_one_device() {
+        let c = ClusterConfig::single(GpuConfig::toy(4));
+        assert_eq!(c.num_devices(), 1);
+        assert_eq!(c.total_sms(), 4);
+        assert_eq!(c.link_latency, SimTime::ZERO);
+    }
+
+    #[test]
+    fn dgx_hop_calibration_sums_to_the_measured_constant() {
+        let c = ClusterConfig::dgx_v100(8);
+        let gpu = c.device(0);
+        let hop = c.link_latency
+            + gpu.cycles(gpu.fence_cycles)
+            + gpu.cycles(gpu.atomic_latency_cycles)
+            + gpu.cycles(gpu.poll_latency_cycles);
+        assert_eq!(
+            hop,
+            SimTime::from_nanos(ClusterConfig::DGX_HOP_NANOS),
+            "signal hop must add up to the measured 4us"
+        );
+    }
+
+    #[test]
+    fn link_wire_time_scales_with_bytes() {
+        let c = ClusterConfig::dgx_v100(2);
+        // 130 GB/s: 130 bytes per nanosecond.
+        assert_eq!(c.link_wire_time(130_000), SimTime::from_nanos(1_000));
+        assert!(c.link_wire_time(1 << 20) > c.link_wire_time(1 << 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cluster_rejected() {
+        ClusterConfig::homogeneous(0, GpuConfig::tesla_v100(), SimTime::ZERO, 1e9);
     }
 }

@@ -47,7 +47,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 use std::sync::Arc;
 
-use crate::config::{GpuConfig, SM_CAPACITY_UNITS};
+use crate::config::{ClusterConfig, GpuConfig, SM_CAPACITY_UNITS};
 use crate::dim::Dim3;
 use crate::kernel::{BlockCtx, KernelSource, Step};
 use crate::mem::{BufferId, DType, GlobalMemory};
@@ -129,18 +129,33 @@ pub fn with_engine_mode<R>(mode: EngineMode, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// What kind of input a kernel or pipeline builder rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuildErrorKind {
+    /// A required input (operand buffer, stage) was never provided.
+    MissingInput,
+    /// A provided shape is degenerate: a zero-sized problem dimension or
+    /// thread-block tile, which would launch an empty or undefined grid.
+    InvalidShape,
+}
+
 /// Error from a kernel or pipeline builder: a required input was never
-/// provided before `build()` was called.
+/// provided — or a provided shape was degenerate — before `build()` was
+/// called.
 ///
-/// Builders used to `panic!` on missing operands; they now return this
-/// typed error so library callers (model assemblers, autotuners) can
-/// surface the problem instead of aborting.
+/// Builders used to `panic!` on missing operands (and aborted deep in
+/// `Gpu::launch` on empty grids); they now return this typed error so
+/// library callers (model assemblers, autotuners) can surface the problem
+/// instead of aborting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BuildError {
     /// Which builder rejected the build (e.g. `"GemmBuilder(gemm1)"`).
     pub builder: String,
-    /// The required input that was not set (e.g. `"A operand"`).
+    /// The offending input: the required input that was not set (e.g.
+    /// `"A operand"`), or a description of the degenerate shape.
     pub missing: String,
+    /// How the input was rejected.
+    pub kind: BuildErrorKind,
 }
 
 impl BuildError {
@@ -149,17 +164,32 @@ impl BuildError {
         BuildError {
             builder: builder.into(),
             missing: missing.into(),
+            kind: BuildErrorKind::MissingInput,
+        }
+    }
+
+    /// A "degenerate shape" error.
+    pub fn invalid(builder: impl Into<String>, what: impl Into<String>) -> Self {
+        BuildError {
+            builder: builder.into(),
+            missing: what.into(),
+            kind: BuildErrorKind::InvalidShape,
         }
     }
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: required input not set: {}",
-            self.builder, self.missing
-        )
+        match self.kind {
+            BuildErrorKind::MissingInput => write!(
+                f,
+                "{}: required input not set: {}",
+                self.builder, self.missing
+            ),
+            BuildErrorKind::InvalidShape => {
+                write!(f, "{}: invalid shape: {}", self.builder, self.missing)
+            }
+        }
     }
 }
 
@@ -265,10 +295,11 @@ impl PartialOrd for Event {
     }
 }
 
-/// One stream of the pipeline description: its priority and the launch
-/// queue of kernel indexes (immutable after compile; the per-run cursor
-/// lives in [`RunState::stream_next`]).
+/// One stream of the pipeline description: its device, priority and the
+/// launch queue of kernel indexes (immutable after compile; the per-run
+/// cursor lives in [`RunState::stream_next`]).
 pub(crate) struct StreamDesc {
+    pub(crate) device: u32,
     pub(crate) priority: i32,
     pub(crate) queue: Vec<usize>,
 }
@@ -279,6 +310,9 @@ pub(crate) struct KernelDesc {
     pub(crate) source: Arc<dyn KernelSource>,
     pub(crate) name: String,
     pub(crate) stream: usize,
+    /// Device the owning stream lives on: this kernel's blocks only
+    /// occupy that device's SMs.
+    pub(crate) device: u32,
     pub(crate) priority: i32,
     pub(crate) host_ready: SimTime,
     pub(crate) grid: Dim3,
@@ -298,12 +332,21 @@ pub(crate) struct KernelDesc {
 /// pre-driven op programs live in a (lazily built, then immutable)
 /// [`Programs`] at the compiled-pipeline layer.
 pub(crate) struct PipelineDesc {
-    pub(crate) config: GpuConfig,
-    pub(crate) costs: FixedCosts,
+    pub(crate) cluster: ClusterConfig,
+    /// Fixed op costs per device, index-aligned with `cluster.devices`.
+    pub(crate) costs: Vec<FixedCosts>,
+    /// Global index of each device's first SM (devices own contiguous SM
+    /// ranges of the flat per-SM arrays in [`RunState`]).
+    pub(crate) sm_base: Vec<u32>,
+    /// Owning device of each global SM index.
+    pub(crate) device_of_sm: Vec<u32>,
     pub(crate) streams: Vec<StreamDesc>,
     pub(crate) kernels: Vec<KernelDesc>,
-    /// Host-side launch cursor, only advanced while building.
-    host_time: SimTime,
+    /// Host-side launch cursor per device, only advanced while building.
+    /// Each device's kernels are launched by its own host thread (the
+    /// tensor-parallel ranks of a multi-GPU job), so launches to
+    /// different devices do not serialize on one host queue.
+    host_time: Vec<SimTime>,
     finalized: bool,
 }
 
@@ -338,16 +381,38 @@ impl Programs {
 }
 
 impl PipelineDesc {
-    pub(crate) fn new(config: GpuConfig) -> Self {
-        let costs = FixedCosts::of(&config);
+    pub(crate) fn new(cluster: ClusterConfig) -> Self {
+        let costs = cluster.devices.iter().map(FixedCosts::of).collect();
+        let mut sm_base = Vec::with_capacity(cluster.devices.len());
+        let mut device_of_sm = Vec::with_capacity(cluster.total_sms() as usize);
+        let mut base = 0u32;
+        for (d, gpu) in cluster.devices.iter().enumerate() {
+            sm_base.push(base);
+            device_of_sm.extend(std::iter::repeat_n(d as u32, gpu.num_sms as usize));
+            base += gpu.num_sms;
+        }
+        let host_time = vec![SimTime::ZERO; cluster.devices.len()];
         PipelineDesc {
-            config,
+            cluster,
             costs,
+            sm_base,
+            device_of_sm,
             streams: Vec::new(),
             kernels: Vec::new(),
-            host_time: SimTime::ZERO,
+            host_time,
             finalized: false,
         }
+    }
+
+    /// Device 0's hardware model — what the single-GPU accessors
+    /// ([`Gpu::config`], `CompiledPipeline::config`) report.
+    pub(crate) fn primary_config(&self) -> &GpuConfig {
+        &self.cluster.devices[0]
+    }
+
+    /// Hardware model of device `d`.
+    pub(crate) fn device_config(&self, d: u32) -> &GpuConfig {
+        self.cluster.device(d)
     }
 
     /// Computes each kernel's `timing_static` pre-drive eligibility
@@ -526,8 +591,9 @@ pub(crate) struct RunState {
     /// SM; busy-wait spinners occupy their slot but consume negligible
     /// execution throughput.
     sm_active: Vec<u32>,
-    /// GPU-wide sum of `sm_active`, for the dynamic DRAM-share model.
-    active_units: u64,
+    /// Per-device sum of that device's `sm_active` entries, for the
+    /// dynamic DRAM-share model (each device owns its own DRAM).
+    active_units: Vec<u64>,
     blocks: Vec<BlockSlot>,
     /// Reference-mode waiter registry (the original representation).
     waiters: BTreeMap<(usize, u32), Vec<usize>>,
@@ -536,9 +602,10 @@ pub(crate) struct RunState {
     /// Optimized mode: kernels that are ready and still have unissued
     /// blocks, ordered exactly like the reference scan's sort key.
     ready_queue: BTreeSet<(Reverse<i32>, usize)>,
-    /// Optimized mode: `(free_units, Reverse(sm))` per SM, so the
-    /// least-loaded-first placement is a `last()` lookup.
-    sm_index: BTreeSet<(u32, Reverse<usize>)>,
+    /// Optimized mode: per device, `(free_units, Reverse(global_sm))` for
+    /// that device's SMs, so the least-loaded-first placement within a
+    /// kernel's device is a `last()` lookup.
+    sm_index: Vec<BTreeSet<(u32, Reverse<usize>)>>,
     /// Optimized mode: set when SM capacity was freed or a kernel became
     /// ready — the only transitions after which `try_issue` can place a
     /// block.
@@ -570,12 +637,12 @@ impl RunState {
             events_handled: 0,
             sm_free: Vec::new(),
             sm_active: Vec::new(),
-            active_units: 0,
+            active_units: Vec::new(),
             blocks: Vec::new(),
             waiters: BTreeMap::new(),
             wait_lists: WaitLists::new(),
             ready_queue: BTreeSet::new(),
-            sm_index: BTreeSet::new(),
+            sm_index: Vec::new(),
             issue_dirty: false,
             issue_scratch: Vec::new(),
             wake_scratch: Vec::new(),
@@ -593,7 +660,8 @@ impl RunState {
     /// every arena allocation. Memory and semaphores are *not* touched
     /// here; see the type-level invariants.
     pub(crate) fn reset(&mut self, desc: &PipelineDesc) {
-        let sms = desc.config.num_sms as usize;
+        let sms = desc.cluster.total_sms() as usize;
+        let devices = desc.cluster.devices.len();
         self.kernels.clear();
         self.kernels
             .resize(desc.kernels.len(), KernelRun::default());
@@ -610,12 +678,16 @@ impl RunState {
         self.sm_free.resize(sms, SM_CAPACITY_UNITS);
         self.sm_active.clear();
         self.sm_active.resize(sms, 0);
-        self.active_units = 0;
+        self.active_units.clear();
+        self.active_units.resize(devices, 0);
         self.blocks.clear();
         self.waiters.clear();
         self.wait_lists.clear_all();
         self.ready_queue.clear();
-        self.sm_index.clear();
+        for index in &mut self.sm_index {
+            index.clear();
+        }
+        self.sm_index.resize_with(devices, BTreeSet::new);
         self.issue_dirty = false;
         self.issue_scratch.clear();
         self.wake_scratch.clear();
@@ -673,13 +745,10 @@ struct Exec<'a> {
 impl Exec<'_> {
     fn run_all(&mut self) -> Result<RunReport, SimError> {
         if self.mode == EngineMode::Optimized {
-            self.st.sm_index = self
-                .st
-                .sm_free
-                .iter()
-                .enumerate()
-                .map(|(sm, &free)| (free, Reverse(sm)))
-                .collect();
+            for (sm, &free) in self.st.sm_free.iter().enumerate() {
+                let d = self.desc.device_of_sm[sm] as usize;
+                self.st.sm_index[d].insert((free, Reverse(sm)));
+            }
         }
         for s in 0..self.desc.streams.len() {
             self.schedule_stream_head(s);
@@ -862,11 +931,45 @@ impl Exec<'_> {
         }
     }
 
+    /// Hardware model of the device `kernel` runs on.
+    fn kernel_cfg(&self, kernel: usize) -> &GpuConfig {
+        self.desc.device_config(self.desc.kernels[kernel].device)
+    }
+
+    /// Device of the kernel owning block `bid`.
+    fn block_device(&self, bid: usize) -> u32 {
+        self.desc.kernels[self.st.blocks[bid].kernel].device
+    }
+
+    /// Cost of one semaphore poll issued from `device` against `table`:
+    /// the local poll latency, plus one link traversal when the array is
+    /// homed on another device.
+    fn poll_cost(&self, device: u32, table: SemArrayId) -> SimTime {
+        let local = self.desc.costs[device as usize].poll;
+        if self.st.sems.device(table) == device {
+            local
+        } else {
+            local + self.desc.cluster.link_latency
+        }
+    }
+
+    /// Cost for an atomic issued from `device` to become visible in
+    /// `table`'s home memory: the local atomic latency, plus one link
+    /// traversal when the array is homed on another device.
+    fn atomic_cost(&self, device: u32, table: SemArrayId) -> SimTime {
+        let local = self.desc.costs[device as usize].atomic;
+        if self.st.sems.device(table) == device {
+            local
+        } else {
+            local + self.desc.cluster.link_latency
+        }
+    }
+
     fn schedule_stream_head(&mut self, stream: usize) {
         let s = &self.desc.streams[stream];
         if let Some(&k) = s.queue.get(self.st.stream_next[stream]) {
             let ready = self.st.now.max(self.desc.kernels[k].host_ready)
-                + self.desc.config.kernel_dispatch_latency;
+                + self.kernel_cfg(k).kernel_dispatch_latency;
             self.push_event(ready, EventKind::KernelReady(k));
         }
     }
@@ -885,17 +988,19 @@ impl Exec<'_> {
         }
         order.sort_by_key(|&k| (Reverse(self.desc.kernels[k].priority), k));
         for k in order {
+            let device = self.desc.kernels[k].device as usize;
+            let base = self.desc.sm_base[device] as usize;
+            let sms = self.desc.cluster.devices[device].num_sms as usize;
             loop {
                 if self.st.kernels[k].issued >= self.desc.kernels[k].total {
                     break;
                 }
                 let units = self.desc.kernels[k].units;
-                // Least-loaded SM first: the hardware work distributor
-                // spreads blocks across SMs, so sparse grids get whole SMs
-                // to themselves (and run faster; see `residency_scale`).
-                let Some((sm, &free)) = self
-                    .st
-                    .sm_free
+                // Least-loaded SM first — within the kernel's own device:
+                // the hardware work distributor spreads blocks across SMs,
+                // so sparse grids get whole SMs to themselves (and run
+                // faster; see `residency_scale`).
+                let Some((sm, &free)) = self.st.sm_free[base..base + sms]
                     .iter()
                     .enumerate()
                     .filter(|&(_, &f)| f >= units)
@@ -904,7 +1009,7 @@ impl Exec<'_> {
                     break;
                 };
                 let _ = free;
-                self.issue_block(k, sm as u32);
+                self.issue_block(k, (base + sm) as u32);
             }
         }
     }
@@ -921,6 +1026,7 @@ impl Exec<'_> {
         order.clear();
         order.extend(self.st.ready_queue.iter().map(|&(_, k)| k));
         for &k in &order {
+            let device = self.desc.kernels[k].device as usize;
             loop {
                 if self.st.kernels[k].issued >= self.desc.kernels[k].total {
                     self.st
@@ -929,7 +1035,7 @@ impl Exec<'_> {
                     break;
                 }
                 let units = self.desc.kernels[k].units;
-                let Some(&(free, Reverse(sm))) = self.st.sm_index.last() else {
+                let Some(&(free, Reverse(sm))) = self.st.sm_index[device].last() else {
                     break;
                 };
                 if free < units {
@@ -949,8 +1055,10 @@ impl Exec<'_> {
 
     fn set_sm_free(&mut self, sm: usize, free: u32) {
         if self.mode == EngineMode::Optimized {
-            self.st.sm_index.remove(&(self.st.sm_free[sm], Reverse(sm)));
-            self.st.sm_index.insert((free, Reverse(sm)));
+            let device = self.desc.device_of_sm[sm] as usize;
+            let index = &mut self.st.sm_index[device];
+            index.remove(&(self.st.sm_free[sm], Reverse(sm)));
+            index.insert((free, Reverse(sm)));
         }
         self.st.sm_free[sm] = free;
     }
@@ -969,6 +1077,7 @@ impl Exec<'_> {
             kr.start = Some(now);
         }
         let units = kd.units;
+        let device = kd.device;
         let predrive = self.mode == EngineMode::Optimized && kd.predrive;
         let (prog_start, prog_len, body) = if predrive {
             // The block's op program was pre-driven at *compile* time
@@ -984,7 +1093,7 @@ impl Exec<'_> {
         };
         self.set_sm_free(sm as usize, self.st.sm_free[sm as usize] - units);
         self.st.sm_active[sm as usize] += units;
-        self.st.active_units += units as u64;
+        self.st.active_units[device as usize] += units as u64;
         self.st.busy_units += units as u64;
         if self.st.first_issue.is_none() {
             self.st.first_issue = Some(now);
@@ -1051,7 +1160,7 @@ impl Exec<'_> {
                 } => {
                     if self.st.sems.value(table, index) >= value {
                         // Monotone semaphores: satisfied stays satisfied.
-                        acc += self.desc.costs.poll;
+                        acc += self.poll_cost(self.block_device(bid), table);
                         self.st.blocks[bid].prog_pc += 1;
                     } else if acc == SimTime::ZERO {
                         // Apply the park at its exact start time; the wake
@@ -1193,7 +1302,11 @@ impl Exec<'_> {
         let sm = self.st.blocks[bid].sm as usize;
         let active = self.st.sm_active[sm].max(self.st.blocks[bid].units) as f64;
         let fraction = (active / SM_CAPACITY_UNITS as f64).clamp(0.0, 1.0);
-        1.0 - self.desc.config.residency_boost * (1.0 - fraction)
+        let boost = self
+            .desc
+            .device_config(self.block_device(bid))
+            .residency_boost;
+        1.0 - boost * (1.0 - fraction)
     }
 
     /// Deterministic per-block duration factor in
@@ -1213,7 +1326,7 @@ impl Exec<'_> {
     /// The hash behind [`Exec::jitter_factor`], shared by both modes so the
     /// cached and recomputed values are the same `f64` bit for bit.
     fn jitter_value(&self, kernel: usize, idx: Dim3) -> f64 {
-        let j = self.desc.config.block_jitter;
+        let j = self.kernel_cfg(kernel).block_jitter;
         if j == 0.0 {
             return 1.0;
         }
@@ -1237,10 +1350,13 @@ impl Exec<'_> {
     /// bus, so sparse populations gain bandwidth per block only down to
     /// that floor (and the aggregate never exceeds the DRAM peak).
     fn dyn_mem_time(&self, bid: usize, bytes: u64) -> SimTime {
-        let cfg = &self.desc.config;
+        let device = self.block_device(bid);
+        let cfg = self.desc.device_config(device);
         let capacity = cfg.num_sms as f64 * SM_CAPACITY_UNITS as f64;
         let saturation = cfg.dram_saturation_fraction * capacity;
-        let competing = (self.st.active_units as f64).max(saturation).max(1.0);
+        let competing = (self.st.active_units[device as usize] as f64)
+            .max(saturation)
+            .max(1.0);
         let units = self.st.blocks[bid].units as f64;
         let share = cfg.dram_bytes_per_sec * units / competing;
         SimTime::from_picos((bytes as f64 / share * 1e12).round() as u64)
@@ -1251,14 +1367,16 @@ impl Exec<'_> {
     /// run). The arithmetic (including every intermediate rounding) is the
     /// single shared cost path of both engine modes.
     fn pure_op_delay(&self, bid: usize, op: &Op) -> Option<SimTime> {
-        let cfg = &self.desc.config;
+        let device = self.block_device(bid);
+        let cfg = self.desc.device_config(device);
+        let costs = &self.desc.costs[device as usize];
         match *op {
             Op::Compute { cycles } => Some(self.scaled(bid, cfg.cycles(cycles))),
             Op::GlobalRead { bytes } | Op::GlobalWrite { bytes } => {
                 let mem = self.dyn_mem_time(bid, bytes);
                 let jitter = self.jitter_factor(bid);
                 let d = SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
-                Some(self.desc.costs.global_latency + d)
+                Some(costs.global_latency + d)
             }
             Op::MainStep { bytes, cycles } => {
                 // Loads overlap math: the step costs the slower of the two.
@@ -1266,10 +1384,13 @@ impl Exec<'_> {
                 let compute = self.scaled(bid, cfg.cycles(cycles));
                 let jitter = self.jitter_factor(bid);
                 let mem = SimTime::from_picos((mem.as_picos() as f64 * jitter).round() as u64);
-                Some(self.desc.costs.global_latency + mem.max(compute))
+                Some(costs.global_latency + mem.max(compute))
             }
-            Op::Syncthreads => Some(self.desc.costs.syncthreads),
-            Op::Fence => Some(self.desc.costs.fence),
+            Op::Syncthreads => Some(costs.syncthreads),
+            Op::Fence => Some(costs.fence),
+            // Link bandwidth is not an SM resource: pure wire time,
+            // unscaled by residency or jitter (see `ClusterConfig`).
+            Op::LinkSend { bytes } => Some(self.desc.cluster.link_wire_time(bytes)),
             Op::SemWait { .. } | Op::SemPost { .. } | Op::AtomicAdd { .. } => None,
         }
     }
@@ -1284,7 +1405,7 @@ impl Exec<'_> {
                 value,
             } => {
                 if self.st.sems.value(table, index) >= value {
-                    let t = self.st.now + self.desc.costs.poll;
+                    let t = self.st.now + self.poll_cost(self.block_device(bid), table);
                     self.push_event(t, EventKind::BlockResume(bid));
                 } else {
                     self.st.blocks[bid].waiting = Some((table, index, value));
@@ -1301,9 +1422,10 @@ impl Exec<'_> {
                         }
                     }
                     // Parked: stops competing for execution throughput.
+                    let device = self.block_device(bid) as usize;
                     let sm = self.st.blocks[bid].sm as usize;
                     self.st.sm_active[sm] -= self.st.blocks[bid].units;
-                    self.st.active_units -= self.st.blocks[bid].units as u64;
+                    self.st.active_units[device] -= self.st.blocks[bid].units as u64;
                     let kernel = self.st.blocks[bid].kernel;
                     let idx = self.st.blocks[bid].idx;
                     self.record(TraceEvent::BlockBlocked {
@@ -1317,7 +1439,9 @@ impl Exec<'_> {
                 }
             }
             Op::SemPost { table, index, inc } => {
-                let t = self.st.now + self.desc.costs.atomic;
+                // A post to a remote device's array becomes visible one
+                // link traversal later than a local one.
+                let t = self.st.now + self.atomic_cost(self.block_device(bid), table);
                 self.push_event(
                     t,
                     EventKind::PostApply {
@@ -1329,7 +1453,7 @@ impl Exec<'_> {
                 );
             }
             Op::AtomicAdd { table, index, inc } => {
-                let t = self.st.now + self.desc.costs.atomic;
+                let t = self.st.now + self.atomic_cost(self.block_device(bid), table);
                 self.push_event(
                     t,
                     EventKind::AtomicApply {
@@ -1353,7 +1477,6 @@ impl Exec<'_> {
             new_value,
             time: self.st.now,
         });
-        let wake_at = self.st.now + self.desc.costs.poll;
         match self.mode {
             EngineMode::Reference => {
                 if let Some(list) = self.st.waiters.get_mut(&(table.0, index)) {
@@ -1370,7 +1493,7 @@ impl Exec<'_> {
                     }
                     *list = still;
                     for wbid in woken {
-                        self.wake_block(wbid, wake_at);
+                        self.wake_block(wbid, table);
                     }
                 }
             }
@@ -1396,7 +1519,7 @@ impl Exec<'_> {
                         });
                     }
                     for &wbid in &woken {
-                        self.wake_block(wbid, wake_at);
+                        self.wake_block(wbid, table);
                     }
                     self.st.wake_scratch = woken;
                 }
@@ -1406,11 +1529,16 @@ impl Exec<'_> {
         self.push_event(self.st.now, EventKind::BlockResume(poster));
     }
 
-    fn wake_block(&mut self, wbid: usize, wake_at: SimTime) {
+    /// Wakes a block parked on `table`: it observes the posted value one
+    /// poll later — a *remote* poll (array homed on another device) also
+    /// traverses the link.
+    fn wake_block(&mut self, wbid: usize, table: SemArrayId) {
+        let wake_at = self.st.now + self.poll_cost(self.block_device(wbid), table);
+        let device = self.block_device(wbid) as usize;
         self.st.blocks[wbid].waiting = None;
         let sm = self.st.blocks[wbid].sm as usize;
         self.st.sm_active[sm] += self.st.blocks[wbid].units;
-        self.st.active_units += self.st.blocks[wbid].units as u64;
+        self.st.active_units[device] += self.st.blocks[wbid].units as u64;
         self.push_event(wake_at, EventKind::BlockResume(wbid));
     }
 
@@ -1422,7 +1550,7 @@ impl Exec<'_> {
         };
         self.set_sm_free(sm as usize, self.st.sm_free[sm as usize] + units);
         self.st.sm_active[sm as usize] -= units;
-        self.st.active_units -= units as u64;
+        self.st.active_units[self.desc.kernels[k].device as usize] -= units as u64;
         self.st.busy_units -= units as u64;
         self.st.last_finish = self.st.now;
         self.st.issue_dirty = true;
@@ -1447,7 +1575,6 @@ impl Exec<'_> {
     }
 
     fn report(&self) -> RunReport {
-        let sms = self.desc.config.num_sms;
         let kernels: Vec<KernelReport> = self
             .desc
             .kernels
@@ -1456,9 +1583,11 @@ impl Exec<'_> {
             .map(|(kd, kr)| {
                 let start = kr.start.unwrap_or(kr.ready_at);
                 let end = kr.end.unwrap_or(start);
+                let sms = self.desc.device_config(kd.device).num_sms;
                 KernelReport {
                     name: kd.name.clone(),
                     grid: kd.grid,
+                    device: kd.device,
                     occupancy: kd.occupancy,
                     blocks: kd.total,
                     static_waves: waves(kd.total, kd.occupancy, sms),
@@ -1475,7 +1604,7 @@ impl Exec<'_> {
             Some(first) => self.st.last_finish.saturating_sub(first),
             None => SimTime::ZERO,
         };
-        let capacity = sms as u128 * SM_CAPACITY_UNITS as u128;
+        let capacity = self.desc.cluster.total_sms() as u128 * SM_CAPACITY_UNITS as u128;
         let sm_utilization = if span > SimTime::ZERO {
             self.st.util_integral as f64 / (capacity as f64 * span.as_picos() as f64)
         } else {
@@ -1534,7 +1663,8 @@ pub struct Gpu {
 impl fmt::Debug for Gpu {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Gpu")
-            .field("config", &self.desc.config.name)
+            .field("config", &self.desc.primary_config().name)
+            .field("devices", &self.desc.cluster.devices.len())
             .field("mode", &self.mode)
             .field("kernels", &self.desc.kernels.len())
             .field("ran", &self.ran)
@@ -1551,17 +1681,66 @@ impl Gpu {
 
     /// Creates a GPU pinned to a specific engine implementation.
     pub fn with_mode(config: GpuConfig, mode: EngineMode) -> Self {
+        Gpu::cluster_with_mode(ClusterConfig::single(config), mode)
+    }
+
+    /// Creates a multi-device node from a [`ClusterConfig`], using the
+    /// thread's default [`EngineMode`]. Streams and semaphore arrays are
+    /// placed on devices with [`Gpu::create_stream_on`] /
+    /// [`Gpu::alloc_sems_on`]; the single-GPU methods target device 0.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use cusync_sim::{ClusterConfig, Dim3, FixedKernel, Gpu, Op};
+    ///
+    /// let mut node = Gpu::new_cluster(ClusterConfig::dgx_v100(2));
+    /// let ready = node.alloc_sems_on(1, "ready", 1, 0);
+    /// let s0 = node.create_stream_on(0, 0);
+    /// let s1 = node.create_stream_on(1, 0);
+    /// // Device 0 signals device 1 across the link.
+    /// node.launch(s0, Arc::new(FixedKernel::new(
+    ///     "producer", Dim3::linear(1), 1,
+    ///     vec![Op::compute(10_000), Op::Fence, Op::post(ready, 0)],
+    /// )));
+    /// node.launch(s1, Arc::new(FixedKernel::new(
+    ///     "consumer", Dim3::linear(1), 1,
+    ///     vec![Op::wait(ready, 0, 1), Op::compute(10_000)],
+    /// )));
+    /// let report = node.run()?;
+    /// assert!(report.kernel("consumer").end > report.kernel("producer").end);
+    /// # Ok::<(), cusync_sim::SimError>(())
+    /// ```
+    pub fn new_cluster(cluster: ClusterConfig) -> Self {
+        Gpu::cluster_with_mode(cluster, default_engine_mode())
+    }
+
+    /// Creates a multi-device node pinned to a specific engine
+    /// implementation.
+    pub fn cluster_with_mode(cluster: ClusterConfig, mode: EngineMode) -> Self {
         Gpu {
-            desc: PipelineDesc::new(config),
+            desc: PipelineDesc::new(cluster),
             st: RunState::new(),
             mode,
             ran: false,
         }
     }
 
-    /// The hardware model in use.
+    /// The hardware model in use (device 0's for a multi-device node; see
+    /// [`Gpu::cluster`] for the full model).
     pub fn config(&self) -> &GpuConfig {
-        &self.desc.config
+        self.desc.primary_config()
+    }
+
+    /// The full cluster model, including the interconnect.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.desc.cluster
+    }
+
+    /// Number of devices in this node.
+    pub fn num_devices(&self) -> u32 {
+        self.desc.cluster.num_devices()
     }
 
     /// The event-loop implementation this GPU runs on.
@@ -1594,16 +1773,50 @@ impl Gpu {
         self.st.mem.alloc(name, len, dtype)
     }
 
-    /// Allocates a semaphore array (convenience for [`SemTable::alloc`]).
+    /// Allocates a semaphore array in device 0's memory (convenience for
+    /// [`SemTable::alloc`]).
     pub fn alloc_sems(&mut self, name: &str, len: usize, init: u32) -> SemArrayId {
         self.st.sems.alloc(name, len, init)
     }
 
-    /// Creates a stream. Streams with numerically higher `priority` issue
-    /// their thread blocks first when competing for SM slots.
+    /// Allocates a semaphore array homed in `device`'s global memory.
+    /// Posts and polls from other devices pay the cluster's link latency
+    /// on the post→observe edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is not a device of this node.
+    pub fn alloc_sems_on(&mut self, device: u32, name: &str, len: usize, init: u32) -> SemArrayId {
+        assert!(
+            device < self.num_devices(),
+            "device {device} outside 0..{}",
+            self.num_devices()
+        );
+        self.st.sems.alloc_on(name, len, init, device)
+    }
+
+    /// Creates a stream on device 0. Streams with numerically higher
+    /// `priority` issue their thread blocks first when competing for SM
+    /// slots.
     pub fn create_stream(&mut self, priority: i32) -> StreamId {
+        self.create_stream_on(0, priority)
+    }
+
+    /// Creates a stream on `device`: kernels launched on it occupy that
+    /// device's SMs only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is not a device of this node.
+    pub fn create_stream_on(&mut self, device: u32, priority: i32) -> StreamId {
+        assert!(
+            device < self.num_devices(),
+            "device {device} outside 0..{}",
+            self.num_devices()
+        );
         let id = StreamId(self.desc.streams.len());
         self.desc.streams.push(StreamDesc {
+            device,
             priority,
             queue: Vec::new(),
         });
@@ -1625,22 +1838,28 @@ impl Gpu {
             kernel.name()
         );
         assert!(stream.0 < self.desc.streams.len(), "unknown {stream}");
+        let device = self.desc.streams[stream.0].device;
+        let device_cfg = self.desc.device_config(device);
         let occupancy = kernel.occupancy();
-        let units = self.desc.config.units_per_block(occupancy);
+        let units = device_cfg.units_per_block(occupancy);
+        let launch_gap = device_cfg.host_launch_gap;
         let id = self.desc.kernels.len();
         self.desc.kernels.push(KernelDesc {
             name: kernel.name().to_owned(),
             source: kernel,
             stream: stream.0,
+            device,
             priority: self.desc.streams[stream.0].priority,
-            host_ready: self.desc.host_time,
+            host_ready: self.desc.host_time[device as usize],
             grid,
             total: grid.count(),
             occupancy,
             units,
             predrive: false,
         });
-        self.desc.host_time += self.desc.config.host_launch_gap;
+        // Each device's host rank owns its own launch queue; launches to
+        // different devices do not serialize against each other.
+        self.desc.host_time[device as usize] += launch_gap;
         self.desc.streams[stream.0].queue.push(id);
         KernelId(id)
     }
@@ -2180,6 +2399,182 @@ mod tests {
             "expected a coalesced run, saw {} events",
             report.sim_events
         );
+    }
+
+    fn quiet_cluster(devices: u32, sms: u32) -> ClusterConfig {
+        ClusterConfig {
+            devices: vec![quiet_config(); devices as usize]
+                .into_iter()
+                .map(|mut g| {
+                    g.num_sms = sms;
+                    g
+                })
+                .collect(),
+            link_latency: SimTime::from_nanos(3_000),
+            link_bytes_per_sec: 100e9,
+        }
+    }
+
+    #[test]
+    fn devices_have_independent_sm_pools() {
+        // Two kernels that each fill a whole device overlap completely on
+        // a 2-device node — they would serialize on one device.
+        let mut node = Gpu::new_cluster(quiet_cluster(2, 4));
+        let s0 = node.create_stream_on(0, 0);
+        let s1 = node.create_stream_on(1, 0);
+        for (name, s) in [("a", s0), ("b", s1)] {
+            node.launch(
+                s,
+                Arc::new(FixedKernel::new(
+                    name,
+                    Dim3::linear(4),
+                    1,
+                    vec![Op::compute(100_000)],
+                )),
+            );
+        }
+        let report = node.run().unwrap();
+        assert_eq!(report.kernel("a").start, report.kernel("b").start);
+        assert_eq!(report.kernel("a").end, report.kernel("b").end);
+        assert_eq!(report.kernel("a").device, 0);
+        assert_eq!(report.kernel("b").device, 1);
+    }
+
+    #[test]
+    fn cross_device_post_pays_the_link_latency() {
+        let run = |consumer_device: u32| {
+            let mut node = Gpu::new_cluster(quiet_cluster(2, 4));
+            let sem = node.alloc_sems_on(consumer_device, "ready", 1, 0);
+            let s0 = node.create_stream_on(0, 0);
+            let sc = node.create_stream_on(consumer_device, 0);
+            node.launch(
+                s0,
+                Arc::new(FixedKernel::new(
+                    "producer",
+                    Dim3::linear(1),
+                    1,
+                    vec![Op::compute(100_000), Op::post(sem, 0)],
+                )),
+            );
+            node.launch(
+                sc,
+                Arc::new(FixedKernel::new(
+                    "consumer",
+                    Dim3::linear(1),
+                    1,
+                    vec![Op::wait(sem, 0, 1), Op::compute(10)],
+                )),
+            );
+            node.run().unwrap().kernel("consumer").end
+        };
+        let local = run(0);
+        let remote = run(1);
+        // The remote consumer's wake arrives exactly one link traversal
+        // later (sem homed with the consumer: the *post* crosses).
+        let expected = quiet_cluster(2, 4).link_latency;
+        assert_eq!(remote.saturating_sub(local), expected);
+    }
+
+    #[test]
+    fn remote_poll_pays_the_link_latency() {
+        // Consumer waits on an array homed with the *producer*: the post
+        // is local, the consumer's observing poll crosses the link.
+        let run = |sem_device: u32| {
+            let mut node = Gpu::new_cluster(quiet_cluster(2, 4));
+            let sem = node.alloc_sems_on(sem_device, "ready", 1, 0);
+            let s0 = node.create_stream_on(0, 0);
+            let s1 = node.create_stream_on(1, 0);
+            node.launch(
+                s0,
+                Arc::new(FixedKernel::new(
+                    "producer",
+                    Dim3::linear(1),
+                    1,
+                    vec![Op::compute(100_000), Op::post(sem, 0)],
+                )),
+            );
+            node.launch(
+                s1,
+                Arc::new(FixedKernel::new(
+                    "consumer",
+                    Dim3::linear(1),
+                    1,
+                    vec![Op::wait(sem, 0, 1), Op::compute(10)],
+                )),
+            );
+            node.run().unwrap().kernel("consumer").end
+        };
+        // Homed on 0 (remote poll) vs homed on 1 (remote post): both pay
+        // exactly one traversal, so the end times coincide.
+        assert_eq!(run(0), run(1));
+    }
+
+    #[test]
+    fn link_send_charges_wire_time_only() {
+        let cluster = quiet_cluster(2, 4);
+        let mut node = Gpu::new_cluster(cluster.clone());
+        let s = node.create_stream_on(0, 0);
+        node.launch(
+            s,
+            Arc::new(FixedKernel::new(
+                "send",
+                Dim3::linear(1),
+                1,
+                vec![Op::link_send(100_000_000)],
+            )),
+        );
+        let report = node.run().unwrap();
+        // 100 MB at 100 GB/s = 1 ms, unscaled by residency or jitter.
+        assert_eq!(
+            report.kernel("send").duration,
+            cluster.link_wire_time(100_000_000)
+        );
+        assert_eq!(report.kernel("send").duration, SimTime::from_micros(1000.0));
+    }
+
+    #[test]
+    fn cluster_engines_match_on_cross_device_pipelines() {
+        let run = |mode: EngineMode| {
+            let mut node = Gpu::cluster_with_mode(quiet_cluster(3, 4), mode);
+            node.enable_trace();
+            let sems: Vec<_> = (0..3)
+                .map(|d| node.alloc_sems_on(d, &format!("ring{d}"), 4, 0))
+                .collect();
+            for d in 0..3u32 {
+                let s = node.create_stream_on(d, d as i32 % 2);
+                let next = sems[((d + 1) % 3) as usize];
+                let own = sems[d as usize];
+                let mut ops = vec![
+                    Op::read(64 * 1024),
+                    Op::compute(50_000),
+                    Op::link_send(256 * 1024),
+                    Op::Fence,
+                    Op::post(next, 0),
+                ];
+                if d > 0 {
+                    ops.insert(0, Op::wait(own, 0, 1));
+                }
+                node.launch(
+                    s,
+                    Arc::new(FixedKernel::new(&format!("k{d}"), Dim3::linear(5), 2, ops)),
+                );
+            }
+            let report = node.run().unwrap();
+            (report, node.trace().to_vec())
+        };
+        let (ref_report, ref_trace) = run(EngineMode::Reference);
+        let (opt_report, opt_trace) = run(EngineMode::Optimized);
+        assert_eq!(ref_report.kernels, opt_report.kernels);
+        assert_eq!(ref_report.total, opt_report.total);
+        assert_eq!(ref_report.sm_utilization, opt_report.sm_utilization);
+        assert_eq!(ref_trace, opt_trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "device 2 outside 0..2")]
+    fn foreign_device_stream_rejected() {
+        let mut node = Gpu::new_cluster(quiet_cluster(2, 4));
+        node.create_stream_on(2, 0);
     }
 
     #[test]

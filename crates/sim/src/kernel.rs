@@ -186,6 +186,83 @@ impl BlockBody for FixedBody {
     }
 }
 
+/// A kernel whose every block runs its *own* fixed op list, materialized
+/// once at construction from a closure over the block index.
+///
+/// This is the per-block generalization of [`FixedKernel`]: because the op
+/// lists are fixed data (no body ever reads its [`BlockCtx`]), the kernel
+/// is `timing_static` and the optimized engine pre-drives it at compile
+/// time. Used for workloads where blocks differ only in *which* tiles or
+/// semaphores they touch — e.g. a tensor-parallel GEMM whose tile (x, y)
+/// waits on the allreduce chunk covering its rows.
+///
+/// # Examples
+///
+/// ```
+/// use cusync_sim::{Dim3, IndexedKernel, KernelSource, Op};
+///
+/// let k = IndexedKernel::new("ramp", Dim3::linear(3), 1, |idx| {
+///     vec![Op::compute(1000 * (idx.x as u64 + 1))]
+/// });
+/// assert_eq!(k.grid().count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexedKernel {
+    name: String,
+    grid: Dim3,
+    occupancy: u32,
+    /// Per-block op lists in the grid's row-major linear order.
+    ops: Vec<Vec<Op>>,
+}
+
+impl IndexedKernel {
+    /// Creates a kernel whose block `idx` runs `ops_of(idx)`, evaluated
+    /// eagerly for every block of `grid`.
+    pub fn new(
+        name: &str,
+        grid: Dim3,
+        occupancy: u32,
+        mut ops_of: impl FnMut(Dim3) -> Vec<Op>,
+    ) -> Self {
+        let ops = (0..grid.count())
+            .map(|linear| ops_of(grid.delinear(linear)))
+            .collect();
+        IndexedKernel {
+            name: name.to_owned(),
+            grid,
+            occupancy,
+            ops,
+        }
+    }
+}
+
+impl KernelSource for IndexedKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn grid(&self) -> Dim3 {
+        self.grid
+    }
+
+    fn occupancy(&self) -> u32 {
+        self.occupancy
+    }
+
+    fn block(&self, block: Dim3) -> Box<dyn BlockBody> {
+        let linear = self.grid.linear_of(block) as usize;
+        Box::new(FixedBody {
+            ops: self.ops[linear].clone(),
+            next: 0,
+        })
+    }
+
+    fn timing_static(&self, _mem: &GlobalMemory) -> bool {
+        // Op lists are fixed data; bodies never read their context.
+        true
+    }
+}
+
 /// A kernel built from a closure, for ad-hoc kernels in tests.
 pub struct FnKernel<F> {
     name: String,

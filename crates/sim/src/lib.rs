@@ -19,6 +19,11 @@
 //! - **Functional memory with race detection** — kernels can compute real
 //!   `f32` results; intermediate buffers are NaN-poisoned so that reads of
 //!   not-yet-produced tiles surface as logged races and wrong outputs.
+//! - **Multi-device nodes** — a [`ClusterConfig`] models N GPUs on an
+//!   NVLink-class ring: per-device SM pools and DRAM, device-homed
+//!   semaphore arrays whose post→observe edge pays the link latency, and
+//!   [`Op::LinkSend`] for simulated collectives (see
+//!   `crates/sim/README.md`).
 //!
 //! Timing is kept in integer picoseconds ([`SimTime`]) and all scheduling
 //! queues are deterministic, so identical inputs produce identical
@@ -70,13 +75,13 @@ pub mod stats;
 mod time;
 mod trace;
 
-pub use config::{GpuConfig, MAX_OCCUPANCY, SM_CAPACITY_UNITS};
+pub use config::{ClusterConfig, GpuConfig, MAX_OCCUPANCY, SM_CAPACITY_UNITS};
 pub use dim::Dim3;
 pub use engine::{
-    default_engine_mode, set_default_engine_mode, with_engine_mode, BuildError, EngineMode, Gpu,
-    SimError, StreamId,
+    default_engine_mode, set_default_engine_mode, with_engine_mode, BuildError, BuildErrorKind,
+    EngineMode, Gpu, SimError, StreamId,
 };
-pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, KernelSource, Step};
+pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, IndexedKernel, KernelSource, Step};
 pub use mem::{BufferId, DType, GlobalMemory, RaceEvent};
 pub use ops::Op;
 pub use sem::{SemArrayId, SemTable};

@@ -78,6 +78,17 @@ pub enum Op {
     Syncthreads,
     /// System-wide memory fence (`__threadfence_system`).
     Fence,
+    /// Push `bytes` over this device's inter-device (NVLink-class) link:
+    /// the per-hop send of a simulated collective. Charged pure wire time
+    /// at [`ClusterConfig::link_bytes_per_sec`](crate::ClusterConfig) —
+    /// unscaled by SM residency or block jitter, since link bandwidth is
+    /// not an SM resource. Propagation latency is *not* charged here; it
+    /// is paid by the cross-device semaphore post that signals delivery,
+    /// so a send + remote post models one hop without double counting.
+    LinkSend {
+        /// Bytes pushed over the link.
+        bytes: u64,
+    },
 }
 
 impl Op {
@@ -117,6 +128,11 @@ impl Op {
             index,
             inc: 1,
         }
+    }
+
+    /// Convenience constructor for [`Op::LinkSend`].
+    pub const fn link_send(bytes: u64) -> Op {
+        Op::LinkSend { bytes }
     }
 }
 

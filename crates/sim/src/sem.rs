@@ -39,6 +39,9 @@ struct SemArray {
     values: Vec<u32>,
     init: u32,
     posts: u64,
+    /// Device whose global memory holds this array. Operations from other
+    /// devices pay the cluster's link latency on the post→observe edge.
+    device: u32,
 }
 
 impl SemTable {
@@ -47,16 +50,35 @@ impl SemTable {
         SemTable { arrays: Vec::new() }
     }
 
-    /// Allocates `len` semaphores initialized to `init`.
+    /// Allocates `len` semaphores initialized to `init`, homed in device
+    /// 0's global memory (the single-GPU case).
     pub fn alloc(&mut self, name: &str, len: usize, init: u32) -> SemArrayId {
+        self.alloc_on(name, len, init, 0)
+    }
+
+    /// Allocates `len` semaphores initialized to `init` in the global
+    /// memory of device `device`. Posts and polls from other devices
+    /// traverse the interconnect (see
+    /// [`ClusterConfig`](crate::ClusterConfig)).
+    pub fn alloc_on(&mut self, name: &str, len: usize, init: u32, device: u32) -> SemArrayId {
         let id = SemArrayId(self.arrays.len());
         self.arrays.push(SemArray {
             name: name.to_owned(),
             values: vec![init; len],
             init,
             posts: 0,
+            device,
         });
         id
+    }
+
+    /// Device whose memory holds array `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn device(&self, id: SemArrayId) -> u32 {
+        self.arrays[id.0].device
     }
 
     /// Current value of semaphore `index` in array `id`.
@@ -112,11 +134,9 @@ impl SemTable {
     /// synchronization counts.
     pub fn reset_from(&mut self, template: &SemTable) {
         let compatible = self.arrays.len() == template.arrays.len()
-            && self
-                .arrays
-                .iter()
-                .zip(&template.arrays)
-                .all(|(a, t)| a.values.len() == t.values.len() && a.name == t.name);
+            && self.arrays.iter().zip(&template.arrays).all(|(a, t)| {
+                a.values.len() == t.values.len() && a.name == t.name && a.device == t.device
+            });
         if compatible {
             for (a, t) in self.arrays.iter_mut().zip(&template.arrays) {
                 a.values.copy_from_slice(&t.values);
@@ -257,6 +277,21 @@ mod tests {
         sems.add(a, 1, 10);
         sems.reset(a);
         assert_eq!(sems.value(a, 1), 5);
+    }
+
+    #[test]
+    fn arrays_record_their_home_device() {
+        let mut sems = SemTable::new();
+        let local = sems.alloc("local", 1, 0);
+        let remote = sems.alloc_on("remote", 2, 0, 3);
+        assert_eq!(sems.device(local), 0);
+        assert_eq!(sems.device(remote), 3);
+        // reset_from treats a different home device as a layout change.
+        let mut other = SemTable::new();
+        other.alloc("local", 1, 0);
+        other.alloc_on("remote", 2, 0, 1);
+        other.reset_from(&sems);
+        assert_eq!(other.device(remote), 3);
     }
 
     #[test]

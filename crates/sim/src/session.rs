@@ -80,7 +80,8 @@ pub struct CompiledPipeline {
 impl fmt::Debug for CompiledPipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CompiledPipeline")
-            .field("config", &self.desc.config.name)
+            .field("config", &self.desc.primary_config().name)
+            .field("devices", &self.desc.cluster.devices.len())
             .field("streams", &self.desc.streams.len())
             .field("kernels", &self.desc.kernels.len())
             .finish_non_exhaustive()
@@ -88,9 +89,18 @@ impl fmt::Debug for CompiledPipeline {
 }
 
 impl CompiledPipeline {
-    /// The hardware model the pipeline was compiled for.
+    /// The hardware model the pipeline was compiled for (device 0's for a
+    /// multi-device pipeline; see [`CompiledPipeline::cluster`]).
     pub fn config(&self) -> &GpuConfig {
-        &self.desc.config
+        self.desc.primary_config()
+    }
+
+    /// The full cluster model the pipeline was compiled for. Sessions and
+    /// runtimes are device-count-agnostic: a compiled multi-device
+    /// pipeline runs through exactly the same [`Session::run`] /
+    /// [`Runtime::submit`] paths as a single-GPU one.
+    pub fn cluster(&self) -> &crate::ClusterConfig {
+        &self.desc.cluster
     }
 
     /// Number of registered kernels (wait-kernels included).

@@ -53,6 +53,8 @@ pub struct KernelReport {
     pub name: String,
     /// Grid launched.
     pub grid: Dim3,
+    /// Device the kernel ran on (0 for single-GPU pipelines).
+    pub device: u32,
     /// Occupancy used.
     pub occupancy: u32,
     /// Total thread blocks.
@@ -186,6 +188,7 @@ mod tests {
         let r = KernelReport {
             name: "gemm".into(),
             grid: Dim3::new(24, 1, 4),
+            device: 0,
             occupancy: 2,
             blocks: 96,
             static_waves: 0.6,

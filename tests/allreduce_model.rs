@@ -1,0 +1,112 @@
+//! The simulated ring allreduce against its analytic oracle.
+//!
+//! `cusync_models::allreduce_time` — the closed-form
+//! `2(n-1)/n · bytes/bw + 2(n-1) · hop` NVLink ring model the fig8 path
+//! used before the multi-device simulator existed — is kept as a
+//! **checked oracle**: the simulated collective
+//! (`cusync_models::ring_allreduce_time`, real per-hop `LinkSend`s and
+//! cross-device semaphores through the event loop) must stay within ±10%
+//! of it across a grid of `(bytes, gpus)`. A drift beyond that means
+//! either the interconnect calibration (`ClusterConfig::nvlink_ring`) or
+//! the ring kernel's op structure regressed.
+
+use cusync_models::{allreduce_time, ring_allreduce_report, ring_allreduce_time};
+use cusync_sim::{with_engine_mode, EngineMode, GpuConfig, SimTime};
+
+const TOLERANCE: f64 = 0.10;
+
+fn relative_error(sim: SimTime, oracle: SimTime) -> f64 {
+    (sim.as_picos() as f64 - oracle.as_picos() as f64).abs() / oracle.as_picos() as f64
+}
+
+#[test]
+fn simulated_ring_matches_analytic_model_within_10_percent() {
+    let gpu = GpuConfig::tesla_v100();
+    // Bytes from latency-dominated (256 KB) to bandwidth-dominated
+    // (64 MB), across every power-of-two ring size in the DGX range.
+    let byte_grid: [u64; 5] = [256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20];
+    let gpu_grid: [u32; 3] = [2, 4, 8];
+    let mut worst = (0.0f64, 0u64, 0u32);
+    for &gpus in &gpu_grid {
+        for &bytes in &byte_grid {
+            let sim = ring_allreduce_time(&gpu, bytes, gpus);
+            let oracle = allreduce_time(bytes, gpus);
+            let err = relative_error(sim, oracle);
+            assert!(
+                err <= TOLERANCE,
+                "{bytes} bytes over {gpus} GPUs: simulated {sim} vs oracle {oracle} \
+                 ({:.1}% off, tolerance {:.0}%)",
+                err * 100.0,
+                TOLERANCE * 100.0
+            );
+            if err > worst.0 {
+                worst = (err, bytes, gpus);
+            }
+        }
+    }
+    eprintln!(
+        "worst case: {:.2}% at {} bytes / {} GPUs",
+        worst.0 * 100.0,
+        worst.1,
+        worst.2
+    );
+}
+
+#[test]
+fn oracle_structure_survives_in_the_simulation() {
+    // The two structural properties of a ring the oracle encodes — cost
+    // grows with participants at fixed bytes (more hops) and with bytes at
+    // fixed participants (more wire) — must hold in the simulation too.
+    let gpu = GpuConfig::tesla_v100();
+    let t2 = ring_allreduce_time(&gpu, 4 << 20, 2);
+    let t4 = ring_allreduce_time(&gpu, 4 << 20, 4);
+    let t8 = ring_allreduce_time(&gpu, 4 << 20, 8);
+    assert!(t2 < t4 && t4 < t8, "{t2} {t4} {t8}");
+    let small = ring_allreduce_time(&gpu, 1 << 20, 8);
+    let large = ring_allreduce_time(&gpu, 32 << 20, 8);
+    assert!(small < large, "{small} {large}");
+}
+
+#[test]
+fn ring_time_is_engine_invariant() {
+    let gpu = GpuConfig::tesla_v100();
+    for (bytes, gpus) in [(1u64 << 20, 4u32), (8 << 20, 8), (64, 2)] {
+        let reference = with_engine_mode(EngineMode::Reference, || {
+            ring_allreduce_report(&gpu, bytes, gpus)
+        });
+        let optimized = with_engine_mode(EngineMode::Optimized, || {
+            ring_allreduce_report(&gpu, bytes, gpus)
+        });
+        assert_eq!(
+            reference.0, optimized.0,
+            "{bytes} bytes / {gpus} GPUs: spans must be bit-identical"
+        );
+        assert!(
+            optimized.1 <= reference.1,
+            "optimized engine should not handle more events ({} vs {})",
+            optimized.1,
+            reference.1
+        );
+    }
+}
+
+#[test]
+fn degenerate_rings_cost_nothing() {
+    let gpu = GpuConfig::tesla_v100();
+    assert_eq!(ring_allreduce_time(&gpu, 1 << 20, 1), SimTime::ZERO);
+    assert_eq!(allreduce_time(1 << 20, 1), SimTime::ZERO);
+}
+
+#[test]
+fn a100_ring_stays_within_tolerance_too() {
+    // The calibration derives the raw link latency from the *device's*
+    // signaling costs, so the oracle contract is architecture-portable.
+    let gpu = GpuConfig::ampere_a100();
+    for (bytes, gpus) in [(1u64 << 20, 8u32), (16 << 20, 4)] {
+        let err = relative_error(
+            ring_allreduce_time(&gpu, bytes, gpus),
+            allreduce_time(bytes, gpus),
+        );
+        assert!(err <= TOLERANCE, "{bytes}/{gpus}: {:.1}% off", err * 100.0);
+    }
+}

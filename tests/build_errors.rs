@@ -1,0 +1,171 @@
+//! `BuildError` coverage for every kernel builder: missing operands and
+//! zero-extent shapes must surface as *typed* errors — never panics —
+//! from all four builders (Gemm, Conv2D, SoftmaxDropout, StreamK).
+
+use cusync_kernels::{
+    Conv2DBuilder, Conv2DShape, GemmBuilder, GemmDims, SoftmaxDropoutBuilder, TileShape,
+};
+use cusync_sim::{BuildError, BuildErrorKind, GpuConfig, SimError};
+use cusync_streamk::StreamKBuilder;
+
+fn v100() -> GpuConfig {
+    GpuConfig::tesla_v100()
+}
+
+fn tile() -> TileShape {
+    TileShape::new(128, 128, 32)
+}
+
+#[track_caller]
+fn assert_missing(err: &BuildError, builder_frag: &str, input_frag: &str) {
+    assert_eq!(err.kind, BuildErrorKind::MissingInput, "{err}");
+    assert!(err.builder.contains(builder_frag), "{err}");
+    assert!(err.missing.contains(input_frag), "{err}");
+    let shown = err.to_string();
+    assert!(
+        shown.contains("required input not set") && shown.contains(builder_frag),
+        "{shown}"
+    );
+}
+
+#[track_caller]
+fn assert_invalid(err: &BuildError, builder_frag: &str) {
+    assert_eq!(err.kind, BuildErrorKind::InvalidShape, "{err}");
+    assert!(err.builder.contains(builder_frag), "{err}");
+    let shown = err.to_string();
+    assert!(
+        shown.contains("invalid shape") && shown.contains("zero"),
+        "{shown}"
+    );
+}
+
+#[test]
+fn gemm_builder_reports_each_missing_operand() {
+    // No operands at all: A is reported first.
+    let err = GemmBuilder::new("g", GemmDims::new(64, 64, 64), tile())
+        .build(&v100())
+        .unwrap_err();
+    assert_missing(&err, "GemmBuilder(g)", "A operand");
+
+    // swiglu_a sets only A; B and C stay missing.
+    let mut gpu = cusync_sim::Gpu::new(v100());
+    let a = gpu.alloc("a", 64 * 64, cusync_sim::DType::F16);
+    let err = GemmBuilder::new("g", GemmDims::new(64, 64, 64), tile())
+        .swiglu_a(a)
+        .build(&v100())
+        .unwrap_err();
+    assert_missing(&err, "GemmBuilder(g)", "B operand");
+}
+
+#[test]
+fn gemm_builder_rejects_zero_extent_shapes() {
+    let mut gpu = cusync_sim::Gpu::new(v100());
+    let buf = gpu.alloc("buf", 64 * 64, cusync_sim::DType::F16);
+    for dims in [
+        GemmDims::new(0, 64, 64),
+        GemmDims::new(64, 0, 64),
+        GemmDims::new(64, 64, 0),
+    ] {
+        let err = GemmBuilder::new("g", dims, tile())
+            .operands(buf, buf, buf)
+            .build(&v100())
+            .unwrap_err();
+        assert_invalid(&err, "GemmBuilder(g)");
+    }
+    let err = GemmBuilder::new("g", GemmDims::new(64, 64, 64), TileShape::new(128, 0, 32))
+        .operands(buf, buf, buf)
+        .build(&v100())
+        .unwrap_err();
+    assert_invalid(&err, "GemmBuilder(g)");
+}
+
+#[test]
+fn conv2d_builder_reports_missing_operands_and_zero_shapes() {
+    let shape = Conv2DShape::square3x3(4, 28, 64, 64);
+    let err = Conv2DBuilder::new("c", shape, tile())
+        .build(&v100())
+        .unwrap_err();
+    assert_missing(&err, "Conv2DBuilder(c)", "input");
+
+    let mut gpu = cusync_sim::Gpu::new(v100());
+    let buf = gpu.alloc("buf", 1 << 20, cusync_sim::DType::F16);
+    for degenerate in [
+        Conv2DShape::square3x3(0, 28, 64, 64),
+        Conv2DShape::square3x3(4, 0, 64, 64),
+        Conv2DShape::square3x3(4, 28, 0, 64),
+        Conv2DShape::square3x3(4, 28, 64, 0),
+    ] {
+        let err = Conv2DBuilder::new("c", degenerate, tile())
+            .operands(buf, buf, buf)
+            .build(&v100())
+            .unwrap_err();
+        assert_invalid(&err, "Conv2DBuilder(c)");
+    }
+    let err = Conv2DBuilder::new("c", shape, TileShape::new(0, 128, 32))
+        .operands(buf, buf, buf)
+        .build(&v100())
+        .unwrap_err();
+    assert_invalid(&err, "Conv2DBuilder(c)");
+}
+
+#[test]
+fn softmax_dropout_builder_reports_missing_operands_and_zero_shapes() {
+    let err = SoftmaxDropoutBuilder::new("s", 256, 256, tile())
+        .build(&v100())
+        .unwrap_err();
+    assert_missing(&err, "SoftmaxDropoutBuilder(s)", "input");
+
+    let mut gpu = cusync_sim::Gpu::new(v100());
+    let buf = gpu.alloc("buf", 256 * 256, cusync_sim::DType::F16);
+    for (rows, cols) in [(0u32, 256u32), (256, 0)] {
+        let err = SoftmaxDropoutBuilder::new("s", rows, cols, tile())
+            .operands(buf, buf)
+            .build(&v100())
+            .unwrap_err();
+        assert_invalid(&err, "SoftmaxDropoutBuilder(s)");
+    }
+    let err = SoftmaxDropoutBuilder::new("s", 256, 256, TileShape::new(128, 0, 32))
+        .operands(buf, buf)
+        .build(&v100())
+        .unwrap_err();
+    assert_invalid(&err, "SoftmaxDropoutBuilder(s)");
+}
+
+#[test]
+fn streamk_builder_reports_missing_operands_and_zero_shapes() {
+    let err = StreamKBuilder::new("k", GemmDims::new(64, 64, 64), tile())
+        .build()
+        .unwrap_err();
+    assert_missing(&err, "StreamKBuilder(k)", "A operand");
+
+    let mut gpu = cusync_sim::Gpu::new(v100());
+    let buf = gpu.alloc("buf", 64 * 64, cusync_sim::DType::F16);
+    for dims in [
+        GemmDims::new(0, 64, 64),
+        GemmDims::new(64, 0, 64),
+        GemmDims::new(64, 64, 0),
+    ] {
+        let err = StreamKBuilder::new("k", dims, tile())
+            .operands(buf, buf, buf)
+            .build()
+            .unwrap_err();
+        assert_invalid(&err, "StreamKBuilder(k)");
+    }
+    let err = StreamKBuilder::new("k", GemmDims::new(64, 64, 64), TileShape::new(0, 128, 32))
+        .operands(buf, buf, buf)
+        .build()
+        .unwrap_err();
+    assert_invalid(&err, "StreamKBuilder(k)");
+}
+
+#[test]
+fn build_errors_convert_into_sim_errors_for_pipeline_assembly() {
+    let err = GemmBuilder::new("g", GemmDims::new(0, 1, 1), tile())
+        .build(&v100())
+        .unwrap_err();
+    let sim: SimError = err.clone().into();
+    match sim {
+        SimError::Build(inner) => assert_eq!(inner, err),
+        other => panic!("expected SimError::Build, got {other}"),
+    }
+}

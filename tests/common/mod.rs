@@ -1,0 +1,23 @@
+//! Helpers shared by the repo-level integration tests (each `[[test]]`
+//! target includes this via `#[path = "common/mod.rs"] mod common;`).
+
+/// Tiny deterministic generator (SplitMix64) deriving a whole random
+/// workload from one seed, so the identical workload can be rebuilt for a
+/// comparator run (fresh-`Gpu` vs session, reference vs optimized engine).
+#[allow(dead_code)]
+pub struct Gen(pub u64);
+
+#[allow(dead_code)]
+impl Gen {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}

@@ -13,11 +13,18 @@ use std::sync::Arc;
 use cusync::{CuStage, NoSync, OptFlags, SyncGraph, TileSync};
 use cusync_kernels::{GemmBuilder, GemmDims, InputDep, TileShape};
 use cusync_models::{
-    run_attention, run_conv_layer, run_mlp, AttentionConfig, MlpModel, PolicyKind, SyncMode,
+    run_attention, run_conv_layer, run_mlp, run_tp_layer, tp_attention, tp_mlp, AttentionConfig,
+    MlpModel, PolicyKind, SyncMode, TpSchedule,
 };
 use cusync_sim::{
-    with_engine_mode, DType, Dim3, EngineMode, Gpu, GpuConfig, Op, RunReport, SimError, SimTime,
+    with_engine_mode, ClusterConfig, DType, Dim3, EngineMode, FixedKernel, Gpu, GpuConfig, Op,
+    RunReport, SimError, SimTime,
 };
+use proptest::prelude::*;
+
+#[path = "common/mod.rs"]
+mod common;
+use common::Gen;
 
 /// Asserts every timing-observable field of two reports is identical.
 /// (`sim_events` is excluded by design: it measures simulation *work*,
@@ -222,6 +229,111 @@ fn deadlock_reports_are_engine_invariant() {
         vec!["producer".to_string(), "consumer".to_string()]
     );
     assert_eq!(blocked.len(), 4);
+}
+
+/// The tensor-parallel layer boundary — shard GEMMs, simulated ring
+/// allreduce and the chunk-synchronized next-layer GEMM across 2–8
+/// devices — must be engine-invariant under both schedules.
+#[test]
+fn tensor_parallel_layers_are_engine_invariant() {
+    for devices in [2u32, 4, 8] {
+        let cluster = ClusterConfig::dgx_v100(devices);
+        for schedule in [TpSchedule::Serialized, TpSchedule::Overlap] {
+            for cfg in [tp_mlp(4096, 256), tp_attention(4096, 256)] {
+                both_modes(
+                    &format!("tp {cfg:?} devices={devices} {schedule:?}"),
+                    || run_tp_layer(&cluster, cfg, schedule),
+                );
+            }
+        }
+    }
+}
+
+/// Builds a randomized multi-device workload from `seed`: 2-5 kernels of
+/// mixed ops (including link sends) on random devices, priorities and
+/// occupancies, with producer → consumer semaphore edges whose arrays are
+/// homed on random devices — so the edges randomly cross the interconnect.
+/// Kernel 0 posts every array and is launched first, so no launch order
+/// can deadlock: on kernel 0's own device it issues first (earlier host
+/// ready time), and spinners on other devices cannot block it.
+fn random_cluster_workload(seed: u64, devices: u32, gpu: &mut Gpu) {
+    let mut g = Gen(seed);
+    let sems: Vec<_> = (0..g.range(1, 3))
+        .map(|i| {
+            let home = g.range(0, devices as u64) as u32;
+            gpu.alloc_sems_on(home, &format!("sem{i}"), 2, 0)
+        })
+        .collect();
+    let kernels = g.range(2, 6);
+    for i in 0..kernels {
+        let device = g.range(0, devices as u64) as u32;
+        let stream = gpu.create_stream_on(device, g.range(0, 3) as i32);
+        let mut body = Vec::new();
+        for _ in 0..g.range(1, 6) {
+            let x = g.range(1, 50_000);
+            body.push(match g.range(0, 6) {
+                0 => Op::compute(x),
+                1 => Op::read(x * 64),
+                2 => Op::write(x * 64),
+                3 => Op::Fence,
+                4 => Op::link_send(x * 256),
+                _ => Op::main_step(x * 32, x),
+            });
+        }
+        if i == 0 {
+            for &sem in &sems {
+                body.push(Op::post(sem, 0));
+            }
+        } else if g.range(0, 2) == 1 {
+            let sem = sems[g.range(0, sems.len() as u64) as usize];
+            body.insert(0, Op::wait(sem, 0, 1));
+        }
+        gpu.launch(
+            stream,
+            Arc::new(FixedKernel::new(
+                &format!("k{i}"),
+                Dim3::linear(g.range(1, 10) as u32),
+                g.range(1, 3) as u32,
+                body,
+            )),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for arbitrary multi-device workloads (1-4 devices,
+    /// random cross-device semaphore edges, link sends, mixed priorities)
+    /// the reference and optimized engines produce bit-identical
+    /// timelines and traces.
+    #[test]
+    fn random_multi_device_pipelines_are_engine_invariant(
+        devices in 1u32..5,
+        sms in 2u32..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cluster = ClusterConfig {
+            devices: vec![GpuConfig::toy(sms); devices as usize],
+            link_latency: SimTime::from_nanos(2_500),
+            link_bytes_per_sec: 100e9,
+        };
+        let scenario = |mode: EngineMode| {
+            let mut gpu = Gpu::cluster_with_mode(cluster.clone(), mode);
+            gpu.enable_trace();
+            random_cluster_workload(seed, devices, &mut gpu);
+            let report = gpu.run().expect("random cluster workload ran");
+            (report, gpu.trace().to_vec())
+        };
+        let (ref_report, ref_trace) = scenario(EngineMode::Reference);
+        let (opt_report, opt_trace) = scenario(EngineMode::Optimized);
+        prop_assert_eq!(&ref_report.kernels, &opt_report.kernels);
+        prop_assert_eq!(ref_report.total, opt_report.total);
+        prop_assert_eq!(ref_report.sem_posts, opt_report.sem_posts);
+        prop_assert_eq!(ref_report.sm_utilization, opt_report.sm_utilization);
+        prop_assert_eq!(&ref_trace, &opt_trace);
+        prop_assert!(opt_report.sim_events <= ref_report.sim_events);
+    }
 }
 
 /// Traces — the fullest observable scheduling record — also match, on a

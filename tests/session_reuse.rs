@@ -13,14 +13,19 @@
 use std::sync::Arc;
 
 use cusync_models::{
-    build_attention, build_conv_layer, build_mlp, compile_attention, compile_conv_layer,
-    compile_mlp, AttentionConfig, MlpModel, PolicyKind, SyncMode,
+    build_attention, build_conv_layer, build_mlp, build_tp_layer, compile_attention,
+    compile_conv_layer, compile_mlp, compile_tp_layer, launch_ring_allreduce, tp_attention, tp_mlp,
+    AttentionConfig, MlpModel, PolicyKind, SyncMode, TpSchedule,
 };
 use cusync_sim::{
-    with_engine_mode, CompiledPipeline, DType, Dim3, EngineMode, FixedKernel, Gpu, GpuConfig, Op,
-    RunReport, Runtime, Session,
+    with_engine_mode, ClusterConfig, CompiledPipeline, DType, Dim3, EngineMode, FixedKernel, Gpu,
+    GpuConfig, Op, RunReport, Runtime, Session, StreamId,
 };
 use proptest::prelude::*;
+
+#[path = "common/mod.rs"]
+mod common;
+use common::Gen;
 
 const REPEATS: usize = 3;
 
@@ -243,6 +248,81 @@ fn functional_memory_resets_between_session_runs() {
     }
 }
 
+/// Multi-device pipelines go through the same device-count-agnostic
+/// session machinery: N `Session::run`s of a compiled tensor-parallel
+/// layer (cross-device semaphores, link sends, the ring collective) must
+/// be bit-identical to N fresh one-shot cluster runs, on both engines.
+#[test]
+fn tensor_parallel_session_reuse_is_bit_identical() {
+    for (devices, cfg, schedule) in [
+        (2u32, tp_mlp(4096, 256), TpSchedule::Serialized),
+        (4, tp_mlp(4096, 256), TpSchedule::Overlap),
+        (4, tp_attention(4096, 256), TpSchedule::Overlap),
+    ] {
+        let cluster = ClusterConfig::dgx_v100(devices);
+        check_reuse(
+            &format!("tp {cfg:?} devices={devices} {schedule:?}"),
+            || compile_tp_layer(&cluster, cfg, schedule),
+            || {
+                let mut g = Gpu::new_cluster(cluster.clone());
+                build_tp_layer(&mut g, cfg, schedule);
+                g
+            },
+        );
+    }
+}
+
+/// A bare ring collective (no compute around it) also reuses cleanly: the
+/// cross-device semaphore state — including remote-homed arrays — must be
+/// restored between runs.
+#[test]
+fn ring_allreduce_session_reuse_is_bit_identical() {
+    let cluster = ClusterConfig::dgx_v100(4);
+    let build = |g: &mut Gpu| {
+        let streams: Vec<StreamId> = (0..4).map(|d| g.create_stream_on(d, 0)).collect();
+        launch_ring_allreduce(g, "ar", 2 << 20, &streams);
+    };
+    check_reuse(
+        "ring allreduce 4 devices",
+        || {
+            let mut g = Gpu::new_cluster(cluster.clone());
+            build(&mut g);
+            g.compile().expect("unrun cluster gpu")
+        },
+        || {
+            let mut g = Gpu::new_cluster(cluster.clone());
+            build(&mut g);
+            g
+        },
+    );
+}
+
+/// The pooled `Runtime` serves multi-device pipelines like any other:
+/// repeated concurrent submissions resolve to the identical simulation.
+#[test]
+fn multi_device_runtime_pool_matches_serial_sessions() {
+    let cluster = ClusterConfig::dgx_v100(4);
+    let pipelines: Vec<Arc<CompiledPipeline>> = [TpSchedule::Serialized, TpSchedule::Overlap]
+        .into_iter()
+        .map(|s| Arc::new(compile_tp_layer(&cluster, tp_mlp(4096, 256), s)))
+        .collect();
+    let mut session = Session::new();
+    let serial: Vec<RunReport> = pipelines
+        .iter()
+        .map(|p| session.run(p).expect("serial run"))
+        .collect();
+    let runtime = Runtime::new(3);
+    let results = runtime.run_all((0..3).flat_map(|_| pipelines.iter().map(Arc::clone)));
+    for (i, result) in results.into_iter().enumerate() {
+        let report = result.expect("pooled run");
+        assert_identical(
+            &serial[i % pipelines.len()],
+            &report,
+            &format!("pooled multi-device submission {i}"),
+        );
+    }
+}
+
 /// A `Runtime` pool run is the same simulation as a serial session run.
 #[test]
 fn runtime_pool_matches_serial_sessions() {
@@ -271,25 +351,6 @@ fn runtime_pool_matches_serial_sessions() {
             &report,
             &format!("pooled submission {i}"),
         );
-    }
-}
-
-/// Tiny deterministic generator (SplitMix64) deriving a whole random
-/// workload from one seed, so a workload can be rebuilt identically for
-/// the fresh-Gpu comparator.
-struct Gen(u64);
-
-impl Gen {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next() % (hi - lo)
     }
 }
 
