@@ -41,6 +41,16 @@ pub enum CuSyncError {
         /// Name of the buffer with two producers.
         buffer: String,
     },
+    /// A stage was placed (via [`CuStage::on_device`](crate::CuStage)) on
+    /// a device the bound GPU does not have.
+    UnknownDevice {
+        /// Stage name.
+        stage: String,
+        /// The out-of-range device.
+        device: u32,
+        /// Devices the node actually has.
+        devices: u32,
+    },
     /// A kernel builder rejected its inputs while assembling the pipeline
     /// (e.g. "operand not set"), surfaced as a typed error instead of a
     /// panic.
@@ -93,6 +103,17 @@ impl fmt::Display for CuSyncError {
             }
             CuSyncError::DuplicateProducer { buffer } => {
                 write!(f, "buffer {buffer} already has a producer stage")
+            }
+            CuSyncError::UnknownDevice {
+                stage,
+                device,
+                devices,
+            } => {
+                write!(
+                    f,
+                    "stage {stage} placed on device {device}, but the node has only \
+                     {devices} device(s)"
+                )
             }
             CuSyncError::Build(e) => write!(f, "{e}"),
             CuSyncError::Sim(e) => write!(f, "{e}"),

@@ -137,29 +137,46 @@ impl SyncGraph {
     /// order is not a bijection over its stage's grid.
     pub fn bind(&self, gpu: &mut Gpu) -> Result<BoundGraph, CuSyncError> {
         let order = self.topo_order()?;
+        // Validate placements before touching the GPU: a foreign device
+        // must surface as a typed error, not a panic mid-bind.
+        for stage in &self.stages {
+            if stage.placed_device() >= gpu.num_devices() {
+                return Err(CuSyncError::UnknownDevice {
+                    stage: stage.name().to_owned(),
+                    device: stage.placed_device(),
+                    devices: gpu.num_devices(),
+                });
+            }
+        }
         let mut runtimes: Vec<Option<Arc<StageRuntime>>> = vec![None; self.stages.len()];
         let mut streams = Vec::with_capacity(self.stages.len());
+        // Streams created in stage order for determinism, each on its
+        // stage's placed device.
         for stage in &self.stages {
-            let _ = stage; // streams created in stage order for determinism
-            streams.push(gpu.create_stream(0));
+            streams.push(gpu.create_stream_on(stage.placed_device(), 0));
         }
         for &i in &order {
             let stage = &self.stages[i];
             let grid = stage.grid();
+            let device = stage.placed_device();
             let policy = Arc::clone(stage.policy_handle());
             let opts = stage.opt_flags();
             let num_sems = policy.num_sems(grid);
+            // A stage's semaphores are homed with the stage: its own posts
+            // stay device-local, and consumers on other devices pay the
+            // link latency on the post→observe edge (Section on
+            // multi-device sync; see `ClusterConfig`).
             let sems = (num_sems > 0)
-                .then(|| gpu.alloc_sems(&format!("{}.sems", stage.name()), num_sems, 0));
-            let start_sem = gpu.alloc_sems(&format!("{}.start", stage.name()), 1, 0);
+                .then(|| gpu.alloc_sems_on(device, &format!("{}.sems", stage.name()), num_sems, 0));
+            let start_sem = gpu.alloc_sems_on(device, &format!("{}.start", stage.name()), 1, 0);
             let schedule = TileSchedule::build(stage.order_handle().as_ref(), grid)?;
             // The paper's custom tile-order mechanism is active by default
             // (hardware issue order is undocumented, so cuSync enforces its
             // own); the T optimization elides the counter and table lookup,
             // trusting the hardware order (Section IV-C).
             let use_counter = !opts.avoid_custom_order;
-            let counter =
-                use_counter.then(|| gpu.alloc_sems(&format!("{}.order", stage.name()), 1, 0));
+            let counter = use_counter
+                .then(|| gpu.alloc_sems_on(device, &format!("{}.order", stage.name()), 1, 0));
             let producers = self
                 .deps
                 .iter()
@@ -172,6 +189,7 @@ impl SyncGraph {
             runtimes[i] = Some(Arc::new(StageRuntime {
                 name: stage.name().to_owned(),
                 grid,
+                device,
                 policy,
                 opts,
                 sems,
@@ -367,6 +385,25 @@ mod tests {
         assert!(bound.stage(s1).tile_counter().is_some());
         assert_eq!(bound.stage(s1).tile_at(1), Dim3::new(0, 1, 0));
         assert!(bound.stage(s2).tile_counter().is_none());
+    }
+
+    #[test]
+    fn foreign_device_placement_is_a_typed_error() {
+        let mut gpu = gpu(); // single-device node
+        let mut graph = SyncGraph::new();
+        graph.add_stage(CuStage::new("remote", Dim3::ONE).on_device(1));
+        match graph.bind(&mut gpu) {
+            Err(CuSyncError::UnknownDevice {
+                stage,
+                device,
+                devices,
+            }) => {
+                assert_eq!(stage, "remote");
+                assert_eq!(device, 1);
+                assert_eq!(devices, 1);
+            }
+            other => panic!("expected UnknownDevice, got {other:?}"),
+        }
     }
 
     #[test]

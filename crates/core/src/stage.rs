@@ -42,11 +42,12 @@ pub struct CuStage {
     policy: PolicyRef,
     order: OrderRef,
     opts: OptFlags,
+    device: u32,
 }
 
 impl CuStage {
     /// Creates a stage with the default [`TileSync`] policy, [`RowMajor`]
-    /// order and no optimizations.
+    /// order, no optimizations, placed on device 0.
     pub fn new(name: &str, grid: Dim3) -> Self {
         CuStage {
             name: name.to_owned(),
@@ -54,7 +55,19 @@ impl CuStage {
             policy: Arc::new(TileSync),
             order: Arc::new(RowMajor),
             opts: OptFlags::NONE,
+            device: 0,
         }
+    }
+
+    /// Places the stage on `device` of a multi-GPU node:
+    /// [`SyncGraph::bind`](crate::SyncGraph::bind) creates its stream on
+    /// that device and homes its semaphores (tile, start, order counter)
+    /// in that device's memory, so dependencies whose producer and
+    /// consumer live on different devices synchronize across the
+    /// interconnect (the consumer's polls pay the link latency).
+    pub fn on_device(mut self, device: u32) -> Self {
+        self.device = device;
+        self
     }
 
     /// Sets the synchronization policy.
@@ -111,6 +124,12 @@ impl CuStage {
     pub fn opt_flags(&self) -> OptFlags {
         self.opts
     }
+
+    /// The device this stage is placed on (0 unless
+    /// [`CuStage::on_device`] was called).
+    pub fn placed_device(&self) -> u32 {
+        self.device
+    }
 }
 
 /// A stage bound to a GPU: semaphores allocated, tile schedule built,
@@ -121,6 +140,8 @@ impl CuStage {
 pub struct StageRuntime {
     pub(crate) name: String,
     pub(crate) grid: Dim3,
+    /// Device the stage's stream and semaphores live on.
+    pub(crate) device: u32,
     pub(crate) policy: PolicyRef,
     pub(crate) opts: OptFlags,
     /// Tile-status semaphores; `None` when the policy needs none.
@@ -159,6 +180,11 @@ impl StageRuntime {
     /// Tile grid of this stage.
     pub fn grid(&self) -> Dim3 {
         self.grid
+    }
+
+    /// Device the stage's stream and semaphores live on.
+    pub fn device(&self) -> u32 {
+        self.device
     }
 
     /// Optimization flags in effect.
@@ -274,6 +300,7 @@ mod tests {
         StageRuntime {
             name: "test".into(),
             grid,
+            device: 0,
             policy,
             opts: OptFlags::NONE,
             sems: None,

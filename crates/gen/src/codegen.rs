@@ -17,18 +17,27 @@ use crate::dsl::{DepDecl, DepSpec, Pattern};
 use crate::policies::NamedPolicy;
 
 /// Renders the CUDA `sem`/`value` pair for `policy` applied to the
-/// producer grid of `dep`.
+/// producer grid of `dep`. The struct name is qualified by both ends of
+/// the dependence (`Policy_producer_to_consumer`) so a producer feeding
+/// several consumers — or several policies of one dependence — never
+/// emits colliding type names in one generated header.
 pub fn emit_policy(spec: &DepSpec, dep: &DepDecl, policy: &NamedPolicy) -> String {
     let producer = spec.name(dep.producer);
+    let consumer = spec.name(dep.consumer);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "// {} for producer {} (grid {})",
+        "// {} for producer {} (grid {}), consumed by {}",
         policy.name,
         producer,
-        spec.extent(dep.producer)
+        spec.extent(dep.producer),
+        consumer,
     );
-    let _ = writeln!(out, "struct {}_{} {{", policy.name, producer);
+    let _ = writeln!(
+        out,
+        "struct {}_{}_to_{} {{",
+        policy.name, producer, consumer
+    );
     match policy.name.as_str() {
         "TileSync" => {
             out.push_str(
@@ -100,19 +109,24 @@ fn fold_params(dep: &DepDecl) -> Option<i64> {
 }
 
 /// Renders the producer tile-order function of Section IV-A: groups of `n`
-/// producer tiles are scheduled consecutively per consumer tile.
+/// producer tiles are scheduled consecutively per consumer tile. Like
+/// [`emit_policy`], the function name is qualified by both ends of the
+/// dependence so one producer's orders toward different consumers don't
+/// collide.
 pub fn emit_order(spec: &DepSpec, dep: &DepDecl) -> String {
     let producer = spec.name(dep.producer);
+    let consumer = spec.name(dep.consumer);
     let grid = spec.extent(dep.producer);
     let n = group_size(spec, dep);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "// Producer order for {producer}: {n} tiles per consumer scheduled consecutively"
+        "// Producer order for {producer} (toward {consumer}): {n} tiles per consumer \
+         scheduled consecutively"
     );
     let _ = writeln!(
         out,
-        "__device__ int prodOrder_{producer}(dim3 tile, dim3 grid) {{"
+        "__device__ int prodOrder_{producer}_to_{consumer}(dim3 tile, dim3 grid) {{"
     );
     out.push_str("  int linear = tile.y * grid.x + tile.x;\n");
     if n <= 1 {
@@ -214,5 +228,96 @@ mod tests {
         // 24 producers per consumer = whole row: emitted as row-major
         // grouping over the row.
         assert!(code.contains("prodOrder_g1"), "{code}");
+    }
+
+    /// Builds one dependence per pattern class so `policies_for` yields
+    /// every [`NamedPolicy`] variant, and asserts `emit_policy` renders a
+    /// struct with a `sem`/`value` pair for each of them — not just
+    /// `Conv2DTileSync`.
+    #[test]
+    fn emit_policy_covers_every_named_policy_variant() {
+        let cases: Vec<(Pattern, Vec<&str>)> = vec![
+            // MLP ForAllX → TileSync + RowSync.
+            (
+                Pattern::ForAllX(AffineExpr::y()),
+                vec!["TileSync", "RowSync"],
+            ),
+            // Attention strided tiles → TileSync + StridedSync + RowSync.
+            (
+                Pattern::Tiles(vec![
+                    (AffineExpr::x(), AffineExpr::y()),
+                    (AffineExpr::x().plus(3), AffineExpr::y()),
+                    (AffineExpr::x().plus(6), AffineExpr::y()),
+                ]),
+                vec!["TileSync", "StridedSync", "RowSync"],
+            ),
+            // Conv fold → Conv2DTileSync + RowSync.
+            (
+                Pattern::Tiles(vec![(AffineExpr::x().div(3), AffineExpr::y())]),
+                vec!["Conv2DTileSync", "RowSync"],
+            ),
+        ];
+        for (pattern, expected) in cases {
+            let mut spec = DepSpec::new();
+            let prod = spec.grid("p", Dim3::new(9, 2, 1));
+            let cons = spec.grid("c", Dim3::new(9, 2, 1));
+            spec.depend(cons, prod, pattern);
+            let dep = &spec.deps()[0];
+            let policies = crate::policies::policies_for(&spec, dep);
+            let names: Vec<&str> = policies.iter().map(|p| p.name.as_str()).collect();
+            assert_eq!(names, expected);
+            for policy in &policies {
+                let code = emit_policy(&spec, dep, policy);
+                assert!(
+                    code.contains(&format!("struct {}_p_to_c {{", policy.name)),
+                    "{code}"
+                );
+                assert!(
+                    code.contains("__device__ int sem(dim3 tile, dim3 grid)"),
+                    "{code}"
+                );
+                assert!(
+                    code.contains("__device__ int value(dim3 tile, dim3 grid)"),
+                    "{code}"
+                );
+            }
+        }
+    }
+
+    /// One producer feeding two consumers (plus a second producer) must
+    /// emit distinct struct and prodOrder names for every dependence —
+    /// the generated header has to compile as one translation unit.
+    #[test]
+    fn emitted_code_names_are_unique_per_dependence() {
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(6, 2, 1));
+        let g2 = spec.grid("g2", Dim3::new(6, 2, 1));
+        let g3 = spec.grid("g3", Dim3::new(6, 2, 1));
+        // g1 feeds both g2 and g3 with the same pattern; g2 feeds g3.
+        spec.depend(g2, g1, Pattern::ForAllX(AffineExpr::y()));
+        spec.depend(g3, g1, Pattern::ForAllX(AffineExpr::y()));
+        spec.depend(g3, g2, Pattern::ForAllX(AffineExpr::y()));
+        let code = emit_spec(&spec);
+        let mut names: Vec<&str> = Vec::new();
+        for line in code.lines() {
+            if let Some(rest) = line.strip_prefix("struct ") {
+                names.push(rest.trim_end_matches(" {"));
+            }
+            if let Some(rest) = line.strip_prefix("__device__ int prodOrder_") {
+                names.push(rest.split('(').next().unwrap());
+            }
+        }
+        assert!(
+            names.len() >= 9,
+            "3 deps x (2 policies + 1 order): {names:?}"
+        );
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            names.len(),
+            "duplicate emitted names: {names:?}"
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! GPU hardware model configuration.
 
+use crate::sched::SchedPolicyKind;
 use crate::time::SimTime;
 
 /// Normalized per-SM capacity units.
@@ -86,6 +87,14 @@ pub struct GpuConfig {
     /// block starting. Together with `host_launch_gap` this reproduces the
     /// ~6us kernel invocation time the paper measures (Section V-E1).
     pub kernel_dispatch_latency: SimTime,
+    /// Block-issue ordering of this device's work distributor (see
+    /// [`crate::sched`]). The default, [`SchedPolicyKind::Fifo`], is the
+    /// launch-order behaviour the paper observed on Volta/Ampere and the
+    /// only ordering preserving the seed engine's bit-identical
+    /// timelines; the others explore the schedule space. Multi-device
+    /// nodes follow device 0's setting
+    /// ([`ClusterConfig::effective_sched`]).
+    pub sched: SchedPolicyKind,
 }
 
 impl GpuConfig {
@@ -111,6 +120,7 @@ impl GpuConfig {
             dram_saturation_fraction: 0.5,
             host_launch_gap: SimTime::from_micros(1.2),
             kernel_dispatch_latency: SimTime::from_micros(4.8),
+            sched: SchedPolicyKind::Fifo,
         }
     }
 
@@ -137,6 +147,7 @@ impl GpuConfig {
             dram_saturation_fraction: 0.5,
             host_launch_gap: SimTime::from_micros(1.2),
             kernel_dispatch_latency: SimTime::from_micros(4.0),
+            sched: SchedPolicyKind::Fifo,
         }
     }
 
@@ -342,6 +353,16 @@ impl ClusterConfig {
     /// included; that is paid by the cross-device semaphore edge).
     pub fn link_wire_time(&self, bytes: u64) -> SimTime {
         SimTime::from_picos((bytes as f64 / self.link_bytes_per_sec * 1e12).round() as u64)
+    }
+
+    /// The node's effective block-issue ordering: device 0's
+    /// [`GpuConfig::sched`]. Issue order is a property of the whole
+    /// placement round (kernels on different devices never contend for the
+    /// same SM, so a per-device split would be indistinguishable), and
+    /// every cluster constructor builds homogeneous devices, so device 0
+    /// speaks for the node.
+    pub fn effective_sched(&self) -> SchedPolicyKind {
+        self.devices[0].sched
     }
 }
 

@@ -52,6 +52,7 @@ use crate::dim::Dim3;
 use crate::kernel::{BlockCtx, KernelSource, Step};
 use crate::mem::{BufferId, DType, GlobalMemory};
 use crate::ops::Op;
+use crate::sched::{SchedContext, SchedPolicy, SchedPolicyRef};
 use crate::sem::{SemArrayId, SemTable, WaitLists};
 use crate::stats::{waves, KernelReport, RunReport};
 use crate::time::SimTime;
@@ -195,21 +196,219 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// One thread block stalled on an unmet semaphore at deadlock time: a
+/// node of the wait cycle a [`DeadlockReport`] describes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedBlock {
+    /// Kernel the block belongs to.
+    pub kernel: KernelId,
+    /// Name of that kernel.
+    pub kernel_name: String,
+    /// Block index within the kernel grid.
+    pub block: Dim3,
+    /// SM whose slot the spinning block occupies.
+    pub sm: u32,
+    /// Device that SM belongs to.
+    pub device: u32,
+    /// Semaphore array being polled.
+    pub sem: SemArrayId,
+    /// Name of that array.
+    pub sem_name: String,
+    /// Index polled within the array.
+    pub index: u32,
+    /// Value the block is waiting for the semaphore to reach.
+    pub target: u32,
+    /// Value the semaphore actually held when progress stopped.
+    pub current: u32,
+}
+
+impl fmt::Display for BlockedBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} block {} waits {}[{}] >= {} (currently {})",
+            self.kernel_name, self.block, self.sem_name, self.index, self.target, self.current,
+        )
+    }
+}
+
+/// An unfinished kernel at deadlock time, with its launch progress — the
+/// *resident vs. unlaunched* split that closes the wait cycle (unlaunched
+/// blocks are the ones that would have posted the spun-on semaphores).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingKernel {
+    /// The kernel.
+    pub kernel: KernelId,
+    /// Its name.
+    pub name: String,
+    /// Device its blocks occupy SMs on.
+    pub device: u32,
+    /// Total thread blocks of the grid.
+    pub total: u64,
+    /// Blocks that were issued onto an SM.
+    pub issued: u64,
+    /// Blocks that ran to completion.
+    pub completed: u64,
+}
+
+impl PendingKernel {
+    /// Blocks that never reached an SM — the starved half of the cycle.
+    pub fn unissued(&self) -> u64 {
+        self.total - self.issued
+    }
+}
+
+impl fmt::Display for PendingKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} blocks issued ({} unlaunched, {} completed) on device {}",
+            self.name,
+            self.issued,
+            self.total,
+            self.unissued(),
+            self.completed,
+            self.device,
+        )
+    }
+}
+
+/// Occupancy of one SM at deadlock time. At a true occupancy deadlock
+/// every resident unit is a spinner: `active_units` (units still making
+/// progress) is zero while `spinning_units` holds the busy-waiters that
+/// keep the slot hostage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmOccupancy {
+    /// Global SM index.
+    pub sm: u32,
+    /// Owning device.
+    pub device: u32,
+    /// Capacity units still free (out of [`SM_CAPACITY_UNITS`]).
+    pub free_units: u32,
+    /// Units of resident blocks that were actively executing.
+    pub active_units: u32,
+    /// Units of resident blocks parked busy-waiting on semaphores.
+    pub spinning_units: u32,
+}
+
+/// Structured description of a detected deadlock: the wait cycle of
+/// Section III-B, as data.
+///
+/// The cycle reads: the [`blocked`](DeadlockReport::blocked) blocks
+/// occupy SM slots spinning on semaphores; the semaphores can only be
+/// posted by the [`unissued`](PendingKernel::unissued) blocks of the
+/// [`pending`](DeadlockReport::pending) kernels; those blocks cannot
+/// launch because the [`sms`](DeadlockReport::sms) have no free capacity
+/// — which the spinning blocks are holding. [`DeadlockReport::wait_cycle`]
+/// renders exactly that sentence from the data; `Display` prints the full
+/// diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlockReport {
+    /// Simulated time at which progress stopped.
+    pub time: SimTime,
+    /// Every resident block parked on an unmet semaphore.
+    pub blocked: Vec<BlockedBlock>,
+    /// Every unfinished kernel with its issue/completion progress.
+    pub pending: Vec<PendingKernel>,
+    /// Occupancy of every SM holding at least one resident block.
+    pub sms: Vec<SmOccupancy>,
+}
+
+impl DeadlockReport {
+    /// Names of the unfinished kernels, in launch order.
+    pub fn pending_names(&self) -> Vec<String> {
+        self.pending.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// The pending kernels with unlaunched blocks — the kernels starved of
+    /// SM capacity by the spinners.
+    pub fn starved(&self) -> impl Iterator<Item = &PendingKernel> {
+        self.pending.iter().filter(|p| p.unissued() > 0)
+    }
+
+    /// Distinct `array[index]` semaphore names the blocked blocks poll.
+    pub fn polled_sems(&self) -> Vec<String> {
+        let mut sems: Vec<String> = self
+            .blocked
+            .iter()
+            .map(|b| format!("{}[{}]", b.sem_name, b.index))
+            .collect();
+        sems.sort();
+        sems.dedup();
+        sems
+    }
+
+    /// Renders the wait cycle as one sentence, or `None` when the stall is
+    /// not an occupancy cycle (e.g. a semaphore that simply has no poster:
+    /// blocked blocks but no starved kernel).
+    pub fn wait_cycle(&self) -> Option<String> {
+        if self.blocked.is_empty() {
+            return None;
+        }
+        let spinners: Vec<&str> = {
+            let mut names: Vec<&str> = self
+                .blocked
+                .iter()
+                .map(|b| b.kernel_name.as_str())
+                .collect();
+            names.sort();
+            names.dedup();
+            names
+        };
+        let starved: Vec<String> = self.starved().map(|p| p.name.clone()).collect();
+        if starved.is_empty() {
+            return None;
+        }
+        Some(format!(
+            "[{}] occupy SM slots spinning on [{}] -> [{}] cannot launch their remaining \
+             blocks (no free SM capacity) -> the polled semaphores never reach their targets",
+            spinners.join(", "),
+            self.polled_sems().join(", "),
+            starved.join(", "),
+        ))
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadlock at {}: {} blocked thread block(s), pending kernels [{}]",
+            self.time,
+            self.blocked.len(),
+            self.pending_names().join(", "),
+        )?;
+        for b in &self.blocked {
+            write!(f, "\n  blocked: {b} (sm {}, device {})", b.sm, b.device)?;
+        }
+        for p in &self.pending {
+            write!(f, "\n  pending: {p}")?;
+        }
+        for s in &self.sms {
+            write!(
+                f,
+                "\n  occupancy: sm{} d{}: {} free, {} active, {} spinning (of {})",
+                s.sm, s.device, s.free_units, s.active_units, s.spinning_units, SM_CAPACITY_UNITS,
+            )?;
+        }
+        if let Some(cycle) = self.wait_cycle() {
+            write!(f, "\n  wait cycle: {cycle}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeadlockReport {}
+
 /// Error raised by [`Gpu::run`] and [`Session::run`](crate::Session::run).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// No event can make progress but kernels remain incomplete: every
     /// resident block is busy-waiting on a semaphore and no SM slot is free
     /// for the blocks that would post — the hazard of omitting the
-    /// wait-kernel (Section III-B).
-    Deadlock {
-        /// Time at which progress stopped.
-        time: SimTime,
-        /// Human-readable description of each blocked thread block.
-        blocked: Vec<String>,
-        /// Kernels that had not finished.
-        pending: Vec<String>,
-    },
+    /// wait-kernel (Section III-B). The report names the wait cycle; see
+    /// [`DeadlockReport`].
+    Deadlock(Box<DeadlockReport>),
     /// [`Gpu::run`] was called a second time on the same [`Gpu`], or
     /// [`Gpu::compile`] was called after a run. The one-shot `Gpu` wrapper
     /// consumes its launched kernels; for repeated execution compile the
@@ -233,18 +432,7 @@ impl From<BuildError> for SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock {
-                time,
-                blocked,
-                pending,
-            } => {
-                write!(
-                    f,
-                    "deadlock at {time}: {} blocked thread block(s), pending kernels [{}]",
-                    blocked.len(),
-                    pending.join(", ")
-                )
-            }
+            SimError::Deadlock(report) => write!(f, "{report}"),
             SimError::AlreadyRan => {
                 write!(f, "Gpu::run may only be called once per Gpu")
             }
@@ -256,7 +444,15 @@ impl fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Build(e) => Some(e),
+            SimError::Deadlock(report) => Some(report.as_ref()),
+            SimError::AlreadyRan | SimError::RuntimeShutdown => None,
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
@@ -489,6 +685,23 @@ pub(crate) struct KernelRun {
     end: Option<SimTime>,
     concurrent: u64,
     max_concurrent: u64,
+    /// Blocks currently parked busy-waiting on an unmet semaphore —
+    /// identical in both engine modes at every try-issue instant, so
+    /// dynamic [`SchedPolicy`]s may key on it.
+    parked: u64,
+}
+
+impl KernelRun {
+    /// Blocks issued onto SMs so far (read by [`SchedContext`]).
+    pub(crate) fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Blocks currently parked on unmet semaphores (read by
+    /// [`SchedContext`]).
+    pub(crate) fn parked(&self) -> u64 {
+        self.parked
+    }
 }
 
 /// A step the block already yielded whose application was deferred to the
@@ -716,17 +929,22 @@ impl RunState {
 /// [`RunState::reset`] and initial memory/semaphores), in `mode`.
 /// `progs` must hold the pipeline's pre-driven programs for an
 /// [`EngineMode::Optimized`] run; the reference engine ignores it (pass
-/// [`Programs::empty`]).
+/// [`Programs::empty`]). `sched` decides the block-issue order — pass the
+/// config's policy (`desc.cluster.effective_sched().instantiate()`) unless
+/// the caller carries an override.
 pub(crate) fn execute(
     desc: &PipelineDesc,
     progs: &Programs,
     mode: EngineMode,
+    sched: &dyn SchedPolicy,
     st: &mut RunState,
 ) -> Result<RunReport, SimError> {
     let mut ex = Exec {
         desc,
         progs,
         mode,
+        sched,
+        launch_order: sched.is_launch_order(),
         st,
     };
     ex.run_all()
@@ -739,6 +957,11 @@ struct Exec<'a> {
     desc: &'a PipelineDesc,
     progs: &'a Programs,
     mode: EngineMode,
+    /// Block-issue ordering policy for this run.
+    sched: &'a dyn SchedPolicy,
+    /// Cached `sched.is_launch_order()`: when true both engines keep their
+    /// original (pre-policy) hot paths byte for byte.
+    launch_order: bool,
     st: &'a mut RunState,
 }
 
@@ -903,32 +1126,57 @@ impl Exec<'_> {
     }
 
     fn deadlock_error(&self, incomplete: &[usize]) -> SimError {
-        let blocked = self
+        let blocked: Vec<BlockedBlock> = self
             .st
             .blocks
             .iter()
             .filter_map(|slot| {
                 let (table, index, value) = slot.waiting?;
-                Some(format!(
-                    "{} block {} waits {}[{}] >= {} (currently {})",
-                    self.desc.kernels[slot.kernel].name,
-                    slot.idx,
-                    self.st.sems.name(table),
+                Some(BlockedBlock {
+                    kernel: KernelId(slot.kernel),
+                    kernel_name: self.desc.kernels[slot.kernel].name.clone(),
+                    block: slot.idx,
+                    sm: slot.sm,
+                    device: self.desc.kernels[slot.kernel].device,
+                    sem: table,
+                    sem_name: self.st.sems.name(table).to_owned(),
                     index,
-                    value,
-                    self.st.sems.value(table, index),
-                ))
+                    target: value,
+                    current: self.st.sems.value(table, index),
+                })
             })
             .collect();
         let pending = incomplete
             .iter()
-            .map(|&k| self.desc.kernels[k].name.clone())
+            .map(|&k| PendingKernel {
+                kernel: KernelId(k),
+                name: self.desc.kernels[k].name.clone(),
+                device: self.desc.kernels[k].device,
+                total: self.desc.kernels[k].total,
+                issued: self.st.kernels[k].issued,
+                completed: self.st.kernels[k].completed,
+            })
             .collect();
-        SimError::Deadlock {
+        let sms = (0..self.st.sm_free.len())
+            .filter(|&sm| self.st.sm_free[sm] < SM_CAPACITY_UNITS)
+            .map(|sm| {
+                let occupied = SM_CAPACITY_UNITS - self.st.sm_free[sm];
+                let active = self.st.sm_active[sm];
+                SmOccupancy {
+                    sm: sm as u32,
+                    device: self.desc.device_of_sm[sm],
+                    free_units: self.st.sm_free[sm],
+                    active_units: active,
+                    spinning_units: occupied - active,
+                }
+            })
+            .collect();
+        SimError::Deadlock(Box::new(DeadlockReport {
             time: self.st.now,
             blocked,
             pending,
-        }
+            sms,
+        }))
     }
 
     /// Hardware model of the device `kernel` runs on.
@@ -974,6 +1222,20 @@ impl Exec<'_> {
         }
     }
 
+    /// Orders one placement round's candidates with the run's
+    /// [`SchedPolicy`]. Policies are required to produce the same output
+    /// for the same candidate *set* regardless of incoming order, which is
+    /// what keeps the two engines' issue sequences identical under every
+    /// policy (they enumerate candidates differently).
+    fn order_candidates(&self, candidates: &mut [usize]) {
+        let ctx = SchedContext {
+            desc: self.desc,
+            runs: &self.st.kernels,
+            sems: &self.st.sems,
+        };
+        self.sched.order(&ctx, candidates);
+    }
+
     /// Reference block placement: filter + sort every kernel, then scan
     /// every SM per placed block. O(kernels log kernels + blocks × SMs)
     /// after **every** event batch.
@@ -986,7 +1248,13 @@ impl Exec<'_> {
         if order.is_empty() {
             return;
         }
-        order.sort_by_key(|&k| (Reverse(self.desc.kernels[k].priority), k));
+        if self.launch_order {
+            // The original engine's sort key, kept verbatim as the
+            // bit-identity baseline (== what `Fifo::order` computes).
+            order.sort_by_key(|&k| (Reverse(self.desc.kernels[k].priority), k));
+        } else {
+            self.order_candidates(&mut order);
+        }
         for k in order {
             let device = self.desc.kernels[k].device as usize;
             let base = self.desc.sm_base[device] as usize;
@@ -1014,10 +1282,14 @@ impl Exec<'_> {
         }
     }
 
-    /// Optimized block placement. The ready-queue's `(Reverse(priority), k)`
-    /// ordering is exactly the reference scan's sort key, and `sm_index`'s
-    /// maximum is exactly the reference scan's `max_by_key((f, Reverse(i)))`,
-    /// so the sequence of `issue_block` calls is identical.
+    /// Optimized block placement. Under the launch-order policy the
+    /// ready-queue's `(Reverse(priority), k)` ordering is exactly the
+    /// reference scan's sort key, and `sm_index`'s maximum is exactly the
+    /// reference scan's `max_by_key((f, Reverse(i)))`, so the sequence of
+    /// `issue_block` calls is identical. Under any other policy the
+    /// ready-queue supplies the candidate *set* and the policy re-orders
+    /// it — producing, again, the same sequence the reference engine's
+    /// policy-ordered scan issues.
     fn try_issue_optimized(&mut self) {
         if self.st.ready_queue.is_empty() {
             return;
@@ -1025,6 +1297,9 @@ impl Exec<'_> {
         let mut order = std::mem::take(&mut self.st.issue_scratch);
         order.clear();
         order.extend(self.st.ready_queue.iter().map(|&(_, k)| k));
+        if !self.launch_order {
+            self.order_candidates(&mut order);
+        }
         for &k in &order {
             let device = self.desc.kernels[k].device as usize;
             loop {
@@ -1331,10 +1606,7 @@ impl Exec<'_> {
             return 1.0;
         }
         let key = (kernel as u64) << 48 ^ self.desc.kernels[kernel].grid.linear_of(idx);
-        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
+        let z = crate::sched::splitmix64(key);
         let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
         1.0 + j * (2.0 * unit - 1.0)
     }
@@ -1428,6 +1700,7 @@ impl Exec<'_> {
                     self.st.active_units[device] -= self.st.blocks[bid].units as u64;
                     let kernel = self.st.blocks[bid].kernel;
                     let idx = self.st.blocks[bid].idx;
+                    self.st.kernels[kernel].parked += 1;
                     self.record(TraceEvent::BlockBlocked {
                         kernel: KernelId(kernel),
                         block: idx,
@@ -1539,6 +1812,7 @@ impl Exec<'_> {
         let sm = self.st.blocks[wbid].sm as usize;
         self.st.sm_active[sm] += self.st.blocks[wbid].units;
         self.st.active_units[device] += self.st.blocks[wbid].units as u64;
+        self.st.kernels[self.st.blocks[wbid].kernel].parked -= 1;
         self.push_event(wake_at, EventKind::BlockResume(wbid));
     }
 
@@ -1657,6 +1931,10 @@ pub struct Gpu {
     pub(crate) desc: PipelineDesc,
     pub(crate) st: RunState,
     mode: EngineMode,
+    /// Per-`Gpu` scheduling override; `None` follows the config's
+    /// [`SchedPolicyKind`](crate::SchedPolicyKind). Carried into the
+    /// [`CompiledPipeline`](crate::CompiledPipeline) by [`Gpu::compile`].
+    pub(crate) sched: Option<SchedPolicyRef>,
     pub(crate) ran: bool,
 }
 
@@ -1723,8 +2001,28 @@ impl Gpu {
             desc: PipelineDesc::new(cluster),
             st: RunState::new(),
             mode,
+            sched: None,
             ran: false,
         }
+    }
+
+    /// Overrides the block-issue ordering for this GPU's run, replacing
+    /// the config's [`GpuConfig::sched`] policy. Accepts custom
+    /// [`SchedPolicy`] implementations; built-ins come from
+    /// [`SchedPolicyKind::instantiate`](crate::SchedPolicyKind::instantiate).
+    /// [`Gpu::compile`] carries the override into the compiled pipeline,
+    /// where a [`Session::set_sched`](crate::Session::set_sched) override
+    /// still takes precedence per run.
+    pub fn set_sched(&mut self, sched: SchedPolicyRef) {
+        self.sched = Some(sched);
+    }
+
+    /// The block-issue ordering this GPU will run with: the override set
+    /// by [`Gpu::set_sched`], or the config policy.
+    pub fn sched(&self) -> SchedPolicyRef {
+        self.sched
+            .clone()
+            .unwrap_or_else(|| self.desc.cluster.effective_sched().instantiate())
     }
 
     /// The hardware model in use (device 0's for a multi-device node; see
@@ -1908,7 +2206,14 @@ impl Gpu {
         let trace_enabled = self.st.trace_enabled;
         self.st.reset(&self.desc);
         self.st.trace_enabled = trace_enabled;
-        execute(&self.desc, &programs, self.mode, &mut self.st)
+        let sched = self.sched();
+        execute(
+            &self.desc,
+            &programs,
+            self.mode,
+            sched.as_ref(),
+            &mut self.st,
+        )
     }
 }
 
@@ -2051,12 +2356,17 @@ mod tests {
         );
         let err = gpu.run().unwrap_err();
         match err {
-            SimError::Deadlock {
-                blocked, pending, ..
-            } => {
-                assert_eq!(pending, vec!["stuck".to_string()]);
-                assert_eq!(blocked.len(), 1);
-                assert!(blocked[0].contains("never[0] >= 1"), "{}", blocked[0]);
+            SimError::Deadlock(report) => {
+                assert_eq!(report.pending_names(), vec!["stuck".to_string()]);
+                assert_eq!(report.blocked.len(), 1);
+                let line = report.blocked[0].to_string();
+                assert!(line.contains("never[0] >= 1"), "{line}");
+                assert_eq!(report.blocked[0].current, 0);
+                // One resident spinner, nothing executing: the report's
+                // occupancy view shows the slot held by a busy-wait.
+                assert_eq!(report.sms.len(), 1);
+                assert_eq!(report.sms[0].active_units, 0);
+                assert!(report.sms[0].spinning_units > 0);
             }
             other => panic!("expected deadlock, got {other}"),
         }
@@ -2089,7 +2399,19 @@ mod tests {
             )),
         );
         let err = gpu.run().unwrap_err();
-        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+        let SimError::Deadlock(report) = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        // The wait cycle names the spinner, the polled semaphore and the
+        // starved producer.
+        let cycle = report.wait_cycle().expect("occupancy cycle");
+        assert!(cycle.contains("consumer"), "{cycle}");
+        assert!(cycle.contains("tile[0]"), "{cycle}");
+        assert!(cycle.contains("producer"), "{cycle}");
+        let starved: Vec<_> = report.starved().collect();
+        assert_eq!(starved.len(), 1);
+        assert_eq!(starved[0].name, "producer");
+        assert_eq!(starved[0].unissued(), 4);
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //!   blocks executes in ⌈B/(o·SMs)⌉ waves (Section II-A of the paper).
 //! - **Streams** — kernels on one stream serialize; kernels on different
 //!   streams overlap, with priorities breaking issue-order ties.
-//! - **Launch-order block scheduling** — the block scheduler issues thread
-//!   blocks in kernel launch order (with backfill), matching the behaviour
-//!   the paper observed on Volta/Ampere.
+//! - **Pluggable block scheduling** — by default the block scheduler
+//!   issues thread blocks in kernel launch order (with backfill), matching
+//!   the behaviour the paper observed on Volta/Ampere; a [`SchedPolicy`]
+//!   ([`Fifo`], [`Lifo`], [`SeededShuffle`], [`SemStarver`]) swaps in
+//!   adversarial orders, and the [`explore`] module searches the schedule
+//!   space for deadlocks and schedule-dependent results.
 //! - **Global-memory semaphores** — busy-wait `wait`/`post` primitives whose
 //!   waits *occupy the SM slot*, reproducing both the overhead model of
 //!   Section V-D and the deadlock hazard of Section III-B.
@@ -66,9 +69,11 @@
 mod config;
 mod dim;
 mod engine;
+pub mod explore;
 mod kernel;
 mod mem;
 mod ops;
+mod sched;
 mod sem;
 mod session;
 pub mod stats;
@@ -78,12 +83,17 @@ mod trace;
 pub use config::{ClusterConfig, GpuConfig, MAX_OCCUPANCY, SM_CAPACITY_UNITS};
 pub use dim::Dim3;
 pub use engine::{
-    default_engine_mode, set_default_engine_mode, with_engine_mode, BuildError, BuildErrorKind,
-    EngineMode, Gpu, SimError, StreamId,
+    default_engine_mode, set_default_engine_mode, with_engine_mode, BlockedBlock, BuildError,
+    BuildErrorKind, DeadlockReport, EngineMode, Gpu, PendingKernel, SimError, SmOccupancy,
+    StreamId,
 };
 pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, IndexedKernel, KernelSource, Step};
 pub use mem::{BufferId, DType, GlobalMemory, RaceEvent};
 pub use ops::Op;
+pub use sched::{
+    splitmix64, Fifo, Lifo, SchedContext, SchedPolicy, SchedPolicyKind, SchedPolicyRef,
+    SeededShuffle, SemStarver,
+};
 pub use sem::{SemArrayId, SemTable};
 pub use session::{run_compiled, CompiledPipeline, Runtime, Session, Ticket};
 pub use stats::{KernelReport, RunReport};

@@ -296,6 +296,36 @@ impl GlobalMemory {
         self.races_total = 0;
     }
 
+    /// A deterministic 64-bit digest of the memory's buffer layout and
+    /// functional contents (FNV-1a over names, lengths, dtypes and the
+    /// exact `f32` bit patterns). Two memories fingerprint equal iff they
+    /// are bit-identical to a functional observer, which is how the
+    /// schedule-space explorer ([`crate::explore`]) asserts that every
+    /// schedule of a pipeline produced the same final state. Timing-only
+    /// buffers contribute layout only (they carry no data).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for buffer in &self.buffers {
+            eat(buffer.name.as_bytes());
+            eat(&(buffer.len as u64).to_le_bytes());
+            eat(&[buffer.dtype.size_bytes() as u8, buffer.data.is_some() as u8]);
+            if let Some(data) = &buffer.data {
+                for v in data {
+                    eat(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        hash
+    }
+
     /// Race events recorded so far (capped; see [`GlobalMemory::races_total`]).
     pub fn races(&self) -> &[RaceEvent] {
         &self.races

@@ -34,6 +34,7 @@ use crate::engine::{
     default_engine_mode, execute, EngineMode, Gpu, PipelineDesc, Programs, RunState, SimError,
 };
 use crate::mem::GlobalMemory;
+use crate::sched::SchedPolicyRef;
 use crate::sem::SemTable;
 use crate::stats::RunReport;
 use crate::trace::TraceEvent;
@@ -71,6 +72,11 @@ pub struct CompiledPipeline {
     desc: PipelineDesc,
     mem: GlobalMemory,
     sems: SemTable,
+    /// Scheduling override installed via [`Gpu::set_sched`] before
+    /// compilation; `None` follows the config's
+    /// [`GpuConfig::sched`](crate::GpuConfig) kind. A
+    /// [`Session::set_sched`] override still wins per run.
+    sched: Option<SchedPolicyRef>,
     /// Pre-driven `timing_static` op programs, built on the first
     /// optimized-engine run (then immutable and shared). Reference-engine
     /// consumers never trigger — or pay for — collection.
@@ -118,6 +124,14 @@ impl CompiledPipeline {
         self.desc.kernels.iter().map(|k| k.name.as_str())
     }
 
+    /// Grid of each registered kernel, in launch order (index-aligned with
+    /// [`CompiledPipeline::kernel_names`]). The exploration driver uses
+    /// this to check that a completed schedule issued each kernel's grid
+    /// exactly.
+    pub fn kernel_grids(&self) -> impl Iterator<Item = crate::Dim3> + '_ {
+        self.desc.kernels.iter().map(|k| k.grid)
+    }
+
     /// The pristine initial memory every run starts from.
     pub fn initial_mem(&self) -> &GlobalMemory {
         &self.mem
@@ -162,6 +176,7 @@ impl Gpu {
             desc: self.desc,
             mem,
             sems,
+            sched: self.sched,
             programs: OnceLock::new(),
         })
     }
@@ -179,6 +194,11 @@ pub struct Session {
     mode: EngineMode,
     st: RunState,
     trace_enabled: bool,
+    /// Per-session scheduling override; `None` follows each pipeline's
+    /// compiled-in config policy. This is what lets one compiled pipeline
+    /// be explored under many schedules without recompiling (see
+    /// [`crate::explore`]).
+    sched: Option<SchedPolicyRef>,
 }
 
 impl fmt::Debug for Session {
@@ -186,6 +206,7 @@ impl fmt::Debug for Session {
         f.debug_struct("Session")
             .field("mode", &self.mode)
             .field("trace_enabled", &self.trace_enabled)
+            .field("sched_override", &self.sched.as_ref().map(|s| s.name()))
             .finish_non_exhaustive()
     }
 }
@@ -209,12 +230,26 @@ impl Session {
             mode,
             st: RunState::new(),
             trace_enabled: false,
+            sched: None,
         }
     }
 
     /// The engine implementation this session runs on.
     pub fn mode(&self) -> EngineMode {
         self.mode
+    }
+
+    /// Sets (or with `None`, clears) this session's block-issue ordering
+    /// override. While set, every [`Session::run`] uses it instead of the
+    /// pipeline's compiled-in [`GpuConfig::sched`](crate::GpuConfig)
+    /// policy — the hook schedule-space exploration runs through.
+    pub fn set_sched(&mut self, sched: Option<SchedPolicyRef>) {
+        self.sched = sched;
+    }
+
+    /// The current scheduling override, if any.
+    pub fn sched(&self) -> Option<&SchedPolicyRef> {
+        self.sched.as_ref()
     }
 
     /// Records scheduling events for inspection by [`Session::trace`].
@@ -260,7 +295,20 @@ impl Session {
             EngineMode::Optimized => pipeline.programs(),
             EngineMode::Reference => EMPTY_PROGRAMS.get_or_init(Programs::empty),
         };
-        execute(&pipeline.desc, programs, self.mode, &mut self.st)
+        // Override precedence: session > pipeline (a `Gpu::set_sched`
+        // carried through compile) > config kind.
+        let sched = self
+            .sched
+            .clone()
+            .or_else(|| pipeline.sched.clone())
+            .unwrap_or_else(|| pipeline.desc.cluster.effective_sched().instantiate());
+        execute(
+            &pipeline.desc,
+            programs,
+            self.mode,
+            sched.as_ref(),
+            &mut self.st,
+        )
     }
 }
 
@@ -362,13 +410,26 @@ impl Runtime {
 
     /// Creates a pool pinned to a specific engine implementation.
     pub fn with_mode(mode: EngineMode, workers: usize) -> Self {
+        Runtime::with_mode_and_sched(mode, workers, None)
+    }
+
+    /// Creates a pool whose every worker session runs with the given
+    /// block-issue ordering override (`None` follows each submitted
+    /// pipeline's config policy).
+    pub fn with_mode_and_sched(
+        mode: EngineMode,
+        workers: usize,
+        sched: Option<SchedPolicyRef>,
+    ) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
+                let sched = sched.clone();
                 thread::spawn(move || {
                     let mut session = Session::with_mode(mode);
+                    session.set_sched(sched);
                     loop {
                         // Hold the lock only for the dequeue, not the run.
                         let job = match rx.lock() {
@@ -515,6 +576,63 @@ mod tests {
         let ra2 = session.run(&a).unwrap();
         assert_eq!(ra1, ra2, "interleaving pipelines must not leak state");
         assert_eq!(rb.kernels.len(), 1);
+    }
+
+    #[test]
+    fn gpu_sched_override_survives_compilation() {
+        use crate::trace::TraceEvent;
+        let build = |lifo: bool| {
+            let mut gpu = Gpu::new(quiet_config());
+            if lifo {
+                gpu.set_sched(Arc::new(crate::Lifo));
+            }
+            let s1 = gpu.create_stream(0);
+            let s2 = gpu.create_stream(0);
+            for (name, s) in [("first", s1), ("second", s2)] {
+                gpu.launch(
+                    s,
+                    Arc::new(FixedKernel::new(
+                        name,
+                        Dim3::linear(2),
+                        1,
+                        vec![Op::compute(1000)],
+                    )),
+                );
+            }
+            gpu.compile().unwrap()
+        };
+        let first_issued = |pipeline: &CompiledPipeline| {
+            let mut session = Session::new();
+            session.enable_trace();
+            session.run(pipeline).unwrap();
+            session
+                .trace()
+                .iter()
+                .find_map(|e| match e {
+                    TraceEvent::BlockIssued { kernel, .. } => Some(*kernel),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        // Config default (Fifo): launch order; with the Gpu-level Lifo
+        // override carried through compile, the later launch issues first.
+        assert_eq!(first_issued(&build(false)), crate::KernelId(0));
+        assert_eq!(first_issued(&build(true)), crate::KernelId(1));
+        // A session-level override still wins over the compiled-in one.
+        let pipeline = build(true);
+        let mut session = Session::new();
+        session.enable_trace();
+        session.set_sched(Some(Arc::new(crate::Fifo)));
+        session.run(&pipeline).unwrap();
+        let first = session
+            .trace()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::BlockIssued { kernel, .. } => Some(*kernel),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first, crate::KernelId(0));
     }
 
     #[test]

@@ -100,6 +100,10 @@ impl TraceEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::waves;
+    use crate::{Dim3, FixedKernel, Gpu, GpuConfig, Op, SchedPolicyKind};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
 
     #[test]
     fn trace_event_reports_time() {
@@ -108,5 +112,178 @@ mod tests {
             time: SimTime::from_nanos(5),
         };
         assert_eq!(e.time(), SimTime::from_nanos(5));
+    }
+
+    const ALL_POLICIES: [SchedPolicyKind; 5] = [
+        SchedPolicyKind::Fifo,
+        SchedPolicyKind::Lifo,
+        SchedPolicyKind::SeededShuffle(5),
+        SchedPolicyKind::SeededShuffle(99),
+        SchedPolicyKind::SemStarver,
+    ];
+
+    fn quiet_config(sms: u32) -> GpuConfig {
+        GpuConfig {
+            host_launch_gap: SimTime::ZERO,
+            kernel_dispatch_latency: SimTime::ZERO,
+            block_jitter: 0.0,
+            ..GpuConfig::toy(sms)
+        }
+    }
+
+    /// A producer/consumer workload with partial waves and semaphores,
+    /// traced under `policy`.
+    fn traced_run(policy: SchedPolicyKind) -> Vec<TraceEvent> {
+        let mut gpu = Gpu::new(quiet_config(4));
+        gpu.set_sched(policy.instantiate());
+        gpu.enable_trace();
+        let sem = gpu.alloc_sems("tiles", 4, 0);
+        let s1 = gpu.create_stream(0);
+        let s2 = gpu.create_stream(0);
+        gpu.launch(
+            s1,
+            Arc::new(FixedKernel::new(
+                "producer",
+                Dim3::linear(6),
+                2,
+                vec![Op::compute(40_000), Op::Fence, Op::post(sem, 0)],
+            )),
+        );
+        gpu.launch(
+            s2,
+            Arc::new(FixedKernel::new(
+                "consumer",
+                Dim3::linear(6),
+                2,
+                vec![Op::wait(sem, 0, 3), Op::compute(5_000)],
+            )),
+        );
+        gpu.run().expect("capacity-safe workload terminates");
+        gpu.trace().to_vec()
+    }
+
+    /// Issue order is a permutation of each kernel's grid: every block
+    /// issued exactly once, and the issued set equals the grid — under
+    /// every scheduling policy.
+    #[test]
+    fn issue_order_is_a_permutation_of_blocks_under_every_policy() {
+        for policy in ALL_POLICIES {
+            let trace = traced_run(policy);
+            let mut issued: BTreeMap<KernelId, Vec<Dim3>> = BTreeMap::new();
+            for event in &trace {
+                if let TraceEvent::BlockIssued { kernel, block, .. } = *event {
+                    issued.entry(kernel).or_default().push(block);
+                }
+            }
+            assert_eq!(issued.len(), 2, "{policy}: both kernels issue");
+            for (kernel, blocks) in issued {
+                let mut sorted = blocks.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(
+                    sorted.len(),
+                    blocks.len(),
+                    "{policy}: {kernel} issued a block twice"
+                );
+                let grid = Dim3::linear(6);
+                let expected: Vec<Dim3> = grid.iter().collect();
+                let mut expected = expected;
+                expected.sort();
+                assert_eq!(sorted, expected, "{policy}: {kernel} issue set != grid");
+            }
+        }
+    }
+
+    /// Per block: issue ≤ every block/blocked event ≤ finish, and each
+    /// block's wait (blocked) and wake-adjacent timestamps never decrease.
+    #[test]
+    fn wait_and_wake_times_are_non_decreasing_per_block() {
+        for policy in ALL_POLICIES {
+            let trace = traced_run(policy);
+            let mut last_time: BTreeMap<(KernelId, Dim3), SimTime> = BTreeMap::new();
+            let mut finished: BTreeMap<(KernelId, Dim3), SimTime> = BTreeMap::new();
+            for event in &trace {
+                match *event {
+                    TraceEvent::BlockIssued {
+                        kernel,
+                        block,
+                        time,
+                        ..
+                    } => {
+                        assert!(
+                            last_time.insert((kernel, block), time).is_none(),
+                            "{policy}: re-issue of {kernel} {block}"
+                        );
+                    }
+                    TraceEvent::BlockBlocked {
+                        kernel,
+                        block,
+                        time,
+                        ..
+                    } => {
+                        let prev = last_time
+                            .insert((kernel, block), time)
+                            .unwrap_or_else(|| panic!("{policy}: blocked before issue"));
+                        assert!(time >= prev, "{policy}: wait time went backwards");
+                    }
+                    TraceEvent::BlockFinished {
+                        kernel,
+                        block,
+                        time,
+                    } => {
+                        let prev = last_time
+                            .get(&(kernel, block))
+                            .copied()
+                            .unwrap_or_else(|| panic!("{policy}: finish before issue"));
+                        assert!(time >= prev, "{policy}: finish precedes last progress");
+                        finished.insert((kernel, block), time);
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(finished.len(), 12, "{policy}: all 12 blocks finish");
+        }
+    }
+
+    /// For a lone kernel the distinct block-issue instants are exactly its
+    /// wave boundaries: `ceil(waves(blocks, occupancy, sms))` of them,
+    /// under every scheduling policy (with a single kernel the policy
+    /// cannot change placement, only re-derive it).
+    #[test]
+    fn wave_boundaries_match_static_wave_arithmetic_under_every_policy() {
+        for policy in ALL_POLICIES {
+            let (blocks, occupancy, sms) = (6u64, 1u32, 4u32);
+            let mut gpu = Gpu::new(quiet_config(sms));
+            gpu.set_sched(policy.instantiate());
+            gpu.enable_trace();
+            let s = gpu.create_stream(0);
+            gpu.launch(
+                s,
+                Arc::new(FixedKernel::new(
+                    "solo",
+                    Dim3::linear(blocks as u32),
+                    occupancy,
+                    vec![Op::compute(10_000)],
+                )),
+            );
+            let report = gpu.run().unwrap();
+            let mut issue_times: Vec<SimTime> = gpu
+                .trace()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::BlockIssued { time, .. } => Some(*time),
+                    _ => None,
+                })
+                .collect();
+            issue_times.sort();
+            issue_times.dedup();
+            let static_waves = waves(blocks, occupancy, sms);
+            assert_eq!(report.kernels[0].static_waves, static_waves);
+            assert_eq!(
+                issue_times.len() as u64,
+                static_waves.ceil() as u64,
+                "{policy}: wave boundaries"
+            );
+        }
     }
 }

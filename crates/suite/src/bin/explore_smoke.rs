@@ -1,0 +1,90 @@
+//! CI smoke: schedule-space exploration over fixed-seed random sync
+//! graphs, failing on any invariant violation and emitting the summary
+//! JSON artifact.
+//!
+//! ```text
+//! explore_smoke [--quick] [--out FILE]
+//! ```
+//!
+//! `--quick` shrinks the sweep (fewer graphs and shuffles) for the CI
+//! budget; the default exercises more of the space. The JSON maps each
+//! `graph seed × regime` cell to its per-schedule outcomes, mirroring the
+//! `BENCH_*.json` artifact convention.
+
+use std::fmt::Write as _;
+
+use cusync_sim::explore::{explore, Expectation, ExploreConfig};
+use cusync_suite::randgraph::generate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let (seeds, shuffles): (&[u64], usize) = if quick {
+        (&[0xC60_2024, 7, 42], 8)
+    } else {
+        (&[0xC60_2024, 3, 7, 11, 42, 1337], 16)
+    };
+    let mut failures = 0usize;
+    let mut json = String::from("{\n  \"cells\": [\n");
+    let mut first_cell = true;
+    for &seed in seeds {
+        let graph = generate(seed, 2);
+        let cells = [
+            (
+                "safe+wait_kernels",
+                graph.build(&graph.safe_cluster(), true),
+                Expectation::Terminates,
+            ),
+            (
+                "starved+no_wait_kernels",
+                graph.build(&graph.starved_cluster(), false),
+                Expectation::Deadlocks,
+            ),
+        ];
+        for (regime, pipeline, expectation) in cells {
+            let pipeline = match pipeline {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("graph {seed} {regime}: build failed: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let cfg = ExploreConfig::seeded(shuffles, seed)
+                .expecting(expectation)
+                .cross_checked();
+            let summary = explore(&pipeline, &cfg);
+            println!("graph {seed:#x} [{regime}]: {summary}");
+            if !summary.ok() {
+                failures += 1;
+            }
+            if !first_cell {
+                json.push_str(",\n");
+            }
+            first_cell = false;
+            let indented = summary
+                .to_json()
+                .lines()
+                .collect::<Vec<_>>()
+                .join("\n      ");
+            let _ = write!(
+                json,
+                "    {{\"graph_seed\": {seed}, \"regime\": \"{regime}\", \"summary\": {indented}}}",
+            );
+        }
+    }
+    let _ = write!(json, "\n  ],\n  \"failures\": {failures}\n}}\n");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if failures > 0 {
+        eprintln!("{failures} exploration cell(s) violated invariants");
+        std::process::exit(1);
+    }
+}

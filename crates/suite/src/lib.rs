@@ -1,1 +1,5 @@
-//! Cross-crate integration test host; see `/tests`.
+//! Cross-crate integration test host (see `/tests`) and home of the
+//! random sync-graph generator feeding schedule-space exploration
+//! ([`randgraph`]).
+
+pub mod randgraph;

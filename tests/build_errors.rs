@@ -169,3 +169,93 @@ fn build_errors_convert_into_sim_errors_for_pipeline_assembly() {
         other => panic!("expected SimError::Build, got {other}"),
     }
 }
+
+/// Every `SimError` variant — including the structured `DeadlockReport` —
+/// must have complete `Display` + `std::error::Error` coverage: distinct,
+/// actionable messages and a `source()` chain that round-trips to the
+/// underlying typed error. Exploration failures print these, so an opaque
+/// `Debug` dump here is a diagnostics regression.
+#[test]
+fn sim_error_display_and_source_cover_every_variant() {
+    use cusync_sim::{Dim3, FixedKernel, Gpu, Op, SimTime};
+    use std::error::Error as _;
+    use std::sync::Arc;
+
+    // Deadlock: produce a real one and check the rendered report.
+    let mut gpu = Gpu::new(GpuConfig {
+        host_launch_gap: SimTime::ZERO,
+        kernel_dispatch_latency: SimTime::ZERO,
+        block_jitter: 0.0,
+        ..GpuConfig::toy(2)
+    });
+    let sem = gpu.alloc_sems("tile", 1, 0);
+    let s1 = gpu.create_stream(0);
+    let s2 = gpu.create_stream(1);
+    gpu.launch(
+        s1,
+        Arc::new(FixedKernel::new(
+            "producer",
+            Dim3::linear(2),
+            1,
+            vec![Op::compute(100), Op::post(sem, 0)],
+        )),
+    );
+    gpu.launch(
+        s2,
+        Arc::new(FixedKernel::new(
+            "consumer",
+            Dim3::linear(2),
+            1,
+            vec![Op::wait(sem, 0, 2), Op::compute(10)],
+        )),
+    );
+    let deadlock = gpu.run().unwrap_err();
+    let shown = deadlock.to_string();
+    // The Display names the stall, each blocked wait, the starved
+    // kernel's launch progress, per-SM occupancy and the cycle sentence.
+    for fragment in [
+        "deadlock at",
+        "blocked: consumer",
+        "tile[0] >= 2",
+        "pending: producer",
+        "unlaunched",
+        "occupancy: sm",
+        "spinning",
+        "wait cycle:",
+    ] {
+        assert!(
+            shown.contains(fragment),
+            "missing {fragment:?} in:\n{shown}"
+        );
+    }
+    // Error::source round-trips to the structured report.
+    let source = deadlock.source().expect("deadlock has a source");
+    let report = source
+        .downcast_ref::<cusync_sim::DeadlockReport>()
+        .expect("source is the DeadlockReport");
+    assert_eq!(report.blocked.len(), 2);
+    assert_eq!(report.to_string(), shown, "Display delegates to the report");
+
+    // Build: source() chains to the typed BuildError.
+    let build = GemmBuilder::new("g", GemmDims::new(0, 1, 1), tile())
+        .build(&v100())
+        .unwrap_err();
+    let sim: SimError = build.clone().into();
+    assert!(sim.to_string().contains("invalid shape"), "{sim}");
+    let source = sim.source().expect("build error has a source");
+    assert_eq!(
+        source
+            .downcast_ref::<BuildError>()
+            .expect("BuildError source"),
+        &build
+    );
+
+    // The leaf variants have no source but still render actionably.
+    for (err, fragment) in [
+        (SimError::AlreadyRan, "once per Gpu"),
+        (SimError::RuntimeShutdown, "worker pool"),
+    ] {
+        assert!(err.to_string().contains(fragment), "{err}");
+        assert!(err.source().is_none());
+    }
+}

@@ -215,20 +215,26 @@ fn deadlock_reports_are_engine_invariant() {
     let reference = with_engine_mode(EngineMode::Reference, scenario);
     let optimized = with_engine_mode(EngineMode::Optimized, scenario);
     assert_eq!(reference, optimized, "deadlock blocked/pending sets");
-    let SimError::Deadlock {
-        blocked, pending, ..
-    } = reference
-    else {
+    let SimError::Deadlock(report) = reference else {
         panic!("expected a deadlock");
     };
     // The consumer's blocks fill every SM busy-waiting, so the producer
     // never issues: both kernels are pending, all four resident blocks
     // are blocked.
     assert_eq!(
-        pending,
+        report.pending_names(),
         vec!["producer".to_string(), "consumer".to_string()]
     );
-    assert_eq!(blocked.len(), 4);
+    assert_eq!(report.blocked.len(), 4);
+    // The structured report also closes the cycle: the producer is the
+    // starved kernel (zero of four blocks launched), and every occupied
+    // SM slot is a spinner.
+    let starved: Vec<_> = report.starved().collect();
+    assert_eq!(starved.len(), 1);
+    assert_eq!(starved[0].name, "producer");
+    assert_eq!(starved[0].unissued(), 4);
+    assert!(report.sms.iter().all(|s| s.active_units == 0));
+    assert!(report.wait_cycle().is_some());
 }
 
 /// The tensor-parallel layer boundary — shard GEMMs, simulated ring

@@ -9,7 +9,9 @@ use cusync_kernels::reference::{assert_close, matmul};
 use cusync_kernels::{
     Conv2DBuilder, Conv2DShape, DepPlan, Epilogue, GemmBuilder, GemmDims, InputDep, TileShape,
 };
-use cusync_sim::{DType, Dim3, Gpu, GpuConfig, Op, SimError, SimTime};
+use cusync_sim::{
+    ClusterConfig, DType, Dim3, Gpu, GpuConfig, IndexedKernel, KernelSource, Op, SimError, SimTime,
+};
 use proptest::prelude::*;
 
 fn quiet_gpu(sms: u32) -> Gpu {
@@ -103,11 +105,12 @@ fn deadlock_report_names_blocked_semaphores() {
         )),
     );
     match gpu.run().unwrap_err() {
-        SimError::Deadlock {
-            blocked, pending, ..
-        } => {
-            assert_eq!(pending, vec!["stuck".to_string()]);
-            assert!(blocked[0].contains("missing[0] >= 3"), "{}", blocked[0]);
+        SimError::Deadlock(report) => {
+            assert_eq!(report.pending_names(), vec!["stuck".to_string()]);
+            let line = report.blocked[0].to_string();
+            assert!(line.contains("missing[0] >= 3"), "{line}");
+            assert_eq!(report.blocked[0].target, 3);
+            assert_eq!(report.blocked[0].current, 0);
         }
         other => panic!("expected deadlock, got {other}"),
     }
@@ -210,6 +213,119 @@ proptest! {
         let expected = matmul(&a_data, &b_data, m as usize, n as usize, k as usize);
         assert_close(gpu.mem().snapshot(c).unwrap(), &expected, 1e-2);
     }
+}
+
+/// The Section III-B pair, ported to a multi-device node: a producer on
+/// device 0, a relay on device 1 (its semaphores homed remotely from the
+/// producer's perspective), and a final consumer back on device 0. With
+/// wait-kernels and producer-first launch the chain completes across the
+/// interconnect; with wait-kernels elided and the adversarial
+/// consumer-first launch order, the consumer's busy-waiting blocks hold
+/// device 0 hostage while they poll device 1's semaphores — a wait cycle
+/// that crosses the link twice.
+#[test]
+fn cross_device_wait_kernel_prevents_the_section3b_deadlock() {
+    let build = |with_wait_kernel: bool| -> Result<(), SimError> {
+        let device_cfg = GpuConfig {
+            host_launch_gap: SimTime::ZERO,
+            kernel_dispatch_latency: SimTime::ZERO,
+            block_jitter: 0.0,
+            ..GpuConfig::toy(2)
+        };
+        let cluster = ClusterConfig {
+            devices: vec![device_cfg; 2],
+            link_latency: SimTime::from_nanos(3_000),
+            link_bytes_per_sec: 100e9,
+        };
+        let mut gpu = Gpu::new_cluster(cluster);
+        let grid = Dim3::linear(4);
+        let opts = OptFlags {
+            avoid_wait_kernel: !with_wait_kernel,
+            avoid_custom_order: true,
+            ..OptFlags::NONE
+        };
+        let mut graph = SyncGraph::new();
+        let prod = graph.add_stage(
+            CuStage::new("prod", grid)
+                .policy(TileSync)
+                .opts(opts)
+                .on_device(0),
+        );
+        let relay = graph.add_stage(
+            CuStage::new("relay", grid)
+                .policy(TileSync)
+                .opts(opts)
+                .on_device(1),
+        );
+        let cons = graph.add_stage(
+            CuStage::new("cons", grid)
+                .policy(NoSync)
+                .opts(opts)
+                .on_device(0),
+        );
+        let mid = gpu.alloc("mid", 64, DType::F16);
+        let out = gpu.alloc("out", 64, DType::F16);
+        graph.dependency(prod, relay, mid).unwrap();
+        graph.dependency(relay, cons, out).unwrap();
+        let bound = graph.bind(&mut gpu).unwrap();
+        // Each stage's semaphores are homed with the stage: the relay's
+        // array lives on device 1, remote to both its producer's posts...
+        assert_eq!(
+            gpu.sems().device(bound.stage(relay).sem_array().unwrap()),
+            1
+        );
+        // ...and to the consumer's polls from device 0.
+        assert_eq!(gpu.sems().device(bound.stage(prod).sem_array().unwrap()), 0);
+        let kernel = |stage: cusync::StageId| -> Arc<dyn KernelSource> {
+            let runtime = Arc::clone(bound.stage(stage));
+            let name = runtime.name().to_owned();
+            Arc::new(IndexedKernel::new(&name, grid, 1, move |tile| {
+                let mut ops: Vec<Op> = Vec::new();
+                ops.extend(runtime.start_op(tile));
+                for buffer in [mid, out] {
+                    ops.extend(runtime.wait_op(buffer, tile));
+                }
+                ops.push(Op::compute(50_000));
+                if let Some(post) = runtime.post_ops(tile) {
+                    ops.extend(post);
+                }
+                ops
+            }))
+        };
+        let launch_order: Vec<cusync::StageId> = if with_wait_kernel {
+            vec![prod, relay, cons]
+        } else {
+            // Adversarial cross-stream order: the starving consumer's
+            // blocks reach device 0's SMs before the producer's.
+            vec![cons, relay, prod]
+        };
+        for stage in launch_order {
+            let k = kernel(stage);
+            bound.launch(&mut gpu, stage, k).unwrap();
+        }
+        gpu.run().map(|_| ())
+    };
+    // Without wait-kernels: cons's 4 occupancy-1 blocks fill both of
+    // device 0's SMs spinning on relay's (device 1) semaphores; relay
+    // spins on prod's; prod can never issue on device 0.
+    let err = build(false).unwrap_err();
+    let SimError::Deadlock(report) = err else {
+        panic!("expected a cross-device deadlock, got {err}");
+    };
+    // The report shows the cross-device wait: cons blocks on device 0
+    // polling the relay's remotely-homed array.
+    let cross = report
+        .blocked
+        .iter()
+        .find(|b| b.kernel_name == "cons")
+        .expect("cons blocks in the report");
+    assert_eq!(cross.device, 0);
+    assert!(cross.sem_name.contains("relay"), "{}", cross.sem_name);
+    let cycle = report.wait_cycle().expect("occupancy cycle");
+    assert!(cycle.contains("prod"), "{cycle}");
+    // With the wait-kernel protocol the same graph completes across the
+    // link.
+    build(true).expect("cross-device wait-kernel run must complete");
 }
 
 #[test]
