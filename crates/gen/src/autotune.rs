@@ -1,8 +1,12 @@
 //! Auto-tuning over generated policies and optimizations (Section IV:
 //! "the user can execute all generated policies and obtain the policy with
-//! least execution time").
+//! least execution time"), plus a persistent [`TuneCache`] so repeated
+//! tunes of the same pipeline skip re-simulation.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
 
 use cusync::OptFlags;
 use cusync_sim::SimTime;
@@ -27,6 +31,14 @@ impl TuneCandidate {
             policy_names,
             opts,
         }
+    }
+
+    /// The [`TuneCache`] key: unlike the display `name` (which keeps the
+    /// paper's last-stage convention and so can coincide for distinct
+    /// multi-stage candidates), this folds in **every** stage's policy,
+    /// so two different candidates never share a cache entry.
+    pub fn cache_key(&self) -> String {
+        format!("{}{}", self.policy_names.join("/"), self.opts)
     }
 }
 
@@ -105,6 +117,172 @@ where
     TuneReport { results }
 }
 
+/// A persistent memo of candidate evaluations, keyed by **pipeline
+/// fingerprint** (see
+/// [`CompiledPipeline::fingerprint`](cusync_sim::CompiledPipeline::fingerprint))
+/// × [`TuneCandidate::cache_key`] (the full per-stage policy list plus
+/// flags — injective, unlike the last-stage display name). The
+/// simulator is deterministic, so a candidate's
+/// simulated time for a given pipeline never changes — re-tuning the same
+/// graph can answer from the cache instead of re-simulating.
+///
+/// The cache is a plain value: hold it across [`autotune_cached`] calls in
+/// one process, and/or [`TuneCache::save`]/[`TuneCache::load`] it between
+/// processes (a line-oriented text file; stable across versions of this
+/// crate as long as fingerprints are).
+///
+/// # Examples
+///
+/// ```
+/// use cusyncgen::{autotune_cached, TuneCache, TuneCandidate};
+/// use cusync::OptFlags;
+/// use cusync_sim::SimTime;
+///
+/// let mut cache = TuneCache::new();
+/// let candidates =
+///     || vec![TuneCandidate::new(vec!["TileSync".into()], OptFlags::WRT)];
+/// let fingerprint = 0xC0FFEE; // CompiledPipeline::fingerprint() in practice
+/// let first = autotune_cached(&mut cache, fingerprint, candidates(), |_| {
+///     SimTime::from_micros(20.0) // simulated
+/// });
+/// let again = autotune_cached(&mut cache, fingerprint, candidates(), |_| {
+///     unreachable!("all candidates cached — never re-simulated")
+/// });
+/// assert_eq!(first.best().time, again.best().time);
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TuneCache {
+    entries: HashMap<(u64, String), SimTime>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TuneCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TuneCache::default()
+    }
+
+    /// Number of memoized (fingerprint, candidate) evaluations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from memory since construction (or [`TuneCache::load`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to simulate since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The memoized time of `candidate` for the pipeline with `fingerprint`,
+    /// if previously evaluated. Does not touch the hit/miss counters.
+    pub fn peek(&self, fingerprint: u64, candidate: &str) -> Option<SimTime> {
+        self.entries
+            .get(&(fingerprint, candidate.to_owned()))
+            .copied()
+    }
+
+    /// Memoizes one evaluation directly (what [`autotune_cached`] does for
+    /// every miss).
+    pub fn insert(&mut self, fingerprint: u64, candidate: &str, time: SimTime) {
+        self.entries
+            .insert((fingerprint, candidate.to_owned()), time);
+    }
+
+    /// Writes the cache to `path` as a line-oriented text file
+    /// (`v1<TAB>fingerprint<TAB>picoseconds<TAB>candidate-name` per entry,
+    /// sorted for reproducible bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|((fp, name), time)| format!("v1\t{fp:#018x}\t{}\t{name}", time.as_picos()))
+            .collect();
+        lines.sort();
+        let mut file = std::fs::File::create(path)?;
+        for line in &lines {
+            writeln!(file, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a cache previously written by [`TuneCache::save`]. Unparsable
+    /// lines are skipped (a truncated cache costs re-simulation, never
+    /// correctness). Counters start at zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error (e.g. the file does not exist).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut cache = TuneCache::new();
+        for line in text.lines() {
+            let mut fields = line.splitn(4, '\t');
+            let (Some("v1"), Some(fp), Some(ps), Some(name)) =
+                (fields.next(), fields.next(), fields.next(), fields.next())
+            else {
+                continue;
+            };
+            let Ok(fp) = u64::from_str_radix(fp.trim_start_matches("0x"), 16) else {
+                continue;
+            };
+            let Ok(ps) = ps.parse::<u64>() else { continue };
+            cache.insert(fp, name, SimTime::from_picos(ps));
+        }
+        Ok(cache)
+    }
+}
+
+/// [`autotune`], memoized: candidates already evaluated for this
+/// `fingerprint` are answered from `cache` without calling `run`; misses
+/// are simulated once and recorded. The returned ranking is identical to
+/// an uncached [`autotune`] of the same candidates (the simulator is
+/// deterministic), in candidate order.
+pub fn autotune_cached<F>(
+    cache: &mut TuneCache,
+    fingerprint: u64,
+    candidates: Vec<TuneCandidate>,
+    mut run: F,
+) -> TuneReport
+where
+    F: FnMut(&TuneCandidate) -> SimTime,
+{
+    let results = candidates
+        .into_iter()
+        .map(|candidate| {
+            let key = candidate.cache_key();
+            let time = match cache.peek(fingerprint, &key) {
+                Some(time) => {
+                    cache.hits += 1;
+                    time
+                }
+                None => {
+                    cache.misses += 1;
+                    let time = run(&candidate);
+                    cache.insert(fingerprint, &key, time);
+                    time
+                }
+            };
+            TuneResult { candidate, time }
+        })
+        .collect();
+    TuneReport { results }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +324,73 @@ mod tests {
         let s = report.to_string();
         assert!(s.contains("RowSync+WRT"), "{s}");
         assert!(s.contains("<== best"), "{s}");
+    }
+
+    #[test]
+    fn cache_distinguishes_fingerprints() {
+        let mut cache = TuneCache::new();
+        let mut simulated = 0usize;
+        for fp in [1u64, 2, 1] {
+            autotune_cached(&mut cache, fp, candidates(), |_| {
+                simulated += 1;
+                SimTime::from_micros(fp as f64)
+            });
+        }
+        // Two distinct pipelines simulate; the third sweep is all hits.
+        assert_eq!(simulated, 6);
+        assert_eq!(cache.len(), 6);
+        assert_eq!((cache.misses(), cache.hits()), (6, 3));
+        assert_eq!(
+            cache.peek(2, "RowSync/RowSync+WRT"),
+            Some(SimTime::from_micros(2.0))
+        );
+        assert_eq!(cache.peek(3, "RowSync/RowSync+WRT"), None);
+    }
+
+    #[test]
+    fn cache_roundtrips_through_disk() {
+        let mut cache = TuneCache::new();
+        autotune_cached(&mut cache, 0xBEEF, candidates(), |c| {
+            SimTime::from_picos(c.name.len() as u64 * 1_000)
+        });
+        let path = std::env::temp_dir().join(format!(
+            "cusyncgen-tunecache-unit-{}.tsv",
+            std::process::id()
+        ));
+        cache.save(&path).expect("write cache");
+        let reloaded = TuneCache::load(&path).expect("read cache");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.len(), cache.len());
+        let report = autotune_cached(&mut TuneCache::new(), 0, vec![], |_| unreachable!());
+        assert!(report.results.is_empty());
+        for name in [
+            "TileSync/TileSync",
+            "TileSync/TileSync+WRT",
+            "RowSync/RowSync+WRT",
+        ] {
+            assert_eq!(
+                reloaded.peek(0xBEEF, name),
+                cache.peek(0xBEEF, name),
+                "{name}"
+            );
+        }
+        assert_eq!((reloaded.hits(), reloaded.misses()), (0, 0));
+    }
+
+    #[test]
+    fn malformed_cache_lines_are_skipped() {
+        let path = std::env::temp_dir().join(format!(
+            "cusyncgen-tunecache-malformed-{}.tsv",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "v1\t0x10\t500\tGood\nnot-a-line\nv1\t0xZZ\t1\tBadFp\nv1\t0x11\tNaN\tBadPs\n",
+        )
+        .expect("write fixture");
+        let cache = TuneCache::load(&path).expect("read fixture");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.peek(0x10, "Good"), Some(SimTime::from_picos(500)));
     }
 }

@@ -49,7 +49,7 @@ mod orders;
 mod policies;
 
 pub use analysis::{check_dep, check_spec, GenError};
-pub use autotune::{autotune, TuneCandidate, TuneReport, TuneResult};
+pub use autotune::{autotune, autotune_cached, TuneCache, TuneCandidate, TuneReport, TuneResult};
 pub use codegen::{emit_order, emit_policy, emit_spec};
 pub use dsl::{AffineExpr, DepDecl, DepSpec, GridId, Pattern};
 pub use orders::{consumer_order, producer_order};

@@ -270,6 +270,16 @@ impl KernelSource for Conv2DKernel {
         self.occupancy
     }
 
+    fn cost_signature(&self) -> u64 {
+        cusync_sim::fnv1a(
+            format!(
+                "conv2d:{:?}:{:?}:{:?}:{:?}:{}",
+                self.shape, self.tile, self.dtype, self.epilogue, self.halo_safe,
+            )
+            .as_bytes(),
+        )
+    }
+
     fn block(&self, block: Dim3) -> Box<dyn BlockBody> {
         // Channel blocks: aligned to the producer's column tiles when a
         // dependency exists, else the tile's k width.

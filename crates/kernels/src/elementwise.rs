@@ -74,6 +74,12 @@ impl KernelSource for CopyKernel {
         &self.name
     }
 
+    fn cost_signature(&self) -> u64 {
+        cusync_sim::fnv1a(
+            format!("copy:{}:{}:{:?}", self.len, self.block_elems, self.dtype).as_bytes(),
+        )
+    }
+
     fn grid(&self) -> Dim3 {
         self.grid
     }

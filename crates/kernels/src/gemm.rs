@@ -451,6 +451,26 @@ impl KernelSource for GemmKernel {
         self.occupancy
     }
 
+    fn cost_signature(&self) -> u64 {
+        // Everything the cost model reads beyond the launch geometry: the
+        // contraction depth (dims.k is invisible in the grid), tile
+        // shape, split-K, element width, epilogue, SwiGLU-ness and the
+        // synchronization chunking.
+        cusync_sim::fnv1a(
+            format!(
+                "gemm:{:?}:{:?}:{}:{:?}:{:?}:{}:{}",
+                self.dims,
+                self.tile,
+                self.split_k,
+                self.dtype,
+                self.epilogue,
+                matches!(self.a, ASource::SwiGlu { .. }),
+                self.sync_chunks,
+            )
+            .as_bytes(),
+        )
+    }
+
     fn block(&self, block: Dim3) -> Box<dyn BlockBody> {
         Box::new(GemmBody {
             k: KernelRef {

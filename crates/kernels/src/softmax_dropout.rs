@@ -173,6 +173,21 @@ impl KernelSource for SoftmaxDropoutKernel {
         &self.name
     }
 
+    fn cost_signature(&self) -> u64 {
+        cusync_sim::fnv1a(
+            format!(
+                "softmax_dropout:{}:{}:{:?}:{:?}:{}:{}",
+                self.rows,
+                self.cols,
+                self.tile,
+                self.dtype,
+                self.keep_prob.to_bits(),
+                self.seed,
+            )
+            .as_bytes(),
+        )
+    }
+
     fn grid(&self) -> Dim3 {
         self.grid
     }

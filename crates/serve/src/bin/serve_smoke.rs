@@ -1,0 +1,287 @@
+//! CI smoke + benchmark for the serving layer: sweeps request scheduler ×
+//! dynamic batching × load level over a multi-tenant mix on a simulated
+//! two-GPU node, checks the SLO-accounting invariants and per-seed
+//! determinism of every cell, and writes the `BENCH_PR5.json` artifact.
+//!
+//! ```text
+//! serve_smoke [--quick] [--seed N] [--out FILE]
+//! ```
+//!
+//! `--quick` shrinks the tenant mix, batch width and horizon for the CI
+//! budget. The process exits non-zero if any cell violates an invariant,
+//! any cell is not bit-identical across two runs of the same seed, or
+//! dynamic batching fails to deliver ≥ 1.2× the no-batching goodput at
+//! the highest (saturating) load level.
+//!
+//! Load levels are *self-calibrating*: each tenant's offered rate at load
+//! `L` is `L × devices / (tenants × t₁)`, where `t₁` is the tenant's
+//! measured width-1 service time — so `L = 1` offers exactly the
+//! unbatched pool capacity and the top level is saturating by
+//! construction, on any model mix.
+
+use std::fmt::Write as _;
+
+use cusync_serve::{
+    ArrivalModel, BatchPolicy, ModelKind, RequestSched, ServeConfig, Server, ServicePool,
+    TenantSpec, WorkloadSpec,
+};
+use cusync_sim::{ClusterConfig, SimTime};
+
+struct Cell {
+    load: f64,
+    sched: RequestSched,
+    batched: bool,
+    slo_admission: bool,
+    report: cusync_serve::ServeReport,
+    deterministic: bool,
+}
+
+fn tenant_mix(quick: bool) -> Vec<(ModelKind, ArrivalKind, u32)> {
+    // (model, arrival shape, wfq weight)
+    let mut mix = vec![
+        (ModelKind::MlpGpt3, ArrivalKind::Open, 3),
+        (ModelKind::ConvStack, ArrivalKind::Closed, 2),
+    ];
+    if !quick {
+        mix.push((ModelKind::Attention { hidden: 8192 }, ArrivalKind::Open, 1));
+        mix.push((ModelKind::StreamKGemm, ArrivalKind::Open, 1));
+    }
+    mix
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ArrivalKind {
+    Open,
+    Closed,
+}
+
+/// Builds the workload spec for one load level, calibrated from the
+/// measured width-1 service times.
+fn spec_at(
+    load: f64,
+    mix: &[(ModelKind, ArrivalKind, u32)],
+    solo: &[SimTime],
+    slo: &[SimTime],
+    devices: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> WorkloadSpec {
+    let n = mix.len() as f64;
+    let tenants = mix
+        .iter()
+        .enumerate()
+        .map(|(i, &(model, kind, weight))| {
+            let t1 = solo[i].as_secs_f64();
+            let fair_rps = devices / (n * t1);
+            let arrival = match kind {
+                ArrivalKind::Open => ArrivalModel::OpenPoisson {
+                    rate_rps: load * fair_rps,
+                },
+                ArrivalKind::Closed => {
+                    // Little's law: each client offers ~1/(think + t1) rps.
+                    let think = SimTime::from_picos((4.0 * solo[i].as_picos() as f64) as u64);
+                    let per_client = 1.0 / (think.as_secs_f64() + t1);
+                    ArrivalModel::ClosedLoop {
+                        clients: ((load * fair_rps / per_client).round() as u32).max(1),
+                        think,
+                    }
+                }
+            };
+            TenantSpec {
+                name: format!("{model}"),
+                model,
+                arrival,
+                slo: slo[i],
+                queue_cap: 32,
+                weight,
+            }
+        })
+        .collect();
+    WorkloadSpec {
+        tenants,
+        horizon,
+        seed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC60_2024);
+
+    let cluster = ClusterConfig::dgx_v100(2);
+    let devices = cluster.num_devices() as f64;
+    let max_batch: u32 = if quick { 4 } else { 8 };
+    let horizon = SimTime::from_millis(if quick { 40 } else { 150 });
+    let loads: &[f64] = if quick { &[1.0, 3.0] } else { &[0.5, 1.0, 3.0] };
+    let top_load = loads.last().copied().expect("loads nonempty");
+    let mix = tenant_mix(quick);
+
+    // Warm the pool once: compile every (tenant, width) pipeline and
+    // measure its deterministic service time on a warmed session.
+    eprintln!(
+        "warming pool: {} tenants x {} widths on {} devices...",
+        mix.len(),
+        max_batch,
+        devices
+    );
+    let probe = spec_at(
+        1.0,
+        &mix,
+        &vec![SimTime::from_micros(100.0); mix.len()],
+        &vec![SimTime::from_millis(10); mix.len()],
+        devices,
+        horizon,
+        seed,
+    );
+    let warm_start = std::time::Instant::now();
+    let mut pool = ServicePool::build(&cluster, &probe.tenants, max_batch);
+    eprintln!("  warmed in {:.1}s", warm_start.elapsed().as_secs_f64());
+
+    // Calibrate: width-1 service times set rates; SLOs cover a
+    // half-full unbatched queue so saturation stresses but does not
+    // nullify the goodput metric.
+    let solo: Vec<SimTime> = (0..mix.len()).map(|t| pool.service_time(t, 1, 0)).collect();
+    let slo: Vec<SimTime> = solo
+        .iter()
+        .map(|&t1| SimTime::from_picos(t1.as_picos() * 16))
+        .collect();
+    for (i, &(model, _, _)) in mix.iter().enumerate() {
+        eprintln!(
+            "  {model}: t1 {} .. t{max_batch} {}  (slo {})",
+            solo[i],
+            pool.service_time(i, max_batch, 0),
+            slo[i]
+        );
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut failures = 0usize;
+    for &load in loads {
+        let spec = spec_at(load, &mix, &solo, &slo, devices, horizon, seed);
+        let server = Server::with_pool(spec, pool);
+        for sched in RequestSched::ALL {
+            for (batched, slo_admission) in [(false, false), (true, false), (true, true)] {
+                let batch = if batched {
+                    BatchPolicy::new(max_batch, SimTime::from_picos(solo[0].as_picos() * 2))
+                } else {
+                    BatchPolicy::off()
+                };
+                let config = ServeConfig {
+                    sched,
+                    batch,
+                    slo_admission,
+                };
+                let report = server.run(&config);
+                let again = server.run(&config);
+                let deterministic = report == again;
+                if !deterministic {
+                    eprintln!("FAIL load {load} {sched} batched={batched}: nondeterministic");
+                    failures += 1;
+                }
+                if let Err(e) = report.check() {
+                    eprintln!("FAIL load {load} {sched} batched={batched}: {e}");
+                    failures += 1;
+                }
+                println!(
+                    "load {load:>3} {sched:<4} {:<8} adm={} | goodput {:>9.0} rps | thru {:>9.0} rps | util {:>5.1}% | p99 {}",
+                    if batched { "batch" } else { "nobatch" },
+                    u8::from(slo_admission),
+                    report.goodput_rps(),
+                    report.throughput_rps(),
+                    report.mean_utilization() * 100.0,
+                    report
+                        .tenants
+                        .iter()
+                        .map(|t| t.latency_quantile(0.99))
+                        .max()
+                        .unwrap_or(SimTime::ZERO),
+                );
+                cells.push(Cell {
+                    load,
+                    sched,
+                    batched,
+                    slo_admission,
+                    report,
+                    deterministic,
+                });
+            }
+        }
+        pool = server.into_pool();
+    }
+
+    // The acceptance gate: at the saturating load level, dynamic batching
+    // must beat no-batching on goodput by >= 1.2x under every scheduler.
+    let mut ratios = String::new();
+    for sched in RequestSched::ALL {
+        let find = |batched: bool| {
+            cells
+                .iter()
+                .find(|c| {
+                    c.load == top_load
+                        && c.sched == sched
+                        && c.batched == batched
+                        && !c.slo_admission
+                })
+                .expect("cell swept")
+        };
+        let ratio = find(true).report.goodput_rps() / find(false).report.goodput_rps();
+        println!("load {top_load} {sched}: batching goodput ratio {ratio:.2}x");
+        if ratio < 1.2 {
+            eprintln!("FAIL {sched}: batching goodput ratio {ratio:.2} < 1.2 at load {top_load}");
+            failures += 1;
+        }
+        if !ratios.is_empty() {
+            ratios.push_str(", ");
+        }
+        let _ = write!(ratios, "\"{}\": {ratio:.4}", sched.name());
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"PR5\",\n");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"devices\": {},", devices as u32);
+    let _ = writeln!(json, "  \"max_batch\": {max_batch},");
+    let _ = writeln!(
+        json,
+        "  \"batching_goodput_ratio_at_load_{top_load}\": {{{ratios}}},"
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let report = cell
+            .report
+            .to_json()
+            .lines()
+            .collect::<Vec<_>>()
+            .join("\n      ");
+        let _ = write!(
+            json,
+            "    {{\"load\": {}, \"sched\": \"{}\", \"batched\": {}, \"slo_admission\": {}, \
+             \"deterministic\": {}, \"report\": {report}}}",
+            cell.load,
+            cell.sched.name(),
+            cell.batched,
+            cell.slo_admission,
+            cell.deterministic,
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(json, "  ],\n  \"failures\": {failures}\n}}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    if failures > 0 {
+        eprintln!("{failures} serving cell(s) violated invariants");
+        std::process::exit(1);
+    }
+}

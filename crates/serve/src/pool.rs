@@ -1,0 +1,233 @@
+//! The warmed execution pool: every (tenant, batch width) pipeline is
+//! compiled once at server startup, executed once per device model on a
+//! warmed [`Session`] to establish its deterministic service time, and
+//! never rebuilt again.
+//!
+//! This is where the serving layer cashes in the compile/execute split:
+//! the simulator is exactly deterministic, so one measured
+//! [`RunReport::total`](cusync_sim::RunReport) per (pipeline, device
+//! model) *is* the service time of every future dispatch of that batch
+//! shape — re-simulating a pipeline the session already ran would return
+//! bit-identical numbers at real wall-clock cost. The memo key is the
+//! pipeline's [`fingerprint`](CompiledPipeline::fingerprint), so two
+//! tenants serving the same model at the same width share one compile and
+//! one measurement.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cusync_sim::{ClusterConfig, CompiledPipeline, Session, SimTime};
+
+use crate::workload::TenantSpec;
+
+/// Compiled pipelines and measured service times for every (tenant,
+/// width, device) the dispatcher can place.
+#[derive(Debug)]
+pub struct ServicePool {
+    cluster: ClusterConfig,
+    /// Distinct compiled pipelines, keyed by fingerprint (shared across
+    /// tenants that serve the same model).
+    pipelines: HashMap<u64, Arc<CompiledPipeline>>,
+    /// `(tenant index, width, device-model slot)` → fingerprint of the
+    /// pipeline that batch shape runs on devices of that model.
+    by_shape: HashMap<(usize, u32, usize), u64>,
+    /// `(fingerprint, device-model slot)` → measured service time.
+    times: HashMap<(u64, usize), SimTime>,
+    /// Distinct-device-model slot of each device index (all zeros for the
+    /// homogeneous built-in clusters).
+    model_of_device: Vec<usize>,
+    /// The tenant models this pool was warmed for, in tenant order —
+    /// [`Server::with_pool`](crate::Server::with_pool) checks a reused
+    /// pool still matches its spec.
+    models: Vec<crate::zoo::ModelKind>,
+    max_width: u32,
+}
+
+impl ServicePool {
+    /// Compiles and measures every (tenant, width ≤ `max_width`) pipeline
+    /// over the cluster's device models. One warmed [`Session`] per
+    /// distinct device model executes each distinct pipeline exactly once;
+    /// homogeneous clusters (all the built-in constructors) therefore
+    /// measure each pipeline once in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width` is zero or a pipeline deadlocks during its
+    /// measurement run (zoo pipelines cannot).
+    pub fn build(cluster: &ClusterConfig, tenants: &[TenantSpec], max_width: u32) -> Self {
+        assert!(max_width > 0, "max_width must be positive");
+        // One warmed session per *distinct* device model; device indexes
+        // sharing a model share the compile, the measurement, and the
+        // pipeline Arc.
+        let mut model_of_device: Vec<usize> = Vec::new();
+        let mut distinct: Vec<(&cusync_sim::GpuConfig, Session)> = Vec::new();
+        for device in &cluster.devices {
+            let slot = distinct.iter().position(|(cfg, _)| *cfg == device);
+            let slot = slot.unwrap_or_else(|| {
+                distinct.push((device, Session::new()));
+                distinct.len() - 1
+            });
+            model_of_device.push(slot);
+        }
+        let mut pool = ServicePool {
+            cluster: cluster.clone(),
+            pipelines: HashMap::new(),
+            by_shape: HashMap::new(),
+            times: HashMap::new(),
+            model_of_device,
+            models: tenants.iter().map(|t| t.model).collect(),
+            max_width,
+        };
+        // Tenants sharing a ModelKind share the compile itself, not just
+        // the resulting Arc: memo by (model, width, slot) up front.
+        let mut compiled: HashMap<(crate::zoo::ModelKind, u32, usize), u64> = HashMap::new();
+        for (tenant_idx, tenant) in tenants.iter().enumerate() {
+            for width in 1..=max_width {
+                // Compile against each distinct device model (the zoo's
+                // auto-tilings depend on the hardware).
+                for (slot, (config, session)) in distinct.iter_mut().enumerate() {
+                    let fingerprint = match compiled.get(&(tenant.model, width, slot)) {
+                        Some(&fingerprint) => fingerprint,
+                        None => {
+                            let pipeline = tenant.model.compile(config, width);
+                            let fingerprint = pipeline.fingerprint();
+                            compiled.insert((tenant.model, width, slot), fingerprint);
+                            let pipeline = pool
+                                .pipelines
+                                .entry(fingerprint)
+                                .or_insert_with(|| Arc::new(pipeline));
+                            pool.times.entry((fingerprint, slot)).or_insert_with(|| {
+                                session
+                                    .run(pipeline)
+                                    .expect("zoo pipeline deadlocked during warmup")
+                                    .total
+                            });
+                            fingerprint
+                        }
+                    };
+                    pool.by_shape.insert((tenant_idx, width, slot), fingerprint);
+                }
+            }
+        }
+        pool
+    }
+
+    /// The cluster this pool serves.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Number of schedulable devices.
+    pub fn num_devices(&self) -> usize {
+        self.cluster.devices.len()
+    }
+
+    /// Largest warmed batch width.
+    pub fn max_width(&self) -> u32 {
+        self.max_width
+    }
+
+    /// The tenant models this pool was warmed for, in tenant order.
+    pub fn models(&self) -> &[crate::zoo::ModelKind] {
+        &self.models
+    }
+
+    /// Number of distinct compiled pipelines (after fingerprint sharing).
+    pub fn num_pipelines(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// The compiled pipeline a batch of `width` requests of `tenant` runs
+    /// on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape was not warmed by [`ServicePool::build`] or
+    /// `device` is out of range.
+    pub fn pipeline(&self, tenant: usize, width: u32, device: u32) -> &Arc<CompiledPipeline> {
+        let slot = self.model_of_device[device as usize];
+        let fingerprint = self.by_shape[&(tenant, width, slot)];
+        &self.pipelines[&fingerprint]
+    }
+
+    /// Deterministic service time of a `width`-request batch of `tenant`
+    /// on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape was not warmed or `device` is out of range.
+    pub fn service_time(&self, tenant: usize, width: u32, device: u32) -> SimTime {
+        let slot = self.model_of_device[device as usize];
+        let fingerprint = self.by_shape[&(tenant, width, slot)];
+        self.times[&(fingerprint, slot)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ArrivalModel;
+    use crate::zoo::ModelKind;
+    use cusync_sim::GpuConfig;
+
+    fn toy_tenant(name: &str, blocks: u32) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            model: ModelKind::Toy {
+                blocks,
+                compute_cycles: 200_000,
+            },
+            arrival: ArrivalModel::OpenPoisson { rate_rps: 1000.0 },
+            slo: SimTime::from_millis(1),
+            queue_cap: 16,
+            weight: 1,
+        }
+    }
+
+    #[test]
+    fn pool_memoizes_per_fingerprint_and_device() {
+        let cluster = ClusterConfig::homogeneous(
+            3,
+            GpuConfig::toy(4),
+            SimTime::from_nanos(500),
+            ClusterConfig::NVLINK_BYTES_PER_SEC,
+        );
+        // Two tenants share a model: their pipelines share fingerprints.
+        let tenants = [toy_tenant("a", 2), toy_tenant("b", 2), toy_tenant("c", 5)];
+        let pool = ServicePool::build(&cluster, &tenants, 3);
+        assert_eq!(pool.num_devices(), 3);
+        assert_eq!(
+            pool.num_pipelines(),
+            6,
+            "tenants a and b must share all three widths"
+        );
+        for width in 1..=3 {
+            assert_eq!(
+                pool.service_time(0, width, 0),
+                pool.service_time(1, width, 2),
+                "shared model, homogeneous devices"
+            );
+            assert!(Arc::ptr_eq(
+                pool.pipeline(0, width, 0),
+                pool.pipeline(1, width, 1)
+            ));
+        }
+        // Wider batches take longer; a bigger model takes longer.
+        assert!(pool.service_time(0, 3, 0) > pool.service_time(0, 1, 0));
+        assert!(pool.service_time(2, 1, 0) > pool.service_time(0, 1, 0));
+    }
+
+    #[test]
+    fn service_times_are_reproducible() {
+        let cluster = ClusterConfig::single(GpuConfig::toy(4));
+        let tenants = [toy_tenant("a", 3)];
+        let first = ServicePool::build(&cluster, &tenants, 2);
+        let second = ServicePool::build(&cluster, &tenants, 2);
+        for width in 1..=2 {
+            assert_eq!(
+                first.service_time(0, width, 0),
+                second.service_time(0, width, 0)
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Pluggable request-level scheduling and the dynamic-batching policy.
+//!
+//! These order **requests onto devices** — a different axis from the
+//! block-issue [`SchedPolicy`](cusync_sim::SchedPolicy) inside the
+//! simulator, which orders thread blocks onto SMs *within* one pipeline
+//! run. A serving cell picks one of each.
+
+use cusync_sim::SimTime;
+use std::fmt;
+
+/// Which tenant's queue a freed device serves next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestSched {
+    /// Oldest head-of-queue request first (global arrival order).
+    Fifo,
+    /// Earliest deadline first: the head request closest to violating its
+    /// SLO wins — the canonical latency-SLO scheduler.
+    Edf,
+    /// Per-tenant weighted fair queueing: the tenant with the least
+    /// weight-normalized service consumed so far wins, so a heavy tenant
+    /// cannot starve a light one.
+    WeightedFair,
+}
+
+impl RequestSched {
+    /// All built-in schedulers, the sweep axis of `serve_smoke`.
+    pub const ALL: [RequestSched; 3] = [
+        RequestSched::Fifo,
+        RequestSched::Edf,
+        RequestSched::WeightedFair,
+    ];
+
+    /// Stable lowercase name (JSON key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestSched::Fifo => "fifo",
+            RequestSched::Edf => "edf",
+            RequestSched::WeightedFair => "wfq",
+        }
+    }
+}
+
+impl fmt::Display for RequestSched {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dynamic batching: coalesce up to `max_batch` queued requests of one
+/// tenant into a single pre-compiled wide pipeline execution.
+///
+/// A partial batch dispatches once its oldest member has waited `window`;
+/// a full batch dispatches immediately. `BatchPolicy::off()` (width 1,
+/// zero window) is the no-batching baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum coalesced requests per dispatch (also the largest compiled
+    /// batch width the pool warms).
+    pub max_batch: u32,
+    /// How long a partial batch may hold a free device slot waiting for
+    /// more arrivals.
+    pub window: SimTime,
+}
+
+impl BatchPolicy {
+    /// No batching: every request dispatches alone, immediately.
+    pub fn off() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            window: SimTime::ZERO,
+        }
+    }
+
+    /// Batch up to `max_batch` requests, waiting at most `window` to fill
+    /// a partial batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: u32, window: SimTime) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        BatchPolicy { max_batch, window }
+    }
+
+    /// Whether this policy ever coalesces.
+    pub fn enabled(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+impl fmt::Display for BatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.enabled() {
+            write!(f, "batch{}w{}", self.max_batch, self.window)
+        } else {
+            f.write_str("nobatch")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(RequestSched::Fifo.name(), "fifo");
+        assert_eq!(RequestSched::Edf.to_string(), "edf");
+        assert_eq!(RequestSched::WeightedFair.name(), "wfq");
+        assert_eq!(RequestSched::ALL.len(), 3);
+    }
+
+    #[test]
+    fn off_policy_is_width_one() {
+        assert!(!BatchPolicy::off().enabled());
+        assert!(BatchPolicy::new(8, SimTime::from_micros(100.0)).enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_width_rejected() {
+        BatchPolicy::new(0, SimTime::ZERO);
+    }
+}

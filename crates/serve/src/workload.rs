@@ -1,0 +1,152 @@
+//! Deterministic virtual-clock workload generation: per-tenant arrival
+//! models, rates and SLOs.
+//!
+//! All randomness comes from [`splitmix64`](cusync_sim::splitmix64)
+//! streams keyed by `(workload seed, tenant index, client index)`, so a
+//! tenant's arrival sequence is a pure function of the spec — independent
+//! of how the dispatcher interleaves events, and bit-identical across
+//! runs of the same seed.
+
+use cusync_sim::{splitmix64, SimTime};
+
+use crate::zoo::ModelKind;
+
+/// How a tenant offers load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Open loop: requests arrive in a Poisson process at `rate_rps`
+    /// requests per second of virtual time, regardless of how the server
+    /// keeps up — the "heavy traffic" regime where admission control and
+    /// shedding matter.
+    OpenPoisson {
+        /// Mean arrival rate, requests per virtual second.
+        rate_rps: f64,
+    },
+    /// Closed loop: `clients` concurrent callers, each thinking for an
+    /// exponentially distributed pause (mean `think`) between receiving a
+    /// response (or a rejection) and submitting its next request — the
+    /// self-throttling regime the closed-loop harness measures.
+    ClosedLoop {
+        /// Concurrent clients.
+        clients: u32,
+        /// Mean think time between response and next request.
+        think: SimTime,
+    },
+}
+
+/// One tenant of the serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name (also the JSON key).
+    pub name: String,
+    /// Which zoo model this tenant's requests run.
+    pub model: ModelKind,
+    /// Arrival process.
+    pub arrival: ArrivalModel,
+    /// Latency SLO: a request arriving at `t` must complete by `t + slo`.
+    pub slo: SimTime,
+    /// Bounded queue depth; arrivals beyond it are rejected (backpressure
+    /// and shedding).
+    pub queue_cap: usize,
+    /// Weight under the weighted-fair scheduler (higher = larger share).
+    pub weight: u32,
+}
+
+/// A complete workload: tenants, horizon and seed.
+///
+/// Arrivals stop at `horizon`; the dispatcher then drains every admitted
+/// request, so reports always account for the whole offered load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// The tenant mix.
+    pub tenants: Vec<TenantSpec>,
+    /// Virtual time during which load is offered.
+    pub horizon: SimTime,
+    /// Seed of every arrival/think stream.
+    pub seed: u64,
+}
+
+/// A deterministic SplitMix64 stream with exponential sampling — the
+/// arrival- and think-time generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    counter: u64,
+    key: u64,
+}
+
+impl Rng {
+    /// A stream keyed by `(seed, tenant, client)`.
+    pub fn for_client(seed: u64, tenant: usize, client: u32) -> Self {
+        // Decorrelate the key space: mix each coordinate in separately.
+        let key = splitmix64(seed)
+            ^ splitmix64(0x7E4A_7C15_u64.wrapping_add(tenant as u64))
+            ^ splitmix64(0xDEAD_BEEF_u64.wrapping_add(client as u64));
+        Rng { counter: 0, key }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.counter = self.counter.wrapping_add(1);
+        splitmix64(
+            self.key
+                .wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
+    /// A uniform draw in `(0, 1]` (never zero, so `ln` is finite).
+    fn next_unit(&mut self) -> f64 {
+        (((self.next_u64() >> 11) + 1) as f64) / (1u64 << 53) as f64
+    }
+
+    /// An exponentially distributed duration with the given mean.
+    pub fn exp(&mut self, mean: SimTime) -> SimTime {
+        let draw = -self.next_unit().ln();
+        SimTime::from_picos((mean.as_picos() as f64 * draw).round() as u64)
+    }
+
+    /// An exponential inter-arrival gap for a Poisson process of
+    /// `rate_rps` events per second (mean `1/rate`).
+    pub fn poisson_gap(&mut self, rate_rps: f64) -> SimTime {
+        assert!(rate_rps > 0.0, "Poisson rate must be positive");
+        self.exp(SimTime::from_picos((1e12 / rate_rps).round() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_decorrelated() {
+        let draw = |tenant, client| {
+            let mut rng = Rng::for_client(42, tenant, client);
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(0, 0), draw(0, 0));
+        assert_ne!(draw(0, 0), draw(0, 1));
+        assert_ne!(draw(0, 0), draw(1, 0));
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = Rng::for_client(7, 0, 0);
+        let mean = SimTime::from_micros(100.0);
+        let n = 4096;
+        let total: SimTime = (0..n).map(|_| rng.exp(mean)).sum();
+        let avg = total.as_picos() as f64 / n as f64;
+        let expected = mean.as_picos() as f64;
+        assert!(
+            (avg - expected).abs() / expected < 0.1,
+            "sample mean {avg} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn poisson_gap_matches_rate() {
+        let mut rng = Rng::for_client(3, 1, 0);
+        let n = 4096;
+        let total: SimTime = (0..n).map(|_| rng.poisson_gap(10_000.0)).sum();
+        // 10k rps -> 100us mean gap.
+        let avg_us = total.as_micros() / n as f64;
+        assert!((avg_us - 100.0).abs() < 10.0, "{avg_us}");
+    }
+}

@@ -1,0 +1,207 @@
+//! The serving model zoo: every request names a [`ModelKind`], and a
+//! batch of `width` coalesced requests executes the corresponding
+//! pipeline compiled at `width ×` the per-request base shape.
+//!
+//! Batch width is a **compile-time** axis here on purpose: the
+//! compile/execute split means each (model, width) pair is compiled into a
+//! [`CompiledPipeline`] exactly once, at server warmup — dynamic batching
+//! at serve time only ever *selects* among pre-compiled widths, it never
+//! rebuilds a graph (see [`crate::ServicePool`]).
+
+use cusync::OptFlags;
+use cusync_models::{
+    compile_attention, compile_conv_layer, compile_mlp, AttentionConfig, MlpModel, PolicyKind,
+    SyncMode,
+};
+use cusync_sim::{CompiledPipeline, Dim3, FixedKernel, Gpu, GpuConfig, Op};
+use std::fmt;
+use std::sync::Arc;
+
+/// A servable workload family from the paper's model zoo, with the
+/// per-request base shape baked in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// GPT-3 145B MLP block under `TileSync+WRT`; one request carries
+    /// [`ModelKind::MLP_TOKENS`] tokens.
+    MlpGpt3,
+    /// LLaMA 65B MLP block under `StridedSync+WRT`; one request carries
+    /// [`ModelKind::MLP_TOKENS`] tokens.
+    MlpLlama,
+    /// Prompt-phase attention chain (five kernels, `StridedSync+WRT`) at
+    /// the given hidden dimension; one request carries
+    /// [`ModelKind::MLP_TOKENS`] prompt tokens.
+    Attention {
+        /// Hidden dimension H (12288 for GPT-3, 8192 for LLaMA).
+        hidden: u32,
+    },
+    /// A two-convolution ResNet-style stack (`Conv2DTileSync+WRT`,
+    /// 256 channels, 14×14 activations); one request carries
+    /// [`ModelKind::CONV_IMAGES`] images.
+    ConvStack,
+    /// The GPT-3 MLP pair as Stream-K GeMMs (no cuSync semaphores); one
+    /// request carries [`ModelKind::MLP_TOKENS`] tokens.
+    StreamKGemm,
+    /// A synthetic two-kernel producer/consumer pipeline on a toy GPU —
+    /// compiles and simulates in microseconds of wall time, for tests and
+    /// examples. `blocks` producer blocks per request-width unit, each
+    /// charging `compute_cycles` of work.
+    Toy {
+        /// Producer grid blocks per width unit.
+        blocks: u32,
+        /// Simulated compute per block, SM cycles.
+        compute_cycles: u64,
+    },
+}
+
+impl ModelKind {
+    /// Tokens per request for the GeMM-shaped models.
+    pub const MLP_TOKENS: u32 = 64;
+    /// Images per request for [`ModelKind::ConvStack`].
+    pub const CONV_IMAGES: u32 = 2;
+
+    /// Compiles this model at batch width `width` (that many coalesced
+    /// requests) for the given device model. Called once per (model,
+    /// width) at server warmup; serving never compiles again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or a builder rejects the resulting shape
+    /// (the zoo's base shapes are all valid at any positive width).
+    pub fn compile(&self, gpu: &GpuConfig, width: u32) -> CompiledPipeline {
+        assert!(width > 0, "batch width must be positive");
+        match *self {
+            ModelKind::MlpGpt3 => compile_mlp(
+                gpu,
+                MlpModel::Gpt3,
+                Self::MLP_TOKENS * width,
+                SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+            ),
+            ModelKind::MlpLlama => compile_mlp(
+                gpu,
+                MlpModel::Llama,
+                Self::MLP_TOKENS * width,
+                SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
+            ),
+            ModelKind::Attention { hidden } => compile_attention(
+                gpu,
+                AttentionConfig::prompt(hidden, Self::MLP_TOKENS * width),
+                SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
+            ),
+            ModelKind::ConvStack => compile_conv_layer(
+                gpu,
+                Self::CONV_IMAGES * width,
+                14,
+                256,
+                2,
+                SyncMode::CuSync(PolicyKind::Conv2DTile, OptFlags::WRT),
+            ),
+            ModelKind::StreamKGemm => compile_mlp(
+                gpu,
+                MlpModel::Gpt3,
+                Self::MLP_TOKENS * width,
+                SyncMode::StreamK,
+            ),
+            ModelKind::Toy {
+                blocks,
+                compute_cycles,
+            } => {
+                let mut built = Gpu::new(gpu.clone());
+                let sem = built.alloc_sems("ready", 1, 0);
+                let s1 = built.create_stream(0);
+                let s2 = built.create_stream(0);
+                let grid = Dim3::linear(blocks * width);
+                built.launch(
+                    s1,
+                    Arc::new(FixedKernel::new(
+                        "produce",
+                        grid,
+                        1,
+                        vec![Op::compute(compute_cycles), Op::Fence, Op::post(sem, 0)],
+                    )),
+                );
+                built.launch(
+                    s2,
+                    Arc::new(FixedKernel::new(
+                        "consume",
+                        grid,
+                        1,
+                        vec![
+                            Op::wait(sem, 0, grid.count() as u32),
+                            Op::compute(compute_cycles / 2),
+                        ],
+                    )),
+                );
+                built.compile().expect("freshly built toy pipeline")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModelKind::MlpGpt3 => write!(f, "mlp-gpt3"),
+            ModelKind::MlpLlama => write!(f, "mlp-llama"),
+            ModelKind::Attention { hidden } => write!(f, "attention-h{hidden}"),
+            ModelKind::ConvStack => write!(f, "conv-stack"),
+            ModelKind::StreamKGemm => write!(f, "streamk-gemm"),
+            ModelKind::Toy {
+                blocks,
+                compute_cycles,
+            } => write!(f, "toy-b{blocks}-c{compute_cycles}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cusync_sim::Session;
+
+    #[test]
+    fn toy_model_compiles_and_runs_at_every_width() {
+        let gpu = GpuConfig::toy(4);
+        let kind = ModelKind::Toy {
+            blocks: 4,
+            compute_cycles: 100_000,
+        };
+        let mut session = Session::new();
+        let mut last = None;
+        for width in 1..=4u32 {
+            let pipeline = kind.compile(&gpu, width);
+            let report = session.run(&pipeline).expect("toy pipeline runs");
+            // More coalesced requests never finish sooner.
+            if let Some(prev) = last {
+                assert!(report.total >= prev, "width {width}");
+            }
+            last = Some(report.total);
+        }
+    }
+
+    #[test]
+    fn batch_width_changes_the_pipeline_fingerprint() {
+        let gpu = GpuConfig::toy(8);
+        let kind = ModelKind::Toy {
+            blocks: 2,
+            compute_cycles: 50_000,
+        };
+        assert_ne!(
+            kind.compile(&gpu, 1).fingerprint(),
+            kind.compile(&gpu, 2).fingerprint()
+        );
+    }
+
+    #[test]
+    fn zoo_names_are_distinct() {
+        let kinds = [
+            ModelKind::MlpGpt3,
+            ModelKind::MlpLlama,
+            ModelKind::Attention { hidden: 8192 },
+            ModelKind::ConvStack,
+            ModelKind::StreamKGemm,
+        ];
+        let names: std::collections::HashSet<String> =
+            kinds.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

@@ -421,6 +421,11 @@ pub enum SimError {
     /// submitted pipeline produced a report (the pool was dropped or a
     /// worker panicked).
     RuntimeShutdown,
+    /// The submitted pipeline panicked while executing on a
+    /// [`Runtime`](crate::Runtime) worker. The payload is the panic
+    /// message; the worker survives (it replaces its possibly-poisoned
+    /// session) and keeps serving subsequent submissions.
+    WorkerPanic(String),
 }
 
 impl From<BuildError> for SimError {
@@ -440,6 +445,9 @@ impl fmt::Display for SimError {
             SimError::RuntimeShutdown => {
                 write!(f, "runtime worker pool shut down before the run completed")
             }
+            SimError::WorkerPanic(msg) => {
+                write!(f, "pipeline panicked on a runtime worker: {msg}")
+            }
         }
     }
 }
@@ -449,7 +457,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Build(e) => Some(e),
             SimError::Deadlock(report) => Some(report.as_ref()),
-            SimError::AlreadyRan | SimError::RuntimeShutdown => None,
+            SimError::AlreadyRan | SimError::RuntimeShutdown | SimError::WorkerPanic(_) => None,
         }
     }
 }

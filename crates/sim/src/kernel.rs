@@ -109,6 +109,23 @@ pub trait KernelSource: Send + Sync {
         let _ = mem;
         false
     }
+
+    /// A digest of every parameter that changes this kernel's simulated
+    /// **cost** without changing its launch geometry — op cycle counts,
+    /// a GeMM's contraction depth, a dropout keep-probability, and so on.
+    /// Folded into
+    /// [`CompiledPipeline::fingerprint`](crate::CompiledPipeline), so two
+    /// pipelines launching identical grids of differently-priced work do
+    /// not collide in fingerprint-keyed caches (the serving layer's
+    /// service-time memo, the autotuner's tuning cache).
+    ///
+    /// The default is `0` — geometry-only discrimination — appropriate
+    /// only for sources whose cost is fully determined by
+    /// name/grid/occupancy or that cannot introspect their bodies (e.g.
+    /// [`FnKernel`], which wraps an opaque closure).
+    fn cost_signature(&self) -> u64 {
+        0
+    }
 }
 
 /// A trivial kernel whose blocks each execute a fixed list of ops, useful
@@ -165,6 +182,12 @@ impl KernelSource for FixedKernel {
     fn timing_static(&self, _mem: &GlobalMemory) -> bool {
         // `FixedBody` never touches its context.
         true
+    }
+
+    fn cost_signature(&self) -> u64 {
+        // The op list *is* the cost model (`Op` renders every payload —
+        // cycle counts, byte counts, sem indexes — in its Debug form).
+        crate::fnv1a(format!("{:?}", self.ops).as_bytes())
     }
 }
 
@@ -260,6 +283,10 @@ impl KernelSource for IndexedKernel {
     fn timing_static(&self, _mem: &GlobalMemory) -> bool {
         // Op lists are fixed data; bodies never read their context.
         true
+    }
+
+    fn cost_signature(&self) -> u64 {
+        crate::fnv1a(format!("{:?}", self.ops).as_bytes())
     }
 }
 

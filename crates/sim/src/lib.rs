@@ -91,7 +91,7 @@ pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, IndexedKernel, Kern
 pub use mem::{BufferId, DType, GlobalMemory, RaceEvent};
 pub use ops::Op;
 pub use sched::{
-    splitmix64, Fifo, Lifo, SchedContext, SchedPolicy, SchedPolicyKind, SchedPolicyRef,
+    fnv1a, splitmix64, Fifo, Lifo, SchedContext, SchedPolicy, SchedPolicyKind, SchedPolicyRef,
     SeededShuffle, SemStarver,
 };
 pub use sem::{SemArrayId, SemTable};

@@ -139,6 +139,21 @@ pub fn splitmix64(key: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// FNV-1a over a byte slice: the one stable structural digest the
+/// simulator and its consumers share (memory fingerprints, pipeline
+/// fingerprints, [`KernelSource::cost_signature`](crate::KernelSource)
+/// implementations in the kernels crates).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// The hardware launch order (the default): higher stream priority first,
 /// then kernel launch order. This is exactly the original engine's
 /// behaviour, so it is the only policy under which the

@@ -142,6 +142,61 @@ impl CompiledPipeline {
         &self.sems
     }
 
+    /// A deterministic 64-bit digest of everything that identifies this
+    /// pipeline as a *workload*: the cluster shape, stream layout, kernel
+    /// registrations (name, grid, occupancy, device, stream, and each
+    /// source's [`cost_signature`](crate::KernelSource::cost_signature) —
+    /// so identical grids of differently-priced work do not collide),
+    /// semaphore layout, and the initial-memory fingerprint. Two
+    /// pipelines built the same way fingerprint equal; any change to the
+    /// graph, tiling, kernel cost model, sync policy layout or hardware
+    /// model changes the digest.
+    ///
+    /// This is the cache key of the serving layer's service-time memo
+    /// (`crates/serve`) and of the autotuner's persistent tuning cache
+    /// (`cusyncgen::TuneCache`).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let cluster = &self.desc.cluster;
+        eat(&cluster.num_devices().to_le_bytes());
+        eat(&cluster.link_latency.as_picos().to_le_bytes());
+        for device in &cluster.devices {
+            eat(device.name.as_bytes());
+            eat(&device.num_sms.to_le_bytes());
+            eat(&device.host_launch_gap.as_picos().to_le_bytes());
+            eat(&device.kernel_dispatch_latency.as_picos().to_le_bytes());
+        }
+        eat(&(self.desc.streams.len() as u64).to_le_bytes());
+        for kernel in &self.desc.kernels {
+            eat(kernel.name.as_bytes());
+            eat(&kernel.grid.x.to_le_bytes());
+            eat(&kernel.grid.y.to_le_bytes());
+            eat(&kernel.grid.z.to_le_bytes());
+            eat(&kernel.occupancy.to_le_bytes());
+            eat(&kernel.device.to_le_bytes());
+            eat(&(kernel.stream as u64).to_le_bytes());
+            // Same geometry, differently-priced work must not collide
+            // (see `KernelSource::cost_signature`).
+            eat(&kernel.source.cost_signature().to_le_bytes());
+        }
+        for id in self.sems.ids() {
+            eat(self.sems.name(id).as_bytes());
+            eat(&(self.sems.len(id) as u64).to_le_bytes());
+        }
+        // Initial functional contents (timing-only buffers contribute
+        // layout; see `GlobalMemory::fingerprint`).
+        eat(&self.mem.fingerprint().to_le_bytes());
+        hash
+    }
+
     /// The pre-driven op programs, collected on first use. Driving is
     /// effect-free for `timing_static` bodies by contract, but the
     /// `resume` signature wants mutable memory, so collection runs
@@ -338,6 +393,18 @@ struct Job {
     reply: mpsc::Sender<Result<RunReport, SimError>>,
 }
 
+/// Best-effort extraction of a panic payload's message (the common `&str`
+/// and `String` payloads of `panic!`; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// A handle to one pipeline submission on a [`Runtime`]; resolve it with
 /// [`Ticket::wait`].
 #[derive(Debug)]
@@ -429,7 +496,7 @@ impl Runtime {
                 let sched = sched.clone();
                 thread::spawn(move || {
                     let mut session = Session::with_mode(mode);
-                    session.set_sched(sched);
+                    session.set_sched(sched.clone());
                     loop {
                         // Hold the lock only for the dequeue, not the run.
                         let job = match rx.lock() {
@@ -437,7 +504,20 @@ impl Runtime {
                             Err(_) => break,
                         };
                         let Ok(job) = job else { break };
-                        let result = session.run(&job.pipeline);
+                        // A panicking pipeline (a kernel body that panics)
+                        // must not kill the worker: queued jobs behind it
+                        // would then hang forever with their reply senders
+                        // parked in the submission queue. Catch it, surface
+                        // it on the ticket, and replace the session — the
+                        // unwound RunState may hold partial run state.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            session.run(&job.pipeline)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            session = Session::with_mode(mode);
+                            session.set_sched(sched.clone());
+                            Err(SimError::WorkerPanic(panic_message(payload.as_ref())))
+                        });
                         // The client may have dropped its ticket; that is
                         // not this worker's problem.
                         let _ = job.reply.send(result);
@@ -633,6 +713,59 @@ mod tests {
             })
             .unwrap();
         assert_eq!(first, crate::KernelId(0));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = two_kernel_pipeline();
+        let b = two_kernel_pipeline();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "identical builds must fingerprint equal"
+        );
+        // Running a pipeline never perturbs its (pristine) fingerprint.
+        let before = a.fingerprint();
+        Session::new().run(&a).unwrap();
+        assert_eq!(a.fingerprint(), before);
+        // A different grid is a different workload.
+        let mut gpu = Gpu::new(quiet_config());
+        let s = gpu.create_stream(0);
+        gpu.launch(
+            s,
+            Arc::new(FixedKernel::new(
+                "producer",
+                Dim3::linear(3),
+                1,
+                vec![Op::compute(10_000)],
+            )),
+        );
+        let c = gpu.compile().unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_cost_at_identical_geometry() {
+        // Same kernel names, grids, occupancies, streams and semaphore
+        // layout — only the op cycle counts differ. The service-time
+        // memo and tuning cache key on the fingerprint, so these MUST
+        // not collide.
+        let build = |cycles: u64| {
+            let mut gpu = Gpu::new(quiet_config());
+            let s = gpu.create_stream(0);
+            gpu.launch(
+                s,
+                Arc::new(FixedKernel::new(
+                    "k",
+                    Dim3::linear(4),
+                    1,
+                    vec![Op::compute(cycles)],
+                )),
+            );
+            gpu.compile().unwrap()
+        };
+        assert_ne!(build(100_000).fingerprint(), build(900_000).fingerprint());
+        assert_eq!(build(100_000).fingerprint(), build(100_000).fingerprint());
     }
 
     #[test]

@@ -38,6 +38,12 @@ impl SimTime {
         SimTime(ns * 1_000)
     }
 
+    /// Creates a time from milliseconds — the natural unit of serving
+    /// horizons and SLO budgets (`crates/serve`).
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
     /// Creates a time from (possibly fractional) microseconds.
     pub fn from_micros(us: f64) -> Self {
         SimTime((us * 1e6) as u64)
@@ -62,6 +68,12 @@ impl SimTime {
     /// Time in nanoseconds (lossy, for reporting only).
     pub fn as_nanos(self) -> f64 {
         self.0 as f64 / 1e3
+    }
+
+    /// Time in seconds (lossy, for rate reporting: requests per second of
+    /// *virtual* time in the serving layer).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
     }
 
     /// Saturating subtraction; useful for durations that may be negative due
@@ -121,6 +133,8 @@ mod tests {
     fn conversions_roundtrip() {
         assert_eq!(SimTime::from_nanos(5).as_picos(), 5_000);
         assert_eq!(SimTime::from_micros(2.5).as_nanos(), 2_500.0);
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000.0));
+        assert_eq!(SimTime::from_millis(250).as_secs_f64(), 0.25);
     }
 
     #[test]

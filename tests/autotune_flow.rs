@@ -4,11 +4,11 @@
 //! the simulator.
 
 use cusync::OptFlags;
-use cusync_models::{mlp_time, MlpModel, PolicyKind, SyncMode};
+use cusync_models::{compile_mlp, mlp_time, MlpModel, PolicyKind, SyncMode};
 use cusync_sim::{Dim3, GpuConfig};
 use cusyncgen::{
-    autotune, check_spec, emit_spec, policies_for, producer_order, AffineExpr, DepSpec, Pattern,
-    TuneCandidate,
+    autotune, autotune_cached, check_spec, emit_spec, policies_for, producer_order, AffineExpr,
+    DepSpec, Pattern, TuneCache, TuneCandidate,
 };
 
 /// Build the MLP spec of Fig. 5a for a given batch size (H = 12288, mp 8).
@@ -80,6 +80,110 @@ fn autotuner_picks_a_policy_that_beats_stream_sync() {
     // All four candidates were evaluated and ranked.
     assert_eq!(report.results.len(), 4);
     assert!(report.speedup_over("TileSync") >= 1.0);
+}
+
+/// The four MLP candidates of the workflow test, tagged with the policy
+/// kind each maps to.
+fn mlp_candidates() -> Vec<TuneCandidate> {
+    let mut candidates = Vec::new();
+    for name in ["TileSync", "RowSync"] {
+        for opts in [OptFlags::NONE, OptFlags::WRT] {
+            candidates.push(TuneCandidate::new(vec![name.into()], opts));
+        }
+    }
+    candidates
+}
+
+fn candidate_time(gpu: &GpuConfig, bs: u32, candidate: &TuneCandidate) -> cusync_sim::SimTime {
+    let kind = if candidate.policy_names[0] == "RowSync" {
+        PolicyKind::Row
+    } else {
+        PolicyKind::Tile
+    };
+    mlp_time(
+        gpu,
+        MlpModel::Gpt3,
+        bs,
+        SyncMode::CuSync(kind, candidate.opts),
+    )
+}
+
+/// The tuning cache: the first tune of a pipeline simulates every
+/// candidate (all misses), a repeat tune of the *same* pipeline
+/// fingerprint answers entirely from cache with an identical ranking, and
+/// a different pipeline (different batch size ⇒ different fingerprint)
+/// re-simulates. The cache also survives a save/load round trip.
+#[test]
+fn repeated_tunes_of_the_same_graph_skip_resimulation() {
+    let gpu = GpuConfig::tesla_v100();
+    let fp_256 = compile_mlp(
+        &gpu,
+        MlpModel::Gpt3,
+        256,
+        SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+    )
+    .fingerprint();
+    let fp_512 = compile_mlp(
+        &gpu,
+        MlpModel::Gpt3,
+        512,
+        SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+    )
+    .fingerprint();
+    assert_ne!(fp_256, fp_512, "batch size must change the fingerprint");
+    // Same build, same fingerprint: the key is stable.
+    assert_eq!(
+        fp_256,
+        compile_mlp(
+            &gpu,
+            MlpModel::Gpt3,
+            256,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+        )
+        .fingerprint()
+    );
+
+    let mut cache = TuneCache::new();
+    let mut simulations = 0usize;
+    let tune = |cache: &mut TuneCache, fp: u64, bs: u32, sims: &mut usize| {
+        autotune_cached(cache, fp, mlp_candidates(), |c| {
+            *sims += 1;
+            candidate_time(&gpu, bs, c)
+        })
+    };
+
+    // Miss path: a cold cache simulates all four candidates.
+    let cold = tune(&mut cache, fp_256, 256, &mut simulations);
+    assert_eq!(simulations, 4);
+    assert_eq!((cache.misses(), cache.hits()), (4, 0));
+
+    // Hit path: re-tuning the same fingerprint never simulates and ranks
+    // identically.
+    let warm = tune(&mut cache, fp_256, 256, &mut simulations);
+    assert_eq!(simulations, 4, "hits must not re-simulate");
+    assert_eq!((cache.misses(), cache.hits()), (4, 4));
+    assert_eq!(cold.best().candidate.name, warm.best().candidate.name);
+    for (a, b) in cold.results.iter().zip(&warm.results) {
+        assert_eq!(a, b, "cached ranking must be bit-identical");
+    }
+
+    // A different pipeline is a different key: four fresh misses.
+    tune(&mut cache, fp_512, 512, &mut simulations);
+    assert_eq!(simulations, 8);
+    assert_eq!(cache.len(), 8);
+
+    // Persistence: a reloaded cache serves the same hits.
+    let path = std::env::temp_dir().join(format!(
+        "cusyncgen-tunecache-flow-{}.tsv",
+        std::process::id()
+    ));
+    cache.save(&path).expect("save cache");
+    let mut reloaded = TuneCache::load(&path).expect("load cache");
+    std::fs::remove_file(&path).ok();
+    let replayed = tune(&mut reloaded, fp_256, 256, &mut simulations);
+    assert_eq!(simulations, 8, "reloaded cache must hit");
+    assert_eq!((reloaded.hits(), reloaded.misses()), (4, 0));
+    assert_eq!(replayed.best().time, cold.best().time);
 }
 
 #[test]

@@ -254,6 +254,10 @@ fn sim_error_display_and_source_cover_every_variant() {
     for (err, fragment) in [
         (SimError::AlreadyRan, "once per Gpu"),
         (SimError::RuntimeShutdown, "worker pool"),
+        (
+            SimError::WorkerPanic("kernel body exploded".into()),
+            "kernel body exploded",
+        ),
     ] {
         assert!(err.to_string().contains(fragment), "{err}");
         assert!(err.source().is_none());

@@ -426,3 +426,73 @@ proptest! {
         }
     }
 }
+
+/// A kernel whose every block panics on its first resume — the worst-case
+/// tenant a multi-tenant [`Runtime`] can be handed.
+fn panicking_pipeline() -> CompiledPipeline {
+    use cusync_sim::{BlockBody, BlockCtx, FnKernel, Step};
+    struct Boom;
+    impl BlockBody for Boom {
+        fn resume(&mut self, _ctx: &mut BlockCtx<'_>) -> Step {
+            panic!("intentional test panic: kernel body exploded");
+        }
+    }
+    let mut gpu = Gpu::new(GpuConfig::toy(2));
+    let s = gpu.create_stream(0);
+    gpu.launch(
+        s,
+        Arc::new(FnKernel::new("boom", Dim3::linear(1), 1, |_| {
+            Box::new(Boom)
+        })),
+    );
+    gpu.compile().expect("unrun gpu")
+}
+
+fn healthy_pipeline() -> CompiledPipeline {
+    let mut gpu = Gpu::new(GpuConfig::toy(2));
+    let s = gpu.create_stream(0);
+    gpu.launch(
+        s,
+        Arc::new(FixedKernel::new(
+            "ok",
+            Dim3::linear(2),
+            1,
+            vec![Op::compute(1_000)],
+        )),
+    );
+    gpu.compile().expect("unrun gpu")
+}
+
+/// Runtime lifecycle: a pipeline that panics mid-run surfaces as
+/// [`SimError::WorkerPanic`] on its own ticket, while the worker survives
+/// to serve every job queued behind it — no hang, no lost tickets — and
+/// dropping the pool still joins cleanly.
+#[test]
+fn runtime_worker_panic_surfaces_as_error_not_hang() {
+    use cusync_sim::SimError;
+    let bad = Arc::new(panicking_pipeline());
+    let good = Arc::new(healthy_pipeline());
+    let baseline = Session::new().run(&good).expect("healthy pipeline runs");
+
+    // One worker: the panicking job is strictly ahead of the good ones in
+    // the queue, so the pre-fix behaviour (worker dies, queue never
+    // drains) would hang this test on the second ticket.
+    let runtime = Runtime::new(1);
+    let bad_ticket = runtime.submit(Arc::clone(&bad));
+    let good_tickets: Vec<_> = (0..4).map(|_| runtime.submit(Arc::clone(&good))).collect();
+
+    match bad_ticket.wait() {
+        Err(SimError::WorkerPanic(msg)) => {
+            assert!(msg.contains("intentional test panic"), "{msg}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    for ticket in good_tickets {
+        let report = ticket.wait().expect("worker must survive the panic");
+        assert_identical(&baseline, &report, "post-panic worker session");
+    }
+    // Interleave once more, then drop: Drop joins the (alive) worker.
+    let t = runtime.submit(Arc::clone(&bad));
+    drop(runtime);
+    assert!(matches!(t.wait(), Err(SimError::WorkerPanic(_))));
+}
