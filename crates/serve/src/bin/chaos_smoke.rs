@@ -1,0 +1,335 @@
+//! Chaos smoke + benchmark for the serving layer: sweeps request
+//! scheduler × failure scenario over a two-tenant mix (a latency-class
+//! interactive tenant and a throughput-class bulk tenant whose model
+//! crosses the interconnect) on a simulated two-GPU node, and writes the
+//! `BENCH_PR6.json` artifact.
+//!
+//! ```text
+//! chaos_smoke [--quick] [--seed N] [--out FILE]
+//! ```
+//!
+//! Scenarios: `baseline` (fault-free Poisson), `burst-trace` (the
+//! interactive tenant replays a synthesized bursty arrival trace),
+//! `device-loss` (device 1 drops at mid-horizon), `link-degraded` (6×
+//! wire time from a third of the horizon), and `preempt-on` (fault-free,
+//! cross-tenant preemption enabled).
+//!
+//! The process exits non-zero if any cell violates a report invariant,
+//! any cell is not bit-identical across two runs of the same seed, the
+//! device-loss scenario strands work (with a survivor alive, every
+//! in-flight request must be re-routed), preemption fails to strictly
+//! improve the interactive tenant's p99 under every scheduler, or the
+//! bulk tenant retains less than half its baseline goodput when
+//! preemption is on (the reported collateral bound).
+
+use std::fmt::Write as _;
+
+use cusync_serve::{
+    ArrivalModel, ArrivalTrace, BatchPolicy, DeviceDrop, FaultPlan, LinkDegrade, ModelKind,
+    PreemptPolicy, RequestSched, RetryPolicy, ServeConfig, ServeReport, Server, ServicePool,
+    TenantClass, TenantSpec, TraceShape, WorkloadSpec,
+};
+use cusync_sim::{ClusterConfig, LinkScale, SimTime};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Baseline,
+    BurstTrace,
+    DeviceLoss,
+    LinkDegraded,
+    PreemptOn,
+}
+
+impl Scenario {
+    const ALL: [Scenario; 5] = [
+        Scenario::Baseline,
+        Scenario::BurstTrace,
+        Scenario::DeviceLoss,
+        Scenario::LinkDegraded,
+        Scenario::PreemptOn,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::BurstTrace => "burst-trace",
+            Scenario::DeviceLoss => "device-loss",
+            Scenario::LinkDegraded => "link-degraded",
+            Scenario::PreemptOn => "preempt-on",
+        }
+    }
+}
+
+struct Cell {
+    scenario: Scenario,
+    sched: RequestSched,
+    report: ServeReport,
+    deterministic: bool,
+}
+
+/// The shared two-tenant mix. Tenant 0 is the interactive latency-class
+/// tenant (small local model, tight-ish SLO, retry-with-backoff); tenant
+/// 1 is the bulk throughput-class tenant (larger model that ships its
+/// activations across the interconnect, so link degradation bites).
+fn tenants(rate_rps: f64, slo: SimTime, clients: u32) -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "interactive".into(),
+            model: ModelKind::Toy {
+                blocks: 2,
+                compute_cycles: 100_000,
+            },
+            arrival: ArrivalModel::OpenPoisson { rate_rps },
+            slo,
+            queue_cap: 64,
+            weight: 3,
+            class: TenantClass::Latency,
+            retry: Some(RetryPolicy {
+                base: SimTime::from_micros(50.0),
+                max_retries: 2,
+            }),
+        },
+        TenantSpec {
+            name: "bulk".into(),
+            model: ModelKind::ToyRemote {
+                blocks: 4,
+                compute_cycles: 1_500_000,
+                payload: 1 << 20,
+            },
+            arrival: ArrivalModel::ClosedLoop {
+                clients,
+                think: SimTime::from_micros(50.0),
+            },
+            slo: SimTime::from_millis(50),
+            queue_cap: 32,
+            weight: 1,
+            class: TenantClass::Throughput,
+            retry: None,
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC60_2026);
+
+    let cluster = ClusterConfig::dgx_v100(2);
+    let max_batch: u32 = 4;
+    let horizon = SimTime::from_millis(if quick { 20 } else { 60 });
+
+    // Warm the pool once; probe tenants just carry the models.
+    eprintln!("warming pool: 2 tenants x {max_batch} widths on 2 devices...");
+    let warm_start = std::time::Instant::now();
+    let probe = tenants(1_000.0, SimTime::from_millis(5), 1);
+    let mut pool = ServicePool::build(&cluster, &probe, max_batch);
+    eprintln!("  warmed in {:.1}s", warm_start.elapsed().as_secs_f64());
+
+    // Calibrate from measured service times: the interactive tenant
+    // offers ~40% of one device's unbatched capacity; the bulk tenant's
+    // closed-loop clients keep both devices loaded with long batches.
+    let t1_int = pool.service_time(0, 1, 0);
+    let t1_bulk = pool.service_time(1, 1, 0);
+    let rate_rps = 0.4 / t1_int.as_secs_f64();
+    let slo = SimTime::from_picos(t1_bulk.as_picos() * 4);
+    let clients = 8;
+    eprintln!("  interactive t1 {t1_int} at {rate_rps:.0} rps, slo {slo}; bulk t1 {t1_bulk}");
+
+    let burst = ArrivalTrace::synthesize(
+        TraceShape::Bursty {
+            base_rps: 0.3 * rate_rps,
+            burst_rps: 5.0 * rate_rps,
+            period: SimTime::from_picos(horizon.as_picos() / 8),
+            duty: 0.25,
+        },
+        horizon,
+        seed ^ 0xB0B0,
+    );
+    let mid = SimTime::from_picos(horizon.as_picos() / 2);
+    let third = SimTime::from_picos(horizon.as_picos() / 3);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut failures = 0usize;
+    for scenario in Scenario::ALL {
+        let mut mix = tenants(rate_rps, slo, clients);
+        if scenario == Scenario::BurstTrace {
+            mix[0].arrival = ArrivalModel::Trace(burst.clone());
+        }
+        let spec = WorkloadSpec {
+            tenants: mix,
+            horizon,
+            seed,
+        };
+        let plan = match scenario {
+            Scenario::DeviceLoss => FaultPlan {
+                drops: vec![DeviceDrop { device: 1, at: mid }],
+                ..FaultPlan::none()
+            },
+            Scenario::LinkDegraded => FaultPlan {
+                link: Some(LinkDegrade {
+                    at: third,
+                    scale: LinkScale::times(6),
+                }),
+                ..FaultPlan::none()
+            },
+            _ => FaultPlan::none(),
+        };
+        let server = Server::with_pool(spec, pool);
+        for sched in RequestSched::ALL {
+            let config = ServeConfig {
+                sched,
+                batch: BatchPolicy::new(max_batch, SimTime::from_picos(t1_int.as_picos() * 2)),
+                slo_admission: false,
+                preempt: (scenario == Scenario::PreemptOn)
+                    .then(|| PreemptPolicy::new(SimTime::from_micros(20.0))),
+            };
+            let report = server.run_with_faults(&config, &plan);
+            let again = server.run_with_faults(&config, &plan);
+            let deterministic = report == again;
+            if !deterministic {
+                eprintln!("FAIL {} {sched}: nondeterministic", scenario.name());
+                failures += 1;
+            }
+            if let Err(e) = report.check() {
+                eprintln!("FAIL {} {sched}: {e}", scenario.name());
+                failures += 1;
+            }
+            if scenario == Scenario::DeviceLoss {
+                let rerouted: u64 = report.tenants.iter().map(|t| t.rerouted).sum();
+                if report.faults.devices_lost != 1 || report.faults.stranded != 0 {
+                    eprintln!(
+                        "FAIL {} {sched}: expected 1 lost device and 0 stranded, got {} / {}",
+                        scenario.name(),
+                        report.faults.devices_lost,
+                        report.faults.stranded
+                    );
+                    failures += 1;
+                }
+                if rerouted == 0 {
+                    eprintln!(
+                        "FAIL {} {sched}: nothing re-routed off the dead device",
+                        scenario.name()
+                    );
+                    failures += 1;
+                }
+            }
+            println!(
+                "{:<13} {sched:<4} | goodput {:>8.0} rps | int p99 {:>10} | viol {:>5.1}% | rerouted {:>3} | preempts {:>3}",
+                scenario.name(),
+                report.goodput_rps(),
+                report.tenants[0].latency_quantile(0.99),
+                report.tenants[0].violation_rate() * 100.0,
+                report.tenants.iter().map(|t| t.rerouted).sum::<u64>(),
+                report.tenants.iter().map(|t| t.preemptions).sum::<u64>(),
+            );
+            cells.push(Cell {
+                scenario,
+                sched,
+                report,
+                deterministic,
+            });
+        }
+        pool = server.into_pool();
+    }
+
+    // Acceptance gates against the fault-free baseline.
+    const RETENTION_BOUND: f64 = 0.5;
+    let cell = |scenario: Scenario, sched: RequestSched| -> &Cell {
+        cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.sched == sched)
+            .expect("cell swept")
+    };
+    let mut gates = String::new();
+    for sched in RequestSched::ALL {
+        let base = &cell(Scenario::Baseline, sched).report;
+        let pre = &cell(Scenario::PreemptOn, sched).report;
+        let p99_base = base.tenants[0].latency_quantile(0.99);
+        let p99_pre = pre.tenants[0].latency_quantile(0.99);
+        if p99_pre >= p99_base {
+            eprintln!(
+                "FAIL {sched}: preemption must strictly improve interactive p99 \
+                 ({p99_pre} vs {p99_base})"
+            );
+            failures += 1;
+        }
+        let retention =
+            pre.tenants[1].goodput_count() as f64 / base.tenants[1].goodput_count().max(1) as f64;
+        if retention < RETENTION_BOUND {
+            eprintln!(
+                "FAIL {sched}: bulk goodput retention {retention:.2} under preemption \
+                 breaches the {RETENTION_BOUND} bound"
+            );
+            failures += 1;
+        }
+        println!(
+            "{sched}: preemption p99 {p99_pre} vs {p99_base} baseline; bulk retention {retention:.2}"
+        );
+        if !gates.is_empty() {
+            gates.push_str(", ");
+        }
+        let _ = write!(
+            gates,
+            "\"{}\": {{\"interactive_p99_us\": {:.3}, \"baseline_p99_us\": {:.3}, \
+             \"bulk_goodput_retention\": {retention:.4}}}",
+            sched.name(),
+            p99_pre.as_micros(),
+            p99_base.as_micros(),
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"PR6\",\n");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"devices\": 2,");
+    let _ = writeln!(json, "  \"max_batch\": {max_batch},");
+    let _ = writeln!(
+        json,
+        "  \"bulk_goodput_retention_bound\": {RETENTION_BOUND},"
+    );
+    let _ = writeln!(json, "  \"preemption_gates\": {{{gates}}},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let base = &cell(Scenario::Baseline, c.sched).report;
+        let report = c
+            .report
+            .to_json()
+            .lines()
+            .collect::<Vec<_>>()
+            .join("\n      ");
+        let viol = |r: &ServeReport| -> f64 {
+            let done: u64 = r.tenants.iter().map(|t| t.completed).sum();
+            let v: u64 = r.tenants.iter().map(|t| t.violations).sum();
+            v as f64 / done.max(1) as f64
+        };
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"sched\": \"{}\", \"deterministic\": {}, \
+             \"goodput_delta_rps\": {:.1}, \"violation_rate_delta\": {:.4}, \"report\": {report}}}",
+            c.scenario.name(),
+            c.sched.name(),
+            c.deterministic,
+            c.report.goodput_rps() - base.goodput_rps(),
+            viol(&c.report) - viol(base),
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(json, "  ],\n  \"failures\": {failures}\n}}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    if failures > 0 {
+        eprintln!("{failures} chaos cell(s) violated invariants");
+        std::process::exit(1);
+    }
+}

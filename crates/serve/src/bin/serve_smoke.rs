@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 
 use cusync_serve::{
     ArrivalModel, BatchPolicy, ModelKind, RequestSched, ServeConfig, Server, ServicePool,
-    TenantSpec, WorkloadSpec,
+    TenantClass, TenantSpec, WorkloadSpec,
 };
 use cusync_sim::{ClusterConfig, SimTime};
 
@@ -94,6 +94,8 @@ fn spec_at(
                 slo: slo[i],
                 queue_cap: 32,
                 weight,
+                class: TenantClass::Throughput,
+                retry: None,
             }
         })
         .collect();
@@ -182,6 +184,7 @@ fn main() {
                     sched,
                     batch,
                     slo_admission,
+                    preempt: None,
                 };
                 let report = server.run(&config);
                 let again = server.run(&config);

@@ -4,23 +4,37 @@
 //!
 //! ## Event loop
 //!
-//! Three event kinds drive the simulation, totally ordered by
+//! Seven event kinds drive the simulation, totally ordered by
 //! `(virtual time, sequence number)` so identical specs replay identical
 //! histories:
 //!
-//! - **Arrival** — a tenant's arrival process produced a request. Open
-//!   loop arrivals schedule their successor; closed-loop arrivals are
-//!   scheduled by the completion (or rejection) of the client's previous
-//!   request.
+//! - **Arrival** — a tenant's arrival process produced a request (or a
+//!   rejected request's retry re-offered it). Open-loop arrivals schedule
+//!   their successor; trace arrivals are pre-scheduled from the trace;
+//!   closed-loop arrivals are scheduled by the completion (or final
+//!   rejection) of the client's previous request.
 //! - **DeviceFree** — a device finished its batch; its requests complete
 //!   *now* (so recorded completion instants are non-decreasing by heap
 //!   order).
 //! - **WindowCheck** — a partial batch's window may have expired; re-run
 //!   dispatch.
+//! - **Preempt** — a previously scheduled cross-tenant preemption reached
+//!   the victim batch's next kernel boundary: the batch is checkpointed
+//!   and its remainder requeued as a residue.
+//! - **DeviceDrop** / **PanicInject** / **LinkDegrade** — injected faults
+//!   from a [`FaultPlan`] (see that type for semantics).
+//!
+//! `DeviceFree` and `Preempt` events carry a per-device **generation**
+//! stamped at dispatch; any event whose generation no longer matches the
+//! device's (because a fault or preemption removed the batch it referred
+//! to) is stale and ignored. That tombstoning is what keeps the heap
+//! consistent when batches leave devices early.
 //!
 //! Arrivals stop at the spec's horizon; the loop then drains every
 //! admitted request, so `admitted = completed + shed` holds exactly at
-//! the end ([`ServeReport::check`]).
+//! the end ([`ServeReport::check`]) — with faults on, requests that
+//! outlive every device are strand-shed with a typed count
+//! ([`FaultOutcome::stranded`]), never silently dropped.
 //!
 //! ## Admission, shedding, batching
 //!
@@ -37,15 +51,16 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use cusync_sim::SimTime;
+use cusync_sim::{LinkScale, SimTime};
 
-use crate::metrics::{DeviceMetrics, ServeReport, TenantMetrics};
+use crate::fault::FaultPlan;
+use crate::metrics::{DeviceMetrics, FaultOutcome, ServeReport, TenantMetrics};
 use crate::pool::ServicePool;
-use crate::sched::{BatchPolicy, RequestSched};
-use crate::workload::{ArrivalModel, Rng, WorkloadSpec};
+use crate::sched::{BatchPolicy, PreemptPolicy, RequestSched};
+use crate::workload::{ArrivalModel, Rng, TenantClass, WorkloadSpec};
 
 /// One serving cell: a request scheduler × batching policy × admission
-/// mode.
+/// mode × preemption policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Which tenant a freed device serves next.
@@ -55,15 +70,20 @@ pub struct ServeConfig {
     /// Reject arrivals whose estimated completion already misses their
     /// deadline (see the module docs for the estimate).
     pub slo_admission: bool,
+    /// Cross-tenant preemption (latency tenants checkpoint throughput
+    /// batches at kernel boundaries); `None` disables it.
+    pub preempt: Option<PreemptPolicy>,
 }
 
 impl ServeConfig {
-    /// FIFO, no batching, bounded-queue admission only — the baseline.
+    /// FIFO, no batching, bounded-queue admission only, no preemption —
+    /// the baseline.
     pub fn baseline() -> Self {
         ServeConfig {
             sched: RequestSched::Fifo,
             batch: BatchPolicy::off(),
             slo_admission: false,
+            preempt: None,
         }
     }
 }
@@ -80,9 +100,28 @@ struct Request {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvKind {
-    Arrival { tenant: usize, client: Option<u32> },
-    DeviceFree { device: usize },
+    Arrival {
+        tenant: usize,
+        client: Option<u32>,
+        /// 0 for the first offer; n for the n-th retry after rejection.
+        attempt: u32,
+    },
+    DeviceFree {
+        device: usize,
+        gen: u64,
+    },
     WindowCheck,
+    Preempt {
+        device: usize,
+        gen: u64,
+    },
+    DeviceDrop {
+        device: usize,
+    },
+    PanicInject {
+        device: usize,
+    },
+    LinkDegrade,
 }
 
 #[derive(Debug, Clone, Copy, Eq, PartialEq)]
@@ -107,11 +146,27 @@ impl PartialOrd for Ev {
     }
 }
 
-/// A dispatched batch occupying a device until `DeviceFree` fires.
+/// A dispatched batch occupying a device until `DeviceFree` fires (or a
+/// fault/preemption removes it early).
 #[derive(Debug)]
 struct InFlight {
     tenant: usize,
     requests: Vec<Request>,
+    start: SimTime,
+    service: SimTime,
+    /// Link pricing the batch was dispatched under — the checkpoint probe
+    /// must replay the same pricing.
+    scale: Option<LinkScale>,
+    /// Resumed residues are immune to further preemption (progress
+    /// guarantee: every checkpointed batch finishes on its next device).
+    resumed: bool,
+}
+
+/// The checkpointed remainder of a preempted batch, waiting to resume.
+#[derive(Debug)]
+struct Residue {
+    requests: Vec<Request>,
+    remaining: SimTime,
 }
 
 /// A warmed multi-tenant server: a [`WorkloadSpec`] plus the
@@ -198,13 +253,33 @@ impl Server {
     /// Panics if `config.batch.max_batch` exceeds the warmed
     /// [`ServicePool::max_width`].
     pub fn run(&self, config: &ServeConfig) -> ServeReport {
+        self.run_with_faults(config, &FaultPlan::none())
+    }
+
+    /// Replays the workload under `config` with `faults` injected.
+    /// Exactly as deterministic as [`Server::run`]: same spec + config +
+    /// plan ⇒ bit-identical report, in both engine modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.batch.max_batch` exceeds the warmed
+    /// [`ServicePool::max_width`], or the plan names a device index
+    /// outside the cluster.
+    pub fn run_with_faults(&self, config: &ServeConfig, faults: &FaultPlan) -> ServeReport {
         assert!(
             config.batch.max_batch <= self.pool.max_width(),
             "batch width {} exceeds warmed max width {}",
             config.batch.max_batch,
             self.pool.max_width()
         );
-        Sim::new(self, config).run()
+        let devices = self.pool.num_devices();
+        for drop in &faults.drops {
+            assert!(drop.device < devices, "fault plan drops unknown device");
+        }
+        for panic in &faults.panics {
+            assert!(panic.device < devices, "fault plan panics unknown device");
+        }
+        Sim::new(self, config, faults).run()
     }
 }
 
@@ -212,14 +287,30 @@ impl Server {
 struct Sim<'a> {
     server: &'a Server,
     config: &'a ServeConfig,
+    faults: &'a FaultPlan,
     events: BinaryHeap<Ev>,
     seq: u64,
     queues: Vec<VecDeque<Request>>,
+    /// Checkpointed batch remainders per tenant, resumed before fresh
+    /// queue work (they are the oldest admitted requests).
+    residues: Vec<VecDeque<Residue>>,
     /// Open-loop arrival streams (one per tenant; unused for closed-loop).
     open_rng: Vec<Rng>,
     /// Closed-loop think streams (one per client).
     client_rng: Vec<Vec<Rng>>,
+    /// Retry backoff streams (one per tenant).
+    retry_rng: Vec<Rng>,
     busy: Vec<Option<InFlight>>,
+    /// Per-device liveness (false after a `DeviceDrop`).
+    alive: Vec<bool>,
+    /// Per-device batch generation: bumped at every dispatch and every
+    /// early batch removal; `DeviceFree`/`Preempt` events carrying an
+    /// older generation are stale and ignored.
+    gens: Vec<u64>,
+    /// A `Preempt` event is already in flight for this device.
+    preempt_pending: Vec<bool>,
+    /// `LinkSend` pricing in force for newly dispatched batches.
+    link_scale: Option<LinkScale>,
     /// Weight-normalized service consumed, the WFQ virtual-time key:
     /// picoseconds of device time × (product of other tenants' weights is
     /// avoided by cross-multiplying at compare time).
@@ -227,19 +318,24 @@ struct Sim<'a> {
     tenants: Vec<TenantMetrics>,
     devices: Vec<DeviceMetrics>,
     completions: Vec<SimTime>,
+    devices_lost: u64,
+    panics_injected: u64,
+    stranded: u64,
 }
 
 impl<'a> Sim<'a> {
-    fn new(server: &'a Server, config: &'a ServeConfig) -> Self {
+    fn new(server: &'a Server, config: &'a ServeConfig, faults: &'a FaultPlan) -> Self {
         let spec = &server.spec;
         let n = spec.tenants.len();
         let devices = server.pool.num_devices();
         let mut sim = Sim {
             server,
             config,
+            faults,
             events: BinaryHeap::new(),
             seq: 0,
             queues: (0..n).map(|_| VecDeque::new()).collect(),
+            residues: (0..n).map(|_| VecDeque::new()).collect(),
             open_rng: (0..n)
                 .map(|t| Rng::for_client(spec.seed, t, u32::MAX))
                 .collect(),
@@ -247,14 +343,21 @@ impl<'a> Sim<'a> {
                 .tenants
                 .iter()
                 .enumerate()
-                .map(|(t, tenant)| match tenant.arrival {
-                    ArrivalModel::ClosedLoop { clients, .. } => (0..clients)
+                .map(|(t, tenant)| match &tenant.arrival {
+                    ArrivalModel::ClosedLoop { clients, .. } => (0..*clients)
                         .map(|c| Rng::for_client(spec.seed, t, c))
                         .collect(),
-                    ArrivalModel::OpenPoisson { .. } => Vec::new(),
+                    ArrivalModel::OpenPoisson { .. } | ArrivalModel::Trace(_) => Vec::new(),
                 })
                 .collect(),
+            retry_rng: (0..n)
+                .map(|t| Rng::for_client(spec.seed, t, u32::MAX - 1))
+                .collect(),
             busy: (0..devices).map(|_| None).collect(),
+            alive: vec![true; devices],
+            gens: vec![0; devices],
+            preempt_pending: vec![false; devices],
+            link_scale: None,
             served: vec![0; n],
             tenants: spec
                 .tenants
@@ -269,21 +372,51 @@ impl<'a> Sim<'a> {
                 })
                 .collect(),
             completions: Vec::new(),
+            devices_lost: 0,
+            panics_injected: 0,
+            stranded: 0,
         };
         // Prime the arrival streams.
         for (t, tenant) in spec.tenants.iter().enumerate() {
-            match tenant.arrival {
+            match &tenant.arrival {
                 ArrivalModel::OpenPoisson { rate_rps } => {
-                    let first = sim.open_rng[t].poisson_gap(rate_rps);
+                    let first = sim.open_rng[t].poisson_gap(*rate_rps);
                     sim.schedule_arrival(first, t, None);
                 }
                 ArrivalModel::ClosedLoop { clients, think } => {
-                    for c in 0..clients {
-                        let first = sim.client_rng[t][c as usize].exp(think);
+                    for c in 0..*clients {
+                        let first = sim.client_rng[t][c as usize].exp(*think);
                         sim.schedule_arrival(first, t, Some(c));
                     }
                 }
+                ArrivalModel::Trace(trace) => {
+                    // Replay is fully pre-scheduled; instants past the
+                    // horizon are dropped by schedule_arrival.
+                    for &at in trace.instants() {
+                        sim.schedule_arrival(at, t, None);
+                    }
+                }
             }
+        }
+        // Prime the fault schedule.
+        for drop in &faults.drops {
+            sim.push(
+                drop.at,
+                EvKind::DeviceDrop {
+                    device: drop.device,
+                },
+            );
+        }
+        for panic in &faults.panics {
+            sim.push(
+                panic.at,
+                EvKind::PanicInject {
+                    device: panic.device,
+                },
+            );
+        }
+        if let Some(link) = &faults.link {
+            sim.push(link.at, EvKind::LinkDegrade);
         }
         sim
     }
@@ -297,10 +430,18 @@ impl<'a> Sim<'a> {
         });
     }
 
-    /// Schedules an arrival iff it lands within the offered-load horizon.
+    /// Schedules a first-attempt arrival iff it lands within the
+    /// offered-load horizon.
     fn schedule_arrival(&mut self, time: SimTime, tenant: usize, client: Option<u32>) {
         if time <= self.server.spec.horizon {
-            self.push(time, EvKind::Arrival { tenant, client });
+            self.push(
+                time,
+                EvKind::Arrival {
+                    tenant,
+                    client,
+                    attempt: 0,
+                },
+            );
         }
     }
 
@@ -308,11 +449,11 @@ impl<'a> Sim<'a> {
     /// the horizon). Open-loop requests have no client to wake.
     fn wake_client(&mut self, now: SimTime, tenant: usize, client: Option<u32>) {
         let Some(client) = client else { return };
-        let ArrivalModel::ClosedLoop { think, .. } = self.server.spec.tenants[tenant].arrival
+        let ArrivalModel::ClosedLoop { think, .. } = &self.server.spec.tenants[tenant].arrival
         else {
             return;
         };
-        let gap = self.client_rng[tenant][client as usize].exp(think);
+        let gap = self.client_rng[tenant][client as usize].exp(*think);
         self.schedule_arrival(now + gap, tenant, Some(client));
     }
 
@@ -325,29 +466,72 @@ impl<'a> Sim<'a> {
         let width = self.config.batch.max_batch;
         let queued = self.queues[tenant].len() as u64;
         let batches_ahead = queued.div_ceil(width as u64);
-        let wide = self.server.pool.service_time(tenant, width, 0);
-        let solo = self.server.pool.service_time(tenant, 1, 0);
+        let wide = self.price(tenant, width, 0);
+        let solo = self.price(tenant, 1, 0);
         now + solo + SimTime::from_picos(wide.as_picos().saturating_mul(batches_ahead))
     }
 
-    fn handle_arrival(&mut self, now: SimTime, tenant: usize, client: Option<u32>) {
+    /// Service time of a batch under the link pricing currently in force.
+    fn price(&self, tenant: usize, width: u32, device: usize) -> SimTime {
+        match self.link_scale {
+            Some(scale) => {
+                self.server
+                    .pool
+                    .degraded_service_time(tenant, width, device as u32, scale)
+            }
+            None => self.server.pool.service_time(tenant, width, device as u32),
+        }
+    }
+
+    fn handle_arrival(&mut self, now: SimTime, tenant: usize, client: Option<u32>, attempt: u32) {
         // Open loop: the stream schedules its successor independently of
-        // what happens to this request.
-        if client.is_none() {
-            if let ArrivalModel::OpenPoisson { rate_rps } = self.server.spec.tenants[tenant].arrival
+        // what happens to this request (retries and trace replays don't —
+        // their successors are already scheduled).
+        if client.is_none() && attempt == 0 {
+            if let ArrivalModel::OpenPoisson { rate_rps } =
+                &self.server.spec.tenants[tenant].arrival
             {
-                let gap = self.open_rng[tenant].poisson_gap(rate_rps);
+                let gap = self.open_rng[tenant].poisson_gap(*rate_rps);
                 self.schedule_arrival(now + gap, tenant, None);
             }
         }
         let spec = &self.server.spec.tenants[tenant];
         self.tenants[tenant].offered += 1;
+        if attempt > 0 {
+            self.tenants[tenant].retries += 1;
+        }
         let deadline = now + spec.slo;
         let full = self.queues[tenant].len() >= spec.queue_cap;
         let hopeless =
             self.config.slo_admission && self.estimated_completion(now, tenant) > deadline;
         if full || hopeless {
             self.tenants[tenant].rejected += 1;
+            if let Some(policy) = spec.retry {
+                if attempt < policy.max_retries {
+                    // Exponential backoff: the mean doubles per attempt,
+                    // drawn from the tenant's dedicated retry stream. The
+                    // retry carries the client, so a closed-loop client
+                    // is NOT woken here — its request is still pending.
+                    let mean = SimTime::from_picos(
+                        policy
+                            .base
+                            .as_picos()
+                            .saturating_mul(1u64 << attempt.min(20)),
+                    );
+                    let backoff = self.retry_rng[tenant].exp(mean);
+                    // Deliberately not horizon-gated: the offer that
+                    // spawned this retry happened inside the horizon.
+                    self.push(
+                        now + backoff,
+                        EvKind::Arrival {
+                            tenant,
+                            client,
+                            attempt: attempt + 1,
+                        },
+                    );
+                    return;
+                }
+            }
             self.wake_client(now, tenant, client);
             return;
         }
@@ -364,7 +548,12 @@ impl<'a> Sim<'a> {
         self.try_dispatch(now);
     }
 
-    fn handle_device_free(&mut self, now: SimTime, device: usize) {
+    fn handle_device_free(&mut self, now: SimTime, device: usize, gen: u64) {
+        if self.gens[device] != gen {
+            // Stale: the batch this event announced was preempted or
+            // removed by a fault.
+            return;
+        }
         let batch = self.busy[device].take().expect("DeviceFree on idle device");
         for req in &batch.requests {
             self.tenants[batch.tenant].completed += 1;
@@ -375,6 +564,73 @@ impl<'a> Sim<'a> {
             self.completions.push(now);
             self.wake_client(now, batch.tenant, req.client);
         }
+        self.try_dispatch(now);
+    }
+
+    /// A scheduled preemption reached the victim's kernel boundary: stop
+    /// the batch, refund its unconsumed service, and requeue the
+    /// remainder as a residue.
+    fn handle_preempt(&mut self, now: SimTime, device: usize, gen: u64) {
+        if self.gens[device] != gen {
+            return; // the victim left the device some other way first
+        }
+        let batch = self.busy[device].take().expect("Preempt on idle device");
+        self.gens[device] += 1;
+        self.preempt_pending[device] = false;
+        // The boundary is strictly inside the batch's service interval.
+        let remaining = batch.start + batch.service - now;
+        self.devices[device].busy = self.devices[device].busy.saturating_sub(remaining);
+        self.served[batch.tenant] =
+            self.served[batch.tenant].saturating_sub(remaining.as_picos() as u128);
+        self.tenants[batch.tenant].preemptions += 1;
+        self.residues[batch.tenant].push_back(Residue {
+            requests: batch.requests,
+            remaining,
+        });
+        self.try_dispatch(now);
+    }
+
+    /// Takes a batch off a device that can no longer finish it, refunds
+    /// the un-run service, and requeues the requests at the **front** of
+    /// their tenant queue — they are the oldest admitted requests, so
+    /// per-queue deadlines stay non-decreasing (the `shed_expired`
+    /// invariant).
+    fn evacuate(&mut self, now: SimTime, device: usize) {
+        let Some(batch) = self.busy[device].take() else {
+            return;
+        };
+        self.gens[device] += 1;
+        self.preempt_pending[device] = false;
+        let remaining = (batch.start + batch.service).saturating_sub(now);
+        self.devices[device].busy = self.devices[device].busy.saturating_sub(remaining);
+        self.served[batch.tenant] =
+            self.served[batch.tenant].saturating_sub(remaining.as_picos() as u128);
+        self.tenants[batch.tenant].rerouted += batch.requests.len() as u64;
+        for req in batch.requests.into_iter().rev() {
+            self.queues[batch.tenant].push_front(req);
+        }
+    }
+
+    fn handle_device_drop(&mut self, now: SimTime, device: usize) {
+        if !self.alive[device] {
+            return;
+        }
+        self.alive[device] = false;
+        self.devices_lost += 1;
+        self.evacuate(now, device);
+        self.gens[device] += 1; // tombstone even if the device was idle
+        self.try_dispatch(now);
+    }
+
+    /// A worker panic kills the in-flight batch (partial work wasted, the
+    /// burned device time stays charged) but the device survives —
+    /// mirroring the simulator's `WorkerPanic` recovery semantics.
+    fn handle_panic_inject(&mut self, now: SimTime, device: usize) {
+        if !self.alive[device] || self.busy[device].is_none() {
+            return; // nothing running to kill
+        }
+        self.panics_injected += 1;
+        self.evacuate(now, device);
         self.try_dispatch(now);
     }
 
@@ -395,9 +651,12 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Whether `tenant`'s queue can dispatch right now: a full batch, or
-    /// a head that has waited out the batch window.
+    /// Whether `tenant` can dispatch right now: a pending residue, a full
+    /// batch, or a queue head that has waited out the batch window.
     fn ready(&self, tenant: usize, now: SimTime) -> bool {
+        if !self.residues[tenant].is_empty() {
+            return true;
+        }
         let queue = &self.queues[tenant];
         match queue.front() {
             None => false,
@@ -406,10 +665,30 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// The scheduler: which ready tenant a free device serves.
+    /// The scheduler: which ready tenant a free device serves. With
+    /// preemption enabled, ready latency-class tenants take absolute
+    /// priority (preempting a batch only to serve someone else would be
+    /// self-defeating); the configured scheduler orders within a class.
     fn select(&self, ready: &[usize]) -> usize {
-        let head = |t: usize| self.queues[t].front().expect("ready implies nonempty");
-        *ready
+        let head = |t: usize| -> &Request {
+            self.residues[t]
+                .front()
+                .map(|r| &r.requests[0])
+                .unwrap_or_else(|| self.queues[t].front().expect("ready implies nonempty"))
+        };
+        let class = |t: usize| self.server.spec.tenants[t].class;
+        let candidates: Vec<usize> = if self.config.preempt.is_some()
+            && ready.iter().any(|&t| class(t) == TenantClass::Latency)
+        {
+            ready
+                .iter()
+                .copied()
+                .filter(|&t| class(t) == TenantClass::Latency)
+                .collect()
+        } else {
+            ready.to_vec()
+        };
+        *candidates
             .iter()
             .min_by(|&&a, &&b| match self.config.sched {
                 RequestSched::Fifo => head(a).arrival.cmp(&head(b).arrival).then(a.cmp(&b)),
@@ -430,7 +709,10 @@ impl<'a> Sim<'a> {
     fn try_dispatch(&mut self, now: SimTime) {
         self.shed_expired(now);
         loop {
-            let Some(device) = self.busy.iter().position(Option::is_none) else {
+            let Some(device) =
+                (0..self.busy.len()).find(|&d| self.alive[d] && self.busy[d].is_none())
+            else {
+                self.try_preempt(now);
                 return;
             };
             let ready: Vec<usize> = (0..self.queues.len())
@@ -451,19 +733,109 @@ impl<'a> Sim<'a> {
                 return;
             }
             let tenant = self.select(&ready);
+            // Residues resume before fresh queue work: theirs are the
+            // oldest admitted requests, and the checkpoint (plus the
+            // policy's resume overhead) is all the service they still owe.
+            if let Some(residue) = self.residues[tenant].pop_front() {
+                let overhead = self
+                    .config
+                    .preempt
+                    .expect("residues only exist under a preemption policy")
+                    .overhead;
+                let width = residue.requests.len();
+                let service = residue.remaining + overhead;
+                self.tenants[tenant].preempt_overhead += overhead;
+                self.dispatch(now, device, tenant, residue.requests, service, true);
+                debug_assert!(width > 0);
+                continue;
+            }
             let width = (self.queues[tenant].len()).min(self.config.batch.max_batch as usize);
             let requests: Vec<Request> = self.queues[tenant].drain(..width).collect();
-            let service = self
-                .server
-                .pool
-                .service_time(tenant, width as u32, device as u32);
-            self.served[tenant] += service.as_picos() as u128;
-            self.devices[device].busy += service;
-            self.devices[device].batches += 1;
-            self.devices[device].requests += width as u64;
-            self.busy[device] = Some(InFlight { tenant, requests });
-            self.push(now + service, EvKind::DeviceFree { device });
+            let service = self.price(tenant, width as u32, device);
+            self.dispatch(now, device, tenant, requests, service, false);
         }
+    }
+
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        device: usize,
+        tenant: usize,
+        requests: Vec<Request>,
+        service: SimTime,
+        resumed: bool,
+    ) {
+        self.served[tenant] += service.as_picos() as u128;
+        self.devices[device].busy += service;
+        self.devices[device].batches += 1;
+        self.devices[device].requests += requests.len() as u64;
+        self.gens[device] += 1;
+        self.busy[device] = Some(InFlight {
+            tenant,
+            requests,
+            start: now,
+            service,
+            scale: self.link_scale,
+            resumed,
+        });
+        self.push(
+            now + service,
+            EvKind::DeviceFree {
+                device,
+                gen: self.gens[device],
+            },
+        );
+    }
+
+    /// No device is free but a latency-class tenant is ready: schedule a
+    /// checkpoint of the running throughput-class batch with the most
+    /// service remaining, at its next kernel boundary (probed through the
+    /// pool's warmed session — see [`ServicePool::checkpoint`]).
+    fn try_preempt(&mut self, now: SimTime) {
+        if self.config.preempt.is_none() {
+            return;
+        }
+        let spec = &self.server.spec;
+        let starving = (0..self.queues.len())
+            .any(|t| spec.tenants[t].class == TenantClass::Latency && self.ready(t, now));
+        if !starving {
+            return;
+        }
+        let mut victim: Option<(usize, SimTime)> = None;
+        for d in 0..self.busy.len() {
+            if !self.alive[d] || self.preempt_pending[d] {
+                continue;
+            }
+            let Some(batch) = &self.busy[d] else { continue };
+            if batch.resumed || spec.tenants[batch.tenant].class != TenantClass::Throughput {
+                continue;
+            }
+            let remaining = (batch.start + batch.service).saturating_sub(now);
+            if victim.is_none_or(|(_, best)| remaining > best) {
+                victim = Some((d, remaining));
+            }
+        }
+        let Some((device, _)) = victim else { return };
+        let batch = self.busy[device].as_ref().expect("victim is busy");
+        let elapsed = now - batch.start;
+        let Some((boundary, _)) = self.server.pool.checkpoint(
+            batch.tenant,
+            batch.requests.len() as u32,
+            device as u32,
+            elapsed,
+            batch.scale,
+        ) else {
+            return; // past the last interior boundary: let it finish
+        };
+        let at = batch.start + boundary;
+        self.preempt_pending[device] = true;
+        self.push(
+            at,
+            EvKind::Preempt {
+                device,
+                gen: self.gens[device],
+            },
+        );
     }
 
     fn run(mut self) -> ServeReport {
@@ -472,9 +844,37 @@ impl<'a> Sim<'a> {
             debug_assert!(ev.time >= last, "virtual clock must be monotone");
             last = ev.time;
             match ev.kind {
-                EvKind::Arrival { tenant, client } => self.handle_arrival(ev.time, tenant, client),
-                EvKind::DeviceFree { device } => self.handle_device_free(ev.time, device),
+                EvKind::Arrival {
+                    tenant,
+                    client,
+                    attempt,
+                } => self.handle_arrival(ev.time, tenant, client, attempt),
+                EvKind::DeviceFree { device, gen } => self.handle_device_free(ev.time, device, gen),
                 EvKind::WindowCheck => self.try_dispatch(ev.time),
+                EvKind::Preempt { device, gen } => self.handle_preempt(ev.time, device, gen),
+                EvKind::DeviceDrop { device } => self.handle_device_drop(ev.time, device),
+                EvKind::PanicInject { device } => self.handle_panic_inject(ev.time, device),
+                EvKind::LinkDegrade => {
+                    let link = self.faults.link.expect("LinkDegrade implies a plan");
+                    self.link_scale = Some(link.scale);
+                }
+            }
+        }
+        // The heap drained with work still queued ⟺ every device died:
+        // strand-shed the leftovers with typed outcomes (never hang,
+        // never silently drop).
+        for tenant in 0..self.queues.len() {
+            while let Some(req) = self.queues[tenant].pop_front() {
+                self.tenants[tenant].shed += 1;
+                self.stranded += 1;
+                // No wake: the run is over; the client's pending request
+                // resolves as shed.
+                let _ = req;
+            }
+            while let Some(residue) = self.residues[tenant].pop_front() {
+                let n = residue.requests.len() as u64;
+                self.tenants[tenant].shed += n;
+                self.stranded += n;
             }
         }
         let horizon = self.server.spec.horizon;
@@ -494,6 +894,12 @@ impl<'a> Sim<'a> {
             horizon,
             makespan,
             completions: self.completions,
+            faults: FaultOutcome {
+                devices_lost: self.devices_lost,
+                panics: self.panics_injected,
+                link_degraded: self.link_scale.is_some(),
+                stranded: self.stranded,
+            },
         }
     }
 }
@@ -518,6 +924,8 @@ mod tests {
                     slo: SimTime::from_micros(400.0),
                     queue_cap: 16,
                     weight: 2,
+                    class: TenantClass::Throughput,
+                    retry: None,
                 },
                 TenantSpec {
                     name: "closed".into(),
@@ -532,6 +940,8 @@ mod tests {
                     slo: SimTime::from_micros(600.0),
                     queue_cap: 8,
                     weight: 1,
+                    class: TenantClass::Throughput,
+                    retry: None,
                 },
             ],
             horizon: SimTime::from_millis(20),
@@ -562,6 +972,7 @@ mod tests {
                         sched,
                         batch,
                         slo_admission,
+                        preempt: None,
                     };
                     let report = server.run(&config);
                     report.check().unwrap_or_else(|e| {
@@ -580,6 +991,7 @@ mod tests {
             sched: RequestSched::Edf,
             batch: BatchPolicy::new(4, SimTime::from_micros(50.0)),
             slo_admission: true,
+            preempt: None,
         };
         let a = toy_server(7, 9_000.0).run(&config);
         let b = toy_server(7, 9_000.0).run(&config);
@@ -597,6 +1009,7 @@ mod tests {
             sched: RequestSched::Fifo,
             batch: BatchPolicy::new(4, SimTime::from_micros(60.0)),
             slo_admission: false,
+            preempt: None,
         });
         let dropped: u64 = unbatched.tenants.iter().map(|t| t.rejected + t.shed).sum();
         assert!(dropped > 0, "saturating load must shed");
@@ -656,6 +1069,8 @@ mod tests {
             // next to the steady-state 3:1 service pattern.
             queue_cap: 4,
             weight,
+            class: TenantClass::Throughput,
+            retry: None,
         };
         let spec = WorkloadSpec {
             tenants: vec![tenant("heavy", 3), tenant("light", 1)],
@@ -688,5 +1103,283 @@ mod tests {
         let rej = |r: &ServeReport| -> u64 { r.tenants.iter().map(|t| t.rejected).sum() };
         assert!(rej(&with) >= rej(&without));
         assert!(viol(&with) <= viol(&without));
+    }
+
+    // ---- chaos: faults, traces, retries, preemption -------------------
+
+    use crate::fault::{DeviceDrop, LinkDegrade, PanicInjection};
+    use crate::workload::{ArrivalTrace, RetryPolicy, TraceShape};
+
+    #[test]
+    fn fault_free_plan_reproduces_run_exactly() {
+        let server = toy_server(17, 15_000.0);
+        let config = ServeConfig::baseline();
+        assert_eq!(
+            server.run(&config),
+            server.run_with_faults(&config, &FaultPlan::none())
+        );
+    }
+
+    #[test]
+    fn device_drop_reroutes_in_flight_work_without_stranding() {
+        let server = toy_server(21, 20_000.0);
+        let config = ServeConfig::baseline();
+        let plan = FaultPlan {
+            drops: vec![DeviceDrop {
+                device: 1,
+                at: SimTime::from_millis(5),
+            }],
+            ..FaultPlan::none()
+        };
+        let report = server.run_with_faults(&config, &plan);
+        report.check().expect("single-drop report");
+        assert_eq!(report.faults.devices_lost, 1);
+        assert_eq!(report.faults.stranded, 0, "a survivor absorbs everything");
+        let rerouted: u64 = report.tenants.iter().map(|t| t.rerouted).sum();
+        assert!(rerouted > 0, "a 20k rps load keeps the dropped device busy");
+        assert!(report.goodput_rps() > 0.0);
+        // Bit-identical replay under the same plan.
+        assert_eq!(report, server.run_with_faults(&config, &plan));
+    }
+
+    #[test]
+    fn losing_every_device_terminates_with_typed_stranding() {
+        let server = toy_server(23, 20_000.0);
+        let config = ServeConfig::baseline();
+        let plan = FaultPlan {
+            drops: vec![
+                DeviceDrop {
+                    device: 0,
+                    at: SimTime::from_millis(2),
+                },
+                DeviceDrop {
+                    device: 1,
+                    at: SimTime::from_millis(2),
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        // Must terminate (no hang) with every admitted request resolved:
+        // completed before the drop, or shed with the stranded outcome.
+        let report = server.run_with_faults(&config, &plan);
+        report.check().expect("all-dead report");
+        assert_eq!(report.faults.devices_lost, 2);
+        assert!(report.faults.stranded > 0, "queued work must strand, typed");
+        for t in &report.tenants {
+            assert_eq!(t.admitted, t.completed + t.shed, "nothing vanishes");
+        }
+    }
+
+    #[test]
+    fn panic_injection_wastes_work_but_conserves_requests() {
+        let server = toy_server(27, 20_000.0);
+        let config = ServeConfig::baseline();
+        let plan = FaultPlan {
+            panics: vec![
+                PanicInjection {
+                    device: 0,
+                    at: SimTime::from_millis(4),
+                },
+                PanicInjection {
+                    device: 1,
+                    at: SimTime::from_millis(9),
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        let report = server.run_with_faults(&config, &plan);
+        report.check().expect("panic report");
+        assert_eq!(report.faults.devices_lost, 0);
+        assert!(report.faults.panics >= 1, "a busy device panicked");
+        assert_eq!(report.faults.stranded, 0);
+        assert_eq!(report, server.run_with_faults(&config, &plan));
+    }
+
+    #[test]
+    fn link_degradation_slows_remote_models_deterministically() {
+        let spec = |seed| WorkloadSpec {
+            tenants: vec![TenantSpec {
+                name: "remote".into(),
+                model: ModelKind::ToyRemote {
+                    blocks: 2,
+                    compute_cycles: 100_000,
+                    payload: 1 << 20,
+                },
+                arrival: ArrivalModel::OpenPoisson { rate_rps: 8_000.0 },
+                slo: SimTime::from_millis(4),
+                queue_cap: 32,
+                weight: 1,
+                class: TenantClass::Throughput,
+                retry: None,
+            }],
+            horizon: SimTime::from_millis(20),
+            seed,
+        };
+        let cluster = ClusterConfig::homogeneous(
+            2,
+            GpuConfig::toy(4),
+            SimTime::from_nanos(500),
+            ClusterConfig::NVLINK_BYTES_PER_SEC,
+        );
+        let server = Server::new(spec(31), &cluster, 4);
+        let config = ServeConfig::baseline();
+        let healthy = server.run_with_faults(&config, &FaultPlan::none());
+        let plan = FaultPlan {
+            link: Some(LinkDegrade {
+                at: SimTime::from_millis(5),
+                scale: LinkScale::times(8),
+            }),
+            ..FaultPlan::none()
+        };
+        let degraded = server.run_with_faults(&config, &plan);
+        degraded.check().expect("degraded report");
+        assert!(degraded.faults.link_degraded);
+        assert!(
+            degraded.tenants[0].latency_mean() > healthy.tenants[0].latency_mean(),
+            "8x wire time must show up in mean latency: {} vs {}",
+            degraded.tenants[0].latency_mean(),
+            healthy.tenants[0].latency_mean()
+        );
+        assert_eq!(degraded, server.run_with_faults(&config, &plan));
+    }
+
+    #[test]
+    fn trace_arrivals_offer_exactly_the_trace() {
+        let horizon = SimTime::from_millis(10);
+        let trace = ArrivalTrace::synthesize(
+            TraceShape::Bursty {
+                base_rps: 2_000.0,
+                burst_rps: 30_000.0,
+                period: SimTime::from_millis(2),
+                duty: 0.25,
+            },
+            horizon,
+            77,
+        );
+        let expected = trace.len() as u64;
+        let spec = WorkloadSpec {
+            tenants: vec![TenantSpec {
+                name: "replay".into(),
+                model: ModelKind::Toy {
+                    blocks: 2,
+                    compute_cycles: 100_000,
+                },
+                arrival: ArrivalModel::Trace(trace),
+                slo: SimTime::from_millis(2),
+                queue_cap: 64,
+                weight: 1,
+                class: TenantClass::Throughput,
+                retry: None,
+            }],
+            horizon,
+            seed: 5,
+        };
+        let server = Server::new(spec, &ClusterConfig::single(GpuConfig::toy(4)), 4);
+        let config = ServeConfig::baseline();
+        let report = server.run(&config);
+        report.check().expect("trace report");
+        assert_eq!(report.tenants[0].offered, expected);
+        assert_eq!(report, server.run(&config));
+    }
+
+    #[test]
+    fn retries_resubmit_rejections_and_stay_conserved() {
+        let mut spec = toy_spec(41, 35_000.0);
+        spec.tenants[0].queue_cap = 2; // force rejections
+        spec.tenants[0].retry = Some(RetryPolicy {
+            base: SimTime::from_micros(50.0),
+            max_retries: 3,
+        });
+        let cluster = ClusterConfig::homogeneous(
+            2,
+            GpuConfig::toy(4),
+            SimTime::from_nanos(500),
+            ClusterConfig::NVLINK_BYTES_PER_SEC,
+        );
+        let server = Server::new(spec, &cluster, 4);
+        let config = ServeConfig::baseline();
+        let report = server.run(&config);
+        report.check().expect("retry report");
+        assert!(report.tenants[0].retries > 0, "cap 2 at 35k rps must retry");
+        assert!(
+            report.tenants[0].offered > report.tenants[0].retries,
+            "first attempts are offered too"
+        );
+        assert_eq!(report, server.run(&config), "retry backoff is seeded");
+    }
+
+    #[test]
+    fn preemption_cuts_latency_tail_with_bounded_throughput_loss() {
+        let spec = |seed| WorkloadSpec {
+            tenants: vec![
+                TenantSpec {
+                    name: "interactive".into(),
+                    model: ModelKind::Toy {
+                        blocks: 2,
+                        compute_cycles: 50_000,
+                    },
+                    arrival: ArrivalModel::OpenPoisson { rate_rps: 1_500.0 },
+                    // Generous SLO: nothing sheds, so the tail comparison
+                    // below sees every request in both runs.
+                    slo: SimTime::from_millis(8),
+                    queue_cap: 64,
+                    weight: 1,
+                    class: TenantClass::Latency,
+                    retry: None,
+                },
+                TenantSpec {
+                    name: "bulk".into(),
+                    model: ModelKind::Toy {
+                        blocks: 4,
+                        compute_cycles: 1_500_000,
+                    },
+                    arrival: ArrivalModel::ClosedLoop {
+                        clients: 2,
+                        think: SimTime::from_micros(10.0),
+                    },
+                    slo: SimTime::from_millis(500),
+                    queue_cap: 8,
+                    weight: 1,
+                    class: TenantClass::Throughput,
+                    retry: None,
+                },
+            ],
+            horizon: SimTime::from_millis(40),
+            seed,
+        };
+        let cluster = ClusterConfig::single(GpuConfig::toy(4));
+        let server = Server::new(spec(51), &cluster, 2);
+        let without = server.run(&ServeConfig::baseline());
+        let with = server.run(&ServeConfig {
+            preempt: Some(PreemptPolicy::new(SimTime::from_micros(5.0))),
+            ..ServeConfig::baseline()
+        });
+        with.check().expect("preempting report");
+        let p99 = |r: &ServeReport| r.tenants[0].latency_quantile(0.99);
+        assert!(
+            p99(&with) < p99(&without),
+            "preemption must cut the interactive p99: {} vs {}",
+            p99(&with),
+            p99(&without)
+        );
+        assert!(
+            with.tenants[1].preemptions > 0,
+            "the bulk tenant must actually get checkpointed"
+        );
+        // Bounded collateral: the bulk tenant keeps at least half its
+        // fault-free goodput (the resume overhead is the only real cost).
+        assert!(
+            with.tenants[1].goodput_count() * 2 >= without.tenants[1].goodput_count(),
+            "bulk goodput loss must stay bounded: {} vs {}",
+            with.tenants[1].goodput_count(),
+            without.tenants[1].goodput_count()
+        );
+        assert_eq!(
+            with,
+            server.run(&ServeConfig {
+                preempt: Some(PreemptPolicy::new(SimTime::from_micros(5.0))),
+                ..ServeConfig::baseline()
+            })
+        );
     }
 }

@@ -31,12 +31,22 @@
 //! virtual-time arrivals against that table without re-entering the
 //! engine — the same seed always produces bit-identical metrics.
 //!
+//! A fifth layer makes the service **chaos-grade**: a deterministic
+//! [`FaultPlan`] injects device dropout, worker panics and link
+//! degradation at fixed virtual instants; trace-based arrivals
+//! ([`ArrivalTrace`]) replay recorded or synthesized bursty/diurnal/
+//! heavy-tailed traffic; rejected requests retry with seeded exponential
+//! backoff ([`RetryPolicy`]); and latency-class tenants may **preempt** a
+//! throughput tenant's running batch at its next kernel boundary
+//! ([`PreemptPolicy`]), with the checkpoint/resume overhead accounted in
+//! the report. All of it stays bit-identical per seed.
+//!
 //! ## Example
 //!
 //! ```
 //! use cusync_serve::{
-//!     ArrivalModel, BatchPolicy, ModelKind, RequestSched, ServeConfig, Server, TenantSpec,
-//!     WorkloadSpec,
+//!     ArrivalModel, BatchPolicy, FaultPlan, ModelKind, RequestSched, ServeConfig, Server,
+//!     TenantClass, TenantSpec, WorkloadSpec,
 //! };
 //! use cusync_sim::{ClusterConfig, GpuConfig, SimTime};
 //!
@@ -48,16 +58,20 @@
 //!         slo: SimTime::from_micros(500.0),
 //!         queue_cap: 32,
 //!         weight: 1,
+//!         class: TenantClass::Latency,
+//!         retry: None,
 //!     }],
 //!     horizon: SimTime::from_millis(5),
 //!     seed: 42,
 //! };
 //! let server = Server::new(spec, &ClusterConfig::single(GpuConfig::toy(4)), 4);
-//! let report = server.run(&ServeConfig {
+//! let config = ServeConfig {
 //!     sched: RequestSched::Edf,
 //!     batch: BatchPolicy::new(4, SimTime::from_micros(100.0)),
 //!     slo_admission: true,
-//! });
+//!     preempt: None,
+//! };
+//! let report = server.run_with_faults(&config, &FaultPlan::none());
 //! report.check().expect("conservation holds");
 //! assert!(report.tenants[0].completed > 0);
 //! ```
@@ -66,6 +80,7 @@
 #![warn(missing_debug_implementations)]
 
 mod dispatch;
+mod fault;
 mod metrics;
 mod pool;
 mod sched;
@@ -73,8 +88,11 @@ mod workload;
 mod zoo;
 
 pub use dispatch::{ServeConfig, Server};
-pub use metrics::{DeviceMetrics, ServeReport, TenantMetrics};
+pub use fault::{DeviceDrop, FaultPlan, LinkDegrade, PanicInjection};
+pub use metrics::{DeviceMetrics, FaultOutcome, ServeReport, TenantMetrics};
 pub use pool::ServicePool;
-pub use sched::{BatchPolicy, RequestSched};
-pub use workload::{ArrivalModel, Rng, TenantSpec, WorkloadSpec};
+pub use sched::{BatchPolicy, PreemptPolicy, RequestSched};
+pub use workload::{
+    ArrivalModel, ArrivalTrace, RetryPolicy, Rng, TenantClass, TenantSpec, TraceShape, WorkloadSpec,
+};
 pub use zoo::ModelKind;

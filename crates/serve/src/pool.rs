@@ -13,12 +13,31 @@
 //! tenants serving the same model at the same width share one compile and
 //! one measurement.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cusync_sim::{ClusterConfig, CompiledPipeline, Session, SimTime};
+use cusync_sim::{ClusterConfig, CompiledPipeline, LinkScale, RunOutcome, Session, SimTime};
 
 use crate::workload::TenantSpec;
+
+/// `(fingerprint, device-model slot, elapsed ps, link scale)` — the full
+/// identity of one checkpoint probe.
+type CheckpointKey = (u64, usize, u64, Option<LinkScale>);
+
+/// Lazily measured fault-mode quantities: service times under a degraded
+/// link and checkpoint boundaries for preemption. Interior-mutable so the
+/// dispatcher can consult them mid-run through a shared pool; every value
+/// is a pure function of `(pipeline, scale, elapsed)`, so memoization
+/// never perturbs determinism.
+#[derive(Debug)]
+struct LazyMeasure {
+    session: Session,
+    /// `(fingerprint, device-model slot, scale)` → degraded total.
+    degraded: HashMap<(u64, usize, LinkScale), SimTime>,
+    /// `(fingerprint, slot, elapsed ps, scale)` → checkpoint outcome.
+    checkpoints: HashMap<CheckpointKey, Option<(SimTime, SimTime)>>,
+}
 
 /// Compiled pipelines and measured service times for every (tenant,
 /// width, device) the dispatcher can place.
@@ -41,6 +60,7 @@ pub struct ServicePool {
     /// pool still matches its spec.
     models: Vec<crate::zoo::ModelKind>,
     max_width: u32,
+    lazy: RefCell<LazyMeasure>,
 }
 
 impl ServicePool {
@@ -77,6 +97,11 @@ impl ServicePool {
             model_of_device,
             models: tenants.iter().map(|t| t.model).collect(),
             max_width,
+            lazy: RefCell::new(LazyMeasure {
+                session: Session::new(),
+                degraded: HashMap::new(),
+                checkpoints: HashMap::new(),
+            }),
         };
         // Tenants sharing a ModelKind share the compile itself, not just
         // the resulting Arc: memo by (model, width, slot) up front.
@@ -161,12 +186,101 @@ impl ServicePool {
         let fingerprint = self.by_shape[&(tenant, width, slot)];
         self.times[&(fingerprint, slot)]
     }
+
+    /// Deterministic service time of the batch with `LinkSend` wire time
+    /// scaled by `scale` — the pricing of dispatches after a
+    /// [`LinkDegrade`](crate::LinkDegrade) fault. Measured lazily on
+    /// first use (one extra simulator run per distinct shape × scale) and
+    /// memoized; compute-only pipelines price identically to
+    /// [`ServicePool::service_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape was not warmed or `device` is out of range.
+    pub fn degraded_service_time(
+        &self,
+        tenant: usize,
+        width: u32,
+        device: u32,
+        scale: LinkScale,
+    ) -> SimTime {
+        let slot = self.model_of_device[device as usize];
+        let fingerprint = self.by_shape[&(tenant, width, slot)];
+        self.degraded_total(fingerprint, slot, scale)
+    }
+
+    fn degraded_total(&self, fingerprint: u64, slot: usize, scale: LinkScale) -> SimTime {
+        let key = (fingerprint, slot, scale);
+        if let Some(&total) = self.lazy.borrow().degraded.get(&key) {
+            return total;
+        }
+        let pipeline = Arc::clone(&self.pipelines[&fingerprint]);
+        let mut lazy = self.lazy.borrow_mut();
+        lazy.session.set_link_scale(Some(scale));
+        let total = lazy
+            .session
+            .run(&pipeline)
+            .expect("warmed pipeline deadlocked under link degradation")
+            .total;
+        lazy.session.set_link_scale(None);
+        lazy.degraded.insert(key, total);
+        total
+    }
+
+    /// Where a preempted batch of `tenant` at `width` on `device` can
+    /// checkpoint, given it has already run for `elapsed`: the simulator
+    /// re-executes the pipeline with an abort horizon
+    /// ([`Session::run_until`]) and reports the first kernel-completion
+    /// boundary at or after `elapsed`.
+    ///
+    /// Returns `Some((boundary, remaining))` — the batch can stop at
+    /// `boundary` (≥ `elapsed`) with `remaining` service still owed — or
+    /// `None` when no boundary is left before the batch finishes (not
+    /// worth preempting). `scale` must match the link pricing the batch
+    /// was dispatched under. Lazily memoized by `(shape, elapsed, scale)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape was not warmed or `device` is out of range.
+    pub fn checkpoint(
+        &self,
+        tenant: usize,
+        width: u32,
+        device: u32,
+        elapsed: SimTime,
+        scale: Option<LinkScale>,
+    ) -> Option<(SimTime, SimTime)> {
+        let slot = self.model_of_device[device as usize];
+        let fingerprint = self.by_shape[&(tenant, width, slot)];
+        let key = (fingerprint, slot, elapsed.as_picos(), scale);
+        if let Some(&hit) = self.lazy.borrow().checkpoints.get(&key) {
+            return hit;
+        }
+        let total = match scale {
+            Some(s) => self.degraded_total(fingerprint, slot, s),
+            None => self.times[&(fingerprint, slot)],
+        };
+        let pipeline = Arc::clone(&self.pipelines[&fingerprint]);
+        let mut lazy = self.lazy.borrow_mut();
+        lazy.session.set_link_scale(scale);
+        let outcome = lazy
+            .session
+            .run_until(&pipeline, elapsed)
+            .expect("warmed pipeline deadlocked during checkpoint probe");
+        lazy.session.set_link_scale(None);
+        let result = match outcome {
+            RunOutcome::Complete(_) => None,
+            RunOutcome::Aborted(residue) => Some((residue.aborted_at, residue.remaining(total))),
+        };
+        lazy.checkpoints.insert(key, result);
+        result
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::ArrivalModel;
+    use crate::workload::{ArrivalModel, TenantClass};
     use crate::zoo::ModelKind;
     use cusync_sim::GpuConfig;
 
@@ -181,6 +295,8 @@ mod tests {
             slo: SimTime::from_millis(1),
             queue_cap: 16,
             weight: 1,
+            class: TenantClass::Throughput,
+            retry: None,
         }
     }
 
@@ -229,5 +345,55 @@ mod tests {
                 second.service_time(0, width, 0)
             );
         }
+    }
+
+    #[test]
+    fn degraded_pricing_moves_remote_models_only() {
+        let cluster = ClusterConfig::single(GpuConfig::toy(4));
+        let mut remote = toy_tenant("remote", 3);
+        remote.model = ModelKind::ToyRemote {
+            blocks: 3,
+            compute_cycles: 200_000,
+            payload: 1 << 20,
+        };
+        let tenants = [toy_tenant("local", 3), remote];
+        let pool = ServicePool::build(&cluster, &tenants, 1);
+        let scale = LinkScale::times(8);
+        assert_eq!(
+            pool.degraded_service_time(0, 1, 0, scale),
+            pool.service_time(0, 1, 0),
+            "compute-only pipelines ignore the link"
+        );
+        assert!(
+            pool.degraded_service_time(1, 1, 0, scale) > pool.service_time(1, 1, 0),
+            "remote pipelines pay the scaled wire time"
+        );
+        // Memoized lookups return the same value.
+        assert_eq!(
+            pool.degraded_service_time(1, 1, 0, scale),
+            pool.degraded_service_time(1, 1, 0, scale)
+        );
+    }
+
+    #[test]
+    fn checkpoint_finds_a_kernel_boundary_with_conserved_remaining() {
+        let cluster = ClusterConfig::single(GpuConfig::toy(4));
+        let tenants = [toy_tenant("a", 4)];
+        let pool = ServicePool::build(&cluster, &tenants, 1);
+        let total = pool.service_time(0, 1, 0);
+        // Preempt almost immediately: the boundary is the producer
+        // kernel's completion, strictly inside the run.
+        let (boundary, remaining) = pool
+            .checkpoint(0, 1, 0, SimTime::from_picos(1), None)
+            .expect("a two-kernel pipeline has an interior boundary");
+        assert!(boundary > SimTime::ZERO && boundary < total);
+        assert_eq!(boundary + remaining, total, "checkpoint conserves service");
+        // Asking past the end: nothing left to preempt.
+        assert_eq!(pool.checkpoint(0, 1, 0, total, None), None);
+        // Deterministic under memoization.
+        assert_eq!(
+            pool.checkpoint(0, 1, 0, SimTime::from_picos(1), None),
+            Some((boundary, remaining))
+        );
     }
 }

@@ -98,6 +98,38 @@ impl fmt::Display for BatchPolicy {
     }
 }
 
+/// Cross-tenant preemption: when configured and no device is free, a
+/// ready [`Latency`](crate::TenantClass::Latency) tenant checkpoints the
+/// running [`Throughput`](crate::TenantClass::Throughput) batch with the
+/// most service remaining at its **next kernel boundary** (the simulator
+/// reports the boundary via `Session::run_until`), takes the device, and
+/// the victim's remainder is requeued as a resumable residue.
+///
+/// Resuming a residue pays `overhead` of extra device time (checkpoint
+/// restore: re-loading activations and semaphore state), accounted in
+/// [`TenantMetrics::preempt_overhead`](crate::TenantMetrics). While
+/// preemption is on, ready latency-class tenants also take absolute
+/// priority over throughput-class tenants at dispatch, whatever the
+/// [`RequestSched`] — preemption would be self-defeating otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptPolicy {
+    /// Extra device time paid each time a checkpointed residue resumes.
+    pub overhead: SimTime,
+}
+
+impl PreemptPolicy {
+    /// Preemption with the given resume overhead.
+    pub fn new(overhead: SimTime) -> Self {
+        PreemptPolicy { overhead }
+    }
+}
+
+impl fmt::Display for PreemptPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "preempt+{}", self.overhead)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

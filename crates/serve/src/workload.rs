@@ -1,18 +1,24 @@
 //! Deterministic virtual-clock workload generation: per-tenant arrival
-//! models, rates and SLOs.
+//! models (Poisson, closed-loop, recorded/synthesized traces), rates,
+//! SLOs, service classes and retry policies.
 //!
 //! All randomness comes from [`splitmix64`](cusync_sim::splitmix64)
 //! streams keyed by `(workload seed, tenant index, client index)`, so a
 //! tenant's arrival sequence is a pure function of the spec — independent
 //! of how the dispatcher interleaves events, and bit-identical across
-//! runs of the same seed.
+//! runs of the same seed. Trace replay goes further: the arrival instants
+//! are fixed up front ([`ArrivalTrace`]), either parsed from a small TSV
+//! format or synthesized from a seeded shape ([`TraceShape`]) so CI needs
+//! no data files.
+
+use std::sync::Arc;
 
 use cusync_sim::{splitmix64, SimTime};
 
 use crate::zoo::ModelKind;
 
 /// How a tenant offers load.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalModel {
     /// Open loop: requests arrive in a Poisson process at `rate_rps`
     /// requests per second of virtual time, regardless of how the server
@@ -32,6 +38,264 @@ pub enum ArrivalModel {
         /// Mean think time between response and next request.
         think: SimTime,
     },
+    /// Trace replay: requests arrive at exactly the trace's recorded
+    /// instants — the adversarial-arrival regime (bursts, diurnal swings,
+    /// heavy tails) that seeded Poisson synthetics cannot produce. Replay
+    /// is open-loop: arrivals ignore server state, and instants past the
+    /// workload horizon are dropped.
+    Trace(ArrivalTrace),
+}
+
+/// Service class of a tenant — the axis cross-tenant preemption keys on
+/// (see [`PreemptPolicy`](crate::PreemptPolicy)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantClass {
+    /// Latency-sensitive: when a preemption policy is configured and no
+    /// device is free, a ready latency tenant may checkpoint a running
+    /// [`TenantClass::Throughput`] batch at its next kernel boundary.
+    Latency,
+    /// Throughput-oriented: its running batches are preemption victims;
+    /// the checkpointed remainder is requeued and resumed later at a
+    /// bounded overhead.
+    Throughput,
+}
+
+/// Seeded exponential retry-with-backoff for rejected requests.
+///
+/// A rejected arrival is re-offered after an exponentially distributed
+/// backoff whose mean doubles per attempt (`base`, `2·base`, `4·base`,
+/// …). Every re-offer counts as a fresh `offered` (and `admitted` or
+/// `rejected`) event so conservation stays exact, and is additionally
+/// counted in [`TenantMetrics::retries`](crate::TenantMetrics) — without
+/// this, rejected closed-loop requests would silently vanish from the
+/// client loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Mean of the first retry's exponential backoff draw.
+    pub base: SimTime,
+    /// Retries allowed after the initial submission (0 disables).
+    pub max_retries: u32,
+}
+
+/// The synthesized trace families of the chaos harness; see
+/// [`ArrivalTrace::synthesize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceShape {
+    /// On/off bursts: a square wave alternating `burst_rps` (for `duty`
+    /// of each `period`) with a `base_rps` trough.
+    Bursty {
+        /// Trough arrival rate, requests per virtual second.
+        base_rps: f64,
+        /// Burst arrival rate.
+        burst_rps: f64,
+        /// Burst cycle length.
+        period: SimTime,
+        /// Fraction of each period spent bursting, in `(0, 1)`.
+        duty: f64,
+    },
+    /// A smooth sinusoidal swing between `trough_rps` and `peak_rps`
+    /// over `period` (one simulated "day"), sampled by Lewis thinning.
+    Diurnal {
+        /// Minimum arrival rate.
+        trough_rps: f64,
+        /// Maximum arrival rate.
+        peak_rps: f64,
+        /// Swing period.
+        period: SimTime,
+    },
+    /// Heavy-tailed inter-arrival gaps: Pareto with shape `alpha > 1`,
+    /// scaled so the mean rate is `rate_rps` — long quiet stretches
+    /// punctuated by dense arrival clumps.
+    Pareto {
+        /// Mean arrival rate, requests per virtual second.
+        rate_rps: f64,
+        /// Pareto tail index (must exceed 1 for a finite mean).
+        alpha: f64,
+    },
+}
+
+/// A fixed, sorted sequence of arrival instants for [`ArrivalModel::Trace`].
+///
+/// Cheap to clone (the instants are `Arc`-shared) and value-comparable.
+/// Obtain one by [`ArrivalTrace::parse_tsv`] (recorded traces) or
+/// [`ArrivalTrace::synthesize`] (seeded shapes, so CI needs no data
+/// files).
+///
+/// ## TSV format
+///
+/// One arrival per line: column 1 is the arrival instant in integer
+/// picoseconds of virtual time, optional column 2 a repeat count
+/// (simultaneous arrivals). Blank lines and `#` comments are ignored.
+///
+/// ```text
+/// # arrival_ps  count
+/// 1000000
+/// 2500000\t3
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    instants: Arc<Vec<SimTime>>,
+}
+
+impl ArrivalTrace {
+    /// A trace from explicit instants (sorted internally).
+    pub fn new(mut instants: Vec<SimTime>) -> Self {
+        instants.sort();
+        ArrivalTrace {
+            instants: Arc::new(instants),
+        }
+    }
+
+    /// The sorted arrival instants.
+    pub fn instants(&self) -> &[SimTime] {
+        &self.instants
+    }
+
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.instants.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instants.is_empty()
+    }
+
+    /// Parses the TSV format described on [`ArrivalTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse_tsv(text: &str) -> Result<Self, String> {
+        let mut instants = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split('\t').map(str::trim);
+            let ps: u64 = cols
+                .next()
+                .unwrap_or_default()
+                .parse()
+                .map_err(|e| format!("line {}: bad arrival_ps ({e})", lineno + 1))?;
+            let count: u64 = match cols.next() {
+                None | Some("") => 1,
+                Some(c) => c
+                    .parse()
+                    .map_err(|e| format!("line {}: bad count ({e})", lineno + 1))?,
+            };
+            for _ in 0..count {
+                instants.push(SimTime::from_picos(ps));
+            }
+        }
+        Ok(ArrivalTrace::new(instants))
+    }
+
+    /// Renders the trace in the TSV format described on [`ArrivalTrace`]
+    /// (simultaneous arrivals collapse into a count column), such that
+    /// `parse_tsv(to_tsv())` round-trips exactly.
+    pub fn to_tsv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("# arrival_ps\tcount\n");
+        let mut i = 0;
+        while i < self.instants.len() {
+            let ps = self.instants[i].as_picos();
+            let mut count = 1;
+            while i + count < self.instants.len() && self.instants[i + count].as_picos() == ps {
+                count += 1;
+            }
+            if count == 1 {
+                let _ = writeln!(out, "{ps}");
+            } else {
+                let _ = writeln!(out, "{ps}\t{count}");
+            }
+            i += count;
+        }
+        out
+    }
+
+    /// Synthesizes a seeded trace of the given shape over `[0, horizon]`.
+    /// Pure in `(shape, horizon, seed)`: CI replays the exact same
+    /// adversarial arrivals without shipping data files.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates, a `duty` outside `(0, 1)`, a
+    /// zero-length period, or a Pareto `alpha ≤ 1` (infinite mean).
+    pub fn synthesize(shape: TraceShape, horizon: SimTime, seed: u64) -> Self {
+        // A dedicated key-space corner so trace draws never collide with
+        // the dispatcher's per-client streams.
+        let mut rng = Rng::for_client(seed, 0x7ace, 0x7ace_7ace);
+        // Every gap advances at least 1 ps so synthesis always terminates.
+        let floor = SimTime::from_picos(1);
+        let mut t = SimTime::ZERO;
+        let mut out = Vec::new();
+        match shape {
+            TraceShape::Bursty {
+                base_rps,
+                burst_rps,
+                period,
+                duty,
+            } => {
+                assert!(base_rps > 0.0 && burst_rps > 0.0, "rates must be positive");
+                assert!(period > SimTime::ZERO, "period must be positive");
+                assert!(0.0 < duty && duty < 1.0, "duty must be in (0, 1)");
+                loop {
+                    let phase = t.as_picos() % period.as_picos();
+                    let bursting = (phase as f64) < duty * period.as_picos() as f64;
+                    let rate = if bursting { burst_rps } else { base_rps };
+                    t += rng.poisson_gap(rate).max(floor);
+                    if t > horizon {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+            TraceShape::Diurnal {
+                trough_rps,
+                peak_rps,
+                period,
+            } => {
+                assert!(trough_rps > 0.0, "trough rate must be positive");
+                assert!(peak_rps >= trough_rps, "peak must be at least the trough");
+                assert!(period > SimTime::ZERO, "period must be positive");
+                // Lewis thinning: candidates at the peak rate, accepted
+                // with probability rate(t)/peak.
+                loop {
+                    t += rng.poisson_gap(peak_rps).max(floor);
+                    if t > horizon {
+                        break;
+                    }
+                    let phase =
+                        (t.as_picos() % period.as_picos()) as f64 / period.as_picos() as f64;
+                    let rate = trough_rps
+                        + (peak_rps - trough_rps)
+                            * 0.5
+                            * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+                    if rng.next_unit() <= rate / peak_rps {
+                        out.push(t);
+                    }
+                }
+            }
+            TraceShape::Pareto { rate_rps, alpha } => {
+                assert!(rate_rps > 0.0, "rate must be positive");
+                assert!(alpha > 1.0, "Pareto alpha must exceed 1 for a finite mean");
+                // Scale x_m so the mean gap alpha·x_m/(alpha-1) is 1/rate.
+                let xm_secs = (alpha - 1.0) / (alpha * rate_rps);
+                loop {
+                    let gap_secs = xm_secs * rng.next_unit().powf(-1.0 / alpha);
+                    let gap = SimTime::from_picos((gap_secs * 1e12).round() as u64);
+                    t += gap.max(floor);
+                    if t > horizon {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+        }
+        ArrivalTrace::new(out)
+    }
 }
 
 /// One tenant of the serving simulation.
@@ -50,6 +314,11 @@ pub struct TenantSpec {
     pub queue_cap: usize,
     /// Weight under the weighted-fair scheduler (higher = larger share).
     pub weight: u32,
+    /// Service class; decides preemption roles when a
+    /// [`PreemptPolicy`](crate::PreemptPolicy) is configured.
+    pub class: TenantClass,
+    /// Optional retry-with-backoff for rejected arrivals.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// A complete workload: tenants, horizon and seed.
@@ -148,5 +417,89 @@ mod tests {
         // 10k rps -> 100us mean gap.
         let avg_us = total.as_micros() / n as f64;
         assert!((avg_us - 100.0).abs() < 10.0, "{avg_us}");
+    }
+
+    #[test]
+    fn trace_tsv_round_trips_exactly() {
+        let trace = ArrivalTrace::new(vec![
+            SimTime::from_picos(5),
+            SimTime::from_picos(1),
+            SimTime::from_picos(5),
+            SimTime::from_picos(5),
+            SimTime::from_picos(9),
+        ]);
+        // new() sorts.
+        assert_eq!(trace.instants()[0], SimTime::from_picos(1));
+        let parsed = ArrivalTrace::parse_tsv(&trace.to_tsv()).unwrap();
+        assert_eq!(parsed, trace);
+        // Comments, blanks and explicit counts parse.
+        let hand = "# header\n\n10\t2\n 7 \n";
+        let t = ArrivalTrace::parse_tsv(hand).unwrap();
+        assert_eq!(
+            t.instants(),
+            &[
+                SimTime::from_picos(7),
+                SimTime::from_picos(10),
+                SimTime::from_picos(10)
+            ]
+        );
+        assert!(ArrivalTrace::parse_tsv("not-a-number").is_err());
+    }
+
+    #[test]
+    fn synthesized_traces_are_seeded_sorted_and_shaped() {
+        let horizon = SimTime::from_millis(50);
+        for shape in [
+            TraceShape::Bursty {
+                base_rps: 2_000.0,
+                burst_rps: 40_000.0,
+                period: SimTime::from_millis(10),
+                duty: 0.2,
+            },
+            TraceShape::Diurnal {
+                trough_rps: 2_000.0,
+                peak_rps: 30_000.0,
+                period: SimTime::from_millis(25),
+            },
+            TraceShape::Pareto {
+                rate_rps: 10_000.0,
+                alpha: 1.5,
+            },
+        ] {
+            let a = ArrivalTrace::synthesize(shape, horizon, 11);
+            let b = ArrivalTrace::synthesize(shape, horizon, 11);
+            assert_eq!(a, b, "per-seed determinism for {shape:?}");
+            assert_ne!(a, ArrivalTrace::synthesize(shape, horizon, 12));
+            assert!(!a.is_empty(), "{shape:?} produced no arrivals");
+            assert!(a.instants().windows(2).all(|w| w[0] <= w[1]));
+            assert!(*a.instants().last().unwrap() <= horizon);
+        }
+    }
+
+    #[test]
+    fn bursty_trace_is_actually_bursty() {
+        let period = SimTime::from_millis(10);
+        let trace = ArrivalTrace::synthesize(
+            TraceShape::Bursty {
+                base_rps: 1_000.0,
+                burst_rps: 50_000.0,
+                period,
+                duty: 0.2,
+            },
+            SimTime::from_millis(100),
+            5,
+        );
+        let duty_ps = (0.2 * period.as_picos() as f64) as u64;
+        let in_burst = trace
+            .instants()
+            .iter()
+            .filter(|t| t.as_picos() % period.as_picos() < duty_ps)
+            .count();
+        // 20% of the time carries ~92% of the arrivals at these rates.
+        assert!(
+            in_burst * 2 > trace.len(),
+            "only {in_burst}/{} arrivals in the burst window",
+            trace.len()
+        );
     }
 }

@@ -51,6 +51,19 @@ pub enum ModelKind {
         /// Simulated compute per block, SM cycles.
         compute_cycles: u64,
     },
+    /// [`ModelKind::Toy`] whose producer additionally pushes `payload`
+    /// bytes per block over the inter-device link before posting — the
+    /// communication-heavy tenant whose service time moves under
+    /// link degradation ([`LinkScale`](cusync_sim::LinkScale)), while
+    /// pure-compute tenants are untouched.
+    ToyRemote {
+        /// Producer grid blocks per width unit.
+        blocks: u32,
+        /// Simulated compute per block, SM cycles.
+        compute_cycles: u64,
+        /// Bytes each producer block sends over the link.
+        payload: u64,
+    },
 }
 
 impl ModelKind {
@@ -104,36 +117,45 @@ impl ModelKind {
             ModelKind::Toy {
                 blocks,
                 compute_cycles,
-            } => {
-                let mut built = Gpu::new(gpu.clone());
-                let sem = built.alloc_sems("ready", 1, 0);
-                let s1 = built.create_stream(0);
-                let s2 = built.create_stream(0);
-                let grid = Dim3::linear(blocks * width);
-                built.launch(
-                    s1,
-                    Arc::new(FixedKernel::new(
-                        "produce",
-                        grid,
-                        1,
-                        vec![Op::compute(compute_cycles), Op::Fence, Op::post(sem, 0)],
-                    )),
-                );
-                built.launch(
-                    s2,
-                    Arc::new(FixedKernel::new(
-                        "consume",
-                        grid,
-                        1,
-                        vec![
-                            Op::wait(sem, 0, grid.count() as u32),
-                            Op::compute(compute_cycles / 2),
-                        ],
-                    )),
-                );
-                built.compile().expect("freshly built toy pipeline")
-            }
+            } => Self::build_toy(gpu, blocks * width, compute_cycles, None),
+            ModelKind::ToyRemote {
+                blocks,
+                compute_cycles,
+                payload,
+            } => Self::build_toy(gpu, blocks * width, compute_cycles, Some(payload)),
         }
+    }
+
+    fn build_toy(
+        gpu: &GpuConfig,
+        blocks: u32,
+        compute_cycles: u64,
+        payload: Option<u64>,
+    ) -> CompiledPipeline {
+        let mut built = Gpu::new(gpu.clone());
+        let sem = built.alloc_sems("ready", 1, 0);
+        let s1 = built.create_stream(0);
+        let s2 = built.create_stream(0);
+        let grid = Dim3::linear(blocks);
+        let mut produce = vec![Op::compute(compute_cycles)];
+        if let Some(bytes) = payload {
+            produce.push(Op::link_send(bytes));
+        }
+        produce.extend([Op::Fence, Op::post(sem, 0)]);
+        built.launch(s1, Arc::new(FixedKernel::new("produce", grid, 1, produce)));
+        built.launch(
+            s2,
+            Arc::new(FixedKernel::new(
+                "consume",
+                grid,
+                1,
+                vec![
+                    Op::wait(sem, 0, grid.count() as u32),
+                    Op::compute(compute_cycles / 2),
+                ],
+            )),
+        );
+        built.compile().expect("freshly built toy pipeline")
     }
 }
 
@@ -149,6 +171,11 @@ impl fmt::Display for ModelKind {
                 blocks,
                 compute_cycles,
             } => write!(f, "toy-b{blocks}-c{compute_cycles}"),
+            ModelKind::ToyRemote {
+                blocks,
+                compute_cycles,
+                payload,
+            } => write!(f, "toy-remote-b{blocks}-c{compute_cycles}-p{payload}"),
         }
     }
 }
@@ -189,6 +216,33 @@ mod tests {
             kind.compile(&gpu, 1).fingerprint(),
             kind.compile(&gpu, 2).fingerprint()
         );
+    }
+
+    #[test]
+    fn toy_remote_pays_wire_time_and_scales_with_the_link() {
+        use cusync_sim::LinkScale;
+        let gpu = GpuConfig::toy(4);
+        let local = ModelKind::Toy {
+            blocks: 4,
+            compute_cycles: 100_000,
+        }
+        .compile(&gpu, 1);
+        let remote = ModelKind::ToyRemote {
+            blocks: 4,
+            compute_cycles: 100_000,
+            payload: 1 << 20,
+        }
+        .compile(&gpu, 1);
+        let mut session = Session::new();
+        let healthy_local = session.run(&local).unwrap().total;
+        let healthy_remote = session.run(&remote).unwrap().total;
+        assert!(healthy_remote > healthy_local, "payload pays wire time");
+        session.set_link_scale(Some(LinkScale::times(8)));
+        let degraded_remote = session.run(&remote).unwrap().total;
+        let degraded_local = session.run(&local).unwrap().total;
+        session.set_link_scale(None);
+        assert!(degraded_remote > healthy_remote, "degradation slows sends");
+        assert_eq!(degraded_local, healthy_local, "compute-only is untouched");
     }
 
     #[test]

@@ -426,6 +426,13 @@ pub enum SimError {
     /// message; the worker survives (it replaces its possibly-poisoned
     /// session) and keeps serving subsequent submissions.
     WorkerPanic(String),
+    /// A [`Runtime`](crate::Runtime) worker produced no result within the
+    /// deadline passed to [`Ticket::wait_deadline`](crate::Ticket) — the
+    /// worker died outside the panic path (e.g. the OS killed its thread)
+    /// or is wedged. Unlike [`SimError::RuntimeShutdown`] the submission
+    /// channel is still open, so a later wait may yet observe a result if
+    /// the worker recovers.
+    WorkerLost,
 }
 
 impl From<BuildError> for SimError {
@@ -448,6 +455,12 @@ impl fmt::Display for SimError {
             SimError::WorkerPanic(msg) => {
                 write!(f, "pipeline panicked on a runtime worker: {msg}")
             }
+            SimError::WorkerLost => {
+                write!(
+                    f,
+                    "runtime worker produced no result within the wait deadline"
+                )
+            }
         }
     }
 }
@@ -457,8 +470,115 @@ impl std::error::Error for SimError {
         match self {
             SimError::Build(e) => Some(e),
             SimError::Deadlock(report) => Some(report.as_ref()),
-            SimError::AlreadyRan | SimError::RuntimeShutdown | SimError::WorkerPanic(_) => None,
+            SimError::AlreadyRan
+            | SimError::RuntimeShutdown
+            | SimError::WorkerPanic(_)
+            | SimError::WorkerLost => None,
         }
+    }
+}
+
+/// A rational scale factor on simulated link wire time — the knob fault
+/// injection turns to model a degraded interconnect (flapping NVLink lane,
+/// congested PCIe switch). Applied to the [`Op::LinkSend`] wire-time term
+/// only: link latency (the post→observe edge) and every SM-side cost are
+/// untouched, so a degraded link slows collectives without perturbing the
+/// compute timeline. Exact integer arithmetic keeps scaled runs
+/// bit-identical across engine modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkScale {
+    /// Scale numerator.
+    pub num: u32,
+    /// Scale denominator (must be non-zero).
+    pub den: u32,
+}
+
+impl LinkScale {
+    /// The no-op scale (wire time unchanged).
+    pub const IDENTITY: LinkScale = LinkScale { num: 1, den: 1 };
+
+    /// An integer slowdown: `times(4)` makes every `LinkSend` pay 4× its
+    /// healthy wire time.
+    pub fn times(factor: u32) -> Self {
+        LinkScale {
+            num: factor,
+            den: 1,
+        }
+    }
+
+    /// An arbitrary rational scale `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn ratio(num: u32, den: u32) -> Self {
+        assert!(den != 0, "LinkScale denominator must be non-zero");
+        LinkScale { num, den }
+    }
+
+    /// Whether this scale leaves wire time unchanged.
+    pub fn is_identity(self) -> bool {
+        self.num == self.den
+    }
+
+    /// `t * num / den` in exact integer picoseconds.
+    pub fn apply(self, t: SimTime) -> SimTime {
+        SimTime::from_picos((t.as_picos() as u128 * self.num as u128 / self.den as u128) as u64)
+    }
+}
+
+/// Per-run execution knobs threaded from [`Session`](crate::Session) into
+/// the engine: the abort horizon of a checkpointed run and the link
+/// degradation scale. `Default` is a plain unbounded, healthy-link run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RunOptions {
+    /// Abort at the first kernel-completion boundary at or after this
+    /// virtual instant (see [`RunOutcome::Aborted`]).
+    pub(crate) abort_at: Option<SimTime>,
+    /// Scale every [`Op::LinkSend`] wire time by this factor.
+    pub(crate) link_scale: Option<LinkScale>,
+}
+
+/// Outcome of a horizon-bounded run
+/// ([`Session::run_until`](crate::Session::run_until)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Every kernel finished before a kernel boundary at or past the
+    /// horizon was reached; the run is indistinguishable from an
+    /// unbounded [`Session::run`](crate::Session::run).
+    Complete(RunReport),
+    /// The run was checkpointed: execution stopped at the first *kernel
+    /// boundary* (a kernel's last block completing) at or after the
+    /// horizon, leaving later kernels unfinished. The residue describes
+    /// the checkpoint so a dispatcher can requeue the remaining work.
+    Aborted(RunResidue),
+}
+
+/// A resumable checkpoint descriptor for a horizon-aborted run: where the
+/// engine stopped and how much of the pipeline had retired. The serving
+/// layer prices the requeued remainder as `full_duration - aborted_at`
+/// plus its preemption overhead (see `crates/serve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResidue {
+    /// The kernel boundary the run was checkpointed at (the first kernel
+    /// completion at or after the requested horizon). Identical in both
+    /// engine modes.
+    pub aborted_at: SimTime,
+    /// Kernels fully retired at the checkpoint.
+    pub kernels_done: usize,
+    /// Total kernels in the pipeline.
+    pub kernels_total: usize,
+    /// Thread blocks fully retired at the checkpoint.
+    pub blocks_done: u64,
+    /// Total thread blocks in the pipeline.
+    pub blocks_total: u64,
+}
+
+impl RunResidue {
+    /// Virtual time still owed by the checkpointed work, given the
+    /// pipeline's unbounded-run duration `total`.
+    pub fn remaining(&self, total: SimTime) -> SimTime {
+        total.saturating_sub(self.aborted_at)
     }
 }
 
@@ -947,12 +1067,32 @@ pub(crate) fn execute(
     sched: &dyn SchedPolicy,
     st: &mut RunState,
 ) -> Result<RunReport, SimError> {
+    match execute_with(desc, progs, mode, sched, st, RunOptions::default())? {
+        RunOutcome::Complete(report) => Ok(report),
+        RunOutcome::Aborted(_) => unreachable!("no abort horizon was requested"),
+    }
+}
+
+/// [`execute`] with per-run [`RunOptions`]: the abort-horizon and
+/// link-degradation entry point [`Session::run_until`](crate::Session) and
+/// fault injection drive.
+pub(crate) fn execute_with(
+    desc: &PipelineDesc,
+    progs: &Programs,
+    mode: EngineMode,
+    sched: &dyn SchedPolicy,
+    st: &mut RunState,
+    opts: RunOptions,
+) -> Result<RunOutcome, SimError> {
     let mut ex = Exec {
         desc,
         progs,
         mode,
         sched,
         launch_order: sched.is_launch_order(),
+        abort_at: opts.abort_at,
+        link_scale: opts.link_scale.filter(|s| !s.is_identity()),
+        abort_flag: false,
         st,
     };
     ex.run_all()
@@ -970,11 +1110,21 @@ struct Exec<'a> {
     /// Cached `sched.is_launch_order()`: when true both engines keep their
     /// original (pre-policy) hot paths byte for byte.
     launch_order: bool,
+    /// Abort horizon: checkpoint at the first kernel boundary at or past
+    /// this instant (see [`RunOutcome::Aborted`]). `None` runs unbounded.
+    abort_at: Option<SimTime>,
+    /// Non-identity link degradation scale applied to `LinkSend` wire
+    /// time, or `None` for a healthy link.
+    link_scale: Option<LinkScale>,
+    /// Set by [`Exec::finish_block`] when a kernel boundary at or past
+    /// `abort_at` retires; both event loops stop at the end of that
+    /// timestamp batch.
+    abort_flag: bool,
     st: &'a mut RunState,
 }
 
 impl Exec<'_> {
-    fn run_all(&mut self) -> Result<RunReport, SimError> {
+    fn run_all(&mut self) -> Result<RunOutcome, SimError> {
         if self.mode == EngineMode::Optimized {
             for (sm, &free) in self.st.sm_free.iter().enumerate() {
                 let d = self.desc.device_of_sm[sm] as usize;
@@ -991,10 +1141,34 @@ impl Exec<'_> {
         let incomplete: Vec<usize> = (0..self.desc.kernels.len())
             .filter(|&k| self.st.kernels[k].completed < self.desc.kernels[k].total)
             .collect();
-        if !incomplete.is_empty() {
-            return Err(self.deadlock_error(&incomplete));
+        if incomplete.is_empty() {
+            // Even a horizon-bounded run that drained everything is a
+            // completion: the boundary that tripped the flag was the last
+            // kernel's, and there is nothing left to checkpoint.
+            return Ok(RunOutcome::Complete(self.report()));
         }
-        Ok(self.report())
+        if self.abort_flag {
+            return Ok(RunOutcome::Aborted(self.residue()));
+        }
+        Err(self.deadlock_error(&incomplete))
+    }
+
+    /// The checkpoint descriptor of an aborted run (see [`RunResidue`]).
+    fn residue(&self) -> RunResidue {
+        let kernels_done = self
+            .st
+            .kernels
+            .iter()
+            .zip(self.desc.kernels.iter())
+            .filter(|(kr, kd)| kr.completed == kd.total)
+            .count();
+        RunResidue {
+            aborted_at: self.st.now,
+            kernels_done,
+            kernels_total: self.desc.kernels.len(),
+            blocks_done: self.st.kernels.iter().map(|kr| kr.completed).sum(),
+            blocks_total: self.desc.kernels.iter().map(|kd| kd.total).sum(),
+        }
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
@@ -1056,6 +1230,12 @@ impl Exec<'_> {
                 self.st.events_handled += 1;
                 self.handle(event.kind);
             }
+            // A kernel boundary at or past the abort horizon checkpoints
+            // the run: the timestamp batch is drained (same-instant
+            // completions retire) but no further block issues.
+            if self.abort_flag {
+                break;
+            }
             self.try_issue_reference();
         }
     }
@@ -1080,6 +1260,11 @@ impl Exec<'_> {
                 let kind = self.take_fast_event(next_idx);
                 self.st.events_handled += 1;
                 self.handle(kind);
+            }
+            // Same checkpoint semantics as the reference loop: both modes
+            // stop at the identical kernel boundary.
+            if self.abort_flag {
+                break;
             }
             if self.st.issue_dirty {
                 self.try_issue_optimized();
@@ -1669,8 +1854,15 @@ impl Exec<'_> {
             Op::Syncthreads => Some(costs.syncthreads),
             Op::Fence => Some(costs.fence),
             // Link bandwidth is not an SM resource: pure wire time,
-            // unscaled by residency or jitter (see `ClusterConfig`).
-            Op::LinkSend { bytes } => Some(self.desc.cluster.link_wire_time(bytes)),
+            // unscaled by residency or jitter (see `ClusterConfig`), but
+            // subject to the run's link-degradation scale.
+            Op::LinkSend { bytes } => {
+                let wire = self.desc.cluster.link_wire_time(bytes);
+                Some(match self.link_scale {
+                    Some(scale) => scale.apply(wire),
+                    None => wire,
+                })
+            }
             Op::SemWait { .. } | Op::SemPost { .. } | Op::AtomicAdd { .. } => None,
         }
     }
@@ -1846,6 +2038,9 @@ impl Exec<'_> {
         kr.concurrent -= 1;
         if kr.completed == self.desc.kernels[k].total {
             kr.end = Some(self.st.now);
+            if self.abort_at.is_some_and(|h| self.st.now >= h) {
+                self.abort_flag = true;
+            }
             let stream = self.desc.kernels[k].stream;
             self.record(TraceEvent::KernelFinished {
                 kernel: KernelId(k),

@@ -31,7 +31,8 @@ use std::thread;
 use std::sync::OnceLock;
 
 use crate::engine::{
-    default_engine_mode, execute, EngineMode, Gpu, PipelineDesc, Programs, RunState, SimError,
+    default_engine_mode, execute_with, EngineMode, Gpu, LinkScale, PipelineDesc, Programs,
+    RunOptions, RunOutcome, RunState, SimError,
 };
 use crate::mem::GlobalMemory;
 use crate::sched::SchedPolicyRef;
@@ -254,6 +255,11 @@ pub struct Session {
     /// be explored under many schedules without recompiling (see
     /// [`crate::explore`]).
     sched: Option<SchedPolicyRef>,
+    /// Per-session link degradation: while set, every run scales its
+    /// [`Op::LinkSend`](crate::Op) wire time by this factor — the fault
+    /// injection hook for a degraded interconnect, applied without
+    /// recompiling the pipeline.
+    link_scale: Option<LinkScale>,
 }
 
 impl fmt::Debug for Session {
@@ -286,6 +292,7 @@ impl Session {
             st: RunState::new(),
             trace_enabled: false,
             sched: None,
+            link_scale: None,
         }
     }
 
@@ -305,6 +312,20 @@ impl Session {
     /// The current scheduling override, if any.
     pub fn sched(&self) -> Option<&SchedPolicyRef> {
         self.sched.as_ref()
+    }
+
+    /// Sets (or with `None`, clears) this session's link degradation
+    /// scale. While set, every run prices [`Op::LinkSend`](crate::Op)
+    /// wire time at `scale × healthy` — the interconnect half of the
+    /// fault-injection story (`crates/serve`). Identical in both engine
+    /// modes; no recompilation.
+    pub fn set_link_scale(&mut self, scale: Option<LinkScale>) {
+        self.link_scale = scale;
+    }
+
+    /// The current link degradation scale, if any.
+    pub fn link_scale(&self) -> Option<LinkScale> {
+        self.link_scale
     }
 
     /// Records scheduling events for inspection by [`Session::trace`].
@@ -340,6 +361,43 @@ impl Session {
     /// Returns [`SimError::Deadlock`] if execution stalls with incomplete
     /// kernels (the session remains usable afterwards).
     pub fn run(&mut self, pipeline: &CompiledPipeline) -> Result<RunReport, SimError> {
+        match self.run_with(pipeline, None)? {
+            RunOutcome::Complete(report) => Ok(report),
+            RunOutcome::Aborted(_) => unreachable!("unbounded run cannot abort"),
+        }
+    }
+
+    /// Executes `pipeline` with an **abort horizon**: the engine runs
+    /// normally until the first *kernel boundary* (a kernel's final block
+    /// retiring) at or after `horizon`, then checkpoints — same-instant
+    /// completions drain, nothing further issues — and returns
+    /// [`RunOutcome::Aborted`] describing the residue. A pipeline that
+    /// drains entirely first returns [`RunOutcome::Complete`] with a
+    /// report bit-identical to a plain [`Session::run`].
+    ///
+    /// This is the preemption hook of the serving layer: a dispatcher
+    /// evicting a running batch stops it at the next kernel boundary and
+    /// requeues the remainder (`crates/serve`). Checkpoints land on the
+    /// identical boundary in both [`EngineMode`]s, and the session stays
+    /// fully usable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if execution stalls before any
+    /// boundary at or past the horizon is reached.
+    pub fn run_until(
+        &mut self,
+        pipeline: &CompiledPipeline,
+        horizon: crate::SimTime,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_with(pipeline, Some(horizon))
+    }
+
+    fn run_with(
+        &mut self,
+        pipeline: &CompiledPipeline,
+        abort_at: Option<crate::SimTime>,
+    ) -> Result<RunOutcome, SimError> {
         self.st.reset(&pipeline.desc);
         self.st.reset_storage(&pipeline.mem, &pipeline.sems);
         self.st.trace_enabled = self.trace_enabled;
@@ -357,12 +415,16 @@ impl Session {
             .clone()
             .or_else(|| pipeline.sched.clone())
             .unwrap_or_else(|| pipeline.desc.cluster.effective_sched().instantiate());
-        execute(
+        execute_with(
             &pipeline.desc,
             programs,
             self.mode,
             sched.as_ref(),
             &mut self.st,
+            RunOptions {
+                abort_at,
+                link_scale: self.link_scale,
+            },
         )
     }
 }
@@ -421,6 +483,29 @@ impl Ticket {
     /// if the worker pool disappeared before completing the run.
     pub fn wait(self) -> Result<RunReport, SimError> {
         self.rx.recv().unwrap_or(Err(SimError::RuntimeShutdown))
+    }
+
+    /// Like [`Ticket::wait`], but bounded: blocks at most `deadline` of
+    /// wall-clock time. A worker that died *outside* the panic path (the
+    /// OS killed its thread, or it is wedged in a runaway pipeline) never
+    /// sends a reply and never drops its channel — a plain
+    /// [`Ticket::wait`] on such a submission hangs forever. This variant
+    /// surfaces that as [`SimError::WorkerLost`] instead.
+    ///
+    /// The ticket stays valid after a timeout: a later wait still
+    /// observes the result if the worker was merely slow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the run's [`SimError`]; [`SimError::WorkerLost`] if no
+    /// result arrived within `deadline`; [`SimError::RuntimeShutdown`] if
+    /// the worker pool disappeared before completing the run.
+    pub fn wait_deadline(&self, deadline: std::time::Duration) -> Result<RunReport, SimError> {
+        match self.rx.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(SimError::WorkerLost),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(SimError::RuntimeShutdown),
+        }
     }
 }
 
@@ -803,6 +888,165 @@ mod tests {
         for r in results {
             assert_eq!(r.unwrap(), serial, "pooled runs must be deterministic");
         }
+    }
+
+    #[test]
+    fn run_until_past_completion_matches_plain_run() {
+        let pipeline = two_kernel_pipeline();
+        let mut session = Session::new();
+        let plain = session.run(&pipeline).unwrap();
+        // A horizon beyond the last kernel boundary never checkpoints.
+        match session
+            .run_until(&pipeline, plain.total + SimTime::from_nanos(1))
+            .unwrap()
+        {
+            RunOutcome::Complete(report) => assert_eq!(report, plain),
+            RunOutcome::Aborted(res) => panic!("unreachable horizon aborted at {}", res.aborted_at),
+        }
+        // A horizon *at* the final boundary also completes: nothing is
+        // left to checkpoint once every kernel retired.
+        match session.run_until(&pipeline, plain.total).unwrap() {
+            RunOutcome::Complete(report) => assert_eq!(report, plain),
+            RunOutcome::Aborted(res) => {
+                panic!("final-boundary horizon aborted at {}", res.aborted_at)
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_checkpoints_at_kernel_boundary_in_both_modes() {
+        let pipeline = two_kernel_pipeline();
+        let mut probe = Session::new();
+        let full = probe.run(&pipeline).unwrap();
+        let producer_end = full.kernel("producer").end;
+        assert!(producer_end < full.total);
+        // Aborting anywhere in (0, producer_end] must checkpoint exactly
+        // at the producer's boundary, identically in both engine modes.
+        let residue_in = |mode: EngineMode| {
+            let mut session = Session::with_mode(mode);
+            match session
+                .run_until(&pipeline, SimTime::from_picos(1))
+                .unwrap()
+            {
+                RunOutcome::Aborted(res) => {
+                    // The session survives a checkpointed run intact.
+                    assert_eq!(session.run(&pipeline).unwrap(), full);
+                    res
+                }
+                RunOutcome::Complete(_) => panic!("tiny horizon must checkpoint"),
+            }
+        };
+        let reference = residue_in(EngineMode::Reference);
+        let optimized = residue_in(EngineMode::Optimized);
+        assert_eq!(reference, optimized, "checkpoints must be bit-identical");
+        assert_eq!(reference.aborted_at, producer_end);
+        assert_eq!(reference.kernels_done, 1);
+        assert_eq!(reference.kernels_total, 2);
+        assert!(reference.blocks_done < reference.blocks_total);
+        assert_eq!(reference.remaining(full.total), full.total - producer_end);
+    }
+
+    #[test]
+    fn link_scale_degrades_wire_time_identically_in_both_modes() {
+        use crate::{ClusterConfig, LinkScale};
+        // Device 0 ships 1 MiB to device 1's consumer across the ring.
+        let build = || {
+            let mut gpu = Gpu::new_cluster(ClusterConfig::homogeneous(
+                2,
+                quiet_config(),
+                SimTime::from_nanos(500),
+                ClusterConfig::NVLINK_BYTES_PER_SEC,
+            ));
+            let ready = gpu.alloc_sems_on(1, "ready", 1, 0);
+            let s0 = gpu.create_stream_on(0, 0);
+            let s1 = gpu.create_stream_on(1, 0);
+            gpu.launch(
+                s0,
+                Arc::new(FixedKernel::new(
+                    "producer",
+                    Dim3::linear(1),
+                    1,
+                    vec![
+                        Op::compute(10_000),
+                        Op::LinkSend { bytes: 1 << 20 },
+                        Op::Fence,
+                        Op::post(ready, 0),
+                    ],
+                )),
+            );
+            gpu.launch(
+                s1,
+                Arc::new(FixedKernel::new(
+                    "consumer",
+                    Dim3::linear(1),
+                    1,
+                    vec![Op::wait(ready, 0, 1), Op::compute(10_000)],
+                )),
+            );
+            gpu.compile().unwrap()
+        };
+        let pipeline = build();
+        let total_at = |mode: EngineMode, scale: Option<LinkScale>| {
+            let mut session = Session::with_mode(mode);
+            session.set_link_scale(scale);
+            session.run(&pipeline).unwrap().total
+        };
+        let healthy = total_at(EngineMode::Reference, None);
+        let degraded = total_at(EngineMode::Reference, Some(LinkScale::times(8)));
+        assert!(
+            degraded > healthy,
+            "8x wire time must lengthen the timeline ({healthy} -> {degraded})"
+        );
+        // Identity scale is a no-op; both engine modes agree at any scale.
+        assert_eq!(
+            total_at(EngineMode::Reference, Some(LinkScale::IDENTITY)),
+            healthy
+        );
+        assert_eq!(total_at(EngineMode::Optimized, None), healthy);
+        assert_eq!(
+            total_at(EngineMode::Optimized, Some(LinkScale::times(8))),
+            degraded
+        );
+        // The exact 7x surcharge on the wire term: scaled = wire * 8.
+        let wire = pipeline.cluster().link_wire_time(1 << 20);
+        assert_eq!(degraded - healthy, SimTime::from_picos(wire.as_picos() * 7));
+        // Clearing the scale restores the healthy timeline.
+        let mut session = Session::new();
+        session.set_link_scale(Some(LinkScale::times(8)));
+        session.set_link_scale(None);
+        assert_eq!(session.run(&pipeline).unwrap().total, healthy);
+    }
+
+    #[test]
+    fn wait_deadline_surfaces_lost_and_shutdown_workers() {
+        use std::time::Duration;
+        // A worker that died outside the panic path: the reply sender is
+        // parked forever but never dropped. `wait` would hang; the
+        // deadline variant surfaces WorkerLost and the ticket survives.
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        assert_eq!(
+            ticket.wait_deadline(Duration::from_millis(10)).unwrap_err(),
+            SimError::WorkerLost
+        );
+        // The worker recovers and replies: the same ticket resolves.
+        let pipeline = two_kernel_pipeline();
+        let report = Session::new().run(&pipeline).unwrap();
+        tx.send(Ok(report.clone())).unwrap();
+        assert_eq!(
+            ticket.wait_deadline(Duration::from_millis(10)).unwrap(),
+            report
+        );
+        // A dropped channel is a shutdown, not a lost worker.
+        drop(tx);
+        assert_eq!(
+            ticket.wait_deadline(Duration::from_millis(10)).unwrap_err(),
+            SimError::RuntimeShutdown
+        );
+        // And on a live pool the deadline path returns normal results.
+        let runtime = Runtime::new(1);
+        let t = runtime.submit(Arc::new(two_kernel_pipeline()));
+        assert!(t.wait_deadline(Duration::from_secs(30)).is_ok());
     }
 
     #[test]

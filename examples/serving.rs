@@ -14,8 +14,8 @@
 use std::error::Error;
 
 use cusync_serve::{
-    ArrivalModel, BatchPolicy, ModelKind, RequestSched, ServeConfig, Server, TenantSpec,
-    WorkloadSpec,
+    ArrivalModel, BatchPolicy, ModelKind, RequestSched, ServeConfig, Server, TenantClass,
+    TenantSpec, WorkloadSpec,
 };
 use cusync_sim::{ClusterConfig, SimTime};
 
@@ -33,6 +33,8 @@ fn main() -> Result<(), Box<dyn Error>> {
                 slo: SimTime::from_millis(4),
                 queue_cap: 32,
                 weight: 3,
+                class: TenantClass::Latency,
+                retry: None,
             },
             TenantSpec {
                 name: "vision".into(),
@@ -44,6 +46,8 @@ fn main() -> Result<(), Box<dyn Error>> {
                 slo: SimTime::from_millis(8),
                 queue_cap: 16,
                 weight: 1,
+                class: TenantClass::Throughput,
+                retry: None,
             },
         ],
         horizon: SimTime::from_millis(100),
@@ -66,6 +70,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         sched: RequestSched::Edf,
         batch: BatchPolicy::new(4, SimTime::from_micros(250.0)),
         slo_admission: true,
+        preempt: None,
     });
     report.check().map_err(|e| format!("invariants: {e}"))?;
 

@@ -11,9 +11,11 @@
 //! completions under an impossible SLO, queue-cap backpressure).
 
 use cusync_serve::{
-    ArrivalModel, BatchPolicy, ModelKind, RequestSched, ServeConfig, Server, TenantSpec,
+    ArrivalModel, BatchPolicy, DeviceDrop, FaultPlan, LinkDegrade, ModelKind, PanicInjection,
+    PreemptPolicy, RequestSched, RetryPolicy, ServeConfig, Server, TenantClass, TenantSpec,
     WorkloadSpec,
 };
+use cusync_sim::LinkScale;
 use cusync_sim::{ClusterConfig, GpuConfig, SimTime};
 use proptest::prelude::*;
 
@@ -49,6 +51,19 @@ fn random_spec(seed: u64) -> WorkloadSpec {
                 slo: SimTime::from_micros(50.0 + draw(2_000) as f64),
                 queue_cap: 1 + draw(24) as usize,
                 weight: 1 + draw(4) as u32,
+                class: if draw(2) == 0 {
+                    TenantClass::Latency
+                } else {
+                    TenantClass::Throughput
+                },
+                retry: if draw(2) == 0 {
+                    Some(RetryPolicy {
+                        base: SimTime::from_micros(20.0 + draw(200) as f64),
+                        max_retries: draw(4) as u32,
+                    })
+                } else {
+                    None
+                },
             }
         })
         .collect();
@@ -77,6 +92,7 @@ fn config_for(sched: RequestSched, batching: u64) -> ServeConfig {
             _ => BatchPolicy::new(4, SimTime::from_micros(60.0)),
         },
         slo_admission: batching.is_multiple_of(2),
+        preempt: None,
     }
 }
 
@@ -122,6 +138,75 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: under ANY seed-keyed fault plan — device drops, worker
+    /// panics, link degradation — with retries and preemption in the
+    /// mix, conservation still holds exactly, stranding is typed and
+    /// only possible when the whole cluster died, and the same
+    /// (workload seed, chaos seed) replays bit-identically.
+    #[test]
+    fn any_fault_plan_conserves_and_replays_identically(
+        seed in 0u64..u64::MAX,
+        chaos_seed in 0u64..u64::MAX,
+        devices in 1u32..4,
+        preempt in 0u64..2,
+    ) {
+        let spec = random_spec(seed);
+        let horizon = spec.horizon;
+        let server = Server::new(spec, &toy_cluster(devices), 4);
+        let plan = FaultPlan::chaos(chaos_seed, devices as usize, horizon);
+        let mut config = config_for(RequestSched::ALL[(seed % 3) as usize], seed % 3);
+        if preempt == 1 {
+            config.preempt = Some(PreemptPolicy::new(SimTime::from_micros(5.0)));
+        }
+        let report = server.run_with_faults(&config, &plan);
+        if let Err(e) = report.check() {
+            panic!("seed {seed} chaos {chaos_seed}: {e}");
+        }
+        if report.faults.stranded > 0 {
+            prop_assert!(
+                report.faults.devices_lost >= devices as u64,
+                "stranding requires the whole cluster dead"
+            );
+        }
+        let again = server.run_with_faults(&config, &plan);
+        prop_assert_eq!(&report, &again);
+    }
+}
+
+/// Every fault class at once — a panic, then link degradation, then a
+/// device drop — under EDF with preemption enabled: the report stays
+/// conserved, typed, and bit-reproducible.
+#[test]
+fn kitchen_sink_fault_plan_stays_coherent() {
+    let spec = random_spec(0xC6A05);
+    let horizon = spec.horizon;
+    let server = Server::new(spec, &toy_cluster(2), 4);
+    let plan = FaultPlan {
+        drops: vec![DeviceDrop {
+            device: 1,
+            at: SimTime::from_picos(horizon.as_picos() / 2),
+        }],
+        panics: vec![PanicInjection {
+            device: 0,
+            at: SimTime::from_picos(horizon.as_picos() / 3),
+        }],
+        link: Some(LinkDegrade {
+            at: SimTime::from_picos(horizon.as_picos() / 4),
+            scale: LinkScale::times(4),
+        }),
+    };
+    let mut config = config_for(RequestSched::Edf, 1);
+    config.preempt = Some(PreemptPolicy::new(SimTime::from_micros(10.0)));
+    let report = server.run_with_faults(&config, &plan);
+    report.check().expect("kitchen-sink report");
+    assert_eq!(report.faults.devices_lost, 1);
+    assert!(report.faults.link_degraded);
+    assert_eq!(report, server.run_with_faults(&config, &plan));
+}
+
 /// An SLO shorter than the service time completes nothing *within* SLO
 /// under SLO-aware admission (everything is rejected at the door), yet
 /// conservation still holds.
@@ -138,6 +223,8 @@ fn hopeless_slo_rejects_everything_at_admission() {
             slo: SimTime::from_nanos(100),
             queue_cap: 8,
             weight: 1,
+            class: TenantClass::Throughput,
+            retry: None,
         }],
         horizon: SimTime::from_millis(5),
         seed: 99,
@@ -147,6 +234,7 @@ fn hopeless_slo_rejects_everything_at_admission() {
         sched: RequestSched::Fifo,
         batch: BatchPolicy::off(),
         slo_admission: true,
+        preempt: None,
     });
     report.check().expect("conservation under total rejection");
     let t = &report.tenants[0];
@@ -174,6 +262,8 @@ fn tiny_queue_backpressures() {
             slo: SimTime::from_millis(10),
             queue_cap: 1,
             weight: 1,
+            class: TenantClass::Throughput,
+            retry: None,
         }],
         horizon: SimTime::from_millis(10),
         seed: 7,
