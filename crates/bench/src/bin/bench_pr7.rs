@@ -1,0 +1,249 @@
+//! Benchmarks the device-sharded parallel engine (`ExecMode::Parallel`)
+//! against the serial optimized engine, and the intra-device hot-path
+//! shave (inline `BlockResume` heap payloads), writing `BENCH_PR7.json`.
+//!
+//! ```text
+//! bench_pr7 [--quick] [--seed N] [--out FILE]
+//! ```
+//!
+//! Three sweeps:
+//!
+//! - **Thread scaling × device count**: the tensor-parallel overlap layer
+//!   on 1/2/4 simulated GPUs, serial (`before`) vs device-sharded with a
+//!   1/2/4-thread budget (`parallel-tN`, best recorded as `after`). A
+//!   one-thread budget (and any single-device graph) falls back to the
+//!   serial engine by design — sharding without parallelism only adds
+//!   window overhead — so those cells report serial parity. On a 1-core
+//!   host the t2/t4 cells still run the sharded loop (threads contend
+//!   for one core) and honestly report its overhead rather than a
+//!   speedup; the `host` header records `available_parallelism` so
+//!   readers can tell which regime produced the artifact.
+//! - **Ring allreduce**: the bare collective on 4 devices, the
+//!   communication-dominated extreme of the same comparison.
+//! - **Resume-inline shave**: the single-device serial hot path with the
+//!   inline `BlockResume` encoding disabled (`before`) vs enabled
+//!   (`after`) — the satellite ns/event win, isolated from sharding.
+//!
+//! Every parallel cell is asserted bit-identical (kernel timelines,
+//! totals, utilization) to its serial twin before it is timed, so the
+//! artifact can never report a speedup obtained by drift.
+
+use std::time::{Duration, Instant};
+
+use cusync_bench::perf::{render_json, PerfEntry};
+use cusync_bench::sweep::SweepOutcome;
+use cusync_models::{
+    compile_mlp, compile_tp_layer, launch_ring_allreduce, tp_mlp, MlpModel, PolicyKind, SyncMode,
+    TpSchedule,
+};
+use cusync_sim::{
+    set_resume_inline, ClusterConfig, CompiledPipeline, EngineMode, ExecMode, Gpu, GpuConfig,
+    RunReport, Session, StreamId,
+};
+
+/// Runs `pipeline` `repeats` times on a warmed session with the given
+/// execution mode and requested thread budget; returns the best-of-three
+/// sweep wall time (minimum over three timed sweeps, to shed scheduler
+/// and frequency noise on shared hosts), total simulator events of one
+/// sweep, and the (per-run identical) report.
+fn time_runs(
+    pipeline: &CompiledPipeline,
+    exec: ExecMode,
+    threads: usize,
+    repeats: usize,
+) -> (Duration, u64, RunReport) {
+    let mut session = Session::with_mode(EngineMode::Optimized);
+    session.set_exec(Some(exec));
+    session.set_threads(threads);
+    let warm = session.run(pipeline).expect("warmup run");
+    session.run(pipeline).expect("warmup run");
+    let mut best: Option<Duration> = None;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        events = 0;
+        for _ in 0..repeats {
+            events += session.run(pipeline).expect("timed run").sim_events;
+        }
+        let wall = start.elapsed();
+        if best.map(|b| wall < b).unwrap_or(true) {
+            best = Some(wall);
+        }
+    }
+    (best.expect("three sweeps ran"), events, warm)
+}
+
+fn entry(
+    figure: &str,
+    phase: &str,
+    engine: &str,
+    threads: usize,
+    wall: Duration,
+    events: u64,
+    cells: usize,
+) -> PerfEntry {
+    let outcome = SweepOutcome {
+        rows: Vec::new(),
+        wall,
+        events,
+        cells,
+    };
+    PerfEntry::from_outcome(figure, phase, engine, threads, false, &outcome)
+}
+
+/// Asserts the timing-observable fields of a parallel run match the
+/// serial run bit-for-bit (`sim_events` excluded: the sharded engine
+/// counts remote deliveries differently).
+fn assert_identical(serial: &RunReport, parallel: &RunReport, what: &str) {
+    assert_eq!(serial.kernels, parallel.kernels, "{what}: kernel reports");
+    assert_eq!(serial.total, parallel.total, "{what}: total");
+    assert_eq!(serial.sem_posts, parallel.sem_posts, "{what}: sem posts");
+    assert_eq!(
+        serial.sm_utilization, parallel.sm_utilization,
+        "{what}: utilization"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_owned());
+    let repeats: usize = if quick { 3 } else { 12 };
+    let tokens: u32 = if quick { 128 } else { 256 };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("host available_parallelism = {host_threads}; repeats = {repeats}");
+
+    let mut entries: Vec<PerfEntry> = Vec::new();
+
+    // Thread scaling x device count on the TP overlap layer.
+    for devices in [1u32, 2, 4] {
+        let figure = format!("tp_overlap_d{devices}");
+        let cluster = ClusterConfig::dgx_v100(devices);
+        let pipeline = compile_tp_layer(&cluster, tp_mlp(4096, tokens), TpSchedule::Overlap);
+        let (wall, events, serial) = time_runs(&pipeline, ExecMode::Serial, 1, repeats);
+        entries.push(entry(&figure, "before", "serial", 1, wall, events, repeats));
+        let mut best: Option<PerfEntry> = None;
+        for threads in [1usize, 2, 4] {
+            let (wall, events, report) = time_runs(&pipeline, ExecMode::Parallel, threads, repeats);
+            assert_identical(&serial, &report, &format!("{figure} t{threads}"));
+            let e = entry(
+                &figure,
+                &format!("parallel-t{threads}"),
+                "parallel",
+                threads,
+                wall,
+                events,
+                repeats,
+            );
+            if best
+                .as_ref()
+                .map(|b| e.wall_seconds < b.wall_seconds)
+                .unwrap_or(true)
+            {
+                best = Some(e.clone());
+            }
+            entries.push(e);
+            eprintln!(
+                "{figure:<16} parallel t{threads}: {:>8.1} ns/event",
+                entries.last().unwrap().ns_per_event
+            );
+        }
+        let mut after = best.expect("one parallel cell per figure");
+        after.phase = "after".to_owned();
+        eprintln!(
+            "{figure:<16} serial {:>8.1} ns/event | best parallel {:>8.1} ns/event",
+            entries
+                .iter()
+                .find(|e| e.figure == figure && e.phase == "before")
+                .unwrap()
+                .ns_per_event,
+            after.ns_per_event
+        );
+        entries.push(after);
+    }
+
+    // The bare ring collective on 4 devices.
+    {
+        let figure = "allreduce_d4";
+        let mut gpu = Gpu::new_cluster(ClusterConfig::dgx_v100(4));
+        let streams: Vec<StreamId> = (0..4).map(|d| gpu.create_stream_on(d, 0)).collect();
+        launch_ring_allreduce(&mut gpu, "ar", 4 << 20, &streams);
+        let pipeline = gpu.compile().expect("unrun collective");
+        assert!(pipeline.shardable(), "collective waits are home-local");
+        let (wall, events, serial) = time_runs(&pipeline, ExecMode::Serial, 1, repeats);
+        entries.push(entry(figure, "before", "serial", 1, wall, events, repeats));
+        let threads = host_threads.clamp(1, 4);
+        let (wall, events, report) = time_runs(&pipeline, ExecMode::Parallel, threads, repeats);
+        assert_identical(&serial, &report, figure);
+        entries.push(entry(
+            figure, "after", "parallel", threads, wall, events, repeats,
+        ));
+    }
+
+    // The single-device serial hot path, inline-resume off vs on.
+    {
+        let figure = "resume_inline_1dev";
+        let gpu = GpuConfig::tesla_v100();
+        let pipeline = compile_mlp(
+            &gpu,
+            MlpModel::Gpt3,
+            if quick { 64 } else { 256 },
+            SyncMode::CuSync(PolicyKind::Tile, cusync::OptFlags::WRT),
+        );
+        // Interleave the off/on sweeps and keep each arm's minimum: the
+        // two arms differ by a few percent, which back-to-back blocks
+        // would confound with host frequency/scheduler drift.
+        let mut session = Session::with_mode(EngineMode::Optimized);
+        session.set_exec(Some(ExecMode::Serial));
+        let mut sweep = |inline: bool| -> (Duration, u64, RunReport) {
+            set_resume_inline(inline);
+            let warm = session.run(&pipeline).expect("warmup run");
+            let start = Instant::now();
+            let mut events = 0u64;
+            for _ in 0..repeats {
+                events += session.run(&pipeline).expect("timed run").sim_events;
+            }
+            (start.elapsed(), events, warm)
+        };
+        let (mut wall_off, mut events_off, plain) = sweep(false);
+        let (mut wall_on, mut events_on, inlined) = sweep(true);
+        assert_eq!(
+            plain, inlined,
+            "the inline resume encoding must not change the simulation"
+        );
+        for _ in 0..6 {
+            let (w, e, _) = sweep(false);
+            wall_off = wall_off.min(w);
+            events_off = e;
+            let (w, e, _) = sweep(true);
+            wall_on = wall_on.min(w);
+            events_on = e;
+        }
+        set_resume_inline(true);
+        entries.push(entry(
+            figure, "before", "serial", 1, wall_off, events_off, repeats,
+        ));
+        entries.push(entry(
+            figure, "after", "serial", 1, wall_on, events_on, repeats,
+        ));
+        let b = &entries[entries.len() - 2];
+        let a = &entries[entries.len() - 1];
+        eprintln!(
+            "{figure}: {:.1} -> {:.1} ns/event ({:+.1}%)",
+            b.ns_per_event,
+            a.ns_per_event,
+            100.0 * (a.ns_per_event - b.ns_per_event) / b.ns_per_event
+        );
+    }
+
+    let json = render_json("PR7", &entries);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -5,8 +5,11 @@
 //! `BENCH_PR6.json` artifact.
 //!
 //! ```text
-//! chaos_smoke [--quick] [--seed N] [--out FILE]
+//! chaos_smoke [--quick] [--seed N] [--out FILE] [--devices N]
 //! ```
+//!
+//! `--devices N` sizes the simulated node (default 2; clamped to ≥ 2 so
+//! the device-loss scenario always has a survivor to re-route onto).
 //!
 //! Scenarios: `baseline` (fault-free Poisson), `burst-trace` (the
 //! interactive tenant replays a synthesized bursty arrival trace),
@@ -124,13 +127,20 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xC60_2026);
+    let device_count: u32 = args
+        .iter()
+        .position(|a| a == "--devices")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .map(|n: u32| n.max(2))
+        .unwrap_or(2);
 
-    let cluster = ClusterConfig::dgx_v100(2);
+    let cluster = ClusterConfig::dgx_v100(device_count);
     let max_batch: u32 = 4;
     let horizon = SimTime::from_millis(if quick { 20 } else { 60 });
 
     // Warm the pool once; probe tenants just carry the models.
-    eprintln!("warming pool: 2 tenants x {max_batch} widths on 2 devices...");
+    eprintln!("warming pool: 2 tenants x {max_batch} widths on {device_count} devices...");
     let warm_start = std::time::Instant::now();
     let probe = tenants(1_000.0, SimTime::from_millis(5), 1);
     let mut pool = ServicePool::build(&cluster, &probe, max_batch);
@@ -292,7 +302,7 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"PR6\",\n");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(json, "  \"devices\": 2,");
+    let _ = writeln!(json, "  \"devices\": {device_count},");
     let _ = writeln!(json, "  \"max_batch\": {max_batch},");
     let _ = writeln!(
         json,

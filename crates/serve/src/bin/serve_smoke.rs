@@ -4,11 +4,11 @@
 //! determinism of every cell, and writes the `BENCH_PR5.json` artifact.
 //!
 //! ```text
-//! serve_smoke [--quick] [--seed N] [--out FILE]
+//! serve_smoke [--quick] [--seed N] [--out FILE] [--devices N]
 //! ```
 //!
 //! `--quick` shrinks the tenant mix, batch width and horizon for the CI
-//! budget. The process exits non-zero if any cell violates an invariant,
+//! budget; `--devices N` sizes the simulated node (default 2 GPUs). The process exits non-zero if any cell violates an invariant,
 //! any cell is not bit-identical across two runs of the same seed, or
 //! dynamic batching fails to deliver ≥ 1.2× the no-batching goodput at
 //! the highest (saturating) load level.
@@ -121,8 +121,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xC60_2024);
+    let device_count: u32 = args
+        .iter()
+        .position(|a| a == "--devices")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
 
-    let cluster = ClusterConfig::dgx_v100(2);
+    let cluster = ClusterConfig::dgx_v100(device_count);
     let devices = cluster.num_devices() as f64;
     let max_batch: u32 = if quick { 4 } else { 8 };
     let horizon = SimTime::from_millis(if quick { 40 } else { 150 });

@@ -58,6 +58,11 @@ use crate::stats::{waves, KernelReport, RunReport};
 use crate::time::SimTime;
 use crate::trace::{KernelId, TraceEvent};
 
+/// Device-sharded conservative parallel execution (see [`ExecMode`]).
+/// A child module so it can reach the engine's private run state.
+#[path = "engine_par.rs"]
+pub(crate) mod par;
+
 /// Identifier of a CUDA stream created on a [`Gpu`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamId(usize);
@@ -129,6 +134,74 @@ pub fn with_engine_mode<R>(mode: EngineMode, f: impl FnOnce() -> R) -> R {
     set_default_engine_mode(mode);
     f()
 }
+
+/// Whether a run executes its event loop serially or sharded by device.
+///
+/// Orthogonal to [`EngineMode`]: `EngineMode` picks the event-loop
+/// *implementation* (reference spec vs optimized hot paths), `ExecMode`
+/// picks how many event loops advance at once. [`ExecMode::Parallel`]
+/// shards the optimized loop by device — each device drains its own heap
+/// up to the next link-crossing horizon, then devices exchange
+/// cross-device semaphore effects (a conservative PDES scheme; see
+/// `crates/sim/README.md`). Timelines are **bit-identical** to serial
+/// runs; pipelines the sharder cannot prove safe (non-`timing_static`
+/// kernels, waits on remote-homed semaphores, traces, single device, a
+/// zero-latency link) silently run serially.
+///
+/// The default is [`ExecMode::Serial`]. Opt in per cluster
+/// ([`ClusterConfig::with_exec`](crate::ClusterConfig::with_exec)), per
+/// session ([`Session::set_exec`](crate::Session::set_exec)), or globally
+/// via the `CUSYNC_EXEC=parallel` environment variable (how CI forces the
+/// equivalence suite through the sharded engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// One event loop advances the whole cluster (the original scheme).
+    #[default]
+    Serial,
+    /// Device-sharded conservative parallel execution where provably
+    /// safe; serial otherwise. Thread budget comes from
+    /// `std::thread::available_parallelism` unless overridden
+    /// ([`Session::set_threads`](crate::Session::set_threads)).
+    Parallel,
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecMode::Serial => write!(f, "serial"),
+            ExecMode::Parallel => write!(f, "parallel"),
+        }
+    }
+}
+
+/// The `CUSYNC_EXEC` environment override, read once per process:
+/// `parallel` / `serial` force that [`ExecMode`] for every run that does
+/// not carry an explicit session-level override.
+pub(crate) fn env_exec_override() -> Option<ExecMode> {
+    static ENV_EXEC: std::sync::OnceLock<Option<ExecMode>> = std::sync::OnceLock::new();
+    *ENV_EXEC.get_or_init(|| match std::env::var("CUSYNC_EXEC") {
+        Ok(v) if v.eq_ignore_ascii_case("parallel") => Some(ExecMode::Parallel),
+        Ok(v) if v.eq_ignore_ascii_case("serial") => Some(ExecMode::Serial),
+        _ => None,
+    })
+}
+
+/// Whether the optimized engine encodes `BlockResume` payloads inline in
+/// the event key's payload word instead of round-tripping the event slab.
+/// Identical timelines either way (ordering keys are untouched); this
+/// exists so `bench_pr7` can measure the shave honestly. Default on.
+static RESUME_INLINE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Toggles the inline `BlockResume` event encoding (bench instrumentation
+/// only; results are bit-identical either way).
+#[doc(hidden)]
+pub fn set_resume_inline(enabled: bool) {
+    RESUME_INLINE.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Event-slab payload tag for an inline-encoded `BlockResume` (high bit of
+/// the payload word; block ids stay far below it).
+const RESUME_TAG: u32 = 1 << 31;
 
 /// What kind of input a kernel or pipeline builder rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -594,6 +667,22 @@ enum EventKind {
     },
     AtomicApply {
         block: usize,
+        table: SemArrayId,
+        index: u32,
+        inc: u32,
+    },
+    /// A semaphore post arriving from another device's shard (parallel
+    /// execution only). Like [`EventKind::PostApply`] but with no local
+    /// poster block to resume: the poster resumed on its own shard.
+    RemotePost {
+        table: SemArrayId,
+        index: u32,
+        inc: u32,
+    },
+    /// An atomic increment arriving from another device's shard (parallel
+    /// execution only). Bumps the semaphore value without waking waiters
+    /// or resuming a poster, mirroring [`EventKind::AtomicApply`].
+    RemoteAtomic {
         table: SemArrayId,
         index: u32,
         inc: u32,
@@ -1093,6 +1182,9 @@ pub(crate) fn execute_with(
         abort_at: opts.abort_at,
         link_scale: opts.link_scale.filter(|s| !s.is_identity()),
         abort_flag: false,
+        shard: None,
+        window_end_ps: u64::MAX,
+        resume_inline: RESUME_INLINE.load(std::sync::atomic::Ordering::Relaxed),
         st,
     };
     ex.run_all()
@@ -1120,6 +1212,19 @@ struct Exec<'a> {
     /// `abort_at` retires; both event loops stop at the end of that
     /// timestamp batch.
     abort_flag: bool,
+    /// Device-shard context when this `Exec` is one shard of a parallel
+    /// run (see `engine_par`): cross-device semaphore effects are diverted
+    /// into its outbox instead of the local event heap. `None` for serial
+    /// runs — the cold branch every hot path keeps predictable.
+    shard: Option<&'a mut par::ShardCtx>,
+    /// Exclusive upper bound (picoseconds) of the current shard window.
+    /// Op-coalescing must not price past it: a delivery landing at the
+    /// horizon could wake a parked waiter and change mid-run state.
+    /// `u64::MAX` for serial runs, so the extra compare never fires.
+    window_end_ps: u64,
+    /// Cached [`RESUME_INLINE`]: encode `BlockResume` payloads inline in
+    /// the heap payload word, skipping the event slab round-trip.
+    resume_inline: bool,
     st: &'a mut RunState,
 }
 
@@ -1180,6 +1285,19 @@ impl Exec<'_> {
             }
             EngineMode::Optimized => {
                 let key = ((time.as_picos() as u128) << 64) | seq as u128;
+                // `BlockResume` dominates the event mix; encode its block
+                // id inline in the payload word (high-bit tagged) and skip
+                // the slab round-trip. The ordering key is untouched, so
+                // timelines are bit-identical with the shave on or off.
+                if self.resume_inline {
+                    if let EventKind::BlockResume(b) = kind {
+                        debug_assert!((b as u32) < RESUME_TAG);
+                        self.st
+                            .fast_events
+                            .push(Reverse((key, RESUME_TAG | b as u32)));
+                        return;
+                    }
+                }
                 let idx = match self.st.event_free.pop() {
                     Some(i) => {
                         self.st.event_slab[i as usize] = kind;
@@ -1197,6 +1315,9 @@ impl Exec<'_> {
 
     #[inline]
     fn take_fast_event(&mut self, idx: u32) -> EventKind {
+        if idx & RESUME_TAG != 0 {
+            return EventKind::BlockResume((idx & !RESUME_TAG) as usize);
+        }
         self.st.event_free.push(idx);
         self.st.event_slab[idx as usize]
     }
@@ -1314,6 +1435,14 @@ impl Exec<'_> {
                 let prev = self.st.sems.add(table, index, inc);
                 self.st.blocks[block].atomic_result = Some(prev);
                 self.push_event(self.st.now, EventKind::BlockResume(block));
+            }
+            EventKind::RemotePost { table, index, inc } => {
+                self.apply_post_inner(table, index, inc);
+            }
+            EventKind::RemoteAtomic { table, index, inc } => {
+                // Mirrors `AtomicApply`: bump only, no waiter wakes. The
+                // fetching block resumed on its own shard.
+                self.st.sems.add(table, index, inc);
             }
         }
     }
@@ -1747,10 +1876,18 @@ impl Exec<'_> {
     /// In [`EngineMode::Reference`] this is constantly `false`, which
     /// makes [`Exec::step_block`] collapse to the original
     /// one-op-per-event behaviour.
+    /// In a parallel shard the bound additionally stops strictly before
+    /// `window_end_ps`: a cross-device delivery landing exactly at the
+    /// horizon could wake a parked waiter and change the occupancy state
+    /// this coalesced run is pricing against. Breaking the run early is
+    /// always sound (it converges to the reference one-op-per-event
+    /// behaviour); for serial runs `window_end_ps` is `u64::MAX`, so the
+    /// extra compare is a never-taken predictable branch.
     #[inline]
     fn can_extend_run(&self, until: SimTime) -> bool {
         self.mode == EngineMode::Optimized
             && !self.st.issue_dirty
+            && until.as_picos() < self.window_end_ps
             && match self.st.fast_events.peek() {
                 Some(&Reverse((key, _))) => (key >> 64) as u64 > until.as_picos(),
                 None => true,
@@ -1915,6 +2052,9 @@ impl Exec<'_> {
                 // A post to a remote device's array becomes visible one
                 // link traversal later than a local one.
                 let t = self.st.now + self.atomic_cost(self.block_device(bid), table);
+                if self.divert_remote(bid, t, table, index, inc, true) {
+                    return;
+                }
                 self.push_event(
                     t,
                     EventKind::PostApply {
@@ -1927,6 +2067,9 @@ impl Exec<'_> {
             }
             Op::AtomicAdd { table, index, inc } => {
                 let t = self.st.now + self.atomic_cost(self.block_device(bid), table);
+                if self.divert_remote(bid, t, table, index, inc, false) {
+                    return;
+                }
                 self.push_event(
                     t,
                     EventKind::AtomicApply {
@@ -1941,7 +2084,68 @@ impl Exec<'_> {
         }
     }
 
+    /// Shard-mode interception of a cross-device semaphore effect: when
+    /// this `Exec` is one shard of a parallel run and `table` is homed on
+    /// another device, the effect is queued in the shard's outbox for
+    /// delivery after the window barrier, and the poster resumes locally
+    /// at the same instant `t` the serial apply handler would have resumed
+    /// it. Returns `false` (do nothing) for serial runs and local tables.
+    ///
+    /// The apply time `t` already includes the link traversal
+    /// ([`Exec::atomic_cost`]), so `t >= window horizon` always holds —
+    /// the conservative-lookahead invariant that makes delivery after the
+    /// barrier safe.
+    fn divert_remote(
+        &mut self,
+        bid: usize,
+        t: SimTime,
+        table: SemArrayId,
+        index: u32,
+        inc: u32,
+        post: bool,
+    ) -> bool {
+        let home = self.st.sems.device(table);
+        let device = self.block_device(bid);
+        if home == device {
+            return false;
+        }
+        let Some(shard) = self.shard.as_deref_mut() else {
+            return false;
+        };
+        debug_assert_eq!(shard.device, device);
+        debug_assert!(
+            t.as_picos() >= self.window_end_ps,
+            "remote effect applies inside the window it was produced in"
+        );
+        let ordinal = shard.sent_ordinal;
+        shard.sent_ordinal += 1;
+        shard.outbox.push(par::OutMsg {
+            time: t,
+            table,
+            index,
+            inc,
+            post,
+            src: device,
+            ordinal,
+        });
+        // The serial engine suspends the poster until the apply instant
+        // and resumes it from the apply handler; re-create that resume
+        // locally. (A remote `AtomicAdd`'s fetched previous value is not
+        // reproduced — pre-driven blocks, the only ones eligible for
+        // sharding, never read `atomic_result`.)
+        self.push_event(t, EventKind::BlockResume(bid));
+        true
+    }
+
     fn apply_post(&mut self, poster: usize, table: SemArrayId, index: u32, inc: u32) {
+        self.apply_post_inner(table, index, inc);
+        self.push_event(self.st.now, EventKind::BlockResume(poster));
+    }
+
+    /// The poster-independent half of [`Exec::apply_post`]: bump the
+    /// semaphore and wake satisfied waiters. Also the entire handler for a
+    /// [`EventKind::RemotePost`], whose poster resumed on its own shard.
+    fn apply_post_inner(&mut self, table: SemArrayId, index: u32, inc: u32) {
         self.st.sems.add(table, index, inc);
         let new_value = self.st.sems.value(table, index);
         self.record(TraceEvent::SemPosted {
@@ -1999,7 +2203,6 @@ impl Exec<'_> {
                 self.st.wait_lists.put(table, index, list);
             }
         }
-        self.push_event(self.st.now, EventKind::BlockResume(poster));
     }
 
     /// Wakes a block parked on `table`: it observes the posted value one
@@ -2410,6 +2613,28 @@ impl Gpu {
         self.st.reset(&self.desc);
         self.st.trace_enabled = trace_enabled;
         let sched = self.sched();
+        // One-shot runs honor the parallel engine too (env variable or
+        // cluster config; there is no session here to carry an override).
+        let exec = env_exec_override().unwrap_or_else(|| self.desc.cluster.effective_exec());
+        if exec == ExecMode::Parallel && self.mode == EngineMode::Optimized {
+            let shardable = par::shardable(&self.desc, &programs, &self.st.sems);
+            let threads = par::thread_budget(self.desc.cluster.devices.len(), 0);
+            let mut pool = Vec::new();
+            return match par::execute_auto(
+                &self.desc,
+                &programs,
+                self.mode,
+                sched.as_ref(),
+                &mut self.st,
+                RunOptions::default(),
+                shardable,
+                threads,
+                &mut pool,
+            )? {
+                RunOutcome::Complete(report) => Ok(report),
+                RunOutcome::Aborted(_) => unreachable!("no abort horizon was requested"),
+            };
+        }
         execute(
             &self.desc,
             &programs,

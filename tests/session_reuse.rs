@@ -18,8 +18,8 @@ use cusync_models::{
     AttentionConfig, MlpModel, PolicyKind, SyncMode, TpSchedule,
 };
 use cusync_sim::{
-    with_engine_mode, ClusterConfig, CompiledPipeline, DType, Dim3, EngineMode, FixedKernel, Gpu,
-    GpuConfig, Op, RunReport, Runtime, Session, StreamId,
+    with_engine_mode, ClusterConfig, CompiledPipeline, DType, Dim3, EngineMode, ExecMode,
+    FixedKernel, Gpu, GpuConfig, Op, RunReport, Runtime, Session, StreamId,
 };
 use proptest::prelude::*;
 
@@ -350,6 +350,78 @@ fn runtime_pool_matches_serial_sessions() {
             &serial[i % pipelines.len()],
             &report,
             &format!("pooled submission {i}"),
+        );
+    }
+}
+
+/// Every timing-observable field must match; `sim_events` is *excluded*:
+/// the device-sharded engine handles remote posts as delivered messages,
+/// so its event count legitimately differs from the serial post path.
+fn assert_timings_identical(serial: &RunReport, parallel: &RunReport, what: &str) {
+    assert_eq!(serial.kernels, parallel.kernels, "{what}: kernel reports");
+    assert_eq!(serial.total, parallel.total, "{what}: total");
+    assert_eq!(serial.races, parallel.races, "{what}: races");
+    assert_eq!(serial.sem_posts, parallel.sem_posts, "{what}: sem posts");
+    assert_eq!(
+        serial.sm_utilization, parallel.sm_utilization,
+        "{what}: utilization (bit-exact)"
+    );
+}
+
+/// Session reuse under the device-sharded engine: N parallel reruns of a
+/// compiled multi-device pipeline are bit-identical to each other
+/// (`sim_events` included — the shard pool replays the identical event
+/// sequence) and bit-identical in every timing field to fresh serial
+/// runs.
+#[test]
+fn parallel_session_reuse_is_bit_identical() {
+    for (devices, schedule) in [(2u32, TpSchedule::Serialized), (4, TpSchedule::Overlap)] {
+        let cluster = ClusterConfig::dgx_v100(devices);
+        let pipeline = compile_tp_layer(&cluster, tp_mlp(4096, 256), schedule);
+        assert!(pipeline.shardable(), "TP layer waits are home-local");
+        let serial = Session::with_mode(EngineMode::Optimized)
+            .run(&pipeline)
+            .expect("serial run");
+        let mut session = Session::with_mode(EngineMode::Optimized);
+        session.set_exec(Some(ExecMode::Parallel));
+        session.set_threads(2);
+        let mut first: Option<RunReport> = None;
+        for rep in 0..REPEATS {
+            let what = format!("parallel reuse devices={devices} {schedule:?} rep {rep}");
+            let report = session.run(&pipeline).expect("parallel session run");
+            assert_timings_identical(&serial, &report, &what);
+            match &first {
+                Some(f) => assert_identical(f, &report, &what),
+                None => first = Some(report),
+            }
+        }
+    }
+}
+
+/// A `Runtime` pool whose workers carry the parallel [`ExecMode`]
+/// override resolves every submission to the identical simulation a
+/// fresh serial session produces.
+#[test]
+fn parallel_runtime_pool_matches_serial_sessions() {
+    let cluster = ClusterConfig::dgx_v100(4);
+    let pipelines: Vec<Arc<CompiledPipeline>> = [TpSchedule::Serialized, TpSchedule::Overlap]
+        .into_iter()
+        .map(|s| Arc::new(compile_tp_layer(&cluster, tp_mlp(4096, 256), s)))
+        .collect();
+    let mut session = Session::with_mode(EngineMode::Optimized);
+    let serial: Vec<RunReport> = pipelines
+        .iter()
+        .map(|p| session.run(p).expect("serial run"))
+        .collect();
+    let runtime =
+        Runtime::with_mode_sched_exec(EngineMode::Optimized, 2, None, Some(ExecMode::Parallel));
+    let results = runtime.run_all((0..3).flat_map(|_| pipelines.iter().map(Arc::clone)));
+    for (i, result) in results.into_iter().enumerate() {
+        let report = result.expect("pooled parallel run");
+        assert_timings_identical(
+            &serial[i % pipelines.len()],
+            &report,
+            &format!("pooled parallel submission {i}"),
         );
     }
 }
