@@ -200,9 +200,9 @@ fn main() {
             let config = ServeConfig {
                 sched,
                 batch: BatchPolicy::new(max_batch, SimTime::from_picos(t1_int.as_picos() * 2)),
-                slo_admission: false,
                 preempt: (scenario == Scenario::PreemptOn)
                     .then(|| PreemptPolicy::new(SimTime::from_micros(20.0))),
+                ..ServeConfig::baseline()
             };
             let report = server.run_with_faults(&config, &plan);
             let again = server.run_with_faults(&config, &plan);

@@ -1,0 +1,277 @@
+//! CI smoke + benchmark for the decode tenant: sweeps static-width vs
+//! continuous-batching decode over load levels on a simulated node,
+//! checks token conservation, the KV-pool laws and per-seed determinism
+//! of every cell, and writes the `BENCH_PR8.json` artifact.
+//!
+//! ```text
+//! decode_smoke [--quick] [--seed N] [--out FILE] [--devices N]
+//! ```
+//!
+//! `--quick` shrinks the batch width and horizon for the CI budget. The
+//! process exits non-zero if any cell violates an invariant, any cell is
+//! not bit-identical across two runs of the same seed, or continuous
+//! batching fails to deliver ≥ 1.2× the static-width tokens/sec goodput
+//! at the highest (saturating) load level.
+//!
+//! Load levels are *self-calibrating*: the offered rate at load `L` is
+//! `L × devices / t_typ`, where `t_typ` is the measured width-1 service
+//! time of a typical-length request (half the decode cap) — so `L = 1`
+//! offers about one unbatched device's worth of decode work and the top
+//! level saturates by construction.
+//!
+//! A final "pressure" cell reruns the top load against a pool squeezed to
+//! a few KV blocks, demonstrating preemption-and-recompute: the cell must
+//! still conserve tokens, drain its pool, and replay bit-identically.
+
+use std::fmt::Write as _;
+
+use cusync_serve::{
+    ArrivalModel, BatchPolicy, DecodePolicy, ModelKind, ServeConfig, Server, ServicePool,
+    TenantClass, TenantSpec, WorkloadSpec,
+};
+use cusync_sim::{ClusterConfig, SimTime};
+
+struct Cell {
+    name: String,
+    load: f64,
+    continuous: bool,
+    report: cusync_serve::ServeReport,
+    deterministic: bool,
+}
+
+fn decode_model(max_new: u32, kv_bytes_per_token: u64) -> ModelKind {
+    ModelKind::DecodeLlm {
+        // Decode-heavy: generation dominates the prefill, the regime
+        // continuous batching targets.
+        prompt: 16,
+        max_new,
+        step_cycles: 40_000,
+        ctx_cycles: 400,
+        kv_bytes_per_token,
+    }
+}
+
+fn spec_at(
+    load: f64,
+    model: ModelKind,
+    t_typ: SimTime,
+    slo: SimTime,
+    devices: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        tenants: vec![TenantSpec {
+            name: format!("{model}"),
+            model,
+            arrival: ArrivalModel::OpenPoisson {
+                rate_rps: load * devices / t_typ.as_secs_f64(),
+            },
+            slo,
+            queue_cap: 64,
+            weight: 1,
+            class: TenantClass::Throughput,
+            retry: None,
+        }],
+        horizon,
+        seed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR8.json".to_owned());
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC60_2024);
+    let device_count: u32 = args
+        .iter()
+        .position(|a| a == "--devices")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
+
+    let cluster = ClusterConfig::dgx_v100(device_count);
+    let devices = cluster.num_devices() as f64;
+    let max_batch: u32 = if quick { 4 } else { 8 };
+    let max_new: u32 = if quick { 48 } else { 96 };
+    let horizon = SimTime::from_millis(if quick { 30 } else { 100 });
+    let loads: &[f64] = if quick {
+        &[1.0, 20.0]
+    } else {
+        &[0.5, 2.0, 10.0]
+    };
+    let top_load = loads.last().copied().expect("loads nonempty");
+    let model = decode_model(max_new, 4 << 10);
+
+    // Warm the pool once (prefill widths), then measure a typical-length
+    // width-1 request to calibrate the load levels.
+    eprintln!("warming decode pool: widths 1..={max_batch} on {devices} devices...");
+    let probe = spec_at(
+        1.0,
+        model,
+        SimTime::from_micros(100.0),
+        SimTime::from_millis(10),
+        devices,
+        horizon,
+        seed,
+    );
+    let warm_start = std::time::Instant::now();
+    let pool = ServicePool::build(&cluster, &probe.tenants, max_batch);
+    let t_typ = pool.static_decode_service(0, 1, max_new / 2, 0);
+    let slo = SimTime::from_picos(t_typ.as_picos().saturating_mul(16));
+    eprintln!(
+        "  warmed in {:.1}s; typical width-1 request {t_typ}, slo {slo}",
+        warm_start.elapsed().as_secs_f64()
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut failures = 0usize;
+    let mut pool = Some(pool);
+    for &load in loads {
+        let spec = spec_at(load, model, t_typ, slo, devices, horizon, seed);
+        let server = Server::with_pool(spec, pool.take().expect("pool threaded through"));
+        for continuous in [false, true] {
+            let decode = if continuous {
+                DecodePolicy::continuous_batching()
+            } else {
+                DecodePolicy::static_width()
+            };
+            let config = ServeConfig {
+                batch: BatchPolicy::new(max_batch, SimTime::from_picos(t_typ.as_picos() / 8)),
+                decode,
+                ..ServeConfig::baseline()
+            };
+            let report = server.run(&config);
+            let deterministic = report == server.run(&config);
+            let name = format!("load{load}-{decode}");
+            if !deterministic {
+                eprintln!("FAIL {name}: nondeterministic");
+                failures += 1;
+            }
+            if let Err(e) = report.check() {
+                eprintln!("FAIL {name}: {e}");
+                failures += 1;
+            }
+            println!(
+                "load {load:>3} {:<12} | goodput {:>9.0} tok/s | thru {:>9.0} tok/s | completed {:>5} | p99 {}",
+                format!("{decode}"),
+                report.tokens_goodput_per_sec(),
+                report.tokens_per_sec(),
+                report.tenants[0].completed,
+                report.tenants[0].latency_quantile(0.99),
+            );
+            cells.push(Cell {
+                name,
+                load,
+                continuous,
+                report,
+                deterministic,
+            });
+        }
+        pool = Some(server.into_pool());
+    }
+
+    // The acceptance gate: at the saturating load, continuous batching
+    // must beat static-width decode on tokens/sec goodput by >= 1.2x.
+    let find = |continuous: bool| {
+        cells
+            .iter()
+            .find(|c| c.load == top_load && c.continuous == continuous)
+            .expect("cell swept")
+    };
+    let ratio =
+        find(true).report.tokens_goodput_per_sec() / find(false).report.tokens_goodput_per_sec();
+    println!("load {top_load}: continuous-batching goodput ratio {ratio:.2}x");
+    if ratio < 1.2 {
+        eprintln!("FAIL: continuous/static tokens goodput {ratio:.2} < 1.2 at load {top_load}");
+        failures += 1;
+    }
+
+    // Pressure cell: the same saturating load, but 1-MiB-per-token KV on
+    // a pool squeezed to a few blocks — preemption-and-recompute must
+    // fire, conserve, drain and replay.
+    let pressure_model = decode_model(max_new, 1 << 20);
+    let spec = spec_at(top_load, pressure_model, t_typ, slo, devices, horizon, seed);
+    let server = Server::new(spec, &cluster, max_batch);
+    let config = ServeConfig {
+        batch: BatchPolicy::new(max_batch, SimTime::from_picos(t_typ.as_picos() / 8)),
+        decode: DecodePolicy::new(true, 16, 2),
+        ..ServeConfig::baseline()
+    };
+    let report = server.run(&config);
+    let deterministic = report == server.run(&config);
+    if !deterministic {
+        eprintln!("FAIL pressure: nondeterministic");
+        failures += 1;
+    }
+    if let Err(e) = report.check() {
+        eprintln!("FAIL pressure: {e}");
+        failures += 1;
+    }
+    let preemptions = report.tenants[0].decode_preemptions;
+    let recomputed = report.tenants[0].recomputed_tokens;
+    if preemptions == 0 || recomputed == 0 {
+        eprintln!(
+            "FAIL pressure: expected preemption-and-recompute, got {preemptions}/{recomputed}"
+        );
+        failures += 1;
+    }
+    println!(
+        "pressure cell: {} preemptions, {recomputed} recomputed tokens, {} alloc failures, {} evicted blocks",
+        preemptions,
+        report.devices.iter().map(|d| d.kv.alloc_failures).sum::<u64>(),
+        report.devices.iter().map(|d| d.kv.evicted).sum::<u64>(),
+    );
+    cells.push(Cell {
+        name: "pressure".into(),
+        load: top_load,
+        continuous: true,
+        report,
+        deterministic,
+    });
+
+    let mut json = String::from("{\n  \"bench\": \"PR8\",\n");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"devices\": {},", devices as u32);
+    let _ = writeln!(json, "  \"max_batch\": {max_batch},");
+    let _ = writeln!(json, "  \"max_new\": {max_new},");
+    let _ = writeln!(
+        json,
+        "  \"continuous_goodput_ratio_at_load_{top_load}\": {ratio:.4},"
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let report = cell
+            .report
+            .to_json()
+            .lines()
+            .collect::<Vec<_>>()
+            .join("\n      ");
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"load\": {}, \"continuous\": {}, \
+             \"deterministic\": {}, \"report\": {report}}}",
+            cell.name, cell.load, cell.continuous, cell.deterministic,
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(json, "  ],\n  \"failures\": {failures}\n}}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    if failures > 0 {
+        eprintln!("{failures} decode cell(s) violated invariants");
+        std::process::exit(1);
+    }
+}

@@ -191,7 +191,7 @@ fn main() {
                     sched,
                     batch,
                     slo_admission,
-                    preempt: None,
+                    ..ServeConfig::baseline()
                 };
                 let report = server.run(&config);
                 let again = server.run(&config);

@@ -4,7 +4,7 @@
 //!
 //! ## Event loop
 //!
-//! Seven event kinds drive the simulation, totally ordered by
+//! Eight event kinds drive the simulation, totally ordered by
 //! `(virtual time, sequence number)` so identical specs replay identical
 //! histories:
 //!
@@ -16,6 +16,10 @@
 //! - **DeviceFree** — a device finished its batch; its requests complete
 //!   *now* (so recorded completion instants are non-decreasing by heap
 //!   order).
+//! - **DecodeStep** — a continuous-batching decode run finished one
+//!   token step; finished sequences leave, queued requests join, the KV
+//!   pool is grown (evicting or preempting under pressure), and the next
+//!   step is priced and scheduled. See *Continuous batching* below.
 //! - **WindowCheck** — a partial batch's window may have expired; re-run
 //!   dispatch.
 //! - **Preempt** — a previously scheduled cross-tenant preemption reached
@@ -24,11 +28,35 @@
 //! - **DeviceDrop** / **PanicInject** / **LinkDegrade** — injected faults
 //!   from a [`FaultPlan`] (see that type for semantics).
 //!
-//! `DeviceFree` and `Preempt` events carry a per-device **generation**
-//! stamped at dispatch; any event whose generation no longer matches the
-//! device's (because a fault or preemption removed the batch it referred
-//! to) is stale and ignored. That tombstoning is what keeps the heap
-//! consistent when batches leave devices early.
+//! `DeviceFree`, `DecodeStep` and `Preempt` events carry a per-device
+//! **generation** stamped at dispatch; any event whose generation no
+//! longer matches the device's (because a fault or preemption removed the
+//! batch it referred to) is stale and ignored. That tombstoning is what
+//! keeps the heap consistent when batches leave devices early.
+//!
+//! ## Continuous batching and the KV block pool
+//!
+//! A [`DecodeLlm`](crate::ModelKind::DecodeLlm) tenant's requests carry a
+//! per-request decode length, drawn at admission from a dedicated seeded
+//! stream. Under [`DecodePolicy::static_width`] they dispatch like any
+//! other batch, padded to the longest member's full prefill + decode
+//! (worst-case KV preallocated — the block pool is bypassed). Under
+//! [`DecodePolicy::continuous_batching`] a dispatched decode run owns its
+//! device across many single-token steps, each priced through the
+//! fingerprint-keyed memo ([`ServicePool::decode_step_time`]); at every
+//! step boundary finished sequences complete and release their KV pages,
+//! and queued requests join. A joiner's prefill overlaps the residents'
+//! decoding (chunked across step boundaries, the way fine-grained kernel
+//! synchronization lets a prefill wave share the device with a decode
+//! wave): it occupies its slot for the prefill's worth of steps before
+//! producing its first token, instead of stalling the run for a full
+//! prefill pipeline pass. Before each step,
+//! every resident sequence grows its paged allocation in the device's
+//! [`KvPool`]; under memory pressure retained pages are evicted first,
+//! then the **youngest** co-resident sequence is preempted — its pages
+//! discarded, its generated tokens counted as
+//! [`recomputed_tokens`](TenantMetrics::recomputed_tokens), and the
+//! request requeued to start over.
 //!
 //! Arrivals stop at the spec's horizon; the loop then drains every
 //! admitted request, so `admitted = completed + shed` holds exactly at
@@ -51,13 +79,14 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use cusync_sim::{LinkScale, SimTime};
+use cusync_sim::{KvPool, KvStats, LinkScale, SimTime};
 
 use crate::fault::FaultPlan;
 use crate::metrics::{DeviceMetrics, FaultOutcome, ServeReport, TenantMetrics};
 use crate::pool::ServicePool;
-use crate::sched::{BatchPolicy, PreemptPolicy, RequestSched};
+use crate::sched::{BatchPolicy, DecodePolicy, PreemptPolicy, RequestSched};
 use crate::workload::{ArrivalModel, Rng, TenantClass, WorkloadSpec};
+use crate::zoo::ModelKind;
 
 /// One serving cell: a request scheduler × batching policy × admission
 /// mode × preemption policy.
@@ -73,17 +102,21 @@ pub struct ServeConfig {
     /// Cross-tenant preemption (latency tenants checkpoint throughput
     /// batches at kernel boundaries); `None` disables it.
     pub preempt: Option<PreemptPolicy>,
+    /// How decode-capable tenants execute their token-generation phase
+    /// (ignored by tenants without a decode model).
+    pub decode: DecodePolicy,
 }
 
 impl ServeConfig {
-    /// FIFO, no batching, bounded-queue admission only, no preemption —
-    /// the baseline.
+    /// FIFO, no batching, bounded-queue admission only, no preemption,
+    /// static-width decode — the baseline.
     pub fn baseline() -> Self {
         ServeConfig {
             sched: RequestSched::Fifo,
             batch: BatchPolicy::off(),
             slo_admission: false,
             preempt: None,
+            decode: DecodePolicy::static_width(),
         }
     }
 }
@@ -96,6 +129,10 @@ struct Request {
     /// `Some(client)` for closed-loop tenants (the client to wake on
     /// completion/shedding), `None` for open-loop arrivals.
     client: Option<u32>,
+    /// Decode tokens this request wants (0 for non-decode tenants),
+    /// drawn once at admission — a preempted-and-recomputed request keeps
+    /// its length.
+    decode: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +144,10 @@ enum EvKind {
         attempt: u32,
     },
     DeviceFree {
+        device: usize,
+        gen: u64,
+    },
+    DecodeStep {
         device: usize,
         gen: u64,
     },
@@ -169,6 +210,42 @@ struct Residue {
     remaining: SimTime,
 }
 
+/// One sequence resident in a continuous-batching decode run.
+#[derive(Debug)]
+struct DecodeSeq {
+    req: Request,
+    /// Tokens generated so far (resets to 0 if preempted-and-recomputed).
+    done: u32,
+    /// This residency's [`KvPool`] owner id — fresh per residency, so a
+    /// recomputed sequence never aliases its discarded pages.
+    owner: u64,
+    /// Step boundaries left before this residency finishes its chunked
+    /// prefill and starts producing tokens (its prompt is processed on
+    /// capacity overlapped with the residents' decode steps).
+    prefill_left: u32,
+}
+
+/// A continuous-batching decode run occupying a device across many
+/// single-token steps; the batch re-forms at every step boundary.
+#[derive(Debug)]
+struct DecodeRun {
+    tenant: usize,
+    /// Resident sequences, oldest residency first (joiners append).
+    seqs: Vec<DecodeSeq>,
+    step_start: SimTime,
+    step_service: SimTime,
+}
+
+/// What a busy device is running.
+#[derive(Debug)]
+enum Running {
+    /// A fixed-width batch (including padded static-width decode),
+    /// completing at its `DeviceFree`.
+    Batch(InFlight),
+    /// A continuous-batching decode run, advancing at each `DecodeStep`.
+    Decode(DecodeRun),
+}
+
 /// A warmed multi-tenant server: a [`WorkloadSpec`] plus the
 /// [`ServicePool`] its tenants run on. Build once ([`Server::new`]
 /// compiles and measures every batch shape), then [`Server::run`] any
@@ -186,17 +263,13 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if the spec has no tenants, a tenant has a zero queue
-    /// capacity or weight, or `max_width` is zero.
+    /// Panics if the spec fails [`WorkloadSpec::validate`] (no tenants, a
+    /// zero queue capacity or weight, a non-finite or non-positive rate,
+    /// a clientless closed loop, a degenerate decode model) or if
+    /// `max_width` is zero.
     pub fn new(spec: WorkloadSpec, cluster: &cusync_sim::ClusterConfig, max_width: u32) -> Self {
-        assert!(!spec.tenants.is_empty(), "a workload needs tenants");
-        for tenant in &spec.tenants {
-            assert!(
-                tenant.queue_cap > 0,
-                "{}: queue_cap must be > 0",
-                tenant.name
-            );
-            assert!(tenant.weight > 0, "{}: weight must be > 0", tenant.name);
+        if let Err(err) = spec.validate() {
+            panic!("{err}");
         }
         let pool = ServicePool::build(cluster, &spec.tenants, max_width);
         Server { spec, pool }
@@ -212,21 +285,15 @@ impl Server {
     /// Panics if the spec's tenant models differ from the pool's (order
     /// included), or on the same spec invariants as [`Server::new`].
     pub fn with_pool(spec: WorkloadSpec, pool: ServicePool) -> Self {
-        assert!(!spec.tenants.is_empty(), "a workload needs tenants");
+        if let Err(err) = spec.validate() {
+            panic!("{err}");
+        }
         let models: Vec<_> = spec.tenants.iter().map(|t| t.model).collect();
         assert_eq!(
             models.as_slice(),
             pool.models(),
             "pool was warmed for a different tenant mix"
         );
-        for tenant in &spec.tenants {
-            assert!(
-                tenant.queue_cap > 0,
-                "{}: queue_cap must be > 0",
-                tenant.name
-            );
-            assert!(tenant.weight > 0, "{}: weight must be > 0", tenant.name);
-        }
         Server { spec, pool }
     }
 
@@ -300,7 +367,15 @@ struct Sim<'a> {
     client_rng: Vec<Vec<Rng>>,
     /// Retry backoff streams (one per tenant).
     retry_rng: Vec<Rng>,
-    busy: Vec<Option<InFlight>>,
+    /// Decode-length streams (one per tenant; unused without a decode
+    /// model).
+    decode_rng: Vec<Rng>,
+    /// Per-device paged KV block pools (zero-capacity without decode
+    /// tenants).
+    kv: Vec<KvPool>,
+    /// Next KV owner id: fresh per sequence residency.
+    owner_seq: u64,
+    busy: Vec<Option<Running>>,
     /// Per-device liveness (false after a `DeviceDrop`).
     alive: Vec<bool>,
     /// Per-device batch generation: bumped at every dispatch and every
@@ -353,6 +428,39 @@ impl<'a> Sim<'a> {
             retry_rng: (0..n)
                 .map(|t| Rng::for_client(spec.seed, t, u32::MAX - 1))
                 .collect(),
+            decode_rng: (0..n)
+                .map(|t| Rng::for_client(spec.seed, t, u32::MAX - 2))
+                .collect(),
+            // Blocks are sized for the hungriest decode tenant, so every
+            // tenant's per-token need fits one block budget; without
+            // decode tenants the pools are zero-capacity placeholders.
+            kv: match spec
+                .tenants
+                .iter()
+                .filter_map(|t| match t.model {
+                    ModelKind::DecodeLlm {
+                        kv_bytes_per_token, ..
+                    } => Some(kv_bytes_per_token),
+                    _ => None,
+                })
+                .max()
+            {
+                Some(bytes_per_token) => server
+                    .pool
+                    .cluster()
+                    .devices
+                    .iter()
+                    .map(|gpu| {
+                        KvPool::for_device(
+                            gpu,
+                            config.decode.block_tokens as u64 * bytes_per_token,
+                            config.decode.kv_permille,
+                        )
+                    })
+                    .collect(),
+                None => (0..devices).map(|_| KvPool::new(0)).collect(),
+            },
+            owner_seq: 0,
             busy: (0..devices).map(|_| None).collect(),
             alive: vec![true; devices],
             gens: vec![0; devices],
@@ -369,6 +477,7 @@ impl<'a> Sim<'a> {
                     busy: SimTime::ZERO,
                     batches: 0,
                     requests: 0,
+                    kv: KvStats::default(),
                 })
                 .collect(),
             completions: Vec::new(),
@@ -454,7 +563,7 @@ impl<'a> Sim<'a> {
             return;
         };
         let gap = self.client_rng[tenant][client as usize].exp(*think);
-        self.schedule_arrival(now + gap, tenant, Some(client));
+        self.schedule_arrival(now.saturating_add(gap), tenant, Some(client));
     }
 
     /// The SLO-aware admission estimate: queue-ahead batches drain at the
@@ -492,7 +601,7 @@ impl<'a> Sim<'a> {
                 &self.server.spec.tenants[tenant].arrival
             {
                 let gap = self.open_rng[tenant].poisson_gap(*rate_rps);
-                self.schedule_arrival(now + gap, tenant, None);
+                self.schedule_arrival(now.saturating_add(gap), tenant, None);
             }
         }
         let spec = &self.server.spec.tenants[tenant];
@@ -522,7 +631,7 @@ impl<'a> Sim<'a> {
                     // Deliberately not horizon-gated: the offer that
                     // spawned this retry happened inside the horizon.
                     self.push(
-                        now + backoff,
+                        now.saturating_add(backoff),
                         EvKind::Arrival {
                             tenant,
                             client,
@@ -536,10 +645,20 @@ impl<'a> Sim<'a> {
             return;
         }
         self.tenants[tenant].admitted += 1;
+        // Decode tenants draw their token budget once, at admission, from
+        // a dedicated stream — the request keeps it across preemptions
+        // and recomputes.
+        let decode = match self.server.spec.tenants[tenant].model {
+            ModelKind::DecodeLlm { max_new, .. } => {
+                1 + self.decode_rng[tenant].uniform(max_new as u64) as u32
+            }
+            _ => 0,
+        };
         self.queues[tenant].push_back(Request {
             arrival: now,
             deadline,
             client,
+            decode,
         });
         let depth = self.queues[tenant].len();
         if depth > self.tenants[tenant].max_queue_depth {
@@ -554,12 +673,25 @@ impl<'a> Sim<'a> {
             // removed by a fault.
             return;
         }
-        let batch = self.busy[device].take().expect("DeviceFree on idle device");
+        let running = self.busy[device].take().expect("DeviceFree on idle device");
+        let Running::Batch(batch) = running else {
+            unreachable!("decode runs complete via DecodeStep, never DeviceFree");
+        };
         for req in &batch.requests {
             self.tenants[batch.tenant].completed += 1;
             self.tenants[batch.tenant].latencies.push(now - req.arrival);
-            if now > req.deadline {
+            let late = now > req.deadline;
+            if late {
                 self.tenants[batch.tenant].violations += 1;
+            }
+            // A static-width decode batch delivers every member's tokens
+            // here (the device was held for the padded worst case).
+            if req.decode > 0 {
+                self.tenants[batch.tenant].tokens_generated += req.decode as u64;
+                self.tenants[batch.tenant].tokens_out += req.decode as u64;
+                if !late {
+                    self.tenants[batch.tenant].tokens_good += req.decode as u64;
+                }
             }
             self.completions.push(now);
             self.wake_client(now, batch.tenant, req.client);
@@ -574,7 +706,9 @@ impl<'a> Sim<'a> {
         if self.gens[device] != gen {
             return; // the victim left the device some other way first
         }
-        let batch = self.busy[device].take().expect("Preempt on idle device");
+        let Some(Running::Batch(batch)) = self.busy[device].take() else {
+            unreachable!("Preempt events only target checkpointable batches");
+        };
         self.gens[device] += 1;
         self.preempt_pending[device] = false;
         // The boundary is strictly inside the batch's service interval.
@@ -596,18 +730,38 @@ impl<'a> Sim<'a> {
     /// per-queue deadlines stay non-decreasing (the `shed_expired`
     /// invariant).
     fn evacuate(&mut self, now: SimTime, device: usize) {
-        let Some(batch) = self.busy[device].take() else {
+        let Some(running) = self.busy[device].take() else {
             return;
         };
         self.gens[device] += 1;
         self.preempt_pending[device] = false;
-        let remaining = (batch.start + batch.service).saturating_sub(now);
-        self.devices[device].busy = self.devices[device].busy.saturating_sub(remaining);
-        self.served[batch.tenant] =
-            self.served[batch.tenant].saturating_sub(remaining.as_picos() as u128);
-        self.tenants[batch.tenant].rerouted += batch.requests.len() as u64;
-        for req in batch.requests.into_iter().rev() {
-            self.queues[batch.tenant].push_front(req);
+        match running {
+            Running::Batch(batch) => {
+                let remaining = (batch.start + batch.service).saturating_sub(now);
+                self.devices[device].busy = self.devices[device].busy.saturating_sub(remaining);
+                self.served[batch.tenant] =
+                    self.served[batch.tenant].saturating_sub(remaining.as_picos() as u128);
+                self.tenants[batch.tenant].rerouted += batch.requests.len() as u64;
+                for req in batch.requests.into_iter().rev() {
+                    self.queues[batch.tenant].push_front(req);
+                }
+            }
+            Running::Decode(run) => {
+                // Refund only the interrupted step; earlier steps really
+                // ran. Every resident sequence loses its pages and its
+                // generated tokens — the requests start over elsewhere.
+                let tenant = run.tenant;
+                let remaining = (run.step_start + run.step_service).saturating_sub(now);
+                self.devices[device].busy = self.devices[device].busy.saturating_sub(remaining);
+                self.served[tenant] =
+                    self.served[tenant].saturating_sub(remaining.as_picos() as u128);
+                self.tenants[tenant].rerouted += run.seqs.len() as u64;
+                for seq in run.seqs.into_iter().rev() {
+                    self.kv[device].discard(seq.owner);
+                    self.tenants[tenant].recomputed_tokens += seq.done as u64;
+                    self.queues[tenant].push_front(seq.req);
+                }
+            }
         }
     }
 
@@ -750,6 +904,25 @@ impl<'a> Sim<'a> {
                 continue;
             }
             let width = (self.queues[tenant].len()).min(self.config.batch.max_batch as usize);
+            if let ModelKind::DecodeLlm { .. } = self.server.spec.tenants[tenant].model {
+                if self.config.decode.continuous {
+                    self.start_decode_run(now, device, tenant, width);
+                } else {
+                    // Static width: the padded batch holds the device for
+                    // the longest member's full prefill + decode; the KV
+                    // pool is bypassed (worst case preallocated).
+                    let requests: Vec<Request> = self.queues[tenant].drain(..width).collect();
+                    let max_decode = requests.iter().map(|r| r.decode).max().unwrap_or(0);
+                    let service = self.server.pool.static_decode_service(
+                        tenant,
+                        width as u32,
+                        max_decode,
+                        device as u32,
+                    );
+                    self.dispatch(now, device, tenant, requests, service, false);
+                }
+                continue;
+            }
             let requests: Vec<Request> = self.queues[tenant].drain(..width).collect();
             let service = self.price(tenant, width as u32, device);
             self.dispatch(now, device, tenant, requests, service, false);
@@ -770,21 +943,226 @@ impl<'a> Sim<'a> {
         self.devices[device].batches += 1;
         self.devices[device].requests += requests.len() as u64;
         self.gens[device] += 1;
-        self.busy[device] = Some(InFlight {
+        self.busy[device] = Some(Running::Batch(InFlight {
             tenant,
             requests,
             start: now,
             service,
             scale: self.link_scale,
             resumed,
-        });
+        }));
         self.push(
-            now + service,
+            now.saturating_add(service),
             EvKind::DeviceFree {
                 device,
                 gen: self.gens[device],
             },
         );
+    }
+
+    /// How many step boundaries a joining sequence's chunked prefill
+    /// occupies before it produces tokens: the measured width-1 prefill
+    /// time divided (rounding up) by the width-1 prompt-context step
+    /// time. Pure integer arithmetic over memoized service times, so the
+    /// figure is deterministic per (tenant, device).
+    fn decode_prefill_steps(&self, tenant: usize, device: usize) -> u32 {
+        let prompt = match self.server.spec.tenants[tenant].model {
+            ModelKind::DecodeLlm { prompt, .. } => prompt,
+            _ => unreachable!("prefill steps queried for a non-decode tenant"),
+        };
+        let prefill = self.server.pool.service_time(tenant, 1, device as u32);
+        let step = self.server.pool.decode_step_time(
+            tenant,
+            1,
+            ModelKind::ctx_class(prompt + 1),
+            device as u32,
+        );
+        (prefill
+            .as_picos()
+            .div_ceil(step.as_picos().max(1))
+            .min(u32::MAX as u64) as u32)
+            .max(1)
+    }
+
+    /// Seats up to `width` queued requests of `tenant` as a fresh
+    /// continuous-batching decode run and prices its first step.
+    fn start_decode_run(&mut self, now: SimTime, device: usize, tenant: usize, width: usize) {
+        let prefill_left = self.decode_prefill_steps(tenant, device);
+        let requests: Vec<Request> = self.queues[tenant].drain(..width).collect();
+        let seqs: Vec<DecodeSeq> = requests
+            .into_iter()
+            .map(|req| {
+                self.owner_seq += 1;
+                DecodeSeq {
+                    req,
+                    done: 0,
+                    owner: self.owner_seq,
+                    prefill_left,
+                }
+            })
+            .collect();
+        self.gens[device] += 1;
+        self.busy[device] = Some(Running::Decode(DecodeRun {
+            tenant,
+            seqs,
+            step_start: now,
+            step_service: SimTime::ZERO,
+        }));
+        self.begin_decode_step(now, device);
+    }
+
+    /// Admits the resident sequences' next-token KV growth against the
+    /// device's block pool, then prices and schedules the step.
+    ///
+    /// KV admission walks the residents oldest-first. A sequence whose
+    /// growth fails (even after the pool evicts retained pages) preempts
+    /// the **youngest** co-resident: its pages are discarded, its tokens
+    /// counted as recomputed, and its request requeued at the queue front
+    /// to start over. A lone sequence that still cannot fit can never run
+    /// and is shed. Each iteration either admits a sequence or removes
+    /// one, and between preempt cycles the step advances virtual time, so
+    /// the loop — and the run — always terminates.
+    fn begin_decode_step(&mut self, now: SimTime, device: usize) {
+        let Some(Running::Decode(mut run)) = self.busy[device].take() else {
+            unreachable!("begin_decode_step on a device not running decode");
+        };
+        let tenant = run.tenant;
+        let block_tokens = self.config.decode.block_tokens as u64;
+        let prompt = match self.server.spec.tenants[tenant].model {
+            ModelKind::DecodeLlm { prompt, .. } => prompt,
+            _ => unreachable!("decode run on a non-decode tenant"),
+        };
+        let mut i = 0;
+        while i < run.seqs.len() {
+            let context = prompt as u64 + run.seqs[i].done as u64 + 1;
+            let need = context
+                .div_ceil(block_tokens)
+                .saturating_sub(self.kv[device].held_by(run.seqs[i].owner));
+            if self.kv[device].try_grow(run.seqs[i].owner, need) {
+                i += 1;
+                continue;
+            }
+            if run.seqs.len() > 1 {
+                // Memory pressure: preempt the youngest resident (the
+                // cheapest recompute). A sequence never displaces one
+                // older than itself — when the one being admitted *is*
+                // the youngest, it is its own victim and goes back to
+                // the queue, so the established run keeps progressing.
+                let victim = run.seqs.remove(run.seqs.len() - 1);
+                self.kv[device].discard(victim.owner);
+                self.tenants[tenant].decode_preemptions += 1;
+                self.tenants[tenant].recomputed_tokens += victim.done as u64;
+                self.queues[tenant].push_front(victim.req);
+                continue;
+            }
+            // Alone and still over budget: this request can never decode
+            // on this pool — shed it (its generated tokens are wasted).
+            let victim = run.seqs.remove(i);
+            self.kv[device].discard(victim.owner);
+            self.tenants[tenant].shed += 1;
+            self.tenants[tenant].recomputed_tokens += victim.done as u64;
+            self.wake_client(now, tenant, victim.req.client);
+        }
+        if run.seqs.is_empty() {
+            self.gens[device] += 1;
+            self.try_dispatch(now);
+            return;
+        }
+        // Price the step at the widest resident context. Joiners still
+        // working through their chunked prefill are priced like any other
+        // resident: their prefill chunk rides the step's wave quantum
+        // instead of stalling the run (see the module docs).
+        let width = run.seqs.len() as u32;
+        let max_context = prompt + run.seqs.iter().map(|s| s.done).max().unwrap_or(0) + 1;
+        let class = ModelKind::ctx_class(max_context);
+        let service = self
+            .server
+            .pool
+            .decode_step_time(tenant, width, class, device as u32);
+        run.step_start = now;
+        run.step_service = service;
+        self.served[tenant] += service.as_picos() as u128;
+        self.devices[device].busy += service;
+        self.devices[device].batches += 1;
+        self.devices[device].requests += width as u64;
+        self.busy[device] = Some(Running::Decode(run));
+        self.push(
+            now.saturating_add(service),
+            EvKind::DecodeStep {
+                device,
+                gen: self.gens[device],
+            },
+        );
+    }
+
+    /// A decode step finished: every resident sequence gained a token,
+    /// finished sequences complete and release their pages, queued
+    /// requests join, and the next step begins.
+    fn handle_decode_step(&mut self, now: SimTime, device: usize, gen: u64) {
+        if self.gens[device] != gen {
+            return; // the run was evacuated by a fault mid-step
+        }
+        let Some(Running::Decode(mut run)) = self.busy[device].take() else {
+            unreachable!("DecodeStep generation matched a non-decode batch");
+        };
+        let tenant = run.tenant;
+        let mut i = 0;
+        while i < run.seqs.len() {
+            if run.seqs[i].prefill_left > 0 {
+                // Still chunking through its prompt on overlapped
+                // capacity: the step processed a prefill chunk, not a
+                // new token.
+                run.seqs[i].prefill_left -= 1;
+                i += 1;
+                continue;
+            }
+            run.seqs[i].done += 1;
+            self.tenants[tenant].tokens_generated += 1;
+            if run.seqs[i].done < run.seqs[i].req.decode {
+                i += 1;
+                continue;
+            }
+            let finished = run.seqs.remove(i);
+            self.kv[device].release(finished.owner);
+            self.tenants[tenant].completed += 1;
+            self.tenants[tenant]
+                .latencies
+                .push(now - finished.req.arrival);
+            let delivered = finished.done as u64;
+            self.tenants[tenant].tokens_out += delivered;
+            if now > finished.req.deadline {
+                self.tenants[tenant].violations += 1;
+            } else {
+                self.tenants[tenant].tokens_good += delivered;
+            }
+            self.completions.push(now);
+            self.wake_client(now, tenant, finished.req.client);
+        }
+        self.shed_expired(now);
+        // Re-form the batch: queued requests join at the step boundary
+        // (no window gating — a running decode batch is never partial in
+        // the static sense). Joiners start in their chunked-prefill
+        // phase, overlapped with the residents' decoding.
+        let prefill_left = self.decode_prefill_steps(tenant, device);
+        while run.seqs.len() < self.config.batch.max_batch as usize {
+            let Some(req) = self.queues[tenant].pop_front() else {
+                break;
+            };
+            self.owner_seq += 1;
+            run.seqs.push(DecodeSeq {
+                req,
+                done: 0,
+                owner: self.owner_seq,
+                prefill_left,
+            });
+        }
+        if run.seqs.is_empty() {
+            self.gens[device] += 1;
+            self.try_dispatch(now);
+            return;
+        }
+        self.busy[device] = Some(Running::Decode(run));
+        self.begin_decode_step(now, device);
     }
 
     /// No device is free but a latency-class tenant is ready: schedule a
@@ -806,8 +1184,19 @@ impl<'a> Sim<'a> {
             if !self.alive[d] || self.preempt_pending[d] {
                 continue;
             }
-            let Some(batch) = &self.busy[d] else { continue };
+            // Decode work is never a checkpoint victim: a decode run (or
+            // padded static decode batch) is a multi-step composite with
+            // no single warmed pipeline to probe for a boundary.
+            let Some(Running::Batch(batch)) = &self.busy[d] else {
+                continue;
+            };
             if batch.resumed || spec.tenants[batch.tenant].class != TenantClass::Throughput {
+                continue;
+            }
+            if matches!(
+                spec.tenants[batch.tenant].model,
+                ModelKind::DecodeLlm { .. }
+            ) {
                 continue;
             }
             let remaining = (batch.start + batch.service).saturating_sub(now);
@@ -816,7 +1205,9 @@ impl<'a> Sim<'a> {
             }
         }
         let Some((device, _)) = victim else { return };
-        let batch = self.busy[device].as_ref().expect("victim is busy");
+        let Some(Running::Batch(batch)) = &self.busy[device] else {
+            unreachable!("victim selection only considers running batches");
+        };
         let elapsed = now - batch.start;
         let Some((boundary, _)) = self.server.pool.checkpoint(
             batch.tenant,
@@ -850,6 +1241,7 @@ impl<'a> Sim<'a> {
                     attempt,
                 } => self.handle_arrival(ev.time, tenant, client, attempt),
                 EvKind::DeviceFree { device, gen } => self.handle_device_free(ev.time, device, gen),
+                EvKind::DecodeStep { device, gen } => self.handle_decode_step(ev.time, device, gen),
                 EvKind::WindowCheck => self.try_dispatch(ev.time),
                 EvKind::Preempt { device, gen } => self.handle_preempt(ev.time, device, gen),
                 EvKind::DeviceDrop { device } => self.handle_device_drop(ev.time, device),
@@ -887,6 +1279,9 @@ impl<'a> Sim<'a> {
         let mut tenants = self.tenants;
         for tenant in &mut tenants {
             tenant.latencies.sort();
+        }
+        for (device, pool) in self.kv.iter().enumerate() {
+            self.devices[device].kv = pool.stats();
         }
         ServeReport {
             tenants,
@@ -972,7 +1367,7 @@ mod tests {
                         sched,
                         batch,
                         slo_admission,
-                        preempt: None,
+                        ..ServeConfig::baseline()
                     };
                     let report = server.run(&config);
                     report.check().unwrap_or_else(|e| {
@@ -991,7 +1386,7 @@ mod tests {
             sched: RequestSched::Edf,
             batch: BatchPolicy::new(4, SimTime::from_micros(50.0)),
             slo_admission: true,
-            preempt: None,
+            ..ServeConfig::baseline()
         };
         let a = toy_server(7, 9_000.0).run(&config);
         let b = toy_server(7, 9_000.0).run(&config);
@@ -1008,8 +1403,7 @@ mod tests {
         let batched = server.run(&ServeConfig {
             sched: RequestSched::Fifo,
             batch: BatchPolicy::new(4, SimTime::from_micros(60.0)),
-            slo_admission: false,
-            preempt: None,
+            ..ServeConfig::baseline()
         });
         let dropped: u64 = unbatched.tenants.iter().map(|t| t.rejected + t.shed).sum();
         assert!(dropped > 0, "saturating load must shed");
@@ -1380,6 +1774,117 @@ mod tests {
                 preempt: Some(PreemptPolicy::new(SimTime::from_micros(5.0))),
                 ..ServeConfig::baseline()
             })
+        );
+    }
+
+    // ---- continuous batching: decode tenants and the KV pool ----------
+
+    use crate::sched::DecodePolicy;
+
+    fn decode_spec(seed: u64, rate_rps: f64, kv_bytes_per_token: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            tenants: vec![TenantSpec {
+                name: "decode".into(),
+                model: ModelKind::DecodeLlm {
+                    // Decode-heavy: generation dominates the prefill, the
+                    // regime where continuous batching earns its keep.
+                    prompt: 16,
+                    max_new: 96,
+                    step_cycles: 40_000,
+                    ctx_cycles: 400,
+                    kv_bytes_per_token,
+                },
+                arrival: ArrivalModel::OpenPoisson { rate_rps },
+                slo: SimTime::from_millis(40),
+                queue_cap: 64,
+                weight: 1,
+                class: TenantClass::Throughput,
+                retry: None,
+            }],
+            horizon: SimTime::from_millis(40),
+            seed,
+        }
+    }
+
+    fn decode_server(seed: u64, rate_rps: f64, kv_bytes_per_token: u64) -> Server {
+        let cluster = ClusterConfig::single(GpuConfig::toy(4));
+        Server::new(decode_spec(seed, rate_rps, kv_bytes_per_token), &cluster, 8)
+    }
+
+    fn decode_config(decode: DecodePolicy) -> ServeConfig {
+        ServeConfig {
+            batch: BatchPolicy::new(8, SimTime::from_micros(50.0)),
+            decode,
+            ..ServeConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn decode_tenants_conserve_tokens_and_replay_bit_identically() {
+        let server = decode_server(61, 2_000.0, 1 << 12);
+        for decode in [
+            DecodePolicy::static_width(),
+            DecodePolicy::continuous_batching(),
+        ] {
+            let config = decode_config(decode);
+            let report = server.run(&config);
+            report.check().unwrap_or_else(|e| panic!("{decode}: {e}"));
+            let t = &report.tenants[0];
+            assert!(t.completed > 0, "{decode}: decode requests must finish");
+            assert!(t.tokens_generated > 0, "{decode}: tokens must be counted");
+            assert_eq!(t.tokens_generated, t.tokens_out + t.recomputed_tokens);
+            // Unpressured pool: nothing evicted, nothing preempted.
+            assert_eq!(t.decode_preemptions, 0, "{decode}");
+            assert_eq!(report, server.run(&config), "{decode}: must replay");
+            assert_eq!(
+                report,
+                server.run_with_faults(&config, &FaultPlan::none()),
+                "{decode}: fault-free chaos path must match run()"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_pressure_preempts_and_recomputes_decode_sequences() {
+        // 1 MiB per token over a 1-permille pool share of a 32-GiB toy
+        // device: 32 MiB of KV = two 16-token blocks. Any two co-resident
+        // sequences fight for blocks, so the run must preempt (youngest
+        // first) and recompute rather than deadlock or leak.
+        let server = decode_server(67, 2_000.0, 1 << 20);
+        let config = decode_config(DecodePolicy::new(true, 16, 1));
+        let report = server.run(&config);
+        report.check().expect("pressured decode report");
+        let t = &report.tenants[0];
+        assert!(
+            t.decode_preemptions > 0,
+            "a two-block pool must force preemption"
+        );
+        assert!(t.recomputed_tokens > 0, "preempted progress is recomputed");
+        assert!(t.completed > 0, "work still finishes under pressure");
+        assert_eq!(t.tokens_generated, t.tokens_out + t.recomputed_tokens);
+        let kv = &report.devices[0].kv;
+        assert_eq!(kv.total, 2, "32 MiB / 16 MiB blocks");
+        assert!(kv.alloc_failures > 0, "pressure showed up at the allocator");
+        assert_eq!(kv.active_now, 0, "the drain returns every block");
+        assert_eq!(report, server.run(&config), "pressure path is seeded too");
+    }
+
+    #[test]
+    fn continuous_batching_beats_static_width_decode_at_saturation() {
+        let server = decode_server(71, 2_000.0, 1 << 12);
+        let fixed = server.run(&decode_config(DecodePolicy::static_width()));
+        let cont = server.run(&decode_config(DecodePolicy::continuous_batching()));
+        fixed.check().expect("static decode report");
+        cont.check().expect("continuous decode report");
+        // Static-width decode pads every sequence to the batch's longest
+        // draw; continuous batching refills freed slots at step
+        // boundaries, so at saturation it must deliver more on-time
+        // tokens per second.
+        assert!(
+            cont.tokens_goodput_per_sec() > fixed.tokens_goodput_per_sec(),
+            "continuous {} vs static {} tokens/s goodput",
+            cont.tokens_goodput_per_sec(),
+            fixed.tokens_goodput_per_sec()
         );
     }
 }

@@ -41,6 +41,21 @@
 //! ([`PreemptPolicy`]), with the checkpoint/resume overhead accounted in
 //! the report. All of it stays bit-identical per seed.
 //!
+//! A sixth layer serves **autoregressive decode** the way vLLM does. A
+//! [`ModelKind::DecodeLlm`] tenant's requests carry per-request token
+//! budgets (drawn at admission from a dedicated seeded stream), and
+//! [`DecodePolicy`] picks the execution style: *static width* pads an
+//! admission-time batch to its longest member's prefill + decode, while
+//! *continuous batching* re-forms the running batch at every decode-step
+//! boundary — finished sequences leave, queued requests join mid-run, and
+//! each sequence grows a paged KV-cache allocation from a per-device
+//! block pool ([`KvPool`](cusync_sim::KvPool)) carved out of the
+//! simulated GPU's DRAM. Memory pressure evicts retained pages, then
+//! preempts the youngest co-resident sequence for recompute; the report
+//! tracks tokens-per-second goodput and the token conservation law
+//! `tokens_generated = tokens_out + recomputed_tokens`
+//! ([`ServeReport::check`]).
+//!
 //! ## Example
 //!
 //! ```
@@ -69,7 +84,7 @@
 //!     sched: RequestSched::Edf,
 //!     batch: BatchPolicy::new(4, SimTime::from_micros(100.0)),
 //!     slo_admission: true,
-//!     preempt: None,
+//!     ..ServeConfig::baseline()
 //! };
 //! let report = server.run_with_faults(&config, &FaultPlan::none());
 //! report.check().expect("conservation holds");
@@ -87,12 +102,14 @@ mod sched;
 mod workload;
 mod zoo;
 
+pub use cusync_sim::{KvPool, KvStats};
 pub use dispatch::{ServeConfig, Server};
 pub use fault::{DeviceDrop, FaultPlan, LinkDegrade, PanicInjection};
 pub use metrics::{DeviceMetrics, FaultOutcome, ServeReport, TenantMetrics};
 pub use pool::ServicePool;
-pub use sched::{BatchPolicy, PreemptPolicy, RequestSched};
+pub use sched::{BatchPolicy, DecodePolicy, PreemptPolicy, RequestSched};
 pub use workload::{
-    ArrivalModel, ArrivalTrace, RetryPolicy, Rng, TenantClass, TenantSpec, TraceShape, WorkloadSpec,
+    ArrivalModel, ArrivalTrace, RetryPolicy, Rng, TenantClass, TenantSpec, TraceParseError,
+    TraceParseErrorKind, TraceShape, WorkloadError, WorkloadSpec,
 };
 pub use zoo::ModelKind;

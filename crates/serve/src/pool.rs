@@ -37,6 +37,17 @@ struct LazyMeasure {
     degraded: HashMap<(u64, usize, LinkScale), SimTime>,
     /// `(fingerprint, slot, elapsed ps, scale)` → checkpoint outcome.
     checkpoints: HashMap<CheckpointKey, Option<(SimTime, SimTime)>>,
+    /// `(tenant, width, context class, slot)` → fingerprint of the
+    /// decode-step pipeline for that shape. Decode steps are compiled
+    /// lazily because the reachable (width, class) set depends on runtime
+    /// batch formation, not on the spec alone.
+    step_shapes: HashMap<(usize, u32, u32, usize), u64>,
+    /// `(step fingerprint, slot)` → measured step service time.
+    step_times: HashMap<(u64, usize), SimTime>,
+    /// `(tenant, width, max decode length, slot)` → padded static-width
+    /// decode total (prefill + every step priced at the batch's final
+    /// width).
+    static_decode: HashMap<(usize, u32, u32, usize), SimTime>,
 }
 
 /// Compiled pipelines and measured service times for every (tenant,
@@ -101,6 +112,9 @@ impl ServicePool {
                 session: Session::new(),
                 degraded: HashMap::new(),
                 checkpoints: HashMap::new(),
+                step_shapes: HashMap::new(),
+                step_times: HashMap::new(),
+                static_decode: HashMap::new(),
             }),
         };
         // Tenants sharing a ModelKind share the compile itself, not just
@@ -275,6 +289,88 @@ impl ServicePool {
         lazy.checkpoints.insert(key, result);
         result
     }
+
+    /// Deterministic service time of **one decode step** of a `width`-wide
+    /// decode batch of `tenant` on `device`, at context class `ctx_class`
+    /// (see [`ModelKind::ctx_class`](crate::ModelKind::ctx_class)).
+    ///
+    /// The step pipeline is compiled lazily on first use — the reachable
+    /// (width, class) set depends on how batches form at runtime — then
+    /// memoized by shape and, through the fingerprint, shared across
+    /// tenants serving the same decode model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is not a [`DecodeLlm`](crate::ModelKind) model,
+    /// `width` is zero, or `device` is out of range.
+    pub fn decode_step_time(
+        &self,
+        tenant: usize,
+        width: u32,
+        ctx_class: u32,
+        device: u32,
+    ) -> SimTime {
+        let slot = self.model_of_device[device as usize];
+        let key = (tenant, width, ctx_class, slot);
+        if let Some(&fingerprint) = self.lazy.borrow().step_shapes.get(&key) {
+            return self.lazy.borrow().step_times[&(fingerprint, slot)];
+        }
+        // Compile outside the borrow: compilation only needs the model and
+        // the device config.
+        let pipeline = self.models[tenant].compile_decode_step(
+            &self.cluster.devices[device as usize],
+            width,
+            ctx_class,
+        );
+        let fingerprint = pipeline.fingerprint();
+        let mut lazy = self.lazy.borrow_mut();
+        lazy.step_shapes.insert(key, fingerprint);
+        if let Some(&total) = lazy.step_times.get(&(fingerprint, slot)) {
+            return total;
+        }
+        let total = lazy
+            .session
+            .run(&pipeline)
+            .expect("decode-step pipeline deadlocked during measurement")
+            .total;
+        lazy.step_times.insert((fingerprint, slot), total);
+        total
+    }
+
+    /// Padded static-width decode total: prefill at `width` plus every
+    /// decode step up to `max_decode`, each priced at the full batch
+    /// width and at the growing context. This is what a static
+    /// (non-continuous) decode dispatch holds the device for — the whole
+    /// batch rides until its **longest** member finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is not a decode model, the shape was not
+    /// warmed, or `device` is out of range.
+    pub fn static_decode_service(
+        &self,
+        tenant: usize,
+        width: u32,
+        max_decode: u32,
+        device: u32,
+    ) -> SimTime {
+        let slot = self.model_of_device[device as usize];
+        let key = (tenant, width, max_decode, slot);
+        if let Some(&total) = self.lazy.borrow().static_decode.get(&key) {
+            return total;
+        }
+        let prompt = match self.models[tenant] {
+            crate::zoo::ModelKind::DecodeLlm { prompt, .. } => prompt,
+            ref model => panic!("{model} is not a decode model"),
+        };
+        let mut total = self.service_time(tenant, width, device);
+        for step in 1..=max_decode {
+            let class = crate::zoo::ModelKind::ctx_class(prompt + step);
+            total = total.saturating_add(self.decode_step_time(tenant, width, class, device));
+        }
+        self.lazy.borrow_mut().static_decode.insert(key, total);
+        total
+    }
 }
 
 #[cfg(test)]
@@ -395,5 +491,31 @@ mod tests {
             pool.checkpoint(0, 1, 0, SimTime::from_picos(1), None),
             Some((boundary, remaining))
         );
+    }
+
+    #[test]
+    fn decode_memos_price_steps_and_static_totals() {
+        let cluster = ClusterConfig::single(GpuConfig::toy(4));
+        let mut tenant = toy_tenant("d", 2);
+        tenant.model = ModelKind::DecodeLlm {
+            prompt: 16,
+            max_new: 8,
+            step_cycles: 50_000,
+            ctx_cycles: 500,
+            kv_bytes_per_token: 1 << 10,
+        };
+        let tenants = [tenant];
+        let pool = ServicePool::build(&cluster, &tenants, 2);
+        let step = pool.decode_step_time(0, 1, 16, 0);
+        assert!(step > SimTime::ZERO);
+        assert_eq!(step, pool.decode_step_time(0, 1, 16, 0), "memoized");
+        assert!(pool.decode_step_time(0, 2, 16, 0) >= step, "wider ≥");
+        // The padded static total is exactly prefill plus every step at
+        // the batch width, each at its context class.
+        let mut expect = pool.service_time(0, 1, 0);
+        for k in 1..=4u32 {
+            expect += pool.decode_step_time(0, 1, ModelKind::ctx_class(16 + k), 0);
+        }
+        assert_eq!(pool.static_decode_service(0, 1, 4, 0), expect);
     }
 }

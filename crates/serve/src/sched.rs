@@ -98,6 +98,81 @@ impl fmt::Display for BatchPolicy {
     }
 }
 
+/// How decode-capable tenants ([`ModelKind::DecodeLlm`](crate::ModelKind))
+/// execute their token-generation phase.
+///
+/// With `continuous` off, a decode batch is dispatched like any other
+/// batch: its width is fixed at admission and the device is held for the
+/// *longest* member's full prefill + decode — the padded static-width
+/// baseline, whose worst-case KV footprint is preallocated up front (the
+/// block pool is bypassed). With `continuous` on, the dispatcher re-forms
+/// the running batch at every decode-step boundary (vLLM-style continuous
+/// batching): finished sequences leave and release their KV pages, queued
+/// requests join mid-run, and each sequence grows its paged KV allocation
+/// from the device's block pool — a step that cannot get blocks evicts
+/// retained pages, then preempts the youngest co-resident sequence for
+/// later recompute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodePolicy {
+    /// Re-form the batch at every decode-step boundary instead of riding
+    /// admission-time batches.
+    pub continuous: bool,
+    /// Tokens per KV-cache block (page): a sequence at context length `c`
+    /// holds `⌈c / block_tokens⌉` blocks.
+    pub block_tokens: u32,
+    /// Share of each device's DRAM given to the KV block pool, in
+    /// permille (exact integer sizing; 500 = half the DRAM).
+    pub kv_permille: u32,
+}
+
+impl DecodePolicy {
+    /// The static-width baseline: admission-time batches, padded to the
+    /// longest member, worst-case KV preallocated.
+    pub fn static_width() -> Self {
+        DecodePolicy {
+            continuous: false,
+            block_tokens: 16,
+            kv_permille: 500,
+        }
+    }
+
+    /// Continuous batching over 16-token KV blocks from half of each
+    /// device's DRAM.
+    pub fn continuous_batching() -> Self {
+        DecodePolicy {
+            continuous: true,
+            ..DecodePolicy::static_width()
+        }
+    }
+
+    /// A fully explicit policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero or `kv_permille` exceeds 1000.
+    pub fn new(continuous: bool, block_tokens: u32, kv_permille: u32) -> Self {
+        assert!(block_tokens > 0, "block_tokens must be positive");
+        assert!(kv_permille <= 1000, "kv_permille must be at most 1000");
+        DecodePolicy {
+            continuous,
+            block_tokens,
+            kv_permille,
+        }
+    }
+}
+
+impl fmt::Display for DecodePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}b{}kv{}",
+            if self.continuous { "cont" } else { "static" },
+            self.block_tokens,
+            self.kv_permille
+        )
+    }
+}
+
 /// Cross-tenant preemption: when configured and no device is free, a
 /// ready [`Latency`](crate::TenantClass::Latency) tenant checkpoints the
 /// running [`Throughput`](crate::TenantClass::Throughput) batch with the
@@ -152,5 +227,33 @@ mod tests {
     #[should_panic(expected = "max_batch")]
     fn zero_width_rejected() {
         BatchPolicy::new(0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn decode_policy_constructors_and_names() {
+        assert!(!DecodePolicy::static_width().continuous);
+        assert!(DecodePolicy::continuous_batching().continuous);
+        assert_eq!(
+            DecodePolicy::new(true, 8, 250),
+            DecodePolicy {
+                continuous: true,
+                block_tokens: 8,
+                kv_permille: 250
+            }
+        );
+        assert_eq!(DecodePolicy::new(true, 8, 250).to_string(), "contb8kv250");
+        assert_eq!(DecodePolicy::static_width().to_string(), "staticb16kv500");
+    }
+
+    #[test]
+    #[should_panic(expected = "block_tokens")]
+    fn zero_block_tokens_rejected() {
+        DecodePolicy::new(true, 0, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "kv_permille")]
+    fn overfull_kv_share_rejected() {
+        DecodePolicy::new(true, 16, 1001);
     }
 }

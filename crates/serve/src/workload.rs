@@ -11,11 +11,75 @@
 //! format or synthesized from a seeded shape ([`TraceShape`]) so CI needs
 //! no data files.
 
+use std::fmt;
 use std::sync::Arc;
 
 use cusync_sim::{splitmix64, SimTime};
 
 use crate::zoo::ModelKind;
+
+/// Why a [`WorkloadSpec`] is invalid — raised by
+/// [`WorkloadSpec::validate`] (and the `Server` constructors) instead of
+/// letting a non-finite or non-positive rate wrap silently through the
+/// arrival generators' `f64 → u64` conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The spec has no tenants.
+    NoTenants,
+    /// A tenant's bounded queue has zero capacity.
+    ZeroQueueCap {
+        /// Offending tenant name.
+        tenant: String,
+    },
+    /// A tenant's fair-share weight is zero.
+    ZeroWeight {
+        /// Offending tenant name.
+        tenant: String,
+    },
+    /// An open-loop rate is NaN, infinite, or not positive.
+    InvalidRate {
+        /// Offending tenant name.
+        tenant: String,
+        /// The rejected rate, requests per second.
+        rate: f64,
+    },
+    /// A closed-loop tenant has zero clients (it would never offer load).
+    NoClients {
+        /// Offending tenant name.
+        tenant: String,
+    },
+    /// A decode model's shape is degenerate (zero prompt, zero `max_new`,
+    /// or zero KV bytes per token).
+    InvalidDecode {
+        /// Offending tenant name.
+        tenant: String,
+        /// Which decode parameter is zero.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NoTenants => f.write_str("a workload needs tenants"),
+            WorkloadError::ZeroQueueCap { tenant } => {
+                write!(f, "{tenant}: queue_cap must be > 0")
+            }
+            WorkloadError::ZeroWeight { tenant } => write!(f, "{tenant}: weight must be > 0"),
+            WorkloadError::InvalidRate { tenant, rate } => {
+                write!(f, "{tenant}: rate {rate} must be finite and positive")
+            }
+            WorkloadError::NoClients { tenant } => {
+                write!(f, "{tenant}: a closed loop needs at least one client")
+            }
+            WorkloadError::InvalidDecode { tenant, field } => {
+                write!(f, "{tenant}: decode model {field} must be > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// How a tenant offers load.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +201,62 @@ pub struct ArrivalTrace {
     instants: Arc<Vec<SimTime>>,
 }
 
+/// Why a trace TSV failed to parse, naming the offending line — raised
+/// by [`ArrivalTrace::parse_tsv`] instead of silently re-sorting
+/// mis-ordered replay or letting an absurd count column OOM the process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: TraceParseErrorKind,
+}
+
+/// The ways a trace TSV line can be rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceParseErrorKind {
+    /// Column 1 is not a `u64` picosecond instant.
+    BadInstant(String),
+    /// Column 2 is present but not a `u64` count.
+    BadCount(String),
+    /// An explicit count of zero (an arrival line must arrive).
+    ZeroCount,
+    /// The instant runs backwards relative to the previous line.
+    Unsorted {
+        /// The previous line's instant, picoseconds.
+        prev: u64,
+        /// This line's (earlier) instant, picoseconds.
+        here: u64,
+    },
+    /// The cumulative arrival count exceeds
+    /// [`ArrivalTrace::MAX_ARRIVALS`].
+    TooManyArrivals {
+        /// The cumulative count that broke the cap.
+        total: u64,
+    },
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            TraceParseErrorKind::BadInstant(e) => write!(f, "bad arrival_ps ({e})"),
+            TraceParseErrorKind::BadCount(e) => write!(f, "bad count ({e})"),
+            TraceParseErrorKind::ZeroCount => f.write_str("count must be at least 1"),
+            TraceParseErrorKind::Unsorted { prev, here } => {
+                write!(f, "instants run backwards ({here} after {prev})")
+            }
+            TraceParseErrorKind::TooManyArrivals { total } => write!(
+                f,
+                "trace exceeds {} arrivals ({total} and counting)",
+                ArrivalTrace::MAX_ARRIVALS
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
 impl ArrivalTrace {
     /// A trace from explicit instants (sorted internally).
     pub fn new(mut instants: Vec<SimTime>) -> Self {
@@ -161,35 +281,69 @@ impl ArrivalTrace {
         self.instants.is_empty()
     }
 
+    /// Cap on the total arrivals a parsed trace may carry (16Mi): a
+    /// malformed or hostile count column (`5\t99999999999999`) fails with
+    /// a typed error instead of allocating the count.
+    pub const MAX_ARRIVALS: u64 = 1 << 24;
+
     /// Parses the TSV format described on [`ArrivalTrace`].
+    ///
+    /// Instants must be non-decreasing as written: recorded replay order
+    /// is meaningful, so a mis-sorted trace is rejected (naming the
+    /// offending line) rather than silently re-sorted.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first malformed line.
-    pub fn parse_tsv(text: &str) -> Result<Self, String> {
+    /// Returns a [`TraceParseError`] naming the first malformed,
+    /// mis-ordered, or cap-breaking line.
+    pub fn parse_tsv(text: &str) -> Result<Self, TraceParseError> {
         let mut instants = Vec::new();
+        let mut prev: Option<u64> = None;
+        let mut total: u64 = 0;
         for (lineno, raw) in text.lines().enumerate() {
+            let fail = |kind| TraceParseError {
+                line: lineno + 1,
+                kind,
+            };
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let mut cols = line.split('\t').map(str::trim);
-            let ps: u64 = cols
-                .next()
-                .unwrap_or_default()
-                .parse()
-                .map_err(|e| format!("line {}: bad arrival_ps ({e})", lineno + 1))?;
+            let ps: u64 =
+                cols.next()
+                    .unwrap_or_default()
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| {
+                        fail(TraceParseErrorKind::BadInstant(e.to_string()))
+                    })?;
+            if let Some(prev) = prev {
+                if ps < prev {
+                    return Err(fail(TraceParseErrorKind::Unsorted { prev, here: ps }));
+                }
+            }
+            prev = Some(ps);
             let count: u64 = match cols.next() {
                 None | Some("") => 1,
-                Some(c) => c
-                    .parse()
-                    .map_err(|e| format!("line {}: bad count ({e})", lineno + 1))?,
+                Some(c) => c.parse().map_err(|e: std::num::ParseIntError| {
+                    fail(TraceParseErrorKind::BadCount(e.to_string()))
+                })?,
             };
+            if count == 0 {
+                return Err(fail(TraceParseErrorKind::ZeroCount));
+            }
+            total = total.saturating_add(count);
+            if total > Self::MAX_ARRIVALS {
+                return Err(fail(TraceParseErrorKind::TooManyArrivals { total }));
+            }
             for _ in 0..count {
                 instants.push(SimTime::from_picos(ps));
             }
         }
-        Ok(ArrivalTrace::new(instants))
+        // Sortedness was verified during the parse; skip the re-sort.
+        Ok(ArrivalTrace {
+            instants: Arc::new(instants),
+        })
     }
 
     /// Renders the trace in the TSV format described on [`ArrivalTrace`]
@@ -227,7 +381,9 @@ impl ArrivalTrace {
         // A dedicated key-space corner so trace draws never collide with
         // the dispatcher's per-client streams.
         let mut rng = Rng::for_client(seed, 0x7ace, 0x7ace_7ace);
-        // Every gap advances at least 1 ps so synthesis always terminates.
+        // Every gap advances at least 1 ps so synthesis always terminates
+        // (exponential draws floor themselves; the Pareto path floors its
+        // own conversion below).
         let floor = SimTime::from_picos(1);
         let mut t = SimTime::ZERO;
         let mut out = Vec::new();
@@ -245,7 +401,7 @@ impl ArrivalTrace {
                     let phase = t.as_picos() % period.as_picos();
                     let bursting = (phase as f64) < duty * period.as_picos() as f64;
                     let rate = if bursting { burst_rps } else { base_rps };
-                    t += rng.poisson_gap(rate).max(floor);
+                    t = t.saturating_add(rng.poisson_gap(rate).max(floor));
                     if t > horizon {
                         break;
                     }
@@ -263,7 +419,7 @@ impl ArrivalTrace {
                 // Lewis thinning: candidates at the peak rate, accepted
                 // with probability rate(t)/peak.
                 loop {
-                    t += rng.poisson_gap(peak_rps).max(floor);
+                    t = t.saturating_add(rng.poisson_gap(peak_rps).max(floor));
                     if t > horizon {
                         break;
                     }
@@ -285,8 +441,14 @@ impl ArrivalTrace {
                 let xm_secs = (alpha - 1.0) / (alpha * rate_rps);
                 loop {
                     let gap_secs = xm_secs * rng.next_unit().powf(-1.0 / alpha);
-                    let gap = SimTime::from_picos((gap_secs * 1e12).round() as u64);
-                    t += gap.max(floor);
+                    // Checked conversion: a heavy-tail draw past the
+                    // representable range clamps to SimTime::MAX (ending
+                    // the trace) instead of wrapping `t` back to early
+                    // virtual time through the raw `as u64` cast.
+                    let gap = SimTime::try_from_secs_f64(gap_secs)
+                        .expect("Pareto gaps are positive")
+                        .max(floor);
+                    t = t.saturating_add(gap);
                     if t > horizon {
                         break;
                     }
@@ -335,6 +497,73 @@ pub struct WorkloadSpec {
     pub seed: u64,
 }
 
+impl WorkloadSpec {
+    /// Checks the spec's structural invariants: at least one tenant, and
+    /// per tenant a positive queue capacity and weight, a finite positive
+    /// open-loop rate, at least one closed-loop client, and a
+    /// non-degenerate decode shape. The `Server` constructors call this,
+    /// so a bad rate fails construction with a typed error instead of
+    /// saturating to a zero-length arrival gap deep in the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.tenants.is_empty() {
+            return Err(WorkloadError::NoTenants);
+        }
+        for tenant in &self.tenants {
+            let name = || tenant.name.clone();
+            if tenant.queue_cap == 0 {
+                return Err(WorkloadError::ZeroQueueCap { tenant: name() });
+            }
+            if tenant.weight == 0 {
+                return Err(WorkloadError::ZeroWeight { tenant: name() });
+            }
+            match &tenant.arrival {
+                ArrivalModel::OpenPoisson { rate_rps } => {
+                    if !rate_rps.is_finite() || *rate_rps <= 0.0 {
+                        return Err(WorkloadError::InvalidRate {
+                            tenant: name(),
+                            rate: *rate_rps,
+                        });
+                    }
+                }
+                ArrivalModel::ClosedLoop { clients, .. } => {
+                    if *clients == 0 {
+                        return Err(WorkloadError::NoClients { tenant: name() });
+                    }
+                }
+                ArrivalModel::Trace(_) => {}
+            }
+            if let ModelKind::DecodeLlm {
+                prompt,
+                max_new,
+                kv_bytes_per_token,
+                ..
+            } = tenant.model
+            {
+                let field = if prompt == 0 {
+                    Some("prompt")
+                } else if max_new == 0 {
+                    Some("max_new")
+                } else if kv_bytes_per_token == 0 {
+                    Some("kv_bytes_per_token")
+                } else {
+                    None
+                };
+                if let Some(field) = field {
+                    return Err(WorkloadError::InvalidDecode {
+                        tenant: name(),
+                        field,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A deterministic SplitMix64 stream with exponential sampling — the
 /// arrival- and think-time generator.
 #[derive(Debug, Clone)]
@@ -367,16 +596,55 @@ impl Rng {
     }
 
     /// An exponentially distributed duration with the given mean.
+    ///
+    /// Never returns zero: a draw that rounds below the simulator's
+    /// picosecond resolution comes back as 1 ps, so arrival chains built
+    /// by adding successive draws are strictly increasing — the same
+    /// floor [`ArrivalTrace::synthesize`] enforces. Draws beyond the
+    /// representable range clamp to [`SimTime::MAX`] instead of wrapping
+    /// through the `f64 → u64` cast.
     pub fn exp(&mut self, mean: SimTime) -> SimTime {
         let draw = -self.next_unit().ln();
-        SimTime::from_picos((mean.as_picos() as f64 * draw).round() as u64)
+        let ps = mean.as_picos() as f64 * draw;
+        if ps >= u64::MAX as f64 {
+            return SimTime::MAX;
+        }
+        SimTime::from_picos((ps.round() as u64).max(1))
     }
 
     /// An exponential inter-arrival gap for a Poisson process of
-    /// `rate_rps` events per second (mean `1/rate`).
+    /// `rate_rps` events per second (mean `1/rate`). Inherits the 1-ps
+    /// floor and [`SimTime::MAX`] clamp of [`Rng::exp`], so zero-gap
+    /// draws cannot produce coincident open-loop arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not finite and positive — reject bad rates
+    /// up front ([`WorkloadSpec::validate`]) rather than let them
+    /// saturate the conversion.
     pub fn poisson_gap(&mut self, rate_rps: f64) -> SimTime {
-        assert!(rate_rps > 0.0, "Poisson rate must be positive");
-        self.exp(SimTime::from_picos((1e12 / rate_rps).round() as u64))
+        assert!(
+            rate_rps.is_finite() && rate_rps > 0.0,
+            "Poisson rate must be finite and positive"
+        );
+        let mean_ps = 1e12 / rate_rps;
+        let mean = if mean_ps >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime::from_picos(mean_ps.round() as u64)
+        };
+        self.exp(mean)
+    }
+
+    /// A uniform draw in `0..n` — the decode-length stream of
+    /// [`ModelKind::DecodeLlm`] tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn uniform(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "uniform draw needs a nonempty range");
+        self.next_u64() % n
     }
 }
 
@@ -432,12 +700,14 @@ mod tests {
         assert_eq!(trace.instants()[0], SimTime::from_picos(1));
         let parsed = ArrivalTrace::parse_tsv(&trace.to_tsv()).unwrap();
         assert_eq!(parsed, trace);
-        // Comments, blanks and explicit counts parse.
-        let hand = "# header\n\n10\t2\n 7 \n";
+        // Comments, blanks and explicit counts parse; equal instants are
+        // fine (they are "non-decreasing", not "strictly increasing").
+        let hand = "# header\n\n7\t2\n 10 \n10\n";
         let t = ArrivalTrace::parse_tsv(hand).unwrap();
         assert_eq!(
             t.instants(),
             &[
+                SimTime::from_picos(7),
                 SimTime::from_picos(7),
                 SimTime::from_picos(10),
                 SimTime::from_picos(10)
@@ -489,7 +759,8 @@ mod tests {
             SimTime::from_millis(100),
             5,
         );
-        let duty_ps = (0.2 * period.as_picos() as f64) as u64;
+        // duty = 0.2 exactly: integer math, no float-cast truncation.
+        let duty_ps = period.as_picos() / 5;
         let in_burst = trace
             .instants()
             .iter()
@@ -501,5 +772,182 @@ mod tests {
             "only {in_burst}/{} arrivals in the burst window",
             trace.len()
         );
+    }
+
+    #[test]
+    fn parse_tsv_rejects_unsorted_traces_naming_the_line() {
+        // Line 4 (1-based, counting the comment) runs backwards.
+        let err = ArrivalTrace::parse_tsv("# header\n5\n9\n7\n12\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceParseError {
+                line: 4,
+                kind: TraceParseErrorKind::Unsorted { prev: 9, here: 7 },
+            }
+        );
+        assert!(err.to_string().starts_with("line 4:"), "{err}");
+        // Equal instants are non-decreasing, not "backwards".
+        assert!(ArrivalTrace::parse_tsv("5\n5\n").is_ok());
+    }
+
+    #[test]
+    fn parse_tsv_rejects_malformed_and_hostile_counts() {
+        let err = ArrivalTrace::parse_tsv("10\nnot-a-number\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, TraceParseErrorKind::BadInstant(_)));
+
+        let err = ArrivalTrace::parse_tsv("10\t-3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, TraceParseErrorKind::BadCount(_)));
+
+        let err = ArrivalTrace::parse_tsv("10\t0\n").unwrap_err();
+        assert_eq!(err.kind, TraceParseErrorKind::ZeroCount);
+
+        // A hostile count column hits the cap (via saturating accumulation,
+        // so even u64::MAX cannot wrap the total) instead of allocating.
+        let hostile = format!("1\t7\n2\t{}\n", u64::MAX);
+        let err = ArrivalTrace::parse_tsv(&hostile).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(
+            err.kind,
+            TraceParseErrorKind::TooManyArrivals { total } if total > ArrivalTrace::MAX_ARRIVALS
+        ));
+    }
+
+    #[test]
+    fn exp_draws_are_floored_and_clamped() {
+        // A mean at the simulator's resolution floor: every draw still
+        // advances time (the 1-ps floor), so arrival chains built by
+        // successive addition are strictly increasing.
+        let mut rng = Rng::for_client(1, 2, 3);
+        assert!((0..512).all(|_| rng.exp(SimTime::from_picos(1)) >= SimTime::from_picos(1)));
+
+        // A mean at the representable ceiling: draws above 1x the mean
+        // (probability 1/e each) clamp to SimTime::MAX instead of
+        // wrapping through the f64 -> u64 cast; adding any draw to a
+        // running clock saturates rather than going backwards.
+        let draws: Vec<SimTime> = (0..64).map(|_| rng.exp(SimTime::MAX)).collect();
+        assert!(draws.contains(&SimTime::MAX), "no draw clamped");
+        let mut t = SimTime::ZERO;
+        for &d in &draws {
+            let next = t.saturating_add(d);
+            assert!(next >= t, "clock ran backwards");
+            t = next;
+        }
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn poisson_gap_rejects_infinite_rates() {
+        Rng::for_client(0, 0, 0).poisson_gap(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn poisson_gap_rejects_nan_rates() {
+        Rng::for_client(0, 0, 0).poisson_gap(f64::NAN);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_in_range() {
+        let draw = || {
+            let mut rng = Rng::for_client(9, 0, u32::MAX - 2);
+            (0..256).map(|_| rng.uniform(7)).collect::<Vec<_>>()
+        };
+        let a = draw();
+        assert_eq!(a, draw());
+        assert!(a.iter().all(|&d| d < 7));
+        assert!((0..7).all(|v| a.contains(&v)), "256 draws cover 0..7");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty range")]
+    fn uniform_rejects_an_empty_range() {
+        Rng::for_client(0, 0, 0).uniform(0);
+    }
+
+    fn valid_tenant() -> TenantSpec {
+        TenantSpec {
+            name: "t".into(),
+            model: ModelKind::Toy {
+                blocks: 1,
+                compute_cycles: 50_000,
+            },
+            arrival: ArrivalModel::OpenPoisson { rate_rps: 100.0 },
+            slo: SimTime::from_millis(1),
+            queue_cap: 4,
+            weight: 1,
+            class: TenantClass::Throughput,
+            retry: None,
+        }
+    }
+
+    #[test]
+    fn workload_validation_catches_degenerate_specs() {
+        let spec = |tenant: TenantSpec| WorkloadSpec {
+            tenants: vec![tenant],
+            horizon: SimTime::from_millis(1),
+            seed: 0,
+        };
+        assert_eq!(spec(valid_tenant()).validate(), Ok(()));
+
+        let empty = WorkloadSpec {
+            tenants: vec![],
+            horizon: SimTime::from_millis(1),
+            seed: 0,
+        };
+        assert_eq!(empty.validate(), Err(WorkloadError::NoTenants));
+
+        let mut t = valid_tenant();
+        t.queue_cap = 0;
+        assert!(matches!(
+            spec(t).validate(),
+            Err(WorkloadError::ZeroQueueCap { .. })
+        ));
+
+        let mut t = valid_tenant();
+        t.weight = 0;
+        assert!(matches!(
+            spec(t).validate(),
+            Err(WorkloadError::ZeroWeight { .. })
+        ));
+
+        // The rates that used to saturate the f64 -> u64 gap conversion
+        // now fail construction with a typed error.
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            let mut t = valid_tenant();
+            t.arrival = ArrivalModel::OpenPoisson { rate_rps: bad };
+            assert!(
+                matches!(spec(t).validate(), Err(WorkloadError::InvalidRate { .. })),
+                "rate {bad} accepted"
+            );
+        }
+
+        let mut t = valid_tenant();
+        t.arrival = ArrivalModel::ClosedLoop {
+            clients: 0,
+            think: SimTime::from_micros(10.0),
+        };
+        assert!(matches!(
+            spec(t).validate(),
+            Err(WorkloadError::NoClients { .. })
+        ));
+
+        let mut t = valid_tenant();
+        t.model = ModelKind::DecodeLlm {
+            prompt: 16,
+            max_new: 0,
+            step_cycles: 1_000,
+            ctx_cycles: 10,
+            kv_bytes_per_token: 1 << 10,
+        };
+        assert!(matches!(
+            spec(t).validate(),
+            Err(WorkloadError::InvalidDecode {
+                field: "max_new",
+                ..
+            })
+        ));
     }
 }

@@ -64,6 +64,32 @@ pub enum ModelKind {
         /// Bytes each producer block sends over the link.
         payload: u64,
     },
+    /// An autoregressive decode tenant: each request carries a `prompt`
+    /// prefix, then generates an input-dependent number of new tokens
+    /// (1..=`max_new`, drawn per request from the workload seed), one
+    /// decode step per token. [`ModelKind::compile`] builds the *prefill*
+    /// pipeline (one block per coalesced sequence, `prompt × step_cycles`
+    /// of compute); [`ModelKind::compile_decode_step`] builds the
+    /// per-step pipeline for a (width, context-length class) pair. Each
+    /// sequence's KV cache occupies `⌈context / block_tokens⌉` paged
+    /// blocks of the device pool (see
+    /// [`DecodePolicy`](crate::DecodePolicy)), `kv_bytes_per_token`
+    /// bytes per token.
+    DecodeLlm {
+        /// Prompt tokens per request (prefilled before decoding).
+        prompt: u32,
+        /// Upper bound on generated tokens; each request draws its actual
+        /// length uniformly from `1..=max_new`.
+        max_new: u32,
+        /// Context-independent SM cycles per sequence per decode step
+        /// (the MLP half of a transformer layer).
+        step_cycles: u64,
+        /// Additional SM cycles per token of context per decode step
+        /// (the attention half grows linearly with context).
+        ctx_cycles: u64,
+        /// KV-cache bytes appended per generated or prefilled token.
+        kv_bytes_per_token: u64,
+    },
 }
 
 impl ModelKind {
@@ -123,7 +149,54 @@ impl ModelKind {
                 compute_cycles,
                 payload,
             } => Self::build_toy(gpu, blocks * width, compute_cycles, Some(payload)),
+            ModelKind::DecodeLlm {
+                prompt,
+                step_cycles,
+                ..
+            } => Self::build_toy(gpu, width, prompt as u64 * step_cycles, None),
         }
+    }
+
+    /// The context-length class a decode step at `context_tokens` is
+    /// compiled (and priced) under: the next power of two, floored at 16.
+    /// Bucketing contexts keeps the number of distinct step pipelines
+    /// logarithmic in the context length while the per-step cost stays
+    /// monotone in the true context.
+    pub fn ctx_class(context_tokens: u32) -> u32 {
+        context_tokens.next_power_of_two().max(16)
+    }
+
+    /// Compiles one decode step of a [`ModelKind::DecodeLlm`] batch:
+    /// `width` coresident sequences, each paying `step_cycles +
+    /// ctx_class × ctx_cycles` of compute (one block per sequence).
+    /// Called lazily, once per (width, class, device model), through the
+    /// same fingerprint-keyed memo as every other pipeline
+    /// ([`ServicePool::decode_step_time`](crate::ServicePool)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a decode model or `width` is zero.
+    pub fn compile_decode_step(
+        &self,
+        gpu: &GpuConfig,
+        width: u32,
+        ctx_class: u32,
+    ) -> CompiledPipeline {
+        assert!(width > 0, "batch width must be positive");
+        let ModelKind::DecodeLlm {
+            step_cycles,
+            ctx_cycles,
+            ..
+        } = *self
+        else {
+            panic!("{self} is not a decode model");
+        };
+        Self::build_toy(
+            gpu,
+            width,
+            step_cycles + ctx_class as u64 * ctx_cycles,
+            None,
+        )
     }
 
     fn build_toy(
@@ -176,6 +249,9 @@ impl fmt::Display for ModelKind {
                 compute_cycles,
                 payload,
             } => write!(f, "toy-remote-b{blocks}-c{compute_cycles}-p{payload}"),
+            ModelKind::DecodeLlm {
+                prompt, max_new, ..
+            } => write!(f, "decode-p{prompt}-n{max_new}"),
         }
     }
 }
@@ -183,7 +259,7 @@ impl fmt::Display for ModelKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cusync_sim::Session;
+    use cusync_sim::{Session, SimTime};
 
     #[test]
     fn toy_model_compiles_and_runs_at_every_width() {
@@ -243,6 +319,44 @@ mod tests {
         session.set_link_scale(None);
         assert!(degraded_remote > healthy_remote, "degradation slows sends");
         assert_eq!(degraded_local, healthy_local, "compute-only is untouched");
+    }
+
+    #[test]
+    fn decode_step_cost_is_monotone_in_width_and_context() {
+        let gpu = GpuConfig::toy(4);
+        let kind = ModelKind::DecodeLlm {
+            prompt: 32,
+            max_new: 16,
+            step_cycles: 50_000,
+            ctx_cycles: 1_000,
+            kv_bytes_per_token: 1 << 10,
+        };
+        let mut session = Session::new();
+        let mut time = |width, class| {
+            session
+                .run(&kind.compile_decode_step(&gpu, width, class))
+                .expect("decode step runs")
+                .total
+        };
+        assert!(time(2, 64) >= time(1, 64), "wider batches never run faster");
+        assert!(time(1, 256) > time(1, 64), "longer context costs more");
+        // Classes bucket contexts: same class, same fingerprint.
+        assert_eq!(ModelKind::ctx_class(33), 64);
+        assert_eq!(ModelKind::ctx_class(64), 64);
+        assert_eq!(ModelKind::ctx_class(3), 16);
+        assert_eq!(
+            kind.compile_decode_step(&gpu, 2, 64).fingerprint(),
+            kind.compile_decode_step(&gpu, 2, 64).fingerprint()
+        );
+        // Prefill (compile) is a distinct, prompt-scaled pipeline.
+        let prefill = kind.compile(&gpu, 1);
+        assert!(session.run(&prefill).expect("prefill runs").total > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a decode model")]
+    fn non_decode_models_reject_step_compiles() {
+        ModelKind::MlpGpt3.compile_decode_step(&GpuConfig::toy(4), 1, 16);
     }
 
     #[test]

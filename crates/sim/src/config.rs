@@ -46,6 +46,11 @@ pub struct GpuConfig {
     pub fma_flop_per_cycle_sm: f64,
     /// Aggregate DRAM bandwidth in bytes per second.
     pub dram_bytes_per_sec: f64,
+    /// Total DRAM (HBM) capacity in bytes. Capacity, unlike bandwidth, is a
+    /// hard resource: the serving layer carves per-device KV-cache block
+    /// pools out of a share of it (see [`crate::kv::KvPool`]), and a decode
+    /// step that cannot get blocks must evict or preempt.
+    pub dram_capacity_bytes: u64,
     /// Fraction of peak compute throughput a well-tuned tiled kernel
     /// sustains. CUTLASS GeMMs reach 70-90% of peak on V100.
     pub compute_efficiency: f64,
@@ -116,6 +121,7 @@ impl GpuConfig {
             tensor_flop_per_cycle_sm: 1024.0,
             fma_flop_per_cycle_sm: 128.0,
             dram_bytes_per_sec: 900e9,
+            dram_capacity_bytes: 32 << 30,
             compute_efficiency: 0.72,
             global_latency_cycles: 450,
             atomic_latency_cycles: 350,
@@ -144,6 +150,7 @@ impl GpuConfig {
             tensor_flop_per_cycle_sm: 2048.0,
             fma_flop_per_cycle_sm: 128.0,
             dram_bytes_per_sec: 2.0e12,
+            dram_capacity_bytes: 80 << 30,
             compute_efficiency: 0.70,
             global_latency_cycles: 500,
             atomic_latency_cycles: 350,

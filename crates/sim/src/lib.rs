@@ -71,6 +71,7 @@ mod dim;
 mod engine;
 pub mod explore;
 mod kernel;
+mod kv;
 mod mem;
 mod ops;
 mod sched;
@@ -88,6 +89,7 @@ pub use engine::{
     PendingKernel, RunOutcome, RunResidue, SimError, SmOccupancy, StreamId,
 };
 pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, IndexedKernel, KernelSource, Step};
+pub use kv::{KvPool, KvStats};
 pub use mem::{BufferId, DType, GlobalMemory, RaceEvent};
 pub use ops::Op;
 pub use sched::{

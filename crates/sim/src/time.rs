@@ -28,6 +28,10 @@ impl SimTime {
     /// The zero time, origin of every simulation.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The largest representable time, used as the clamp target of checked
+    /// conversions from untrusted floating-point durations.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates a time from raw picoseconds.
     pub const fn from_picos(ps: u64) -> Self {
         SimTime(ps)
@@ -80,6 +84,29 @@ impl SimTime {
     /// to zero-width intervals.
     pub fn saturating_sub(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition; arrival generators use it so a clamped-huge gap
+    /// pins the next arrival at [`SimTime::MAX`] (past any horizon) instead
+    /// of wrapping around to early virtual time in release builds.
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// Checked conversion from a duration in seconds. Returns `None` for
+    /// NaN or negative inputs; values beyond the representable range clamp
+    /// to [`SimTime::MAX`]. This is the safe form of the `(secs * 1e12) as
+    /// u64` cast, whose silent NaN→0 / negative→0 saturation turned bad
+    /// workload rates into zero-length gaps.
+    pub fn try_from_secs_f64(secs: f64) -> Option<SimTime> {
+        if secs.is_nan() || secs < 0.0 {
+            return None;
+        }
+        let ps = secs * 1e12;
+        if ps >= u64::MAX as f64 {
+            return Some(SimTime::MAX);
+        }
+        Some(SimTime(ps.round() as u64))
     }
 
     /// Larger of two times.
@@ -166,5 +193,37 @@ mod tests {
     #[test]
     fn display_in_microseconds() {
         assert_eq!(SimTime::from_micros(12.5).to_string(), "12.500us");
+    }
+
+    #[test]
+    fn saturating_add_pins_at_max() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_nanos(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::from_nanos(1).saturating_add(SimTime::from_nanos(2)),
+            SimTime::from_nanos(3)
+        );
+    }
+
+    #[test]
+    fn try_from_secs_rejects_non_finite_and_negative() {
+        assert_eq!(SimTime::try_from_secs_f64(f64::NAN), None);
+        assert_eq!(SimTime::try_from_secs_f64(-1.0), None);
+        assert_eq!(SimTime::try_from_secs_f64(-0.0), Some(SimTime::ZERO));
+        assert_eq!(
+            SimTime::try_from_secs_f64(1e-12),
+            Some(SimTime::from_picos(1))
+        );
+        assert_eq!(
+            SimTime::try_from_secs_f64(f64::INFINITY),
+            Some(SimTime::MAX)
+        );
+        assert_eq!(SimTime::try_from_secs_f64(1e30), Some(SimTime::MAX));
+        assert_eq!(
+            SimTime::try_from_secs_f64(0.25),
+            Some(SimTime::from_millis(250))
+        );
     }
 }

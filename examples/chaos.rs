@@ -61,8 +61,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let config = ServeConfig {
         sched: RequestSched::Edf,
         batch: BatchPolicy::new(4, SimTime::from_micros(120.0)),
-        slo_admission: false,
         preempt: Some(PreemptPolicy::new(SimTime::from_micros(20.0))),
+        ..ServeConfig::baseline()
     };
 
     // Fault-free baseline, then the same workload with device 1 dying at

@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         sched: RequestSched::Edf,
         batch: BatchPolicy::new(4, SimTime::from_micros(250.0)),
         slo_admission: true,
-        preempt: None,
+        ..ServeConfig::baseline()
     });
     report.check().map_err(|e| format!("invariants: {e}"))?;
 

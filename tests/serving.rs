@@ -11,9 +11,9 @@
 //! completions under an impossible SLO, queue-cap backpressure).
 
 use cusync_serve::{
-    ArrivalModel, BatchPolicy, DeviceDrop, FaultPlan, LinkDegrade, ModelKind, PanicInjection,
-    PreemptPolicy, RequestSched, RetryPolicy, ServeConfig, Server, TenantClass, TenantSpec,
-    WorkloadSpec,
+    ArrivalModel, BatchPolicy, DecodePolicy, DeviceDrop, FaultPlan, LinkDegrade, ModelKind,
+    PanicInjection, PreemptPolicy, RequestSched, RetryPolicy, ServeConfig, Server, TenantClass,
+    TenantSpec, WorkloadSpec,
 };
 use cusync_sim::LinkScale;
 use cusync_sim::{ClusterConfig, GpuConfig, SimTime};
@@ -34,9 +34,22 @@ fn random_spec(seed: u64) -> WorkloadSpec {
             let open = draw(2) == 0;
             TenantSpec {
                 name: format!("t{i}"),
-                model: ModelKind::Toy {
-                    blocks: 1 + draw(4) as u32,
-                    compute_cycles: 50_000 + draw(150_000),
+                // One tenant in four is an autoregressive decoder, so the
+                // sweep also drives the continuous-batching/KV machinery
+                // under random schedulers, faults and preemption.
+                model: if draw(4) == 0 {
+                    ModelKind::DecodeLlm {
+                        prompt: 4 + draw(12) as u32,
+                        max_new: 1 + draw(16) as u32,
+                        step_cycles: 20_000 + draw(40_000),
+                        ctx_cycles: 100 + draw(400),
+                        kv_bytes_per_token: 1 << (10 + draw(4)),
+                    }
+                } else {
+                    ModelKind::Toy {
+                        blocks: 1 + draw(4) as u32,
+                        compute_cycles: 50_000 + draw(150_000),
+                    }
                 },
                 arrival: if open {
                     ArrivalModel::OpenPoisson {
@@ -92,7 +105,14 @@ fn config_for(sched: RequestSched, batching: u64) -> ServeConfig {
             _ => BatchPolicy::new(4, SimTime::from_micros(60.0)),
         },
         slo_admission: batching.is_multiple_of(2),
-        preempt: None,
+        // Alternate decode modes so both the static-width and the
+        // continuous-batching paths face the random sweep.
+        decode: if batching == 1 {
+            DecodePolicy::continuous_batching()
+        } else {
+            DecodePolicy::static_width()
+        },
+        ..ServeConfig::baseline()
     }
 }
 
@@ -234,7 +254,7 @@ fn hopeless_slo_rejects_everything_at_admission() {
         sched: RequestSched::Fifo,
         batch: BatchPolicy::off(),
         slo_admission: true,
-        preempt: None,
+        ..ServeConfig::baseline()
     });
     report.check().expect("conservation under total rejection");
     let t = &report.tenants[0];
