@@ -51,6 +51,18 @@ pub enum CuSyncError {
         /// Devices the node actually has.
         devices: u32,
     },
+    /// A dependency declared via
+    /// [`SyncGraph::dependency_via`](crate::SyncGraph::dependency_via)
+    /// requested a fine-grained mechanism that contradicts the producer
+    /// stage's policy (e.g. a `RowSync` edge out of a `TileSync` stage).
+    MechanismPolicyMismatch {
+        /// Producer stage name.
+        stage: String,
+        /// The requested edge mechanism.
+        mechanism: String,
+        /// The producer's actual policy name.
+        policy: String,
+    },
     /// A kernel builder rejected its inputs while assembling the pipeline
     /// (e.g. "operand not set"), surfaced as a typed error instead of a
     /// panic.
@@ -113,6 +125,17 @@ impl fmt::Display for CuSyncError {
                     f,
                     "stage {stage} placed on device {device}, but the node has only \
                      {devices} device(s)"
+                )
+            }
+            CuSyncError::MechanismPolicyMismatch {
+                stage,
+                mechanism,
+                policy,
+            } => {
+                write!(
+                    f,
+                    "edge mechanism {mechanism} requires producer stage {stage} to use the \
+                     {mechanism} policy, but it uses {policy}"
                 )
             }
             CuSyncError::Build(e) => write!(f, "{e}"),

@@ -3,17 +3,50 @@
 
 use std::sync::Arc;
 
-use cusync_sim::{Gpu, KernelId, KernelSource, StreamId};
+use cusync_sim::{Gpu, KernelId, KernelSource, LaunchGate, StreamId};
 
 use crate::error::CuSyncError;
 use crate::graph::BoundGraph;
-use crate::stage::StageId;
+use crate::mechanism::SyncMechanism;
+use crate::stage::{StageId, StageRuntime};
 use crate::wait_kernel::WaitKernel;
+
+/// Registers one coarse edge on the simulator: the consumer's dispatch is
+/// gated on the producer's last-block residency (PDL, which additionally
+/// arms the producer's grid semaphore for the consumer's preamble barrier)
+/// or on the producer's completion (stream-serial).
+fn apply_coarse_edge(
+    gpu: &mut Gpu,
+    producer: &StageRuntime,
+    prod_kid: KernelId,
+    cons_kid: KernelId,
+    mechanism: SyncMechanism,
+) {
+    match mechanism {
+        SyncMechanism::Pdl => {
+            gpu.gate_launch(cons_kid, LaunchGate::AfterLaunchOf(prod_kid));
+            let grid_sem = producer
+                .grid_sem()
+                .expect("PDL producer bound without grid semaphore");
+            gpu.post_on_completion(prod_kid, grid_sem, 0);
+        }
+        SyncMechanism::StreamSerial => {
+            gpu.gate_launch(cons_kid, LaunchGate::AfterCompletionOf(prod_kid));
+        }
+        SyncMechanism::TileSync | SyncMechanism::RowSync => {
+            unreachable!("fine edges never reach gate registration")
+        }
+    }
+}
 
 impl BoundGraph {
     /// Launches `kernel` as stage `id` on the stage's stream, injecting the
-    /// wait-kernel first when the stage has producers and the `W`
-    /// optimization is off (Fig. 4a lines 28–30).
+    /// wait-kernel first when the stage has *fine-grained* producers and
+    /// the `W` optimization is off (Fig. 4a lines 28–30). Coarse
+    /// (PDL / stream-serial) edges are enforced with launch gates instead:
+    /// each one is registered here against the producer's kernel — or, when
+    /// the consumer launches first, deferred and applied at the producer's
+    /// own launch.
     ///
     /// Launch stages in producer-before-consumer order: like the CUDA
     /// runtime, the simulator issues thread blocks in launch order, which
@@ -38,10 +71,45 @@ impl BoundGraph {
             });
         }
         let stream = self.stream(id);
-        if stage.has_producers() && !stage.opts().avoid_wait_kernel {
+        if stage.has_fine_producers() && !stage.opts().avoid_wait_kernel {
             gpu.launch(stream, Arc::new(WaitKernel::for_stage(stage)));
         }
-        Ok(gpu.launch(stream, kernel))
+        let kid = gpu.launch(stream, kernel);
+
+        let mut ledger = self.ledger.lock().expect("launch ledger poisoned");
+        ledger.kernels[id.0] = Some(kid);
+        // Coarse edges into this stage: gate now if the producer already
+        // launched, else defer until it does.
+        for (_, producer, mechanism) in &stage.producers {
+            let Some(m) = *mechanism else { continue };
+            if m.is_fine() {
+                continue;
+            }
+            let prod_idx = self
+                .stages()
+                .iter()
+                .position(|s| Arc::ptr_eq(s, producer))
+                .expect("producer runtime not in graph");
+            match ledger.kernels[prod_idx] {
+                Some(prod_kid) => apply_coarse_edge(gpu, producer, prod_kid, kid, m),
+                None => ledger.pending.push((prod_idx, kid, m)),
+            }
+        }
+        // Coarse edges out of this stage whose consumer launched first.
+        let mut deferred = Vec::new();
+        ledger.pending.retain(|&(prod_idx, cons_kid, m)| {
+            if prod_idx == id.0 {
+                deferred.push((cons_kid, m));
+                false
+            } else {
+                true
+            }
+        });
+        drop(ledger);
+        for (cons_kid, m) in deferred {
+            apply_coarse_edge(gpu, stage, kid, cons_kid, m);
+        }
+        Ok(kid)
     }
 }
 

@@ -8,8 +8,21 @@ use std::sync::Arc;
 use cusync_sim::{BufferId, Gpu, StreamId};
 
 use crate::error::CuSyncError;
+use crate::mechanism::SyncMechanism;
 use crate::order::TileSchedule;
 use crate::stage::{CuStage, StageId, StageRuntime};
+
+/// One declared dependence edge: producer stage, consumer stage, the
+/// buffer connecting them, and (optionally) an explicit synchronization
+/// mechanism. `mechanism: None` is the classic fine-grained edge driven
+/// by the producer's policy, whatever it is.
+#[derive(Debug, Clone, Copy)]
+struct DepEdge {
+    prod: usize,
+    cons: usize,
+    buffer: BufferId,
+    mechanism: Option<SyncMechanism>,
+}
 
 /// Declares dependent kernels and the buffers that connect them — the
 /// `CuSync::dependency(prod, cons, XW1)` API of Fig. 4a.
@@ -34,7 +47,7 @@ use crate::stage::{CuStage, StageId, StageRuntime};
 #[derive(Debug, Default)]
 pub struct SyncGraph {
     stages: Vec<CuStage>,
-    deps: Vec<(usize, usize, BufferId)>,
+    deps: Vec<DepEdge>,
 }
 
 impl SyncGraph {
@@ -64,6 +77,44 @@ impl SyncGraph {
         cons: StageId,
         buffer: BufferId,
     ) -> Result<(), CuSyncError> {
+        self.add_dependency(prod, cons, buffer, None)
+    }
+
+    /// [`SyncGraph::dependency`] with an explicit per-edge
+    /// [`SyncMechanism`]. Fine mechanisms
+    /// ([`TileSync`](SyncMechanism::TileSync) /
+    /// [`RowSync`](SyncMechanism::RowSync)) behave like
+    /// [`SyncGraph::dependency`] but [`SyncGraph::bind`] additionally
+    /// rejects the edge if the producer's policy does not match the
+    /// declared mechanism. Coarse mechanisms
+    /// ([`Pdl`](SyncMechanism::Pdl) /
+    /// [`StreamSerial`](SyncMechanism::StreamSerial)) suppress the
+    /// per-tile waits on this edge entirely: the consumer's launch is
+    /// gated on the producer's progress instead
+    /// ([`BoundGraph::launch`] registers the gates), and a PDL edge parks
+    /// the consumer's main body on the producer's one-element grid
+    /// semaphore (`"<producer>.grid"`, allocated at bind).
+    ///
+    /// # Errors
+    ///
+    /// Same structural errors as [`SyncGraph::dependency`].
+    pub fn dependency_via(
+        &mut self,
+        prod: StageId,
+        cons: StageId,
+        buffer: BufferId,
+        mechanism: SyncMechanism,
+    ) -> Result<(), CuSyncError> {
+        self.add_dependency(prod, cons, buffer, Some(mechanism))
+    }
+
+    fn add_dependency(
+        &mut self,
+        prod: StageId,
+        cons: StageId,
+        buffer: BufferId,
+        mechanism: Option<SyncMechanism>,
+    ) -> Result<(), CuSyncError> {
         for id in [prod, cons] {
             if id.0 >= self.stages.len() {
                 return Err(CuSyncError::UnknownStage { index: id.0 });
@@ -77,13 +128,18 @@ impl SyncGraph {
         if self
             .deps
             .iter()
-            .any(|&(p, _, b)| b == buffer && p != prod.0)
+            .any(|e| e.buffer == buffer && e.prod != prod.0)
         {
             return Err(CuSyncError::DuplicateProducer {
                 buffer: format!("{buffer}"),
             });
         }
-        self.deps.push((prod.0, cons.0, buffer));
+        self.deps.push(DepEdge {
+            prod: prod.0,
+            cons: cons.0,
+            buffer,
+            mechanism,
+        });
         Ok(())
     }
 
@@ -101,9 +157,9 @@ impl SyncGraph {
         let n = self.stages.len();
         let mut indegree = vec![0usize; n];
         let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &(p, c, _) in &self.deps {
-            out[p].push(c);
-            indegree[c] += 1;
+        for e in &self.deps {
+            out[e.prod].push(e.cons);
+            indegree[e.cons] += 1;
         }
         let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
@@ -148,6 +204,29 @@ impl SyncGraph {
                 });
             }
         }
+        // A fine mechanism label is a claim about the producer's policy;
+        // reject mismatches before allocating anything.
+        for e in &self.deps {
+            if let Some(m) = e.mechanism {
+                let policy = self.stages[e.prod].policy_handle().name();
+                if m.is_fine() && !m.accepts_policy(&policy) {
+                    return Err(CuSyncError::MechanismPolicyMismatch {
+                        stage: self.stages[e.prod].name().to_owned(),
+                        mechanism: m.name().to_owned(),
+                        policy,
+                    });
+                }
+            }
+        }
+        // Stages with at least one outgoing PDL edge get a one-element
+        // grid semaphore, posted when their final block completes.
+        let pdl_producers: Vec<bool> = (0..self.stages.len())
+            .map(|i| {
+                self.deps
+                    .iter()
+                    .any(|e| e.prod == i && e.mechanism == Some(SyncMechanism::Pdl))
+            })
+            .collect();
         let mut runtimes: Vec<Option<Arc<StageRuntime>>> = vec![None; self.stages.len()];
         let mut streams = Vec::with_capacity(self.stages.len());
         // Streams created in stage order for determinism, each on its
@@ -177,13 +256,15 @@ impl SyncGraph {
             let use_counter = !opts.avoid_custom_order;
             let counter = use_counter
                 .then(|| gpu.alloc_sems_on(device, &format!("{}.order", stage.name()), 1, 0));
+            let grid_sem = pdl_producers[i]
+                .then(|| gpu.alloc_sems_on(device, &format!("{}.grid", stage.name()), 1, 0));
             let producers = self
                 .deps
                 .iter()
-                .filter(|&&(_, c, _)| c == i)
-                .map(|&(p, _, buffer)| {
-                    let rt = runtimes[p].as_ref().expect("topo order broken");
-                    (buffer, Arc::clone(rt))
+                .filter(|e| e.cons == i)
+                .map(|e| {
+                    let rt = runtimes[e.prod].as_ref().expect("topo order broken");
+                    (e.buffer, Arc::clone(rt), e.mechanism)
                 })
                 .collect();
             runtimes[i] = Some(Arc::new(StageRuntime {
@@ -195,6 +276,7 @@ impl SyncGraph {
                 sems,
                 start_sem,
                 counter,
+                grid_sem,
                 schedule: use_counter.then_some(schedule),
                 producers,
             }));
@@ -205,6 +287,10 @@ impl SyncGraph {
                 .map(|r| r.expect("all bound"))
                 .collect(),
             streams,
+            ledger: std::sync::Mutex::new(LaunchLedger {
+                kernels: vec![None; self.stages.len()],
+                pending: Vec::new(),
+            }),
         })
     }
 }
@@ -213,6 +299,21 @@ impl SyncGraph {
 pub struct BoundGraph {
     stages: Vec<Arc<StageRuntime>>,
     streams: Vec<StreamId>,
+    /// Kernel ids recorded at [`BoundGraph::launch`] so coarse
+    /// (PDL/StreamSerial) edges can register launch gates against the
+    /// producer's kernel — including when stages launch in an order where
+    /// the consumer precedes its producer (the gate is deferred and
+    /// applied at the producer's launch).
+    pub(crate) ledger: std::sync::Mutex<LaunchLedger>,
+}
+
+/// See [`BoundGraph::ledger`].
+pub(crate) struct LaunchLedger {
+    /// Kernel launched for each stage, by stage index.
+    pub(crate) kernels: Vec<Option<cusync_sim::KernelId>>,
+    /// Coarse edges whose producer had not launched yet:
+    /// `(producer stage index, consumer kernel, mechanism)`.
+    pub(crate) pending: Vec<(usize, cusync_sim::KernelId, SyncMechanism)>,
 }
 
 impl fmt::Debug for BoundGraph {
@@ -255,7 +356,7 @@ impl BoundGraph {
 pub fn producer_map(graph: &BoundGraph) -> HashMap<BufferId, String> {
     let mut map = HashMap::new();
     for stage in graph.stages() {
-        for (buffer, producer) in &stage.producers {
+        for (buffer, producer, _) in &stage.producers {
             map.insert(*buffer, producer.name().to_owned());
         }
     }

@@ -65,6 +65,7 @@
 mod error;
 mod executor;
 mod graph;
+mod mechanism;
 mod opt;
 pub mod order;
 mod pipeline;
@@ -75,6 +76,7 @@ mod wait_kernel;
 pub use error::CuSyncError;
 pub use executor::launch_stream_sync;
 pub use graph::{producer_map, BoundGraph, SyncGraph};
+pub use mechanism::SyncMechanism;
 pub use opt::OptFlags;
 pub use order::{ColumnMajor, OrderRef, RowMajor, TableOrder, TileOrder, TileSchedule};
 pub use pipeline::Pipeline;

@@ -1,0 +1,126 @@
+//! The per-edge synchronization-mechanism axis: how one dependence edge
+//! between two stages is enforced at runtime.
+//!
+//! The paper's framework synchronizes every edge with fine-grained tile
+//! semaphores. Hardware offers a coarser alternative — Programmatic
+//! Dependent Launch (`cudaGridDependencySynchronize` / Hopper
+//! `griddepcontrol`) — that launches the dependent grid early, overlaps
+//! its preamble with the producer's tail wave, and pays **no per-tile
+//! sync cost**. Neither mechanism dominates: fine sync wins when tiles
+//! unlock early and sync traffic is cheap relative to compute; PDL wins
+//! when the producer is short or the consumer's per-tile waits would
+//! dominate. [`SyncMechanism`] makes the choice explicit per edge so the
+//! autotuner (`cusyncgen::autotune_sync_mechanisms`) can pick the best
+//! combination per shape class.
+
+use std::fmt;
+
+/// How one dependence edge declared via
+/// [`SyncGraph::dependency_via`](crate::SyncGraph::dependency_via) is
+/// synchronized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncMechanism {
+    /// Fine-grained sync with one semaphore per producer tile (or tile
+    /// group). The producer stage's policy must be of the tile class —
+    /// [`TileSync`](crate::policy::TileSync),
+    /// [`StridedSync`](crate::policy::StridedSync) or
+    /// [`Conv2DTileSync`](crate::policy::Conv2DTileSync) — binding
+    /// rejects a mismatch.
+    TileSync,
+    /// Fine-grained sync with one semaphore per producer row. The
+    /// producer stage's policy must be
+    /// [`RowSync`](crate::policy::RowSync); binding rejects a mismatch.
+    RowSync,
+    /// Programmatic Dependent Launch: the consumer kernel's dispatch is
+    /// gated on the producer's final block becoming *resident* (not
+    /// finished), its preamble overlaps the producer's tail wave, and its
+    /// main body parks on the producer's one-element grid semaphore
+    /// (posted at producer completion). Whole-grid ordering only — the
+    /// consumer observes no individual tiles early.
+    Pdl,
+    /// Cross-stream stream serialization: the consumer kernel's dispatch
+    /// is gated on the producer's *completion*. No semaphores, no
+    /// preamble overlap — the conservative baseline.
+    StreamSerial,
+}
+
+impl SyncMechanism {
+    /// Every mechanism, in autotuner sweep order.
+    pub const ALL: [SyncMechanism; 4] = [
+        SyncMechanism::TileSync,
+        SyncMechanism::RowSync,
+        SyncMechanism::Pdl,
+        SyncMechanism::StreamSerial,
+    ];
+
+    /// Whether the edge uses fine-grained (per-tile/per-row) semaphores.
+    /// Fine edges follow the producer stage's policy; coarse edges
+    /// ([`Pdl`](SyncMechanism::Pdl) /
+    /// [`StreamSerial`](SyncMechanism::StreamSerial)) suppress per-tile
+    /// waits entirely.
+    pub fn is_fine(self) -> bool {
+        matches!(self, SyncMechanism::TileSync | SyncMechanism::RowSync)
+    }
+
+    /// Whether a producer policy named `policy` implements this fine
+    /// mechanism. [`TileSync`](SyncMechanism::TileSync) is a *class*: the
+    /// strided and Conv2D-fold variants are per-tile-group semaphores
+    /// with kernel-specific index folds, so they satisfy a tile-sync
+    /// label. Coarse mechanisms place no constraint on the policy.
+    pub fn accepts_policy(self, policy: &str) -> bool {
+        match self {
+            SyncMechanism::TileSync => {
+                matches!(policy, "TileSync" | "StridedSync" | "Conv2DTileSync")
+            }
+            SyncMechanism::RowSync => policy == "RowSync",
+            SyncMechanism::Pdl | SyncMechanism::StreamSerial => true,
+        }
+    }
+
+    /// Stable display name (matches the corresponding policy name for
+    /// fine mechanisms).
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncMechanism::TileSync => "TileSync",
+            SyncMechanism::RowSync => "RowSync",
+            SyncMechanism::Pdl => "Pdl",
+            SyncMechanism::StreamSerial => "StreamSerial",
+        }
+    }
+}
+
+impl fmt::Display for SyncMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_coarse_split() {
+        assert!(SyncMechanism::TileSync.is_fine());
+        assert!(SyncMechanism::RowSync.is_fine());
+        assert!(!SyncMechanism::Pdl.is_fine());
+        assert!(!SyncMechanism::StreamSerial.is_fine());
+    }
+
+    #[test]
+    fn tile_label_accepts_the_tile_class() {
+        assert!(SyncMechanism::TileSync.accepts_policy("TileSync"));
+        assert!(SyncMechanism::TileSync.accepts_policy("Conv2DTileSync"));
+        assert!(SyncMechanism::TileSync.accepts_policy("StridedSync"));
+        assert!(!SyncMechanism::TileSync.accepts_policy("RowSync"));
+        assert!(!SyncMechanism::RowSync.accepts_policy("TileSync"));
+        assert!(SyncMechanism::Pdl.accepts_policy("NoSync"));
+    }
+
+    #[test]
+    fn names_match_policies() {
+        assert_eq!(SyncMechanism::TileSync.to_string(), "TileSync");
+        assert_eq!(SyncMechanism::Pdl.name(), "Pdl");
+        assert_eq!(SyncMechanism::ALL.len(), 4);
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use cusync_sim::{BufferId, Dim3, Op, SemArrayId};
 
+use crate::mechanism::SyncMechanism;
 use crate::opt::OptFlags;
 use crate::order::{OrderRef, RowMajor, TileSchedule};
 use crate::policy::{PolicyRef, TileSync};
@@ -152,10 +153,16 @@ pub struct StageRuntime {
     /// Atomic counter for the custom tile order; `None` when the order is
     /// the identity or the `T` optimization disabled it.
     pub(crate) counter: Option<SemArrayId>,
+    /// One-element grid semaphore, allocated when this stage has at least
+    /// one outgoing PDL edge; posted when the stage's final block
+    /// completes (registered by [`BoundGraph`](crate::BoundGraph) at
+    /// launch).
+    pub(crate) grid_sem: Option<SemArrayId>,
     pub(crate) schedule: Option<TileSchedule>,
     /// Buffer-level dependencies: reading `BufferId` requires waiting on
-    /// the linked producer stage.
-    pub(crate) producers: Vec<(BufferId, Arc<StageRuntime>)>,
+    /// the linked producer stage, via the edge's mechanism (`None` =
+    /// whatever the producer's policy dictates).
+    pub(crate) producers: Vec<(BufferId, Arc<StageRuntime>, Option<SyncMechanism>)>,
 }
 
 impl fmt::Debug for StageRuntime {
@@ -229,9 +236,14 @@ impl StageRuntime {
 
     /// `stage.wait(buffer, ...)`: the semaphore wait required before
     /// reading `requested` of `buffer`, or `None` when the buffer is not a
-    /// declared dependency (the wait is a no-op, Fig. 4a).
+    /// declared dependency (the wait is a no-op, Fig. 4a) **or** the edge
+    /// uses a coarse mechanism (PDL / stream-serial edges pay no per-tile
+    /// waits; see [`StageRuntime::grid_wait_ops`]).
     pub fn wait_op(&self, buffer: BufferId, requested: Dim3) -> Option<Op> {
-        let (_, producer) = self.producers.iter().find(|(b, _)| *b == buffer)?;
+        let (_, producer, mechanism) = self.producers.iter().find(|(b, _, _)| *b == buffer)?;
+        if mechanism.is_some_and(|m| !m.is_fine()) {
+            return None;
+        }
         let table = producer.sems?;
         let index = producer.policy.wait_sem(requested, producer.grid);
         let value = producer.policy.expected(requested, producer.grid);
@@ -240,6 +252,47 @@ impl StageRuntime {
             index,
             value,
         })
+    }
+
+    /// The grid-dependency barrier ending this stage's preamble — the
+    /// simulator's `cudaGridDependencySynchronize()`: one wait on each
+    /// distinct PDL producer's grid semaphore. Instrumented kernels issue
+    /// these once per block, after launch-setup work (start post, tile
+    /// acquisition, independent-operand prefetch) and before the first
+    /// read of any PDL-synchronized buffer. Empty for stages without PDL
+    /// producers.
+    pub fn grid_wait_ops(&self) -> Vec<Op> {
+        let mut out: Vec<Op> = Vec::new();
+        let mut seen: Vec<*const StageRuntime> = Vec::new();
+        for (_, producer, mechanism) in &self.producers {
+            if *mechanism != Some(SyncMechanism::Pdl) {
+                continue;
+            }
+            let ptr = Arc::as_ptr(producer);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            let table = producer
+                .grid_sem
+                .expect("PDL producer bound without grid semaphore");
+            out.push(Op::SemWait {
+                table,
+                index: 0,
+                value: 1,
+            });
+        }
+        out
+    }
+
+    /// The declared mechanism of the edge reading `buffer`: `Some(None)`
+    /// for a classic producer-policy edge, `Some(Some(m))` for an explicit
+    /// mechanism, `None` when the buffer is not a declared dependency.
+    pub fn edge_mechanism(&self, buffer: BufferId) -> Option<Option<SyncMechanism>> {
+        self.producers
+            .iter()
+            .find(|(b, _, _)| *b == buffer)
+            .map(|(_, _, m)| *m)
     }
 
     /// `stage.post(tile)`: the fence + post op pair signalling `tile`
@@ -263,11 +316,27 @@ impl StageRuntime {
         self.opts.reorder_loads
     }
 
-    /// Distinct producer stages this stage depends on (used to build its
-    /// wait-kernel).
+    /// Distinct producer stages this stage depends on (over every edge,
+    /// regardless of mechanism).
     pub fn producer_stages(&self) -> Vec<Arc<StageRuntime>> {
         let mut out: Vec<Arc<StageRuntime>> = Vec::new();
-        for (_, p) in &self.producers {
+        for (_, p, _) in &self.producers {
+            if !out.iter().any(|q| Arc::ptr_eq(q, p)) {
+                out.push(Arc::clone(p));
+            }
+        }
+        out
+    }
+
+    /// Distinct producer stages reached over *fine-grained* edges (the
+    /// edges a wait-kernel must guard; coarse PDL / stream-serial edges
+    /// are enforced by launch gates instead).
+    pub fn fine_producer_stages(&self) -> Vec<Arc<StageRuntime>> {
+        let mut out: Vec<Arc<StageRuntime>> = Vec::new();
+        for (_, p, m) in &self.producers {
+            if m.is_some_and(|m| !m.is_fine()) {
+                continue;
+            }
             if !out.iter().any(|q| Arc::ptr_eq(q, p)) {
                 out.push(Arc::clone(p));
             }
@@ -278,6 +347,20 @@ impl StageRuntime {
     /// True when this stage has at least one declared producer.
     pub fn has_producers(&self) -> bool {
         !self.producers.is_empty()
+    }
+
+    /// True when at least one producer edge is fine-grained (and thus
+    /// needs the Section III-B wait-kernel handshake).
+    pub fn has_fine_producers(&self) -> bool {
+        self.producers
+            .iter()
+            .any(|(_, _, m)| !m.is_some_and(|m| !m.is_fine()))
+    }
+
+    /// The one-element grid semaphore posted when this stage's final block
+    /// completes; `Some` only for stages with outgoing PDL edges.
+    pub fn grid_sem(&self) -> Option<SemArrayId> {
+        self.grid_sem
     }
 
     /// The start semaphore other stages' wait-kernels poll.
@@ -306,6 +389,7 @@ mod tests {
             sems: None,
             start_sem: dummy_sem(),
             counter: None,
+            grid_sem: None,
             schedule: None,
             producers: Vec::new(),
         }

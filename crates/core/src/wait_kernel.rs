@@ -25,10 +25,12 @@ pub struct WaitKernel {
 
 impl WaitKernel {
     /// Builds the wait kernel for `consumer`, spinning on the start
-    /// semaphore of each distinct producer stage.
+    /// semaphore of each distinct *fine-grained* producer stage. Coarse
+    /// (PDL / stream-serial) producers are excluded: their ordering is
+    /// enforced by launch gates, which subsume the handshake.
     pub fn for_stage(consumer: &StageRuntime) -> Self {
         let targets = consumer
-            .producer_stages()
+            .fine_producer_stages()
             .iter()
             .map(|p| (p.start_sem(), 0))
             .collect();

@@ -1,9 +1,11 @@
 //! Bounds checking of dependency specifications (workflow step 2 of
 //! Section IV-A: "cuSyncGen checks bounds of producer and consumer tiles
-//! based on grid values").
+//! based on grid values"), plus mechanism-assignment validation
+//! ([`check_mechanisms`]) for the per-edge [`SyncMechanism`] axis.
 
 use std::fmt;
 
+use cusync::SyncMechanism;
 use cusync_sim::Dim3;
 
 use crate::dsl::{DepDecl, DepSpec, GridId};
@@ -37,6 +39,31 @@ pub enum GenError {
         /// Index of the unknown grid.
         index: usize,
     },
+    /// A mechanism assignment did not have one entry per declared
+    /// dependence.
+    MechanismArity {
+        /// Number of dependences in the spec.
+        expected: usize,
+        /// Number of mechanisms supplied.
+        got: usize,
+    },
+    /// A [`Pdl`](SyncMechanism::Pdl) edge whose consumer reads the
+    /// producer's tiles **during its launch preamble** — before the
+    /// `cudaGridDependencySynchronize` barrier that ends the preamble, so
+    /// the whole-grid ordering PDL provides arrives too late to guard the
+    /// read.
+    PdlPreambleRead {
+        /// Consumer grid name.
+        consumer: String,
+        /// Producer grid name.
+        producer: String,
+    },
+    /// Coarse (PDL / stream-serial) edges gate the consumer's *launch* on
+    /// the producer's progress; a cycle of such gates can never dispatch.
+    CoarseCycle {
+        /// Name of a grid participating in the cycle.
+        grid: String,
+    },
 }
 
 impl fmt::Display for GenError {
@@ -61,6 +88,20 @@ impl fmt::Display for GenError {
                 "{consumer} tile {consumer_tile} has an empty producer set"
             ),
             GenError::UnknownGrid { index } => write!(f, "unknown grid index {index}"),
+            GenError::MechanismArity { expected, got } => write!(
+                f,
+                "mechanism assignment has {got} entries for {expected} dependences"
+            ),
+            GenError::PdlPreambleRead { consumer, producer } => write!(
+                f,
+                "{consumer} reads {producer} tiles in its launch preamble, before the grid \
+                 dependency barrier — PDL cannot guard that read"
+            ),
+            GenError::CoarseCycle { grid } => write!(
+                f,
+                "coarse launch-gate cycle involving grid {grid}: the gated grids can never \
+                 dispatch"
+            ),
         }
     }
 }
@@ -120,6 +161,83 @@ pub fn check_spec(spec: &DepSpec) -> Result<(), GenError> {
     Ok(())
 }
 
+/// Validates a per-edge mechanism assignment against `spec` (one
+/// mechanism per declared dependence, in declaration order).
+///
+/// `preamble_reads[i]` declares that the consumer of dependence `i` reads
+/// the producer's data during its launch preamble — e.g. a hoisted
+/// operand prefetch (the `R` optimization applied to the dependent
+/// operand). PDL's whole-grid barrier *ends* the preamble, so such a read
+/// precedes the only ordering PDL provides and must be rejected
+/// ([`GenError::PdlPreambleRead`]). Fine edges guard every read with a
+/// per-tile semaphore and stream-serial edges gate the launch itself, so
+/// both tolerate preamble reads.
+///
+/// Coarse mechanisms (PDL / stream-serial) gate the consumer grid's
+/// *dispatch* on the producer grid; a cycle of coarse edges can never
+/// dispatch and is rejected ([`GenError::CoarseCycle`]) even when the
+/// per-tile dependence pattern would be satisfiable under fine sync.
+///
+/// # Errors
+///
+/// [`GenError::MechanismArity`] on a length mismatch (between
+/// `mechanisms` and the spec, or `preamble_reads` and the spec), then the
+/// first per-edge violation in declaration order.
+pub fn check_mechanisms(
+    spec: &DepSpec,
+    mechanisms: &[SyncMechanism],
+    preamble_reads: &[bool],
+) -> Result<(), GenError> {
+    let n = spec.deps().len();
+    for got in [mechanisms.len(), preamble_reads.len()] {
+        if got != n {
+            return Err(GenError::MechanismArity { expected: n, got });
+        }
+    }
+    for ((dep, &m), &pre) in spec.deps().iter().zip(mechanisms).zip(preamble_reads) {
+        check_grid(spec, dep.consumer)?;
+        check_grid(spec, dep.producer)?;
+        if m == SyncMechanism::Pdl && pre {
+            return Err(GenError::PdlPreambleRead {
+                consumer: spec.name(dep.consumer).to_owned(),
+                producer: spec.name(dep.producer).to_owned(),
+            });
+        }
+    }
+    // Coarse edges impose grid-level launch ordering; that relation must
+    // be acyclic or the gated grids never dispatch.
+    let g = spec.num_grids();
+    let mut indegree = vec![0usize; g];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); g];
+    for (dep, &m) in spec.deps().iter().zip(mechanisms) {
+        if !m.is_fine() {
+            out[dep.producer.0].push(dep.consumer.0);
+            indegree[dep.consumer.0] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..g).filter(|&i| indegree[i] == 0).collect();
+    let mut seen = 0usize;
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        seen += 1;
+        for &c in &out[v] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if seen != g {
+        let cyclic = (0..g).find(|&i| indegree[i] > 0).unwrap_or(0);
+        return Err(GenError::CoarseCycle {
+            grid: spec.name(GridId(cyclic)).to_owned(),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +284,87 @@ mod tests {
             check_spec(&spec),
             Err(GenError::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn mechanism_arity_is_checked() {
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(4, 2, 1));
+        let g2 = spec.grid("g2", Dim3::new(4, 2, 1));
+        spec.depend(g2, g1, Pattern::ForAllX(AffineExpr::y()));
+        assert_eq!(
+            check_mechanisms(&spec, &[], &[false]),
+            Err(GenError::MechanismArity {
+                expected: 1,
+                got: 0
+            })
+        );
+        assert_eq!(
+            check_mechanisms(&spec, &[SyncMechanism::Pdl], &[]),
+            Err(GenError::MechanismArity {
+                expected: 1,
+                got: 0
+            })
+        );
+        assert_eq!(
+            check_mechanisms(&spec, &[SyncMechanism::Pdl], &[false]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn pdl_preamble_read_is_rejected() {
+        let mut spec = DepSpec::new();
+        let g1 = spec.grid("g1", Dim3::new(4, 2, 1));
+        let g2 = spec.grid("g2", Dim3::new(4, 2, 1));
+        spec.depend(g2, g1, Pattern::ForAllX(AffineExpr::y()));
+        // Fine sync guards a hoisted read per-tile; PDL cannot.
+        assert_eq!(
+            check_mechanisms(&spec, &[SyncMechanism::TileSync], &[true]),
+            Ok(())
+        );
+        let err = check_mechanisms(&spec, &[SyncMechanism::Pdl], &[true]).unwrap_err();
+        match &err {
+            GenError::PdlPreambleRead { consumer, producer } => {
+                assert_eq!(consumer, "g2");
+                assert_eq!(producer, "g1");
+            }
+            other => panic!("expected PdlPreambleRead, got {other:?}"),
+        }
+        assert!(err.to_string().contains("preamble"), "{err}");
+        // Stream-serial gates the launch itself: the read is safe.
+        assert_eq!(
+            check_mechanisms(&spec, &[SyncMechanism::StreamSerial], &[true]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn coarse_gate_cycles_are_rejected() {
+        let mut spec = DepSpec::new();
+        let a = spec.grid("a", Dim3::new(2, 2, 1));
+        let b = spec.grid("b", Dim3::new(2, 2, 1));
+        spec.depend(b, a, Pattern::ForAllX(AffineExpr::y()));
+        spec.depend(a, b, Pattern::ForAllX(AffineExpr::y()));
+        // Both edges coarse: the launch gates form a cycle.
+        assert!(matches!(
+            check_mechanisms(
+                &spec,
+                &[SyncMechanism::Pdl, SyncMechanism::StreamSerial],
+                &[false, false],
+            ),
+            Err(GenError::CoarseCycle { .. })
+        ));
+        // Breaking the cycle with a fine edge is accepted at this level
+        // (fine-sync cycles are the runtime's deadlock domain).
+        assert_eq!(
+            check_mechanisms(
+                &spec,
+                &[SyncMechanism::Pdl, SyncMechanism::TileSync],
+                &[false, false],
+            ),
+            Ok(())
+        );
     }
 
     #[test]

@@ -186,17 +186,23 @@ impl TuneCache {
 
     /// The memoized time of `candidate` for the pipeline with `fingerprint`,
     /// if previously evaluated. Does not touch the hit/miss counters.
+    /// Applies the same control-character normalization as
+    /// [`TuneCache::insert`].
     pub fn peek(&self, fingerprint: u64, candidate: &str) -> Option<SimTime> {
         self.entries
-            .get(&(fingerprint, candidate.to_owned()))
+            .get(&(fingerprint, sanitize_name(candidate)))
             .copied()
     }
 
     /// Memoizes one evaluation directly (what [`autotune_cached`] does for
-    /// every miss).
+    /// every miss). Control characters in `candidate` (tabs, newlines, …)
+    /// are replaced with `_` so the key survives the line-oriented
+    /// tab-separated [`TuneCache::save`] format byte-for-byte;
+    /// [`TuneCache::peek`] applies the same normalization, so callers
+    /// never observe the substitution.
     pub fn insert(&mut self, fingerprint: u64, candidate: &str, time: SimTime) {
         self.entries
-            .insert((fingerprint, candidate.to_owned()), time);
+            .insert((fingerprint, sanitize_name(candidate)), time);
     }
 
     /// Writes the cache to `path` as a line-oriented text file
@@ -220,30 +226,156 @@ impl TuneCache {
         Ok(())
     }
 
-    /// Reads a cache previously written by [`TuneCache::save`]. Unparsable
-    /// lines are skipped (a truncated cache costs re-simulation, never
-    /// correctness). Counters start at zero.
+    /// Reads a cache previously written by [`TuneCache::save`]. Counters
+    /// start at zero.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneCacheLoadError::Io`] on an underlying I/O error (e.g. the
+    /// file does not exist); [`TuneCacheLoadError::Parse`] on the first
+    /// malformed line, naming the 1-based line number and what was wrong
+    /// with it. Use [`TuneCache::load_lossy`] to skip bad lines instead.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TuneCacheLoadError> {
+        let text = std::fs::read_to_string(path).map_err(TuneCacheLoadError::Io)?;
+        let mut cache = TuneCache::new();
+        for (idx, line) in text.lines().enumerate() {
+            let (fp, ps, name) = parse_line(line).map_err(|kind| TuneCacheParseError {
+                line: idx + 1,
+                kind,
+            })?;
+            cache.insert(fp, name, SimTime::from_picos(ps));
+        }
+        Ok(cache)
+    }
+
+    /// [`TuneCache::load`], but unparsable lines are *skipped* rather than
+    /// fatal (a truncated cache costs re-simulation, never correctness).
+    /// Returns the cache together with the number of lines skipped, so
+    /// callers can surface corruption instead of silently re-simulating.
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error (e.g. the file does not exist).
-    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+    pub fn load_lossy(path: impl AsRef<Path>) -> io::Result<(Self, usize)> {
         let text = std::fs::read_to_string(path)?;
         let mut cache = TuneCache::new();
+        let mut skipped = 0usize;
         for line in text.lines() {
-            let mut fields = line.splitn(4, '\t');
-            let (Some("v1"), Some(fp), Some(ps), Some(name)) =
-                (fields.next(), fields.next(), fields.next(), fields.next())
-            else {
-                continue;
-            };
-            let Ok(fp) = u64::from_str_radix(fp.trim_start_matches("0x"), 16) else {
-                continue;
-            };
-            let Ok(ps) = ps.parse::<u64>() else { continue };
-            cache.insert(fp, name, SimTime::from_picos(ps));
+            match parse_line(line) {
+                Ok((fp, ps, name)) => cache.insert(fp, name, SimTime::from_picos(ps)),
+                Err(_) => skipped += 1,
+            }
         }
-        Ok(cache)
+        Ok((cache, skipped))
+    }
+}
+
+/// Replaces control characters (anything below `' '`, including the
+/// tabs/newlines that would corrupt the TSV cache format) with `_`.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c < ' ' { '_' } else { c })
+        .collect()
+}
+
+/// Parses one `v1<TAB>fingerprint<TAB>picoseconds<TAB>name` cache line.
+fn parse_line(line: &str) -> Result<(u64, u64, &str), TuneCacheParseErrorKind> {
+    let mut fields = line.splitn(4, '\t');
+    let (Some(version), Some(fp), Some(ps), Some(name)) =
+        (fields.next(), fields.next(), fields.next(), fields.next())
+    else {
+        return Err(TuneCacheParseErrorKind::BadShape {
+            fields: line.split('\t').count(),
+        });
+    };
+    if version != "v1" {
+        return Err(TuneCacheParseErrorKind::BadVersion(version.to_owned()));
+    }
+    let fp = u64::from_str_radix(fp.trim_start_matches("0x"), 16)
+        .map_err(|e| TuneCacheParseErrorKind::BadFingerprint(e.to_string()))?;
+    let ps = ps
+        .parse::<u64>()
+        .map_err(|e| TuneCacheParseErrorKind::BadTime(e.to_string()))?;
+    Ok((fp, ps, name))
+}
+
+/// A [`TuneCache`] file line that could not be parsed, naming the 1-based
+/// offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneCacheParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: TuneCacheParseErrorKind,
+}
+
+/// The ways one cache line can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneCacheParseErrorKind {
+    /// Fewer than 4 tab-separated fields.
+    BadShape {
+        /// Number of fields actually present.
+        fields: usize,
+    },
+    /// Field 1 is not the `v1` version tag.
+    BadVersion(String),
+    /// Field 2 is not a hexadecimal `u64` fingerprint.
+    BadFingerprint(String),
+    /// Field 3 is not a `u64` picosecond time.
+    BadTime(String),
+}
+
+impl fmt::Display for TuneCacheParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            TuneCacheParseErrorKind::BadShape { fields } => {
+                write!(f, "expected 4 tab-separated fields, found {fields}")
+            }
+            TuneCacheParseErrorKind::BadVersion(v) => {
+                write!(f, "unknown version tag {v:?} (expected \"v1\")")
+            }
+            TuneCacheParseErrorKind::BadFingerprint(e) => {
+                write!(f, "bad fingerprint ({e})")
+            }
+            TuneCacheParseErrorKind::BadTime(e) => write!(f, "bad picosecond time ({e})"),
+        }
+    }
+}
+
+impl std::error::Error for TuneCacheParseError {}
+
+/// Error from [`TuneCache::load`]: the underlying I/O failed, or a line
+/// was malformed.
+#[derive(Debug)]
+pub enum TuneCacheLoadError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Parse(TuneCacheParseError),
+}
+
+impl From<TuneCacheParseError> for TuneCacheLoadError {
+    fn from(e: TuneCacheParseError) -> Self {
+        TuneCacheLoadError::Parse(e)
+    }
+}
+
+impl fmt::Display for TuneCacheLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneCacheLoadError::Io(e) => write!(f, "{e}"),
+            TuneCacheLoadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneCacheLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuneCacheLoadError::Io(e) => Some(e),
+            TuneCacheLoadError::Parse(e) => Some(e),
+        }
     }
 }
 
@@ -378,7 +510,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_cache_lines_are_skipped() {
+    fn lossy_load_skips_and_counts_malformed_lines() {
         let path = std::env::temp_dir().join(format!(
             "cusyncgen-tunecache-malformed-{}.tsv",
             std::process::id()
@@ -388,9 +520,85 @@ mod tests {
             "v1\t0x10\t500\tGood\nnot-a-line\nv1\t0xZZ\t1\tBadFp\nv1\t0x11\tNaN\tBadPs\n",
         )
         .expect("write fixture");
-        let cache = TuneCache::load(&path).expect("read fixture");
+        let (cache, skipped) = TuneCache::load_lossy(&path).expect("read fixture");
         std::fs::remove_file(&path).ok();
         assert_eq!(cache.len(), 1);
+        assert_eq!(skipped, 3);
         assert_eq!(cache.peek(0x10, "Good"), Some(SimTime::from_picos(500)));
+    }
+
+    #[test]
+    fn strict_load_names_the_offending_line() {
+        let path = std::env::temp_dir().join(format!(
+            "cusyncgen-tunecache-strict-{}.tsv",
+            std::process::id()
+        ));
+        for (text, line) in [
+            ("v1\t0x10\t500\tGood\nnot-a-line\n", 2),
+            ("v1\t0xZZ\t1\tBadFp\n", 1),
+            ("v1\t0x10\t500\tGood\nv1\t0x11\tNaN\tBadPs\n", 2),
+            ("v2\t0x10\t500\tFuture\n", 1),
+        ] {
+            std::fs::write(&path, text).expect("write fixture");
+            let err = TuneCache::load(&path).expect_err("malformed line must fail");
+            match err {
+                TuneCacheLoadError::Parse(e) => {
+                    assert_eq!(e.line, line, "{text:?}");
+                    assert!(e.to_string().starts_with(&format!("line {line}: ")), "{e}");
+                }
+                other => panic!("expected parse error, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn strict_load_parse_kinds_are_specific() {
+        let path = std::env::temp_dir().join(format!(
+            "cusyncgen-tunecache-kinds-{}.tsv",
+            std::process::id()
+        ));
+        for (text, want) in [
+            ("too\tfew", TuneCacheParseErrorKind::BadShape { fields: 2 }),
+            (
+                "v9\t0x1\t2\tx",
+                TuneCacheParseErrorKind::BadVersion("v9".into()),
+            ),
+        ] {
+            std::fs::write(&path, text).expect("write fixture");
+            match TuneCache::load(&path).expect_err("must fail") {
+                TuneCacheLoadError::Parse(e) => assert_eq!(e.kind, want, "{text:?}"),
+                other => panic!("expected parse error, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = std::env::temp_dir().join("cusyncgen-tunecache-does-not-exist.tsv");
+        assert!(matches!(
+            TuneCache::load(&path),
+            Err(TuneCacheLoadError::Io(_))
+        ));
+        assert!(TuneCache::load_lossy(&path).is_err());
+    }
+
+    #[test]
+    fn control_characters_in_names_are_hardened_at_insert() {
+        let mut cache = TuneCache::new();
+        let hostile = "Tile\tSync\nv1\t0xDEAD\t1\tForged";
+        cache.insert(1, hostile, SimTime::from_picos(42));
+        // The caller reads back through the same normalization.
+        assert_eq!(cache.peek(1, hostile), Some(SimTime::from_picos(42)));
+        let path = std::env::temp_dir().join(format!(
+            "cusyncgen-tunecache-hostile-{}.tsv",
+            std::process::id()
+        ));
+        cache.save(&path).expect("write cache");
+        let reloaded = TuneCache::load(&path).expect("hardened save must reload strictly");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.peek(1, hostile), Some(SimTime::from_picos(42)));
     }
 }

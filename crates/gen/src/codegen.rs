@@ -80,6 +80,25 @@ pub fn emit_policy(spec: &DepSpec, dep: &DepDecl, policy: &NamedPolicy) -> Strin
             );
             out.push_str("  __device__ int value(dim3 tile, dim3 grid) { return grid.z; }\n");
         }
+        "Pdl" => {
+            out.push_str(
+                "  // Programmatic Dependent Launch: no semaphores. Launch the consumer\n  \
+                 // with cudaLaunchAttributeProgrammaticStreamSerialization; ordering is\n  \
+                 // whole-grid, enforced by the hardware grid dependency barrier.\n",
+            );
+            out.push_str(
+                "  __device__ void sync() {\n    \
+                 // Ends the consumer's preamble: every producer block has completed\n    \
+                 // once this returns. No per-tile waits follow.\n    \
+                 cudaGridDependencySynchronize();\n  }\n",
+            );
+            out.push_str(
+                "  __device__ void trigger() {\n    \
+                 // Producer epilogue: allow dependents to launch once no further\n    \
+                 // global-memory writes remain (SM90 griddepcontrol.launch_dependents).\n    \
+                 cudaTriggerProgrammaticLaunchCompletion();\n  }\n",
+            );
+        }
         other => {
             let _ = writeln!(out, "  // unrecognized policy {other}: emit runtime table");
         }
@@ -219,6 +238,26 @@ mod tests {
         let code = emit_spec(&spec);
         assert!(code.contains("tile.x / 9"), "{code}");
         assert!(code.contains("Conv2DTileSync_conv1"), "{code}");
+    }
+
+    #[test]
+    fn emits_pdl_grid_barrier_variant() {
+        let spec = mlp_spec();
+        let pdl = NamedPolicy {
+            name: "Pdl".to_owned(),
+            policy: std::sync::Arc::new(cusync::NoSync),
+        };
+        let code = emit_policy(&spec, &spec.deps()[0], &pdl);
+        assert!(code.contains("struct Pdl_g1_to_g2 {"), "{code}");
+        assert!(code.contains("cudaGridDependencySynchronize();"), "{code}");
+        assert!(
+            code.contains("cudaTriggerProgrammaticLaunchCompletion();"),
+            "{code}"
+        );
+        assert!(
+            code.contains("cudaLaunchAttributeProgrammaticStreamSerialization"),
+            "{code}"
+        );
     }
 
     #[test]

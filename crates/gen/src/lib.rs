@@ -45,12 +45,17 @@ mod analysis;
 mod autotune;
 mod codegen;
 mod dsl;
+mod mechtune;
 mod orders;
 mod policies;
 
-pub use analysis::{check_dep, check_spec, GenError};
-pub use autotune::{autotune, autotune_cached, TuneCache, TuneCandidate, TuneReport, TuneResult};
+pub use analysis::{check_dep, check_mechanisms, check_spec, GenError};
+pub use autotune::{
+    autotune, autotune_cached, TuneCache, TuneCacheLoadError, TuneCacheParseError,
+    TuneCacheParseErrorKind, TuneCandidate, TuneReport, TuneResult,
+};
 pub use codegen::{emit_order, emit_policy, emit_spec};
 pub use dsl::{AffineExpr, DepDecl, DepSpec, GridId, Pattern};
+pub use mechtune::{assignment_key, autotune_sync_mechanisms, MechanismPlan};
 pub use orders::{consumer_order, producer_order};
 pub use policies::{policies_for, NamedPolicy};

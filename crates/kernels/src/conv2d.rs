@@ -305,6 +305,7 @@ impl KernelSource for Conv2DKernel {
             tile_coord: None,
             phase: ConvPhase::Start,
             pending: Vec::new(),
+            grid_pending: Vec::new(),
             next_wait: 0,
             next_main: 0,
             acc: Vec::new(),
@@ -322,6 +323,9 @@ enum ConvPhase {
     Start,
     Acquire,
     MapTile,
+    /// The PDL preamble barrier: one wait per PDL producer's grid
+    /// semaphore, issued once per block before any dependent read.
+    GridWait,
     /// Emit waits for upcoming steps.
     Sync,
     /// One pipelined step: input/weight loads overlap the MMA,
@@ -353,6 +357,7 @@ struct Conv2DBody {
     tile_coord: Option<Dim3>,
     phase: ConvPhase,
     pending: Vec<Op>,
+    grid_pending: Vec<Op>,
     next_wait: u32,
     next_main: u32,
     acc: Vec<f32>,
@@ -510,7 +515,7 @@ impl BlockBody for Conv2DBody {
                         None => {
                             self.tile_coord = Some(self.block);
                             self.init_acc();
-                            self.phase = self.first_step_phase();
+                            self.phase = self.grid_wait_phase();
                         }
                     }
                 }
@@ -519,6 +524,12 @@ impl BlockBody for Conv2DBody {
                     let stage = self.stage.as_ref().expect("stage with counter");
                     self.tile_coord = Some(stage.tile_at(pos));
                     self.init_acc();
+                    self.phase = self.grid_wait_phase();
+                }
+                ConvPhase::GridWait => {
+                    if let Some(op) = self.grid_pending.pop() {
+                        return Step::Op(op);
+                    }
                     self.phase = self.first_step_phase();
                 }
                 ConvPhase::Sync => {
@@ -627,6 +638,17 @@ impl Conv2DBody {
             .map(|s| s.reorder_loads())
             .unwrap_or(false)
             && self.input_dep.is_some()
+    }
+
+    /// Enters [`ConvPhase::GridWait`], queueing the PDL preamble barrier
+    /// ops (empty without PDL producers — falls through to the first
+    /// step).
+    fn grid_wait_phase(&mut self) -> ConvPhase {
+        if let Some(stage) = &self.stage {
+            self.grid_pending = stage.grid_wait_ops();
+            self.grid_pending.reverse(); // popped back-to-front
+        }
+        ConvPhase::GridWait
     }
 
     fn first_step_phase(&self) -> ConvPhase {

@@ -112,10 +112,17 @@ enum CopyPhase {
     Start,
     Acquire,
     MapTile,
+    /// The PDL preamble barrier (one wait per PDL producer's grid
+    /// semaphore), before the per-tile wait.
+    GridWait {
+        idx: usize,
+    },
     Wait,
     Read,
     Write,
-    Post { idx: usize },
+    Post {
+        idx: usize,
+    },
     Done,
 }
 
@@ -171,14 +178,28 @@ impl BlockBody for CopyBody {
                     }
                     None => {
                         self.tile = Some(self.block);
-                        self.phase = CopyPhase::Wait;
+                        self.phase = CopyPhase::GridWait { idx: 0 };
                     }
                 },
                 CopyPhase::MapTile => {
                     let pos = ctx.atomic_result.expect("tile counter result");
                     let stage = self.stage.as_ref().expect("stage with counter");
                     self.tile = Some(stage.tile_at(pos));
-                    self.phase = CopyPhase::Wait;
+                    self.phase = CopyPhase::GridWait { idx: 0 };
+                }
+                CopyPhase::GridWait { idx } => {
+                    let ops = self
+                        .stage
+                        .as_ref()
+                        .map(|s| s.grid_wait_ops())
+                        .unwrap_or_default();
+                    match ops.get(idx) {
+                        Some(&op) => {
+                            self.phase = CopyPhase::GridWait { idx: idx + 1 };
+                            return Step::Op(op);
+                        }
+                        None => self.phase = CopyPhase::Wait,
+                    }
                 }
                 CopyPhase::Wait => {
                     self.phase = CopyPhase::Read;

@@ -493,6 +493,7 @@ impl KernelSource for GemmKernel {
             tile: None,
             phase: Phase::Start,
             pending: Vec::new(),
+            grid_pending: Vec::new(),
             next_wait: 0,
             next_main: 0,
             acc: Vec::new(),
@@ -531,6 +532,10 @@ enum Phase {
     Start,
     Acquire,
     MapTile,
+    /// The PDL preamble barrier: one wait per PDL producer's grid
+    /// semaphore (`cudaGridDependencySynchronize`), issued once per block
+    /// after tile acquisition and before any dependent read.
+    GridWait,
     /// Emit the waits for upcoming chunks.
     Sync,
     /// One software-pipelined mainloop step: loads and MMA of a chunk
@@ -551,6 +556,8 @@ struct GemmBody {
     phase: Phase,
     /// Wait ops still to emit.
     pending: Vec<Op>,
+    /// Grid-dependency barrier ops still to emit (PDL preamble).
+    grid_pending: Vec<Op>,
     /// Next chunk whose waits will be emitted.
     next_wait: u32,
     /// Next chunk whose pipelined main step will execute.
@@ -816,7 +823,7 @@ impl BlockBody for GemmBody {
                         }
                         None => {
                             self.tile = Some(self.block);
-                            self.phase = self.first_chunk_phase();
+                            self.phase = self.grid_wait_phase();
                         }
                     }
                 }
@@ -829,6 +836,12 @@ impl BlockBody for GemmBody {
                         let rows = self.rows();
                         let cols = self.cols();
                         self.acc = vec![0.0; ((rows.1 - rows.0) * (cols.1 - cols.0)) as usize];
+                    }
+                    self.phase = self.grid_wait_phase();
+                }
+                Phase::GridWait => {
+                    if let Some(op) = self.grid_pending.pop() {
+                        return Step::Op(op);
                     }
                     self.phase = self.first_chunk_phase();
                 }
@@ -903,6 +916,17 @@ impl BlockBody for GemmBody {
 }
 
 impl GemmBody {
+    /// Enters [`Phase::GridWait`], queueing the PDL preamble barrier ops
+    /// (empty for stages without PDL producers — the phase then falls
+    /// straight through to the first chunk).
+    fn grid_wait_phase(&mut self) -> Phase {
+        if let Some(stage) = &self.k.stage {
+            self.grid_pending = stage.grid_wait_ops();
+            self.grid_pending.reverse(); // popped back-to-front
+        }
+        Phase::GridWait
+    }
+
     fn first_chunk_phase(&mut self) -> Phase {
         let (lo, hi) = self.chunk_range();
         if lo > hi {

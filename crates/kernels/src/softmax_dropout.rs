@@ -269,18 +269,22 @@ impl SoftmaxBody {
     }
 
     fn waits(&self) -> Vec<Op> {
-        let (Some(stage), Some(dep)) = (&self.stage, &self.input_dep) else {
+        let Some(stage) = &self.stage else {
             return Vec::new();
+        };
+        // The PDL preamble barrier comes first: one wait per PDL
+        // producer's grid semaphore, before any dependent read.
+        let mut ops: Vec<Op> = stage.grid_wait_ops();
+        let Some(dep) = &self.input_dep else {
+            return ops;
         };
         let rows = self.row_range();
         // The whole row is needed: wait on every producer column tile.
-        let mut ops: Vec<Op> = (0..dep.prod_grid.x)
-            .flat_map(|chunk| {
-                dep.requested(rows, self.rows, chunk, self.tile_coord())
-                    .into_iter()
-                    .filter_map(|req| stage.wait_op(self.input, req))
-            })
-            .collect();
+        ops.extend((0..dep.prod_grid.x).flat_map(|chunk| {
+            dep.requested(rows, self.rows, chunk, self.tile_coord())
+                .into_iter()
+                .filter_map(|req| stage.wait_op(self.input, req))
+        }));
         ops.dedup();
         ops
     }

@@ -23,7 +23,8 @@
 use std::sync::Arc;
 
 use cusync::{
-    launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph, TileSync,
+    launch_stream_sync, CuStage, NoSync, OptFlags, PolicyRef, RowSync, StridedSync, SyncGraph,
+    SyncMechanism, TileSync,
 };
 use cusync_kernels::{DepPlan, GemmBuilder, GemmDims, InputDep, SoftmaxDropoutBuilder, TileShape};
 use cusync_sim::{
@@ -31,7 +32,18 @@ use cusync_sim::{
 };
 use cusync_streamk::StreamKBuilder;
 
+use crate::mech::{fine_labels, label_policy};
 use crate::modes::{PolicyKind, SyncMode};
+
+/// Number of dependence edges in the attention graph, in the fixed order
+/// `g1→gP` (xqkv), `g1→gP` (kcache), `gP→gR` (p), `gR→gT` (r), `g1→gT`
+/// (vcache), `gT→g2` (t) — the length of the assignment
+/// [`build_attention_mechanisms`] expects.
+pub const ATTENTION_EDGES: usize = 6;
+
+/// Producer stage index (g1 = 0, gP = 1, gR = 2, gT = 3) of each edge in
+/// the [`ATTENTION_EDGES`] order.
+const EDGE_PRODUCERS: [usize; ATTENTION_EDGES] = [0, 0, 1, 2, 0, 3];
 
 /// Shape of one attention invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +118,62 @@ fn auto_z(gpu: &GpuConfig, m: u32, n: u32, tile: TileShape, occupancy: u32) -> u
 /// caller-provided [`Gpu`]: allocates buffers, binds the sync graph and
 /// launches all kernels, without running anything.
 pub fn build_attention(gpu: &mut Gpu, cfg: AttentionConfig, mode: SyncMode) {
+    build_attention_inner(gpu, cfg, AttnLaunch::Mode(mode))
+        .expect("mode launches are always valid");
+}
+
+/// Builds the attention chain with an explicit per-edge
+/// [`SyncMechanism`] assignment (edge order documented on
+/// [`ATTENTION_EDGES`]). Fine mechanisms select the producer policies;
+/// coarse mechanisms gate consumer launches instead of synchronizing
+/// tiles.
+///
+/// Returns `None` when the assignment is structurally invalid: `g1`
+/// produces three of the edges (xqkv, kcache, vcache), so giving any two
+/// of them *different fine* mechanisms demands two policies of one stage.
+///
+/// # Panics
+///
+/// Panics if `mechanisms.len() != ATTENTION_EDGES`.
+pub fn build_attention_mechanisms(
+    gpu: &mut Gpu,
+    cfg: AttentionConfig,
+    opts: OptFlags,
+    mechanisms: &[SyncMechanism],
+) -> Option<()> {
+    build_attention_inner(gpu, cfg, AttnLaunch::Mechanisms(opts, mechanisms))
+}
+
+/// How [`build_attention_inner`] should synchronize the chain.
+enum AttnLaunch<'a> {
+    /// One of the paper's evaluation modes.
+    Mode(SyncMode),
+    /// An explicit per-edge mechanism assignment (cuSync graph launch).
+    Mechanisms(OptFlags, &'a [SyncMechanism]),
+}
+
+fn build_attention_inner(
+    gpu: &mut Gpu,
+    cfg: AttentionConfig,
+    launch: AttnLaunch<'_>,
+) -> Option<()> {
+    // Validate the mechanism assignment before allocating anything.
+    let mech_labels = match &launch {
+        AttnLaunch::Mechanisms(_, ms) => {
+            assert_eq!(
+                ms.len(),
+                ATTENTION_EDGES,
+                "one mechanism per attention edge"
+            );
+            let edges: Vec<(usize, SyncMechanism)> = EDGE_PRODUCERS
+                .iter()
+                .copied()
+                .zip(ms.iter().copied())
+                .collect();
+            Some(fine_labels(5, &edges)?)
+        }
+        AttnLaunch::Mode(_) => None,
+    };
     let gpu_cfg = &gpu.config().clone();
     let d = cfg.d();
     let h = cfg.hidden;
@@ -266,8 +334,54 @@ pub fn build_attention(gpu: &mut Gpu, cfg: AttentionConfig, mode: SyncMode) {
         b.build(gpu_cfg).expect("attention kernel operands set")
     };
 
-    match mode {
-        SyncMode::StreamSync => {
+    // The cuSync graph launch, shared by policy modes (classic fine sync
+    // on every edge) and explicit per-edge mechanism assignments.
+    let cusync_graph = |gpu: &mut Gpu,
+                        policies: [PolicyRef; 4],
+                        mechs: Option<&[SyncMechanism]>,
+                        opts: OptFlags| {
+        let [p1, pp, pr, pt] = policies;
+        let mut graph = SyncGraph::new();
+        let s1 = graph.add_stage(CuStage::new("g1", grid1).policy_ref(p1).opts(opts));
+        let sp = graph.add_stage(CuStage::new("gP", grid_p).policy_ref(pp).opts(opts));
+        let sr = graph.add_stage(CuStage::new("gR", grid_r).policy_ref(pr).opts(opts));
+        let st = graph.add_stage(CuStage::new("gT", grid_t).policy_ref(pt).opts(opts));
+        let s2 = graph.add_stage(CuStage::new("g2", grid2).policy(NoSync).opts(opts));
+        let edges = [
+            (s1, sp, xqkv, "xqkv dep"),
+            (s1, sp, kcache, "kcache dep"),
+            (sp, sr, p, "p dep"),
+            (sr, st, r, "r dep"),
+            (s1, st, vcache, "vcache dep"),
+            (st, s2, t_buf, "t dep"),
+        ];
+        for (i, (prod, cons, buffer, what)) in edges.into_iter().enumerate() {
+            match mechs {
+                Some(ms) => graph.dependency_via(prod, cons, buffer, ms[i]),
+                None => graph.dependency(prod, cons, buffer),
+            }
+            .expect(what);
+        }
+        let bound = graph.bind(gpu).expect("bindable attention graph");
+        bound
+            .launch(gpu, s1, Arc::new(g1(Some(Arc::clone(bound.stage(s1))))))
+            .expect("launch g1");
+        bound
+            .launch(gpu, sp, Arc::new(g_p(Some(Arc::clone(bound.stage(sp))))))
+            .expect("launch gP");
+        bound
+            .launch(gpu, sr, Arc::new(g_r(Some(Arc::clone(bound.stage(sr))))))
+            .expect("launch gR");
+        bound
+            .launch(gpu, st, Arc::new(g_t(Some(Arc::clone(bound.stage(st))))))
+            .expect("launch gT");
+        bound
+            .launch(gpu, s2, Arc::new(g2(Some(Arc::clone(bound.stage(s2))))))
+            .expect("launch g2");
+    };
+
+    match launch {
+        AttnLaunch::Mode(SyncMode::StreamSync) => {
             launch_stream_sync(
                 gpu,
                 [
@@ -279,7 +393,7 @@ pub fn build_attention(gpu: &mut Gpu, cfg: AttentionConfig, mode: SyncMode) {
                 ],
             );
         }
-        SyncMode::StreamK => {
+        AttnLaunch::Mode(SyncMode::StreamK) => {
             // Stream-K applies to the GeMMs; the softmax stays classic.
             let stream = gpu.create_stream(0);
             StreamKBuilder::new("g1", dims1, tile1)
@@ -308,7 +422,7 @@ pub fn build_attention(gpu: &mut Gpu, cfg: AttentionConfig, mode: SyncMode) {
                 .expect("attention stream-k operands set")
                 .launch(gpu, stream);
         }
-        SyncMode::CuSync(kind, opts) => {
+        AttnLaunch::Mode(SyncMode::CuSync(kind, opts)) => {
             // "StridedTileSync+WRT synchronizes the first GeMM using
             // StridedSync, and all other kernels using TileSync."
             let g1_policy: PolicyRef = match kind {
@@ -316,54 +430,35 @@ pub fn build_attention(gpu: &mut Gpu, cfg: AttentionConfig, mode: SyncMode) {
                 PolicyKind::Strided => Arc::new(StridedSync::new(d_tiles, 3)),
                 _ => Arc::new(TileSync),
             };
-            let mid_policy = |_: &str| -> PolicyRef {
+            let mid_policy = || -> PolicyRef {
                 match kind {
                     PolicyKind::Row => Arc::new(RowSync),
                     _ => Arc::new(TileSync),
                 }
             };
-            let mut graph = SyncGraph::new();
-            let s1 = graph.add_stage(CuStage::new("g1", grid1).policy_ref(g1_policy).opts(opts));
-            let sp = graph.add_stage(
-                CuStage::new("gP", grid_p)
-                    .policy_ref(mid_policy("gP"))
-                    .opts(opts),
+            cusync_graph(
+                gpu,
+                [g1_policy, mid_policy(), mid_policy(), mid_policy()],
+                None,
+                opts,
             );
-            let sr = graph.add_stage(
-                CuStage::new("gR", grid_r)
-                    .policy_ref(mid_policy("gR"))
-                    .opts(opts),
+        }
+        AttnLaunch::Mechanisms(opts, ms) => {
+            let labels = mech_labels.unwrap();
+            cusync_graph(
+                gpu,
+                [
+                    label_policy(labels[0]),
+                    label_policy(labels[1]),
+                    label_policy(labels[2]),
+                    label_policy(labels[3]),
+                ],
+                Some(ms),
+                opts,
             );
-            let st = graph.add_stage(
-                CuStage::new("gT", grid_t)
-                    .policy_ref(mid_policy("gT"))
-                    .opts(opts),
-            );
-            let s2 = graph.add_stage(CuStage::new("g2", grid2).policy(NoSync).opts(opts));
-            graph.dependency(s1, sp, xqkv).expect("xqkv dep");
-            graph.dependency(s1, sp, kcache).expect("kcache dep");
-            graph.dependency(sp, sr, p).expect("p dep");
-            graph.dependency(sr, st, r).expect("r dep");
-            graph.dependency(s1, st, vcache).expect("vcache dep");
-            graph.dependency(st, s2, t_buf).expect("t dep");
-            let bound = graph.bind(gpu).expect("bindable attention graph");
-            bound
-                .launch(gpu, s1, Arc::new(g1(Some(Arc::clone(bound.stage(s1))))))
-                .expect("launch g1");
-            bound
-                .launch(gpu, sp, Arc::new(g_p(Some(Arc::clone(bound.stage(sp))))))
-                .expect("launch gP");
-            bound
-                .launch(gpu, sr, Arc::new(g_r(Some(Arc::clone(bound.stage(sr))))))
-                .expect("launch gR");
-            bound
-                .launch(gpu, st, Arc::new(g_t(Some(Arc::clone(bound.stage(st))))))
-                .expect("launch gT");
-            bound
-                .launch(gpu, s2, Arc::new(g2(Some(Arc::clone(bound.stage(s2))))))
-                .expect("launch g2");
         }
     }
+    Some(())
 }
 
 /// Compiles one attention chain into an immutable, reusable
@@ -377,6 +472,20 @@ pub fn compile_attention(
     let mut gpu = Gpu::new(gpu_cfg.clone());
     build_attention(&mut gpu, cfg, mode);
     gpu.compile().expect("freshly built attention pipeline")
+}
+
+/// Compiles one attention chain under an explicit per-edge mechanism
+/// assignment (see [`build_attention_mechanisms`]). Returns `None` when
+/// the assignment is invalid for this graph.
+pub fn compile_attention_mechanisms(
+    gpu_cfg: &GpuConfig,
+    cfg: AttentionConfig,
+    opts: OptFlags,
+    mechanisms: &[SyncMechanism],
+) -> Option<CompiledPipeline> {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    build_attention_mechanisms(&mut gpu, cfg, opts, mechanisms)?;
+    Some(gpu.compile().expect("freshly built attention pipeline"))
 }
 
 /// Runs the five-kernel attention chain under `mode`.
@@ -451,6 +560,32 @@ mod tests {
         assert!(report.kernel("gP").start >= report.kernel("g1").end);
         assert!(report.kernel("gR").start >= report.kernel("gP").end);
         assert!(report.kernel("g2").start >= report.kernel("gT").end);
+    }
+
+    #[test]
+    fn conflicting_fine_labels_on_g1_are_invalid() {
+        let cfg = AttentionConfig::prompt(12288, 512);
+        // g1 produces xqkv (edge 0) and kcache (edge 1); demanding
+        // TileSync for one and RowSync for the other asks g1 for two
+        // policies at once.
+        let mut ms = [SyncMechanism::TileSync; ATTENTION_EDGES];
+        ms[1] = SyncMechanism::RowSync;
+        assert!(compile_attention_mechanisms(&v100(), cfg, OptFlags::WRT, &ms).is_none());
+        // Making the kcache edge coarse resolves the conflict.
+        ms[1] = SyncMechanism::Pdl;
+        assert!(compile_attention_mechanisms(&v100(), cfg, OptFlags::WRT, &ms).is_some());
+    }
+
+    #[test]
+    fn uniform_mechanism_assignments_run() {
+        let cfg = AttentionConfig::prompt(12288, 512);
+        for m in SyncMechanism::ALL {
+            let ms = [m; ATTENTION_EDGES];
+            let pipeline = compile_attention_mechanisms(&v100(), cfg, OptFlags::WRT, &ms)
+                .expect("uniform assignments are valid");
+            let report = run_compiled(&pipeline).expect("attention mechanism run deadlocked");
+            assert!(report.total > cusync_sim::SimTime::ZERO, "{m}");
+        }
     }
 
     #[test]

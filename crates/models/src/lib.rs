@@ -35,6 +35,7 @@
 mod allreduce;
 mod attention;
 mod e2e;
+mod mech;
 mod mlp;
 mod modes;
 mod tiling;
@@ -46,14 +47,18 @@ pub use allreduce::{
     RingAllreduce,
 };
 pub use attention::{
-    attention_improvement, attention_time, build_attention, compile_attention, run_attention,
-    AttentionConfig,
+    attention_improvement, attention_time, build_attention, build_attention_mechanisms,
+    compile_attention, compile_attention_mechanisms, run_attention, AttentionConfig,
+    ATTENTION_EDGES,
 };
 pub use e2e::{
     llm_e2e_improvement, llm_step_report, llm_step_time, vision_e2e_improvement,
     vision_step_report, vision_step_time, LlmModel, GPT3, LLAMA, MP_DEGREE,
 };
-pub use mlp::{build_mlp, compile_mlp, mlp_improvement, mlp_time, run_mlp, MlpModel};
+pub use mlp::{
+    build_mlp, build_mlp_mechanisms, compile_mlp, compile_mlp_mechanisms, mlp_improvement,
+    mlp_time, run_mlp, MlpModel, MLP_EDGES,
+};
 pub use modes::{PolicyKind, SyncMode};
 pub use tiling::{auto_tiling, conv_tiling, gpt3_mlp_tiling, GemmTiling, MlpTiling};
 pub use tp::{
@@ -61,6 +66,7 @@ pub use tp::{
     tp_overlap_improvement, TpKind, TpLayerConfig, TpSchedule,
 };
 pub use vision::{
-    build_conv_layer, compile_conv_layer, conv_improvement, conv_layer_time, pq_for_channels,
-    resnet38, run_conv_layer, vgg19, ConvStage,
+    build_conv_layer, build_conv_layer_mechanisms, compile_conv_layer,
+    compile_conv_layer_mechanisms, conv_chain_edges, conv_improvement, conv_layer_time,
+    pq_for_channels, resnet38, run_conv_layer, vgg19, ConvStage,
 };

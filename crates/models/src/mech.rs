@@ -1,0 +1,108 @@
+//! Shared plumbing for per-edge [`SyncMechanism`] assignments.
+//!
+//! The mechanism-tuned builders (`compile_mlp_mechanisms`,
+//! `compile_attention_mechanisms`, `compile_conv_layer_mechanisms`) accept
+//! one mechanism per dependence edge. A *fine* mechanism is a claim about
+//! the producer stage's policy — and a stage has exactly one policy — so
+//! an assignment is **invalid** when two fine edges out of the same
+//! producer demand different policies. The helpers here derive the
+//! per-stage policy implied by an assignment, or report the conflict.
+
+use std::sync::Arc;
+
+use cusync::{NoSync, PolicyRef, RowSync, SyncMechanism, TileSync};
+
+/// Derives the fine-policy label of each of `num_stages` stages from the
+/// per-edge assignment `edges` (`(producer stage index, mechanism)`).
+///
+/// Returns `None` when two fine edges out of one producer disagree — the
+/// assignment cannot be bound. A stage with only coarse (or no) outgoing
+/// edges gets label `None`: its per-tile posts are pure overhead and the
+/// caller should give it [`NoSync`].
+pub(crate) fn fine_labels(
+    num_stages: usize,
+    edges: &[(usize, SyncMechanism)],
+) -> Option<Vec<Option<SyncMechanism>>> {
+    let mut labels: Vec<Option<SyncMechanism>> = vec![None; num_stages];
+    for &(prod, m) in edges {
+        if !m.is_fine() {
+            continue;
+        }
+        match labels[prod] {
+            None => labels[prod] = Some(m),
+            Some(prev) if prev == m => {}
+            Some(_) => return None, // conflicting fine labels on one stage
+        }
+    }
+    Some(labels)
+}
+
+/// The producer policy implementing a fine label ([`NoSync`] when the
+/// stage has no fine consumers).
+pub(crate) fn label_policy(label: Option<SyncMechanism>) -> PolicyRef {
+    match label {
+        Some(SyncMechanism::TileSync) => Arc::new(TileSync),
+        Some(SyncMechanism::RowSync) => Arc::new(RowSync),
+        Some(coarse) => unreachable!("coarse label {coarse} has no policy"),
+        None => Arc::new(NoSync),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreeing_fine_labels_merge() {
+        let labels = fine_labels(
+            3,
+            &[
+                (0, SyncMechanism::TileSync),
+                (0, SyncMechanism::TileSync),
+                (1, SyncMechanism::RowSync),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            labels,
+            vec![
+                Some(SyncMechanism::TileSync),
+                Some(SyncMechanism::RowSync),
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn conflicting_fine_labels_are_invalid() {
+        assert!(fine_labels(
+            2,
+            &[(0, SyncMechanism::TileSync), (0, SyncMechanism::RowSync)]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn coarse_edges_never_conflict() {
+        let labels = fine_labels(
+            2,
+            &[
+                (0, SyncMechanism::TileSync),
+                (0, SyncMechanism::Pdl),
+                (0, SyncMechanism::StreamSerial),
+            ],
+        )
+        .unwrap();
+        assert_eq!(labels[0], Some(SyncMechanism::TileSync));
+    }
+
+    #[test]
+    fn label_policies_match_names() {
+        assert_eq!(
+            label_policy(Some(SyncMechanism::TileSync)).name(),
+            "TileSync"
+        );
+        assert_eq!(label_policy(Some(SyncMechanism::RowSync)).name(), "RowSync");
+        assert_eq!(label_policy(None).name(), "NoSync");
+    }
+}

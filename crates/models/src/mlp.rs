@@ -4,7 +4,8 @@
 use std::sync::Arc;
 
 use cusync::{
-    launch_stream_sync, CuStage, NoSync, PolicyRef, RowSync, StridedSync, SyncGraph, TileSync,
+    launch_stream_sync, CuStage, NoSync, OptFlags, PolicyRef, RowSync, StridedSync, SyncGraph,
+    SyncMechanism, TileSync,
 };
 use cusync_kernels::{DepPlan, Epilogue, GemmBuilder, GemmDims, InputDep};
 use cusync_sim::{
@@ -12,8 +13,14 @@ use cusync_sim::{
 };
 use cusync_streamk::StreamKBuilder;
 
+use crate::mech::{fine_labels, label_policy};
 use crate::modes::{PolicyKind, SyncMode};
 use crate::tiling::{auto_tiling, gpt3_mlp_tiling, GemmTiling, MlpTiling};
+
+/// Number of dependence edges in the MLP graph (gemm1 → gemm2 over
+/// `xw1`) — the length of the assignment [`build_mlp_mechanisms`]
+/// expects.
+pub const MLP_EDGES: usize = 1;
 
 /// Which transformer MLP architecture to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,6 +95,48 @@ fn grid_of(m: u32, n: u32, t: &GemmTiling) -> Dim3 {
 /// Buffers are timing-only (benchmark fidelity); functional correctness of
 /// the same kernel compositions is covered by the kernels-crate tests.
 pub fn build_mlp(gpu: &mut Gpu, model: MlpModel, bs: u32, mode: SyncMode) {
+    build_mlp_inner(gpu, model, bs, MlpLaunch::Mode(mode)).expect("mode launches are always valid");
+}
+
+/// Builds the MLP block with an explicit per-edge [`SyncMechanism`]
+/// assignment (edge order: `gemm1 → gemm2` over `xw1`; see
+/// [`MLP_EDGES`]). Fine mechanisms select the producer policy; coarse
+/// mechanisms gate the consumer launch instead of synchronizing tiles.
+///
+/// Returns `None` when the assignment is structurally invalid for this
+/// graph (the MLP's single edge never is — the `Option` matches the
+/// multi-edge builders so the mechanism auto-tuner can drive them all).
+///
+/// # Panics
+///
+/// Panics if `mechanisms.len() != MLP_EDGES`.
+pub fn build_mlp_mechanisms(
+    gpu: &mut Gpu,
+    model: MlpModel,
+    bs: u32,
+    opts: OptFlags,
+    mechanisms: &[SyncMechanism],
+) -> Option<()> {
+    build_mlp_inner(gpu, model, bs, MlpLaunch::Mechanisms(opts, mechanisms))
+}
+
+/// How [`build_mlp_inner`] should synchronize the two GeMMs.
+enum MlpLaunch<'a> {
+    /// One of the paper's evaluation modes.
+    Mode(SyncMode),
+    /// An explicit per-edge mechanism assignment (cuSync graph launch).
+    Mechanisms(OptFlags, &'a [SyncMechanism]),
+}
+
+fn build_mlp_inner(gpu: &mut Gpu, model: MlpModel, bs: u32, launch: MlpLaunch<'_>) -> Option<()> {
+    // Validate the mechanism assignment before allocating anything.
+    let mech_label = match &launch {
+        MlpLaunch::Mechanisms(_, ms) => {
+            assert_eq!(ms.len(), MLP_EDGES, "one mechanism per MLP edge");
+            Some(fine_labels(2, &[(0, ms[0])])?[0])
+        }
+        MlpLaunch::Mode(_) => None,
+    };
     let gpu_cfg = &gpu.config().clone();
     let h = model.hidden();
     let n1 = model.first_gemm_n();
@@ -152,8 +201,38 @@ pub fn build_mlp(gpu: &mut Gpu, model: MlpModel, bs: u32, mode: SyncMode) {
         b.build(gpu_cfg).expect("MLP gemm operands set")
     };
 
-    match mode {
-        SyncMode::StreamSync => {
+    // The cuSync graph launch, shared by policy modes (classic fine sync
+    // on the edge) and explicit mechanism assignments.
+    let cusync_graph =
+        |gpu: &mut Gpu, s1_policy: PolicyRef, edge: Option<SyncMechanism>, opts: OptFlags| {
+            let mut graph = SyncGraph::new();
+            let grid2 = grid_of(bs, h, &t.gemm2);
+            let s1 = graph.add_stage(
+                CuStage::new("gemm1", grid1)
+                    .policy_ref(s1_policy)
+                    .opts(opts),
+            );
+            // The final stage has no consumers; NoSync avoids pure-overhead
+            // posts (the paper instruments both kernels identically, but
+            // its consumer-side posts target unallocated semaphores —
+            // equivalent to skipping them).
+            let s2 = graph.add_stage(CuStage::new("gemm2", grid2).policy(NoSync).opts(opts));
+            match edge {
+                Some(m) => graph.dependency_via(s1, s2, xw1, m),
+                None => graph.dependency(s1, s2, xw1),
+            }
+            .expect("valid MLP graph");
+            let bound = graph.bind(gpu).expect("bindable MLP graph");
+            bound
+                .launch(gpu, s1, Arc::new(gemm1(Some(Arc::clone(bound.stage(s1))))))
+                .expect("launch gemm1");
+            bound
+                .launch(gpu, s2, Arc::new(gemm2(Some(Arc::clone(bound.stage(s2))))))
+                .expect("launch gemm2");
+        };
+
+    match launch {
+        MlpLaunch::Mode(SyncMode::StreamSync) => {
             launch_stream_sync(
                 gpu,
                 [
@@ -162,7 +241,7 @@ pub fn build_mlp(gpu: &mut Gpu, model: MlpModel, bs: u32, mode: SyncMode) {
                 ],
             );
         }
-        SyncMode::StreamK => {
+        MlpLaunch::Mode(SyncMode::StreamK) => {
             let stream = gpu.create_stream(0);
             StreamKBuilder::new("gemm1", dims1, t.gemm1.tile)
                 .operands(x, w1, xw1)
@@ -178,29 +257,14 @@ pub fn build_mlp(gpu: &mut Gpu, model: MlpModel, bs: u32, mode: SyncMode) {
                 .expect("MLP stream-k gemm2 operands set")
                 .launch(gpu, stream);
         }
-        SyncMode::CuSync(kind, opts) => {
-            let mut graph = SyncGraph::new();
-            let grid2 = grid_of(bs, h, &t.gemm2);
-            let s1 = graph.add_stage(
-                CuStage::new("gemm1", grid1)
-                    .policy_ref(producer_policy(kind, model, grid1))
-                    .opts(opts),
-            );
-            // The final stage has no consumers; NoSync avoids pure-overhead
-            // posts (the paper instruments both kernels identically, but
-            // its consumer-side posts target unallocated semaphores —
-            // equivalent to skipping them).
-            let s2 = graph.add_stage(CuStage::new("gemm2", grid2).policy(NoSync).opts(opts));
-            graph.dependency(s1, s2, xw1).expect("valid MLP graph");
-            let bound = graph.bind(gpu).expect("bindable MLP graph");
-            bound
-                .launch(gpu, s1, Arc::new(gemm1(Some(Arc::clone(bound.stage(s1))))))
-                .expect("launch gemm1");
-            bound
-                .launch(gpu, s2, Arc::new(gemm2(Some(Arc::clone(bound.stage(s2))))))
-                .expect("launch gemm2");
+        MlpLaunch::Mode(SyncMode::CuSync(kind, opts)) => {
+            cusync_graph(gpu, producer_policy(kind, model, grid1), None, opts);
+        }
+        MlpLaunch::Mechanisms(opts, ms) => {
+            cusync_graph(gpu, label_policy(mech_label.unwrap()), Some(ms[0]), opts);
         }
     }
+    Some(())
 }
 
 /// Compiles one MLP block into an immutable, reusable
@@ -215,6 +279,21 @@ pub fn compile_mlp(
     let mut gpu = Gpu::new(gpu_cfg.clone());
     build_mlp(&mut gpu, model, bs, mode);
     gpu.compile().expect("freshly built MLP pipeline")
+}
+
+/// Compiles one MLP block under an explicit per-edge mechanism
+/// assignment (see [`build_mlp_mechanisms`]). Returns `None` when the
+/// assignment is invalid for this graph.
+pub fn compile_mlp_mechanisms(
+    gpu_cfg: &GpuConfig,
+    model: MlpModel,
+    bs: u32,
+    opts: OptFlags,
+    mechanisms: &[SyncMechanism],
+) -> Option<CompiledPipeline> {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    build_mlp_mechanisms(&mut gpu, model, bs, opts, mechanisms)?;
+    Some(gpu.compile().expect("freshly built MLP pipeline"))
 }
 
 /// Builds and runs one MLP block, returning the full run report.
@@ -299,6 +378,36 @@ mod tests {
             let report = run_mlp(&v100(), MlpModel::Llama, 512, mode);
             assert!(report.total > cusync_sim::SimTime::ZERO, "{mode}");
         }
+    }
+
+    #[test]
+    fn pdl_edge_overlaps_and_stream_serial_serializes() {
+        let run = |ms: &[SyncMechanism]| {
+            run_compiled(
+                &compile_mlp_mechanisms(&v100(), MlpModel::Gpt3, 256, OptFlags::WRT, ms)
+                    .expect("single-edge assignments are always valid"),
+            )
+            .expect("mechanism run deadlocked")
+        };
+        // PDL: gemm2's launch waits only for gemm1's last block to become
+        // resident, then its body blocks on the grid semaphore — it may
+        // start before gemm1 ends but must finish after.
+        let pdl = run(&[SyncMechanism::Pdl]);
+        assert!(pdl.kernel("gemm2").end > pdl.kernel("gemm1").end);
+        // Stream-serial: the consumer cannot even start until the
+        // producer fully completes.
+        let serial = run(&[SyncMechanism::StreamSerial]);
+        assert!(serial.kernel("gemm2").start >= serial.kernel("gemm1").end);
+        // Fine tile sync through the mechanism API matches the classic
+        // launch path bit-for-bit.
+        let fine = run(&[SyncMechanism::TileSync]);
+        let classic = run_mlp(
+            &v100(),
+            MlpModel::Gpt3,
+            256,
+            SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
+        );
+        assert_eq!(fine.total, classic.total);
     }
 
     #[test]

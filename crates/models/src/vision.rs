@@ -3,15 +3,24 @@
 use std::sync::Arc;
 
 use cusync::{
-    launch_stream_sync, Conv2DTileSync, CuStage, NoSync, PolicyRef, RowSync, SyncGraph, TileSync,
+    launch_stream_sync, Conv2DTileSync, CuStage, NoSync, OptFlags, PolicyRef, RowSync, SyncGraph,
+    SyncMechanism, TileSync,
 };
 use cusync_kernels::{Conv2DBuilder, Conv2DShape, DepPlan, Epilogue, InputDep};
 use cusync_sim::{
     run_compiled, CompiledPipeline, DType, Dim3, Gpu, GpuConfig, KernelSource, RunReport,
 };
 
+use crate::mech::{fine_labels, label_policy};
 use crate::modes::{PolicyKind, SyncMode};
 use crate::tiling::conv_tiling;
+
+/// Number of dependence edges in a `convs`-deep chain (edge `i` is
+/// `conv{i} → conv{i+1}` over `act{i+1}`) — the assignment length
+/// [`build_conv_layer_mechanisms`] expects.
+pub fn conv_chain_edges(convs: u32) -> usize {
+    convs.saturating_sub(1) as usize
+}
 
 /// One row of Table II: a group of identical layers, each running
 /// `convs_per_layer` chained 3x3 convolutions at the given spatial size
@@ -116,6 +125,70 @@ pub fn build_conv_layer(
         mode != SyncMode::StreamK,
         "Stream-K does not support Conv2D (Section V-H)"
     );
+    build_conv_inner(gpu, batch, pq, channels, convs, ConvLaunch::Mode(mode))
+        .expect("mode launches are always valid");
+}
+
+/// Builds one conv chain with an explicit per-edge [`SyncMechanism`]
+/// assignment (edge `i` is `conv{i} → conv{i+1}`; see
+/// [`conv_chain_edges`]). Fine mechanisms select each producer's policy;
+/// coarse mechanisms gate the consumer launch instead.
+///
+/// Returns `None` when the assignment is structurally invalid (each conv
+/// has at most one consumer, so a chain assignment never is — the
+/// `Option` matches the multi-consumer builders).
+///
+/// # Panics
+///
+/// Panics if `mechanisms.len() != conv_chain_edges(convs)`.
+pub fn build_conv_layer_mechanisms(
+    gpu: &mut Gpu,
+    batch: u32,
+    pq: u32,
+    channels: u32,
+    convs: u32,
+    opts: OptFlags,
+    mechanisms: &[SyncMechanism],
+) -> Option<()> {
+    build_conv_inner(
+        gpu,
+        batch,
+        pq,
+        channels,
+        convs,
+        ConvLaunch::Mechanisms(opts, mechanisms),
+    )
+}
+
+/// How [`build_conv_inner`] should synchronize the chain.
+enum ConvLaunch<'a> {
+    /// One of the paper's evaluation modes.
+    Mode(SyncMode),
+    /// An explicit per-edge mechanism assignment (cuSync graph launch).
+    Mechanisms(OptFlags, &'a [SyncMechanism]),
+}
+
+fn build_conv_inner(
+    gpu: &mut Gpu,
+    batch: u32,
+    pq: u32,
+    channels: u32,
+    convs: u32,
+    launch: ConvLaunch<'_>,
+) -> Option<()> {
+    // Validate the mechanism assignment before allocating anything.
+    let mech_labels = match &launch {
+        ConvLaunch::Mechanisms(_, ms) => {
+            assert_eq!(
+                ms.len(),
+                conv_chain_edges(convs),
+                "one mechanism per chain edge"
+            );
+            let edges: Vec<(usize, SyncMechanism)> = ms.iter().copied().enumerate().collect();
+            Some(fine_labels(convs as usize, &edges)?)
+        }
+        ConvLaunch::Mode(_) => None,
+    };
     let gpu_cfg = &gpu.config().clone();
     let shape = Conv2DShape::square3x3(batch, pq, channels, channels);
     let t = conv_tiling(channels);
@@ -161,43 +234,70 @@ pub fn build_conv_layer(
         b.build(gpu_cfg).expect("conv operands set")
     };
 
-    match mode {
-        SyncMode::StreamSync | SyncMode::StreamK => {
+    // The cuSync graph launch, shared by policy modes and explicit
+    // per-edge mechanism assignments. `policy_of(i)` gives conv{i}'s
+    // policy; `mechs` labels the chain edges.
+    let cusync_graph = |gpu: &mut Gpu,
+                        policy_of: &dyn Fn(usize) -> PolicyRef,
+                        mechs: Option<&[SyncMechanism]>,
+                        opts: OptFlags| {
+        let mut graph = SyncGraph::new();
+        let stages: Vec<_> = (0..convs as usize)
+            .map(|i| {
+                let stage = CuStage::new(&format!("conv{i}"), grid)
+                    .policy_ref(policy_of(i))
+                    .opts(opts);
+                graph.add_stage(stage)
+            })
+            .collect();
+        for i in 1..convs as usize {
+            match mechs {
+                Some(ms) => graph.dependency_via(stages[i - 1], stages[i], acts[i], ms[i - 1]),
+                None => graph.dependency(stages[i - 1], stages[i], acts[i]),
+            }
+            .expect("valid conv chain");
+        }
+        let bound = graph.bind(gpu).expect("bindable conv chain");
+        for (i, &stage) in stages.iter().enumerate().take(convs as usize) {
+            let kernel = build(i, Some(Arc::clone(bound.stage(stage))), i > 0);
+            bound
+                .launch(gpu, stage, Arc::new(kernel))
+                .expect("launch conv");
+        }
+    };
+
+    match launch {
+        ConvLaunch::Mode(SyncMode::StreamSync) | ConvLaunch::Mode(SyncMode::StreamK) => {
             let kernels: Vec<Arc<dyn KernelSource>> = (0..convs as usize)
                 .map(|i| Arc::new(build(i, None, false)) as Arc<dyn KernelSource>)
                 .collect();
             launch_stream_sync(gpu, kernels);
         }
-        SyncMode::CuSync(kind, opts) => {
-            let mut graph = SyncGraph::new();
-            let stages: Vec<_> = (0..convs as usize)
-                .map(|i| {
-                    let stage = if i + 1 == convs as usize {
-                        CuStage::new(&format!("conv{i}"), grid)
-                            .policy(NoSync)
-                            .opts(opts)
-                    } else {
-                        CuStage::new(&format!("conv{i}"), grid)
-                            .policy_ref(conv_policy(kind, shape.rs()))
-                            .opts(opts)
-                    };
-                    graph.add_stage(stage)
-                })
-                .collect();
-            for i in 1..convs as usize {
-                graph
-                    .dependency(stages[i - 1], stages[i], acts[i])
-                    .expect("valid conv chain");
-            }
-            let bound = graph.bind(gpu).expect("bindable conv chain");
-            for (i, &stage) in stages.iter().enumerate().take(convs as usize) {
-                let kernel = build(i, Some(Arc::clone(bound.stage(stage))), i > 0);
-                bound
-                    .launch(gpu, stage, Arc::new(kernel))
-                    .expect("launch conv");
-            }
+        ConvLaunch::Mode(SyncMode::CuSync(kind, opts)) => {
+            let policy_of = |i: usize| -> PolicyRef {
+                if i + 1 == convs as usize {
+                    Arc::new(NoSync)
+                } else {
+                    conv_policy(kind, shape.rs())
+                }
+            };
+            cusync_graph(gpu, &policy_of, None, opts);
+        }
+        ConvLaunch::Mechanisms(opts, ms) => {
+            let labels = mech_labels.unwrap();
+            // A conv consumer requests `x = cb·rs + rs_idx` coordinates,
+            // so the tile-class label binds to the Conv2D fold of tile
+            // sync rather than the flat GeMM policy.
+            let policy_of = |i: usize| -> PolicyRef {
+                match labels[i] {
+                    Some(SyncMechanism::TileSync) => Arc::new(Conv2DTileSync::new(shape.rs())),
+                    label => label_policy(label),
+                }
+            };
+            cusync_graph(gpu, &policy_of, Some(ms), opts);
         }
     }
+    Some(())
 }
 
 /// Compiles one conv layer into an immutable, reusable
@@ -214,6 +314,24 @@ pub fn compile_conv_layer(
     let mut gpu = Gpu::new(gpu_cfg.clone());
     build_conv_layer(&mut gpu, batch, pq, channels, convs, mode);
     gpu.compile().expect("freshly built conv pipeline")
+}
+
+/// Compiles one conv chain under an explicit per-edge mechanism
+/// assignment (see [`build_conv_layer_mechanisms`]). Returns `None` when
+/// the assignment is invalid for this chain.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_conv_layer_mechanisms(
+    gpu_cfg: &GpuConfig,
+    batch: u32,
+    pq: u32,
+    channels: u32,
+    convs: u32,
+    opts: OptFlags,
+    mechanisms: &[SyncMechanism],
+) -> Option<CompiledPipeline> {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    build_conv_layer_mechanisms(&mut gpu, batch, pq, channels, convs, opts, mechanisms)?;
+    Some(gpu.compile().expect("freshly built conv pipeline"))
 }
 
 /// Runs one layer: `convs` chained 3x3 convolutions of `channels`

@@ -92,6 +92,13 @@ pub enum ModelKind {
     },
 }
 
+/// Per-request work units × batch width, saturating at `u32::MAX` instead
+/// of wrapping: a wrapped product would silently compile a *tiny* pipeline
+/// for a huge batch and misprice every request dispatched through it.
+fn batch_units(per_request: u32, width: u32) -> u32 {
+    per_request.saturating_mul(width)
+}
+
 impl ModelKind {
     /// Tokens per request for the GeMM-shaped models.
     pub const MLP_TOKENS: u32 = 64;
@@ -112,23 +119,23 @@ impl ModelKind {
             ModelKind::MlpGpt3 => compile_mlp(
                 gpu,
                 MlpModel::Gpt3,
-                Self::MLP_TOKENS * width,
+                batch_units(Self::MLP_TOKENS, width),
                 SyncMode::CuSync(PolicyKind::Tile, OptFlags::WRT),
             ),
             ModelKind::MlpLlama => compile_mlp(
                 gpu,
                 MlpModel::Llama,
-                Self::MLP_TOKENS * width,
+                batch_units(Self::MLP_TOKENS, width),
                 SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
             ),
             ModelKind::Attention { hidden } => compile_attention(
                 gpu,
-                AttentionConfig::prompt(hidden, Self::MLP_TOKENS * width),
+                AttentionConfig::prompt(hidden, batch_units(Self::MLP_TOKENS, width)),
                 SyncMode::CuSync(PolicyKind::Strided, OptFlags::WRT),
             ),
             ModelKind::ConvStack => compile_conv_layer(
                 gpu,
-                Self::CONV_IMAGES * width,
+                batch_units(Self::CONV_IMAGES, width),
                 14,
                 256,
                 2,
@@ -137,18 +144,23 @@ impl ModelKind {
             ModelKind::StreamKGemm => compile_mlp(
                 gpu,
                 MlpModel::Gpt3,
-                Self::MLP_TOKENS * width,
+                batch_units(Self::MLP_TOKENS, width),
                 SyncMode::StreamK,
             ),
             ModelKind::Toy {
                 blocks,
                 compute_cycles,
-            } => Self::build_toy(gpu, blocks * width, compute_cycles, None),
+            } => Self::build_toy(gpu, batch_units(blocks, width), compute_cycles, None),
             ModelKind::ToyRemote {
                 blocks,
                 compute_cycles,
                 payload,
-            } => Self::build_toy(gpu, blocks * width, compute_cycles, Some(payload)),
+            } => Self::build_toy(
+                gpu,
+                batch_units(blocks, width),
+                compute_cycles,
+                Some(payload),
+            ),
             ModelKind::DecodeLlm {
                 prompt,
                 step_cycles,
@@ -223,7 +235,10 @@ impl ModelKind {
                 grid,
                 1,
                 vec![
-                    Op::wait(sem, 0, grid.count() as u32),
+                    // `grid` is linear over a `u32` block count, so the
+                    // count always fits; saturate rather than truncate if
+                    // that invariant ever changes.
+                    Op::wait(sem, 0, grid.count().min(u32::MAX as u64) as u32),
                     Op::compute(compute_cycles / 2),
                 ],
             )),
@@ -260,6 +275,16 @@ impl fmt::Display for ModelKind {
 mod tests {
     use super::*;
     use cusync_sim::{Session, SimTime};
+
+    #[test]
+    fn batch_units_saturate_instead_of_wrapping() {
+        assert_eq!(batch_units(ModelKind::MLP_TOKENS, 4), 256);
+        // 64 × (2^31) wraps to 0 under `u32` multiplication — the old
+        // `tokens * width` would have compiled an empty-batch pipeline.
+        assert_eq!(batch_units(ModelKind::MLP_TOKENS, 1 << 31), u32::MAX);
+        assert_eq!(batch_units(u32::MAX, 2), u32::MAX);
+        assert_eq!(batch_units(0, u32::MAX), 0);
+    }
 
     #[test]
     fn toy_model_compiles_and_runs_at_every_width() {

@@ -717,6 +717,37 @@ pub(crate) struct StreamDesc {
     pub(crate) queue: Vec<usize>,
 }
 
+/// A launch prerequisite tying one kernel's dispatch to another kernel's
+/// progress — the simulator's model of CUDA's Programmatic Dependent
+/// Launch (PDL) family of grid-level ordering primitives.
+///
+/// A kernel with gates becomes dispatchable only once its stream reaches
+/// it **and** every gate is satisfied. Until then it consumes no SM
+/// capacity at all (unlike a busy-waiting block). Register gates with
+/// [`Gpu::gate_launch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchGate {
+    /// Satisfied when the target kernel's **final thread block becomes
+    /// resident** on an SM — the hardware PDL trigger
+    /// (`cudaTriggerProgrammaticLaunchCompletion`): the dependent grid
+    /// launches while the producer's last wave is still executing, so its
+    /// preamble overlaps the producer tail.
+    AfterLaunchOf(KernelId),
+    /// Satisfied when the target kernel has **fully completed** — stream
+    /// serialization expressed across streams (the `StreamSerial` sync
+    /// mechanism).
+    AfterCompletionOf(KernelId),
+}
+
+impl LaunchGate {
+    /// The kernel this gate observes.
+    pub fn target(&self) -> KernelId {
+        match *self {
+            LaunchGate::AfterLaunchOf(k) | LaunchGate::AfterCompletionOf(k) => k,
+        }
+    }
+}
+
 /// The immutable, per-kernel half of what used to be `KernelState`:
 /// everything fixed at launch/compile time.
 pub(crate) struct KernelDesc {
@@ -737,6 +768,12 @@ pub(crate) struct KernelDesc {
     /// pre-drive blocks into flat op programs at issue. Computed once by
     /// [`PipelineDesc::finalize`]; the reference engine ignores it.
     pub(crate) predrive: bool,
+    /// Launch prerequisites beyond stream order (see [`LaunchGate`]).
+    pub(crate) gates: Vec<LaunchGate>,
+    /// Semaphore posts fired the instant this kernel's final block
+    /// finishes (the producer half of a PDL edge; consumers park on the
+    /// posted semaphore from their main body).
+    pub(crate) completion_posts: Vec<(SemArrayId, u32)>,
 }
 
 /// The frozen description of a workload: hardware model, fixed op costs,
@@ -760,6 +797,11 @@ pub(crate) struct PipelineDesc {
     /// tensor-parallel ranks of a multi-GPU job), so launches to
     /// different devices do not serialize on one host queue.
     host_time: Vec<SimTime>,
+    /// Reverse gate index: kernels gated [`LaunchGate::AfterLaunchOf`]
+    /// each kernel, resolved once by [`PipelineDesc::finalize_flags`].
+    pub(crate) launch_dependents: Vec<Vec<usize>>,
+    /// Reverse gate index for [`LaunchGate::AfterCompletionOf`].
+    pub(crate) completion_dependents: Vec<Vec<usize>>,
     finalized: bool,
 }
 
@@ -813,6 +855,8 @@ impl PipelineDesc {
             streams: Vec::new(),
             kernels: Vec::new(),
             host_time,
+            launch_dependents: Vec::new(),
+            completion_dependents: Vec::new(),
             finalized: false,
         }
     }
@@ -840,6 +884,18 @@ impl PipelineDesc {
         for k in &mut self.kernels {
             k.predrive = k.source.timing_static(mem);
         }
+        let mut launch_dependents = vec![Vec::new(); self.kernels.len()];
+        let mut completion_dependents = vec![Vec::new(); self.kernels.len()];
+        for (k, kd) in self.kernels.iter().enumerate() {
+            for gate in &kd.gates {
+                match *gate {
+                    LaunchGate::AfterLaunchOf(p) => launch_dependents[p.0].push(k),
+                    LaunchGate::AfterCompletionOf(p) => completion_dependents[p.0].push(k),
+                }
+            }
+        }
+        self.launch_dependents = launch_dependents;
+        self.completion_dependents = completion_dependents;
     }
 
     /// Collects every eligible block's flat op program (see
@@ -1006,6 +1062,11 @@ pub(crate) struct RunState {
     pub(crate) sems: SemTable,
     kernels: Vec<KernelRun>,
     stream_next: Vec<usize>,
+    /// Outstanding launch prerequisites per kernel: one for stream-head
+    /// arrival plus one per [`LaunchGate`]. The kernel's `KernelReady`
+    /// event is pushed when the counter reaches zero — i.e. at the time
+    /// the *last* prerequisite is satisfied.
+    prereqs: Vec<u32>,
     now: SimTime,
     events: BinaryHeap<Reverse<Event>>,
     /// Optimized-mode event queue: `(time << 64) | seq` keys ordered by a
@@ -1058,6 +1119,7 @@ impl RunState {
             sems: SemTable::new(),
             kernels: Vec::new(),
             stream_next: Vec::new(),
+            prereqs: Vec::new(),
             now: SimTime::ZERO,
             events: BinaryHeap::new(),
             fast_events: BinaryHeap::new(),
@@ -1097,6 +1159,9 @@ impl RunState {
             .resize(desc.kernels.len(), KernelRun::default());
         self.stream_next.clear();
         self.stream_next.resize(desc.streams.len(), 0);
+        self.prereqs.clear();
+        self.prereqs
+            .extend(desc.kernels.iter().map(|kd| 1 + kd.gates.len() as u32));
         self.now = SimTime::ZERO;
         self.events.clear();
         self.fast_events.clear();
@@ -1538,6 +1603,21 @@ impl Exec<'_> {
     fn schedule_stream_head(&mut self, stream: usize) {
         let s = &self.desc.streams[stream];
         if let Some(&k) = s.queue.get(self.st.stream_next[stream]) {
+            self.prereq_done(k);
+        }
+    }
+
+    /// One launch prerequisite of kernel `k` resolved (stream-head arrival
+    /// or a satisfied [`LaunchGate`]). When the last prerequisite falls —
+    /// at whichever instant that happens — the kernel's dispatch is
+    /// scheduled, paying the host-ready floor and dispatch latency exactly
+    /// as an ungated kernel would. Shared by both engine modes, so gated
+    /// timelines stay bit-identical by construction.
+    fn prereq_done(&mut self, k: usize) {
+        let remaining = &mut self.st.prereqs[k];
+        debug_assert!(*remaining > 0, "launch prerequisite underflow");
+        *remaining -= 1;
+        if *remaining == 0 {
             let ready = self.st.now.max(self.desc.kernels[k].host_ready)
                 + self.kernel_cfg(k).kernel_dispatch_latency;
             self.push_event(ready, EventKind::KernelReady(k));
@@ -1718,6 +1798,14 @@ impl Exec<'_> {
             time: now,
         });
         self.push_event(now, EventKind::BlockResume(bid));
+        // The PDL trigger: this kernel's final block just became resident,
+        // so every kernel gated `AfterLaunchOf` it may now dispatch.
+        if linear + 1 == self.desc.kernels[k].total {
+            let desc = self.desc;
+            for &dep in &desc.launch_dependents[k] {
+                self.prereq_done(dep);
+            }
+        }
     }
 
     fn step_block(&mut self, bid: usize) {
@@ -2251,6 +2339,17 @@ impl Exec<'_> {
             });
             self.st.stream_next[stream] += 1;
             self.schedule_stream_head(stream);
+            // Grid-completion signals: semaphore posts registered via
+            // `Gpu::post_on_completion` wake PDL consumers parked on the
+            // grid semaphore, and `AfterCompletionOf` gates release
+            // stream-serialized dependents.
+            let desc = self.desc;
+            for &(table, index) in &desc.kernels[k].completion_posts {
+                self.apply_post_inner(table, index, 1);
+            }
+            for &dep in &desc.completion_dependents[k] {
+                self.prereq_done(dep);
+            }
         }
     }
 
@@ -2560,12 +2659,63 @@ impl Gpu {
             occupancy,
             units,
             predrive: false,
+            gates: Vec::new(),
+            completion_posts: Vec::new(),
         });
         // Each device's host rank owns its own launch queue; launches to
         // different devices do not serialize against each other.
         self.desc.host_time[device as usize] += launch_gap;
         self.desc.streams[stream.0].queue.push(id);
         KernelId(id)
+    }
+
+    /// Gates `kernel`'s dispatch on another kernel's progress — the
+    /// simulator's Programmatic Dependent Launch primitive. The kernel
+    /// becomes dispatchable only once its stream reaches it **and** every
+    /// registered gate is satisfied; see [`LaunchGate`] for the two
+    /// trigger points. Gates may be registered any time before
+    /// [`Gpu::run`] / [`Gpu::compile`], in either launch order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either kernel id is unknown or the kernel gates on
+    /// itself.
+    pub fn gate_launch(&mut self, kernel: KernelId, gate: LaunchGate) {
+        let n = self.desc.kernels.len();
+        let target = gate.target();
+        assert!(kernel.0 < n, "unknown kernel k{}", kernel.0);
+        assert!(target.0 < n, "unknown gate target k{}", target.0);
+        assert!(
+            target != kernel,
+            "kernel k{} cannot gate on itself",
+            kernel.0
+        );
+        self.desc.kernels[kernel.0].gates.push(gate);
+    }
+
+    /// Registers a semaphore post fired the instant `kernel`'s final
+    /// thread block finishes — the producer half of a PDL edge: consumers
+    /// issue a plain semaphore wait (their "grid dependency sync") after
+    /// their preamble and park until this post lands. Idempotent per
+    /// `(kernel, table, index)` so shared producers register once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel id or semaphore array is unknown.
+    pub fn post_on_completion(&mut self, kernel: KernelId, table: SemArrayId, index: u32) {
+        assert!(
+            kernel.0 < self.desc.kernels.len(),
+            "unknown kernel k{}",
+            kernel.0
+        );
+        assert!(
+            (index as usize) < self.st.sems.len(table),
+            "semaphore index {index} outside {table}"
+        );
+        let posts = &mut self.desc.kernels[kernel.0].completion_posts;
+        if !posts.contains(&(table, index)) {
+            posts.push((table, index));
+        }
     }
 
     /// Records scheduling events for inspection by [`Gpu::trace`].

@@ -101,7 +101,10 @@ pub(crate) struct OutMsg {
 ///   global-memory or dynamic-body cross-talk);
 /// - every `SemWait` in those programs targets a semaphore array homed on
 ///   the waiting kernel's own device (posts may cross the link; waits and
-///   their wake-ups never do).
+///   their wake-ups never do);
+/// - no kernel carries launch gates or completion posts (PDL-style grid
+///   coupling is cross-stream and instant-precise, outside the window
+///   model — gated pipelines fall back to the serial engines).
 ///
 /// The scan is linear in the total op count; callers cache the answer per
 /// compiled pipeline.
@@ -111,6 +114,12 @@ pub(crate) fn shardable(desc: &PipelineDesc, progs: &Programs, sems: &SemTable) 
     }
     for (k, kd) in desc.kernels.iter().enumerate() {
         if !kd.predrive {
+            return false;
+        }
+        // Launch gates and completion posts couple kernels across streams
+        // (and potentially devices) outside the windowed link-latency
+        // lookahead; gated pipelines run on the serial engines.
+        if !kd.gates.is_empty() || !kd.completion_posts.is_empty() {
             return false;
         }
         let base = progs.prog_base[k];

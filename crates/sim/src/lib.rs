@@ -85,8 +85,8 @@ pub use config::{ClusterConfig, GpuConfig, MAX_OCCUPANCY, SM_CAPACITY_UNITS};
 pub use dim::Dim3;
 pub use engine::{
     default_engine_mode, set_default_engine_mode, set_resume_inline, with_engine_mode,
-    BlockedBlock, BuildError, BuildErrorKind, DeadlockReport, EngineMode, ExecMode, Gpu, LinkScale,
-    PendingKernel, RunOutcome, RunResidue, SimError, SmOccupancy, StreamId,
+    BlockedBlock, BuildError, BuildErrorKind, DeadlockReport, EngineMode, ExecMode, Gpu,
+    LaunchGate, LinkScale, PendingKernel, RunOutcome, RunResidue, SimError, SmOccupancy, StreamId,
 };
 pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, IndexedKernel, KernelSource, Step};
 pub use kv::{KvPool, KvStats};

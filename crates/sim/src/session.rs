@@ -190,6 +190,22 @@ impl CompiledPipeline {
             // Same geometry, differently-priced work must not collide
             // (see `KernelSource::cost_signature`).
             eat(&kernel.source.cost_signature().to_le_bytes());
+            // Launch gates and completion posts change the schedule
+            // without changing any block body — a StreamSerial edge would
+            // otherwise fingerprint identically to no edge at all.
+            for gate in &kernel.gates {
+                let (tag, target) = match *gate {
+                    crate::LaunchGate::AfterLaunchOf(t) => (1u8, t),
+                    crate::LaunchGate::AfterCompletionOf(t) => (2u8, t),
+                };
+                eat(&[tag]);
+                eat(&(target.0 as u64).to_le_bytes());
+            }
+            for &(table, index) in &kernel.completion_posts {
+                eat(&[3u8]);
+                eat(&(table.0 as u64).to_le_bytes());
+                eat(&index.to_le_bytes());
+            }
         }
         for id in self.sems.ids() {
             eat(self.sems.name(id).as_bytes());

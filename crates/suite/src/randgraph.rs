@@ -7,6 +7,10 @@
 //! ([`TileSync`] / [`RowSync`] / [`Conv2DTileSync`]; sinks get
 //! [`NoSync`]), random occupancies, and random device placement on a
 //! multi-GPU node (so dependence edges randomly cross the interconnect).
+//! A random subset of the non-sink skip edges is promoted to
+//! [`SyncMechanism::Pdl`] — launch-gated, grid-semaphore-parked edges —
+//! so exploration also covers the coarse mechanism; chain edges stay
+//! fine-grained so the starved regime keeps its deterministic wedge.
 //!
 //! Every stage's kernel is *functional*: each thread block, after its
 //! policy waits, reads the exact producer elements its waits cover, and
@@ -35,7 +39,8 @@
 use std::sync::Arc;
 
 use cusync::{
-    Conv2DTileSync, CuStage, NoSync, OptFlags, PolicyRef, RowSync, StageId, SyncGraph, TileSync,
+    Conv2DTileSync, CuStage, NoSync, OptFlags, PolicyRef, RowSync, StageId, SyncGraph,
+    SyncMechanism, TileSync,
 };
 use cusync_sim::{
     BlockBody, BlockCtx, BufferId, ClusterConfig, CompiledPipeline, DType, Dim3, FnKernel, Gpu,
@@ -109,6 +114,13 @@ pub struct EdgeDesc {
     pub producer: usize,
     /// Consumer stage index.
     pub consumer: usize,
+    /// `Some(Pdl)` for skip edges randomly promoted to Programmatic
+    /// Dependent Launch; `None` for classic fine edges following the
+    /// producer's policy. Chain edges and edges into the sink stay fine so
+    /// the starved regime keeps its Section III-B wedge: a PDL gate on the
+    /// sink would defer its dispatch until the producer is fully resident,
+    /// which un-wedges the under-provisioned device by construction.
+    pub mechanism: Option<SyncMechanism>,
 }
 
 /// One generated stage.
@@ -205,13 +217,28 @@ pub fn generate(seed: u64, devices: u32) -> RandomGraph {
         .map(|i| EdgeDesc {
             producer: i - 1,
             consumer: i,
+            mechanism: None,
         })
         .collect();
     for consumer in 2..num_stages {
         for producer in 0..consumer - 1 {
             if rng.range(0, 3) == 0 {
-                edges.push(EdgeDesc { producer, consumer });
+                edges.push(EdgeDesc {
+                    producer,
+                    consumer,
+                    mechanism: None,
+                });
             }
+        }
+    }
+    // Second pass (after the structural draws, so the stage/edge layout of
+    // a seed is unchanged by the mechanism axis): promote a random subset
+    // of non-sink skip edges to PDL. Chain edges and sink edges stay fine
+    // — see `EdgeDesc::mechanism`.
+    for edge in &mut edges {
+        let is_skip = edge.consumer > edge.producer + 1;
+        if is_skip && edge.consumer < num_stages - 1 && rng.range(0, 2) == 0 {
+            edge.mechanism = Some(SyncMechanism::Pdl);
         }
     }
     RandomGraph {
@@ -224,6 +251,21 @@ pub fn generate(seed: u64, devices: u32) -> RandomGraph {
 }
 
 impl RandomGraph {
+    /// Names of the stages with at least one outgoing PDL edge — the
+    /// producers whose one-element `"{name}.grid"` semaphores PDL
+    /// consumers park on. Empty when no skip edge was promoted.
+    pub fn pdl_producer_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .edges
+            .iter()
+            .filter(|e| e.mechanism == Some(SyncMechanism::Pdl))
+            .map(|e| self.stages[e.producer].name.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
     fn quiet_gpu(sms: u32) -> GpuConfig {
         GpuConfig {
             num_sms: sms,
@@ -239,8 +281,13 @@ impl RandomGraph {
         let mut blocks = vec![0u64; self.devices as usize];
         for (i, stage) in self.stages.iter().enumerate() {
             blocks[stage.device as usize] += self.grid.count();
-            // One wait-kernel block per stage with producers.
-            if self.edges.iter().any(|e| e.consumer == i) {
+            // One wait-kernel block per stage with *fine* producers (PDL
+            // edges are enforced by launch gates, not wait-kernels).
+            if self
+                .edges
+                .iter()
+                .any(|e| e.consumer == i && e.mechanism.is_none_or(SyncMechanism::is_fine))
+            {
                 blocks[stage.device as usize] += 1;
             }
         }
@@ -329,15 +376,22 @@ impl RandomGraph {
         for edge in &self.edges {
             // Duplicate edges (chain + skip collisions) are impossible by
             // construction: skips only target consumer > producer + 1.
-            graph
-                .dependency(
+            let declared = match edge.mechanism {
+                Some(m) => graph.dependency_via(
                     ids[edge.producer],
                     ids[edge.consumer],
                     buffers[edge.producer],
-                )
-                .map_err(|e| {
-                    cusync_sim::BuildError::invalid("RandomGraph", format!("dependency: {e}"))
-                })?;
+                    m,
+                ),
+                None => graph.dependency(
+                    ids[edge.producer],
+                    ids[edge.consumer],
+                    buffers[edge.producer],
+                ),
+            };
+            declared.map_err(|e| {
+                cusync_sim::BuildError::invalid("RandomGraph", format!("dependency: {e}"))
+            })?;
         }
         let bound = graph.bind(&mut gpu).map_err(|e| {
             cusync_sim::BuildError::invalid("RandomGraph", format!("bind failed: {e}"))
@@ -369,6 +423,11 @@ impl RandomGraph {
                     };
                     reads.push((buffers[edge.producer], self.grid.linear_of(src) as usize));
                 }
+                // The PDL preamble barrier: one grid-semaphore wait per
+                // distinct PDL producer, once per block, after tile
+                // acquisition and the fine waits, before the first read of
+                // any PDL-synchronized buffer.
+                ops.extend(runtime.grid_wait_ops());
                 let read_at = ops.len();
                 ops.extend(body_ops.iter().copied());
                 ops.push(Op::write(rng.range(4, 32) * 1024));
@@ -512,5 +571,39 @@ mod tests {
         let mut session = cusync_sim::Session::new();
         let err = session.run(&pipeline).unwrap_err();
         assert!(matches!(err, SimError::Deadlock(_)), "{err}");
+    }
+
+    #[test]
+    fn pdl_edges_land_only_on_non_sink_skip_edges() {
+        let mut promoted = 0usize;
+        for seed in 0..64u64 {
+            let g = generate(seed, 2);
+            let sink = g.stages.len() - 1;
+            for e in &g.edges {
+                if e.mechanism == Some(SyncMechanism::Pdl) {
+                    promoted += 1;
+                    assert!(
+                        e.consumer > e.producer + 1,
+                        "seed {seed}: chain edge got PDL"
+                    );
+                    assert_ne!(e.consumer, sink, "seed {seed}: sink edge got PDL");
+                } else {
+                    assert_eq!(e.mechanism, None, "seed {seed}: unexpected mechanism");
+                }
+            }
+        }
+        assert!(promoted >= 1, "no seed in 0..64 promoted a skip edge");
+    }
+
+    #[test]
+    fn graphs_with_pdl_edges_run_clean_on_the_safe_cluster() {
+        let g = (0..64u64)
+            .map(|seed| generate(seed, 2))
+            .find(|g| !g.pdl_producer_names().is_empty())
+            .expect("a seed with a PDL edge");
+        let pipeline = g.build(&g.safe_cluster(), true).unwrap();
+        let mut session = cusync_sim::Session::new();
+        let report = session.run(&pipeline).unwrap();
+        assert_eq!(report.races, 0, "PDL-synchronized graph must be race-free");
     }
 }

@@ -10,17 +10,22 @@
 
 use std::sync::Arc;
 
+use cusync::SyncMechanism;
 use cusync::{CuStage, NoSync, OptFlags, SyncGraph, TileSync};
 use cusync_kernels::{GemmBuilder, GemmDims, InputDep, TileShape};
+use cusync_models::{
+    compile_attention_mechanisms, compile_conv_layer_mechanisms, compile_mlp_mechanisms,
+    ATTENTION_EDGES,
+};
 use cusync_models::{compile_tp_layer, launch_ring_allreduce};
 use cusync_models::{
     run_attention, run_conv_layer, run_mlp, run_tp_layer, tp_attention, tp_mlp, AttentionConfig,
     MlpModel, PolicyKind, SyncMode, TpSchedule,
 };
 use cusync_sim::{
-    with_engine_mode, ClusterConfig, CompiledPipeline, DType, Dim3, EngineMode, ExecMode,
-    FixedKernel, Gpu, GpuConfig, LinkScale, Op, RunReport, SchedPolicyKind, Session, SimError,
-    SimTime,
+    run_compiled, with_engine_mode, ClusterConfig, CompiledPipeline, DType, Dim3, EngineMode,
+    ExecMode, FixedKernel, Gpu, GpuConfig, LaunchGate, LinkScale, Op, RunReport, SchedPolicyKind,
+    Session, SimError, SimTime,
 };
 use proptest::prelude::*;
 
@@ -118,6 +123,117 @@ fn conv_layers_are_engine_invariant() {
             });
         }
     }
+}
+
+/// Pipelines using launch gates — PDL (`AfterLaunchOf` + a grid-sem
+/// completion post) and stream-serialization (`AfterCompletionOf`) — run
+/// through the preamble/dispatch machinery in both engines and must stay
+/// bit-identical, alone and mixed with fine-grained edges.
+#[test]
+fn gated_pipelines_are_engine_invariant() {
+    let gpu = GpuConfig::tesla_v100();
+    // MLP: each uniform assignment plus the classic fine edge.
+    for m in SyncMechanism::ALL {
+        both_modes(&format!("gpt3 mlp bs=256 mech={m}"), || {
+            run_compiled(
+                &compile_mlp_mechanisms(&gpu, MlpModel::Gpt3, 256, OptFlags::WRT, &[m])
+                    .expect("valid single-edge assignment"),
+            )
+            .expect("mlp mechanism run")
+        });
+    }
+    // Attention: a deliberately mixed assignment — PDL off g1, fine
+    // through the middle of the chain, stream-serial into g2.
+    let mixed = [
+        SyncMechanism::Pdl,
+        SyncMechanism::Pdl,
+        SyncMechanism::TileSync,
+        SyncMechanism::TileSync,
+        SyncMechanism::Pdl,
+        SyncMechanism::StreamSerial,
+    ];
+    let cfg = AttentionConfig::prompt(12288, 512);
+    for ms in [[SyncMechanism::Pdl; ATTENTION_EDGES], mixed] {
+        both_modes(&format!("attention mixed mech {ms:?}"), || {
+            run_compiled(
+                &compile_attention_mechanisms(&gpu, cfg, OptFlags::WRT, &ms)
+                    .expect("valid attention assignment"),
+            )
+            .expect("attention mechanism run")
+        });
+    }
+    // Conv chain: alternate PDL and fine sync along four convs.
+    let chain = [
+        SyncMechanism::Pdl,
+        SyncMechanism::TileSync,
+        SyncMechanism::StreamSerial,
+    ];
+    both_modes("conv chain mixed mech", || {
+        run_compiled(
+            &compile_conv_layer_mechanisms(&gpu, 4, 14, 256, 4, OptFlags::WRT, &chain)
+                .expect("valid chain assignment"),
+        )
+        .expect("conv mechanism run")
+    });
+}
+
+/// Raw launch-gate semantics at the simulator level, checked under both
+/// engines: an `AfterLaunchOf` consumer may start before the producer
+/// ends (its body is gated by the grid semaphore instead), while an
+/// `AfterCompletionOf` consumer cannot start until the producer is done.
+#[test]
+fn launch_gate_semantics_are_engine_invariant() {
+    let scenario = || {
+        let mut gpu = Gpu::new(GpuConfig::toy(4));
+        let grid_sem = gpu.alloc_sems("p.grid", 1, 0);
+        let s1 = gpu.create_stream(0);
+        let s2 = gpu.create_stream(0);
+        let s3 = gpu.create_stream(0);
+        let producer = gpu.launch(
+            s1,
+            Arc::new(FixedKernel::new(
+                "producer",
+                Dim3::linear(8),
+                1,
+                vec![Op::compute(80_000)],
+            )),
+        );
+        let pdl_consumer = gpu.launch(
+            s2,
+            Arc::new(FixedKernel::new(
+                "pdl_consumer",
+                Dim3::linear(2),
+                1,
+                vec![Op::wait(grid_sem, 0, 1), Op::compute(10_000)],
+            )),
+        );
+        let serial_consumer = gpu.launch(
+            s3,
+            Arc::new(FixedKernel::new(
+                "serial_consumer",
+                Dim3::linear(2),
+                1,
+                vec![Op::compute(10_000)],
+            )),
+        );
+        gpu.gate_launch(pdl_consumer, LaunchGate::AfterLaunchOf(producer));
+        gpu.post_on_completion(producer, grid_sem, 0);
+        gpu.gate_launch(serial_consumer, LaunchGate::AfterCompletionOf(producer));
+        gpu.run().unwrap()
+    };
+    let reference = with_engine_mode(EngineMode::Reference, scenario);
+    let optimized = with_engine_mode(EngineMode::Optimized, scenario);
+    assert_reports_identical(&reference, &optimized, "launch gates");
+    let producer = reference.kernel("producer");
+    let pdl = reference.kernel("pdl_consumer");
+    let serial = reference.kernel("serial_consumer");
+    // PDL: launched once the producer's last block is resident — before
+    // the producer ends — but its body outlasts the producer because it
+    // spins on the grid semaphore.
+    assert!(pdl.start < producer.end, "PDL consumer overlaps the tail");
+    assert!(pdl.end > producer.end, "grid wait holds the body");
+    // Stream-serialization: strictly after the producer.
+    assert!(serial.start >= producer.end, "serial consumer is fenced");
 }
 
 /// The functional (NaN-poison race checking) path runs through the

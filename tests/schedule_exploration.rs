@@ -142,6 +142,72 @@ fn deadlock_reports_are_parallelism_invariant() {
     );
 }
 
+/// PR9 invariant: a PDL edge can never sit inside a `DeadlockReport` wait
+/// cycle. A block parked on a producer's one-element `"{K}.grid"`
+/// semaphore exists only after the consumer's launch gate fired — i.e.
+/// after every block of `K` was already resident — so `K` can never be
+/// among the capacity-starved kernels the cycle ends in. Checked with
+/// `sim::explore` across seeded schedules of the starved regime, over
+/// every `suite::randgraph` seed that promoted a skip edge to PDL (the
+/// safe regime of the first such graph must also terminate under every
+/// schedule).
+#[test]
+fn pdl_grid_sem_producers_are_never_starved_in_deadlocks() {
+    use cusync_sim::explore::ScheduleOutcome;
+    let mut covered = 0usize;
+    let mut deadlocks = 0usize;
+    for seed in 0..24u64 {
+        let graph = generate(seed, 2);
+        let pdl_producers = graph.pdl_producer_names();
+        if pdl_producers.is_empty() {
+            continue;
+        }
+        if covered == 0 {
+            // sim::explore coverage of the safe regime with PDL edges
+            // present: every schedule terminates, schedule-independently.
+            let safe = graph.build(&graph.safe_cluster(), true).unwrap();
+            let summary = explore(
+                &safe,
+                &ExploreConfig::seeded(8, seed).expecting(Expectation::Terminates),
+            );
+            assert!(summary.ok(), "seed {seed} safe: {summary}");
+        }
+        covered += 1;
+        let pipeline = graph.build(&graph.starved_cluster(), false).unwrap();
+        let summary = explore(
+            &pipeline,
+            &ExploreConfig::seeded(8, seed).expecting(Expectation::Deadlocks),
+        );
+        assert!(summary.ok(), "seed {seed} starved: {summary}");
+        for result in &summary.results {
+            let ScheduleOutcome::Deadlocked(report) = &result.outcome else {
+                continue;
+            };
+            deadlocks += 1;
+            let starved: Vec<String> = report.starved().map(|p| p.name.clone()).collect();
+            for blocked in &report.blocked {
+                if let Some(producer) = blocked.sem_name.strip_suffix(".grid") {
+                    assert!(
+                        pdl_producers.iter().any(|p| p == producer),
+                        "seed {seed} ({}): grid sem {} polled but {producer} declares no PDL edge",
+                        result.schedule,
+                        blocked.sem_name,
+                    );
+                    assert!(
+                        !starved.iter().any(|s| s == producer),
+                        "seed {seed} ({}): PDL producer {producer} is starved while {} polls \
+                         its grid semaphore — a PDL edge closed the wait cycle",
+                        result.schedule,
+                        blocked.kernel_name,
+                    );
+                }
+            }
+        }
+    }
+    assert!(covered >= 1, "no seed in 0..24 promoted a skip edge to PDL");
+    assert!(deadlocks >= 1, "the starved PDL graphs never deadlocked");
+}
+
 fn explore_both_regimes(graph: &RandomGraph, shuffles: usize) {
     let safe = graph.build(&graph.safe_cluster(), true).unwrap();
     let summary = explore(
