@@ -63,9 +63,7 @@ impl PerfEntry {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
+use cusync_sim::json_escape;
 
 /// Renders the `BENCH_*.json` document: environment header, entries, and
 /// per-figure before/after speedups.

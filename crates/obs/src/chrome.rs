@@ -1,0 +1,556 @@
+//! Chrome-trace (catapult JSON) export and validation.
+//!
+//! [`chrome_trace_json`] renders spans into the Trace Event Format that
+//! `chrome://tracing` and Perfetto open directly: `B`/`E` duration events
+//! on one process per device (plus one for serve tenants), one thread row
+//! per lane. Overlapping spans on one lane are split across numbered
+//! sub-rows by a deterministic greedy interval coloring, so every emitted
+//! row is strictly well-nested: `B`/`E` strictly alternate and timestamps
+//! are monotone — the properties [`validate_chrome_trace`] re-checks from
+//! the JSON text (CI validates every exported artifact this way).
+//!
+//! Timestamps are microseconds with six fixed decimal places
+//! (`ps / 1e6`), rendered digit-exactly from the integer picosecond
+//! clock — the export is deterministic byte-for-byte.
+
+use std::collections::BTreeMap;
+
+use cusync_sim::{json_escape, SimTime};
+
+use crate::span::{Lane, Span};
+
+/// Process id used for serve tenant lanes (devices use their own index).
+const TENANT_PID: u32 = 1000;
+
+/// `(pid, sort index within the process, row name)` — the deterministic
+/// grouping key of one lane.
+fn lane_key(lane: &Lane) -> (u32, u32, String) {
+    match lane {
+        Lane::Device { device } => (*device, 0, format!("kernels d{device}")),
+        Lane::Link { device } => (*device, 1, format!("link d{device}")),
+        Lane::Sm { device, sm } => (*device, 2 + sm, format!("sm {sm}")),
+        Lane::Tenant { tenant } => (TENANT_PID, 0, format!("tenant {tenant}")),
+    }
+}
+
+fn ts_us(t: SimTime) -> String {
+    let ps = t.as_picos();
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// Renders `spans` as a self-contained catapult JSON document.
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    // Group spans by lane, deterministically.
+    let mut lanes: BTreeMap<(u32, u32, String), Vec<&Span>> = BTreeMap::new();
+    for span in spans {
+        lanes.entry(lane_key(&span.lane)).or_default().push(span);
+    }
+    let mut out = String::new();
+    out.push_str("{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n");
+    let mut first = true;
+    let mut emit = |out: &mut String, line: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(line);
+    };
+    // Process metadata.
+    let mut pids: Vec<u32> = lanes.keys().map(|(pid, _, _)| *pid).collect();
+    pids.dedup();
+    for pid in pids {
+        let pname = if pid == TENANT_PID {
+            "serve".to_owned()
+        } else {
+            format!("device {pid}")
+        };
+        emit(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(&pname)
+            ),
+        );
+        emit(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_sort_index\",\
+                 \"args\":{{\"sort_index\":{pid}}}}}"
+            ),
+        );
+    }
+    // Lanes: color into non-overlapping sub-rows, then emit B/E pairs in
+    // time order per sub-row.
+    let mut tid_next: BTreeMap<u32, u32> = BTreeMap::new();
+    for ((pid, sort, name), mut lane_spans) in lanes {
+        lane_spans.sort_by(|a, b| (a.start, a.end, &a.name).cmp(&(b.start, b.end, &b.name)));
+        // Greedy interval coloring: first sub-row whose last end fits.
+        let mut rows: Vec<Vec<&Span>> = Vec::new();
+        for span in lane_spans {
+            match rows
+                .iter_mut()
+                .find(|row| row.last().is_none_or(|last| last.end <= span.start))
+            {
+                Some(row) => row.push(span),
+                None => rows.push(vec![span]),
+            }
+        }
+        for (color, row) in rows.iter().enumerate() {
+            let tid = {
+                let next = tid_next.entry(pid).or_insert(1);
+                let tid = *next;
+                *next += 1;
+                tid
+            };
+            let row_name = if rows.len() > 1 {
+                format!("{name} ·{}", color + 1)
+            } else {
+                name.clone()
+            };
+            emit(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                    json_escape(&row_name)
+                ),
+            );
+            emit(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"name\":\"thread_sort_index\",\
+                     \"args\":{{\"sort_index\":{}}}}}",
+                    (sort as u64) * 64 + color as u64
+                ),
+            );
+            for span in row {
+                emit(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\
+                         \"cat\":\"{}\",\"name\":\"{}\"}}",
+                        ts_us(span.start),
+                        span.kind.label(),
+                        json_escape(&span.name)
+                    ),
+                );
+                emit(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{}}}",
+                        ts_us(span.end)
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+/// Summary counts from a validated Chrome trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Total events of any phase.
+    pub events: usize,
+    /// Matched `B`/`E` pairs.
+    pub spans: usize,
+    /// Distinct `(pid, tid)` rows carrying duration events.
+    pub lanes: usize,
+}
+
+/// Re-parses an exported document and checks the well-formedness CI (and
+/// the proptests) rely on: valid JSON, a `traceEvents` array, and per
+/// `(pid, tid)` row strictly alternating `B`/`E` with monotone
+/// non-decreasing timestamps and zero open spans at the end.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let doc = mini_json::parse(json)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut stats = ChromeTraceStats {
+        events: events.len(),
+        ..ChromeTraceStats::default()
+    };
+    let mut rows: BTreeMap<(u64, u64), (bool, f64)> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph != "B" && ph != "E" {
+            continue;
+        }
+        let num = |field: &str| {
+            ev.get(field)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("event {i}: missing numeric {field}"))
+        };
+        let pid = num("pid")? as u64;
+        let tid = num("tid")? as u64;
+        let ts = num("ts")?;
+        let row = rows.entry((pid, tid)).or_insert((false, f64::NEG_INFINITY));
+        if ts < row.1 {
+            return Err(format!(
+                "event {i}: ts {ts} went backwards on row ({pid},{tid})"
+            ));
+        }
+        row.1 = ts;
+        match ph {
+            "B" => {
+                if row.0 {
+                    return Err(format!(
+                        "event {i}: B while a span is open on ({pid},{tid})"
+                    ));
+                }
+                row.0 = true;
+            }
+            _ => {
+                if !row.0 {
+                    return Err(format!("event {i}: E with no open span on ({pid},{tid})"));
+                }
+                row.0 = false;
+                stats.spans += 1;
+            }
+        }
+    }
+    if let Some(((pid, tid), _)) = rows.iter().find(|(_, (open, _))| *open) {
+        return Err(format!("row ({pid},{tid}) ends with an open span"));
+    }
+    stats.lanes = rows.len();
+    Ok(stats)
+}
+
+/// A deliberately small recursive-descent JSON parser — just enough to
+/// re-read our own exports (and any spec-conforming document) for
+/// validation without a serde dependency anywhere in the workspace.
+pub(crate) mod mini_json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (parsed as f64).
+        Num(f64),
+        /// A string, unescaped.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object (key order not preserved).
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(map) => map.get(key),
+                _ => None,
+            }
+        }
+
+        /// The array items, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_owned())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                b'-' | b'0'..=b'9' => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other as char, self.pos
+                )),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                map.insert(key, self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}', found {:?} at byte {}",
+                            other as char, self.pos
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ']', found {:?} at byte {}",
+                            other as char, self.pos
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(format!("expected string at byte {}", self.pos));
+            }
+            self.pos += 1;
+            let mut out = String::new();
+            loop {
+                let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex =
+                                    std::str::from_utf8(hex).map_err(|_| "non-ascii \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                                self.pos += 4;
+                                // Surrogate pairs are not reconstructed;
+                                // lone surrogates become U+FFFD. Our own
+                                // exporter never emits them.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => return Err(format!("bad escape \\{}", other as char)),
+                        }
+                    }
+                    _ => {
+                        // Re-decode UTF-8 from the byte stream: step back
+                        // and take the full code point.
+                        self.pos -= 1;
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(&rest[..rest.len().min(4)])
+                            .or_else(|e| std::str::from_utf8(&rest[..e.valid_up_to()]))
+                            .map_err(|_| "invalid utf-8 in string")?;
+                        let c = s.chars().next().ok_or("invalid utf-8 in string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    fn span(name: &str, lane: Lane, start: u64, end: u64) -> Span {
+        Span {
+            name: name.to_owned(),
+            kind: SpanKind::Block,
+            lane,
+            start: SimTime::from_picos(start),
+            end: SimTime::from_picos(end),
+        }
+    }
+
+    #[test]
+    fn export_validates_and_counts_spans() {
+        let spans = vec![
+            span("a", Lane::Sm { device: 0, sm: 0 }, 0, 10),
+            span("b", Lane::Sm { device: 0, sm: 0 }, 5, 15), // overlaps a
+            span("c", Lane::Device { device: 1 }, 3, 9),
+            span(
+                "req \"x\"\n",
+                Lane::Tenant {
+                    tenant: "t0".to_owned(),
+                },
+                0,
+                4,
+            ),
+        ];
+        let json = chrome_trace_json(&spans);
+        let stats = validate_chrome_trace(&json).expect("valid export");
+        assert_eq!(stats.spans, 4);
+        // a and b overlap: they must land on different rows.
+        assert_eq!(stats.lanes, 4);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let spans = vec![
+            span("x", Lane::Device { device: 0 }, 1, 2),
+            span("y", Lane::Link { device: 0 }, 2, 8),
+        ];
+        assert_eq!(chrome_trace_json(&spans), chrome_trace_json(&spans));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_rows() {
+        let unbalanced = r#"{"traceEvents":[
+            {"ph":"B","pid":0,"tid":1,"ts":1.5,"name":"a"}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("open span"));
+        let backwards = r#"{"traceEvents":[
+            {"ph":"B","pid":0,"tid":1,"ts":5.0,"name":"a"},
+            {"ph":"E","pid":0,"tid":1,"ts":4.0}
+        ]}"#;
+        assert!(validate_chrome_trace(backwards)
+            .unwrap_err()
+            .contains("backwards"));
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn ts_is_fixed_point_microseconds() {
+        assert_eq!(ts_us(SimTime::from_picos(0)), "0.000000");
+        assert_eq!(ts_us(SimTime::from_picos(1_234_567)), "1.234567");
+        assert_eq!(ts_us(SimTime::from_picos(42)), "0.000042");
+    }
+}

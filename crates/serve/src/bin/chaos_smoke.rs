@@ -5,11 +5,14 @@
 //! `BENCH_PR6.json` artifact.
 //!
 //! ```text
-//! chaos_smoke [--quick] [--seed N] [--out FILE] [--devices N]
+//! chaos_smoke [--quick] [--seed N] [--out FILE] [--devices N] [--trace FILE]
 //! ```
 //!
 //! `--devices N` sizes the simulated node (default 2; clamped to ≥ 2 so
 //! the device-loss scenario always has a survivor to re-route onto).
+//! `--trace FILE` re-runs the device-loss FIFO cell with request
+//! lifecycle tracing on (evacuations show up as `preempted` phases),
+//! writes a validated Chrome trace, and checks tracing is passive.
 //!
 //! Scenarios: `baseline` (fault-free Poisson), `burst-trace` (the
 //! interactive tenant replays a synthesized bursty arrival trace),
@@ -134,6 +137,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .map(|n: u32| n.max(2))
         .unwrap_or(2);
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let cluster = ClusterConfig::dgx_v100(device_count);
     let max_batch: u32 = 4;
@@ -252,6 +260,40 @@ fn main() {
         }
         pool = server.into_pool();
     }
+
+    if let Some(path) = &trace_path {
+        let spec = WorkloadSpec {
+            tenants: tenants(rate_rps, slo, clients),
+            horizon,
+            seed,
+        };
+        let plan = FaultPlan {
+            drops: vec![DeviceDrop { device: 1, at: mid }],
+            ..FaultPlan::none()
+        };
+        let server = Server::with_pool(spec, pool);
+        let config = ServeConfig {
+            batch: BatchPolicy::new(max_batch, SimTime::from_picos(t1_int.as_picos() * 2)),
+            ..ServeConfig::baseline()
+        };
+        let (traced, spans) = server.run_traced_with_faults(&config, &plan);
+        if traced != server.run_with_faults(&config, &plan) {
+            eprintln!("FAIL trace: traced report differs from untraced report");
+            failures += 1;
+        }
+        let chrome = cusync_obs::chrome_trace_json(&spans);
+        match cusync_obs::validate_chrome_trace(&chrome) {
+            Ok(stats) => eprintln!("trace: {} spans on {} lanes", stats.spans, stats.lanes),
+            Err(e) => {
+                eprintln!("FAIL trace: invalid chrome trace: {e}");
+                failures += 1;
+            }
+        }
+        std::fs::write(path, &chrome).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+        pool = server.into_pool();
+    }
+    drop(pool);
 
     // Acceptance gates against the fault-free baseline.
     const RETENTION_BOUND: f64 = 0.5;

@@ -4,10 +4,13 @@
 //! of every cell, and writes the `BENCH_PR8.json` artifact.
 //!
 //! ```text
-//! decode_smoke [--quick] [--seed N] [--out FILE] [--devices N]
+//! decode_smoke [--quick] [--seed N] [--out FILE] [--devices N] [--trace FILE]
 //! ```
 //!
-//! `--quick` shrinks the batch width and horizon for the CI budget. The
+//! `--quick` shrinks the batch width and horizon for the CI budget;
+//! `--trace FILE` re-runs the KV-pressure cell with request lifecycle
+//! tracing on (decode preemptions show up as `preempted` phases), writes
+//! a validated Chrome trace, and checks tracing is passive. The
 //! process exits non-zero if any cell violates an invariant, any cell is
 //! not bit-identical across two runs of the same seed, or continuous
 //! batching fails to deliver ≥ 1.2× the static-width tokens/sec goodput
@@ -100,6 +103,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(2);
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let cluster = ClusterConfig::dgx_v100(device_count);
     let devices = cluster.num_devices() as f64;
@@ -240,6 +248,24 @@ fn main() {
         report,
         deterministic,
     });
+
+    if let Some(path) = &trace_path {
+        let (traced, spans) = server.run_traced(&config);
+        if traced != server.run(&config) {
+            eprintln!("FAIL trace: traced report differs from untraced report");
+            failures += 1;
+        }
+        let chrome = cusync_obs::chrome_trace_json(&spans);
+        match cusync_obs::validate_chrome_trace(&chrome) {
+            Ok(stats) => eprintln!("trace: {} spans on {} lanes", stats.spans, stats.lanes),
+            Err(e) => {
+                eprintln!("FAIL trace: invalid chrome trace: {e}");
+                failures += 1;
+            }
+        }
+        std::fs::write(path, &chrome).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 
     let mut json = String::from("{\n  \"bench\": \"PR8\",\n");
     let _ = writeln!(json, "  \"seed\": {seed},");

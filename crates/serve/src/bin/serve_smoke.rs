@@ -4,11 +4,16 @@
 //! determinism of every cell, and writes the `BENCH_PR5.json` artifact.
 //!
 //! ```text
-//! serve_smoke [--quick] [--seed N] [--out FILE] [--devices N]
+//! serve_smoke [--quick] [--seed N] [--out FILE] [--devices N] [--trace FILE]
 //! ```
 //!
 //! `--quick` shrinks the tenant mix, batch width and horizon for the CI
-//! budget; `--devices N` sizes the simulated node (default 2 GPUs). The process exits non-zero if any cell violates an invariant,
+//! budget; `--devices N` sizes the simulated node (default 2 GPUs);
+//! `--trace FILE` re-runs the saturating batched FIFO cell with request
+//! lifecycle tracing and the virtual-time sampler on, writes a Chrome
+//! trace (open it in `chrome://tracing`), validates it, and checks that
+//! tracing is passive (the traced report is bit-identical to the
+//! untraced one). The process exits non-zero if any cell violates an invariant,
 //! any cell is not bit-identical across two runs of the same seed, or
 //! dynamic batching fails to deliver ≥ 1.2× the no-batching goodput at
 //! the highest (saturating) load level.
@@ -128,6 +133,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(2);
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let cluster = ClusterConfig::dgx_v100(device_count);
     let devices = cluster.num_devices() as f64;
@@ -230,6 +240,42 @@ fn main() {
         }
         pool = server.into_pool();
     }
+
+    if let Some(path) = &trace_path {
+        let spec = spec_at(top_load, &mix, &solo, &slo, devices, horizon, seed);
+        let server = Server::with_pool(spec, pool);
+        let config = ServeConfig {
+            batch: BatchPolicy::new(max_batch, SimTime::from_picos(solo[0].as_picos() * 2)),
+            sample_every: Some(SimTime::from_millis(1)),
+            ..ServeConfig::baseline()
+        };
+        let (report, spans) = server.run_traced(&config);
+        if report != server.run(&config) {
+            eprintln!("FAIL trace: traced report differs from untraced report");
+            failures += 1;
+        }
+        if report.samples.is_empty() {
+            eprintln!("FAIL trace: sampler produced no samples");
+            failures += 1;
+        }
+        let chrome = cusync_obs::chrome_trace_json(&spans);
+        match cusync_obs::validate_chrome_trace(&chrome) {
+            Ok(stats) => eprintln!(
+                "trace: {} spans on {} lanes, {} samples",
+                stats.spans,
+                stats.lanes,
+                report.samples.len()
+            ),
+            Err(e) => {
+                eprintln!("FAIL trace: invalid chrome trace: {e}");
+                failures += 1;
+            }
+        }
+        std::fs::write(path, &chrome).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+        pool = server.into_pool();
+    }
+    drop(pool);
 
     // The acceptance gate: at the saturating load level, dynamic batching
     // must beat no-batching on goodput by >= 1.2x under every scheduler.

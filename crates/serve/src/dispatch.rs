@@ -77,12 +77,13 @@
 //!   queued for the batch window.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use cusync_obs::{Lane, Span, SpanKind};
 use cusync_sim::{KvPool, KvStats, LinkScale, SimTime};
 
 use crate::fault::FaultPlan;
-use crate::metrics::{DeviceMetrics, FaultOutcome, ServeReport, TenantMetrics};
+use crate::metrics::{DeviceMetrics, FaultOutcome, MetricSample, ServeReport, TenantMetrics};
 use crate::pool::ServicePool;
 use crate::sched::{BatchPolicy, DecodePolicy, PreemptPolicy, RequestSched};
 use crate::workload::{ArrivalModel, Rng, TenantClass, WorkloadSpec};
@@ -105,11 +106,15 @@ pub struct ServeConfig {
     /// How decode-capable tenants execute their token-generation phase
     /// (ignored by tenants without a decode model).
     pub decode: DecodePolicy,
+    /// Sample queue depth, KV occupancy and device busyness at this fixed
+    /// virtual interval into [`ServeReport::samples`]. Passive: sampling
+    /// never changes any other field of the report.
+    pub sample_every: Option<SimTime>,
 }
 
 impl ServeConfig {
     /// FIFO, no batching, bounded-queue admission only, no preemption,
-    /// static-width decode — the baseline.
+    /// static-width decode, no sampling — the baseline.
     pub fn baseline() -> Self {
         ServeConfig {
             sched: RequestSched::Fifo,
@@ -117,6 +122,7 @@ impl ServeConfig {
             slo_admission: false,
             preempt: None,
             decode: DecodePolicy::static_width(),
+            sample_every: None,
         }
     }
 }
@@ -124,6 +130,9 @@ impl ServeConfig {
 /// An admitted request waiting in (or leaving) a tenant queue.
 #[derive(Debug, Clone, Copy)]
 struct Request {
+    /// Admission-ordered identity, used only for observability (request
+    /// lifecycle spans) — no scheduling decision reads it.
+    id: u64,
     arrival: SimTime,
     deadline: SimTime,
     /// `Some(client)` for closed-loop tenants (the client to wake on
@@ -333,6 +342,39 @@ impl Server {
     /// [`ServicePool::max_width`], or the plan names a device index
     /// outside the cluster.
     pub fn run_with_faults(&self, config: &ServeConfig, faults: &FaultPlan) -> ServeReport {
+        self.checked_sim(config, faults).run().0
+    }
+
+    /// [`Server::run`] plus per-request lifecycle spans
+    /// (admit → queue → dispatch → complete / shed / preempt), one
+    /// [`Lane::Tenant`] lane per tenant, ready for
+    /// [`cusync_obs::chrome_trace_json`]. Tracing is passive: the report
+    /// is bit-identical to [`Server::run`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Server::run`].
+    pub fn run_traced(&self, config: &ServeConfig) -> (ServeReport, Vec<Span>) {
+        self.run_traced_with_faults(config, &FaultPlan::none())
+    }
+
+    /// [`Server::run_with_faults`] plus lifecycle spans; see
+    /// [`Server::run_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Server::run_with_faults`].
+    pub fn run_traced_with_faults(
+        &self,
+        config: &ServeConfig,
+        faults: &FaultPlan,
+    ) -> (ServeReport, Vec<Span>) {
+        let mut sim = self.checked_sim(config, faults);
+        sim.tracer = Some(Tracer::new(&self.spec));
+        sim.run()
+    }
+
+    fn checked_sim<'a>(&'a self, config: &'a ServeConfig, faults: &'a FaultPlan) -> Sim<'a> {
         assert!(
             config.batch.max_batch <= self.pool.max_width(),
             "batch width {} exceeds warmed max width {}",
@@ -346,7 +388,109 @@ impl Server {
         for panic in &faults.panics {
             assert!(panic.device < devices, "fault plan panics unknown device");
         }
-        Sim::new(self, config, faults).run()
+        Sim::new(self, config, faults)
+    }
+}
+
+/// Passive request-lifecycle recorder behind [`Server::run_traced`]:
+/// turns admission, dispatch, completion, preemption and shedding
+/// transitions into [`SpanKind::Phase`] spans on the owning tenant's
+/// lane. It only ever *reads* the simulation — `run()` and `run_traced()`
+/// produce bit-identical reports (asserted in `tests/serving.rs`).
+struct Tracer {
+    tenants: Vec<String>,
+    spans: Vec<Span>,
+    /// Open queue residency per request id: `(tenant, entered)`.
+    queued: HashMap<u64, (usize, SimTime)>,
+    /// Open service interval per request id: `(tenant, dispatched)`.
+    running: HashMap<u64, (usize, SimTime)>,
+}
+
+impl Tracer {
+    fn new(spec: &WorkloadSpec) -> Self {
+        Tracer {
+            tenants: spec.tenants.iter().map(|t| t.name.clone()).collect(),
+            spans: Vec::new(),
+            queued: HashMap::new(),
+            running: HashMap::new(),
+        }
+    }
+
+    fn span(&mut self, tenant: usize, name: String, start: SimTime, end: SimTime) {
+        self.spans.push(Span {
+            name,
+            kind: SpanKind::Phase,
+            lane: Lane::Tenant {
+                tenant: self.tenants[tenant].clone(),
+            },
+            start,
+            end: end.max(start),
+        });
+    }
+
+    /// An arrival was refused at admission: a zero-width marker.
+    fn reject(&mut self, tenant: usize, now: SimTime) {
+        self.span(tenant, "reject".to_owned(), now, now);
+    }
+
+    /// A request entered its tenant queue.
+    fn admit(&mut self, tenant: usize, id: u64, now: SimTime) {
+        self.queued.insert(id, (tenant, now));
+    }
+
+    /// A request left the queue for a device (batch, decode seat, or
+    /// residue resume).
+    fn dispatch(&mut self, tenant: usize, id: u64, now: SimTime) {
+        if let Some((t, start)) = self.queued.remove(&id) {
+            self.span(t, format!("req{id} queued"), start, now);
+        }
+        self.running.insert(id, (tenant, now));
+    }
+
+    /// A dispatched request completed.
+    fn complete(&mut self, id: u64, now: SimTime) {
+        if let Some((t, start)) = self.running.remove(&id) {
+            self.span(t, format!("req{id} run"), start, now);
+        }
+    }
+
+    /// A dispatched request went back to its queue (checkpoint, fault
+    /// evacuation, or decode KV preemption).
+    fn requeue(&mut self, tenant: usize, id: u64, now: SimTime) {
+        if let Some((t, start)) = self.running.remove(&id) {
+            self.span(t, format!("req{id} preempted"), start, now);
+        }
+        self.queued.insert(id, (tenant, now));
+    }
+
+    /// A request was dropped — from the queue (deadline expiry, strand)
+    /// or mid-decode (a lone sequence over its KV budget).
+    fn shed(&mut self, id: u64, now: SimTime) {
+        if let Some((t, start)) = self.running.remove(&id) {
+            self.span(t, format!("req{id} shed"), start, now);
+        } else if let Some((t, start)) = self.queued.remove(&id) {
+            self.span(t, format!("req{id} shed"), start, now);
+        }
+    }
+
+    /// Closes anything still open at the end of the run and returns the
+    /// spans in recording order.
+    fn finish(mut self, at: SimTime) -> Vec<Span> {
+        let mut open: Vec<(u64, usize, SimTime, &'static str)> = self
+            .queued
+            .drain()
+            .map(|(id, (t, start))| (id, t, start, "queued (open)"))
+            .chain(
+                self.running
+                    .drain()
+                    .map(|(id, (t, start))| (id, t, start, "run (open)")),
+            )
+            .collect();
+        open.sort();
+        for (id, tenant, start, what) in open {
+            self.span(tenant, format!("req{id} {what}"), start, at);
+        }
+        self.spans
     }
 }
 
@@ -396,6 +540,12 @@ struct Sim<'a> {
     devices_lost: u64,
     panics_injected: u64,
     stranded: u64,
+    /// Admission-ordered request-id sequence (observability only).
+    req_seq: u64,
+    /// Virtual-time sampler output ([`ServeConfig::sample_every`]).
+    samples: Vec<MetricSample>,
+    /// Lifecycle recorder, present only under [`Server::run_traced`].
+    tracer: Option<Tracer>,
 }
 
 impl<'a> Sim<'a> {
@@ -484,6 +634,9 @@ impl<'a> Sim<'a> {
             devices_lost: 0,
             panics_injected: 0,
             stranded: 0,
+            req_seq: 0,
+            samples: Vec::new(),
+            tracer: None,
         };
         // Prime the arrival streams.
         for (t, tenant) in spec.tenants.iter().enumerate() {
@@ -615,6 +768,9 @@ impl<'a> Sim<'a> {
             self.config.slo_admission && self.estimated_completion(now, tenant) > deadline;
         if full || hopeless {
             self.tenants[tenant].rejected += 1;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.reject(tenant, now);
+            }
             if let Some(policy) = spec.retry {
                 if attempt < policy.max_retries {
                     // Exponential backoff: the mean doubles per attempt,
@@ -654,7 +810,13 @@ impl<'a> Sim<'a> {
             }
             _ => 0,
         };
+        self.req_seq += 1;
+        let id = self.req_seq;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.admit(tenant, id, now);
+        }
         self.queues[tenant].push_back(Request {
+            id,
             arrival: now,
             deadline,
             client,
@@ -678,6 +840,9 @@ impl<'a> Sim<'a> {
             unreachable!("decode runs complete via DecodeStep, never DeviceFree");
         };
         for req in &batch.requests {
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.complete(req.id, now);
+            }
             self.tenants[batch.tenant].completed += 1;
             self.tenants[batch.tenant].latencies.push(now - req.arrival);
             let late = now > req.deadline;
@@ -717,6 +882,11 @@ impl<'a> Sim<'a> {
         self.served[batch.tenant] =
             self.served[batch.tenant].saturating_sub(remaining.as_picos() as u128);
         self.tenants[batch.tenant].preemptions += 1;
+        if let Some(tr) = self.tracer.as_mut() {
+            for req in &batch.requests {
+                tr.requeue(batch.tenant, req.id, now);
+            }
+        }
         self.residues[batch.tenant].push_back(Residue {
             requests: batch.requests,
             remaining,
@@ -743,6 +913,9 @@ impl<'a> Sim<'a> {
                     self.served[batch.tenant].saturating_sub(remaining.as_picos() as u128);
                 self.tenants[batch.tenant].rerouted += batch.requests.len() as u64;
                 for req in batch.requests.into_iter().rev() {
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.requeue(batch.tenant, req.id, now);
+                    }
                     self.queues[batch.tenant].push_front(req);
                 }
             }
@@ -759,6 +932,9 @@ impl<'a> Sim<'a> {
                 for seq in run.seqs.into_iter().rev() {
                     self.kv[device].discard(seq.owner);
                     self.tenants[tenant].recomputed_tokens += seq.done as u64;
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.requeue(tenant, seq.req.id, now);
+                    }
                     self.queues[tenant].push_front(seq.req);
                 }
             }
@@ -800,6 +976,9 @@ impl<'a> Sim<'a> {
                 }
                 let head = self.queues[tenant].pop_front().expect("front exists");
                 self.tenants[tenant].shed += 1;
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.shed(head.id, now);
+                }
                 self.wake_client(now, tenant, head.client);
             }
         }
@@ -938,6 +1117,11 @@ impl<'a> Sim<'a> {
         service: SimTime,
         resumed: bool,
     ) {
+        if let Some(tr) = self.tracer.as_mut() {
+            for req in &requests {
+                tr.dispatch(tenant, req.id, now);
+            }
+        }
         self.served[tenant] += service.as_picos() as u128;
         self.devices[device].busy += service;
         self.devices[device].batches += 1;
@@ -989,6 +1173,11 @@ impl<'a> Sim<'a> {
     fn start_decode_run(&mut self, now: SimTime, device: usize, tenant: usize, width: usize) {
         let prefill_left = self.decode_prefill_steps(tenant, device);
         let requests: Vec<Request> = self.queues[tenant].drain(..width).collect();
+        if let Some(tr) = self.tracer.as_mut() {
+            for req in &requests {
+                tr.dispatch(tenant, req.id, now);
+            }
+        }
         let seqs: Vec<DecodeSeq> = requests
             .into_iter()
             .map(|req| {
@@ -1052,6 +1241,9 @@ impl<'a> Sim<'a> {
                 self.kv[device].discard(victim.owner);
                 self.tenants[tenant].decode_preemptions += 1;
                 self.tenants[tenant].recomputed_tokens += victim.done as u64;
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.requeue(tenant, victim.req.id, now);
+                }
                 self.queues[tenant].push_front(victim.req);
                 continue;
             }
@@ -1061,6 +1253,9 @@ impl<'a> Sim<'a> {
             self.kv[device].discard(victim.owner);
             self.tenants[tenant].shed += 1;
             self.tenants[tenant].recomputed_tokens += victim.done as u64;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.shed(victim.req.id, now);
+            }
             self.wake_client(now, tenant, victim.req.client);
         }
         if run.seqs.is_empty() {
@@ -1124,6 +1319,9 @@ impl<'a> Sim<'a> {
             }
             let finished = run.seqs.remove(i);
             self.kv[device].release(finished.owner);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.complete(finished.req.id, now);
+            }
             self.tenants[tenant].completed += 1;
             self.tenants[tenant]
                 .latencies
@@ -1148,6 +1346,9 @@ impl<'a> Sim<'a> {
             let Some(req) = self.queues[tenant].pop_front() else {
                 break;
             };
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.dispatch(tenant, req.id, now);
+            }
             self.owner_seq += 1;
             run.seqs.push(DecodeSeq {
                 req,
@@ -1229,11 +1430,47 @@ impl<'a> Sim<'a> {
         );
     }
 
-    fn run(mut self) -> ServeReport {
+    /// State snapshot for the virtual-time sampler — a pure read of the
+    /// queues, pools and device occupancy.
+    fn take_sample(&mut self, at: SimTime) {
+        let queue_depth = self.queues.iter().map(|q| q.len() as u64).sum::<u64>()
+            + self
+                .residues
+                .iter()
+                .flat_map(|r| r.iter())
+                .map(|r| r.requests.len() as u64)
+                .sum::<u64>();
+        let kv_active = self.kv.iter().map(|p| p.stats().active_now).sum();
+        let devices_busy = self.busy.iter().filter(|b| b.is_some()).count() as u32;
+        self.samples.push(MetricSample {
+            time: at,
+            queue_depth,
+            kv_active,
+            devices_busy,
+        });
+    }
+
+    fn run(mut self) -> (ServeReport, Vec<Span>) {
+        // A zero interval would never advance: treat it as disabled.
+        let every = self
+            .config
+            .sample_every
+            .filter(|every| *every > SimTime::ZERO);
+        let mut next_sample = every;
         let mut last = SimTime::ZERO;
         while let Some(ev) = self.events.pop() {
             debug_assert!(ev.time >= last, "virtual clock must be monotone");
             last = ev.time;
+            // Samples observe the state *just before* any event at their
+            // instant: between events nothing changes, so this is the
+            // state at the sampled virtual time.
+            while let (Some(at), Some(every)) = (next_sample, every) {
+                if at > ev.time {
+                    break;
+                }
+                self.take_sample(at);
+                next_sample = Some(at.saturating_add(every));
+            }
             match ev.kind {
                 EvKind::Arrival {
                     tenant,
@@ -1261,12 +1498,19 @@ impl<'a> Sim<'a> {
                 self.stranded += 1;
                 // No wake: the run is over; the client's pending request
                 // resolves as shed.
-                let _ = req;
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.shed(req.id, last);
+                }
             }
             while let Some(residue) = self.residues[tenant].pop_front() {
                 let n = residue.requests.len() as u64;
                 self.tenants[tenant].shed += n;
                 self.stranded += n;
+                if let Some(tr) = self.tracer.as_mut() {
+                    for req in &residue.requests {
+                        tr.shed(req.id, last);
+                    }
+                }
             }
         }
         let horizon = self.server.spec.horizon;
@@ -1283,7 +1527,11 @@ impl<'a> Sim<'a> {
         for (device, pool) in self.kv.iter().enumerate() {
             self.devices[device].kv = pool.stats();
         }
-        ServeReport {
+        let spans = match self.tracer {
+            Some(tracer) => tracer.finish(makespan),
+            None => Vec::new(),
+        };
+        let report = ServeReport {
             tenants,
             devices: self.devices,
             horizon,
@@ -1295,7 +1543,9 @@ impl<'a> Sim<'a> {
                 link_degraded: self.link_scale.is_some(),
                 stranded: self.stranded,
             },
-        }
+            samples: self.samples,
+        };
+        (report, spans)
     }
 }
 

@@ -674,10 +674,14 @@ enum EventKind {
     /// A semaphore post arriving from another device's shard (parallel
     /// execution only). Like [`EventKind::PostApply`] but with no local
     /// poster block to resume: the poster resumed on its own shard.
+    /// `poster` carries the posting kernel's index for the trace, so
+    /// sharded runs record the same [`TraceEvent::SemPosted`] a serial
+    /// run would.
     RemotePost {
         table: SemArrayId,
         index: u32,
         inc: u32,
+        poster: Option<usize>,
     },
     /// An atomic increment arriving from another device's shard (parallel
     /// execution only). Bumps the semaphore value without waking waiters
@@ -1103,7 +1107,14 @@ pub(crate) struct RunState {
     issue_dirty: bool,
     issue_scratch: Vec<usize>,
     wake_scratch: Vec<usize>,
+    /// Canonical trace of the most recent run: `trace_raw` finalized by a
+    /// stable sort on `(time, device)` (see [`RunState::finalize_trace`]).
     trace: Vec<TraceEvent>,
+    /// Device-tagged events in recording order. Tagged with the device
+    /// that *owns* the event — the shard that records it under parallel
+    /// execution — so the canonical order is identical whether the run
+    /// was serial or device-sharded.
+    trace_raw: Vec<(u32, TraceEvent)>,
     pub(crate) trace_enabled: bool,
     busy_units: u64,
     util_integral: u128,
@@ -1139,6 +1150,7 @@ impl RunState {
             issue_scratch: Vec::new(),
             wake_scratch: Vec::new(),
             trace: Vec::new(),
+            trace_raw: Vec::new(),
             trace_enabled: false,
             busy_units: 0,
             util_integral: 0,
@@ -1187,6 +1199,7 @@ impl RunState {
         self.issue_scratch.clear();
         self.wake_scratch.clear();
         self.trace.clear();
+        self.trace_raw.clear();
         self.busy_units = 0;
         self.util_integral = 0;
         self.last_util_update = SimTime::ZERO;
@@ -1204,6 +1217,27 @@ impl RunState {
     /// The most recent run's trace.
     pub(crate) fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// Canonicalizes the raw device-tagged event buffer into `trace`: a
+    /// stable sort by `(time, device)`. Recording order within one device
+    /// is deterministic in both engines and in the device shards, so this
+    /// order is the *same* whether events were recorded by one serial loop
+    /// or by per-device shards merged in device order — the property the
+    /// parallel-engine trace tests pin down.
+    pub(crate) fn finalize_trace(&mut self) {
+        self.trace.clear();
+        if self.trace_raw.is_empty() {
+            return;
+        }
+        self.trace.reserve(self.trace_raw.len());
+        let mut order: Vec<u32> = (0..self.trace_raw.len() as u32).collect();
+        order.sort_by_key(|&i| {
+            let (device, ref event) = self.trace_raw[i as usize];
+            (event.time(), device, i)
+        });
+        self.trace
+            .extend(order.iter().map(|&i| self.trace_raw[i as usize].1.clone()));
     }
 }
 
@@ -1308,6 +1342,12 @@ impl Exec<'_> {
             EngineMode::Reference => self.run_reference_loop(),
             EngineMode::Optimized => self.run_optimized_loop(),
         }
+        if self.st.trace_enabled && self.shard.is_none() {
+            // Shards leave their raw buffers for `execute_sharded` to
+            // merge; serial runs canonicalize in every exit path so the
+            // trace is readable even after an abort or deadlock.
+            self.st.finalize_trace();
+        }
         let incomplete: Vec<usize> = (0..self.desc.kernels.len())
             .filter(|&k| self.st.kernels[k].completed < self.desc.kernels[k].total)
             .collect();
@@ -1387,14 +1427,41 @@ impl Exec<'_> {
         self.st.event_slab[idx as usize]
     }
 
-    /// Appends to the trace. The flag check is inlined at every call site
-    /// so a disabled trace costs one predictable branch — never a `Vec`
-    /// touch or an event construction that the optimizer can't sink.
+    /// Appends to the trace, tagged with the *owning* device — the shard
+    /// that records the event under parallel execution (the kernel's
+    /// device for kernel/block events, the semaphore's home device for
+    /// posts, the waiter's device for wakes). The flag check is inlined
+    /// at every call site so a disabled trace costs one predictable
+    /// branch — never a `Vec` touch or an event construction that the
+    /// optimizer can't sink.
     #[inline(always)]
-    fn record(&mut self, event: TraceEvent) {
+    fn record(&mut self, device: u32, event: TraceEvent) {
         if self.st.trace_enabled {
-            self.st.trace.push(event);
+            self.st.trace_raw.push((device, event));
         }
+    }
+
+    /// Records an [`Op::LinkSend`] occupying the link from `start` for
+    /// `wire`. Called from both block-stepping paths exactly when the op
+    /// is consumed (its pc/coroutine advances), so a deferred re-check of
+    /// the same op never double-records.
+    #[inline]
+    fn record_link_sent(&mut self, bid: usize, bytes: u64, start: SimTime, wire: SimTime) {
+        if !self.st.trace_enabled {
+            return;
+        }
+        let kernel = self.st.blocks[bid].kernel;
+        let block = self.st.blocks[bid].idx;
+        self.record(
+            self.block_device(bid),
+            TraceEvent::LinkSent {
+                kernel: KernelId(kernel),
+                block,
+                bytes,
+                wire,
+                time: start,
+            },
+        );
     }
 
     /// The original event loop: rescan-and-sort `try_issue` after every
@@ -1473,10 +1540,13 @@ impl Exec<'_> {
                             .insert((Reverse(self.desc.kernels[k].priority), k));
                     }
                 }
-                self.record(TraceEvent::KernelReady {
-                    kernel: KernelId(k),
-                    time: now,
-                });
+                self.record(
+                    self.desc.kernels[k].device,
+                    TraceEvent::KernelReady {
+                        kernel: KernelId(k),
+                        time: now,
+                    },
+                );
             }
             EventKind::BlockResume(b) => match self.st.blocks[b].pending.take() {
                 None => self.step_block(b),
@@ -1501,8 +1571,13 @@ impl Exec<'_> {
                 self.st.blocks[block].atomic_result = Some(prev);
                 self.push_event(self.st.now, EventKind::BlockResume(block));
             }
-            EventKind::RemotePost { table, index, inc } => {
-                self.apply_post_inner(table, index, inc);
+            EventKind::RemotePost {
+                table,
+                index,
+                inc,
+                poster,
+            } => {
+                self.apply_post_inner(table, index, inc, poster.map(KernelId));
             }
             EventKind::RemoteAtomic { table, index, inc } => {
                 // Mirrors `AtomicApply`: bump only, no waiter wakes. The
@@ -1604,6 +1679,18 @@ impl Exec<'_> {
         let s = &self.desc.streams[stream];
         if let Some(&k) = s.queue.get(self.st.stream_next[stream]) {
             self.prereq_done(k);
+            // Still-outstanding prerequisites after the stream-head
+            // arrival are launch gates: the kernel is *held* from here
+            // until its final gate opens.
+            if self.st.prereqs[k] > 0 {
+                self.record(
+                    self.desc.kernels[k].device,
+                    TraceEvent::GateHeld {
+                        kernel: KernelId(k),
+                        time: self.st.now,
+                    },
+                );
+            }
         }
     }
 
@@ -1791,18 +1878,32 @@ impl Exec<'_> {
             prog_len,
             prog_pc: 0,
         });
-        self.record(TraceEvent::BlockIssued {
-            kernel: KernelId(k),
-            block: idx,
-            sm,
-            time: now,
-        });
+        self.record(
+            device,
+            TraceEvent::BlockIssued {
+                kernel: KernelId(k),
+                block: idx,
+                sm,
+                units,
+                time: now,
+            },
+        );
         self.push_event(now, EventKind::BlockResume(bid));
         // The PDL trigger: this kernel's final block just became resident,
         // so every kernel gated `AfterLaunchOf` it may now dispatch.
         if linear + 1 == self.desc.kernels[k].total {
             let desc = self.desc;
             for &dep in &desc.launch_dependents[k] {
+                if self.st.prereqs[dep] == 1 {
+                    self.record(
+                        desc.kernels[dep].device,
+                        TraceEvent::GateOpened {
+                            kernel: KernelId(dep),
+                            by: KernelId(k),
+                            time: now,
+                        },
+                    );
+                }
                 self.prereq_done(dep);
             }
         }
@@ -1874,6 +1975,9 @@ impl Exec<'_> {
                         let d = self
                             .pure_op_delay(bid, &op)
                             .expect("non-sync op has a delay");
+                        if let Op::LinkSend { bytes } = op {
+                            self.record_link_sent(bid, bytes, self.st.now + acc, d);
+                        }
                         acc += d;
                         self.st.blocks[bid].prog_pc += 1;
                         if !self.can_extend_run(self.st.now + acc) {
@@ -1926,6 +2030,9 @@ impl Exec<'_> {
                 Step::Op(op) => {
                     self.st.blocks[bid].body = Some(body);
                     if let Some(d) = self.pure_op_delay(bid, &op) {
+                        if let Op::LinkSend { bytes } = op {
+                            self.record_link_sent(bid, bytes, self.st.now + acc, d);
+                        }
                         acc += d;
                         if !self.can_extend_run(self.st.now + acc) {
                             self.push_event(self.st.now + acc, EventKind::BlockResume(bid));
@@ -2126,14 +2233,17 @@ impl Exec<'_> {
                     let kernel = self.st.blocks[bid].kernel;
                     let idx = self.st.blocks[bid].idx;
                     self.st.kernels[kernel].parked += 1;
-                    self.record(TraceEvent::BlockBlocked {
-                        kernel: KernelId(kernel),
-                        block: idx,
-                        table,
-                        index,
-                        value,
-                        time: self.st.now,
-                    });
+                    self.record(
+                        self.desc.kernels[kernel].device,
+                        TraceEvent::BlockBlocked {
+                            kernel: KernelId(kernel),
+                            block: idx,
+                            table,
+                            index,
+                            value,
+                            time: self.st.now,
+                        },
+                    );
                 }
             }
             Op::SemPost { table, index, inc } => {
@@ -2207,12 +2317,14 @@ impl Exec<'_> {
         );
         let ordinal = shard.sent_ordinal;
         shard.sent_ordinal += 1;
+        let poster = self.st.blocks[bid].kernel;
         shard.outbox.push(par::OutMsg {
             time: t,
             table,
             index,
             inc,
             post,
+            poster: Some(poster),
             src: device,
             ordinal,
         });
@@ -2226,22 +2338,35 @@ impl Exec<'_> {
     }
 
     fn apply_post(&mut self, poster: usize, table: SemArrayId, index: u32, inc: u32) {
-        self.apply_post_inner(table, index, inc);
+        let poster_kernel = KernelId(self.st.blocks[poster].kernel);
+        self.apply_post_inner(table, index, inc, Some(poster_kernel));
         self.push_event(self.st.now, EventKind::BlockResume(poster));
     }
 
     /// The poster-independent half of [`Exec::apply_post`]: bump the
     /// semaphore and wake satisfied waiters. Also the entire handler for a
-    /// [`EventKind::RemotePost`], whose poster resumed on its own shard.
-    fn apply_post_inner(&mut self, table: SemArrayId, index: u32, inc: u32) {
+    /// [`EventKind::RemotePost`], whose poster resumed on its own shard
+    /// (its identity travels in the message so the trace is shard-
+    /// invariant).
+    fn apply_post_inner(
+        &mut self,
+        table: SemArrayId,
+        index: u32,
+        inc: u32,
+        poster: Option<KernelId>,
+    ) {
         self.st.sems.add(table, index, inc);
         let new_value = self.st.sems.value(table, index);
-        self.record(TraceEvent::SemPosted {
-            table,
-            index,
-            new_value,
-            time: self.st.now,
-        });
+        self.record(
+            self.st.sems.device(table),
+            TraceEvent::SemPosted {
+                table,
+                index,
+                new_value,
+                poster,
+                time: self.st.now,
+            },
+        );
         match self.mode {
             EngineMode::Reference => {
                 if let Some(list) = self.st.waiters.get_mut(&(table.0, index)) {
@@ -2299,6 +2424,24 @@ impl Exec<'_> {
     fn wake_block(&mut self, wbid: usize, table: SemArrayId) {
         let wake_at = self.st.now + self.poll_cost(self.block_device(wbid), table);
         let device = self.block_device(wbid) as usize;
+        if self.st.trace_enabled {
+            // Stamped with the *resume* instant (recorded before it, at
+            // post time); the canonical (time, device) sort in
+            // `finalize_trace` files it in timestamp order.
+            let (wtable, windex, _) = self.st.blocks[wbid].waiting.expect("woken non-waiter");
+            let kernel = self.st.blocks[wbid].kernel;
+            let block = self.st.blocks[wbid].idx;
+            self.record(
+                device as u32,
+                TraceEvent::BlockWoken {
+                    kernel: KernelId(kernel),
+                    block,
+                    table: wtable,
+                    index: windex,
+                    time: wake_at,
+                },
+            );
+        }
         self.st.blocks[wbid].waiting = None;
         let sm = self.st.blocks[wbid].sm as usize;
         self.st.sm_active[sm] += self.st.blocks[wbid].units;
@@ -2319,11 +2462,14 @@ impl Exec<'_> {
         self.st.busy_units -= units as u64;
         self.st.last_finish = self.st.now;
         self.st.issue_dirty = true;
-        self.record(TraceEvent::BlockFinished {
-            kernel: KernelId(k),
-            block: idx,
-            time: self.st.now,
-        });
+        self.record(
+            self.desc.kernels[k].device,
+            TraceEvent::BlockFinished {
+                kernel: KernelId(k),
+                block: idx,
+                time: self.st.now,
+            },
+        );
         let kr = &mut self.st.kernels[k];
         kr.completed += 1;
         kr.concurrent -= 1;
@@ -2333,10 +2479,13 @@ impl Exec<'_> {
                 self.abort_flag = true;
             }
             let stream = self.desc.kernels[k].stream;
-            self.record(TraceEvent::KernelFinished {
-                kernel: KernelId(k),
-                time: self.st.now,
-            });
+            self.record(
+                self.desc.kernels[k].device,
+                TraceEvent::KernelFinished {
+                    kernel: KernelId(k),
+                    time: self.st.now,
+                },
+            );
             self.st.stream_next[stream] += 1;
             self.schedule_stream_head(stream);
             // Grid-completion signals: semaphore posts registered via
@@ -2345,9 +2494,19 @@ impl Exec<'_> {
             // stream-serialized dependents.
             let desc = self.desc;
             for &(table, index) in &desc.kernels[k].completion_posts {
-                self.apply_post_inner(table, index, 1);
+                self.apply_post_inner(table, index, 1, Some(KernelId(k)));
             }
             for &dep in &desc.completion_dependents[k] {
+                if self.st.prereqs[dep] == 1 {
+                    self.record(
+                        desc.kernels[dep].device,
+                        TraceEvent::GateOpened {
+                            kernel: KernelId(dep),
+                            by: KernelId(k),
+                            time: self.st.now,
+                        },
+                    );
+                }
                 self.prereq_done(dep);
             }
         }

@@ -87,6 +87,10 @@ pub(crate) struct OutMsg {
     pub(crate) inc: u32,
     /// `true` for a waking `SemPost`, `false` for a plain `AtomicAdd`.
     pub(crate) post: bool,
+    /// Kernel that produced the effect, for the destination shard's trace
+    /// (`None` never occurs today — posts come from blocks — but the
+    /// option mirrors [`TraceEvent::SemPosted`]).
+    pub(crate) poster: Option<usize>,
     /// Producing device, part of the deterministic delivery order.
     pub(crate) src: u32,
     /// Producer-local ordinal, the delivery-order tiebreaker.
@@ -239,6 +243,7 @@ fn deliver(sst: &mut RunState, msg: &OutMsg) {
             table: msg.table,
             index: msg.index,
             inc: msg.inc,
+            poster: msg.poster,
         }
     } else {
         EventKind::RemoteAtomic {
@@ -299,7 +304,10 @@ pub(crate) fn execute_sharded(
     for (d, (sst, shard)) in pool.iter_mut().zip(shards.iter_mut()).enumerate() {
         sst.reset(desc);
         sst.sems.reset_from(&st.sems);
-        sst.trace_enabled = false;
+        // Shards record into their own device-tagged buffers; the
+        // writeback below hands them to `st` for the canonical
+        // `(time, device)` merge — same order a serial traced run builds.
+        sst.trace_enabled = st.trace_enabled;
         let mut ex = Exec {
             desc,
             progs,
@@ -391,6 +399,15 @@ pub(crate) fn execute_sharded(
     for (d, sst) in pool.iter().enumerate() {
         st.sems.adopt_device_arrays(&sst.sems, d as u32);
     }
+    if st.trace_enabled {
+        // Each event was recorded by the shard owning it, so concatenating
+        // the per-shard raw buffers (in device order) and canonicalizing
+        // reproduces the serial traced run's finalized order exactly.
+        for sst in pool.iter_mut() {
+            st.trace_raw.append(&mut sst.trace_raw);
+        }
+        st.finalize_trace();
+    }
     let ex = Exec {
         desc,
         progs,
@@ -434,7 +451,6 @@ pub(crate) fn execute_auto(
     let eligible = pipeline_shardable
         && mode == EngineMode::Optimized
         && opts.abort_at.is_none()
-        && !st.trace_enabled
         && sched.shard_stable()
         && threads > 1;
     if eligible {

@@ -245,16 +245,7 @@ impl ExploreSummary {
             } else {
                 ","
             };
-            let escaped: String = v
-                .chars()
-                .map(|c| match c {
-                    '"' => "\\\"".to_string(),
-                    '\\' => "\\\\".to_string(),
-                    '\n' => "\\n".to_string(),
-                    c => c.to_string(),
-                })
-                .collect();
-            let _ = writeln!(out, "    \"{escaped}\"{comma}");
+            let _ = writeln!(out, "    \"{}\"{comma}", crate::json_escape(v));
         }
         let _ = write!(
             out,

@@ -1,0 +1,65 @@
+//! Minimal hand-rolled JSON string escaping, shared by every artifact
+//! writer in the workspace.
+//!
+//! The repo deliberately carries no serde dependency; each crate that
+//! renders JSON (bench artifacts, serve metrics, explore summaries, the
+//! chrome-trace exporter in `cusync-obs`) hand-writes its document
+//! structure and only needs one thing done right: string escaping. This
+//! module is that one thing, factored out of the three divergent copies
+//! that used to live in `serve::metrics`, `bench::perf`, and
+//! `sim::explore`.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a double-quoted JSON string literal.
+///
+/// Handles the two mandatory escapes (`"` and `\`), the common control
+/// characters (`\n`, `\r`, `\t`) by name, and every remaining C0 control
+/// character as a `\u00XX` escape, so the output is valid JSON for any
+/// Rust string.
+///
+/// ```
+/// use cusync_sim::json_escape;
+/// assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+/// assert_eq!(json_escape("bell\u{7}"), "bell\\u0007");
+/// ```
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape;
+
+    #[test]
+    fn passthrough_is_identity() {
+        assert_eq!(json_escape("plain ascii 123"), "plain ascii 123");
+        assert_eq!(json_escape("unicode: é λ 🚀"), "unicode: é λ 🚀");
+    }
+
+    #[test]
+    fn mandatory_and_named_escapes() {
+        assert_eq!(json_escape("\"quoted\""), "\\\"quoted\\\"");
+        assert_eq!(json_escape("back\\slash"), "back\\\\slash");
+        assert_eq!(json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+    }
+
+    #[test]
+    fn control_characters_become_unicode_escapes() {
+        assert_eq!(json_escape("\u{0}\u{1}\u{1f}"), "\\u0000\\u0001\\u001f");
+    }
+}

@@ -70,6 +70,7 @@ mod config;
 mod dim;
 mod engine;
 pub mod explore;
+mod json;
 mod kernel;
 mod kv;
 mod mem;
@@ -88,6 +89,7 @@ pub use engine::{
     BlockedBlock, BuildError, BuildErrorKind, DeadlockReport, EngineMode, ExecMode, Gpu,
     LaunchGate, LinkScale, PendingKernel, RunOutcome, RunResidue, SimError, SmOccupancy, StreamId,
 };
+pub use json::json_escape;
 pub use kernel::{BlockBody, BlockCtx, FixedKernel, FnKernel, IndexedKernel, KernelSource, Step};
 pub use kv::{KvPool, KvStats};
 pub use mem::{BufferId, DType, GlobalMemory, RaceEvent};

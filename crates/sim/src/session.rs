@@ -375,9 +375,11 @@ impl Session {
     /// `CUSYNC_EXEC` environment variable, then the pipeline's cluster
     /// config ([`ClusterConfig::effective_exec`](crate::ClusterConfig)).
     /// [`ExecMode::Parallel`] is a *request*: runs the sharder cannot
-    /// prove safe (see [`CompiledPipeline::shardable`]), traced runs,
-    /// abort-horizon runs and non-shard-stable policies still execute
-    /// serially, with identical results either way.
+    /// prove safe (see [`CompiledPipeline::shardable`]), abort-horizon
+    /// runs and non-shard-stable policies still execute serially, with
+    /// identical results either way. Traced runs shard too: each shard
+    /// records its own device's events and the merge reproduces the
+    /// serial trace event-for-event.
     pub fn set_exec(&mut self, exec: Option<ExecMode>) {
         self.exec = exec;
     }

@@ -11,6 +11,15 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KernelId(pub(crate) usize);
 
+impl KernelId {
+    /// The kernel's launch index within its pipeline — the `n` of the
+    /// `k{n}` display form. Stable across runs of the same pipeline, so
+    /// observability layers can use it as an array index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 impl fmt::Display for KernelId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "k{}", self.0)
@@ -35,6 +44,9 @@ pub enum TraceEvent {
         block: Dim3,
         /// SM the block was placed on.
         sm: u32,
+        /// SM capacity units the block occupies while resident
+        /// (`SM_CAPACITY_UNITS / occupancy`).
+        units: u32,
         /// Issue time.
         time: SimTime,
     },
@@ -63,6 +75,21 @@ pub enum TraceEvent {
         /// Time the wait began.
         time: SimTime,
     },
+    /// A block's pending semaphore wait was satisfied; the block resumes
+    /// spinning down at `time` (the wake includes the poll-observation
+    /// cost, so `time` is when the block re-occupies its slot usefully).
+    BlockWoken {
+        /// Owning kernel.
+        kernel: KernelId,
+        /// Block index within the grid.
+        block: Dim3,
+        /// Semaphore array that was waited on.
+        table: SemArrayId,
+        /// Semaphore index that was waited on.
+        index: u32,
+        /// Resume time.
+        time: SimTime,
+    },
     /// A semaphore post became visible.
     SemPosted {
         /// Semaphore array posted to.
@@ -71,7 +98,41 @@ pub enum TraceEvent {
         index: u32,
         /// Value after the post.
         new_value: u32,
+        /// Kernel whose block (or completion) performed the post, when
+        /// known. `None` for host-side posts.
+        poster: Option<KernelId>,
         /// Visibility time.
+        time: SimTime,
+    },
+    /// A kernel reached the head of its stream but is held by an
+    /// unsatisfied launch gate (PDL / stream-serialization dependence).
+    GateHeld {
+        /// The held kernel.
+        kernel: KernelId,
+        /// Time the kernel reached its stream head and began waiting.
+        time: SimTime,
+    },
+    /// A kernel's final outstanding launch-gate prerequisite fell.
+    GateOpened {
+        /// The kernel whose gates are now all open.
+        kernel: KernelId,
+        /// The producer kernel whose progress dropped the final gate.
+        by: KernelId,
+        /// Time the gate opened.
+        time: SimTime,
+    },
+    /// An [`Op::LinkSend`](crate::Op::LinkSend) occupied the inter-device
+    /// link.
+    LinkSent {
+        /// Kernel performing the send.
+        kernel: KernelId,
+        /// Block performing the send.
+        block: Dim3,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Wire time the transfer occupied the link.
+        wire: SimTime,
+        /// Time the transfer started.
         time: SimTime,
     },
     /// All blocks of a kernel completed.
@@ -91,7 +152,11 @@ impl TraceEvent {
             | TraceEvent::BlockIssued { time, .. }
             | TraceEvent::BlockFinished { time, .. }
             | TraceEvent::BlockBlocked { time, .. }
+            | TraceEvent::BlockWoken { time, .. }
             | TraceEvent::SemPosted { time, .. }
+            | TraceEvent::GateHeld { time, .. }
+            | TraceEvent::GateOpened { time, .. }
+            | TraceEvent::LinkSent { time, .. }
             | TraceEvent::KernelFinished { time, .. } => time,
         }
     }

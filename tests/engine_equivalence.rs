@@ -752,6 +752,129 @@ proptest! {
     }
 }
 
+/// Tracing is **passive**: enabling it changes nothing observable. The
+/// same pipeline run with tracing on and off must produce bit-identical
+/// reports under the reference engine, the serial optimized engine, and
+/// the device-sharded parallel engine — the contract the observability
+/// layer (`crates/obs`) is built on.
+#[test]
+fn tracing_is_passive_in_every_engine() {
+    let cluster = ClusterConfig::dgx_v100(2);
+    let pipeline = compile_tp_layer(&cluster, tp_mlp(4096, 256), TpSchedule::Overlap);
+    assert!(pipeline.shardable(), "TP layer shards");
+    let run = |mode: EngineMode, exec: Option<ExecMode>, trace: bool| {
+        let mut session = Session::with_mode(mode);
+        session.set_exec(exec);
+        session.set_threads(2);
+        if trace {
+            session.enable_trace();
+        }
+        session.run(&pipeline).expect("TP layer runs")
+    };
+    for (what, mode, exec) in [
+        ("reference", EngineMode::Reference, None),
+        (
+            "optimized-serial",
+            EngineMode::Optimized,
+            Some(ExecMode::Serial),
+        ),
+        (
+            "optimized-parallel",
+            EngineMode::Optimized,
+            Some(ExecMode::Parallel),
+        ),
+    ] {
+        let untraced = run(mode, exec, false);
+        let traced = run(mode, exec, true);
+        assert_eq!(untraced, traced, "{what}: tracing perturbed the run");
+    }
+}
+
+/// The device-sharded engine records the **same trace** the serial engine
+/// does, event for event: per-shard buffers merged in canonical order
+/// must reproduce the serial interleaving exactly.
+#[test]
+fn parallel_traces_match_serial_traces_event_for_event() {
+    let traced = |pipeline: &CompiledPipeline, exec: ExecMode, threads: usize| {
+        let mut session = Session::with_mode(EngineMode::Optimized);
+        session.set_exec(Some(exec));
+        session.set_threads(threads);
+        session.enable_trace();
+        session.run(pipeline).expect("pipeline runs");
+        session.trace().to_vec()
+    };
+    for devices in [2u32, 4] {
+        let cluster = ClusterConfig::dgx_v100(devices);
+        for schedule in [TpSchedule::Serialized, TpSchedule::Overlap] {
+            let pipeline = compile_tp_layer(&cluster, tp_mlp(4096, 256), schedule);
+            assert!(pipeline.shardable());
+            let serial = traced(&pipeline, ExecMode::Serial, 1);
+            assert!(!serial.is_empty(), "TP layer records events");
+            for threads in [2usize, 4] {
+                let parallel = traced(&pipeline, ExecMode::Parallel, threads);
+                assert_eq!(
+                    serial, parallel,
+                    "devices={devices} {schedule:?} threads={threads}: trace diverged"
+                );
+            }
+        }
+    }
+    // Ring allreduce: link-send heavy, every shard posts cross-device.
+    let mut gpu = Gpu::new_cluster(ClusterConfig::dgx_v100(4));
+    let streams: Vec<_> = (0..4).map(|d| gpu.create_stream_on(d, 0)).collect();
+    launch_ring_allreduce(&mut gpu, "ar", 4 << 20, &streams);
+    let pipeline = gpu.compile().unwrap();
+    assert!(pipeline.shardable());
+    assert_eq!(
+        traced(&pipeline, ExecMode::Serial, 1),
+        traced(&pipeline, ExecMode::Parallel, 4),
+        "allreduce trace diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: on arbitrary shard-eligible workloads, the parallel
+    /// engine's merged trace is identical to the serial engine's, and
+    /// tracing never perturbs the report.
+    #[test]
+    fn random_local_wait_traces_match_serial(
+        devices in 2u32..5,
+        sms in 2u32..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cluster = ClusterConfig {
+            devices: vec![GpuConfig::toy(sms); devices as usize],
+            link_latency: SimTime::from_nanos(2_500),
+            link_bytes_per_sec: 100e9,
+        };
+        let mut gpu = Gpu::new_cluster(cluster);
+        random_local_wait_workload(seed, devices, &mut gpu);
+        let pipeline = gpu.compile().expect("local-wait workload compiles");
+        prop_assert!(pipeline.shardable());
+        let run = |exec: ExecMode, trace: bool| {
+            let mut session = Session::with_mode(EngineMode::Optimized);
+            session.set_exec(Some(exec));
+            session.set_threads(4);
+            if trace {
+                session.enable_trace();
+            }
+            let report = session.run(&pipeline).expect("run");
+            (report, session.trace().to_vec())
+        };
+        let (serial_plain, _) = run(ExecMode::Serial, false);
+        let (serial_report, serial_trace) = run(ExecMode::Serial, true);
+        let (parallel_report, parallel_trace) = run(ExecMode::Parallel, true);
+        prop_assert_eq!(&serial_plain, &serial_report, "tracing perturbed serial");
+        // `sim_events` measures simulation *work*, which the sharded
+        // engine legitimately repartitions; everything observable must
+        // match bit for bit.
+        assert_reports_identical(&serial_report, &parallel_report, "serial vs parallel");
+        prop_assert_eq!(&serial_trace, &parallel_trace);
+    }
+}
+
 /// Traces — the fullest observable scheduling record — also match, on a
 /// scenario with priorities, semaphores and partial waves.
 #[test]

@@ -1,0 +1,207 @@
+//! Properties of the observability layer (`crates/obs`) over random sync
+//! graphs, plus passivity of the serve-layer tracer.
+//!
+//! The attribution and exporter promises pinned here:
+//!
+//! - **Critical path ≤ makespan**, by construction of the backward
+//!   frontier walk, on every graph.
+//! - **Exact partition**: on completed runs, per-device
+//!   `compute + spin + link == busy` and `busy + idle == capacity`, with
+//!   no slot-picosecond counted twice or dropped.
+//! - **Valid catapult JSON**: every exported trace parses, every `B` has
+//!   its `E`, timestamps are monotone per lane — checked by the crate's
+//!   own validator, which shares no code with the emitter's happy path.
+//! - **Passivity**: running traced changes nothing observable (reports
+//!   are bit-identical with tracing on and off, in the engine and in the
+//!   serve layer).
+
+use cusync_obs::{chrome_trace_json, collect_spans, validate_chrome_trace, Attribution};
+use cusync_serve::{
+    ArrivalModel, BatchPolicy, ModelKind, ServeConfig, Server, TenantClass, TenantSpec,
+    WorkloadSpec,
+};
+use cusync_sim::{ClusterConfig, EngineMode, GpuConfig, Session, SimTime};
+use cusync_suite::randgraph::generate;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: on arbitrary random sync graphs (3-5 stages, skip and
+    /// PDL edges, 1-3 devices, safe sizing) the attribution partition is
+    /// exact, the critical path is bounded by the makespan, and the
+    /// exported Chrome trace validates.
+    #[test]
+    fn attribution_and_export_hold_on_random_graphs(
+        seed in 0u64..u64::MAX,
+        devices in 1u32..4,
+    ) {
+        let graph = generate(seed, devices);
+        let cluster = graph.safe_cluster();
+        let pipeline = graph.build(&cluster, true).expect("safe graph compiles");
+        let mut session = Session::with_mode(EngineMode::Optimized);
+        session.enable_trace();
+        let report = session.run(&pipeline).expect("safe sizing cannot deadlock");
+
+        let attr = Attribution::analyze(pipeline.cluster(), &report, session.trace());
+        prop_assert!(attr.exact, "completed runs attribute exactly");
+        prop_assert!(
+            attr.critical_path.length <= report.total,
+            "critical path {} exceeds makespan {}",
+            attr.critical_path.length,
+            report.total,
+        );
+        prop_assert!(!attr.critical_path.hops.is_empty());
+        for d in &attr.devices {
+            prop_assert_eq!(
+                d.compute_slot_ps + d.spin_slot_ps + d.link_slot_ps,
+                d.busy_slot_ps(),
+                "device {} busy buckets", d.device,
+            );
+            prop_assert_eq!(
+                d.busy_slot_ps() + d.idle_slot_ps,
+                d.capacity_slot_ps,
+                "device {} busy+idle != capacity", d.device,
+            );
+        }
+        // Kernel busy residency is conserved: the per-kernel buckets sum
+        // to the same total the per-device buckets do.
+        let dev_busy: u128 = attr.devices.iter().map(|d| d.busy_slot_ps()).sum();
+        let kern_busy: u128 = attr.kernels.iter().map(|k| k.busy_slot_ps).sum();
+        prop_assert_eq!(dev_busy, kern_busy);
+
+        let spans = collect_spans(pipeline.cluster(), &report, session.trace());
+        for s in &spans {
+            prop_assert!(s.end >= s.start, "span {:?} is inverted", s.name);
+            prop_assert!(s.end <= report.total, "span {:?} outlives the run", s.name);
+        }
+        let chrome = chrome_trace_json(&spans);
+        let stats = validate_chrome_trace(&chrome)
+            .unwrap_or_else(|e| panic!("invalid chrome trace: {e}"));
+        prop_assert_eq!(stats.spans, spans.len(), "every span exports exactly once");
+    }
+
+    /// Property: tracing is passive — the same graph run with tracing on
+    /// and off produces bit-identical reports, on both engines.
+    #[test]
+    fn tracing_is_passive_on_random_graphs(
+        seed in 0u64..u64::MAX,
+        devices in 1u32..4,
+    ) {
+        let graph = generate(seed, devices);
+        let cluster = graph.safe_cluster();
+        let pipeline = graph.build(&cluster, true).expect("safe graph compiles");
+        for mode in [EngineMode::Reference, EngineMode::Optimized] {
+            let mut plain = Session::with_mode(mode);
+            let untraced = plain.run(&pipeline).expect("untraced run");
+            let mut traced = Session::with_mode(mode);
+            traced.enable_trace();
+            let report = traced.run(&pipeline).expect("traced run");
+            prop_assert_eq!(&untraced, &report, "tracing must not perturb {:?}", mode);
+            prop_assert!(!traced.trace().is_empty(), "traced run records events");
+        }
+    }
+}
+
+/// A small two-tenant serve workload for the passivity checks below.
+fn serve_workload() -> (WorkloadSpec, ClusterConfig) {
+    let cluster = ClusterConfig::homogeneous(
+        2,
+        GpuConfig::toy(4),
+        SimTime::from_nanos(500),
+        ClusterConfig::NVLINK_BYTES_PER_SEC,
+    );
+    let toy = ModelKind::Toy {
+        blocks: 4,
+        compute_cycles: 60_000,
+    };
+    let spec = WorkloadSpec {
+        tenants: vec![
+            TenantSpec {
+                name: "latency".into(),
+                model: toy,
+                arrival: ArrivalModel::OpenPoisson { rate_rps: 40_000.0 },
+                slo: SimTime::from_millis(2),
+                queue_cap: 32,
+                weight: 2,
+                class: TenantClass::Latency,
+                retry: None,
+            },
+            TenantSpec {
+                name: "batch".into(),
+                model: toy,
+                arrival: ArrivalModel::OpenPoisson { rate_rps: 20_000.0 },
+                slo: SimTime::from_millis(20),
+                queue_cap: 64,
+                weight: 1,
+                class: TenantClass::Throughput,
+                retry: None,
+            },
+        ],
+        horizon: SimTime::from_millis(10),
+        seed: 0xC60_2024,
+    };
+    (spec, cluster)
+}
+
+/// The serve-layer tracer is passive: `run_traced` returns the same
+/// report `run` does, bit for bit, and the spans it adds are well-formed
+/// request lifecycles.
+#[test]
+fn serve_tracing_is_passive() {
+    let (spec, cluster) = serve_workload();
+    let server = Server::new(spec, &cluster, 4);
+    let config = ServeConfig {
+        batch: BatchPolicy::new(4, SimTime::from_micros(50.0)),
+        ..ServeConfig::baseline()
+    };
+    let untraced = server.run(&config);
+    let (report, spans) = server.run_traced(&config);
+    assert_eq!(untraced, report, "run_traced must not perturb the report");
+    assert!(!spans.is_empty(), "a loaded server produces request spans");
+    for s in &spans {
+        assert!(s.end >= s.start, "span {:?} is inverted", s.name);
+    }
+    let chrome = chrome_trace_json(&spans);
+    let stats = validate_chrome_trace(&chrome).expect("serve trace exports validly");
+    assert_eq!(stats.spans, spans.len());
+}
+
+/// The virtual-time metrics sampler is passive and deterministic: turning
+/// it on changes nothing but the `samples` array, samples are strictly
+/// increasing in time, and two runs sample identically.
+#[test]
+fn serve_sampler_is_passive_and_deterministic() {
+    let (spec, cluster) = serve_workload();
+    let server = Server::new(spec, &cluster, 4);
+    let base = ServeConfig {
+        batch: BatchPolicy::new(4, SimTime::from_micros(50.0)),
+        ..ServeConfig::baseline()
+    };
+    let sampled = ServeConfig {
+        sample_every: Some(SimTime::from_micros(250.0)),
+        ..base
+    };
+    let plain = server.run(&base);
+    let with_samples = server.run(&sampled);
+    assert!(plain.samples.is_empty());
+    assert!(
+        !with_samples.samples.is_empty(),
+        "horizon spans many periods"
+    );
+    for w in with_samples.samples.windows(2) {
+        assert!(w[0].time < w[1].time, "samples must be strictly increasing");
+    }
+    with_samples
+        .check()
+        .expect("sampled report passes its own laws");
+    // Everything but the samples is bit-identical.
+    let mut stripped = with_samples.clone();
+    stripped.samples.clear();
+    assert_eq!(plain, stripped, "sampling must not perturb the run");
+    assert_eq!(
+        with_samples,
+        server.run(&sampled),
+        "sampling is deterministic"
+    );
+}
